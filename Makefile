@@ -1,0 +1,43 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short cover bench figures figures-paper fuzz vet fmt clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -short -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate every table/figure at reduced scale (~30 min on one core).
+figures:
+	$(GO) run ./cmd/figures -fig all -scale quick
+
+# The paper's full 25000 s x 3 seeds Figure 2 (slow).
+figures-paper:
+	$(GO) run ./cmd/figures -fig fig2 -scale paper
+
+fuzz:
+	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/packet/
+	$(GO) test -fuzz=FuzzStreamReader -fuzztime=30s ./internal/packet/
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,182 @@
+// Benchmarks regenerating every experiment of the paper's evaluation, one
+// benchmark per table/figure (see DESIGN.md §4 for the experiment index),
+// plus micro-benchmarks for the §4 optimizers and a raw simulation-rate
+// benchmark.
+//
+// The macro benches run reduced-scale sweeps (short virtual time, small
+// population) so `go test -bench=.` finishes in minutes on one core; the
+// shapes they report via ReportMetric mirror the full-scale results in
+// EXPERIMENTS.md, which are produced by `go run ./cmd/figures -scale paper`.
+package dftmsn
+
+import (
+	"testing"
+
+	"dftmsn/internal/optimize"
+	"dftmsn/internal/sweep"
+)
+
+// benchOptions is the reduced scale used by the macro benchmarks.
+func benchOptions() sweep.Options {
+	return sweep.Options{DurationSeconds: 600, Runs: 1, Sensors: 50, BaseSeed: 1}
+}
+
+// runSweep executes a mini version of the experiment and returns its table.
+func runSweep(b *testing.B, build func(sweep.Options) (sweep.Experiment, error), xs []float64) *sweep.Table {
+	b.Helper()
+	exp, err := build(benchOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	exp.Xs = xs
+	table, err := exp.Run(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return table
+}
+
+// variantIndex locates a variant row by name.
+func variantIndex(b *testing.B, t *sweep.Table, name string) int {
+	b.Helper()
+	for i, v := range t.Variants {
+		if v == name {
+			return i
+		}
+	}
+	b.Fatalf("variant %q not in table %v", name, t.Variants)
+	return -1
+}
+
+// BenchmarkFig2aDeliveryRatio regenerates Fig. 2(a): delivery ratio versus
+// the number of sinks for the four protocol variants.
+func BenchmarkFig2aDeliveryRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table := runSweep(b, sweep.Fig2, []float64{1, 5})
+		opt := variantIndex(b, table, "OPT")
+		zbr := variantIndex(b, table, "ZBR")
+		last := len(table.Xs) - 1
+		b.ReportMetric(table.Cell(opt, 0).DeliveryRatio.Mean(), "ratio-opt-1sink")
+		b.ReportMetric(table.Cell(opt, last).DeliveryRatio.Mean(), "ratio-opt-5sinks")
+		b.ReportMetric(table.Cell(zbr, 0).DeliveryRatio.Mean(), "ratio-zbr-1sink")
+	}
+}
+
+// BenchmarkFig2bEnergy regenerates Fig. 2(b): average nodal power
+// consumption rate versus the number of sinks. The headline shape is the
+// NOSLEEP/OPT power multiple (the paper reports roughly 8x).
+func BenchmarkFig2bEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table := runSweep(b, sweep.Fig2, []float64{3})
+		opt := variantIndex(b, table, "OPT")
+		nosleep := variantIndex(b, table, "NOSLEEP")
+		noopt := variantIndex(b, table, "NOOPT")
+		pOpt := table.Cell(opt, 0).PowerMW.Mean()
+		b.ReportMetric(pOpt, "mW-opt")
+		b.ReportMetric(table.Cell(noopt, 0).PowerMW.Mean(), "mW-noopt")
+		if pOpt > 0 {
+			b.ReportMetric(table.Cell(nosleep, 0).PowerMW.Mean()/pOpt, "nosleep-over-opt")
+		}
+	}
+}
+
+// BenchmarkFig2cDelay regenerates Fig. 2(c): average delivery delay versus
+// the number of sinks.
+func BenchmarkFig2cDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table := runSweep(b, sweep.Fig2, []float64{1, 5})
+		opt := variantIndex(b, table, "OPT")
+		nosleep := variantIndex(b, table, "NOSLEEP")
+		last := len(table.Xs) - 1
+		b.ReportMetric(table.Cell(opt, 0).DelaySeconds.Mean(), "s-opt-1sink")
+		b.ReportMetric(table.Cell(opt, last).DelaySeconds.Mean(), "s-opt-5sinks")
+		b.ReportMetric(table.Cell(nosleep, last).DelaySeconds.Mean(), "s-nosleep-5sinks")
+	}
+}
+
+// BenchmarkDensitySweep regenerates the §5 narrated node-density result:
+// more sensors congest the sink-adjacent relays.
+func BenchmarkDensitySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table := runSweep(b, sweep.Density, []float64{50, 150})
+		opt := variantIndex(b, table, "OPT")
+		b.ReportMetric(table.Cell(opt, 0).DeliveryRatio.Mean(), "ratio-50sensors")
+		b.ReportMetric(table.Cell(opt, 1).DeliveryRatio.Mean(), "ratio-150sensors")
+	}
+}
+
+// BenchmarkSpeedSweep regenerates the §5 narrated nodal-speed result:
+// faster nodes meet more peers, raising ratio and cutting delay.
+func BenchmarkSpeedSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table := runSweep(b, sweep.Speed, []float64{1, 10})
+		opt := variantIndex(b, table, "OPT")
+		b.ReportMetric(table.Cell(opt, 0).DeliveryRatio.Mean(), "ratio-1mps")
+		b.ReportMetric(table.Cell(opt, 1).DeliveryRatio.Mean(), "ratio-10mps")
+		b.ReportMetric(table.Cell(opt, 0).DelaySeconds.Mean(), "delay-1mps")
+		b.ReportMetric(table.Cell(opt, 1).DelaySeconds.Mean(), "delay-10mps")
+	}
+}
+
+// BenchmarkAblation regenerates the per-optimization ablation: OPT with
+// each §4 mechanism disabled in turn, at the default 3 sinks.
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table := runSweep(b, sweep.Ablation, []float64{3})
+		for vi, name := range table.Variants {
+			b.ReportMetric(table.Cell(vi, 0).PowerMW.Mean(), "mW-"+name)
+		}
+	}
+}
+
+// BenchmarkExtensions regenerates the §2 basic-scheme comparison (direct
+// transmission and epidemic flooding bracketing OPT).
+func BenchmarkExtensions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table := runSweep(b, sweep.Extensions, []float64{3})
+		for vi, name := range table.Variants {
+			b.ReportMetric(table.Cell(vi, 0).DeliveryRatio.Mean(), "ratio-"+name)
+		}
+	}
+}
+
+// BenchmarkSingleRunOPT measures raw simulator throughput on the paper's
+// default OPT scenario (events per second of wall time).
+func BenchmarkSingleRunOPT(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(OPT)
+		cfg.DurationSeconds = 1000
+		cfg.Seed = uint64(i + 1)
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+// BenchmarkTauMaxSearch measures the Eq. 13 optimizer (experiment opt-tau
+// in DESIGN.md): the minimum listening bound for a mid-size neighbour set.
+func BenchmarkTauMaxSearch(b *testing.B) {
+	xis := []float64{0.1, 0.25, 0.4, 0.55, 0.7, 0.85}
+	b.ReportAllocs()
+	var tau int
+	for i := 0; i < b.N; i++ {
+		tau, _ = optimize.MinTauMax(xis, 0.1, 128)
+	}
+	b.ReportMetric(float64(tau), "tau-slots")
+}
+
+// BenchmarkContentionWindowSearch measures the Eq. 14 optimizer
+// (experiment opt-w in DESIGN.md).
+func BenchmarkContentionWindowSearch(b *testing.B) {
+	b.ReportAllocs()
+	var w int
+	for i := 0; i < b.N; i++ {
+		w, _ = optimize.MinWindow(6, 0.1, 1<<16)
+	}
+	b.ReportMetric(float64(w), "window-slots")
+}

@@ -1,0 +1,100 @@
+// Command dftcontacts characterises the contact process of the paper's
+// zone-based mobility model: contact counts and durations, inter-contact
+// times with their CCDF tail, and the estimated pairwise contact rate that
+// parameterises the analytic models.
+//
+// Usage:
+//
+//	dftcontacts [-nodes 100] [-speed 5] [-exit 0.2] [-range 10]
+//	            [-duration 10000] [-seed 1] [-model zone|waypoint]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dftmsn/internal/analytic"
+	"dftmsn/internal/contacts"
+	"dftmsn/internal/geo"
+	"dftmsn/internal/mobility"
+	"dftmsn/internal/simrand"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dftcontacts:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dftcontacts", flag.ContinueOnError)
+	var (
+		nodes     = fs.Int("nodes", 100, "number of mobile nodes")
+		speed     = fs.Float64("speed", 5, "maximum speed (m/s)")
+		exitProb  = fs.Float64("exit", 0.2, "zone exit probability")
+		rangeM    = fs.Float64("range", 10, "radio range (m)")
+		field     = fs.Float64("field", 150, "square field edge (m)")
+		zones     = fs.Int("zones", 5, "zones per side")
+		duration  = fs.Float64("duration", 10_000, "observed seconds")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		modelName = fs.String("model", "zone", "mobility model: zone or waypoint")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	grid, err := geo.NewGrid(geo.NewRect(0, 0, *field, *field), *zones, *zones)
+	if err != nil {
+		return err
+	}
+	rng := simrand.New(*seed)
+	var model mobility.Model
+	switch *modelName {
+	case "zone":
+		cfg := mobility.ZoneWalkConfig{MaxSpeed: *speed, MinSpeed: 0.1, ExitProb: *exitProb}
+		model, err = mobility.NewZoneWalk(grid, *nodes, cfg, rng)
+	case "waypoint":
+		model, err = mobility.NewRandomWaypoint(grid, *nodes, 0.1, *speed, rng)
+	default:
+		return fmt.Errorf("unknown model %q", *modelName)
+	}
+	if err != nil {
+		return err
+	}
+	col, err := contacts.NewCollector(model, *rangeM, 1)
+	if err != nil {
+		return err
+	}
+	col.Run(*duration)
+	st := col.Stats()
+
+	fmt.Fprintf(out, "model                 %s (%d nodes, %.1f m/s max, %.0f m range)\n",
+		*modelName, *nodes, *speed, *rangeM)
+	fmt.Fprintf(out, "observed              %.0f s\n", *duration)
+	fmt.Fprintf(out, "contacts              %d (%.1f per node-hour)\n", st.Contacts, st.ContactsPerNodeHour)
+	fmt.Fprintf(out, "pairs met             %d of %d\n", st.PairsMet, st.TotalPairs)
+	fmt.Fprintf(out, "contact duration      mean %.1f s, median %.1f s\n", st.MeanDuration, st.MedianDuration)
+	fmt.Fprintf(out, "inter-contact         mean %.0f s, median %.0f s\n", st.MeanInterContact, st.MedianInterContact)
+	fmt.Fprintf(out, "mean degree           %.2f neighbours\n", st.MeanDegree)
+
+	if beta, err := analytic.EstimatePairRate(st.Contacts, *nodes, *duration); err == nil {
+		fmt.Fprintf(out, "pairwise rate beta    %.3e /s (exp inter-contact would be %.0f s)\n", beta, 1/beta)
+	}
+
+	sample := col.InterContactSample()
+	if len(sample) > 0 {
+		fmt.Fprintln(out, "\ninter-contact CCDF  P(X > t)")
+		at := []float64{10, 30, 60, 120, 300, 600, 1200, 3600}
+		ccdf := contacts.CCDF(sample, at)
+		for i, t := range at {
+			bar := ""
+			for j := 0; j < int(ccdf[i]*40); j++ {
+				bar += "#"
+			}
+			fmt.Fprintf(out, "  t=%-6.0f %.3f %s\n", t, ccdf[i], bar)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestContactsZoneModel(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-nodes", "30", "-duration", "1500", "-seed", "3"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"contacts", "pairs met", "inter-contact", "pairwise rate beta", "CCDF"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestContactsWaypointModel(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-nodes", "20", "-duration", "800", "-model", "waypoint"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "waypoint") {
+		t.Fatalf("model name missing:\n%s", sb.String())
+	}
+}
+
+func TestContactsBadArgs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "teleport"}, &sb); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run([]string{"-zones", "0"}, &sb); err == nil {
+		t.Error("zero zones accepted")
+	}
+	if err := run([]string{"-speed", "0"}, &sb); err == nil {
+		t.Error("zero speed accepted")
+	}
+	if err := run([]string{"-range", "0"}, &sb); err == nil {
+		t.Error("zero range accepted")
+	}
+	if err := run([]string{"-whatever"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

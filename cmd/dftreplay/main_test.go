@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func recordFixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "capture.bin")
+	var errOut strings.Builder
+	err := run([]string{
+		"-record", path, "-scheme", "OPT", "-sensors", "12", "-sinks", "1",
+		"-duration", "200", "-seed", "4",
+	}, nil, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut.String(), "captured") {
+		t.Fatalf("record output: %q", errOut.String())
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("empty capture file")
+	}
+	return path
+}
+
+func TestRecordAndDump(t *testing.T) {
+	path := recordFixture(t)
+	var out, errOut strings.Builder
+	if err := run([]string{"-in", path}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("only %d dump lines", len(lines))
+	}
+	if !strings.Contains(out.String(), "PREAMBLE") || !strings.Contains(out.String(), "RTS") {
+		t.Fatalf("dump missing frame kinds:\n%.300s", out.String())
+	}
+}
+
+func TestRecordAndSummarise(t *testing.T) {
+	path := recordFixture(t)
+	var out, errOut strings.Builder
+	if err := run([]string{"-in", path, "-summary"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"frames from", "PREAMBLE", "data exchanges", "busiest transmitters"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestReplayBadArgs(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run(nil, &out, &errOut); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent/file"}, &out, &errOut); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-record", "/nonexistent-dir/x", "-duration", "10"}, &out, &errOut); err == nil {
+		t.Error("unwritable record path accepted")
+	}
+	if err := run([]string{"-record", filepath.Join(t.TempDir(), "x"), "-scheme", "bogus"}, &out, &errOut); err == nil {
+		t.Error("bad scheme accepted")
+	}
+}

@@ -1,0 +1,184 @@
+// Command dftsim runs one DFT-MSN simulation and prints its result digest.
+//
+// Usage:
+//
+//	dftsim [-scheme OPT] [-sensors 100] [-sinks 3] [-duration 25000]
+//	       [-seed 1] [-arrival 120] [-speed 5] [-queue 200] [-v] [-map]
+//	dftsim -config scenario.json [-dumpconfig]
+//
+// The defaults reproduce the paper's §5 setup; -config loads a JSON
+// scenario (see internal/scenario/configio.go for the schema), -map
+// renders the final node positions as ASCII, and -dumpconfig prints the
+// effective configuration without simulating.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dftmsn"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dftsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dftsim", flag.ContinueOnError)
+	var (
+		schemeName = fs.String("scheme", "OPT", "protocol variant: OPT, NOOPT, NOSLEEP, ZBR, DIRECT, EPIDEMIC")
+		sensors    = fs.Int("sensors", 100, "number of wearable sensors")
+		sinks      = fs.Int("sinks", 3, "number of sink nodes")
+		duration   = fs.Float64("duration", 25_000, "simulated seconds")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		arrival    = fs.Float64("arrival", 120, "mean data inter-arrival per sensor (s)")
+		speed      = fs.Float64("speed", 5, "maximum sensor speed (m/s)")
+		queue      = fs.Int("queue", 200, "sensor buffer capacity (messages)")
+		verbose    = fs.Bool("v", false, "print extended counters")
+		configPath = fs.String("config", "", "JSON scenario file (flags above are ignored)")
+		dumpConfig = fs.Bool("dumpconfig", false, "print the effective config as JSON and exit")
+		showMap    = fs.Bool("map", false, "render an ASCII map of final node positions")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cfg dftmsn.Config
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			return err
+		}
+		cfg, err = dftmsn.LoadConfig(f)
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		scheme, err := parseScheme(*schemeName)
+		if err != nil {
+			return err
+		}
+		cfg = dftmsn.DefaultConfig(scheme)
+		cfg.NumSensors = *sensors
+		cfg.NumSinks = *sinks
+		cfg.DurationSeconds = *duration
+		cfg.Seed = *seed
+		cfg.ArrivalMeanSeconds = *arrival
+		cfg.MaxSpeed = *speed
+		cfg.QueueCapacity = *queue
+	}
+	if *dumpConfig {
+		return dftmsn.SaveConfig(out, cfg)
+	}
+
+	start := time.Now()
+	sim, err := dftmsn.New(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	fmt.Fprintf(out, "scheme            %s\n", res.Scheme)
+	fmt.Fprintf(out, "simulated         %.0f s (%d events in %v)\n", res.SimSeconds, res.Events, wall.Round(time.Millisecond))
+	fmt.Fprintf(out, "generated         %d messages\n", res.Delivery.Generated)
+	fmt.Fprintf(out, "delivered         %d (ratio %.3f, %d duplicate arrivals)\n",
+		res.Delivery.Delivered, res.Delivery.DeliveryRatio, res.Delivery.Duplicates)
+	fmt.Fprintf(out, "delay             avg %.1f s, median %.1f s, p90 %.1f s, max %.1f s\n",
+		res.Delivery.AvgDelaySeconds, res.Delivery.MedianDelaySeconds,
+		res.Delivery.P90DelaySeconds, res.Delivery.MaxDelaySeconds)
+	fmt.Fprintf(out, "avg nodal power   %.3f mW (duty cycle %.1f%%)\n", res.AvgSensorPowerMW, res.AvgDutyCycle*100)
+	if *verbose {
+		fmt.Fprintf(out, "avg hops          %.2f\n", res.Delivery.AvgHops)
+		fmt.Fprintf(out, "queue drops       %d overflow, %d over-threshold\n", res.DropsFull, res.DropsThreshold)
+		fmt.Fprintf(out, "sleep periods     %d\n", res.Sleeps)
+		fmt.Fprintf(out, "collisions        %d corrupted receptions\n", res.Channel.Collisions)
+		fmt.Fprintf(out, "air bits          %d control, %d data\n", res.Channel.ControlBits, res.Channel.DataBits)
+		fmt.Fprintf(out, "ctrl overhead     %.0f bits per delivered message\n", res.ControlBitsPerDelivered)
+		for kind, n := range res.Channel.FramesSent {
+			fmt.Fprintf(out, "frames %-9s %d sent, %d delivered\n", kind, n, res.Channel.FramesDelivered[kind])
+		}
+	}
+	if *showMap {
+		fmt.Fprint(out, renderMap(sim, cfg))
+	}
+	return nil
+}
+
+// renderMap draws the final node positions on an ASCII grid: 'S' marks a
+// sink, digits count the sensors in a cell (capped at 9), '+' marks cells
+// holding both, '.' is empty field. Dead sensors render as 'x'.
+func renderMap(sim *dftmsn.Sim, cfg dftmsn.Config) string {
+	const cols, rows = 50, 20
+	cellW := cfg.FieldSize / cols
+	cellH := cfg.FieldSize / rows
+	sensors := make([][]int, rows)
+	dead := make([][]int, rows)
+	sinks := make([][]int, rows)
+	for r := 0; r < rows; r++ {
+		sensors[r] = make([]int, cols)
+		dead[r] = make([]int, cols)
+		sinks[r] = make([]int, cols)
+	}
+	clampIdx := func(v, max int) int {
+		if v < 0 {
+			return 0
+		}
+		if v >= max {
+			return max - 1
+		}
+		return v
+	}
+	for _, n := range sim.Sensors() {
+		p := n.Radio().Position()
+		c := clampIdx(int(p.X/cellW), cols)
+		r := clampIdx(int(p.Y/cellH), rows)
+		if n.Alive() {
+			sensors[r][c]++
+		} else {
+			dead[r][c]++
+		}
+	}
+	for _, n := range sim.Sinks() {
+		p := n.Radio().Position()
+		sinks[clampIdx(int(p.Y/cellH), rows)][clampIdx(int(p.X/cellW), cols)]++
+	}
+	var b strings.Builder
+	b.WriteString("\nfinal positions (S=sink, 1-9=sensors, x=dead, .=empty):\n")
+	for r := rows - 1; r >= 0; r-- { // north up
+		for c := 0; c < cols; c++ {
+			switch {
+			case sinks[r][c] > 0 && sensors[r][c] > 0:
+				b.WriteByte('+')
+			case sinks[r][c] > 0:
+				b.WriteByte('S')
+			case sensors[r][c] > 9:
+				b.WriteByte('9')
+			case sensors[r][c] > 0:
+				b.WriteByte(byte('0' + sensors[r][c]))
+			case dead[r][c] > 0:
+				b.WriteByte('x')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func parseScheme(name string) (dftmsn.Scheme, error) {
+	return dftmsn.ParseScheme(name)
+}

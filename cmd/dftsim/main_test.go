@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dftmsn"
+)
+
+func TestParseScheme(t *testing.T) {
+	cases := map[string]dftmsn.Scheme{
+		"OPT":      dftmsn.OPT,
+		"opt":      dftmsn.OPT,
+		"NoSleep":  dftmsn.NOSLEEP,
+		"NOOPT":    dftmsn.NOOPT,
+		"zbr":      dftmsn.ZBR,
+		"direct":   dftmsn.Direct,
+		"EPIDEMIC": dftmsn.Epidemic,
+	}
+	for in, want := range cases {
+		got, err := parseScheme(in)
+		if err != nil {
+			t.Errorf("parseScheme(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseScheme(%q) = %v, want %v", in, got, want)
+		}
+	}
+	if _, err := parseScheme("bogus"); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}
+
+func TestRunSmallSimulation(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-scheme", "OPT", "-sensors", "15", "-sinks", "2",
+		"-duration", "300", "-seed", "5", "-v",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"scheme", "OPT", "delivered", "avg nodal power", "sleep periods"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithConfigFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	doc := `{"scheme": "ZBR", "sensors": 12, "sinks": 1, "duration_s": 200, "seed": 8}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-config", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ZBR") {
+		t.Fatalf("config scheme not honoured:\n%s", sb.String())
+	}
+	// -dumpconfig prints JSON without simulating.
+	sb.Reset()
+	if err := run([]string{"-config", path, "-dumpconfig"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"scheme": "ZBR"`) || strings.Contains(sb.String(), "delivered") {
+		t.Fatalf("dumpconfig output:\n%s", sb.String())
+	}
+	if err := run([]string{"-config", "/nonexistent.json"}, &sb); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}
+
+func TestRunWithMap(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-sensors", "15", "-sinks", "2", "-duration", "120", "-map"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "final positions") {
+		t.Fatalf("map header missing:\n%s", out)
+	}
+	if strings.Count(out, "S") < 2 {
+		t.Fatalf("sinks not rendered:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	gridLines := 0
+	for _, l := range lines {
+		if len(l) == 50 && strings.Trim(l, ".0123456789Sx+") == "" {
+			gridLines++
+		}
+	}
+	if gridLines != 20 {
+		t.Fatalf("rendered %d grid lines, want 20", gridLines)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scheme", "bogus"}, &sb); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+	if err := run([]string{"-sensors", "0", "-duration", "10"}, &sb); err == nil {
+		t.Error("zero sensors accepted")
+	}
+	if err := run([]string{"-unknownflag"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

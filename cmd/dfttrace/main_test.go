@@ -1,0 +1,81 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceToWriter(t *testing.T) {
+	var out, errOut strings.Builder
+	err := run([]string{
+		"-scheme", "OPT", "-sensors", "10", "-sinks", "1",
+		"-duration", "120", "-seed", "3", "-max", "500",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("only %d trace lines", len(lines))
+	}
+	// Every line is time \t node \t event \t detail.
+	for i, line := range lines[:10] {
+		if fields := strings.Split(line, "\t"); len(fields) != 4 {
+			t.Fatalf("line %d has %d fields: %q", i, len(fields), line)
+		}
+	}
+	if !strings.Contains(errOut.String(), "events traced") {
+		t.Fatalf("missing summary on stderr: %q", errOut.String())
+	}
+}
+
+func TestTraceCapRespected(t *testing.T) {
+	var out, errOut strings.Builder
+	err := run([]string{"-sensors", "10", "-sinks", "1", "-duration", "120", "-max", "7"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "\n"); got != 7 {
+		t.Fatalf("wrote %d lines, want cap 7", got)
+	}
+}
+
+func TestTraceToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.tsv")
+	var out, errOut strings.Builder
+	err := run([]string{"-sensors", "8", "-sinks", "1", "-duration", "60", "-out", path}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatal("stdout written despite -out file")
+	}
+}
+
+func TestTraceSummary(t *testing.T) {
+	var out, errOut strings.Builder
+	err := run([]string{"-sensors", "10", "-sinks", "1", "-duration", "120", "-summary"}, &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"events from", "sleep", "wake"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, errOut.String())
+		}
+	}
+	// The trace itself still reaches stdout.
+	if !strings.Contains(out.String(), "\tsleep\t") {
+		t.Fatal("trace body missing from stdout")
+	}
+}
+
+func TestTraceBadArgs(t *testing.T) {
+	var out, errOut strings.Builder
+	if err := run([]string{"-scheme", "nope"}, &out, &errOut); err == nil {
+		t.Error("bad scheme accepted")
+	}
+	if err := run([]string{"-out", "/nonexistent-dir/x/y"}, &out, &errOut); err == nil {
+		t.Error("unwritable out path accepted")
+	}
+}

@@ -1,0 +1,245 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (plus this reproduction's extensions) and prints them as
+// aligned text tables or CSV.
+//
+// Usage:
+//
+//	figures [-fig all] [-scale quick] [-runs N] [-duration S]
+//	        [-workers N] [-csv] [-seed N]
+//
+// Figures:
+//
+//	fig2a      Fig. 2(a): delivery ratio vs number of sinks
+//	fig2b      Fig. 2(b): average nodal power (mW) vs number of sinks
+//	fig2c      Fig. 2(c): average delivery delay (s) vs number of sinks
+//	fig2       all three Figure 2 metrics from one sweep
+//	density    §5 narrated: impact of node density
+//	speed      §5 narrated: impact of nodal speed
+//	ablation   per-optimization ablation of OPT (this reproduction)
+//	extensions OPT vs direct transmission vs epidemic flooding
+//	lifetime   finite-battery survival (§4.1 motivation quantified)
+//	faults     burst node failures vs multi-copy redundancy
+//	loss       independent per-reception corruption
+//	opt-tau    Eq. 10-13 collision curves and minimal tau_max (closed form)
+//	opt-w      Eq. 14 collision curves and minimal window (closed form)
+//	all        everything above
+//
+// -scale quick (default) runs a reduced duration that preserves the
+// qualitative shapes; -scale paper runs the paper's full 25 000 s × 3
+// seeds (slow on one core).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dftmsn/internal/optimize"
+	"dftmsn/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+// figureSpec ties a figure name to its experiment and reported metrics.
+type figureSpec struct {
+	name    string
+	build   func(sweep.Options) (sweep.Experiment, error)
+	metrics []sweep.Metric
+	caption string
+}
+
+func specs() []figureSpec {
+	return []figureSpec{
+		{"fig2a", sweep.Fig2, []sweep.Metric{sweep.MetricRatio},
+			"Fig. 2(a) — delivery ratio vs number of sinks"},
+		{"fig2b", sweep.Fig2, []sweep.Metric{sweep.MetricPowerMW},
+			"Fig. 2(b) — average nodal power consumption rate (mW)"},
+		{"fig2c", sweep.Fig2, []sweep.Metric{sweep.MetricDelay},
+			"Fig. 2(c) — average delivery delay (s)"},
+		{"fig2", sweep.Fig2, []sweep.Metric{sweep.MetricRatio, sweep.MetricPowerMW, sweep.MetricDelay},
+			"Figure 2 — all three metrics"},
+		{"density", sweep.Density, []sweep.Metric{sweep.MetricRatio, sweep.MetricDelay, sweep.MetricPowerMW},
+			"§5 narrated — impact of node density"},
+		{"speed", sweep.Speed, []sweep.Metric{sweep.MetricRatio, sweep.MetricDelay, sweep.MetricOverhead},
+			"§5 narrated — impact of nodal speed"},
+		{"ablation", sweep.Ablation, []sweep.Metric{sweep.MetricRatio, sweep.MetricPowerMW, sweep.MetricDelay},
+			"Ablation — each §4 optimization disabled in turn"},
+		{"extensions", sweep.Extensions, []sweep.Metric{sweep.MetricRatio, sweep.MetricDelay, sweep.MetricPowerMW},
+			"Extensions — OPT vs DIRECT vs EPIDEMIC (§2 basic schemes)"},
+		{"lifetime", sweep.Lifetime, []sweep.Metric{sweep.MetricRatio, sweep.MetricAlive, sweep.MetricFirstDeath},
+			"Lifetime — finite batteries (§4.1 motivation quantified)"},
+		{"faults", sweep.Faults, []sweep.Metric{sweep.MetricRatio, sweep.MetricDelay},
+			"Faults — burst node failures vs multi-copy redundancy"},
+		{"loss", sweep.Loss, []sweep.Metric{sweep.MetricRatio, sweep.MetricPowerMW},
+			"Loss — independent per-reception corruption"},
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	var (
+		fig      = fs.String("fig", "all", "figure to regenerate (fig2a/b/c, fig2, density, speed, ablation, extensions, lifetime, faults, loss, opt-tau, opt-w, all)")
+		scale    = fs.String("scale", "quick", "quick or paper")
+		runs     = fs.Int("runs", 0, "override seeds per point (0 = scale default)")
+		duration = fs.Float64("duration", 0, "override simulated seconds per run (0 = scale default)")
+		workers  = fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut  = fs.Bool("json", false, "emit the full table (all metrics) as JSON")
+		seed     = fs.Uint64("seed", 1, "base seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var opts sweep.Options
+	switch *scale {
+	case "quick":
+		opts = sweep.QuickOptions()
+	case "paper":
+		opts = sweep.PaperOptions()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	if *runs > 0 {
+		opts.Runs = *runs
+	}
+	if *duration > 0 {
+		opts.DurationSeconds = *duration
+	}
+	opts.BaseSeed = *seed
+
+	matched := false
+	// Closed-form optimizer curves (DESIGN.md rows opt-tau and opt-w) need
+	// no simulation.
+	if *fig == "opt-tau" || *fig == "all" {
+		matched = true
+		printTauCurves(out)
+	}
+	if *fig == "opt-w" || *fig == "all" {
+		matched = true
+		printWindowCurves(out)
+	}
+	for _, sp := range specs() {
+		if *fig != "all" && *fig != sp.name {
+			continue
+		}
+		// "all" skips the fig2a/b/c duplicates of fig2.
+		if *fig == "all" && (sp.name == "fig2a" || sp.name == "fig2b" || sp.name == "fig2c") {
+			continue
+		}
+		matched = true
+		exp, err := sp.build(opts)
+		if err != nil {
+			return err
+		}
+		table, err := exp.Run(*workers)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			raw, err := table.JSON()
+			if err != nil {
+				return err
+			}
+			if _, err := out.Write(append(raw, '\n')); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Fprintf(out, "== %s (scale=%s, runs=%d, %gs simulated) ==\n",
+			sp.caption, *scale, opts.Runs, opts.DurationSeconds)
+		for _, m := range sp.metrics {
+			if *csv {
+				fmt.Fprint(out, table.CSV(m))
+			} else {
+				fmt.Fprint(out, table.Format(m))
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+	return nil
+}
+
+// printTauCurves renders the Eq. 10-13 behaviour: the preamble collision
+// probability gamma against tau_max for several contender populations, and
+// the resulting minimal tau_max at the default 0.1 target.
+func printTauCurves(out io.Writer) {
+	fmt.Fprintln(out, "== opt-tau — Eq. 10-13: preamble collision probability gamma(tau_max) ==")
+	populations := [][]float64{
+		{0.5, 0.5},
+		{0.3, 0.6, 0.9},
+		{0.2, 0.4, 0.6, 0.8},
+		{0.5, 0.5, 0.5, 0.5, 0.5},
+	}
+	taus := []int{1, 2, 4, 8, 16, 32, 64}
+	fmt.Fprintf(out, "%-28s", "contender xi")
+	for _, tm := range taus {
+		fmt.Fprintf(out, "%8d", tm)
+	}
+	fmt.Fprintf(out, "  %s\n", "min(gamma<=.1)")
+	for _, xis := range populations {
+		label := ""
+		for i, xi := range xis {
+			if i > 0 {
+				label += " "
+			}
+			label += fmt.Sprintf("%.1f", xi)
+		}
+		fmt.Fprintf(out, "%-28s", label)
+		for _, tm := range taus {
+			sigmas := make([]int, len(xis))
+			for i, xi := range xis {
+				sigmas[i] = optimize.Sigma(xi, tm)
+			}
+			fmt.Fprintf(out, "%8.3f", optimize.PreambleCollisionProb(sigmas))
+		}
+		tm, ok := optimize.MinTauMax(xis, 0.1, 4096)
+		if ok {
+			fmt.Fprintf(out, "  %d", tm)
+		} else {
+			fmt.Fprintf(out, "  %s", "unreachable")
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintln(out)
+}
+
+// printWindowCurves renders the Eq. 14 behaviour: the CTS collision
+// probability against the window size for several replier counts, and the
+// minimal window at the default 0.1 target.
+func printWindowCurves(out io.Writer) {
+	fmt.Fprintln(out, "== opt-w — Eq. 14: CTS collision probability gamma_o(W) ==")
+	windows := []int{2, 4, 8, 16, 32, 64, 128}
+	fmt.Fprintf(out, "%-10s", "repliers")
+	for _, w := range windows {
+		fmt.Fprintf(out, "%8d", w)
+	}
+	fmt.Fprintf(out, "  %s\n", "min(gamma<=.1)")
+	for n := 2; n <= 6; n++ {
+		fmt.Fprintf(out, "%-10d", n)
+		for _, w := range windows {
+			g, err := optimize.CTSCollisionProb(w, n)
+			if err != nil {
+				fmt.Fprintf(out, "%8s", "-")
+				continue
+			}
+			fmt.Fprintf(out, "%8.3f", g)
+		}
+		w, ok := optimize.MinWindow(n, 0.1, 1<<20)
+		if ok {
+			fmt.Fprintf(out, "  %d", w)
+		} else {
+			fmt.Fprintf(out, "  %s", "unreachable")
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintln(out)
+}

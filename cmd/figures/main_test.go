@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecsCoverEveryExperiment(t *testing.T) {
+	names := map[string]bool{}
+	for _, sp := range specs() {
+		if sp.build == nil || len(sp.metrics) == 0 || sp.caption == "" {
+			t.Errorf("spec %q incomplete", sp.name)
+		}
+		names[sp.name] = true
+	}
+	for _, want := range []string{"fig2a", "fig2b", "fig2c", "fig2", "density", "speed", "ablation", "extensions", "lifetime", "faults", "loss"} {
+		if !names[want] {
+			t.Errorf("missing figure spec %q", want)
+		}
+	}
+}
+
+func TestRunTinyFigure(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-fig", "ablation", "-duration", "120", "-runs", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Ablation", "OPT-fixedTau", "OPT-fixedW", "OPT-fixedSleep", "ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-fig", "extensions", "-duration", "120", "-runs", "1", "-csv"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "variant,sinks,ratio") {
+		t.Fatalf("CSV header missing:\n%s", sb.String())
+	}
+}
+
+func TestOptimizerCurves(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "opt-tau"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Eq. 10-13") || !strings.Contains(sb.String(), "min(gamma<=.1)") {
+		t.Fatalf("opt-tau output:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := run([]string{"-fig", "opt-w"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Eq. 14") || !strings.Contains(sb.String(), "repliers") {
+		t.Fatalf("opt-w output:\n%s", sb.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-fig", "extensions", "-duration", "120", "-runs", "1", "-json"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"experiment": "extensions"`) || !strings.Contains(out, `"ratio"`) {
+		t.Fatalf("JSON output malformed:\n%.400s", out)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "nope"}, &sb); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-scale", "nope"}, &sb); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,197 @@
+// Package dftmsn is a Go implementation of the cross-layer data-delivery
+// protocol for Delay/Fault-Tolerant Mobile Sensor Networks (DFT-MSN) from
+// Wang, Wu, Lin and Tzeng, "Protocol Design and Optimization for
+// Delay/Fault-Tolerant Mobile Sensor Networks" (ICDCS 2007), together with
+// the complete discrete-event simulation stack the paper evaluates it on.
+//
+// The protocol merges routing (Layer 3) and medium access (Layer 2) for
+// sparse, intermittently connected mobile sensor networks: data messages
+// carry fault-tolerance degrees (FTDs) that quantify their replication, and
+// nodes carry delivery probabilities (ξ) that quantify their prospects of
+// reaching a sink. A two-phase exchange — contention-based asynchronous
+// discovery (preamble/RTS/slotted CTS) followed by contention-free
+// synchronous multicast (SCHEDULE/DATA/slotted ACKs) — moves each message
+// toward nodes with better prospects until its aggregate delivery
+// probability crosses a threshold. Three optimizations trade link
+// utilization against energy: adaptive periodic sleeping, an adaptive
+// listening period that minimises preamble collisions, and an adaptive
+// contention window that minimises CTS collisions.
+//
+// # Quick start
+//
+//	cfg := dftmsn.DefaultConfig(dftmsn.OPT)
+//	cfg.DurationSeconds = 5000
+//	res, err := dftmsn.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Printf("delivery ratio %.2f at %.2f mW\n",
+//		res.Delivery.DeliveryRatio, res.AvgSensorPowerMW)
+//
+// Package layout: the facade re-exports the simulation entry points from
+// internal/scenario, the protocol variants from internal/core, the sweep
+// harness from internal/sweep, and the standalone §4 optimizers from
+// internal/optimize. The full substrate (DES kernel, radio medium,
+// mobility, queues, MAC engine, routing strategies) lives under internal/
+// and is documented in DESIGN.md.
+package dftmsn
+
+import (
+	"io"
+
+	"dftmsn/internal/core"
+	"dftmsn/internal/optimize"
+	"dftmsn/internal/scenario"
+	"dftmsn/internal/sweep"
+)
+
+// Scheme selects a protocol variant.
+type Scheme = core.Scheme
+
+// Protocol variants: the four from the paper's evaluation plus the two §2
+// basic schemes as extensions.
+const (
+	// OPT is the proposed protocol with all optimizations (§4).
+	OPT = core.SchemeOPT
+	// NOOPT is the basic protocol with fixed parameters.
+	NOOPT = core.SchemeNOOPT
+	// NOSLEEP is OPT without periodic sleeping.
+	NOSLEEP = core.SchemeNOSLEEP
+	// ZBR is ZebraNet's history-based forwarding on the same MAC.
+	ZBR = core.SchemeZBR
+	// Direct is the direct-transmission basic scheme (extension).
+	Direct = core.SchemeDirect
+	// Epidemic is the flooding basic scheme (extension).
+	Epidemic = core.SchemeEpidemic
+)
+
+// Config describes one simulation run. See scenario.Config for every knob;
+// DefaultConfig returns the paper's §5 defaults.
+type Config = scenario.Config
+
+// Result digests one run: delivery ratio, average nodal power, delivery
+// delay, and supporting counters.
+type Result = scenario.Result
+
+// Sim is an assembled simulation; use New for step-by-step control or Run
+// for one-shot execution.
+type Sim = scenario.Sim
+
+// Params exposes the node-level protocol parameters for ablations.
+type Params = core.Params
+
+// DefaultConfig returns the paper's default setup (100 sensors, 3 sinks,
+// 150 m field, 25 zones, 10 m/10 kbps radios, 25 000 s) for the scheme.
+func DefaultConfig(s Scheme) Config { return scenario.DefaultConfig(s) }
+
+// DefaultParams returns the node parameters the paper's §5 uses for the
+// scheme (adaptive vs fixed τ_max, W, and sleeping).
+func DefaultParams(s Scheme) Params { return core.DefaultParams(s) }
+
+// New assembles a simulation without running it.
+func New(cfg Config) (*Sim, error) { return scenario.New(cfg) }
+
+// ParseScheme resolves a scheme by its paper name, case-insensitively
+// ("OPT", "noopt", "ZBR", ...).
+func ParseScheme(name string) (Scheme, error) { return scenario.ParseScheme(name) }
+
+// LoadConfig reads a JSON scenario configuration; omitted fields take the
+// paper defaults for the named scheme. See internal/scenario/configio.go
+// for the schema.
+func LoadConfig(r io.Reader) (Config, error) { return scenario.LoadConfig(r) }
+
+// SaveConfig writes cfg's serialisable subset as indented JSON.
+func SaveConfig(w io.Writer, cfg Config) error { return scenario.SaveConfig(w, cfg) }
+
+// Run assembles and executes one simulation.
+func Run(cfg Config) (Result, error) {
+	s, err := scenario.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run()
+}
+
+// Sweep harness re-exports: define an Experiment (or use a predefined one)
+// and call its Run method to get an averaged Table.
+type (
+	// Experiment is a (variant × x × seed) sweep grid.
+	Experiment = sweep.Experiment
+	// Variant is one line of an experiment.
+	Variant = sweep.Variant
+	// Table is an experiment's aggregated result.
+	Table = sweep.Table
+	// Metric selects a Table column for formatting.
+	Metric = sweep.Metric
+	// SweepOptions scales the predefined experiments.
+	SweepOptions = sweep.Options
+)
+
+// Predefined experiment metrics.
+const (
+	MetricRatio    = sweep.MetricRatio
+	MetricPowerMW  = sweep.MetricPowerMW
+	MetricDelay    = sweep.MetricDelay
+	MetricDuty     = sweep.MetricDuty
+	MetricOverhead = sweep.MetricOverhead
+)
+
+// PaperSweepOptions reproduces the paper's evaluation scale.
+func PaperSweepOptions() SweepOptions { return sweep.PaperOptions() }
+
+// QuickSweepOptions is a reduced scale preserving the qualitative shapes.
+func QuickSweepOptions() SweepOptions { return sweep.QuickOptions() }
+
+// Fig2Experiment returns the paper's Figure 2 sweep (delivery ratio, power
+// and delay versus the number of sinks, four protocol variants).
+func Fig2Experiment(o SweepOptions) (Experiment, error) { return sweep.Fig2(o) }
+
+// DensityExperiment returns the §5 narrated node-density sweep.
+func DensityExperiment(o SweepOptions) (Experiment, error) { return sweep.Density(o) }
+
+// SpeedExperiment returns the §5 narrated nodal-speed sweep.
+func SpeedExperiment(o SweepOptions) (Experiment, error) { return sweep.Speed(o) }
+
+// AblationExperiment toggles each §4 optimization of OPT in turn.
+func AblationExperiment(o SweepOptions) (Experiment, error) { return sweep.Ablation(o) }
+
+// ExtensionsExperiment compares OPT to the §2 basic schemes.
+func ExtensionsExperiment(o SweepOptions) (Experiment, error) { return sweep.Extensions(o) }
+
+// LifetimeExperiment sweeps a finite battery budget, quantifying the §4.1
+// claim that periodic sleeping prolongs node and network lifetime.
+func LifetimeExperiment(o SweepOptions) (Experiment, error) { return sweep.Lifetime(o) }
+
+// FaultsExperiment sweeps a burst node-failure fraction, quantifying how
+// FTD-controlled replication tolerates custodian loss versus single-copy
+// forwarding.
+func FaultsExperiment(o SweepOptions) (Experiment, error) { return sweep.Faults(o) }
+
+// LossExperiment sweeps an independent per-reception corruption
+// probability, stressing the two-phase handshake.
+func LossExperiment(o SweepOptions) (Experiment, error) { return sweep.Loss(o) }
+
+// Standalone §4 optimizers, usable outside the simulator.
+
+// MinListeningBound solves Eq. 13: the smallest τ_max (in slots) keeping
+// the preamble collision probability at or below target for contenders
+// with the given delivery probabilities. ok is false if cap is too small.
+func MinListeningBound(xis []float64, target float64, cap_ int) (tauMax int, ok bool) {
+	return optimize.MinTauMax(xis, target, cap_)
+}
+
+// MinContentionWindow solves Eq. 14: the smallest window W (in slots)
+// keeping the CTS collision probability among n repliers at or below
+// target. ok is false if cap is too small.
+func MinContentionWindow(n int, target float64, cap_ int) (window int, ok bool) {
+	return optimize.MinWindow(n, target, cap_)
+}
+
+// CTSCollisionProbability evaluates Eq. 14 directly.
+func CTSCollisionProbability(window, n int) (float64, error) {
+	return optimize.CTSCollisionProb(window, n)
+}
+
+// PreambleCollisionProbability evaluates Eqs. 10-12 for nodes with the
+// given listening bounds σ (in slots).
+func PreambleCollisionProbability(sigmas []int) float64 {
+	return optimize.PreambleCollisionProb(sigmas)
+}

@@ -1,0 +1,131 @@
+package dftmsn
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg(s Scheme) Config {
+	cfg := DefaultConfig(s)
+	cfg.NumSensors = 15
+	cfg.NumSinks = 2
+	cfg.DurationSeconds = 400
+	cfg.ArrivalMeanSeconds = 60
+	cfg.Seed = 9
+	return cfg
+}
+
+func TestFacadeRun(t *testing.T) {
+	res, err := Run(quickCfg(OPT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "OPT" {
+		t.Fatalf("scheme %q", res.Scheme)
+	}
+	if res.Delivery.Generated == 0 || res.Delivery.Delivered == 0 {
+		t.Fatalf("no traffic flowed: %+v", res.Delivery)
+	}
+}
+
+func TestFacadeNewAndStep(t *testing.T) {
+	s, err := New(quickCfg(ZBR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Scheduler().Run(100); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if snap.SimSeconds != 100 {
+		t.Fatalf("sim at %v", snap.SimSeconds)
+	}
+}
+
+func TestFacadeRejectsInvalidConfig(t *testing.T) {
+	cfg := quickCfg(OPT)
+	cfg.NumSensors = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestFacadeSchemes(t *testing.T) {
+	for _, s := range []Scheme{OPT, NOOPT, NOSLEEP, ZBR, Direct, Epidemic} {
+		if !s.Valid() {
+			t.Errorf("scheme %v invalid", s)
+		}
+		if err := DefaultParams(s).Validate(); err != nil {
+			t.Errorf("DefaultParams(%v): %v", s, err)
+		}
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	o := QuickSweepOptions()
+	o.DurationSeconds = 150
+	o.Runs = 1
+	o.Sensors = 10
+	exp, err := Fig2Experiment(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink to one x for speed.
+	exp.Xs = []float64{2}
+	table, err := exp.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := table.Format(MetricRatio)
+	for _, name := range []string{"OPT", "NOSLEEP", "NOOPT", "ZBR"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("table missing %s:\n%s", name, out)
+		}
+	}
+	for _, build := range []func(SweepOptions) (Experiment, error){
+		DensityExperiment, SpeedExperiment, AblationExperiment, ExtensionsExperiment,
+	} {
+		if _, err := build(o); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestFacadeConfigIO(t *testing.T) {
+	if _, err := ParseScheme("opt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseScheme("warp"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	var sb strings.Builder
+	cfg := quickCfg(NOOPT)
+	if err := SaveConfig(&sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadConfig(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scheme != NOOPT || back.NumSensors != cfg.NumSensors {
+		t.Fatalf("round trip: %+v", back)
+	}
+}
+
+func TestFacadeOptimizers(t *testing.T) {
+	w, ok := MinContentionWindow(4, 0.3, 1024)
+	if !ok || w < 4 {
+		t.Fatalf("MinContentionWindow = %d, %v", w, ok)
+	}
+	g, err := CTSCollisionProbability(w, 4)
+	if err != nil || g > 0.3 {
+		t.Fatalf("collision prob %v (err %v)", g, err)
+	}
+	tau, ok := MinListeningBound([]float64{0.2, 0.5, 0.9}, 0.2, 1024)
+	if !ok || tau < 1 {
+		t.Fatalf("MinListeningBound = %d, %v", tau, ok)
+	}
+	if p := PreambleCollisionProbability([]int{2, 2}); p != 0.5 {
+		t.Fatalf("PreambleCollisionProbability = %v, want 0.5", p)
+	}
+}

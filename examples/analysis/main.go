@@ -1,0 +1,117 @@
+// Analysis: laying the closed-form models of the two §2 basic schemes
+// (direct transmission and epidemic flooding) over the full simulator.
+//
+// The pipeline mirrors how the paper's companion work analyses DFT-MSN:
+//
+//  1. measure the mobility model's contact process (package contacts),
+//  2. feed the estimated contact rates into the queuing/fluid models
+//     (package analytic),
+//  3. compare the predictions with the packet-level simulation of the
+//     same schemes.
+//
+// The fluid models assume every contact transfers instantly and
+// losslessly, so they bound the simulation from below (optimistically) —
+// and the gap between the two levels is itself the result: under real
+// duty-cycled radios, finite bandwidth and finite buffers, uncontrolled
+// flooding collapses, which is precisely why the paper controls
+// replication with fault-tolerance degrees.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dftmsn"
+	"dftmsn/internal/analytic"
+	"dftmsn/internal/contacts"
+	"dftmsn/internal/geo"
+	"dftmsn/internal/mobility"
+	"dftmsn/internal/simrand"
+)
+
+func main() {
+	const (
+		sensors  = 60
+		sinks    = 3
+		duration = 6000.0
+	)
+
+	// Step 1: contact statistics of the paper's zone-based walk.
+	grid, err := geo.NewGrid(geo.NewRect(0, 0, 150, 150), 5, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	walk, err := mobility.NewZoneWalk(grid, sensors, mobility.DefaultZoneWalkConfig(), simrand.New(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	col, err := contacts.NewCollector(walk, 10, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	col.Run(duration)
+	st := col.Stats()
+	beta, err := analytic.EstimatePairRate(st.Contacts, sensors, duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Contact process of the zone-based walk (60 sensors, 10 m range)")
+	fmt.Printf("  contacts observed      %d (%.1f per node-hour)\n", st.Contacts, st.ContactsPerNodeHour)
+	fmt.Printf("  mean contact duration  %.1f s\n", st.MeanDuration)
+	fmt.Printf("  mean inter-contact     %.0f s\n", st.MeanInterContact)
+	fmt.Printf("  mean degree            %.2f neighbours\n", st.MeanDegree)
+	fmt.Printf("  estimated pair rate    beta = %.2e /s\n\n", beta)
+
+	// Step 2: closed-form predictions.
+	epi := analytic.EpidemicModel{Nodes: sensors, Beta: beta, Sinks: sinks}
+	epiDelay, err := epi.MeanDelay()
+	if err != nil {
+		log.Fatal(err)
+	}
+	epiRatio, err := epi.DeliveryRatioByDeadline(duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	directDelay, err := analytic.DirectDelayFromContactRate(beta, sinks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct := analytic.DirectModel{
+		Lambda: 1.0 / 120, // paper traffic
+		Mu:     beta * float64(sinks),
+		Buffer: 200,
+		Drain:  4,
+	}
+	directRatio, err := direct.DeliveryRatio()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Closed-form predictions")
+	fmt.Printf("  epidemic  mean delay %.0f s, ratio by %gs deadline %.2f\n", epiDelay, duration, epiRatio)
+	fmt.Printf("  direct    mean delay %.0f s, ratio (M/M/1/K) %.2f\n\n", directDelay, directRatio)
+
+	// Step 3: packet-level simulation of the same schemes.
+	fmt.Println("Packet-level simulation (same population and horizon)")
+	for _, scheme := range []dftmsn.Scheme{dftmsn.Epidemic, dftmsn.Direct, dftmsn.OPT} {
+		cfg := dftmsn.DefaultConfig(scheme)
+		cfg.NumSensors = sensors
+		cfg.NumSinks = sinks
+		cfg.DurationSeconds = duration
+		cfg.Seed = 5
+		res, err := dftmsn.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s ratio %.2f, mean delay %.0f s\n",
+			res.Scheme, res.Delivery.DeliveryRatio, res.Delivery.AvgDelaySeconds)
+	}
+	fmt.Println()
+	fmt.Println("Reading: the fluid models say flooding should win by an order of")
+	fmt.Println("magnitude — and with instant, lossless, always-on transfers it")
+	fmt.Println("would. The packet-level simulation shows the opposite: flooding")
+	fmt.Println("saturates the 10 kbps channel and the 200-message buffers of")
+	fmt.Println("duty-cycled nodes and collapses, while the paper's OPT protocol,")
+	fmt.Println("which throttles replication by fault-tolerance degree, beats both")
+	fmt.Println("basic schemes under identical contacts.")
+}

@@ -1,0 +1,52 @@
+// Flu-virus tracking: the paper's second motivating application (§1).
+//
+// Wearable sensors collect symptom/virus indicators from their carriers.
+// Unlike the air-quality deployment, the high-end collection nodes are not
+// bolted to walls — the paper allows sinks to be "carried by a subset of
+// people" (say, community health workers). This example contrasts the two
+// sink deployments from §1 — strategic static locations vs carried mobile
+// sinks — under the same epidemic-surveillance traffic, and shows how the
+// delivery-probability gradient adapts to moving sinks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dftmsn"
+)
+
+func main() {
+	fmt.Println("Flu tracking — static kiosks vs health-worker-carried sinks")
+	fmt.Println("deployment      | collected | delay (s) | battery (mW) | duplicates")
+
+	for _, mobile := range []bool{false, true} {
+		res, err := runDeployment(mobile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := "static kiosks  "
+		if mobile {
+			name = "carried sinks  "
+		}
+		fmt.Printf("%s | %8.1f%% | %9.0f | %12.2f | %d\n",
+			name, res.Delivery.DeliveryRatio*100, res.Delivery.AvgDelaySeconds,
+			res.AvgSensorPowerMW, res.Delivery.Duplicates)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading: carried sinks meet more distinct people, but the ξ")
+	fmt.Println("gradient is noisier because yesterday's good relay may follow")
+	fmt.Println("the sink away; static kiosks give relays a stable gradient.")
+}
+
+func runDeployment(mobileSinks bool) (dftmsn.Result, error) {
+	cfg := dftmsn.DefaultConfig(dftmsn.OPT)
+	cfg.NumSensors = 100 // monitored community
+	cfg.NumSinks = 3     // health workers or kiosks
+	cfg.MobileSinks = mobileSinks
+	cfg.DurationSeconds = 6 * 3600 // a surveillance shift
+	cfg.ArrivalMeanSeconds = 240   // a reading every 4 minutes
+	cfg.Seed = 11
+	return dftmsn.Run(cfg)
+}

@@ -1,0 +1,60 @@
+// Sweeps: driving the experiment harness from the public API — define a
+// custom experiment (here: how the delivery threshold R of §3.2.2 trades
+// redundancy against delivery), run it on a worker pool, and print both a
+// text table and machine-readable JSON.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dftmsn"
+)
+
+func main() {
+	// A custom experiment: sweep the §3.2.2 delivery threshold R by
+	// overriding the scheme parameters per point. Higher R selects more
+	// receivers per multicast (more redundancy, more overhead).
+	exp := dftmsn.Experiment{
+		Name:   "delivery-threshold",
+		XLabel: "R",
+		Xs:     []float64{0.5, 0.7, 0.9, 0.99},
+		Variants: []dftmsn.Variant{{
+			Name: "OPT",
+			Build: func(x float64) (dftmsn.Config, error) {
+				cfg := dftmsn.DefaultConfig(dftmsn.OPT)
+				cfg.NumSensors = 60
+				cfg.DurationSeconds = 3000
+				// The threshold lives in the FAD strategy configuration,
+				// which core builds from the scheme; the public knob for
+				// per-experiment protocol surgery is Params plus the
+				// routing defaults — here we use the dedicated hook.
+				cfg.DeliveryThreshold = x
+				return cfg, nil
+			},
+		}},
+		Runs:     2,
+		BaseSeed: 1,
+	}
+	table, err := exp.Run(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(table.Format(dftmsn.MetricRatio))
+	fmt.Println()
+	fmt.Print(table.Format(dftmsn.MetricOverhead))
+	fmt.Println()
+
+	raw, err := table.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("JSON output: %d bytes (feed to your plotting tool)\n", len(raw))
+
+	fmt.Println()
+	fmt.Println("Reading: R is nearly inert at the paper's density — most")
+	fmt.Println("contention windows yield a single qualified receiver, so the")
+	fmt.Println("aggregate-coverage loop rarely gets a second candidate to add.")
+	fmt.Println("That is the paper's point made measurable: links, not policy,")
+	fmt.Println("are the scarcest resource in a DFT-MSN.")
+}

@@ -1,0 +1,83 @@
+// Tuning: using the paper's §4 optimizers standalone, outside the
+// simulator — the same functions the OPT nodes call online.
+//
+// It prints (1) the Eq. 13 minimum listening bound τ_max against the
+// collision-probability target for several contender populations, (2) the
+// Eq. 14 minimum contention window W against the number of qualified
+// repliers, and (3) the Eq. 14 collision probability curve that the linear
+// search walks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dftmsn"
+)
+
+func main() {
+	fmt.Println("Eq. 13 — minimum listening bound tau_max (slots)")
+	fmt.Println("contending nodes' xi                    target=0.2  target=0.1  target=0.05")
+	populations := [][]float64{
+		{0.2, 0.8},
+		{0.3, 0.5, 0.7},
+		{0.2, 0.4, 0.6, 0.8},
+		{0.5, 0.5, 0.5, 0.5, 0.5},
+	}
+	for _, xis := range populations {
+		label := ""
+		for i, xi := range xis {
+			if i > 0 {
+				label += " "
+			}
+			label += fmt.Sprintf("%.1f", xi)
+		}
+		fmt.Printf("%-38s", label)
+		for _, target := range []float64{0.2, 0.1, 0.05} {
+			tau, ok := dftmsn.MinListeningBound(xis, target, 4096)
+			if !ok {
+				fmt.Printf("%12s", "unreachable")
+				continue
+			}
+			fmt.Printf("%12d", tau)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("Eq. 14 — minimum contention window W (slots)")
+	fmt.Println("repliers   target=0.3  target=0.1  target=0.05")
+	for n := 2; n <= 8; n++ {
+		fmt.Printf("%-10d", n)
+		for _, target := range []float64{0.3, 0.1, 0.05} {
+			w, ok := dftmsn.MinContentionWindow(n, target, 1<<20)
+			if !ok {
+				fmt.Printf("%12s", "unreachable")
+				continue
+			}
+			fmt.Printf("%12d", w)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("Eq. 14 — collision probability for n=3 repliers by window size")
+	for _, w := range []int{3, 4, 6, 8, 12, 16, 24, 32} {
+		g, err := dftmsn.CTSCollisionProbability(w, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bar := ""
+		for i := 0; i < int(g*40); i++ {
+			bar += "#"
+		}
+		fmt.Printf("W=%-3d gamma=%.3f %s\n", w, g, bar)
+	}
+
+	fmt.Println()
+	fmt.Println("Eqs. 10-12 — preamble collision probability, two nodes, equal sigma")
+	for _, sigma := range []int{1, 2, 4, 8, 16, 32} {
+		g := dftmsn.PreambleCollisionProbability([]int{sigma, sigma})
+		fmt.Printf("sigma=%-3d gamma=%.4f\n", sigma, g)
+	}
+}

@@ -1,0 +1,3 @@
+module dftmsn
+
+go 1.22

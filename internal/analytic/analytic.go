@@ -1,0 +1,223 @@
+// Package analytic provides closed-form performance models for the two
+// basic DFT-MSN data-delivery schemes of the paper's §2 — direct
+// transmission and flooding — in the spirit of the queuing-model analysis
+// the authors develop in their companion work ("two basic data delivery
+// approaches ... with their performance analyzed by using queuing models",
+// §2). The models predict delivery ratio and delay from two measurable
+// mobility quantities: the pairwise contact rate and the node-sink contact
+// rate (both estimable with package contacts), so analytic curves can be
+// laid over simulation results for validation.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// DirectModel analyses direct transmission: a sensor keeps each message
+// until it meets a sink. The sensor's buffer behaves as an M/M/1/K queue —
+// Poisson message generation at rate Lambda, exponentially distributed
+// sink inter-contact times at rate Mu, and Drain messages transferred per
+// sink contact.
+type DirectModel struct {
+	// Lambda is the per-node message generation rate (messages/second);
+	// the paper's default traffic is 1/120.
+	Lambda float64
+	// Mu is the node-sink contact rate (contacts/second).
+	Mu float64
+	// Buffer is the queue capacity K in messages.
+	Buffer int
+	// Drain is the number of messages transferred per sink contact
+	// (bounded by contact duration x bandwidth; >= 1).
+	Drain int
+}
+
+// Validate reports model errors.
+func (m DirectModel) Validate() error {
+	if m.Lambda <= 0 || m.Mu <= 0 {
+		return fmt.Errorf("analytic: rates must be positive: %+v", m)
+	}
+	if m.Buffer < 1 || m.Drain < 1 {
+		return fmt.Errorf("analytic: buffer and drain must be >= 1: %+v", m)
+	}
+	return nil
+}
+
+// serviceRate is the effective message service rate: Drain messages leave
+// per contact.
+func (m DirectModel) serviceRate() float64 { return m.Mu * float64(m.Drain) }
+
+// occupancy returns the stationary distribution of the M/M/1/K queue.
+func (m DirectModel) occupancy() []float64 {
+	k := m.Buffer
+	rho := m.Lambda / m.serviceRate()
+	pi := make([]float64, k+1)
+	if math.Abs(rho-1) < 1e-12 {
+		for i := range pi {
+			pi[i] = 1 / float64(k+1)
+		}
+		return pi
+	}
+	norm := (1 - math.Pow(rho, float64(k+1))) / (1 - rho)
+	p := 1.0
+	for i := 0; i <= k; i++ {
+		pi[i] = p / norm
+		p *= rho
+	}
+	return pi
+}
+
+// DeliveryRatio predicts the fraction of generated messages eventually
+// delivered: messages lost only to buffer overflow, so the ratio is one
+// minus the blocking probability of the M/M/1/K queue.
+func (m DirectModel) DeliveryRatio() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	pi := m.occupancy()
+	return 1 - pi[len(pi)-1], nil
+}
+
+// MeanDelay predicts the mean generation-to-sink delay of delivered
+// messages by Little's law over the queue: E[T] = E[L] / lambda_accepted.
+func (m DirectModel) MeanDelay() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	pi := m.occupancy()
+	var mean float64
+	for n, p := range pi {
+		mean += float64(n) * p
+	}
+	accepted := m.Lambda * (1 - pi[len(pi)-1])
+	if accepted <= 0 {
+		return 0, fmt.Errorf("analytic: degenerate accepted rate")
+	}
+	return mean / accepted, nil
+}
+
+// EpidemicModel analyses flooding with the standard epidemic-routing
+// fluid model: the number of message holders grows logistically under a
+// pairwise contact rate Beta, and the message is delivered when any holder
+// meets any of the Sinks (each sink meets each node at rate BetaSink).
+type EpidemicModel struct {
+	// Nodes is the sensor population N (including the origin).
+	Nodes int
+	// Beta is the pairwise sensor-sensor contact rate (contacts/second
+	// per pair).
+	Beta float64
+	// Sinks is the number of sinks M.
+	Sinks int
+	// BetaSink is the node-sink contact rate per pair; zero means "use
+	// Beta".
+	BetaSink float64
+}
+
+// Validate reports model errors.
+func (m EpidemicModel) Validate() error {
+	if m.Nodes < 2 {
+		return fmt.Errorf("analytic: need at least 2 nodes, got %d", m.Nodes)
+	}
+	if m.Beta <= 0 || m.Sinks < 1 || m.BetaSink < 0 {
+		return fmt.Errorf("analytic: invalid epidemic parameters %+v", m)
+	}
+	return nil
+}
+
+func (m EpidemicModel) betaSink() float64 {
+	if m.BetaSink > 0 {
+		return m.BetaSink
+	}
+	return m.Beta
+}
+
+// Infected returns the expected number of message holders at time t after
+// generation under logistic growth: I(t) = N / (1 + (N-1)e^{-beta N t}).
+func (m EpidemicModel) Infected(t float64) float64 {
+	n := float64(m.Nodes)
+	return n / (1 + (n-1)*math.Exp(-m.Beta*n*t))
+}
+
+// integralInfected returns the closed form of the cumulative holder-time
+// integral: int_0^t I(s) ds = (1/beta) [ln(e^{beta N t} + N - 1) - ln N].
+// Computed in log space to stay finite for large t.
+func (m EpidemicModel) integralInfected(t float64) float64 {
+	n := float64(m.Nodes)
+	x := m.Beta * n * t
+	// ln(e^x + n - 1) = x + ln(1 + (n-1)e^{-x}) for numerical stability.
+	lse := x + math.Log1p((n-1)*math.Exp(-x))
+	return (lse - math.Log(n)) / m.Beta
+}
+
+// SurvivalFunc returns P(T > t): the probability the message has not yet
+// reached any sink by t, using the deterministic-holder approximation
+// P(T > t) = exp(-M * betaSink * int_0^t I(s) ds).
+func (m EpidemicModel) SurvivalFunc(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	exponent := float64(m.Sinks) * m.betaSink() * m.integralInfected(t)
+	return math.Exp(-exponent)
+}
+
+// DeliveryCDF returns P(T <= t).
+func (m EpidemicModel) DeliveryCDF(t float64) float64 {
+	return 1 - m.SurvivalFunc(t)
+}
+
+// MeanDelay integrates the survival function numerically (adaptive step,
+// bounded horizon) to predict the expected delivery delay.
+func (m EpidemicModel) MeanDelay() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	// Time scale: the epidemic saturates around ln(N)/(beta N); integrate
+	// to a horizon far past both that and the single-copy scale.
+	n := float64(m.Nodes)
+	scale := math.Log(n)/(m.Beta*n) + 1/(float64(m.Sinks)*m.betaSink())
+	horizon := 50 * scale
+	const steps = 200_000
+	dt := horizon / steps
+	var sum float64
+	for i := 0; i < steps; i++ {
+		t := (float64(i) + 0.5) * dt
+		s := m.SurvivalFunc(t)
+		sum += s * dt
+		if s < 1e-9 {
+			break
+		}
+	}
+	return sum, nil
+}
+
+// DeliveryRatioByDeadline returns the fraction of messages delivered
+// within the given deadline (e.g. a simulation horizon).
+func (m EpidemicModel) DeliveryRatioByDeadline(deadline float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if deadline <= 0 {
+		return 0, nil
+	}
+	return m.DeliveryCDF(deadline), nil
+}
+
+// DirectDelayFromContactRate is the single-copy reference point: with
+// exponential sink inter-contacts at rate mu*M, the expected delay of
+// direct transmission (ignoring queueing) is 1/(mu*M).
+func DirectDelayFromContactRate(mu float64, sinks int) (float64, error) {
+	if mu <= 0 || sinks < 1 {
+		return 0, fmt.Errorf("analytic: invalid parameters mu=%v sinks=%d", mu, sinks)
+	}
+	return 1 / (mu * float64(sinks)), nil
+}
+
+// EstimatePairRate converts an observed contact count into the pairwise
+// exponential contact rate beta: contacts per pair per second.
+func EstimatePairRate(totalContacts int, nodes int, durationSeconds float64) (float64, error) {
+	if nodes < 2 || durationSeconds <= 0 || totalContacts < 0 {
+		return 0, fmt.Errorf("analytic: invalid estimate inputs")
+	}
+	pairs := float64(nodes*(nodes-1)) / 2
+	return float64(totalContacts) / (pairs * durationSeconds), nil
+}

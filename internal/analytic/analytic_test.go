@@ -1,0 +1,359 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dftmsn/internal/simrand"
+)
+
+func TestDirectModelValidation(t *testing.T) {
+	bad := []DirectModel{
+		{Lambda: 0, Mu: 1, Buffer: 10, Drain: 1},
+		{Lambda: 1, Mu: 0, Buffer: 10, Drain: 1},
+		{Lambda: 1, Mu: 1, Buffer: 0, Drain: 1},
+		{Lambda: 1, Mu: 1, Buffer: 10, Drain: 0},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %+v accepted", m)
+		}
+	}
+}
+
+func TestDirectBlockingMatchesMM1K(t *testing.T) {
+	// rho = 0.5, K = 2: pi = (1, 0.5, 0.25)/1.75; blocking = 1/7.
+	m := DirectModel{Lambda: 0.5, Mu: 1, Buffer: 2, Drain: 1}
+	ratio, err := m.DeliveryRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ratio-(1-1.0/7)) > 1e-12 {
+		t.Fatalf("ratio = %v, want 6/7", ratio)
+	}
+}
+
+func TestDirectRhoOneUniform(t *testing.T) {
+	// rho = 1: occupancy uniform, blocking = 1/(K+1).
+	m := DirectModel{Lambda: 1, Mu: 1, Buffer: 4, Drain: 1}
+	ratio, err := m.DeliveryRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ratio-0.8) > 1e-9 {
+		t.Fatalf("ratio = %v, want 0.8", ratio)
+	}
+}
+
+func TestDirectDrainScalesService(t *testing.T) {
+	slow := DirectModel{Lambda: 1, Mu: 0.5, Buffer: 10, Drain: 1}
+	fast := DirectModel{Lambda: 1, Mu: 0.5, Buffer: 10, Drain: 4}
+	rs, err := slow.DeliveryRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := fast.DeliveryRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf <= rs {
+		t.Fatalf("larger drain did not raise ratio: %v vs %v", rs, rf)
+	}
+}
+
+func TestDirectMeanDelayLittle(t *testing.T) {
+	// Light load: delay approaches the pure service time 1/mu.
+	m := DirectModel{Lambda: 0.001, Mu: 0.01, Buffer: 200, Drain: 1}
+	d, err := m.MeanDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// M/M/1 W = 1/(mu - lambda) = 1/0.009 ≈ 111; K large so ≈ M/M/1.
+	if math.Abs(d-1/0.009) > 2 {
+		t.Fatalf("delay = %v, want ~111", d)
+	}
+	// Heavier load lengthens the delay.
+	heavy := DirectModel{Lambda: 0.008, Mu: 0.01, Buffer: 200, Drain: 1}
+	dh, err := heavy.MeanDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dh <= d {
+		t.Fatalf("heavier load shortened delay: %v vs %v", d, dh)
+	}
+}
+
+func TestDirectDelayAgainstMonteCarlo(t *testing.T) {
+	// Simulate the abstract M/M/1/K directly and compare both metrics.
+	m := DirectModel{Lambda: 1 / 120.0, Mu: 1 / 400.0, Buffer: 5, Drain: 1}
+	wantRatio, err := m.DeliveryRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDelay, err := m.MeanDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := simrand.New(42)
+	const horizon = 3e6
+	var (
+		clock          float64
+		queue          int
+		arrivals, lost int
+		delivered      int
+		delaySum       float64
+		queueEnterTime []float64
+	)
+	nextArrival := rng.Exp(1 / m.Lambda)
+	nextService := rng.Exp(1 / m.serviceRate())
+	for clock < horizon {
+		if nextArrival < nextService {
+			clock = nextArrival
+			arrivals++
+			if queue == m.Buffer {
+				lost++
+			} else {
+				queue++
+				queueEnterTime = append(queueEnterTime, clock)
+			}
+			nextArrival = clock + rng.Exp(1/m.Lambda)
+		} else {
+			clock = nextService
+			if queue > 0 {
+				queue--
+				delivered++
+				delaySum += clock - queueEnterTime[0]
+				queueEnterTime = queueEnterTime[1:]
+			}
+			nextService = clock + rng.Exp(1/m.serviceRate())
+		}
+	}
+	gotRatio := 1 - float64(lost)/float64(arrivals)
+	gotDelay := delaySum / float64(delivered)
+	if math.Abs(gotRatio-wantRatio) > 0.02 {
+		t.Errorf("ratio: analytic %v vs monte carlo %v", wantRatio, gotRatio)
+	}
+	if math.Abs(gotDelay-wantDelay)/wantDelay > 0.05 {
+		t.Errorf("delay: analytic %v vs monte carlo %v", wantDelay, gotDelay)
+	}
+}
+
+func TestEpidemicValidation(t *testing.T) {
+	bad := []EpidemicModel{
+		{Nodes: 1, Beta: 0.1, Sinks: 1},
+		{Nodes: 10, Beta: 0, Sinks: 1},
+		{Nodes: 10, Beta: 0.1, Sinks: 0},
+		{Nodes: 10, Beta: 0.1, Sinks: 1, BetaSink: -1},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %+v accepted", m)
+		}
+	}
+}
+
+func TestEpidemicInfectedLogistic(t *testing.T) {
+	m := EpidemicModel{Nodes: 100, Beta: 1e-4, Sinks: 1}
+	if got := m.Infected(0); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("I(0) = %v, want 1", got)
+	}
+	// Saturation.
+	if got := m.Infected(1e7); math.Abs(got-100) > 1e-6 {
+		t.Fatalf("I(inf) = %v, want 100", got)
+	}
+	// Monotone growth.
+	prev := 0.0
+	for _, tt := range []float64{0, 100, 500, 1000, 5000, 10000} {
+		v := m.Infected(tt)
+		if v < prev {
+			t.Fatalf("I not monotone at %v", tt)
+		}
+		prev = v
+	}
+}
+
+func TestEpidemicIntegralMatchesNumeric(t *testing.T) {
+	m := EpidemicModel{Nodes: 50, Beta: 2e-4, Sinks: 1}
+	// Numeric integral of Infected vs closed form.
+	for _, horizon := range []float64{100, 1000, 5000} {
+		const steps = 100_000
+		dt := horizon / steps
+		var numeric float64
+		for i := 0; i < steps; i++ {
+			numeric += m.Infected((float64(i)+0.5)*dt) * dt
+		}
+		closed := m.integralInfected(horizon)
+		if math.Abs(numeric-closed)/closed > 1e-3 {
+			t.Fatalf("horizon %v: numeric %v vs closed %v", horizon, numeric, closed)
+		}
+	}
+}
+
+func TestEpidemicCDFShape(t *testing.T) {
+	m := EpidemicModel{Nodes: 100, Beta: 1e-4, Sinks: 3}
+	if m.DeliveryCDF(0) != 0 {
+		t.Fatal("CDF(0) != 0")
+	}
+	prev := -1.0
+	for _, tt := range []float64{1, 10, 100, 1000, 10000} {
+		v := m.DeliveryCDF(tt)
+		if v < prev || v < 0 || v > 1 {
+			t.Fatalf("CDF misbehaves at %v: %v", tt, v)
+		}
+		prev = v
+	}
+	if prev < 0.999 {
+		t.Fatalf("CDF does not approach 1: %v", prev)
+	}
+}
+
+func TestEpidemicMoreSinksFaster(t *testing.T) {
+	one := EpidemicModel{Nodes: 100, Beta: 1e-4, Sinks: 1}
+	five := EpidemicModel{Nodes: 100, Beta: 1e-4, Sinks: 5}
+	d1, err := one.MeanDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d5, err := five.MeanDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d5 >= d1 {
+		t.Fatalf("more sinks did not cut delay: %v vs %v", d1, d5)
+	}
+}
+
+func TestEpidemicBeatsDirect(t *testing.T) {
+	// The §2 qualitative ordering: flooding delivers faster than direct
+	// transmission under the same contact process.
+	beta := 1e-4
+	epi := EpidemicModel{Nodes: 100, Beta: beta, Sinks: 3}
+	de, err := epi.MeanDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := DirectDelayFromContactRate(beta, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if de >= dd {
+		t.Fatalf("epidemic delay %v not below direct %v", de, dd)
+	}
+}
+
+func TestEpidemicDelayAgainstMonteCarlo(t *testing.T) {
+	// Simulate the abstract pairwise-exponential epidemic and compare the
+	// mean delivery delay with the fluid model (approximate: the fluid
+	// model is known to be optimistic for small N, so allow a loose band).
+	model := EpidemicModel{Nodes: 30, Beta: 5e-4, Sinks: 2}
+	want, err := model.MeanDelay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simrand.New(7)
+	const trials = 2000
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		infected := 1
+		clock := 0.0
+		for {
+			n := float64(model.Nodes)
+			i := float64(infected)
+			rateSpread := model.Beta * i * (n - i)
+			rateSink := model.Beta * i * float64(model.Sinks)
+			total := rateSpread + rateSink
+			clock += rng.Exp(1 / total)
+			if rng.Float64() < rateSink/total {
+				break
+			}
+			infected++
+		}
+		sum += clock
+	}
+	got := sum / trials
+	if math.Abs(got-want)/got > 0.35 {
+		t.Errorf("mean delay: fluid %v vs monte carlo %v", want, got)
+	}
+}
+
+func TestDirectDelayFromContactRate(t *testing.T) {
+	d, err := DirectDelayFromContactRate(0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 500 {
+		t.Fatalf("delay = %v, want 500", d)
+	}
+	if _, err := DirectDelayFromContactRate(0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := DirectDelayFromContactRate(1, 0); err == nil {
+		t.Error("zero sinks accepted")
+	}
+}
+
+func TestEstimatePairRate(t *testing.T) {
+	// 100 contacts among 10 nodes (45 pairs) over 1000 s.
+	beta, err := EstimatePairRate(100, 10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta-100.0/45000) > 1e-12 {
+		t.Fatalf("beta = %v", beta)
+	}
+	if _, err := EstimatePairRate(1, 1, 10); err == nil {
+		t.Error("single node accepted")
+	}
+	if _, err := EstimatePairRate(-1, 10, 10); err == nil {
+		t.Error("negative contacts accepted")
+	}
+	if _, err := EstimatePairRate(1, 10, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+// Property: delivery ratio is within [0,1] and nonincreasing in load.
+func TestPropertyDirectRatioMonotoneInLoad(t *testing.T) {
+	f := func(lraw, mraw uint16, k uint8) bool {
+		lambda := 1e-4 + float64(lraw)/1e4
+		mu := 1e-4 + float64(mraw)/1e4
+		buffer := int(k%50) + 1
+		m1 := DirectModel{Lambda: lambda, Mu: mu, Buffer: buffer, Drain: 1}
+		m2 := DirectModel{Lambda: lambda * 2, Mu: mu, Buffer: buffer, Drain: 1}
+		r1, err1 := m1.DeliveryRatio()
+		r2, err2 := m2.DeliveryRatio()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1 >= 0 && r1 <= 1 && r2 <= r1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: epidemic survival is a valid survival function (monotone
+// nonincreasing from 1 to 0).
+func TestPropertyEpidemicSurvival(t *testing.T) {
+	f := func(nRaw uint8, bRaw uint16, sRaw uint8) bool {
+		m := EpidemicModel{
+			Nodes: int(nRaw%100) + 2,
+			Beta:  1e-6 + float64(bRaw)/1e7,
+			Sinks: int(sRaw%5) + 1,
+		}
+		prev := 1.0
+		for _, tt := range []float64{0, 1, 10, 100, 1000, 1e5} {
+			s := m.SurvivalFunc(tt)
+			if s < 0 || s > 1 || s > prev+1e-12 {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package buffer
+
+import (
+	"testing"
+
+	"dftmsn/internal/packet"
+)
+
+func benchQueue(b *testing.B, capacity int) *Queue {
+	b.Helper()
+	q, err := NewQueue(capacity, 0.95)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
+}
+
+func BenchmarkQueueInsertSorted(b *testing.B) {
+	q := benchQueue(b, 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := packet.MessageID(i)
+		ftdVal := float64(i%90) / 100
+		q.Insert(Entry{ID: id, FTD: ftdVal})
+		if q.Len() == q.Cap() {
+			// Keep the queue hot but bounded: drop the head.
+			if head, ok := q.Head(); ok {
+				q.Remove(head.ID)
+			}
+		}
+	}
+}
+
+func BenchmarkQueueAvailableFor(b *testing.B) {
+	q := benchQueue(b, 200)
+	for i := 0; i < 200; i++ {
+		q.Insert(Entry{ID: packet.MessageID(i), FTD: float64(i%90) / 100})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.AvailableFor(0.5)
+	}
+}
+
+func BenchmarkQueueUpdateFTD(b *testing.B) {
+	q := benchQueue(b, 200)
+	for i := 0; i < 200; i++ {
+		q.Insert(Entry{ID: packet.MessageID(i), FTD: float64(i%90) / 100})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := packet.MessageID(i % 200)
+		q.UpdateFTD(id, float64(i%90)/100)
+	}
+}
+
+func BenchmarkFIFOInsertRemove(b *testing.B) {
+	f, err := NewFIFO(200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := packet.MessageID(i)
+		f.Insert(Entry{ID: id})
+		if f.Len() > 150 {
+			head, _ := f.Head()
+			f.Remove(head.ID)
+		}
+	}
+}

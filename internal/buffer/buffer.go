@@ -1,0 +1,242 @@
+// Package buffer implements the data-queue management of the paper's §3.1.2.
+//
+// Each sensor keeps its message copies sorted by increasing fault-tolerance
+// degree (FTD): the smallest-FTD (most important) message sits at the head
+// and is transmitted first. A message is dropped when (a) the queue is full
+// and it sorts last, or (b) its FTD exceeds a configured threshold — it is
+// then likely enough to be delivered by other copies in the network.
+package buffer
+
+import (
+	"fmt"
+	"math"
+
+	"dftmsn/internal/packet"
+)
+
+// Entry is one message copy in a queue.
+type Entry struct {
+	// ID identifies the message; copies share it.
+	ID packet.MessageID
+	// Origin is the sensor that generated the message.
+	Origin packet.NodeID
+	// CreatedAt is the message generation time (virtual seconds).
+	CreatedAt float64
+	// PayloadBits is the data payload size.
+	PayloadBits int
+	// FTD is the fault-tolerance degree of this copy, in [0,1].
+	FTD float64
+	// Hops counts how many transfers this copy has undergone.
+	Hops int
+	seq  uint64 // insertion order, for stable FTD ties
+}
+
+// DropCounts reports why entries left a queue other than by Remove.
+type DropCounts struct {
+	// Full counts drops because the queue overflowed.
+	Full uint64
+	// Threshold counts drops because FTD exceeded the threshold.
+	Threshold uint64
+}
+
+// Queue is the paper's FTD-sorted bounded queue. The zero value is not
+// usable; construct with NewQueue.
+type Queue struct {
+	entries   []Entry // ascending FTD, stable by insertion order
+	capacity  int
+	threshold float64
+	drops     DropCounts
+	seq       uint64
+}
+
+// NewQueue returns a queue holding at most capacity entries, dropping any
+// entry whose FTD exceeds threshold (set threshold >= 1 to disable
+// threshold drops).
+func NewQueue(capacity int, threshold float64) (*Queue, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("buffer: capacity %d must be positive", capacity)
+	}
+	if threshold < 0 || math.IsNaN(threshold) {
+		return nil, fmt.Errorf("buffer: threshold %v must be >= 0", threshold)
+	}
+	return &Queue{entries: make([]Entry, 0, capacity), capacity: capacity, threshold: threshold}, nil
+}
+
+// Len returns the number of stored entries.
+func (q *Queue) Len() int { return len(q.entries) }
+
+// Cap returns the queue capacity K.
+func (q *Queue) Cap() int { return q.capacity }
+
+// Threshold returns the FTD drop threshold.
+func (q *Queue) Threshold() float64 { return q.threshold }
+
+// Drops returns the drop counters.
+func (q *Queue) Drops() DropCounts { return q.drops }
+
+// Head returns the most important entry (smallest FTD) without removing it.
+// ok is false when the queue is empty.
+func (q *Queue) Head() (e Entry, ok bool) {
+	if len(q.entries) == 0 {
+		return Entry{}, false
+	}
+	return q.entries[0], true
+}
+
+// Entries returns a copy of the queue contents in priority order.
+func (q *Queue) Entries() []Entry {
+	out := make([]Entry, len(q.entries))
+	copy(out, q.entries)
+	return out
+}
+
+// Contains reports whether a copy of message id is queued.
+func (q *Queue) Contains(id packet.MessageID) bool {
+	return q.indexOf(id) >= 0
+}
+
+// FTDOf returns the FTD of the queued copy of id, with ok=false if absent.
+func (q *Queue) FTDOf(id packet.MessageID) (ftdValue float64, ok bool) {
+	i := q.indexOf(id)
+	if i < 0 {
+		return 0, false
+	}
+	return q.entries[i].FTD, true
+}
+
+// Insert adds a message copy per §3.1.2. If a copy of the same message is
+// already queued, the smaller FTD wins (the more important view of the
+// message). Returns whether the entry is in the queue afterwards.
+//
+// Rules applied in order: threshold drop; duplicate merge; positional
+// insert; overflow drop of the sorted tail (which may be the new entry
+// itself).
+func (q *Queue) Insert(e Entry) bool {
+	if e.FTD < 0 || e.FTD > 1 || math.IsNaN(e.FTD) {
+		// Treat corrupt FTD as most-covered: drop.
+		q.drops.Threshold++
+		return false
+	}
+	if e.FTD > q.threshold {
+		q.drops.Threshold++
+		return false
+	}
+	if i := q.indexOf(e.ID); i >= 0 {
+		if e.FTD < q.entries[i].FTD {
+			q.entries[i].FTD = e.FTD
+			q.resort(i)
+		}
+		return true
+	}
+	e.seq = q.seq
+	q.seq++
+	pos := q.insertPos(e)
+	q.entries = append(q.entries, Entry{})
+	copy(q.entries[pos+1:], q.entries[pos:])
+	q.entries[pos] = e
+	if len(q.entries) > q.capacity {
+		dropped := q.entries[len(q.entries)-1]
+		q.entries = q.entries[:len(q.entries)-1]
+		q.drops.Full++
+		return dropped.ID != e.ID
+	}
+	return true
+}
+
+// Remove deletes the copy of message id, reporting whether it was present.
+// Used when a message is handed off under single-copy schemes or confirmed
+// delivered to a sink.
+func (q *Queue) Remove(id packet.MessageID) bool {
+	i := q.indexOf(id)
+	if i < 0 {
+		return false
+	}
+	q.entries = append(q.entries[:i], q.entries[i+1:]...)
+	return true
+}
+
+// UpdateFTD sets the FTD of message id (after an Eq. 3 recomputation) and
+// re-applies the drop threshold. It reports whether the message remains
+// queued.
+func (q *Queue) UpdateFTD(id packet.MessageID, ftdValue float64) bool {
+	i := q.indexOf(id)
+	if i < 0 {
+		return false
+	}
+	if ftdValue > q.threshold || ftdValue < 0 || math.IsNaN(ftdValue) {
+		q.entries = append(q.entries[:i], q.entries[i+1:]...)
+		q.drops.Threshold++
+		return false
+	}
+	q.entries[i].FTD = ftdValue
+	q.resort(i)
+	return true
+}
+
+// AvailableFor returns B(F) of §3.2.2: the number of buffer slots that are
+// either empty or occupied by messages with FTD strictly greater than f —
+// the space the queue can offer an incoming message with FTD f.
+func (q *Queue) AvailableFor(f float64) int {
+	avail := q.capacity - len(q.entries)
+	for i := len(q.entries) - 1; i >= 0; i-- {
+		if q.entries[i].FTD > f {
+			avail++
+		} else {
+			break // sorted ascending: no earlier entry can exceed f
+		}
+	}
+	return avail
+}
+
+// CountBelow returns K_F of Eq. 5: the number of queued messages with FTD
+// strictly smaller than f.
+func (q *Queue) CountBelow(f float64) int {
+	n := 0
+	for _, e := range q.entries {
+		if e.FTD < f {
+			n++
+		} else {
+			break
+		}
+	}
+	return n
+}
+
+// Occupancy returns Len/Cap in [0,1].
+func (q *Queue) Occupancy() float64 {
+	return float64(len(q.entries)) / float64(q.capacity)
+}
+
+func (q *Queue) indexOf(id packet.MessageID) int {
+	for i := range q.entries {
+		if q.entries[i].ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// insertPos returns the sorted position for e: after all entries with
+// smaller-or-equal FTD (stable for ties).
+func (q *Queue) insertPos(e Entry) int {
+	lo, hi := 0, len(q.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q.entries[mid].FTD <= e.FTD {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// resort restores sorted order after the FTD at index i changed.
+func (q *Queue) resort(i int) {
+	e := q.entries[i]
+	q.entries = append(q.entries[:i], q.entries[i+1:]...)
+	pos := q.insertPos(e)
+	q.entries = append(q.entries, Entry{})
+	copy(q.entries[pos+1:], q.entries[pos:])
+	q.entries[pos] = e
+}

@@ -1,0 +1,352 @@
+package buffer
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dftmsn/internal/packet"
+)
+
+func newQ(t *testing.T, capacity int, threshold float64) *Queue {
+	t.Helper()
+	q, err := NewQueue(capacity, threshold)
+	if err != nil {
+		t.Fatalf("NewQueue: %v", err)
+	}
+	return q
+}
+
+func entry(id int, ftd float64) Entry {
+	return Entry{ID: packet.MessageID(id), FTD: ftd}
+}
+
+func TestNewQueueValidation(t *testing.T) {
+	if _, err := NewQueue(0, 0.9); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewQueue(-5, 0.9); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := NewQueue(10, -0.1); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if _, err := NewQueue(10, math.NaN()); err == nil {
+		t.Error("NaN threshold accepted")
+	}
+}
+
+func TestQueueSortedByFTD(t *testing.T) {
+	q := newQ(t, 10, 1)
+	for _, f := range []float64{0.5, 0.1, 0.9, 0.3, 0.7} {
+		if !q.Insert(entry(int(f*100), f)) {
+			t.Fatalf("insert FTD %v failed", f)
+		}
+	}
+	es := q.Entries()
+	if !sort.SliceIsSorted(es, func(i, j int) bool { return es[i].FTD < es[j].FTD }) {
+		t.Fatalf("queue not FTD-sorted: %+v", es)
+	}
+	head, ok := q.Head()
+	if !ok || head.FTD != 0.1 {
+		t.Fatalf("head = %+v, want FTD 0.1", head)
+	}
+}
+
+func TestQueueHeadEmpty(t *testing.T) {
+	q := newQ(t, 4, 1)
+	if _, ok := q.Head(); ok {
+		t.Fatal("Head on empty queue reported ok")
+	}
+}
+
+func TestQueueOverflowDropsTail(t *testing.T) {
+	q := newQ(t, 3, 1)
+	q.Insert(entry(1, 0.2))
+	q.Insert(entry(2, 0.4))
+	q.Insert(entry(3, 0.6))
+	// A more important message evicts the 0.6 tail.
+	if !q.Insert(entry(4, 0.1)) {
+		t.Fatal("important insert rejected")
+	}
+	if q.Contains(3) {
+		t.Fatal("tail entry survived overflow")
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	if q.Drops().Full != 1 {
+		t.Fatalf("Full drops = %d, want 1", q.Drops().Full)
+	}
+}
+
+func TestQueueOverflowRejectsLeastImportantNewcomer(t *testing.T) {
+	q := newQ(t, 2, 1)
+	q.Insert(entry(1, 0.2))
+	q.Insert(entry(2, 0.4))
+	// The newcomer sorts last: it is the one dropped.
+	if q.Insert(entry(3, 0.9)) {
+		t.Fatal("newcomer that sorts last reported as inserted")
+	}
+	if q.Contains(3) || !q.Contains(1) || !q.Contains(2) {
+		t.Fatal("overflow dropped the wrong entry")
+	}
+}
+
+func TestQueueThresholdDrop(t *testing.T) {
+	q := newQ(t, 10, 0.8)
+	if q.Insert(entry(1, 0.85)) {
+		t.Fatal("entry above threshold inserted")
+	}
+	if q.Drops().Threshold != 1 {
+		t.Fatalf("Threshold drops = %d, want 1", q.Drops().Threshold)
+	}
+	// Exactly at threshold is kept (drop requires FTD > threshold).
+	if !q.Insert(entry(2, 0.8)) {
+		t.Fatal("entry at threshold rejected")
+	}
+}
+
+func TestQueueRejectsCorruptFTD(t *testing.T) {
+	q := newQ(t, 10, 1)
+	for _, f := range []float64{-0.1, 1.5, math.NaN()} {
+		if q.Insert(entry(9, f)) {
+			t.Errorf("corrupt FTD %v accepted", f)
+		}
+	}
+}
+
+func TestQueueDuplicateKeepsSmallerFTD(t *testing.T) {
+	q := newQ(t, 10, 1)
+	q.Insert(entry(1, 0.5))
+	if !q.Insert(entry(1, 0.3)) {
+		t.Fatal("duplicate insert reported failure")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate, want 1", q.Len())
+	}
+	if f, _ := q.FTDOf(1); f != 0.3 {
+		t.Fatalf("FTD = %v, want min(0.5, 0.3)", f)
+	}
+	// A larger-FTD duplicate does not regress the stored FTD.
+	q.Insert(entry(1, 0.9))
+	if f, _ := q.FTDOf(1); f != 0.3 {
+		t.Fatalf("FTD = %v after worse duplicate, want 0.3", f)
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := newQ(t, 10, 1)
+	q.Insert(entry(1, 0.5))
+	if !q.Remove(1) {
+		t.Fatal("Remove existing returned false")
+	}
+	if q.Remove(1) {
+		t.Fatal("Remove absent returned true")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+}
+
+func TestQueueUpdateFTDResortsAndDrops(t *testing.T) {
+	q := newQ(t, 10, 0.9)
+	q.Insert(entry(1, 0.2))
+	q.Insert(entry(2, 0.4))
+	if !q.UpdateFTD(1, 0.5) {
+		t.Fatal("UpdateFTD reported drop for in-range value")
+	}
+	head, _ := q.Head()
+	if head.ID != 2 {
+		t.Fatalf("head = %v after resort, want message 2", head.ID)
+	}
+	// Raising past the threshold drops it.
+	if q.UpdateFTD(1, 0.95) {
+		t.Fatal("UpdateFTD above threshold kept the entry")
+	}
+	if q.Contains(1) {
+		t.Fatal("entry above threshold still present")
+	}
+	if q.UpdateFTD(42, 0.1) {
+		t.Fatal("UpdateFTD on absent id returned true")
+	}
+}
+
+func TestQueueSinkDeliveryDropsImmediately(t *testing.T) {
+	// §3.1.2: a message transmitted to the sink has FTD 1 and is dropped
+	// immediately. Model: UpdateFTD(id, 1) with threshold < 1.
+	q := newQ(t, 10, 0.95)
+	q.Insert(entry(1, 0.2))
+	if q.UpdateFTD(1, 1) {
+		t.Fatal("delivered message survived")
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not empty after delivery drop")
+	}
+}
+
+func TestAvailableFor(t *testing.T) {
+	q := newQ(t, 5, 1)
+	q.Insert(entry(1, 0.2))
+	q.Insert(entry(2, 0.5))
+	q.Insert(entry(3, 0.8))
+	// 2 free slots; entries with FTD > 0.5: one (0.8). B(0.5) = 3.
+	if got := q.AvailableFor(0.5); got != 3 {
+		t.Fatalf("AvailableFor(0.5) = %d, want 3", got)
+	}
+	// B(0) counts all three entries plus 2 free = 5.
+	if got := q.AvailableFor(0); got != 5 {
+		t.Fatalf("AvailableFor(0) = %d, want 5", got)
+	}
+	// B(1): only free slots.
+	if got := q.AvailableFor(1); got != 2 {
+		t.Fatalf("AvailableFor(1) = %d, want 2", got)
+	}
+}
+
+func TestCountBelow(t *testing.T) {
+	q := newQ(t, 5, 1)
+	q.Insert(entry(1, 0.1))
+	q.Insert(entry(2, 0.5))
+	q.Insert(entry(3, 0.9))
+	if got := q.CountBelow(0.5); got != 1 {
+		t.Fatalf("CountBelow(0.5) = %d, want 1 (strict)", got)
+	}
+	if got := q.CountBelow(1); got != 3 {
+		t.Fatalf("CountBelow(1) = %d, want 3", got)
+	}
+	if got := q.CountBelow(0); got != 0 {
+		t.Fatalf("CountBelow(0) = %d, want 0", got)
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	q := newQ(t, 4, 1)
+	if q.Occupancy() != 0 {
+		t.Fatal("empty occupancy nonzero")
+	}
+	q.Insert(entry(1, 0.5))
+	if q.Occupancy() != 0.25 {
+		t.Fatalf("Occupancy = %v, want 0.25", q.Occupancy())
+	}
+}
+
+func TestQueueStableTies(t *testing.T) {
+	q := newQ(t, 10, 1)
+	q.Insert(entry(1, 0.5))
+	q.Insert(entry(2, 0.5))
+	q.Insert(entry(3, 0.5))
+	es := q.Entries()
+	if es[0].ID != 1 || es[1].ID != 2 || es[2].ID != 3 {
+		t.Fatalf("equal-FTD entries reordered: %v %v %v", es[0].ID, es[1].ID, es[2].ID)
+	}
+}
+
+func TestEntriesReturnsCopy(t *testing.T) {
+	q := newQ(t, 4, 1)
+	q.Insert(entry(1, 0.5))
+	es := q.Entries()
+	es[0].FTD = 0.99
+	if f, _ := q.FTDOf(1); f != 0.5 {
+		t.Fatal("Entries exposed internal storage")
+	}
+}
+
+// Property: under arbitrary insert/update/remove sequences the queue stays
+// sorted, within capacity, and all FTDs within threshold.
+func TestPropertyQueueInvariants(t *testing.T) {
+	f := func(ops []struct {
+		ID  uint8
+		FTD float64
+		Op  uint8
+	}) bool {
+		q, err := NewQueue(8, 0.9)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			ftdVal := math.Mod(math.Abs(op.FTD), 1)
+			if math.IsNaN(ftdVal) {
+				ftdVal = 0.5
+			}
+			switch op.Op % 3 {
+			case 0:
+				q.Insert(Entry{ID: packet.MessageID(op.ID), FTD: ftdVal})
+			case 1:
+				q.UpdateFTD(packet.MessageID(op.ID), ftdVal)
+			case 2:
+				q.Remove(packet.MessageID(op.ID))
+			}
+			if q.Len() > q.Cap() {
+				return false
+			}
+			es := q.Entries()
+			seen := map[packet.MessageID]bool{}
+			for i, e := range es {
+				if e.FTD > 0.9 || e.FTD < 0 {
+					return false
+				}
+				if i > 0 && es[i-1].FTD > e.FTD {
+					return false
+				}
+				if seen[e.ID] {
+					return false
+				}
+				seen[e.ID] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOBasics(t *testing.T) {
+	f, err := NewFIFO(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFIFO(0); err == nil {
+		t.Error("zero capacity FIFO accepted")
+	}
+	if !f.Insert(entry(1, 0)) || !f.Insert(entry(2, 0)) {
+		t.Fatal("insert failed")
+	}
+	if f.Len() != 2 || f.Cap() != 3 || f.Available() != 1 {
+		t.Fatalf("Len/Cap/Available = %d/%d/%d", f.Len(), f.Cap(), f.Available())
+	}
+	head, ok := f.Head()
+	if !ok || head.ID != 1 {
+		t.Fatalf("head = %+v, want ID 1", head)
+	}
+	// Duplicate is a no-op success.
+	if !f.Insert(entry(1, 0)) {
+		t.Fatal("duplicate insert failed")
+	}
+	if f.Len() != 2 {
+		t.Fatal("duplicate extended FIFO")
+	}
+	f.Insert(entry(3, 0))
+	// Overflow drops the newcomer.
+	if f.Insert(entry(4, 0)) {
+		t.Fatal("overflow insert succeeded")
+	}
+	if f.Drops().Full != 1 {
+		t.Fatalf("Full drops = %d", f.Drops().Full)
+	}
+	if !f.Remove(2) || f.Remove(2) {
+		t.Fatal("Remove misbehaved")
+	}
+	if !f.Contains(1) || f.Contains(2) {
+		t.Fatal("Contains misbehaved")
+	}
+	es := f.Entries()
+	if len(es) != 2 || es[0].ID != 1 || es[1].ID != 3 {
+		t.Fatalf("Entries = %+v", es)
+	}
+	if _, ok := (&FIFO{}).Head(); ok {
+		t.Fatal("empty FIFO head ok")
+	}
+}

@@ -1,0 +1,87 @@
+package buffer
+
+import (
+	"fmt"
+
+	"dftmsn/internal/packet"
+)
+
+// FIFO is a bounded first-in-first-out message queue, used by the baseline
+// schemes (ZBR, direct transmission, epidemic flooding) that do not manage
+// their queues by FTD. A full FIFO drops the incoming message (drop-tail).
+type FIFO struct {
+	entries  []Entry
+	capacity int
+	drops    DropCounts
+}
+
+// NewFIFO returns a FIFO holding at most capacity entries.
+func NewFIFO(capacity int) (*FIFO, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("buffer: capacity %d must be positive", capacity)
+	}
+	return &FIFO{entries: make([]Entry, 0, capacity), capacity: capacity}, nil
+}
+
+// Len returns the number of stored entries.
+func (f *FIFO) Len() int { return len(f.entries) }
+
+// Cap returns the capacity.
+func (f *FIFO) Cap() int { return f.capacity }
+
+// Drops returns the drop counters (only Full applies to a FIFO).
+func (f *FIFO) Drops() DropCounts { return f.drops }
+
+// Head returns the oldest entry without removing it.
+func (f *FIFO) Head() (Entry, bool) {
+	if len(f.entries) == 0 {
+		return Entry{}, false
+	}
+	return f.entries[0], true
+}
+
+// Entries returns a copy of the contents in arrival order.
+func (f *FIFO) Entries() []Entry {
+	out := make([]Entry, len(f.entries))
+	copy(out, f.entries)
+	return out
+}
+
+// Contains reports whether a copy of message id is queued.
+func (f *FIFO) Contains(id packet.MessageID) bool {
+	for i := range f.entries {
+		if f.entries[i].ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert appends a message copy, rejecting duplicates and overflow.
+// It reports whether the entry was stored (true also for duplicates, which
+// are already present).
+func (f *FIFO) Insert(e Entry) bool {
+	if f.Contains(e.ID) {
+		return true
+	}
+	if len(f.entries) >= f.capacity {
+		f.drops.Full++
+		return false
+	}
+	f.entries = append(f.entries, e)
+	return true
+}
+
+// Remove deletes the copy of message id, reporting whether it was present.
+func (f *FIFO) Remove(id packet.MessageID) bool {
+	for i := range f.entries {
+		if f.entries[i].ID == id {
+			f.entries = append(f.entries[:i], f.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Available returns the number of free slots.
+func (f *FIFO) Available() int { return f.capacity - len(f.entries) }

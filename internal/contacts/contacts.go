@@ -1,0 +1,209 @@
+// Package contacts extracts contact statistics from a mobility model: when
+// pairs of nodes come within radio range ("contacts"), for how long, and
+// how long pairs wait between contacts ("inter-contact times").
+//
+// DFT-MSN performance is governed entirely by the contact process — the
+// paper calls communication links "the scarcest resource" — so these
+// statistics characterise what any protocol on a given mobility model can
+// achieve. The figures harness and tests use them to validate the
+// zone-based walk (sparse, bursty contacts with heavy-tailed inter-contact
+// times) and to explain the speed sweep (faster nodes ⇒ more contacts).
+package contacts
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dftmsn/internal/mobility"
+)
+
+// Contact is one maximal interval during which a pair was within range.
+type Contact struct {
+	// A and B are node indices in the mobility model, A < B.
+	A, B int
+	// Start and End bound the interval in virtual seconds.
+	Start, End float64
+}
+
+// Duration returns the contact length in seconds.
+func (c Contact) Duration() float64 { return c.End - c.Start }
+
+// Stats summarises a contact trace.
+type Stats struct {
+	// Contacts is the total number of contact events.
+	Contacts int
+	// PairsMet is the number of distinct pairs that ever met.
+	PairsMet int
+	// TotalPairs is the number of observable pairs n(n-1)/2.
+	TotalPairs int
+	// MeanDuration and MedianDuration summarise contact lengths (s).
+	MeanDuration   float64
+	MedianDuration float64
+	// MeanInterContact and MedianInterContact summarise the waiting times
+	// between successive contacts of the same pair (s); pairs that met
+	// fewer than twice contribute nothing.
+	MeanInterContact   float64
+	MedianInterContact float64
+	// ContactsPerNodeHour is the contact arrival rate seen by one node.
+	ContactsPerNodeHour float64
+	// MeanDegree is the time-averaged number of in-range neighbours.
+	MeanDegree float64
+}
+
+// Collector observes a mobility model at fixed ticks and assembles the
+// contact trace.
+type Collector struct {
+	model     mobility.Model
+	rangeM    float64
+	tick      float64
+	now       float64
+	open      map[[2]int]float64 // pair -> contact start time
+	closed    []Contact
+	lastEnd   map[[2]int]float64 // pair -> previous contact end
+	inter     []float64
+	degreeSum float64
+	degreeN   int
+}
+
+// NewCollector observes model with the given radio range, sampling every
+// tick seconds.
+func NewCollector(model mobility.Model, rangeM, tick float64) (*Collector, error) {
+	if model == nil {
+		return nil, fmt.Errorf("contacts: nil model")
+	}
+	if rangeM <= 0 || tick <= 0 {
+		return nil, fmt.Errorf("contacts: range %v and tick %v must be positive", rangeM, tick)
+	}
+	return &Collector{
+		model:   model,
+		rangeM:  rangeM,
+		tick:    tick,
+		open:    make(map[[2]int]float64),
+		lastEnd: make(map[[2]int]float64),
+	}, nil
+}
+
+// Run advances the model for duration seconds, recording contacts. It may
+// be called repeatedly to extend the observation.
+func (c *Collector) Run(duration float64) {
+	steps := int(duration / c.tick)
+	rangeSq := c.rangeM * c.rangeM
+	n := c.model.Len()
+	for s := 0; s < steps; s++ {
+		c.model.Step(c.tick)
+		c.now += c.tick
+		inRangeCount := 0
+		for i := 0; i < n; i++ {
+			pi := c.model.Position(i)
+			for j := i + 1; j < n; j++ {
+				pair := [2]int{i, j}
+				within := pi.DistSq(c.model.Position(j)) <= rangeSq
+				_, isOpen := c.open[pair]
+				switch {
+				case within && !isOpen:
+					c.open[pair] = c.now
+					if prev, met := c.lastEnd[pair]; met {
+						c.inter = append(c.inter, c.now-prev)
+					}
+				case !within && isOpen:
+					start := c.open[pair]
+					delete(c.open, pair)
+					c.closed = append(c.closed, Contact{A: i, B: j, Start: start, End: c.now})
+					c.lastEnd[pair] = c.now
+				}
+				if within {
+					inRangeCount++
+				}
+			}
+		}
+		c.degreeSum += float64(2*inRangeCount) / float64(n)
+		c.degreeN++
+	}
+}
+
+// Trace returns the completed contacts recorded so far (open contacts are
+// not included until they close).
+func (c *Collector) Trace() []Contact {
+	out := make([]Contact, len(c.closed))
+	copy(out, c.closed)
+	return out
+}
+
+// Stats summarises the observation so far. Contacts still open at the
+// horizon are closed at the current time for duration accounting.
+func (c *Collector) Stats() Stats {
+	n := c.model.Len()
+	s := Stats{
+		TotalPairs: n * (n - 1) / 2,
+	}
+	durations := make([]float64, 0, len(c.closed)+len(c.open))
+	pairSeen := make(map[[2]int]bool, len(c.closed))
+	for _, ct := range c.closed {
+		durations = append(durations, ct.Duration())
+		pairSeen[[2]int{ct.A, ct.B}] = true
+	}
+	for pair, start := range c.open {
+		durations = append(durations, c.now-start)
+		pairSeen[pair] = true
+	}
+	s.Contacts = len(durations)
+	s.PairsMet = len(pairSeen)
+	s.MeanDuration, s.MedianDuration = meanMedian(durations)
+	s.MeanInterContact, s.MedianInterContact = meanMedian(c.inter)
+	if c.now > 0 && n > 0 {
+		// Each contact involves two nodes.
+		s.ContactsPerNodeHour = float64(2*s.Contacts) / float64(n) / (c.now / 3600)
+	}
+	if c.degreeN > 0 {
+		s.MeanDegree = c.degreeSum / float64(c.degreeN)
+	}
+	return s
+}
+
+func meanMedian(xs []float64) (mean, median float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	mean = sum / float64(len(sorted))
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		median = sorted[mid]
+	} else {
+		median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return mean, median
+}
+
+// CCDF returns the complementary cumulative distribution of the given
+// sample evaluated at the given points: P(X > x). Used to inspect the
+// inter-contact tail (DTN mobility models are characterised by it).
+func CCDF(sample []float64, at []float64) []float64 {
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	out := make([]float64, len(at))
+	if len(sorted) == 0 {
+		return out
+	}
+	for i, x := range at {
+		// Index of the first element > x.
+		idx := sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))
+		out[i] = float64(len(sorted)-idx) / float64(len(sorted))
+	}
+	return out
+}
+
+// InterContactSample returns the raw inter-contact observations.
+func (c *Collector) InterContactSample() []float64 {
+	out := make([]float64, len(c.inter))
+	copy(out, c.inter)
+	return out
+}

@@ -1,0 +1,206 @@
+package contacts
+
+import (
+	"math"
+	"testing"
+
+	"dftmsn/internal/geo"
+	"dftmsn/internal/mobility"
+	"dftmsn/internal/simrand"
+)
+
+// scriptedModel moves nodes along precomputed per-tick position lists.
+type scriptedModel struct {
+	frames [][]geo.Point // frames[t][node]
+	t      int
+	grid   *geo.Grid
+}
+
+func (m *scriptedModel) Position(id int) geo.Point { return m.frames[m.t][id] }
+func (m *scriptedModel) Zone(id int) geo.ZoneID    { return m.grid.ZoneAt(m.Position(id)) }
+func (m *scriptedModel) Len() int                  { return len(m.frames[0]) }
+func (m *scriptedModel) Step(float64) {
+	if m.t < len(m.frames)-1 {
+		m.t++
+	}
+}
+
+func testGrid(t *testing.T) *geo.Grid {
+	t.Helper()
+	g, err := geo.NewGrid(geo.NewRect(0, 0, 150, 150), 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCollectorValidation(t *testing.T) {
+	g := testGrid(t)
+	m := mobility.NewStatic(g, []geo.Point{{X: 0, Y: 0}})
+	if _, err := NewCollector(nil, 10, 1); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := NewCollector(m, 0, 1); err == nil {
+		t.Error("zero range accepted")
+	}
+	if _, err := NewCollector(m, 10, 0); err == nil {
+		t.Error("zero tick accepted")
+	}
+}
+
+func TestScriptedContactDetection(t *testing.T) {
+	// Two nodes: apart (t=1), in range (t=2,3), apart (t=4,5), in range (t=6).
+	far := geo.Point{X: 100, Y: 0}
+	near := geo.Point{X: 5, Y: 0}
+	origin := geo.Point{X: 0, Y: 0}
+	frames := [][]geo.Point{
+		{origin, far},  // t=0 (initial, before first Step)
+		{origin, far},  // t=1
+		{origin, near}, // t=2: contact opens
+		{origin, near}, // t=3
+		{origin, far},  // t=4: contact closes
+		{origin, far},  // t=5
+		{origin, near}, // t=6: second contact opens
+	}
+	m := &scriptedModel{frames: frames, grid: testGrid(t)}
+	c, err := NewCollector(m, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(6)
+	trace := c.Trace()
+	if len(trace) != 1 {
+		t.Fatalf("closed contacts = %d, want 1 (second still open)", len(trace))
+	}
+	ct := trace[0]
+	if ct.A != 0 || ct.B != 1 {
+		t.Fatalf("contact pair (%d,%d)", ct.A, ct.B)
+	}
+	if ct.Start != 2 || ct.End != 4 {
+		t.Fatalf("contact [%v,%v], want [2,4]", ct.Start, ct.End)
+	}
+	if ct.Duration() != 2 {
+		t.Fatalf("duration %v", ct.Duration())
+	}
+	st := c.Stats()
+	if st.Contacts != 2 { // one closed + one open
+		t.Fatalf("Contacts = %d, want 2", st.Contacts)
+	}
+	if st.PairsMet != 1 || st.TotalPairs != 1 {
+		t.Fatalf("pairs %d/%d", st.PairsMet, st.TotalPairs)
+	}
+	// One inter-contact gap: closed at 4, reopened at 6 => 2 s.
+	inter := c.InterContactSample()
+	if len(inter) != 1 || inter[0] != 2 {
+		t.Fatalf("inter-contact sample %v, want [2]", inter)
+	}
+	if st.MeanInterContact != 2 || st.MedianInterContact != 2 {
+		t.Fatalf("inter-contact stats %v/%v", st.MeanInterContact, st.MedianInterContact)
+	}
+}
+
+func TestStaticNodesInRangeForever(t *testing.T) {
+	g := testGrid(t)
+	m := mobility.NewStatic(g, []geo.Point{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 100, Y: 100}})
+	c, err := NewCollector(m, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(100)
+	st := c.Stats()
+	if st.Contacts != 1 {
+		t.Fatalf("Contacts = %d, want 1 permanent contact", st.Contacts)
+	}
+	if st.PairsMet != 1 || st.TotalPairs != 3 {
+		t.Fatalf("pairs %d/%d", st.PairsMet, st.TotalPairs)
+	}
+	if st.MeanDuration < 99 {
+		t.Fatalf("open contact duration %v, want ~100", st.MeanDuration)
+	}
+	// Mean degree: 2 of 3 nodes have one neighbour each => 2/3.
+	if math.Abs(st.MeanDegree-2.0/3) > 1e-9 {
+		t.Fatalf("mean degree %v, want 2/3", st.MeanDegree)
+	}
+}
+
+func TestZoneWalkContactProcessIsSparse(t *testing.T) {
+	// The paper's setting: 100 nodes, 10 m range on a 150 m field. The
+	// contact process must be sparse (mean degree around 1-2) but nonzero.
+	g := testGrid(t)
+	walk, err := mobility.NewZoneWalk(g, 100, mobility.DefaultZoneWalkConfig(), simrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCollector(walk, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2000)
+	st := c.Stats()
+	if st.Contacts == 0 {
+		t.Fatal("no contacts in 2000 s")
+	}
+	if st.MeanDegree < 0.2 || st.MeanDegree > 5 {
+		t.Fatalf("mean degree %v outside the sparse regime", st.MeanDegree)
+	}
+	if st.MeanDuration <= 0 {
+		t.Fatal("non-positive mean contact duration")
+	}
+	// Sparse network: far from all pairs ever meet in 2000 s.
+	if st.PairsMet >= st.TotalPairs {
+		t.Fatal("every pair met; network not sparse")
+	}
+}
+
+func TestSpeedRaisesContactRate(t *testing.T) {
+	// The §5 speed claim at the mobility level: faster nodes see more
+	// contacts per hour.
+	g := testGrid(t)
+	rate := func(speed float64) float64 {
+		cfg := mobility.DefaultZoneWalkConfig()
+		cfg.MaxSpeed = speed
+		walk, err := mobility.NewZoneWalk(g, 60, cfg, simrand.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewCollector(walk, 10, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(1500)
+		return c.Stats().ContactsPerNodeHour
+	}
+	slow, fast := rate(1), rate(8)
+	if fast <= slow {
+		t.Fatalf("contact rate did not rise with speed: %v at 1 m/s vs %v at 8 m/s", slow, fast)
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	sample := []float64{1, 2, 3, 4}
+	got := CCDF(sample, []float64{0, 1, 2.5, 4, 10})
+	want := []float64{1, 0.75, 0.5, 0, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("CCDF = %v, want %v", got, want)
+		}
+	}
+	if out := CCDF(nil, []float64{1}); out[0] != 0 {
+		t.Fatal("empty-sample CCDF nonzero")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	m, md := meanMedian([]float64{5, 1, 3})
+	if m != 3 || md != 3 {
+		t.Fatalf("meanMedian odd = %v/%v", m, md)
+	}
+	m, md = meanMedian([]float64{4, 1, 2, 3})
+	if m != 2.5 || md != 2.5 {
+		t.Fatalf("meanMedian even = %v/%v", m, md)
+	}
+	m, md = meanMedian(nil)
+	if m != 0 || md != 0 {
+		t.Fatal("empty meanMedian nonzero")
+	}
+}

@@ -1,0 +1,474 @@
+// Package core implements the DFT-MSN protocol node — the paper's primary
+// contribution assembled from the substrates: the working-cycle loop
+// (§3.2), the adaptive listening period and contention window driven by the
+// §4.2/§4.3 optimizers, the §4.1 adaptive periodic sleeping, the Eq. 1
+// timeout decay, and the neighbour table that feeds the optimizers.
+//
+// A Node is routing-agnostic: its forwarding behaviour comes from a
+// routing.Strategy (FAD for the paper's scheme, ZBR/Direct/Epidemic for
+// baselines, Sink for sink nodes). Scheme presets that mirror the paper's
+// §5 protocol variants (OPT, NOOPT, NOSLEEP, ZBR) live in scheme.go.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dftmsn/internal/energy"
+	"dftmsn/internal/geo"
+	"dftmsn/internal/mac"
+	"dftmsn/internal/optimize"
+	"dftmsn/internal/packet"
+	"dftmsn/internal/radio"
+	"dftmsn/internal/routing"
+	"dftmsn/internal/sim"
+	"dftmsn/internal/simrand"
+	"dftmsn/internal/trace"
+)
+
+// Params holds the node-level protocol parameters (§4 optimizations and
+// their fixed-parameter fallbacks).
+type Params struct {
+	// AdaptiveTau enables the Eq. 13 search for the minimum τ_max; when
+	// false TauMaxFixed is used.
+	AdaptiveTau bool
+	// TauMaxFixed is the listening-period bound, in slots, without
+	// optimization (NOOPT).
+	TauMaxFixed int
+	// TauMaxCap bounds the Eq. 13 search.
+	TauMaxCap int
+
+	// AdaptiveWindow enables the Eq. 14 search for the minimum contention
+	// window; when false WindowFixed is used.
+	AdaptiveWindow bool
+	// WindowFixed is the contention window, in slots, without optimization.
+	WindowFixed int
+	// WindowCap bounds the Eq. 14 search.
+	WindowCap int
+
+	// CollisionTarget is the collision-probability bound H used by both
+	// searches (§4.2, §4.3).
+	CollisionTarget float64
+
+	// NeighborTTL is how long overheard ξ/history gossip stays in the
+	// neighbour table, in seconds.
+	NeighborTTL float64
+
+	// SleepEnabled turns §4.1 periodic sleeping on.
+	SleepEnabled bool
+	// AdaptiveSleep selects the Eq. 6 adaptive period; when false the node
+	// sleeps for SleepFixed after L idle cycles.
+	AdaptiveSleep bool
+	// SleepFixed is the non-adaptive sleeping period in seconds.
+	SleepFixed float64
+	// Sleep configures the Eq. 4-8 controller (S, L, H, TMin, FImportant).
+	Sleep optimize.SleepConfig
+
+	// DecayInterval is the Eq. 1 timeout check period in seconds.
+	DecayInterval float64
+
+	// BatteryJoules is the node's energy budget; once its radio has
+	// consumed this much the node dies (radio permanently off). Zero
+	// means unlimited — the paper's evaluation does not exhaust
+	// batteries, but lifetime is its §4.1 motivation, so the budget is
+	// provided as an extension (see the lifetime experiment).
+	BatteryJoules float64
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.TauMaxFixed < 1 || p.TauMaxCap < 1 || p.WindowFixed < 1 || p.WindowCap < 1 {
+		return fmt.Errorf("core: slot parameters must be >= 1: %+v", p)
+	}
+	if p.CollisionTarget <= 0 || p.CollisionTarget >= 1 {
+		return fmt.Errorf("core: collision target %v out of (0,1)", p.CollisionTarget)
+	}
+	if p.NeighborTTL <= 0 {
+		return fmt.Errorf("core: neighbour TTL %v must be positive", p.NeighborTTL)
+	}
+	if p.DecayInterval <= 0 {
+		return fmt.Errorf("core: decay interval %v must be positive", p.DecayInterval)
+	}
+	if p.SleepEnabled {
+		if err := p.Sleep.Validate(); err != nil {
+			return err
+		}
+		if !p.AdaptiveSleep && p.SleepFixed <= 0 {
+			return fmt.Errorf("core: fixed sleep %v must be positive", p.SleepFixed)
+		}
+	}
+	if p.BatteryJoules < 0 {
+		return fmt.Errorf("core: battery %v must be >= 0", p.BatteryJoules)
+	}
+	return nil
+}
+
+// neighborInfo is one neighbour-table entry built from overheard RTS/CTS.
+type neighborInfo struct {
+	xi      float64
+	history float64
+	seenAt  float64
+}
+
+// NodeStats counts node-level events beyond the MAC engine's counters.
+type NodeStats struct {
+	Sleeps       uint64
+	SleepSeconds float64
+	TauMaxUsed   int // last τ_max in effect
+	WindowUsed   int // last W in effect
+	// DiedAt is the virtual time the battery ran out; negative while the
+	// node is alive.
+	DiedAt float64
+}
+
+// Node is one DFT-MSN node (sensor or sink) running the cross-layer
+// protocol.
+type Node struct {
+	id       packet.NodeID
+	sched    *sim.Scheduler
+	medium   *radio.Medium
+	engine   *mac.Engine
+	radio    *radio.Radio
+	strategy routing.Strategy
+	params   Params
+	rng      *simrand.Source
+	tracer   trace.Tracer
+
+	sleepCtl  *optimize.SleepController
+	neighbors map[packet.NodeID]neighborInfo
+	nbVersion uint64 // bumped on table change
+	tauCached int
+	tauForVer uint64
+
+	decay   *sim.Ticker
+	stats   NodeStats
+	started bool
+	stopped bool
+}
+
+var _ mac.Policy = (*Node)(nil)
+
+// NewNode assembles a node: it attaches a radio to the medium, builds the
+// MAC engine with the node itself as policy, and wires the sleep
+// controller. position must stay valid for the run; profile is the radio
+// energy profile.
+func NewNode(
+	id packet.NodeID,
+	sched *sim.Scheduler,
+	medium *radio.Medium,
+	macCfg mac.Config,
+	params Params,
+	strategy routing.Strategy,
+	position func() geo.Point,
+	profile energy.Profile,
+	rng *simrand.Source,
+	tracer trace.Tracer,
+) (*Node, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if strategy == nil || rng == nil {
+		return nil, errors.New("core: nil strategy or rng")
+	}
+	if tracer == nil {
+		tracer = trace.Nop{}
+	}
+	n := &Node{
+		id:        id,
+		sched:     sched,
+		medium:    medium,
+		strategy:  strategy,
+		params:    params,
+		rng:       rng,
+		tracer:    tracer,
+		neighbors: make(map[packet.NodeID]neighborInfo),
+		tauForVer: ^uint64(0),
+	}
+	n.stats.DiedAt = -1
+	if params.SleepEnabled {
+		ctl, err := optimize.NewSleepController(params.Sleep)
+		if err != nil {
+			return nil, err
+		}
+		n.sleepCtl = ctl
+	}
+	eng, err := mac.New(id, sched, medium, macCfg, n, rng.Split("mac"), n.onCycleEnd)
+	if err != nil {
+		return nil, err
+	}
+	n.engine = eng
+	r, err := medium.Attach(id, position, eng, profile, radio.Idle)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Bind(r); err != nil {
+		return nil, err
+	}
+	eng.SetAwakeFunc(n.onAwake)
+	n.radio = r
+	n.decay = sim.NewTicker(sched, params.DecayInterval, func(now sim.Time) {
+		n.strategy.OnDecayTick(now)
+	})
+	return n, nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() packet.NodeID { return n.id }
+
+// Strategy returns the node's routing strategy.
+func (n *Node) Strategy() routing.Strategy { return n.strategy }
+
+// Radio returns the node's radio (for energy metering).
+func (n *Node) Radio() *radio.Radio { return n.radio }
+
+// Engine returns the node's MAC engine (for statistics).
+func (n *Node) Engine() *mac.Engine { return n.engine }
+
+// Stats returns node-level counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// Start begins the node's working-cycle loop and the Eq. 1 decay ticker.
+func (n *Node) Start() error {
+	if n.started {
+		return errors.New("core: node already started")
+	}
+	n.started = true
+	n.decay.Start()
+	n.startCycle()
+	return nil
+}
+
+// Stop halts the node at the next cycle boundary (the current cycle, if
+// any, still completes; no further cycles or sleeps are scheduled).
+func (n *Node) Stop() {
+	n.stopped = true
+	n.decay.Stop()
+}
+
+// Generate inserts a locally sensed message (called by the traffic
+// process). It reports whether the message was accepted into the queue.
+func (n *Node) Generate(id packet.MessageID, payloadBits int) bool {
+	now := n.sched.Now()
+	ok := n.strategy.Generate(id, now, payloadBits)
+	if ok {
+		n.tracer.Emit(now, n.id, "gen", fmt.Sprintf("msg=%d", id))
+	} else {
+		n.tracer.Emit(now, n.id, "gen-drop", fmt.Sprintf("msg=%d", id))
+	}
+	return ok
+}
+
+// startCycle draws the §4.2 adaptive listening period and starts one MAC
+// cycle.
+func (n *Node) startCycle() {
+	if n.stopped {
+		return
+	}
+	tauMax := n.currentTauMax()
+	n.stats.TauMaxUsed = tauMax
+	sigma := optimize.Sigma(n.strategy.Xi(), tauMax)
+	tau := n.rng.SlotIn(sigma)
+	if err := n.engine.StartCycle(tau); err != nil {
+		// The radio is mid-switch or otherwise unavailable: retry shortly.
+		n.sched.After(n.params.DecayInterval/100+1e-3, n.startCycle)
+	}
+}
+
+// Alive reports whether the node's battery (if bounded) still has charge
+// and the node was not killed.
+func (n *Node) Alive() bool { return n.stats.DiedAt < 0 }
+
+// Kill fails the node immediately: the current cycle is abandoned, all
+// timers stop, and the radio goes dark for good. Used for fault-injection
+// experiments; the queue contents are lost with the node, exactly the
+// fault the paper's message redundancy is designed to tolerate.
+func (n *Node) Kill() {
+	if !n.Alive() {
+		return
+	}
+	now := n.sched.Now()
+	n.stats.DiedAt = now
+	n.stopped = true
+	n.decay.Stop()
+	n.engine.Abort()
+	n.radio.Kill()
+	n.tracer.Emit(now, n.id, "killed", "")
+}
+
+// checkBattery retires the node once its energy budget is spent.
+// It reports whether the node died.
+func (n *Node) checkBattery(now float64) bool {
+	if n.params.BatteryJoules <= 0 || !n.Alive() {
+		return !n.Alive()
+	}
+	if n.radio.Meter().TotalJoules(now) < n.params.BatteryJoules {
+		return false
+	}
+	n.stats.DiedAt = now
+	n.stopped = true
+	n.decay.Stop()
+	n.tracer.Emit(now, n.id, "died", fmt.Sprintf("joules=%.3f", n.params.BatteryJoules))
+	// Power the radio down for good; ignore failure if mid-switch.
+	_ = n.radio.Sleep()
+	return true
+}
+
+// onCycleEnd is the engine's cycle callback: apply per-cycle upkeep, then
+// decide between sleeping and starting the next cycle (§3.2, §4.1).
+func (n *Node) onCycleEnd(out mac.Outcome) {
+	now := n.sched.Now()
+	n.strategy.OnCycleEnd(out, now)
+	if n.checkBattery(now) {
+		return
+	}
+	if n.stopped {
+		return
+	}
+	if n.sleepCtl != nil {
+		active := out.Sent || out.Received
+		n.sleepCtl.RecordCycle(out.Sent, active)
+		if n.sleepCtl.ShouldSleep() {
+			n.goToSleep(now)
+			return
+		}
+	}
+	n.startCycle()
+}
+
+// goToSleep turns the radio off for the §4.1 period and schedules the wake.
+func (n *Node) goToSleep(now float64) {
+	var dur float64
+	if n.params.AdaptiveSleep {
+		alpha := n.sleepCtl.Alpha(n.strategy.ImportantCount(), n.strategy.QueueCap())
+		dur = n.sleepCtl.SleepDuration(alpha)
+	} else {
+		dur = n.params.SleepFixed
+	}
+	if err := n.radio.Sleep(); err != nil {
+		// Radio busy (should not happen at cycle end): skip this sleep.
+		n.startCycle()
+		return
+	}
+	n.sleepCtl.ResetIdle()
+	n.stats.Sleeps++
+	n.stats.SleepSeconds += dur
+	n.tracer.Emit(now, n.id, "sleep", fmt.Sprintf("dur=%.3f", dur))
+	n.sched.After(dur, func() {
+		if n.stopped {
+			return
+		}
+		if err := n.radio.Wake(); err != nil {
+			// Unreachable in normal operation; try a fresh cycle anyway.
+			n.startCycle()
+		}
+	})
+}
+
+// onAwake is called when the radio finishes powering on.
+func (n *Node) onAwake() {
+	n.tracer.Emit(n.sched.Now(), n.id, "wake", "")
+	n.startCycle()
+}
+
+// currentTauMax returns the Eq. 13 minimal τ_max over the fresh neighbour
+// set, or the fixed value when optimization is off. The search result is
+// cached until the neighbour table changes.
+func (n *Node) currentTauMax() int {
+	if !n.params.AdaptiveTau {
+		return n.params.TauMaxFixed
+	}
+	if n.tauForVer == n.nbVersion {
+		return n.tauCached
+	}
+	now := n.sched.Now()
+	xis := make([]float64, 0, len(n.neighbors)+1)
+	xis = append(xis, n.strategy.Xi())
+	for id, nb := range n.neighbors {
+		if now-nb.seenAt > n.params.NeighborTTL {
+			delete(n.neighbors, id)
+			continue
+		}
+		xis = append(xis, nb.xi)
+	}
+	tau, _ := optimize.MinTauMax(xis, n.params.CollisionTarget, n.params.TauMaxCap)
+	n.tauCached = tau
+	n.tauForVer = n.nbVersion
+	return tau
+}
+
+// currentWindow returns the Eq. 14 minimal contention window for the
+// expected number of qualified repliers, or the fixed value.
+func (n *Node) currentWindow() int {
+	if !n.params.AdaptiveWindow {
+		return n.params.WindowFixed
+	}
+	now := n.sched.Now()
+	mine := n.strategy.Xi()
+	repliers := 0
+	for id, nb := range n.neighbors {
+		if now-nb.seenAt > n.params.NeighborTTL {
+			delete(n.neighbors, id)
+			continue
+		}
+		if nb.xi > mine || nb.history > mine {
+			repliers++
+		}
+	}
+	if repliers < 1 {
+		repliers = 1
+	}
+	w, _ := optimize.MinWindow(repliers, n.params.CollisionTarget, n.params.WindowCap)
+	return w
+}
+
+// --- mac.Policy implementation (delegating routing to the strategy) ---
+
+// HasData implements mac.Policy.
+func (n *Node) HasData() bool { return n.strategy.HasData() }
+
+// SenderParams implements mac.Policy: routing metrics from the strategy,
+// contention window from the §4.3 optimizer.
+func (n *Node) SenderParams() (float64, float64, int, float64) {
+	xi, ftdVal, history := n.strategy.SenderMetrics()
+	w := n.currentWindow()
+	n.stats.WindowUsed = w
+	return xi, ftdVal, w, history
+}
+
+// Qualify implements mac.Policy.
+func (n *Node) Qualify(rts *packet.RTS) (bool, float64, int, float64) {
+	return n.strategy.Qualify(rts)
+}
+
+// BuildSchedule implements mac.Policy.
+func (n *Node) BuildSchedule(cands []mac.Candidate) ([]packet.ScheduleEntry, *packet.Data) {
+	entries, data := n.strategy.BuildSchedule(cands)
+	if len(entries) > 0 {
+		n.tracer.Emit(n.sched.Now(), n.id, "schedule", fmt.Sprintf("msg=%d receivers=%d", data.ID, len(entries)))
+	}
+	return entries, data
+}
+
+// OnDataReceived implements mac.Policy.
+func (n *Node) OnDataReceived(d *packet.Data, entry packet.ScheduleEntry) bool {
+	kept := n.strategy.OnDataReceived(d, entry)
+	n.tracer.Emit(n.sched.Now(), n.id, "rx-data",
+		fmt.Sprintf("msg=%d from=%d ftd=%.3f kept=%v", d.ID, d.From, entry.FTD, kept))
+	return kept
+}
+
+// OnTxOutcome implements mac.Policy.
+func (n *Node) OnTxOutcome(entries []packet.ScheduleEntry, acked []packet.NodeID) {
+	n.tracer.Emit(n.sched.Now(), n.id, "tx-outcome", fmt.Sprintf("scheduled=%d acked=%d", len(entries), len(acked)))
+	n.strategy.OnTxOutcome(entries, acked)
+}
+
+// OnNeighborInfo implements mac.Policy: overheard RTS/CTS gossip feeds the
+// neighbour table behind the §4 optimizers.
+func (n *Node) OnNeighborInfo(id packet.NodeID, xi, history float64) {
+	prev, had := n.neighbors[id]
+	n.neighbors[id] = neighborInfo{xi: xi, history: history, seenAt: n.sched.Now()}
+	if !had || prev.xi != xi {
+		n.nbVersion++
+	}
+}

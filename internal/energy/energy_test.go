@@ -1,0 +1,236 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newTestMeter(t *testing.T) *Meter {
+	t.Helper()
+	m, err := NewMeter(BerkeleyMote(), Listen, 0)
+	if err != nil {
+		t.Fatalf("NewMeter: %v", err)
+	}
+	return m
+}
+
+func TestBerkeleyMoteProfile(t *testing.T) {
+	p := BerkeleyMote()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.RxW != 13.5e-3 {
+		t.Errorf("RxW = %v, want 13.5 mW", p.RxW)
+	}
+	if p.TxW != 24.75e-3 {
+		t.Errorf("TxW = %v, want 24.75 mW", p.TxW)
+	}
+	if p.SleepW != 15e-6 {
+		t.Errorf("SleepW = %v, want 15 µW", p.SleepW)
+	}
+	if p.ListenW != p.RxW {
+		t.Error("idle listening must cost the same as receiving (paper §5)")
+	}
+	if p.SwitchW != 4*p.ListenW {
+		t.Error("switch power must be 4x listening power (paper §5)")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	bad := BerkeleyMote()
+	bad.TxW = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative power accepted")
+	}
+	bad = BerkeleyMote()
+	bad.SleepW = 1 // sleeping dearer than listening
+	if err := bad.Validate(); err == nil {
+		t.Error("sleep > listen accepted")
+	}
+	bad = BerkeleyMote()
+	bad.SwitchTime = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestPowerByState(t *testing.T) {
+	p := BerkeleyMote()
+	cases := map[State]float64{
+		Sleep:  15e-6,
+		Listen: 13.5e-3,
+		Rx:     13.5e-3,
+		Tx:     24.75e-3,
+		Switch: 54e-3,
+	}
+	for s, want := range cases {
+		if got := p.Power(s); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Power(%v) = %v, want %v", s, got, want)
+		}
+	}
+	if p.Power(State(0)) != 0 {
+		t.Error("invalid state should draw zero power")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{Sleep: "sleep", Listen: "listen", Rx: "rx", Tx: "tx", Switch: "switch"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+	if State(99).String() != "state(99)" {
+		t.Errorf("unknown state string = %q", State(99).String())
+	}
+}
+
+func TestMeterIntegratesSimpleTimeline(t *testing.T) {
+	m := newTestMeter(t)
+	// 10 s listen, 2 s tx, 88 s sleep => energy in each.
+	if err := m.Transition(Tx, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Transition(Sleep, 12); err != nil {
+		t.Fatal(err)
+	}
+	total := m.TotalJoules(100)
+	want := 10*13.5e-3 + 2*24.75e-3 + 88*15e-6
+	if math.Abs(total-want) > 1e-9 {
+		t.Fatalf("TotalJoules = %v, want %v", total, want)
+	}
+	if got := m.StateSeconds(Sleep, 100); math.Abs(got-88) > 1e-9 {
+		t.Fatalf("sleep seconds = %v, want 88", got)
+	}
+	if got := m.StateJoules(Tx, 100); math.Abs(got-2*24.75e-3) > 1e-12 {
+		t.Fatalf("tx joules = %v", got)
+	}
+}
+
+func TestMeterAveragePower(t *testing.T) {
+	m := newTestMeter(t)
+	// All listening: average power equals listen power.
+	if got := m.AveragePowerW(50); math.Abs(got-13.5e-3) > 1e-12 {
+		t.Fatalf("AveragePowerW = %v, want listen power", got)
+	}
+	if m.AveragePowerW(0) != 0 {
+		t.Fatal("AveragePowerW(0) should be 0")
+	}
+	if m.AveragePowerW(-5) != 0 {
+		t.Fatal("AveragePowerW(negative) should be 0")
+	}
+}
+
+func TestMeterDutyCycle(t *testing.T) {
+	m := newTestMeter(t)
+	if err := m.Transition(Sleep, 25); err != nil {
+		t.Fatal(err)
+	}
+	// 25 s awake, then sleep to t=100 => duty cycle 25%.
+	if got := m.DutyCycle(100); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("DutyCycle = %v, want 0.25", got)
+	}
+}
+
+func TestMeterDutyCycleZeroTime(t *testing.T) {
+	m := newTestMeter(t)
+	if got := m.DutyCycle(0); got != 0 {
+		t.Fatalf("DutyCycle at t=0 = %v, want 0", got)
+	}
+}
+
+func TestMeterSwitchCount(t *testing.T) {
+	m := newTestMeter(t)
+	states := []State{Switch, Sleep, Switch, Listen, Rx, Tx, Listen}
+	for i, s := range states {
+		if err := m.Transition(s, float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Switches() != uint64(len(states)) {
+		t.Fatalf("Switches = %d, want %d", m.Switches(), len(states))
+	}
+	// Same-state transition accrues but does not count as a switch.
+	if err := m.Transition(Listen, 10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Switches() != uint64(len(states)) {
+		t.Fatal("same-state transition counted as switch")
+	}
+}
+
+func TestMeterRejectsInvalidState(t *testing.T) {
+	m := newTestMeter(t)
+	if err := m.Transition(State(0), 1); err == nil {
+		t.Fatal("invalid state accepted")
+	}
+	if _, err := NewMeter(BerkeleyMote(), State(42), 0); err == nil {
+		t.Fatal("invalid initial state accepted")
+	}
+	bad := BerkeleyMote()
+	bad.RxW = math.Inf(1)
+	if _, err := NewMeter(bad, Listen, 0); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestMeterClampsBackwardTime(t *testing.T) {
+	m := newTestMeter(t)
+	if err := m.Transition(Tx, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Query before the last transition: no negative accrual.
+	if got := m.TotalJoules(5); got < 0 {
+		t.Fatalf("TotalJoules went negative: %v", got)
+	}
+}
+
+func TestMinSleepForNetSaving(t *testing.T) {
+	p := BerkeleyMote()
+	got := p.MinSleepForNetSaving()
+	want := 2 * p.SwitchW * p.SwitchTime / (p.ListenW - p.SleepW)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MinSleepForNetSaving = %v, want %v", got, want)
+	}
+	if got <= 0 || got > 1 {
+		t.Fatalf("bound %v s implausible for mote radio", got)
+	}
+	flat := Profile{SleepW: 1e-3, ListenW: 1e-3, RxW: 1e-3, TxW: 2e-3, SwitchW: 4e-3, SwitchTime: 1e-3}
+	if !math.IsInf(flat.MinSleepForNetSaving(), 1) {
+		t.Fatal("equal sleep/listen power should give infinite bound")
+	}
+}
+
+// Property: total energy is non-decreasing in time and equals the sum over
+// states, for any transition sequence.
+func TestPropertyMeterMonotoneAndConsistent(t *testing.T) {
+	f := func(seq []uint8) bool {
+		m, err := NewMeter(BerkeleyMote(), Listen, 0)
+		if err != nil {
+			return false
+		}
+		now := 0.0
+		prevTotal := 0.0
+		for _, b := range seq {
+			now += float64(b%50) / 10
+			s := State(int(b)%numStates + 1)
+			if err := m.Transition(s, now); err != nil {
+				return false
+			}
+			tot := m.TotalJoules(now)
+			if tot+1e-15 < prevTotal {
+				return false
+			}
+			prevTotal = tot
+		}
+		var bySum float64
+		for s := Sleep; s <= Switch; s++ {
+			bySum += m.StateJoules(s, now)
+		}
+		return math.Abs(bySum-m.TotalJoules(now)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

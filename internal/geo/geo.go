@@ -1,0 +1,195 @@
+// Package geo provides the planar geometry used by the DFT-MSN simulator:
+// points, rectangles, and the zone grid that partitions the deployment
+// field. The paper's default field is 150 m × 150 m divided into a 5×5 grid
+// of 30 m × 30 m zones.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the field, in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point { return Point{p.X + dx, p.Y + dy} }
+
+// Sub returns the vector p − q as a Point.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// DistSq returns the squared Euclidean distance, avoiding the square root
+// for range checks on the hot path.
+func (p Point) DistSq(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle [MinX, MaxX) × [MinY, MaxY).
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect returns the rectangle with the given corners, normalising the
+// ordering so Min ≤ Max on both axes.
+func NewRect(x0, y0, x1, y1 float64) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{MinX: x0, MinY: y0, MaxX: x1, MaxY: y1}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Contains reports whether p lies inside r (half-open on the max edges).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X < r.MaxX && p.Y >= r.MinY && p.Y < r.MaxY
+}
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// Clamp returns p moved to the nearest point inside r (inclusive of edges,
+// nudged off the half-open max edge by epsilon so Contains holds).
+func (r Rect) Clamp(p Point) Point {
+	const eps = 1e-9
+	if p.X < r.MinX {
+		p.X = r.MinX
+	}
+	if p.X >= r.MaxX {
+		p.X = r.MaxX - eps
+	}
+	if p.Y < r.MinY {
+		p.Y = r.MinY
+	}
+	if p.Y >= r.MaxY {
+		p.Y = r.MaxY - eps
+	}
+	return p
+}
+
+// ZoneID identifies one zone of the grid, in row-major order from the
+// south-west corner.
+type ZoneID int
+
+// Grid partitions a square field into Cols × Rows equal rectangular zones.
+type Grid struct {
+	field Rect
+	cols  int
+	rows  int
+	cellW float64
+	cellH float64
+}
+
+// NewGrid partitions field into cols × rows zones. It returns an error if
+// either dimension is non-positive or the field is degenerate.
+func NewGrid(field Rect, cols, rows int) (*Grid, error) {
+	if cols <= 0 || rows <= 0 {
+		return nil, fmt.Errorf("geo: grid dimensions %dx%d must be positive", cols, rows)
+	}
+	if field.Width() <= 0 || field.Height() <= 0 {
+		return nil, fmt.Errorf("geo: degenerate field %+v", field)
+	}
+	return &Grid{
+		field: field,
+		cols:  cols,
+		rows:  rows,
+		cellW: field.Width() / float64(cols),
+		cellH: field.Height() / float64(rows),
+	}, nil
+}
+
+// Field returns the full field rectangle.
+func (g *Grid) Field() Rect { return g.field }
+
+// Cols returns the number of zone columns.
+func (g *Grid) Cols() int { return g.cols }
+
+// Rows returns the number of zone rows.
+func (g *Grid) Rows() int { return g.rows }
+
+// NumZones returns the total zone count.
+func (g *Grid) NumZones() int { return g.cols * g.rows }
+
+// ZoneAt returns the zone containing p. Points outside the field are
+// clamped to the nearest zone.
+func (g *Grid) ZoneAt(p Point) ZoneID {
+	col := int((p.X - g.field.MinX) / g.cellW)
+	row := int((p.Y - g.field.MinY) / g.cellH)
+	col = clampInt(col, 0, g.cols-1)
+	row = clampInt(row, 0, g.rows-1)
+	return ZoneID(row*g.cols + col)
+}
+
+// ZoneRect returns the rectangle of zone id. It returns an error for an
+// out-of-range id.
+func (g *Grid) ZoneRect(id ZoneID) (Rect, error) {
+	if int(id) < 0 || int(id) >= g.NumZones() {
+		return Rect{}, fmt.Errorf("geo: zone %d out of range [0,%d)", id, g.NumZones())
+	}
+	row, col := int(id)/g.cols, int(id)%g.cols
+	return Rect{
+		MinX: g.field.MinX + float64(col)*g.cellW,
+		MinY: g.field.MinY + float64(row)*g.cellH,
+		MaxX: g.field.MinX + float64(col+1)*g.cellW,
+		MaxY: g.field.MinY + float64(row+1)*g.cellH,
+	}, nil
+}
+
+// Neighbors returns the zones sharing an edge with id (4-connectivity),
+// in deterministic order (west, east, south, north), skipping field edges.
+func (g *Grid) Neighbors(id ZoneID) []ZoneID {
+	row, col := int(id)/g.cols, int(id)%g.cols
+	out := make([]ZoneID, 0, 4)
+	if col > 0 {
+		out = append(out, id-1)
+	}
+	if col < g.cols-1 {
+		out = append(out, id+1)
+	}
+	if row > 0 {
+		out = append(out, id-ZoneID(g.cols))
+	}
+	if row < g.rows-1 {
+		out = append(out, id+ZoneID(g.cols))
+	}
+	return out
+}
+
+// Adjacent reports whether zones a and b share an edge.
+func (g *Grid) Adjacent(a, b ZoneID) bool {
+	for _, n := range g.Neighbors(a) {
+		if n == b {
+			return true
+		}
+	}
+	return false
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

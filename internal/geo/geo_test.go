@@ -1,0 +1,217 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustGrid(t *testing.T) *Grid {
+	t.Helper()
+	g, err := NewGrid(NewRect(0, 0, 150, 150), 5, 5)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	return g
+}
+
+func TestPointDist(t *testing.T) {
+	p, q := Point{0, 0}, Point{3, 4}
+	if d := p.Dist(q); d != 5 {
+		t.Fatalf("Dist = %v, want 5", d)
+	}
+	if d := p.DistSq(q); d != 25 {
+		t.Fatalf("DistSq = %v, want 25", d)
+	}
+}
+
+func TestPointAddSub(t *testing.T) {
+	p := Point{1, 2}.Add(3, 4)
+	if p != (Point{4, 6}) {
+		t.Fatalf("Add = %v", p)
+	}
+	d := Point{4, 6}.Sub(Point{1, 2})
+	if d != (Point{3, 4}) {
+		t.Fatalf("Sub = %v", d)
+	}
+}
+
+func TestNewRectNormalises(t *testing.T) {
+	r := NewRect(10, 20, 0, 5)
+	if r.MinX != 0 || r.MaxX != 10 || r.MinY != 5 || r.MaxY != 20 {
+		t.Fatalf("NewRect did not normalise: %+v", r)
+	}
+	if r.Width() != 10 || r.Height() != 15 {
+		t.Fatalf("Width/Height = %v/%v", r.Width(), r.Height())
+	}
+}
+
+func TestRectContainsHalfOpen(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{5, 5}, true},
+		{Point{10, 5}, false}, // max edge excluded
+		{Point{5, 10}, false},
+		{Point{-0.1, 5}, false},
+		{Point{9.999, 9.999}, true},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectClamp(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	for _, p := range []Point{{-5, -5}, {15, 15}, {5, 20}, {5, 5}, {10, 10}} {
+		c := r.Clamp(p)
+		if !r.Contains(c) {
+			t.Errorf("Clamp(%v) = %v not contained in %+v", p, c, r)
+		}
+	}
+	// An interior point is unchanged.
+	if got := r.Clamp(Point{3, 4}); got != (Point{3, 4}) {
+		t.Errorf("Clamp moved interior point to %v", got)
+	}
+}
+
+func TestRectCenter(t *testing.T) {
+	r := NewRect(0, 0, 30, 30)
+	if c := r.Center(); c != (Point{15, 15}) {
+		t.Fatalf("Center = %v", c)
+	}
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(NewRect(0, 0, 10, 10), 0, 5); err == nil {
+		t.Fatal("zero cols accepted")
+	}
+	if _, err := NewGrid(NewRect(0, 0, 10, 10), 5, -1); err == nil {
+		t.Fatal("negative rows accepted")
+	}
+	if _, err := NewGrid(Rect{}, 5, 5); err == nil {
+		t.Fatal("degenerate field accepted")
+	}
+}
+
+func TestGridZoneAtCorners(t *testing.T) {
+	g := mustGrid(t)
+	if z := g.ZoneAt(Point{0, 0}); z != 0 {
+		t.Fatalf("ZoneAt(origin) = %d, want 0", z)
+	}
+	if z := g.ZoneAt(Point{149.9, 149.9}); z != 24 {
+		t.Fatalf("ZoneAt(NE) = %d, want 24", z)
+	}
+	if z := g.ZoneAt(Point{149.9, 0}); z != 4 {
+		t.Fatalf("ZoneAt(SE) = %d, want 4", z)
+	}
+	// Outside the field clamps rather than panicking.
+	if z := g.ZoneAt(Point{-10, 500}); z != 20 {
+		t.Fatalf("ZoneAt(outside NW) = %d, want 20", z)
+	}
+}
+
+func TestGridZoneRectRoundTrip(t *testing.T) {
+	g := mustGrid(t)
+	for id := ZoneID(0); int(id) < g.NumZones(); id++ {
+		r, err := g.ZoneRect(id)
+		if err != nil {
+			t.Fatalf("ZoneRect(%d): %v", id, err)
+		}
+		if got := g.ZoneAt(r.Center()); got != id {
+			t.Fatalf("ZoneAt(center of %d) = %d", id, got)
+		}
+		if math.Abs(r.Width()-30) > 1e-9 || math.Abs(r.Height()-30) > 1e-9 {
+			t.Fatalf("zone %d is %vx%v, want 30x30", id, r.Width(), r.Height())
+		}
+	}
+	if _, err := g.ZoneRect(25); err == nil {
+		t.Fatal("out-of-range zone accepted")
+	}
+	if _, err := g.ZoneRect(-1); err == nil {
+		t.Fatal("negative zone accepted")
+	}
+}
+
+func TestGridNeighbors(t *testing.T) {
+	g := mustGrid(t)
+	cases := []struct {
+		id   ZoneID
+		want int
+	}{
+		{0, 2},  // corner
+		{2, 3},  // edge
+		{12, 4}, // interior
+		{24, 2}, // corner
+	}
+	for _, c := range cases {
+		if got := len(g.Neighbors(c.id)); got != c.want {
+			t.Errorf("zone %d has %d neighbours, want %d", c.id, got, c.want)
+		}
+	}
+	// Neighbour relation is symmetric.
+	for id := ZoneID(0); int(id) < g.NumZones(); id++ {
+		for _, n := range g.Neighbors(id) {
+			if !g.Adjacent(n, id) {
+				t.Fatalf("adjacency not symmetric between %d and %d", id, n)
+			}
+		}
+	}
+	if g.Adjacent(0, 24) {
+		t.Fatal("opposite corners reported adjacent")
+	}
+	if g.Adjacent(0, 6) {
+		t.Fatal("diagonal zones reported adjacent (4-connectivity expected)")
+	}
+}
+
+func TestGridAccessors(t *testing.T) {
+	g := mustGrid(t)
+	if g.Cols() != 5 || g.Rows() != 5 || g.NumZones() != 25 {
+		t.Fatalf("grid shape %dx%d (%d zones)", g.Cols(), g.Rows(), g.NumZones())
+	}
+	if g.Field().Width() != 150 {
+		t.Fatalf("field width %v", g.Field().Width())
+	}
+}
+
+// Property: every point in the field maps to a zone whose rect contains it.
+func TestPropertyZoneAtConsistent(t *testing.T) {
+	g, err := NewGrid(NewRect(0, 0, 150, 150), 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(xu, yu uint16) bool {
+		p := Point{float64(xu) / 65536 * 150, float64(yu) / 65536 * 150}
+		r, err := g.ZoneRect(g.ZoneAt(p))
+		if err != nil {
+			return false
+		}
+		return r.Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distance is symmetric and satisfies the triangle inequality on
+// bounded inputs.
+func TestPropertyDistanceMetric(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		c := Point{float64(cx), float64(cy)}
+		if math.Abs(a.Dist(b)-b.Dist(a)) > 1e-9 {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,575 @@
+// Package mac implements the cross-layer medium-access engine of the
+// paper's §3.2: the contention-based asynchronous phase (adaptive listening,
+// preamble, RTS, slotted CTS replies) and the contention-free synchronous
+// phase (SCHEDULE, DATA multicast, slotted ACKs), plus NAV-style deference
+// for bystanders.
+//
+// The engine is routing-agnostic: all forwarding decisions (who qualifies,
+// which receivers to select, what the data message is, how queues and
+// delivery probabilities update) are delegated to a Policy. The OPT/NOOPT
+// protocol and the ZBR baseline are Policies layered on the same engine,
+// exactly as the paper's §5 prescribes ("ZBR differs from OPT only in the
+// message transmission scheme").
+package mac
+
+import (
+	"errors"
+	"fmt"
+
+	"dftmsn/internal/packet"
+	"dftmsn/internal/radio"
+	"dftmsn/internal/sim"
+	"dftmsn/internal/simrand"
+)
+
+// Candidate is a potential receiver learned from its CTS during the
+// contention window.
+type Candidate struct {
+	Node        packet.NodeID
+	Xi          float64
+	BufferAvail int
+	History     float64
+}
+
+// Outcome summarises one finished working cycle for the node that ran it.
+type Outcome struct {
+	// Sent reports the node multicast data and received at least one ACK.
+	Sent bool
+	// Received reports the node accepted a data message as a scheduled
+	// receiver.
+	Received bool
+	// AckedReceivers lists the receivers that acknowledged, when Sent.
+	AckedReceivers []packet.NodeID
+	// Attempted reports the node transmitted a preamble this cycle.
+	Attempted bool
+	// Deferred reports the cycle ended in NAV deference or busy channel.
+	Deferred bool
+}
+
+// Policy supplies the routing half of the cross-layer protocol.
+type Policy interface {
+	// HasData reports whether the node has a message ready to send.
+	HasData() bool
+	// SenderParams returns the fields of the outgoing RTS: the node's
+	// delivery probability, the FTD of the head-of-queue message, the
+	// contention window W (slots), and the scheme's history metric.
+	SenderParams() (xi, ftd float64, window int, history float64)
+	// Qualify decides whether this node can serve as a receiver for the
+	// given RTS; if so it returns the CTS fields.
+	Qualify(rts *packet.RTS) (ok bool, xi float64, bufferAvail int, history float64)
+	// BuildSchedule selects the receiver set and the data frame to send.
+	// Returning no entries aborts the synchronous phase. Candidates arrive
+	// in CTS-arrival order; ordering/selection is the policy's business.
+	BuildSchedule(cands []Candidate) ([]packet.ScheduleEntry, *packet.Data)
+	// OnDataReceived delivers an accepted message with this node's
+	// schedule entry (carrying its copy FTD). It reports whether the copy
+	// was kept; an unkept copy is not acknowledged, so the sender will not
+	// count it toward the message's fault tolerance.
+	OnDataReceived(d *packet.Data, entry packet.ScheduleEntry) bool
+	// OnTxOutcome reports which scheduled receivers acknowledged, after
+	// the ACK window closes. Policies update queues, FTDs and ξ here.
+	OnTxOutcome(entries []packet.ScheduleEntry, acked []packet.NodeID)
+	// OnNeighborInfo reports protocol-parameter gossip overheard in RTS
+	// and CTS frames (for neighbour tables driving the §4 optimizers).
+	OnNeighborInfo(node packet.NodeID, xi float64, history float64)
+}
+
+// Config holds the engine timing parameters, all in seconds.
+type Config struct {
+	// SlotTime is one contention slot: control-frame air time plus
+	// processing allowance (§4.3: "each slot equals the time to transmit
+	// a CTS packet plus the time to process it").
+	SlotTime float64
+	// Guard is the short inter-frame spacing within an exchange.
+	Guard float64
+	// AckSlot is t_ack, the per-receiver ACK slot length.
+	AckSlot float64
+	// ReceiverListenSlots is how many slots a node with no data keeps
+	// listening before its cycle ends idle.
+	ReceiverListenSlots int
+	// RTSTimeoutSlots bounds the wait for an RTS after a preamble.
+	RTSTimeoutSlots int
+}
+
+// DefaultConfig derives engine timing from the channel: slot = control air
+// time + 1 ms processing, matching the paper's §4.3 slot definition.
+func DefaultConfig(ctrlAirTime float64) Config {
+	const proc = 1e-3
+	return Config{
+		SlotTime:            ctrlAirTime + proc,
+		Guard:               0.5e-3,
+		AckSlot:             ctrlAirTime + proc,
+		ReceiverListenSlots: 32,
+		RTSTimeoutSlots:     3,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SlotTime <= 0 || c.Guard < 0 || c.AckSlot <= 0 {
+		return fmt.Errorf("mac: non-positive timing in %+v", c)
+	}
+	if c.ReceiverListenSlots < 1 || c.RTSTimeoutSlots < 1 {
+		return fmt.Errorf("mac: slot counts must be >= 1 in %+v", c)
+	}
+	return nil
+}
+
+// phase is the engine's protocol state.
+type phase int
+
+const (
+	phOff           phase = iota // no cycle in progress
+	phListen                     // adaptive listening before a send attempt
+	phListenOnly                 // no data: pure receiver window
+	phSendPreamble               // preamble on the air
+	phSendRTS                    // RTS on the air
+	phCTSWindow                  // sender: collecting CTS replies
+	phSendSchedule               // SCHEDULE on the air
+	phSendData                   // DATA on the air
+	phAckWindow                  // sender: collecting ACKs
+	phAwaitRTS                   // responder: preamble heard
+	phAwaitSchedule              // responder: CTS sent (or qualified), waiting
+	phAwaitData                  // responder: scheduled, waiting for DATA
+	phSendAck                    // responder: ACK on the air
+	phNAV                        // bystander: deferring until exchange ends
+)
+
+// Stats counts engine-level events for one node.
+type Stats struct {
+	Cycles          uint64
+	Attempts        uint64 // preambles sent
+	SendSuccesses   uint64 // cycles with >= 1 ACK
+	Receives        uint64 // data messages accepted
+	CTSSent         uint64
+	NAVDeferrals    uint64
+	BusyChannel     uint64 // listen expired with carrier busy
+	ScheduleMissed  uint64 // qualified but not selected
+	CollisionsHeard uint64
+}
+
+// Engine runs the two-phase protocol for one node. It implements
+// radio.Handler; attach it as the node's radio handler.
+type Engine struct {
+	id     packet.NodeID
+	sched  *sim.Scheduler
+	radio  *radio.Radio
+	medium *radio.Medium
+	cfg    Config
+	policy Policy
+	rng    *simrand.Source
+	onEnd  func(Outcome)
+
+	phase   phase
+	timer   *sim.Event
+	ctsSend *sim.Event
+	ackSend *sim.Event
+
+	// Sender-side cycle state.
+	cands       []Candidate
+	entries     []packet.ScheduleEntry
+	acked       []packet.NodeID
+	pendingData *packet.Data
+
+	// onAwake forwards radio wake completion to the owning node.
+	onAwake func()
+
+	// Responder-side cycle state.
+	rts     *packet.RTS
+	myEntry packet.ScheduleEntry
+	myIdx   int
+
+	out   Outcome
+	stats Stats
+}
+
+// New creates an engine. onEnd fires exactly once per started cycle, with
+// the cycle's outcome; the engine is then idle until StartCycle is called
+// again. The radio must use this engine as its handler.
+func New(id packet.NodeID, sched *sim.Scheduler, medium *radio.Medium, cfg Config, policy Policy, rng *simrand.Source, onEnd func(Outcome)) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sched == nil || medium == nil || policy == nil || rng == nil || onEnd == nil {
+		return nil, errors.New("mac: nil dependency")
+	}
+	return &Engine{
+		id:     id,
+		sched:  sched,
+		medium: medium,
+		cfg:    cfg,
+		policy: policy,
+		rng:    rng,
+		onEnd:  onEnd,
+	}, nil
+}
+
+// Bind attaches the engine to its radio. Must be called once before
+// StartCycle (the radio needs the engine as handler, so construction is
+// two-phase).
+func (e *Engine) Bind(r *radio.Radio) error {
+	if r == nil {
+		return errors.New("mac: nil radio")
+	}
+	e.radio = r
+	return nil
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// InCycle reports whether a cycle is currently running.
+func (e *Engine) InCycle() bool { return e.phase != phOff }
+
+// StartCycle begins one working cycle with an adaptive listening period of
+// tauSlots slots (§4.2: drawn by the caller uniformly from [1, σ]).
+// The radio must be idle.
+func (e *Engine) StartCycle(tauSlots int) error {
+	if e.radio == nil {
+		return errors.New("mac: engine not bound to a radio")
+	}
+	if e.phase != phOff {
+		return errors.New("mac: cycle already in progress")
+	}
+	if e.radio.State() != radio.Idle {
+		return fmt.Errorf("mac: radio %v, need idle", e.radio.State())
+	}
+	if tauSlots < 1 {
+		tauSlots = 1
+	}
+	e.stats.Cycles++
+	e.out = Outcome{}
+	e.cands = e.cands[:0]
+	e.entries = nil
+	e.acked = nil
+	e.rts = nil
+	e.phase = phListen
+	e.setTimer(float64(tauSlots)*e.cfg.SlotTime, e.listenExpired)
+	return nil
+}
+
+// setTimer replaces the engine timer.
+func (e *Engine) setTimer(d sim.Duration, fn func()) {
+	e.sched.Cancel(e.timer)
+	e.timer = e.sched.After(d, fn)
+}
+
+// Abort cancels the cycle in progress without reporting an outcome — used
+// when the node dies mid-cycle. The engine cannot be restarted afterwards
+// except by StartCycle on a live radio.
+func (e *Engine) Abort() {
+	e.sched.Cancel(e.timer)
+	e.sched.Cancel(e.ctsSend)
+	e.sched.Cancel(e.ackSend)
+	e.timer, e.ctsSend, e.ackSend = nil, nil, nil
+	e.phase = phOff
+}
+
+// endCycle finishes the cycle and reports the outcome.
+func (e *Engine) endCycle() {
+	e.sched.Cancel(e.timer)
+	e.sched.Cancel(e.ctsSend)
+	e.sched.Cancel(e.ackSend)
+	e.timer, e.ctsSend, e.ackSend = nil, nil, nil
+	e.phase = phOff
+	out := e.out
+	e.onEnd(out)
+}
+
+// listenExpired fires when the adaptive listening period passes without the
+// node being drawn into another exchange.
+func (e *Engine) listenExpired() {
+	if e.radio.CarrierBusy() || e.radio.State() != radio.Idle {
+		// Mid-frame energy on the channel (undecodable): give up this
+		// attempt and restart the asynchronous phase next cycle (§3.2.1).
+		e.stats.BusyChannel++
+		e.out.Deferred = true
+		e.endCycle()
+		return
+	}
+	if !e.policy.HasData() {
+		// Receiver-only window: stay available for incoming preambles.
+		e.phase = phListenOnly
+		e.setTimer(float64(e.cfg.ReceiverListenSlots)*e.cfg.SlotTime, func() {
+			e.endCycle()
+		})
+		return
+	}
+	// Channel idle and data pending: grab the channel with a preamble.
+	e.stats.Attempts++
+	e.out.Attempted = true
+	e.phase = phSendPreamble
+	if err := e.radio.Transmit(&packet.Preamble{From: e.id}); err != nil {
+		// A frame started in this same instant; treat as busy.
+		e.stats.BusyChannel++
+		e.out.Deferred = true
+		e.endCycle()
+	}
+}
+
+// OnTxDone implements radio.Handler: advances the sender-side pipeline.
+func (e *Engine) OnTxDone(f packet.Frame) {
+	switch e.phase {
+	case phSendPreamble:
+		xi, ftdVal, window, history := e.policy.SenderParams()
+		if window < 1 {
+			window = 1
+		}
+		rts := &packet.RTS{From: e.id, Xi: xi, FTD: ftdVal, Window: window, History: history}
+		e.phase = phSendRTS
+		if err := e.radio.Transmit(rts); err != nil {
+			e.endCycle()
+			return
+		}
+		e.rts = rts
+	case phSendRTS:
+		// Contention window opens: collect CTS replies for W slots.
+		e.phase = phCTSWindow
+		w := float64(e.rts.Window)
+		e.setTimer(w*e.cfg.SlotTime+e.cfg.Guard, e.windowClosed)
+	case phSendSchedule:
+		e.phase = phSendData
+		if err := e.radio.Transmit(e.pendingData); err != nil {
+			e.policy.OnTxOutcome(e.entries, nil)
+			e.endCycle()
+		}
+	case phSendData:
+		// ACK window: one AckSlot per scheduled receiver, plus guard.
+		e.phase = phAckWindow
+		d := float64(len(e.entries))*e.cfg.AckSlot + e.cfg.Guard
+		e.setTimer(d, e.acksClosed)
+	case phSendAck:
+		e.out.Received = true
+		e.stats.Receives++
+		e.endCycle()
+	default:
+		// CTS transmit completion (responder) or stray: nothing to do.
+	}
+}
+
+// windowClosed ends the contention window on the sender.
+func (e *Engine) windowClosed() {
+	entries, data := e.policy.BuildSchedule(e.cands)
+	if len(entries) == 0 || data == nil {
+		// No qualified receivers answered: restart asynchronous phase.
+		e.endCycle()
+		return
+	}
+	e.entries = entries
+	e.pendingData = data
+	e.phase = phSendSchedule
+	sched := &packet.Schedule{From: e.id, Entries: entries}
+	if err := e.radio.Transmit(sched); err != nil {
+		e.policy.OnTxOutcome(e.entries, nil)
+		e.endCycle()
+	}
+}
+
+// acksClosed ends the ACK window on the sender.
+func (e *Engine) acksClosed() {
+	e.policy.OnTxOutcome(e.entries, e.acked)
+	if len(e.acked) > 0 {
+		e.out.Sent = true
+		e.out.AckedReceivers = append([]packet.NodeID(nil), e.acked...)
+		e.stats.SendSuccesses++
+	}
+	e.endCycle()
+}
+
+// OnFrame implements radio.Handler: dispatches received frames by phase.
+func (e *Engine) OnFrame(f packet.Frame) {
+	switch fr := f.(type) {
+	case *packet.Preamble:
+		e.onPreamble(fr)
+	case *packet.RTS:
+		e.onRTS(fr)
+	case *packet.CTS:
+		e.onCTS(fr)
+	case *packet.Schedule:
+		e.onSchedule(fr)
+	case *packet.Data:
+		e.onData(fr)
+	case *packet.Ack:
+		e.onAck(fr)
+	}
+}
+
+func (e *Engine) onPreamble(p *packet.Preamble) {
+	switch e.phase {
+	case phListen, phListenOnly:
+		// Someone grabbed the channel: become a potential responder.
+		e.phase = phAwaitRTS
+		e.setTimer(float64(e.cfg.RTSTimeoutSlots)*e.cfg.SlotTime, func() {
+			e.endCycle() // RTS never arrived
+		})
+	default:
+		// Engaged elsewhere: ignore.
+	}
+}
+
+func (e *Engine) onRTS(r *packet.RTS) {
+	e.policy.OnNeighborInfo(r.From, r.Xi, r.History)
+	if e.phase != phAwaitRTS {
+		return
+	}
+	e.rts = r
+	ok, xi, avail, history := e.policy.Qualify(r)
+	if !ok {
+		// Fig. 1(d): unqualified neighbours defer for the whole exchange.
+		e.deferNAV(r.Window)
+		return
+	}
+	// Qualified: reply with CTS in a uniformly chosen slot of the window.
+	slot := e.rng.SlotIn(r.Window)
+	delay := float64(slot-1)*e.cfg.SlotTime + e.cfg.Guard
+	cts := &packet.CTS{From: e.id, To: r.From, Xi: xi, BufferAvail: avail, History: history}
+	e.sched.Cancel(e.ctsSend)
+	e.ctsSend = e.sched.After(delay, func() {
+		if e.phase != phAwaitSchedule {
+			return
+		}
+		if e.radio.State() != radio.Idle {
+			return // mid-reception of a colliding CTS: slot lost
+		}
+		if err := e.radio.Transmit(cts); err == nil {
+			e.stats.CTSSent++
+		}
+	})
+	e.phase = phAwaitSchedule
+	// Wait out the window plus the SCHEDULE frame itself.
+	timeout := float64(r.Window+2)*e.cfg.SlotTime + e.medium.AirTime(&packet.Schedule{}) + 4*e.cfg.Guard
+	e.setTimer(timeout, func() {
+		e.stats.ScheduleMissed++
+		e.endCycle()
+	})
+}
+
+func (e *Engine) onCTS(c *packet.CTS) {
+	e.policy.OnNeighborInfo(c.From, c.Xi, c.History)
+	if e.phase == phCTSWindow && c.To == e.id {
+		e.cands = append(e.cands, Candidate{
+			Node:        c.From,
+			Xi:          c.Xi,
+			BufferAvail: c.BufferAvail,
+			History:     c.History,
+		})
+	}
+}
+
+func (e *Engine) onSchedule(s *packet.Schedule) {
+	if e.phase != phAwaitSchedule || e.rts == nil || s.From != e.rts.From {
+		return
+	}
+	for i, entry := range s.Entries {
+		if entry.Node == e.id {
+			e.myEntry = entry
+			e.myIdx = i
+			e.phase = phAwaitData
+			dataTimeout := e.medium.AirTime(&packet.Data{}) + float64(e.cfg.RTSTimeoutSlots)*e.cfg.SlotTime
+			e.setTimer(dataTimeout, func() { e.endCycle() })
+			return
+		}
+	}
+	// Qualified but not selected: defer until the exchange completes.
+	e.stats.ScheduleMissed++
+	e.deferNAVForData(len(s.Entries))
+}
+
+func (e *Engine) onData(d *packet.Data) {
+	if e.phase != phAwaitData || e.rts == nil || d.From != e.rts.From {
+		return
+	}
+	if !e.policy.OnDataReceived(d, e.myEntry) {
+		// The queue rejected the copy: stay silent so the sender does not
+		// count phantom coverage (its lost-ACK path removes us from Φ).
+		e.endCycle()
+		return
+	}
+	// ACK in our slot: the k-th listed receiver ACKs k·t_ack after the
+	// data (§3.2.2), i.e. slot k of the ACK window.
+	ack := &packet.Ack{From: e.id, To: d.From, ID: d.ID}
+	delay := float64(e.myIdx)*e.cfg.AckSlot + e.cfg.Guard
+	e.phase = phSendAck
+	e.sched.Cancel(e.ackSend)
+	e.ackSend = e.sched.After(delay, func() {
+		if e.phase != phSendAck {
+			return
+		}
+		if err := e.radio.Transmit(ack); err != nil {
+			// Slot unusable (still mid-reception): message kept, but the
+			// sender will treat us as invalid — matching the paper's lost
+			// ACK handling. The data still counts as received locally.
+			e.out.Received = true
+			e.stats.Receives++
+			e.endCycle()
+		}
+	})
+	// Backstop in case the ACK transmit never completes.
+	e.setTimer(delay+e.cfg.AckSlot+4*e.cfg.Guard+e.medium.AirTime(ack), func() {
+		if e.phase == phSendAck {
+			e.out.Received = true
+			e.stats.Receives++
+			e.endCycle()
+		}
+	})
+}
+
+func (e *Engine) onAck(a *packet.Ack) {
+	if e.phase == phAckWindow && a.To == e.id {
+		e.acked = append(e.acked, a.From)
+	}
+}
+
+// deferNAV silences the node for a whole worst-case exchange triggered by
+// an RTS with the given window: W CTS slots, SCHEDULE, DATA, and up to W
+// ACK slots.
+func (e *Engine) deferNAV(window int) {
+	e.stats.NAVDeferrals++
+	e.out.Deferred = true
+	e.phase = phNAV
+	d := float64(window)*e.cfg.SlotTime +
+		e.medium.AirTime(&packet.Schedule{}) +
+		e.medium.AirTime(&packet.Data{}) +
+		float64(window)*e.cfg.AckSlot +
+		8*e.cfg.Guard
+	e.setTimer(d, func() { e.endCycle() })
+}
+
+// deferNAVForData silences the node for the remaining DATA + ACK portion of
+// an exchange with n scheduled receivers.
+func (e *Engine) deferNAVForData(n int) {
+	e.stats.NAVDeferrals++
+	e.out.Deferred = true
+	e.phase = phNAV
+	d := e.medium.AirTime(&packet.Data{}) + float64(n)*e.cfg.AckSlot + 8*e.cfg.Guard
+	e.setTimer(d, func() { e.endCycle() })
+}
+
+// OnCollision implements radio.Handler.
+func (e *Engine) OnCollision() {
+	e.stats.CollisionsHeard++
+	switch e.phase {
+	case phAwaitRTS:
+		// The RTS (or a second preamble) was corrupted: give up.
+		e.endCycle()
+	case phAwaitSchedule, phAwaitData:
+		// Corrupted SCHEDULE or DATA: the exchange is lost for us; let the
+		// timeout timer end the cycle (other frames may still arrive).
+	default:
+		// Noise during listen or windows: individual slots are simply lost.
+	}
+}
+
+// SetAwakeFunc registers the owner's wake callback: the engine is the
+// radio's handler, so wake completions arrive here and are forwarded.
+func (e *Engine) SetAwakeFunc(fn func()) { e.onAwake = fn }
+
+// OnAwake implements radio.Handler by forwarding to the owner, which
+// typically starts the next working cycle.
+func (e *Engine) OnAwake() {
+	if e.onAwake != nil {
+		e.onAwake()
+	}
+}
+
+var _ radio.Handler = (*Engine)(nil)

@@ -1,0 +1,194 @@
+package mac
+
+import (
+	"testing"
+
+	"dftmsn/internal/energy"
+	"dftmsn/internal/geo"
+	"dftmsn/internal/packet"
+	"dftmsn/internal/radio"
+)
+
+// rawSender attaches a bare radio (no engine) used to inject arbitrary
+// frames into a rig.
+type rawHandler struct{}
+
+func (rawHandler) OnFrame(packet.Frame)  {}
+func (rawHandler) OnCollision()          {}
+func (rawHandler) OnTxDone(packet.Frame) {}
+func (rawHandler) OnAwake()              {}
+
+func (rg *rig) addRaw(t *testing.T, id packet.NodeID, pos geo.Point) *radio.Radio {
+	t.Helper()
+	r, err := rg.medium.Attach(id, func() geo.Point { return pos }, rawHandler{}, energy.BerkeleyMote(), radio.Idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestPreambleWithoutRTSTimesOut(t *testing.T) {
+	rg := newRig(t)
+	listener := rg.addNode(t, 1, geo.Point{X: 0, Y: 0})
+	rogue := rg.addRaw(t, 2, geo.Point{X: 5, Y: 0})
+	if err := listener.engine.StartCycle(40); err != nil {
+		t.Fatal(err)
+	}
+	// A preamble with no follow-up RTS: the listener must give up after
+	// the RTS timeout rather than hanging in phAwaitRTS.
+	rg.sched.After(0.01, func() {
+		if err := rogue.Transmit(&packet.Preamble{From: 2}); err != nil {
+			t.Errorf("rogue transmit: %v", err)
+		}
+	})
+	if err := rg.sched.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(listener.outcomes) != 1 {
+		t.Fatalf("outcomes = %d, want 1", len(listener.outcomes))
+	}
+	if listener.engine.InCycle() {
+		t.Fatal("engine stuck awaiting RTS")
+	}
+}
+
+func TestQualifiedButNotScheduledDefers(t *testing.T) {
+	// Two qualified receivers answer, but the stub policy is patched to
+	// schedule only the first candidate; the other must take the
+	// schedule-missed NAV path and end its cycle cleanly.
+	rg := newRig(t)
+	sender := rg.addNode(t, 1, geo.Point{X: 0, Y: 0})
+	r1 := rg.addNode(t, 2, geo.Point{X: 6, Y: 0})
+	r2 := rg.addNode(t, 3, geo.Point{X: -6, Y: 0})
+	sender.policy.hasData = true
+	sender.policy.window = 16
+	sender.policy.scheduleFirstOnly = true
+	for _, r := range []*node{r1, r2} {
+		r.policy.qualify = true
+		r.policy.qXi = 0.9
+		r.policy.qBuf = 5
+	}
+	if err := sender.engine.StartCycle(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.engine.StartCycle(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.engine.StartCycle(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.sched.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if !sender.outcomes[0].Sent || len(sender.outcomes[0].AckedReceivers) != 1 {
+		t.Fatalf("sender outcome %+v", sender.outcomes[0])
+	}
+	gotData, missed := 0, 0
+	for _, r := range []*node{r1, r2} {
+		gotData += len(r.policy.received)
+		missed += int(r.engine.Stats().ScheduleMissed)
+	}
+	if gotData != 1 {
+		t.Fatalf("receivers stored %d copies, want 1", gotData)
+	}
+	if missed != 1 {
+		t.Fatalf("schedule-missed count %d, want 1", missed)
+	}
+	if r1.engine.InCycle() || r2.engine.InCycle() {
+		t.Fatal("a receiver engine is stuck")
+	}
+}
+
+func TestLateCTSIgnored(t *testing.T) {
+	// A CTS arriving outside the contention window (injected raw after the
+	// window closed) must not become a candidate.
+	rg := newRig(t)
+	sender := rg.addNode(t, 1, geo.Point{X: 0, Y: 0})
+	sender.policy.hasData = true
+	sender.policy.window = 2
+	rogue := rg.addRaw(t, 9, geo.Point{X: 5, Y: 0})
+	if err := sender.engine.StartCycle(1); err != nil {
+		t.Fatal(err)
+	}
+	// Well after the 2-slot window: the sender has already given up.
+	rg.sched.After(1.0, func() {
+		if rogue.State() == radio.Idle {
+			_ = rogue.Transmit(&packet.CTS{From: 9, To: 1, Xi: 0.9, BufferAvail: 5})
+		}
+	})
+	if err := rg.sched.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if sender.outcomes[0].Sent {
+		t.Fatal("late CTS produced a send")
+	}
+	if rg.medium.Stats().FramesSent[packet.KindData] != 0 {
+		t.Fatal("data sent from a late CTS")
+	}
+}
+
+func TestAckSlotOrderingIsCollisionFree(t *testing.T) {
+	// Three scheduled receivers, all in range of one another: the slotted
+	// ACK design must deliver all three ACKs without collisions.
+	rg := newRig(t)
+	sender := rg.addNode(t, 1, geo.Point{X: 0, Y: 0})
+	receivers := []*node{
+		rg.addNode(t, 2, geo.Point{X: 3, Y: 0}),
+		rg.addNode(t, 3, geo.Point{X: 0, Y: 3}),
+		rg.addNode(t, 4, geo.Point{X: -3, Y: 0}),
+	}
+	sender.policy.hasData = true
+	sender.policy.window = 24
+	for _, r := range receivers {
+		r.policy.qualify = true
+		r.policy.qXi = 0.9
+		r.policy.qBuf = 5
+	}
+	if err := sender.engine.StartCycle(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range receivers {
+		if err := r.engine.StartCycle(60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rg.sched.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	so := sender.outcomes[0]
+	if len(so.AckedReceivers) != 3 {
+		t.Fatalf("acked %d receivers, want 3 (outcome %+v)", len(so.AckedReceivers), so)
+	}
+	st := rg.medium.Stats()
+	if st.FramesSent[packet.KindAck] != 3 || st.FramesDelivered[packet.KindAck] < 3 {
+		t.Fatalf("ACK stats: %d sent %d delivered", st.FramesSent[packet.KindAck], st.FramesDelivered[packet.KindAck])
+	}
+}
+
+func TestOutcomeAckedReceiversIsCopy(t *testing.T) {
+	rg := newRig(t)
+	sender := rg.addNode(t, 1, geo.Point{X: 0, Y: 0})
+	receiver := rg.addNode(t, 2, geo.Point{X: 5, Y: 0})
+	sender.policy.hasData = true
+	receiver.policy.qualify = true
+	receiver.policy.qXi = 0.9
+	receiver.policy.qBuf = 5
+	if err := sender.engine.StartCycle(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := receiver.engine.StartCycle(30); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.sched.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	out := sender.outcomes[0]
+	out.AckedReceivers[0] = 99
+	// A later cycle must not observe the mutation (defensive copy).
+	if err := sender.engine.StartCycle(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.sched.Run(10); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package mac
+
+import (
+	"fmt"
+	"testing"
+
+	"dftmsn/internal/geo"
+	"dftmsn/internal/packet"
+	"dftmsn/internal/simrand"
+)
+
+// TestPropertyEnginesNeverWedge throws randomized swarms at the engine:
+// random positions (so range/hidden-terminal topologies vary), random
+// policies (data/no-data, qualify/refuse, random windows), and repeated
+// cycles. Invariant: every started cycle ends — no engine is left mid-cycle
+// once the event queue drains, and cycle counts equal outcome counts.
+func TestPropertyEnginesNeverWedge(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := simrand.New(uint64(trial) + 100)
+			rg := newRig(t)
+			n := 3 + rng.IntN(6)
+			nodes := make([]*node, 0, n)
+			for i := 0; i < n; i++ {
+				pos := geo.Point{X: rng.Uniform(0, 25), Y: rng.Uniform(0, 25)}
+				nd := rg.addNode(t, packet.NodeID(i+1), pos)
+				nd.policy.hasData = rng.Bool(0.6)
+				nd.policy.qualify = rng.Bool(0.6)
+				nd.policy.qXi = rng.Float64()
+				nd.policy.qBuf = rng.IntN(5) // may be zero
+				nd.policy.window = 1 + rng.IntN(12)
+				nd.policy.rejectData = rng.Bool(0.2)
+				nodes = append(nodes, nd)
+			}
+			// Every node restarts its cycle on completion, up to a budget.
+			// A cycle can end while a foreign frame is mid-air at this
+			// radio (NAV expiry during a reception); like core.Node, retry
+			// shortly instead of treating that as fatal.
+			const cyclesPerNode = 25
+			for _, nd := range nodes {
+				nd := nd
+				count := 0
+				var restart func()
+				restart = func() {
+					if err := nd.engine.StartCycle(1 + nd.policy.qBuf); err != nil {
+						rg.sched.After(0.05, restart)
+					}
+				}
+				nd.engine.onEnd = func(o Outcome) {
+					nd.outcomes = append(nd.outcomes, o)
+					count++
+					if count < cyclesPerNode {
+						restart()
+					}
+				}
+				if err := nd.engine.StartCycle(1 + rng.IntN(8)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := rg.sched.Run(600); err != nil {
+				t.Fatal(err)
+			}
+			for i, nd := range nodes {
+				if nd.engine.InCycle() {
+					t.Errorf("node %d wedged mid-cycle (phase stuck)", i)
+				}
+				st := nd.engine.Stats()
+				if uint64(len(nd.outcomes)) != st.Cycles {
+					t.Errorf("node %d: %d outcomes for %d cycles", i, len(nd.outcomes), st.Cycles)
+				}
+				if len(nd.outcomes) != cyclesPerNode {
+					t.Errorf("node %d ran %d cycles, want %d", i, len(nd.outcomes), cyclesPerNode)
+				}
+			}
+		})
+	}
+}

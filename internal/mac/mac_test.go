@@ -1,0 +1,524 @@
+package mac
+
+import (
+	"testing"
+
+	"dftmsn/internal/energy"
+	"dftmsn/internal/geo"
+	"dftmsn/internal/packet"
+	"dftmsn/internal/radio"
+	"dftmsn/internal/sim"
+	"dftmsn/internal/simrand"
+)
+
+// stubPolicy is a scriptable Policy for engine tests.
+type stubPolicy struct {
+	hasData           bool
+	xi                float64
+	ftdVal            float64
+	window            int
+	qualify           bool
+	qXi               float64
+	qBuf              int
+	rejectData        bool
+	scheduleFirstOnly bool
+
+	received  []*packet.Data
+	rxEntries []packet.ScheduleEntry
+	outcomes  [][]packet.NodeID
+	outEnts   [][]packet.ScheduleEntry
+	neighbors map[packet.NodeID]float64
+
+	id     packet.NodeID
+	nextID packet.MessageID
+}
+
+func newStubPolicy(id packet.NodeID) *stubPolicy {
+	return &stubPolicy{id: id, window: 4, neighbors: map[packet.NodeID]float64{}, nextID: packet.MessageID(id) * 1000}
+}
+
+func (p *stubPolicy) HasData() bool { return p.hasData }
+
+func (p *stubPolicy) SenderParams() (float64, float64, int, float64) {
+	return p.xi, p.ftdVal, p.window, 0
+}
+
+func (p *stubPolicy) Qualify(*packet.RTS) (bool, float64, int, float64) {
+	return p.qualify, p.qXi, p.qBuf, 0
+}
+
+func (p *stubPolicy) BuildSchedule(cands []Candidate) ([]packet.ScheduleEntry, *packet.Data) {
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	if p.scheduleFirstOnly {
+		cands = cands[:1]
+	}
+	entries := make([]packet.ScheduleEntry, 0, len(cands))
+	for _, c := range cands {
+		entries = append(entries, packet.ScheduleEntry{Node: c.Node, FTD: 0.5})
+	}
+	p.nextID++
+	return entries, &packet.Data{From: p.id, ID: p.nextID, Origin: p.id}
+}
+
+func (p *stubPolicy) OnDataReceived(d *packet.Data, e packet.ScheduleEntry) bool {
+	if p.rejectData {
+		return false
+	}
+	p.received = append(p.received, d)
+	p.rxEntries = append(p.rxEntries, e)
+	return true
+}
+
+func (p *stubPolicy) OnTxOutcome(entries []packet.ScheduleEntry, acked []packet.NodeID) {
+	p.outcomes = append(p.outcomes, acked)
+	p.outEnts = append(p.outEnts, entries)
+}
+
+func (p *stubPolicy) OnNeighborInfo(n packet.NodeID, xi, _ float64) { p.neighbors[n] = xi }
+
+// node bundles an engine with its policy and recorded outcomes.
+type node struct {
+	engine   *Engine
+	policy   *stubPolicy
+	radio    *radio.Radio
+	outcomes []Outcome
+}
+
+type rig struct {
+	sched  *sim.Scheduler
+	medium *radio.Medium
+	cfg    Config
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	sched := sim.NewScheduler()
+	m, err := radio.NewMedium(sched, radio.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlAir := m.AirTime(&packet.Preamble{})
+	return &rig{sched: sched, medium: m, cfg: DefaultConfig(ctrlAir)}
+}
+
+func (rg *rig) addNode(t *testing.T, id packet.NodeID, pos geo.Point) *node {
+	t.Helper()
+	n := &node{policy: newStubPolicy(id)}
+	var err error
+	n.engine, err = New(id, rg.sched, rg.medium, rg.cfg, n.policy, simrand.New(uint64(id)+7), func(o Outcome) {
+		n.outcomes = append(n.outcomes, o)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.radio, err = rg.medium.Attach(id, func() geo.Point { return pos }, n.engine, energy.BerkeleyMote(), radio.Idle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.engine.Bind(n.radio); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig(0.005)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.SlotTime = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero slot accepted")
+	}
+	bad = good
+	bad.ReceiverListenSlots = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero receiver window accepted")
+	}
+	bad = good
+	bad.AckSlot = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative ack slot accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	rg := newRig(t)
+	if _, err := New(1, nil, rg.medium, rg.cfg, newStubPolicy(1), simrand.New(1), func(Outcome) {}); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	if _, err := New(1, rg.sched, rg.medium, rg.cfg, nil, simrand.New(1), func(Outcome) {}); err == nil {
+		t.Error("nil policy accepted")
+	}
+	e, err := New(1, rg.sched, rg.medium, rg.cfg, newStubPolicy(1), simrand.New(1), func(Outcome) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.StartCycle(1); err == nil {
+		t.Error("StartCycle before Bind accepted")
+	}
+	if err := e.Bind(nil); err == nil {
+		t.Error("Bind(nil) accepted")
+	}
+}
+
+func TestFullExchangeOneReceiver(t *testing.T) {
+	rg := newRig(t)
+	sender := rg.addNode(t, 1, geo.Point{X: 0, Y: 0})
+	receiver := rg.addNode(t, 2, geo.Point{X: 5, Y: 0})
+	sender.policy.hasData = true
+	sender.policy.xi = 0.2
+	sender.policy.ftdVal = 0.1
+	receiver.policy.qualify = true
+	receiver.policy.qXi = 0.8
+	receiver.policy.qBuf = 10
+
+	if err := sender.engine.StartCycle(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := receiver.engine.StartCycle(20); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.sched.Run(5); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(sender.outcomes) != 1 {
+		t.Fatalf("sender outcomes = %d, want 1", len(sender.outcomes))
+	}
+	so := sender.outcomes[0]
+	if !so.Sent || !so.Attempted {
+		t.Fatalf("sender outcome %+v, want Sent+Attempted", so)
+	}
+	if len(so.AckedReceivers) != 1 || so.AckedReceivers[0] != 2 {
+		t.Fatalf("acked = %v, want [2]", so.AckedReceivers)
+	}
+	if len(receiver.outcomes) != 1 || !receiver.outcomes[0].Received {
+		t.Fatalf("receiver outcomes = %+v", receiver.outcomes)
+	}
+	if len(receiver.policy.received) != 1 {
+		t.Fatalf("receiver got %d data frames", len(receiver.policy.received))
+	}
+	if receiver.policy.rxEntries[0].FTD != 0.5 {
+		t.Fatalf("entry FTD = %v, want schedule's 0.5", receiver.policy.rxEntries[0].FTD)
+	}
+	if len(sender.policy.outcomes) != 1 || len(sender.policy.outcomes[0]) != 1 {
+		t.Fatalf("policy OnTxOutcome = %+v", sender.policy.outcomes)
+	}
+	// Neighbour gossip flowed both ways: receiver saw sender's RTS xi,
+	// sender saw receiver's CTS xi.
+	if receiver.policy.neighbors[1] != 0.2 {
+		t.Fatalf("receiver neighbour table %v", receiver.policy.neighbors)
+	}
+	if sender.policy.neighbors[2] != 0.8 {
+		t.Fatalf("sender neighbour table %v", sender.policy.neighbors)
+	}
+	// Engine stats.
+	if st := sender.engine.Stats(); st.Attempts != 1 || st.SendSuccesses != 1 {
+		t.Fatalf("sender stats %+v", st)
+	}
+	if st := receiver.engine.Stats(); st.CTSSent != 1 || st.Receives != 1 {
+		t.Fatalf("receiver stats %+v", st)
+	}
+}
+
+func TestMulticastTwoReceivers(t *testing.T) {
+	rg := newRig(t)
+	sender := rg.addNode(t, 1, geo.Point{X: 0, Y: 0})
+	r1 := rg.addNode(t, 2, geo.Point{X: 6, Y: 0})
+	r2 := rg.addNode(t, 3, geo.Point{X: -6, Y: 0}) // hidden from r1 (12 m apart)
+	sender.policy.hasData = true
+	sender.policy.window = 12 // wide window: slot collision unlikely
+	for _, r := range []*node{r1, r2} {
+		r.policy.qualify = true
+		r.policy.qXi = 0.9
+		r.policy.qBuf = 5
+	}
+	if err := sender.engine.StartCycle(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.engine.StartCycle(30); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.engine.StartCycle(30); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.sched.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	so := sender.outcomes[0]
+	if !so.Sent || len(so.AckedReceivers) != 2 {
+		t.Fatalf("sender outcome %+v, want 2 acked", so)
+	}
+	if len(r1.policy.received) != 1 || len(r2.policy.received) != 1 {
+		t.Fatalf("receivers got %d/%d frames", len(r1.policy.received), len(r2.policy.received))
+	}
+	// Both data frames are the same message.
+	if r1.policy.received[0].ID != r2.policy.received[0].ID {
+		t.Fatal("receivers decoded different messages")
+	}
+}
+
+func TestNoQualifiedReceivers(t *testing.T) {
+	rg := newRig(t)
+	sender := rg.addNode(t, 1, geo.Point{X: 0, Y: 0})
+	bystander := rg.addNode(t, 2, geo.Point{X: 5, Y: 0})
+	sender.policy.hasData = true
+	bystander.policy.qualify = false
+	if err := sender.engine.StartCycle(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := bystander.engine.StartCycle(20); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.sched.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	so := sender.outcomes[0]
+	if so.Sent || !so.Attempted {
+		t.Fatalf("sender outcome %+v, want attempted but unsent", so)
+	}
+	// The unqualified bystander deferred via NAV.
+	bo := bystander.outcomes[0]
+	if !bo.Deferred {
+		t.Fatalf("bystander outcome %+v, want deferred", bo)
+	}
+	if bystander.engine.Stats().NAVDeferrals != 1 {
+		t.Fatalf("NAV deferrals = %d", bystander.engine.Stats().NAVDeferrals)
+	}
+	// No data ever hit the air.
+	if rg.medium.Stats().FramesSent[packet.KindData] != 0 {
+		t.Fatal("data frame sent without receivers")
+	}
+}
+
+func TestHiddenCTSCollisionWindowOne(t *testing.T) {
+	// Window=1 forces both hidden responders into the same CTS slot: their
+	// replies collide at the sender, which then has no candidates.
+	rg := newRig(t)
+	sender := rg.addNode(t, 1, geo.Point{X: 0, Y: 0})
+	r1 := rg.addNode(t, 2, geo.Point{X: 6, Y: 0})
+	r2 := rg.addNode(t, 3, geo.Point{X: -6, Y: 0})
+	sender.policy.hasData = true
+	sender.policy.window = 1
+	for _, r := range []*node{r1, r2} {
+		r.policy.qualify = true
+		r.policy.qXi = 0.9
+		r.policy.qBuf = 5
+	}
+	if err := sender.engine.StartCycle(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.engine.StartCycle(30); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.engine.StartCycle(30); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.sched.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if sender.outcomes[0].Sent {
+		t.Fatal("send succeeded despite CTS collision")
+	}
+	if sender.engine.Stats().CollisionsHeard == 0 {
+		t.Fatal("sender heard no collision")
+	}
+}
+
+func TestRejectedCopyIsNotAcked(t *testing.T) {
+	rg := newRig(t)
+	sender := rg.addNode(t, 1, geo.Point{X: 0, Y: 0})
+	receiver := rg.addNode(t, 2, geo.Point{X: 5, Y: 0})
+	sender.policy.hasData = true
+	receiver.policy.qualify = true
+	receiver.policy.qXi = 0.9
+	receiver.policy.qBuf = 5
+	receiver.policy.rejectData = true // queue rules reject the copy
+	if err := sender.engine.StartCycle(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := receiver.engine.StartCycle(30); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.sched.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	so := sender.outcomes[0]
+	if so.Sent || len(so.AckedReceivers) != 0 {
+		t.Fatalf("sender outcome %+v; rejected copy must not be acked", so)
+	}
+	if receiver.outcomes[0].Received {
+		t.Fatal("receiver counted a rejected copy as received")
+	}
+	// The data frame was transmitted (the rejection happens at the queue).
+	if rg.medium.Stats().FramesSent[packet.KindData] != 1 {
+		t.Fatal("data frame not sent")
+	}
+	if rg.medium.Stats().FramesSent[packet.KindAck] != 0 {
+		t.Fatal("ACK sent for rejected copy")
+	}
+}
+
+func TestReceiverOnlyCycleEndsIdle(t *testing.T) {
+	rg := newRig(t)
+	n := rg.addNode(t, 1, geo.Point{X: 0, Y: 0})
+	if err := n.engine.StartCycle(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.sched.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.outcomes) != 1 {
+		t.Fatalf("outcomes = %d", len(n.outcomes))
+	}
+	o := n.outcomes[0]
+	if o.Sent || o.Received || o.Attempted || o.Deferred {
+		t.Fatalf("idle cycle outcome %+v", o)
+	}
+	if n.engine.InCycle() {
+		t.Fatal("engine stuck in cycle")
+	}
+}
+
+func TestStartCycleGuards(t *testing.T) {
+	rg := newRig(t)
+	n := rg.addNode(t, 1, geo.Point{X: 0, Y: 0})
+	if err := n.engine.StartCycle(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.engine.StartCycle(1); err == nil {
+		t.Fatal("double StartCycle accepted")
+	}
+	if err := rg.sched.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	// tauSlots < 1 is clamped, not an error.
+	if err := n.engine.StartCycle(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.sched.Run(10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreambleContentionBothSendersFail(t *testing.T) {
+	// Two senders in range with the same listening period transmit
+	// preambles simultaneously; the second is suppressed by carrier state
+	// or collides; neither should complete a data exchange (no receivers
+	// qualify anyway) and engines must return to idle cleanly.
+	rg := newRig(t)
+	s1 := rg.addNode(t, 1, geo.Point{X: 0, Y: 0})
+	s2 := rg.addNode(t, 2, geo.Point{X: 5, Y: 0})
+	s1.policy.hasData = true
+	s2.policy.hasData = true
+	if err := s1.engine.StartCycle(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.engine.StartCycle(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.sched.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.outcomes) != 1 || len(s2.outcomes) != 1 {
+		t.Fatalf("outcomes: %d/%d", len(s1.outcomes), len(s2.outcomes))
+	}
+	if s1.outcomes[0].Sent || s2.outcomes[0].Sent {
+		t.Fatal("a send succeeded with no qualified receivers")
+	}
+	if s1.engine.InCycle() || s2.engine.InCycle() {
+		t.Fatal("engine stuck after contention")
+	}
+}
+
+func TestSinkStyleContinuousListening(t *testing.T) {
+	// A sink restarts a receiver-only cycle every time one ends and picks
+	// up a message from a sender that wakes later.
+	rg := newRig(t)
+	sender := rg.addNode(t, 1, geo.Point{X: 0, Y: 0})
+	sink := rg.addNode(t, 2, geo.Point{X: 5, Y: 0})
+	sender.policy.hasData = true
+	sink.policy.qualify = true
+	sink.policy.qXi = 1
+	sink.policy.qBuf = 1000
+
+	// Keep the sink listening by restarting cycles forever.
+	restart := func(Outcome) {}
+	restart = func(Outcome) {
+		if !sink.engine.InCycle() {
+			_ = sink.engine.StartCycle(sink.engine.cfg.ReceiverListenSlots)
+		}
+	}
+	sink.engine.onEnd = func(o Outcome) {
+		sink.outcomes = append(sink.outcomes, o)
+		restart(o)
+	}
+	if err := sink.engine.StartCycle(8); err != nil {
+		t.Fatal(err)
+	}
+	// The sender starts well into the sink's second listen window.
+	rg.sched.After(0.08, func() {
+		if err := sender.engine.StartCycle(1); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := rg.sched.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.policy.received) != 1 {
+		t.Fatalf("sink received %d messages, want 1", len(sink.policy.received))
+	}
+	if !sender.outcomes[0].Sent {
+		t.Fatalf("sender outcome %+v", sender.outcomes[0])
+	}
+}
+
+func TestEngineReusableAcrossCycles(t *testing.T) {
+	rg := newRig(t)
+	sender := rg.addNode(t, 1, geo.Point{X: 0, Y: 0})
+	receiver := rg.addNode(t, 2, geo.Point{X: 5, Y: 0})
+	sender.policy.hasData = true
+	receiver.policy.qualify = true
+	receiver.policy.qXi = 0.9
+	receiver.policy.qBuf = 5
+
+	// Chain three exchanges back to back.
+	cycles := 0
+	sender.engine.onEnd = func(o Outcome) {
+		sender.outcomes = append(sender.outcomes, o)
+		cycles++
+		if cycles < 3 {
+			_ = sender.engine.StartCycle(1)
+		}
+	}
+	receiver.engine.onEnd = func(o Outcome) {
+		receiver.outcomes = append(receiver.outcomes, o)
+		if !receiver.engine.InCycle() {
+			_ = receiver.engine.StartCycle(40)
+		}
+	}
+	if err := sender.engine.StartCycle(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := receiver.engine.StartCycle(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.sched.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if len(sender.outcomes) != 3 {
+		t.Fatalf("sender ran %d cycles, want 3", len(sender.outcomes))
+	}
+	for i, o := range sender.outcomes {
+		if !o.Sent {
+			t.Fatalf("cycle %d not sent: %+v", i, o)
+		}
+	}
+	if len(receiver.policy.received) != 3 {
+		t.Fatalf("receiver got %d messages, want 3", len(receiver.policy.received))
+	}
+}

@@ -1,0 +1,202 @@
+// Package metrics collects the end-to-end performance measures the paper's
+// evaluation reports: message delivery ratio, average delivery delay, and
+// supporting counters (duplicates, hops, drops). Energy metrics come from
+// the radio meters and are aggregated by the scenario runner.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dftmsn/internal/packet"
+)
+
+// messageRecord tracks one generated message through the network.
+type messageRecord struct {
+	origin      packet.NodeID
+	generatedAt float64
+	deliveredAt float64
+	delivered   bool
+	duplicates  int
+	hops        int
+}
+
+// Collector accumulates per-message delivery outcomes. It is not safe for
+// concurrent use; each simulation run owns one collector.
+type Collector struct {
+	messages map[packet.MessageID]*messageRecord
+	order    []packet.MessageID // generation order, for deterministic reports
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{messages: make(map[packet.MessageID]*messageRecord)}
+}
+
+// Generated records the creation of message id at virtual time t by origin.
+// Re-registering an id is an error (ids are unique per run).
+func (c *Collector) Generated(id packet.MessageID, origin packet.NodeID, t float64) error {
+	if _, dup := c.messages[id]; dup {
+		return fmt.Errorf("metrics: message %d generated twice", id)
+	}
+	c.messages[id] = &messageRecord{origin: origin, generatedAt: t}
+	c.order = append(c.order, id)
+	return nil
+}
+
+// Delivered records the arrival of a copy of message id at a sink at time t
+// after hops transfers. The first arrival sets the delivery delay; later
+// arrivals count as duplicates. Unknown ids are an error.
+func (c *Collector) Delivered(id packet.MessageID, t float64, hops int) error {
+	rec, ok := c.messages[id]
+	if !ok {
+		return fmt.Errorf("metrics: delivery of unknown message %d", id)
+	}
+	if rec.delivered {
+		rec.duplicates++
+		return nil
+	}
+	rec.delivered = true
+	rec.deliveredAt = t
+	rec.hops = hops
+	return nil
+}
+
+// IsDelivered reports whether message id has reached a sink.
+func (c *Collector) IsDelivered(id packet.MessageID) bool {
+	rec, ok := c.messages[id]
+	return ok && rec.delivered
+}
+
+// Summary is the digest of one run's delivery outcomes.
+type Summary struct {
+	// Generated is the number of distinct messages created.
+	Generated int
+	// Delivered is the number of distinct messages that reached a sink.
+	Delivered int
+	// Duplicates counts redundant sink arrivals beyond the first.
+	Duplicates int
+	// DeliveryRatio is Delivered/Generated in [0,1]; 0 when none generated.
+	DeliveryRatio float64
+	// AvgDelaySeconds is the mean generation-to-first-sink delay over
+	// delivered messages.
+	AvgDelaySeconds float64
+	// MedianDelaySeconds is the median of the same delays.
+	MedianDelaySeconds float64
+	// P90DelaySeconds is the 90th-percentile delivered delay.
+	P90DelaySeconds float64
+	// MaxDelaySeconds is the worst delivered delay.
+	MaxDelaySeconds float64
+	// AvgHops is the mean transfer count of the first-delivered copy.
+	AvgHops float64
+}
+
+// Summarize computes the digest over everything recorded so far.
+func (c *Collector) Summarize() Summary {
+	s := Summary{Generated: len(c.order)}
+	delays := make([]float64, 0, len(c.order))
+	totalHops := 0
+	for _, id := range c.order {
+		rec := c.messages[id]
+		s.Duplicates += rec.duplicates
+		if !rec.delivered {
+			continue
+		}
+		s.Delivered++
+		d := rec.deliveredAt - rec.generatedAt
+		delays = append(delays, d)
+		totalHops += rec.hops
+		if d > s.MaxDelaySeconds {
+			s.MaxDelaySeconds = d
+		}
+	}
+	if s.Generated > 0 {
+		s.DeliveryRatio = float64(s.Delivered) / float64(s.Generated)
+	}
+	if s.Delivered > 0 {
+		var sum float64
+		for _, d := range delays {
+			sum += d
+		}
+		s.AvgDelaySeconds = sum / float64(s.Delivered)
+		s.AvgHops = float64(totalHops) / float64(s.Delivered)
+		sort.Float64s(delays)
+		mid := len(delays) / 2
+		if len(delays)%2 == 1 {
+			s.MedianDelaySeconds = delays[mid]
+		} else {
+			s.MedianDelaySeconds = (delays[mid-1] + delays[mid]) / 2
+		}
+		s.P90DelaySeconds = Percentile(delays, 0.9)
+	}
+	return s
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of an ascending-sorted
+// sample by nearest-rank; empty samples yield 0.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// DeliveredByOrigin returns, per origin node, (delivered, generated) counts.
+// The paper uses this to show ZBR's delivered messages cluster near sinks.
+func (c *Collector) DeliveredByOrigin() map[packet.NodeID][2]int {
+	out := make(map[packet.NodeID][2]int)
+	for _, id := range c.order {
+		rec := c.messages[id]
+		v := out[rec.origin]
+		if rec.delivered {
+			v[0]++
+		}
+		v[1]++
+		out[rec.origin] = v
+	}
+	return out
+}
+
+// Welford accumulates running mean and variance (for multi-run averaging in
+// the sweep harness).
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation. NaNs are ignored.
+func (w *Welford) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// StdDev returns the sample standard deviation (0 with < 2 observations).
+func (w *Welford) StdDev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}

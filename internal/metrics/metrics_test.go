@@ -1,0 +1,247 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dftmsn/internal/packet"
+)
+
+func TestGeneratedRejectsDuplicates(t *testing.T) {
+	c := NewCollector()
+	if err := c.Generated(1, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Generated(1, 10, 5); err == nil {
+		t.Fatal("duplicate generation accepted")
+	}
+}
+
+func TestDeliveredUnknownMessage(t *testing.T) {
+	c := NewCollector()
+	if err := c.Delivered(99, 1, 1); err == nil {
+		t.Fatal("unknown delivery accepted")
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	c := NewCollector()
+	mustGen := func(id int, at float64) {
+		t.Helper()
+		if err := c.Generated(uint64ID(id), 1, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGen(1, 0)
+	mustGen(2, 0)
+	mustGen(3, 0)
+	mustGen(4, 10)
+	if err := c.Delivered(uint64ID(1), 100, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delivered(uint64ID(2), 300, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate arrival of 1.
+	if err := c.Delivered(uint64ID(1), 400, 9); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Summarize()
+	if s.Generated != 4 || s.Delivered != 2 || s.Duplicates != 1 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if math.Abs(s.DeliveryRatio-0.5) > 1e-12 {
+		t.Fatalf("ratio = %v, want 0.5", s.DeliveryRatio)
+	}
+	if math.Abs(s.AvgDelaySeconds-200) > 1e-12 {
+		t.Fatalf("avg delay = %v, want 200", s.AvgDelaySeconds)
+	}
+	if s.MaxDelaySeconds != 300 {
+		t.Fatalf("max delay = %v, want 300", s.MaxDelaySeconds)
+	}
+	if math.Abs(s.MedianDelaySeconds-200) > 1e-12 {
+		t.Fatalf("median = %v, want 200 (mean of 100,300)", s.MedianDelaySeconds)
+	}
+	if math.Abs(s.AvgHops-3) > 1e-12 {
+		t.Fatalf("avg hops = %v, want 3", s.AvgHops)
+	}
+	if !c.IsDelivered(uint64ID(1)) || c.IsDelivered(uint64ID(3)) {
+		t.Fatal("IsDelivered wrong")
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := NewCollector().Summarize()
+	if s.Generated != 0 || s.DeliveryRatio != 0 || s.AvgDelaySeconds != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestDuplicateDoesNotChangeDelay(t *testing.T) {
+	c := NewCollector()
+	if err := c.Generated(uint64ID(1), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delivered(uint64ID(1), 50, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delivered(uint64ID(1), 500, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Summarize()
+	if s.AvgDelaySeconds != 50 {
+		t.Fatalf("delay = %v, want first-arrival 50", s.AvgDelaySeconds)
+	}
+}
+
+func TestMedianOddCount(t *testing.T) {
+	c := NewCollector()
+	for i, d := range []float64{10, 20, 90} {
+		if err := c.Generated(uint64ID(i), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Delivered(uint64ID(i), d, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := c.Summarize(); s.MedianDelaySeconds != 20 {
+		t.Fatalf("median = %v, want 20", s.MedianDelaySeconds)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {0.1, 1}, {0.5, 5}, {0.9, 9}, {1, 10}, {-1, 1}, {2, 10},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile nonzero")
+	}
+}
+
+func TestP90InSummary(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 10; i++ {
+		if err := c.Generated(uint64ID(i), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Delivered(uint64ID(i), float64((i+1)*10), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Summarize()
+	if s.P90DelaySeconds != 90 {
+		t.Fatalf("P90 = %v, want 90", s.P90DelaySeconds)
+	}
+	if s.P90DelaySeconds > s.MaxDelaySeconds {
+		t.Fatal("P90 above max")
+	}
+}
+
+func TestDeliveredByOrigin(t *testing.T) {
+	c := NewCollector()
+	if err := c.Generated(uint64ID(1), 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Generated(uint64ID(2), 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Generated(uint64ID(3), 8, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delivered(uint64ID(1), 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	by := c.DeliveredByOrigin()
+	if by[7] != [2]int{1, 2} || by[8] != [2]int{0, 1} {
+		t.Fatalf("by origin = %v", by)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", w.Mean())
+	}
+	// Sample stddev of that classic set is sqrt(32/7).
+	if math.Abs(w.StdDev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("stddev = %v", w.StdDev())
+	}
+	w.Add(math.NaN())
+	if w.N() != 8 {
+		t.Fatal("NaN was counted")
+	}
+	var empty Welford
+	if empty.Mean() != 0 || empty.StdDev() != 0 {
+		t.Fatal("empty welford nonzero")
+	}
+	var one Welford
+	one.Add(3)
+	if one.StdDev() != 0 {
+		t.Fatal("single-sample stddev nonzero")
+	}
+}
+
+// Property: delivery ratio is always in [0,1] and delivered <= generated.
+func TestPropertySummaryBounds(t *testing.T) {
+	f := func(deliveries []bool) bool {
+		c := NewCollector()
+		for i, d := range deliveries {
+			if err := c.Generated(uint64ID(i), 1, float64(i)); err != nil {
+				return false
+			}
+			if d {
+				if err := c.Delivered(uint64ID(i), float64(i+100), 1); err != nil {
+					return false
+				}
+			}
+		}
+		s := c.Summarize()
+		return s.DeliveryRatio >= 0 && s.DeliveryRatio <= 1 &&
+			s.Delivered <= s.Generated && s.AvgDelaySeconds >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Welford mean matches the naive mean.
+func TestPropertyWelfordMean(t *testing.T) {
+	f := func(xs []float64) bool {
+		var w Welford
+		var sum float64
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				continue
+			}
+			w.Add(x)
+			sum += x
+			n++
+		}
+		if n == 0 {
+			return w.Mean() == 0
+		}
+		return math.Abs(w.Mean()-sum/float64(n)) < 1e-6*(1+math.Abs(sum/float64(n)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func uint64ID(i int) packet.MessageID { return packet.MessageID(i) }

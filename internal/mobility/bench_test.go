@@ -1,0 +1,41 @@
+package mobility
+
+import (
+	"testing"
+
+	"dftmsn/internal/geo"
+	"dftmsn/internal/simrand"
+)
+
+func benchGrid(b *testing.B) *geo.Grid {
+	b.Helper()
+	g, err := geo.NewGrid(geo.NewRect(0, 0, 150, 150), 5, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkZoneWalkStep100Nodes(b *testing.B) {
+	w, err := NewZoneWalk(benchGrid(b), 100, DefaultZoneWalkConfig(), simrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Step(1)
+	}
+}
+
+func BenchmarkRandomWaypointStep100Nodes(b *testing.B) {
+	m, err := NewRandomWaypoint(benchGrid(b), 100, 0.1, 5, simrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(1)
+	}
+}

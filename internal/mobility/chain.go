@@ -1,0 +1,143 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"dftmsn/internal/geo"
+)
+
+// ZoneChain is a zone-level Markov abstraction of the paper's walk: states
+// are grid zones, and transition probabilities reflect the boundary rule
+// (cross with ExitProb into each adjacent zone, weighted by shared edges).
+// The home-return bias is a per-node property the aggregate chain cannot
+// carry, so the chain models the *homeless* walk; the exact walk is biased
+// toward each node's home zone on top of this (see TestZoneChain for how
+// the two relate empirically).
+//
+// Because the crossing rates are symmetric (q_ij = q_ji), the homeless
+// chain is doubly stochastic and its stationary distribution is exactly
+// uniform — a clean null model. The *empirical* walk shows an interior
+// bias on top of it (interior zones lie on more home-return paths), which
+// is therefore attributable entirely to the home-return rule; the chain
+// quantifies the baseline that bias is measured against
+// (TestChainApproximatesHomelessWalkShape).
+type ZoneChain struct {
+	grid *geo.Grid
+	p    [][]float64 // p[i][j] = per-step transition probability
+}
+
+// NewZoneChain derives the chain from the grid and the boundary-crossing
+// probability per boundary hit. stepsPerCrossing scales how many chain
+// steps a zone residency lasts; it only affects self-loop mass, not the
+// stationary distribution, so 1 is fine for occupancy questions.
+func NewZoneChain(grid *geo.Grid, exitProb float64) (*ZoneChain, error) {
+	if grid == nil {
+		return nil, fmt.Errorf("mobility: nil grid")
+	}
+	if exitProb <= 0 || exitProb > 1 {
+		return nil, fmt.Errorf("mobility: exit probability %v out of (0,1]", exitProb)
+	}
+	n := grid.NumZones()
+	p := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		p[i] = make([]float64, n)
+		neighbors := grid.Neighbors(geo.ZoneID(i))
+		// A boundary hit picks one of the four edges roughly uniformly
+		// (isotropic movement); field edges always bounce.
+		const edges = 4.0
+		var out float64
+		for _, nb := range neighbors {
+			q := exitProb / edges
+			p[i][nb] = q
+			out += q
+		}
+		p[i][i] = 1 - out
+	}
+	return &ZoneChain{grid: grid, p: p}, nil
+}
+
+// TransitionMatrix returns a copy of the per-step transition matrix.
+func (c *ZoneChain) TransitionMatrix() [][]float64 {
+	out := make([][]float64, len(c.p))
+	for i := range c.p {
+		out[i] = append([]float64(nil), c.p[i]...)
+	}
+	return out
+}
+
+// Stationary computes the chain's stationary distribution by power
+// iteration to the given tolerance.
+func (c *ZoneChain) Stationary(tol float64, maxIter int) ([]float64, error) {
+	if tol <= 0 || maxIter < 1 {
+		return nil, fmt.Errorf("mobility: invalid iteration parameters")
+	}
+	n := len(c.p)
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			if pi[i] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if c.p[i][j] != 0 {
+					next[j] += pi[i] * c.p[i][j]
+				}
+			}
+		}
+		var diff float64
+		for j := range next {
+			diff += math.Abs(next[j] - pi[j])
+		}
+		copy(pi, next)
+		if diff < tol {
+			return pi, nil
+		}
+	}
+	return pi, fmt.Errorf("mobility: stationary distribution did not converge in %d iterations", maxIter)
+}
+
+// ExpectedHitRate returns, for each zone, the stationary probability mass
+// of the homeless chain (uniform by double stochasticity). Visiting
+// probability above this baseline — measured by EmpiricalOccupancy — comes
+// from the home-return rule and ranks zones for the paper's "strategic
+// locations with high visiting probability".
+func (c *ZoneChain) ExpectedHitRate() ([]float64, error) {
+	return c.Stationary(1e-12, 100_000)
+}
+
+// EmpiricalOccupancy measures the fraction of node-time spent in each zone
+// of a live mobility model over the given horizon — the ground truth the
+// chain approximates.
+func EmpiricalOccupancy(m Model, grid *geo.Grid, horizon, tick float64) ([]float64, error) {
+	if m == nil || grid == nil {
+		return nil, fmt.Errorf("mobility: nil model or grid")
+	}
+	if horizon <= 0 || tick <= 0 {
+		return nil, fmt.Errorf("mobility: invalid horizon/tick")
+	}
+	counts := make([]float64, grid.NumZones())
+	samples := 0
+	steps := int(horizon / tick)
+	for s := 0; s < steps; s++ {
+		m.Step(tick)
+		for i := 0; i < m.Len(); i++ {
+			counts[m.Zone(i)]++
+			samples++
+		}
+	}
+	if samples == 0 {
+		return counts, nil
+	}
+	for i := range counts {
+		counts[i] /= float64(samples)
+	}
+	return counts, nil
+}

@@ -1,0 +1,158 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"dftmsn/internal/simrand"
+)
+
+func TestZoneChainValidation(t *testing.T) {
+	g := testGrid(t)
+	if _, err := NewZoneChain(nil, 0.2); err == nil {
+		t.Error("nil grid accepted")
+	}
+	if _, err := NewZoneChain(g, 0); err == nil {
+		t.Error("zero exit prob accepted")
+	}
+	if _, err := NewZoneChain(g, 1.1); err == nil {
+		t.Error("exit prob > 1 accepted")
+	}
+}
+
+func TestZoneChainRowsSumToOne(t *testing.T) {
+	g := testGrid(t)
+	c, err := NewZoneChain(g, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range c.TransitionMatrix() {
+		var sum float64
+		for _, p := range row {
+			if p < 0 {
+				t.Fatalf("negative probability in row %d", i)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestZoneChainStationaryProperties(t *testing.T) {
+	g := testGrid(t)
+	c, err := NewZoneChain(g, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.ExpectedHitRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range pi {
+		if p < 0 {
+			t.Fatal("negative stationary mass")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("stationary sums to %v", sum)
+	}
+	// The homeless chain is doubly stochastic (symmetric crossing rates),
+	// so its stationary distribution is exactly uniform.
+	want := 1.0 / float64(len(pi))
+	for z, p := range pi {
+		if math.Abs(p-want) > 1e-9 {
+			t.Fatalf("zone %d stationary mass %v, want uniform %v", z, p, want)
+		}
+	}
+	// Stationarity: pi P = pi.
+	p := c.TransitionMatrix()
+	for j := range pi {
+		var v float64
+		for i := range pi {
+			v += pi[i] * p[i][j]
+		}
+		if math.Abs(v-pi[j]) > 1e-9 {
+			t.Fatalf("pi not stationary at zone %d: %v vs %v", j, v, pi[j])
+		}
+	}
+}
+
+func TestZoneChainStationaryGuards(t *testing.T) {
+	g := testGrid(t)
+	c, err := NewZoneChain(g, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stationary(0, 100); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	if _, err := c.Stationary(1e-12, 0); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	// Note: from the uniform start the doubly stochastic chain converges
+	// in one step, so a non-convergence case cannot be triggered here.
+}
+
+func TestEmpiricalOccupancyValidation(t *testing.T) {
+	g := testGrid(t)
+	w, err := NewZoneWalk(g, 5, DefaultZoneWalkConfig(), simrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EmpiricalOccupancy(nil, g, 10, 1); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := EmpiricalOccupancy(w, g, 0, 1); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestChainApproximatesHomelessWalkShape(t *testing.T) {
+	// The chain's stationary distribution is uniform (the null model); the
+	// real walk adds an interior bias on top because interior zones lie on
+	// more home-return paths. Both facts are asserted: the empirical
+	// occupancy is interior-biased, and the excess over the chain baseline
+	// is positive exactly there.
+	g := testGrid(t)
+	w, err := NewZoneWalk(g, 80, DefaultZoneWalkConfig(), simrand.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := EmpiricalOccupancy(w, g, 8000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(zs []int, dist []float64) float64 {
+		var s float64
+		for _, z := range zs {
+			s += dist[z]
+		}
+		return s / float64(len(zs))
+	}
+	corners := []int{0, 4, 20, 24}
+	interior := []int{6, 7, 8, 11, 12, 13, 16, 17, 18}
+	if avg(interior, emp) <= avg(corners, emp) {
+		t.Fatalf("empirical occupancy lacks interior bias: interior %v corners %v",
+			avg(interior, emp), avg(corners, emp))
+	}
+	c, err := NewZoneChain(g, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.ExpectedHitRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Excess over the uniform baseline is positive in the interior and
+	// negative at the corners.
+	if avg(interior, emp)-avg(interior, pi) <= 0 {
+		t.Fatal("interior excess over baseline not positive")
+	}
+	if avg(corners, emp)-avg(corners, pi) >= 0 {
+		t.Fatal("corner deficit under baseline not negative")
+	}
+}

@@ -1,0 +1,317 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"dftmsn/internal/geo"
+	"dftmsn/internal/simrand"
+)
+
+func testGrid(t *testing.T) *geo.Grid {
+	t.Helper()
+	g, err := geo.NewGrid(geo.NewRect(0, 0, 150, 150), 5, 5)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	return g
+}
+
+func TestZoneWalkConfigValidation(t *testing.T) {
+	g := testGrid(t)
+	rng := simrand.New(1)
+	bad := []ZoneWalkConfig{
+		{MaxSpeed: 0, MinSpeed: 0, ExitProb: 0.2},
+		{MaxSpeed: 5, MinSpeed: -1, ExitProb: 0.2},
+		{MaxSpeed: 5, MinSpeed: 6, ExitProb: 0.2},
+		{MaxSpeed: 5, MinSpeed: 0, ExitProb: 1.5},
+		{MaxSpeed: 5, MinSpeed: 0, ExitProb: -0.1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewZoneWalk(g, 3, cfg, rng); err == nil {
+			t.Errorf("config %+v accepted, want error", cfg)
+		}
+	}
+	if _, err := NewZoneWalk(g, -1, DefaultZoneWalkConfig(), rng); err == nil {
+		t.Error("negative node count accepted")
+	}
+}
+
+func TestZoneWalkStartsAtHome(t *testing.T) {
+	g := testGrid(t)
+	w, err := NewZoneWalk(g, 50, DefaultZoneWalkConfig(), simrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < w.Len(); i++ {
+		if w.Zone(i) != w.Home(i) {
+			t.Fatalf("node %d starts in zone %d, home %d", i, w.Zone(i), w.Home(i))
+		}
+		rect, err := g.ZoneRect(w.Home(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rect.Contains(w.Position(i)) {
+			t.Fatalf("node %d at %v outside home zone rect", i, w.Position(i))
+		}
+	}
+}
+
+func TestZoneWalkStaysInField(t *testing.T) {
+	g := testGrid(t)
+	w, err := NewZoneWalk(g, 30, DefaultZoneWalkConfig(), simrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := g.Field()
+	for step := 0; step < 5000; step++ {
+		w.Step(1)
+		for i := 0; i < w.Len(); i++ {
+			p := w.Position(i)
+			if !field.Contains(p) {
+				t.Fatalf("node %d escaped field to %v at step %d", i, p, step)
+			}
+		}
+	}
+}
+
+func TestZoneWalkZoneTracksPosition(t *testing.T) {
+	g := testGrid(t)
+	w, err := NewZoneWalk(g, 20, DefaultZoneWalkConfig(), simrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 2000; step++ {
+		w.Step(0.5)
+		for i := 0; i < w.Len(); i++ {
+			if got, want := g.ZoneAt(w.Position(i)), w.Zone(i); got != want {
+				t.Fatalf("node %d: tracked zone %d but position in zone %d (step %d)", i, want, got, step)
+			}
+		}
+	}
+}
+
+func TestZoneWalkActuallyMoves(t *testing.T) {
+	g := testGrid(t)
+	w, err := NewZoneWalk(g, 10, DefaultZoneWalkConfig(), simrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := make([]geo.Point, w.Len())
+	for i := range start {
+		start[i] = w.Position(i)
+	}
+	w.Step(10)
+	moved := 0
+	for i := range start {
+		if start[i].Dist(w.Position(i)) > 0.5 {
+			moved++
+		}
+	}
+	if moved < w.Len()/2 {
+		t.Fatalf("only %d/%d nodes moved noticeably in 10 s", moved, w.Len())
+	}
+}
+
+func TestZoneWalkVisitsOtherZonesAndReturnsHome(t *testing.T) {
+	g := testGrid(t)
+	w, err := NewZoneWalk(g, 10, DefaultZoneWalkConfig(), simrand.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := make([]bool, w.Len())
+	returned := make([]bool, w.Len())
+	for step := 0; step < 20000; step++ {
+		w.Step(1)
+		for i := 0; i < w.Len(); i++ {
+			if w.Zone(i) != w.Home(i) {
+				left[i] = true
+			} else if left[i] {
+				returned[i] = true
+			}
+		}
+	}
+	leftCount, retCount := 0, 0
+	for i := range left {
+		if left[i] {
+			leftCount++
+		}
+		if returned[i] {
+			retCount++
+		}
+	}
+	if leftCount < w.Len()/2 {
+		t.Fatalf("only %d/%d nodes ever left home in 20000 s", leftCount, w.Len())
+	}
+	if retCount == 0 {
+		t.Fatal("no node that left home ever returned")
+	}
+}
+
+func TestZoneWalkHomeBias(t *testing.T) {
+	// With 20% exit probability and guaranteed home return from adjacent
+	// zones, nodes should spend far more time at home than the 1/25 = 4%
+	// a uniform occupancy would give (nodes can still drift several zones
+	// away, so the fraction is biased, not dominant).
+	g := testGrid(t)
+	w, err := NewZoneWalk(g, 20, DefaultZoneWalkConfig(), simrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	atHome, total := 0, 0
+	for step := 0; step < 10000; step++ {
+		w.Step(1)
+		for i := 0; i < w.Len(); i++ {
+			total++
+			if w.Zone(i) == w.Home(i) {
+				atHome++
+			}
+		}
+	}
+	frac := float64(atHome) / float64(total)
+	if frac < 0.10 {
+		t.Fatalf("nodes at home only %.1f%% of the time; home bias lost", frac*100)
+	}
+}
+
+func TestZoneWalkSpeedBound(t *testing.T) {
+	g := testGrid(t)
+	cfg := DefaultZoneWalkConfig()
+	w, err := NewZoneWalk(g, 20, cfg, simrand.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 1000; step++ {
+		before := make([]geo.Point, w.Len())
+		for i := range before {
+			before[i] = w.Position(i)
+		}
+		const dt = 1.0
+		w.Step(dt)
+		for i := range before {
+			if d := before[i].Dist(w.Position(i)); d > cfg.MaxSpeed*dt+1e-6 {
+				t.Fatalf("node %d moved %v m in %v s (max speed %v)", i, d, dt, cfg.MaxSpeed)
+			}
+		}
+	}
+}
+
+func TestZoneWalkDeterministic(t *testing.T) {
+	g := testGrid(t)
+	w1, err := NewZoneWalk(g, 10, DefaultZoneWalkConfig(), simrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := NewZoneWalk(g, 10, DefaultZoneWalkConfig(), simrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 500; step++ {
+		w1.Step(1)
+		w2.Step(1)
+	}
+	for i := 0; i < w1.Len(); i++ {
+		if w1.Position(i) != w2.Position(i) {
+			t.Fatalf("node %d diverged between identical runs", i)
+		}
+	}
+}
+
+func TestStaticModel(t *testing.T) {
+	g := testGrid(t)
+	pts := []geo.Point{{X: 10, Y: 10}, {X: 75, Y: 75}}
+	s := NewStatic(g, pts)
+	// Defensive copy: mutating the input slice must not move the sinks.
+	pts[0] = geo.Point{X: 999, Y: 999}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Position(0) != (geo.Point{X: 10, Y: 10}) {
+		t.Fatalf("Position(0) = %v; input mutation leaked in", s.Position(0))
+	}
+	s.Step(100)
+	if s.Position(1) != (geo.Point{X: 75, Y: 75}) {
+		t.Fatal("static node moved")
+	}
+	if s.Zone(1) != g.ZoneAt(geo.Point{X: 75, Y: 75}) {
+		t.Fatal("Zone mismatch")
+	}
+}
+
+func TestRandomWaypointValidation(t *testing.T) {
+	g := testGrid(t)
+	rng := simrand.New(10)
+	if _, err := NewRandomWaypoint(g, 5, -1, 5, rng); err == nil {
+		t.Error("negative min speed accepted")
+	}
+	if _, err := NewRandomWaypoint(g, 5, 6, 5, rng); err == nil {
+		t.Error("min > max accepted")
+	}
+	if _, err := NewRandomWaypoint(g, 5, 0, 0, rng); err == nil {
+		t.Error("zero max speed accepted")
+	}
+	if _, err := NewRandomWaypoint(g, -2, 0, 5, rng); err == nil {
+		t.Error("negative node count accepted")
+	}
+}
+
+func TestRandomWaypointStaysInFieldAndMoves(t *testing.T) {
+	g := testGrid(t)
+	m, err := NewRandomWaypoint(g, 20, 0.5, 5, simrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := g.Field()
+	displacement := 0.0
+	prev := m.Position(0)
+	for step := 0; step < 3000; step++ {
+		m.Step(1)
+		displacement += prev.Dist(m.Position(0))
+		prev = m.Position(0)
+		for i := 0; i < m.Len(); i++ {
+			p := m.Position(i)
+			// Waypoint targets are drawn inside the half-open field; arrival
+			// at an edge point is fine as long as we never exceed bounds.
+			if p.X < field.MinX-1e-9 || p.X > field.MaxX+1e-9 ||
+				p.Y < field.MinY-1e-9 || p.Y > field.MaxY+1e-9 {
+				t.Fatalf("node %d escaped to %v", i, p)
+			}
+		}
+	}
+	if displacement < 100 {
+		t.Fatalf("node 0 travelled only %v m in 3000 s", displacement)
+	}
+}
+
+func TestRandomWaypointSpeedBound(t *testing.T) {
+	g := testGrid(t)
+	m, err := NewRandomWaypoint(g, 10, 1, 4, simrand.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 500; step++ {
+		before := make([]geo.Point, m.Len())
+		for i := range before {
+			before[i] = m.Position(i)
+		}
+		m.Step(2)
+		for i := range before {
+			if d := before[i].Dist(m.Position(i)); d > 4*2+1e-6 {
+				t.Fatalf("node %d moved %v in 2 s at max 4 m/s", i, d)
+			}
+		}
+	}
+}
+
+func TestZoneWalkZeroDtIsNoop(t *testing.T) {
+	g := testGrid(t)
+	w, err := NewZoneWalk(g, 5, DefaultZoneWalkConfig(), simrand.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := w.Position(0)
+	w.Step(0)
+	if before.Dist(w.Position(0)) > math.SmallestNonzeroFloat64 {
+		t.Fatal("Step(0) moved a node")
+	}
+}

@@ -1,0 +1,93 @@
+package mobility
+
+import (
+	"fmt"
+
+	"dftmsn/internal/geo"
+	"dftmsn/internal/simrand"
+)
+
+// RandomWaypoint implements the classic random-waypoint model over the whole
+// field: each node repeatedly picks a uniform destination and a uniform
+// speed, walks there, and repeats. It models the SWIM-style assumption of
+// uniform nodal mobility and serves as an ablation against the paper's
+// zone-based walk (which produces heterogeneous delivery probabilities).
+type RandomWaypoint struct {
+	grid  *geo.Grid
+	rng   *simrand.Source
+	min   float64
+	max   float64
+	nodes []wpNode
+}
+
+type wpNode struct {
+	pos   geo.Point
+	dst   geo.Point
+	speed float64
+}
+
+var _ Model = (*RandomWaypoint)(nil)
+
+// NewRandomWaypoint creates n nodes uniformly placed in the field with
+// speeds drawn uniformly from [minSpeed, maxSpeed].
+func NewRandomWaypoint(grid *geo.Grid, n int, minSpeed, maxSpeed float64, rng *simrand.Source) (*RandomWaypoint, error) {
+	if maxSpeed <= 0 || minSpeed < 0 || minSpeed > maxSpeed {
+		return nil, fmt.Errorf("mobility: invalid speed range [%v, %v]", minSpeed, maxSpeed)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("mobility: negative node count %d", n)
+	}
+	m := &RandomWaypoint{grid: grid, rng: rng, min: minSpeed, max: maxSpeed, nodes: make([]wpNode, n)}
+	f := grid.Field()
+	for i := range m.nodes {
+		m.nodes[i].pos = geo.Point{X: rng.Uniform(f.MinX, f.MaxX), Y: rng.Uniform(f.MinY, f.MaxY)}
+		m.retarget(&m.nodes[i])
+	}
+	return m, nil
+}
+
+func (m *RandomWaypoint) retarget(n *wpNode) {
+	f := m.grid.Field()
+	n.dst = geo.Point{X: m.rng.Uniform(f.MinX, f.MaxX), Y: m.rng.Uniform(f.MinY, f.MaxY)}
+	n.speed = m.rng.Uniform(m.min, m.max)
+	if n.speed <= 0 {
+		n.speed = m.max / 2
+	}
+}
+
+// Position implements Model.
+func (m *RandomWaypoint) Position(id int) geo.Point { return m.nodes[id].pos }
+
+// Zone implements Model.
+func (m *RandomWaypoint) Zone(id int) geo.ZoneID { return m.grid.ZoneAt(m.nodes[id].pos) }
+
+// Len implements Model.
+func (m *RandomWaypoint) Len() int { return len(m.nodes) }
+
+// Step implements Model.
+func (m *RandomWaypoint) Step(dt float64) {
+	for i := range m.nodes {
+		n := &m.nodes[i]
+		remaining := dt
+		for remaining > 1e-12 {
+			d := n.pos.Dist(n.dst)
+			travel := n.speed * remaining
+			if travel < d {
+				frac := travel / d
+				n.pos = geo.Point{
+					X: n.pos.X + (n.dst.X-n.pos.X)*frac,
+					Y: n.pos.Y + (n.dst.Y-n.pos.Y)*frac,
+				}
+				break
+			}
+			// Arrive and pick the next leg with the leftover time.
+			if n.speed > 0 {
+				remaining -= d / n.speed
+			} else {
+				remaining = 0
+			}
+			n.pos = n.dst
+			m.retarget(n)
+		}
+	}
+}

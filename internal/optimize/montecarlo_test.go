@@ -1,0 +1,151 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"dftmsn/internal/simrand"
+)
+
+// TestEq12AgainstMonteCarlo validates the closed-form preamble collision
+// probability (Eqs. 10-12) against direct simulation of the slotted
+// contention: each node draws a listening period uniformly from [1, σ];
+// the channel is grabbed cleanly iff a unique node drew the strict
+// minimum.
+func TestEq12AgainstMonteCarlo(t *testing.T) {
+	cases := [][]int{
+		{2, 2},
+		{1, 4},
+		{3, 5, 8},
+		{4, 4, 4, 4},
+		{2, 7, 9, 13, 20},
+	}
+	rng := simrand.New(12345)
+	const trials = 200_000
+	for _, sigmas := range cases {
+		collisions := 0
+		for trial := 0; trial < trials; trial++ {
+			minDraw, minCount := math.MaxInt, 0
+			for _, s := range sigmas {
+				d := rng.SlotIn(s)
+				switch {
+				case d < minDraw:
+					minDraw, minCount = d, 1
+				case d == minDraw:
+					minCount++
+				}
+			}
+			if minCount > 1 {
+				collisions++
+			}
+		}
+		empirical := float64(collisions) / trials
+		analytic := PreambleCollisionProb(sigmas)
+		if math.Abs(empirical-analytic) > 0.01 {
+			t.Errorf("sigmas %v: analytic gamma %.4f vs empirical %.4f", sigmas, analytic, empirical)
+		}
+	}
+}
+
+// TestEq10AgainstMonteCarlo validates the per-node grab probabilities.
+func TestEq10AgainstMonteCarlo(t *testing.T) {
+	sigmas := []int{2, 5, 9}
+	rng := simrand.New(999)
+	const trials = 300_000
+	wins := make([]int, len(sigmas))
+	draws := make([]int, len(sigmas))
+	for trial := 0; trial < trials; trial++ {
+		minDraw, minCount, winner := math.MaxInt, 0, -1
+		for i, s := range sigmas {
+			draws[i] = rng.SlotIn(s)
+			switch {
+			case draws[i] < minDraw:
+				minDraw, minCount, winner = draws[i], 1, i
+			case draws[i] == minDraw:
+				minCount++
+			}
+		}
+		if minCount == 1 {
+			wins[winner]++
+		}
+	}
+	probs := GrabProbabilities(sigmas)
+	for i := range sigmas {
+		empirical := float64(wins[i]) / trials
+		if math.Abs(empirical-probs[i]) > 0.01 {
+			t.Errorf("node %d (sigma %d): analytic P %.4f vs empirical %.4f",
+				i, sigmas[i], probs[i], empirical)
+		}
+	}
+}
+
+// TestEq14AgainstMonteCarlo validates the CTS collision probability against
+// direct simulation of n repliers picking among W slots.
+func TestEq14AgainstMonteCarlo(t *testing.T) {
+	cases := []struct{ w, n int }{
+		{2, 2}, {8, 3}, {16, 5}, {32, 6}, {10, 10},
+	}
+	rng := simrand.New(777)
+	const trials = 200_000
+	for _, c := range cases {
+		collisions := 0
+		used := make(map[int]bool, c.n)
+		for trial := 0; trial < trials; trial++ {
+			clear(used)
+			collided := false
+			for i := 0; i < c.n; i++ {
+				slot := rng.SlotIn(c.w)
+				if used[slot] {
+					collided = true
+					break
+				}
+				used[slot] = true
+			}
+			if collided {
+				collisions++
+			}
+		}
+		empirical := float64(collisions) / trials
+		analytic, err := CTSCollisionProb(c.w, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(empirical-analytic) > 0.01 {
+			t.Errorf("W=%d n=%d: analytic %.4f vs empirical %.4f", c.w, c.n, analytic, empirical)
+		}
+	}
+}
+
+// TestEq6SleepBehaviour validates the qualitative §4.1 claims: higher
+// success rates and fuller important-message buffers both shorten sleep.
+func TestEq6SleepBehaviour(t *testing.T) {
+	mk := func(successes int) *SleepController {
+		c, err := NewSleepController(validSleepConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			c.RecordCycle(i < successes, true)
+		}
+		return c
+	}
+	// Monotone in rho.
+	prev := math.Inf(1)
+	for s := 0; s <= 10; s++ {
+		d := mk(s).SleepDuration(0.2)
+		if d > prev+1e-12 {
+			t.Fatalf("sleep not nonincreasing in success rate at s=%d: %v > %v", s, d, prev)
+		}
+		prev = d
+	}
+	// Monotone in alpha.
+	c := mk(5)
+	prev = math.Inf(1)
+	for a := 0.0; a <= 1.0; a += 0.1 {
+		d := c.SleepDuration(a)
+		if d > prev+1e-12 {
+			t.Fatalf("sleep not nonincreasing in alpha at %v: %v > %v", a, d, prev)
+		}
+		prev = d
+	}
+}

@@ -1,0 +1,425 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func validSleepConfig() SleepConfig {
+	return SleepConfig{S: 10, L: 3, H: 0.5, TMin: 1, FImportant: 0.5}
+}
+
+func TestSleepConfigValidate(t *testing.T) {
+	good := validSleepConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []func(*SleepConfig){
+		func(c *SleepConfig) { c.S = 0 },
+		func(c *SleepConfig) { c.L = 0 },
+		func(c *SleepConfig) { c.H = 0 },
+		func(c *SleepConfig) { c.H = 1 },
+		func(c *SleepConfig) { c.H = math.NaN() },
+		func(c *SleepConfig) { c.TMin = 0 },
+		func(c *SleepConfig) { c.TMin = -2 },
+		func(c *SleepConfig) { c.FImportant = 1.5 },
+		func(c *SleepConfig) { c.FImportant = -0.1 },
+	}
+	for i, mut := range mutations {
+		c := validSleepConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestRhoEquation4(t *testing.T) {
+	c, err := NewSleepController(validSleepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No history: s=0 => rho = 1/S.
+	if got := c.Rho(); got != 0.1 {
+		t.Fatalf("empty rho = %v, want 1/S = 0.1", got)
+	}
+	// 4 successes out of 10 recorded cycles.
+	for i := 0; i < 10; i++ {
+		c.RecordCycle(i < 4, true)
+	}
+	if got := c.Rho(); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("rho = %v, want 0.4", got)
+	}
+	// Ring buffer: 10 more failures wash out the successes => rho = 1/S.
+	for i := 0; i < 10; i++ {
+		c.RecordCycle(false, false)
+	}
+	if got := c.Rho(); got != 0.1 {
+		t.Fatalf("rho after washout = %v, want 0.1", got)
+	}
+}
+
+func TestAlphaEquation5(t *testing.T) {
+	c, err := NewSleepController(validSleepConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Alpha(50, 200); got != 0.25 {
+		t.Fatalf("Alpha = %v, want 0.25", got)
+	}
+	if got := c.Alpha(0, 200); got != 0 {
+		t.Fatalf("Alpha = %v, want 0", got)
+	}
+	if got := c.Alpha(300, 200); got != 1 {
+		t.Fatalf("Alpha clamps to 1, got %v", got)
+	}
+	if got := c.Alpha(5, 0); got != 0 {
+		t.Fatalf("Alpha with zero capacity = %v, want 0", got)
+	}
+}
+
+func TestSleepDurationEquation6(t *testing.T) {
+	cfg := validSleepConfig() // S=10, H=0.5, TMin=1
+	c, err := NewSleepController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.RecordCycle(i < 5, true) // rho = 0.5
+	}
+	// alpha = H: T = TMin * (1/0.5) * 1/(1-0.5+0.5) = 2.
+	if got := c.SleepDuration(0.5); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("T(alpha=H) = %v, want 2", got)
+	}
+	// alpha = 1 (urgent buffer): T = 2 * 1/1.5 = 1.333 (shorter).
+	if got := c.SleepDuration(1); math.Abs(got-2/1.5) > 1e-12 {
+		t.Fatalf("T(alpha=1) = %v, want %v", got, 2/1.5)
+	}
+	// alpha = 0: T = 2 * 1/0.5 = 4 (longer).
+	if got := c.SleepDuration(0); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("T(alpha=0) = %v, want 4", got)
+	}
+	// Out-of-range alphas are clamped, not errors.
+	if got := c.SleepDuration(-3); got != c.SleepDuration(0) {
+		t.Fatalf("negative alpha not clamped")
+	}
+}
+
+func TestSleepDurationFloorsAtTMin(t *testing.T) {
+	cfg := validSleepConfig()
+	c, err := NewSleepController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.RecordCycle(true, true) // rho = 1
+	}
+	// T = 1 * 1 * 1/(1.5) = 0.667 -> floored to TMin = 1.
+	if got := c.SleepDuration(1); got != cfg.TMin {
+		t.Fatalf("T = %v, want TMin floor %v", got, cfg.TMin)
+	}
+}
+
+func TestTMaxEquation8(t *testing.T) {
+	cfg := validSleepConfig() // S=10, H=0.5, TMin=1
+	c, err := NewSleepController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 * 10 / (1 - 0.5) // 20
+	if got := c.TMax(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TMax = %v, want %v", got, want)
+	}
+	// Worst case (no history, empty buffer) hits exactly TMax.
+	if got := c.SleepDuration(0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("worst-case T = %v, want TMax %v", got, want)
+	}
+}
+
+func TestIdleCyclesAndShouldSleep(t *testing.T) {
+	c, err := NewSleepController(validSleepConfig()) // L = 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ShouldSleep() {
+		t.Fatal("fresh controller wants to sleep")
+	}
+	c.RecordCycle(false, false)
+	c.RecordCycle(false, false)
+	if c.ShouldSleep() {
+		t.Fatal("sleeping after only 2 idle cycles (L=3)")
+	}
+	c.RecordCycle(false, false)
+	if !c.ShouldSleep() {
+		t.Fatal("not sleeping after 3 idle cycles")
+	}
+	if c.IdleCycles() != 3 {
+		t.Fatalf("IdleCycles = %d", c.IdleCycles())
+	}
+	// Activity resets the counter.
+	c.RecordCycle(false, true)
+	if c.ShouldSleep() || c.IdleCycles() != 0 {
+		t.Fatal("activity did not reset idle counter")
+	}
+	c.RecordCycle(false, false)
+	c.ResetIdle()
+	if c.IdleCycles() != 0 {
+		t.Fatal("ResetIdle did not clear")
+	}
+}
+
+func TestSigmaEquation9(t *testing.T) {
+	cases := []struct {
+		xi     float64
+		tauMax int
+		want   int
+	}{
+		{0, 32, 1},    // floor at one slot
+		{1, 32, 32},   // full window
+		{0.5, 32, 16}, // proportional
+		{0.5, 0, 1},   // degenerate tau
+		{-1, 32, 1},   // clamped xi
+		{2, 32, 32},   // clamped xi
+		{0.01, 32, 1}, // rounds to 0 -> floored
+	}
+	for _, c := range cases {
+		if got := Sigma(c.xi, c.tauMax); got != c.want {
+			t.Errorf("Sigma(%v, %d) = %d, want %d", c.xi, c.tauMax, got, c.want)
+		}
+	}
+}
+
+func TestGrabProbabilitiesTwoSymmetricNodes(t *testing.T) {
+	// Two nodes, sigma=2 each. P(i grabs) = P(i picks 1, j picks 2) = 1/4.
+	probs := GrabProbabilities([]int{2, 2})
+	for i, p := range probs {
+		if math.Abs(p-0.25) > 1e-12 {
+			t.Fatalf("P_%d = %v, want 0.25", i, p)
+		}
+	}
+	// gamma = 1 - 0.5 = 0.5 (ties on same slot collide).
+	if g := PreambleCollisionProb([]int{2, 2}); math.Abs(g-0.5) > 1e-12 {
+		t.Fatalf("gamma = %v, want 0.5", g)
+	}
+}
+
+func TestGrabProbabilitiesAsymmetric(t *testing.T) {
+	// sigma_1 = 1, sigma_2 = 4: node 1 always picks slot 1; node 2 picks
+	// later w.p. 3/4. P_1 = 3/4, P_2 = 0 (cannot strictly beat slot 1).
+	probs := GrabProbabilities([]int{1, 4})
+	if math.Abs(probs[0]-0.75) > 1e-12 {
+		t.Fatalf("P_1 = %v, want 0.75", probs[0])
+	}
+	if probs[1] != 0 {
+		t.Fatalf("P_2 = %v, want 0", probs[1])
+	}
+	if g := PreambleCollisionProb([]int{1, 4}); math.Abs(g-0.25) > 1e-12 {
+		t.Fatalf("gamma = %v, want 0.25", g)
+	}
+}
+
+func TestGrabProbabilitiesSingleNode(t *testing.T) {
+	probs := GrabProbabilities([]int{5})
+	if math.Abs(probs[0]-1) > 1e-12 {
+		t.Fatalf("single node P = %v, want 1", probs[0])
+	}
+	if g := PreambleCollisionProb([]int{5}); g != 0 {
+		t.Fatalf("single node gamma = %v, want 0", g)
+	}
+}
+
+func TestCollisionProbDecreasesWithTauMax(t *testing.T) {
+	xis := []float64{0.2, 0.5, 0.8}
+	prev := 1.1
+	for tm := 1; tm <= 64; tm *= 2 {
+		sigmas := make([]int, len(xis))
+		for i, xi := range xis {
+			sigmas[i] = Sigma(xi, tm)
+		}
+		g := PreambleCollisionProb(sigmas)
+		if g > prev+1e-9 {
+			t.Fatalf("gamma increased from %v to %v at tauMax %d", prev, g, tm)
+		}
+		prev = g
+	}
+}
+
+func TestMinTauMaxEquation13(t *testing.T) {
+	xis := []float64{0.3, 0.6, 0.9}
+	tm, ok := MinTauMax(xis, 0.2, 1024)
+	if !ok {
+		t.Fatal("target unreachable within generous cap")
+	}
+	sig := func(tauMax int) []int {
+		s := make([]int, len(xis))
+		for i, xi := range xis {
+			s[i] = Sigma(xi, tauMax)
+		}
+		return s
+	}
+	if g := PreambleCollisionProb(sig(tm)); g > 0.2 {
+		t.Fatalf("returned tauMax %d has gamma %v > target", tm, g)
+	}
+	if tm > 1 {
+		if g := PreambleCollisionProb(sig(tm - 1)); g <= 0.2 {
+			t.Fatalf("tauMax %d is not minimal (tm-1 gives %v)", tm, g)
+		}
+	}
+}
+
+func TestMinTauMaxEdgeCases(t *testing.T) {
+	if tm, ok := MinTauMax(nil, 0.1, 100); tm != 1 || !ok {
+		t.Fatalf("no contenders: (%d, %v), want (1, true)", tm, ok)
+	}
+	if tm, ok := MinTauMax([]float64{0.5}, 0.1, 100); tm != 1 || !ok {
+		t.Fatalf("one contender: (%d, %v), want (1, true)", tm, ok)
+	}
+	// Unreachable target: tiny cap with identical xis.
+	if tm, ok := MinTauMax([]float64{1, 1, 1, 1, 1}, 0.0001, 3); ok || tm != 3 {
+		t.Fatalf("unreachable target returned (%d, %v)", tm, ok)
+	}
+	// Negative target treated as 0.
+	if _, ok := MinTauMax([]float64{0.5, 0.9}, -1, 4); ok {
+		t.Fatal("impossible zero-collision target reported reachable")
+	}
+}
+
+func TestCTSCollisionProbEquation14(t *testing.T) {
+	// W=2, n=2: collision iff both pick the same slot = 1/2.
+	g, err := CTSCollisionProb(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-0.5) > 1e-12 {
+		t.Fatalf("gamma_o(2,2) = %v, want 0.5", g)
+	}
+	// W=365, n=23: birthday bound ~0.507.
+	g, err = CTSCollisionProb(365, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-0.5073) > 1e-3 {
+		t.Fatalf("gamma_o(365,23) = %v, want ~0.507", g)
+	}
+}
+
+func TestCTSCollisionProbEdges(t *testing.T) {
+	if g, err := CTSCollisionProb(5, 0); err != nil || g != 0 {
+		t.Fatalf("(5,0) = %v, %v", g, err)
+	}
+	if g, err := CTSCollisionProb(5, 1); err != nil || g != 0 {
+		t.Fatalf("(5,1) = %v, %v", g, err)
+	}
+	if g, err := CTSCollisionProb(3, 4); err != nil || g != 1 {
+		t.Fatalf("(3,4) = %v, %v; pigeonhole demands 1", g, err)
+	}
+	if _, err := CTSCollisionProb(0, 2); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := CTSCollisionProb(5, -1); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
+
+func TestMinWindowSearch(t *testing.T) {
+	w, ok := MinWindow(4, 0.3, 4096)
+	if !ok {
+		t.Fatal("unreachable")
+	}
+	g, err := CTSCollisionProb(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g > 0.3 {
+		t.Fatalf("W=%d gives %v > 0.3", w, g)
+	}
+	if w > 4 {
+		gPrev, err := CTSCollisionProb(w-1, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gPrev <= 0.3 {
+			t.Fatalf("W=%d not minimal", w)
+		}
+	}
+}
+
+func TestMinWindowEdgeCases(t *testing.T) {
+	if w, ok := MinWindow(0, 0.1, 100); w != 1 || !ok {
+		t.Fatalf("n=0: (%d,%v)", w, ok)
+	}
+	if w, ok := MinWindow(1, 0.1, 100); w != 1 || !ok {
+		t.Fatalf("n=1: (%d,%v)", w, ok)
+	}
+	if w, ok := MinWindow(10, 0.001, 20); ok || w != 20 {
+		t.Fatalf("unreachable target: (%d,%v), want (20,false)", w, ok)
+	}
+}
+
+// Property: grab probabilities are a sub-distribution: each in [0,1] and
+// summing to at most 1.
+func TestPropertyGrabProbsSubDistribution(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 6 {
+			return true
+		}
+		sigmas := make([]int, len(raw))
+		for i, r := range raw {
+			sigmas[i] = int(r%16) + 1
+		}
+		probs := GrabProbabilities(sigmas)
+		var sum float64
+		for _, p := range probs {
+			if p < 0 || p > 1+1e-9 {
+				return false
+			}
+			sum += p
+		}
+		return sum <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CTS collision probability is monotone nonincreasing in W and
+// nondecreasing in n.
+func TestPropertyCTSCollisionMonotone(t *testing.T) {
+	f := func(wRaw, nRaw uint8) bool {
+		w := int(wRaw%64) + 2
+		n := int(nRaw % 10)
+		g1, err1 := CTSCollisionProb(w, n)
+		g2, err2 := CTSCollisionProb(w+1, n)
+		g3, err3 := CTSCollisionProb(w, n+1)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return g2 <= g1+1e-12 && g3 >= g1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sleep duration always lies in [TMin, TMax].
+func TestPropertySleepDurationBounds(t *testing.T) {
+	f := func(outcomes []bool, alphaRaw float64) bool {
+		c, err := NewSleepController(validSleepConfig())
+		if err != nil {
+			return false
+		}
+		for _, o := range outcomes {
+			c.RecordCycle(o, o)
+		}
+		alpha := math.Mod(math.Abs(alphaRaw), 1)
+		if math.IsNaN(alpha) {
+			alpha = 0
+		}
+		d := c.SleepDuration(alpha)
+		return d >= c.Config().TMin-1e-12 && d <= c.TMax()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

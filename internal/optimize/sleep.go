@@ -1,0 +1,160 @@
+// Package optimize implements the paper's §4 protocol optimizations:
+// periodic sleeping (Eqs. 4-8), collision avoidance during preamble/RTS
+// transmission via the adaptive listening period (Eqs. 9-13), and collision
+// avoidance during CTS transmission via contention-window sizing (Eq. 14).
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// SleepConfig parameterises the §4.1 sleep controller.
+type SleepConfig struct {
+	// S is the history length in working cycles over which the
+	// transmission-success fraction ρ is computed (Eq. 4).
+	S int
+	// L is the number of consecutive cycles without acting as sender or
+	// receiver after which a node goes to sleep (§3.2).
+	L int
+	// H is the buffer-occupancy threshold of Eq. 6: when the fraction of
+	// important messages α exceeds H, the sleeping period is shortened.
+	H float64
+	// TMin is the minimum sleeping period (Eq. 7 gives its lower bound).
+	TMin float64
+	// FImportant is the FTD bound F of Eq. 5: messages with FTD below it
+	// count as important when computing α = K_F/K.
+	FImportant float64
+}
+
+// Validate reports configuration errors.
+func (c SleepConfig) Validate() error {
+	if c.S <= 0 {
+		return fmt.Errorf("optimize: S %d must be positive", c.S)
+	}
+	if c.L <= 0 {
+		return fmt.Errorf("optimize: L %d must be positive", c.L)
+	}
+	if c.H <= 0 || c.H >= 1 || math.IsNaN(c.H) {
+		return fmt.Errorf("optimize: H %v must be in (0,1)", c.H)
+	}
+	if c.TMin <= 0 || math.IsNaN(c.TMin) {
+		return fmt.Errorf("optimize: TMin %v must be positive", c.TMin)
+	}
+	if c.FImportant < 0 || c.FImportant > 1 || math.IsNaN(c.FImportant) {
+		return fmt.Errorf("optimize: FImportant %v out of [0,1]", c.FImportant)
+	}
+	return nil
+}
+
+// SleepController tracks a node's recent working-cycle outcomes and derives
+// its adaptive sleeping period per §4.1.
+type SleepController struct {
+	cfg     SleepConfig
+	history []bool // ring buffer of the past S cycle outcomes
+	next    int
+	filled  int
+	idle    int // consecutive cycles without sender/receiver activity
+}
+
+// NewSleepController returns a controller with an empty history.
+func NewSleepController(cfg SleepConfig) (*SleepController, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SleepController{cfg: cfg, history: make([]bool, cfg.S)}, nil
+}
+
+// Config returns the controller's configuration.
+func (c *SleepController) Config() SleepConfig { return c.cfg }
+
+// RecordCycle records the outcome of one working cycle: success means the
+// node transmitted (as sender) during the cycle — the s_i of Eq. 4.
+// active means the node served as sender or receiver, which resets the §3.2
+// idle-cycle counter used by ShouldSleep.
+func (c *SleepController) RecordCycle(success, active bool) {
+	c.history[c.next] = success
+	c.next = (c.next + 1) % len(c.history)
+	if c.filled < len(c.history) {
+		c.filled++
+	}
+	if active {
+		c.idle = 0
+	} else {
+		c.idle++
+	}
+}
+
+// IdleCycles returns the current consecutive-idle-cycle count.
+func (c *SleepController) IdleCycles() int { return c.idle }
+
+// ShouldSleep reports whether the node has been idle for at least L cycles
+// and should turn its radio off (§3.2).
+func (c *SleepController) ShouldSleep() bool { return c.idle >= c.cfg.L }
+
+// ResetIdle clears the idle counter, e.g. after waking up.
+func (c *SleepController) ResetIdle() { c.idle = 0 }
+
+// Rho computes Eq. 4: ρ = s/S where s is the number of successful cycles in
+// the past S; when s = 0, ρ = 1/S so the sleeping period stays finite.
+// Before S cycles have been recorded the denominator is still S, which
+// under-reports success slightly and errs toward longer sleep.
+func (c *SleepController) Rho() float64 {
+	s := 0
+	for i := 0; i < c.filled; i++ {
+		if c.history[i] {
+			s++
+		}
+	}
+	if s == 0 {
+		return 1 / float64(c.cfg.S)
+	}
+	return float64(s) / float64(c.cfg.S)
+}
+
+// Alpha computes Eq. 5: α = K_F/K, the fraction of buffer capacity holding
+// messages more important than FImportant. Callers pass the count of queued
+// messages with FTD < FImportant and the total capacity K.
+func (c *SleepController) Alpha(importantCount, capacity int) float64 {
+	if capacity <= 0 {
+		return 0
+	}
+	a := float64(importantCount) / float64(capacity)
+	if a < 0 {
+		return 0
+	}
+	if a > 1 {
+		return 1
+	}
+	return a
+}
+
+// SleepDuration computes Eq. 6:
+//
+//	T = max(T_min, T_min · (1/ρ) · 1/(1 − H + α))
+//
+// clamped above by TMax. A fuller buffer of important messages (α > H)
+// shortens the sleep; a poor transmission history (small ρ) lengthens it.
+func (c *SleepController) SleepDuration(alpha float64) float64 {
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	rho := c.Rho()
+	t := c.cfg.TMin * (1 / rho) * (1 / (1 - c.cfg.H + alpha))
+	if t < c.cfg.TMin {
+		t = c.cfg.TMin
+	}
+	if tm := c.TMax(); t > tm {
+		t = tm
+	}
+	return t
+}
+
+// TMax computes Eq. 8's cap on the sleeping period: Eq. 6 evaluated at the
+// minimum ρ = 1/S and α = 0, i.e. T_max = T_min · S / (1 − H).
+func (c *SleepController) TMax() float64 {
+	return c.cfg.TMin * float64(c.cfg.S) / (1 - c.cfg.H)
+}

@@ -1,0 +1,68 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+func BenchmarkMarshalRTS(b *testing.B) {
+	rts := &RTS{From: 1, Xi: 0.5, FTD: 0.3, Window: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(rts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalRTS(b *testing.B) {
+	buf, err := Marshal(&RTS{From: 1, Xi: 0.5, FTD: 0.3, Window: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalSchedule(b *testing.B) {
+	s := &Schedule{From: 1, Entries: []ScheduleEntry{
+		{Node: 2, FTD: 0.1}, {Node: 3, FTD: 0.2}, {Node: 4, FTD: 0.3},
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamWriteRead(b *testing.B) {
+	frames := []Frame{
+		&Preamble{From: 1},
+		&RTS{From: 1, Xi: 0.5, FTD: 0.3, Window: 8},
+		&CTS{From: 2, To: 1, Xi: 0.7, BufferAvail: 10},
+		&Data{From: 1, ID: 1, PayloadBits: 1000},
+		&Ack{From: 2, To: 1, ID: 1},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := NewStreamWriter(&buf)
+		for _, f := range frames {
+			if err := w.Write(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := NewStreamReader(&buf).ReadAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

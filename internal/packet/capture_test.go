@@ -1,0 +1,80 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestCaptureRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCaptureWriter(&buf)
+	records := []CaptureRecord{
+		{Time: 0.5, Src: 1, Frame: &Preamble{From: 1}},
+		{Time: 0.505, Src: 1, Frame: &RTS{From: 1, Xi: 0.4, FTD: 0.2, Window: 3}},
+		{Time: 0.52, Src: 2, Frame: &CTS{From: 2, To: 1, Xi: 0.9, BufferAvail: 3}},
+	}
+	for _, rec := range records {
+		if err := w.Write(rec.Time, rec.Src, rec.Frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewCaptureReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range records {
+		if got[i].Time != records[i].Time || got[i].Src != records[i].Src {
+			t.Fatalf("record %d header: %+v", i, got[i])
+		}
+		if !reflect.DeepEqual(got[i].Frame, records[i].Frame) {
+			t.Fatalf("record %d frame: %+v", i, got[i].Frame)
+		}
+	}
+}
+
+func TestCaptureRejectsBadTime(t *testing.T) {
+	w := NewCaptureWriter(&bytes.Buffer{})
+	if err := w.Write(math.NaN(), 1, &Preamble{From: 1}); err == nil {
+		t.Error("NaN time accepted")
+	}
+	if err := w.Write(math.Inf(1), 1, &Preamble{From: 1}); err == nil {
+		t.Error("Inf time accepted")
+	}
+}
+
+func TestCaptureTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCaptureWriter(&buf)
+	if err := w.Write(1, 1, &Ack{From: 1, To: 2, ID: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncate inside the header.
+	if _, err := NewCaptureReader(bytes.NewReader(full[:6])).Read(); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Truncate inside the frame.
+	if _, err := NewCaptureReader(bytes.NewReader(full[:len(full)-2])).Read(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated frame: %v", err)
+	}
+	// Clean EOF on empty.
+	if _, err := NewCaptureReader(bytes.NewReader(nil)).Read(); !errors.Is(err, io.EOF) {
+		t.Errorf("empty capture: %v", err)
+	}
+}

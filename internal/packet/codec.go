@@ -1,0 +1,212 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire format: one kind byte, then fixed little-endian fields per kind.
+// Schedule carries a uint16 entry count followed by the entries. The codec
+// exists for tooling (traces, replay files, cross-process harnesses); the
+// simulator itself passes Frame values in memory and charges air time from
+// Sizes, matching the paper's fixed 50/1000-bit accounting.
+
+// Codec errors.
+var (
+	ErrShortBuffer = errors.New("packet: buffer too short")
+	ErrBadKind     = errors.New("packet: unknown frame kind")
+	ErrTrailing    = errors.New("packet: trailing bytes after frame")
+	ErrFieldRange  = errors.New("packet: field out of encodable range")
+)
+
+const maxScheduleEntries = math.MaxUint16
+
+// Marshal encodes a frame to bytes.
+func Marshal(f Frame) ([]byte, error) {
+	if f == nil {
+		return nil, errors.New("packet: marshal nil frame")
+	}
+	switch fr := f.(type) {
+	case *Preamble:
+		b := make([]byte, 0, 5)
+		b = append(b, byte(KindPreamble))
+		return appendID(b, fr.From), nil
+	case *RTS:
+		b := make([]byte, 0, 1+4+8+8+2+8)
+		b = append(b, byte(KindRTS))
+		b = appendID(b, fr.From)
+		b = appendF64(b, fr.Xi)
+		b = appendF64(b, fr.FTD)
+		if fr.Window < 0 || fr.Window > math.MaxUint16 {
+			return nil, fmt.Errorf("packet: RTS window %d out of uint16 range", fr.Window)
+		}
+		b = binary.LittleEndian.AppendUint16(b, uint16(fr.Window))
+		b = appendF64(b, fr.History)
+		return b, nil
+	case *CTS:
+		b := make([]byte, 0, 1+4+4+8+4+8)
+		b = append(b, byte(KindCTS))
+		b = appendID(b, fr.From)
+		b = appendID(b, fr.To)
+		b = appendF64(b, fr.Xi)
+		if fr.BufferAvail < 0 || fr.BufferAvail > math.MaxInt32 {
+			return nil, fmt.Errorf("packet: CTS buffer %d out of int32 range", fr.BufferAvail)
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(fr.BufferAvail))
+		b = appendF64(b, fr.History)
+		return b, nil
+	case *Schedule:
+		if len(fr.Entries) > maxScheduleEntries {
+			return nil, fmt.Errorf("packet: %d schedule entries exceed limit", len(fr.Entries))
+		}
+		b := make([]byte, 0, 1+4+2+len(fr.Entries)*12)
+		b = append(b, byte(KindSchedule))
+		b = appendID(b, fr.From)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(fr.Entries)))
+		for _, e := range fr.Entries {
+			b = appendID(b, e.Node)
+			b = appendF64(b, e.FTD)
+		}
+		return b, nil
+	case *Data:
+		if fr.PayloadBits < 0 || fr.PayloadBits > math.MaxInt32 {
+			return nil, fmt.Errorf("packet: payload bits %d out of int32 range", fr.PayloadBits)
+		}
+		if fr.Hops < 0 || fr.Hops > math.MaxUint16 {
+			return nil, fmt.Errorf("packet: hops %d out of uint16 range", fr.Hops)
+		}
+		b := make([]byte, 0, 1+4+8+4+8+4+2)
+		b = append(b, byte(KindData))
+		b = appendID(b, fr.From)
+		b = binary.LittleEndian.AppendUint64(b, uint64(fr.ID))
+		b = appendID(b, fr.Origin)
+		b = appendF64(b, fr.CreatedAt)
+		b = binary.LittleEndian.AppendUint32(b, uint32(fr.PayloadBits))
+		b = binary.LittleEndian.AppendUint16(b, uint16(fr.Hops))
+		return b, nil
+	case *Ack:
+		b := make([]byte, 0, 1+4+4+8)
+		b = append(b, byte(KindAck))
+		b = appendID(b, fr.From)
+		b = appendID(b, fr.To)
+		b = binary.LittleEndian.AppendUint64(b, uint64(fr.ID))
+		return b, nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrBadKind, f)
+	}
+}
+
+// Unmarshal decodes a frame from bytes, rejecting truncated or oversized
+// input.
+func Unmarshal(b []byte) (Frame, error) {
+	if len(b) < 1 {
+		return nil, ErrShortBuffer
+	}
+	kind, rest := Kind(b[0]), b[1:]
+	r := reader{buf: rest}
+	var f Frame
+	switch kind {
+	case KindPreamble:
+		f = &Preamble{From: r.id()}
+	case KindRTS:
+		f = &RTS{From: r.id(), Xi: r.f64(), FTD: r.f64(), Window: int(r.u16()), History: r.f64()}
+	case KindCTS:
+		cts := &CTS{From: r.id(), To: r.id(), Xi: r.f64(), BufferAvail: int(r.u32()), History: r.f64()}
+		if cts.BufferAvail > math.MaxInt32 || cts.BufferAvail < 0 {
+			return nil, fmt.Errorf("%w: CTS buffer %d", ErrFieldRange, cts.BufferAvail)
+		}
+		f = cts
+	case KindSchedule:
+		s := &Schedule{From: r.id()}
+		n := int(r.u16())
+		if r.err == nil {
+			s.Entries = make([]ScheduleEntry, 0, n)
+			for i := 0; i < n; i++ {
+				s.Entries = append(s.Entries, ScheduleEntry{Node: r.id(), FTD: r.f64()})
+			}
+		}
+		f = s
+	case KindData:
+		d := &Data{From: r.id(), ID: MessageID(r.u64()), Origin: r.id(), CreatedAt: r.f64(), PayloadBits: int(r.u32()), Hops: int(r.u16())}
+		if d.PayloadBits > math.MaxInt32 || d.PayloadBits < 0 {
+			return nil, fmt.Errorf("%w: payload %d", ErrFieldRange, d.PayloadBits)
+		}
+		f = d
+	case KindAck:
+		f = &Ack{From: r.id(), To: r.id(), ID: MessageID(r.u64())}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, int(kind))
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, ErrTrailing
+	}
+	return f, nil
+}
+
+func appendID(b []byte, id NodeID) []byte {
+	return binary.LittleEndian.AppendUint32(b, uint32(int32(id)))
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// reader is a cursor over a byte slice that records the first error.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.err = ErrShortBuffer
+		return nil
+	}
+	out := r.buf[:n]
+	r.buf = r.buf[n:]
+	return out
+}
+
+func (r *reader) id() NodeID {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return NodeID(int32(binary.LittleEndian.Uint32(b)))
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) f64() float64 {
+	return math.Float64frombits(r.u64())
+}

@@ -1,0 +1,68 @@
+package packet
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzUnmarshal checks the frame decoder never panics on arbitrary bytes
+// and that whatever it accepts re-encodes to the same bytes (canonical
+// round trip).
+func FuzzUnmarshal(f *testing.F) {
+	seed := []Frame{
+		&Preamble{From: 1},
+		&RTS{From: 1, Xi: 0.5, FTD: 0.25, Window: 4},
+		&CTS{From: 2, To: 1, Xi: 0.75, BufferAvail: 10},
+		&Schedule{From: 1, Entries: []ScheduleEntry{{Node: 2, FTD: 0.5}}},
+		&Data{From: 1, ID: 9, Origin: 1, CreatedAt: 1.5, PayloadBits: 1000, Hops: 2},
+		&Ack{From: 2, To: 1, ID: 9},
+	}
+	for _, fr := range seed {
+		b, err := Marshal(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Unmarshal(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		re, err := Marshal(fr)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			// Round trip must be canonical: decode(encode(x)) == x.
+			back, err := Unmarshal(re)
+			if err != nil || !reflect.DeepEqual(back, fr) {
+				t.Fatalf("non-canonical round trip:\n in %x\nout %x", data, re)
+			}
+		}
+	})
+}
+
+// FuzzStreamReader checks the stream decoder terminates cleanly on
+// arbitrary input.
+func FuzzStreamReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf)
+	_ = w.Write(&Preamble{From: 1})
+	_ = w.Write(&Ack{From: 1, To: 2, ID: 3})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{0xFF, 0xFF})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewStreamReader(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			if _, err := r.Read(); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package packet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Stream format: each frame is a uint16 little-endian length prefix
+// followed by the Marshal encoding. Used for frame capture/replay files
+// and cross-process harnesses.
+
+// maxStreamFrame bounds a single encoded frame on a stream; the largest
+// legitimate frame is a full Schedule (1+4+2+65535*12 bytes) but protocol
+// schedules are tiny, so the bound protects readers from corrupt prefixes.
+const maxStreamFrame = 1 << 15
+
+// ErrFrameTooLarge reports a frame exceeding the stream bound.
+var ErrFrameTooLarge = errors.New("packet: frame exceeds stream bound")
+
+// StreamWriter writes length-prefixed frames to an io.Writer.
+type StreamWriter struct {
+	w     *bufio.Writer
+	count uint64
+}
+
+// NewStreamWriter wraps w.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	return &StreamWriter{w: bufio.NewWriter(w)}
+}
+
+// Write encodes and appends one frame.
+func (s *StreamWriter) Write(f Frame) error {
+	b, err := Marshal(f)
+	if err != nil {
+		return err
+	}
+	if len(b) > maxStreamFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(b))
+	}
+	var prefix [2]byte
+	binary.LittleEndian.PutUint16(prefix[:], uint16(len(b)))
+	if _, err := s.w.Write(prefix[:]); err != nil {
+		return err
+	}
+	if _, err := s.w.Write(b); err != nil {
+		return err
+	}
+	s.count++
+	return nil
+}
+
+// Count returns the number of frames written.
+func (s *StreamWriter) Count() uint64 { return s.count }
+
+// Flush drains buffered output.
+func (s *StreamWriter) Flush() error { return s.w.Flush() }
+
+// StreamReader reads length-prefixed frames from an io.Reader.
+type StreamReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewStreamReader wraps r.
+func NewStreamReader(r io.Reader) *StreamReader {
+	return &StreamReader{r: bufio.NewReader(r)}
+}
+
+// Read returns the next frame, or io.EOF at a clean end of stream.
+// A truncated trailing frame yields io.ErrUnexpectedEOF.
+func (s *StreamReader) Read() (Frame, error) {
+	var prefix [2]byte
+	if _, err := io.ReadFull(s.r, prefix[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint16(prefix[:]))
+	if n > maxStreamFrame {
+		return nil, fmt.Errorf("%w: prefix %d", ErrFrameTooLarge, n)
+	}
+	if cap(s.buf) < n {
+		s.buf = make([]byte, n)
+	}
+	s.buf = s.buf[:n]
+	if _, err := io.ReadFull(s.r, s.buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return Unmarshal(s.buf)
+}
+
+// ReadAll drains the stream into a slice (for small capture files).
+func (s *StreamReader) ReadAll() ([]Frame, error) {
+	var out []Frame
+	for {
+		f, err := s.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, f)
+	}
+}

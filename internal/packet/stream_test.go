@@ -1,0 +1,142 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	frames := []Frame{
+		&Preamble{From: 1},
+		&RTS{From: 1, Xi: 0.3, FTD: 0.6, Window: 5},
+		&CTS{From: 2, To: 1, Xi: 0.8, BufferAvail: 7},
+		&Schedule{From: 1, Entries: []ScheduleEntry{{Node: 2, FTD: 0.4}}},
+		&Data{From: 1, ID: 42, Origin: 1, CreatedAt: 3.5, PayloadBits: 1000, Hops: 1},
+		&Ack{From: 2, To: 1, ID: 42},
+	}
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf)
+	for _, f := range frames {
+		if err := w.Write(f); err != nil {
+			t.Fatalf("Write(%v): %v", f.Kind(), err)
+		}
+	}
+	if w.Count() != uint64(len(frames)) {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewStreamReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("read %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if !reflect.DeepEqual(got[i], frames[i]) {
+			t.Errorf("frame %d: got %+v want %+v", i, got[i], frames[i])
+		}
+	}
+}
+
+func TestStreamEmptyIsEOF(t *testing.T) {
+	r := NewStreamReader(bytes.NewReader(nil))
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream Read: %v", err)
+	}
+	out, err := NewStreamReader(bytes.NewReader(nil)).ReadAll()
+	if err != nil || len(out) != 0 {
+		t.Fatalf("ReadAll on empty: %v, %d frames", err, len(out))
+	}
+}
+
+func TestStreamTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf)
+	if err := w.Write(&Data{From: 1, ID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut inside the frame body.
+	r := NewStreamReader(bytes.NewReader(full[:len(full)-3]))
+	if _, err := r.Read(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated body Read: %v", err)
+	}
+	// Cut inside the prefix.
+	r = NewStreamReader(bytes.NewReader(full[:1]))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("truncated prefix accepted")
+	}
+}
+
+func TestStreamCorruptBodyRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewStreamWriter(&buf)
+	if err := w.Write(&Ack{From: 1, To: 2, ID: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[2] = 0xFF // kind byte becomes invalid
+	if _, err := NewStreamReader(bytes.NewReader(b)).Read(); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("corrupt kind: %v", err)
+	}
+}
+
+// Property: any sequence of valid frames survives a stream round trip.
+func TestPropertyStreamRoundTrip(t *testing.T) {
+	f := func(ids []uint32, xi float64) bool {
+		clamp := xi
+		if clamp < 0 {
+			clamp = -clamp
+		}
+		for clamp > 1 {
+			clamp /= 2
+		}
+		var buf bytes.Buffer
+		w := NewStreamWriter(&buf)
+		want := make([]Frame, 0, len(ids))
+		for i, id := range ids {
+			var fr Frame
+			switch i % 3 {
+			case 0:
+				fr = &Data{From: NodeID(i), ID: MessageID(id), PayloadBits: 100}
+			case 1:
+				fr = &CTS{From: NodeID(i), To: 0, Xi: clamp, BufferAvail: int(id % 1000)}
+			default:
+				fr = &Ack{From: NodeID(i), To: 1, ID: MessageID(id)}
+			}
+			if err := w.Write(fr); err != nil {
+				return false
+			}
+			want = append(want, fr)
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		got, err := NewStreamReader(&buf).ReadAll()
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,497 @@
+// Package radio models the physical layer of the DFT-MSN simulator: a
+// shared broadcast medium with a fixed transmission range, finite bit rate,
+// carrier sensing, and collisions, plus the per-node radio state machine
+// whose state residency is metered for energy accounting.
+//
+// Model (paper §5 defaults: 10 m range, 10 kbps):
+//
+//   - A transmission occupies the channel for AirBits/bitrate seconds.
+//   - Every radio within range of the transmitter that is idle-listening at
+//     frame start begins receiving. Membership is evaluated at frame start;
+//     frames are ≤ 0.1 s, far below the mobility coherence time.
+//   - If a second frame starts while a radio is receiving, both receptions
+//     at that radio are corrupted (collision); the radio hears noise.
+//   - A radio that starts listening mid-frame senses a busy channel
+//     (carrier sense) but cannot decode the frame in flight.
+//   - Sleeping, switching, and transmitting radios hear nothing.
+//   - Turning the radio on or off takes Profile.SwitchTime at switch power.
+package radio
+
+import (
+	"errors"
+	"fmt"
+
+	"dftmsn/internal/energy"
+	"dftmsn/internal/geo"
+	"dftmsn/internal/packet"
+	"dftmsn/internal/sim"
+	"dftmsn/internal/simrand"
+)
+
+// State is a radio operating state.
+type State int
+
+// Radio states.
+const (
+	Off State = iota + 1
+	Idle
+	Receiving
+	Transmitting
+	Switching
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Off:
+		return "off"
+	case Idle:
+		return "idle"
+	case Receiving:
+		return "receiving"
+	case Transmitting:
+		return "transmitting"
+	case Switching:
+		return "switching"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Radio operation errors.
+var (
+	ErrNotIdle  = errors.New("radio: operation requires idle state")
+	ErrNotOff   = errors.New("radio: operation requires off state")
+	ErrDetached = errors.New("radio: not attached to a medium")
+	ErrKilled   = errors.New("radio: node is dead")
+)
+
+// Handler receives radio events. Implementations are MAC engines.
+type Handler interface {
+	// OnFrame delivers a cleanly received frame at its end-of-air time.
+	OnFrame(f packet.Frame)
+	// OnCollision reports that a reception at this node was corrupted.
+	// It fires once per corrupted frame, at the frame's end-of-air time.
+	OnCollision()
+	// OnTxDone reports completion of this node's own transmission.
+	OnTxDone(f packet.Frame)
+	// OnAwake reports that the radio finished powering on and is idle.
+	OnAwake()
+}
+
+// Config parameterises a Medium.
+type Config struct {
+	// RangeM is the maximum transmission range in metres (paper: 10 m).
+	RangeM float64
+	// BitrateBps is the channel bit rate (paper: 10 kbps).
+	BitrateBps float64
+	// Sizes give frame air costs.
+	Sizes packet.Sizes
+}
+
+// DefaultConfig returns the paper's §5 channel parameters.
+func DefaultConfig() Config {
+	return Config{RangeM: 10, BitrateBps: 10_000, Sizes: packet.DefaultSizes()}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.RangeM <= 0 {
+		return fmt.Errorf("radio: range %v must be positive", c.RangeM)
+	}
+	if c.BitrateBps <= 0 {
+		return fmt.Errorf("radio: bitrate %v must be positive", c.BitrateBps)
+	}
+	return c.Sizes.Validate()
+}
+
+// Stats aggregates channel-level counters for the whole medium.
+type Stats struct {
+	// FramesSent counts transmissions started, by frame kind.
+	FramesSent map[packet.Kind]uint64
+	// FramesDelivered counts clean receptions, by frame kind.
+	FramesDelivered map[packet.Kind]uint64
+	// Collisions counts receptions corrupted by overlap.
+	Collisions uint64
+	// Losses counts receptions corrupted by the random loss process.
+	Losses uint64
+	// ControlBits and DataBits count bits put on the air.
+	ControlBits uint64
+	DataBits    uint64
+}
+
+// Medium is the shared broadcast channel. All radios attach to one medium.
+type Medium struct {
+	cfg      Config
+	sched    *sim.Scheduler
+	radios   []*Radio
+	active   map[*transmission]struct{}
+	stats    Stats
+	lossProb float64
+	lossRng  *simrand.Source
+	frameLog func(now float64, src packet.NodeID, f packet.Frame)
+}
+
+// transmission is one frame in flight.
+type transmission struct {
+	src    *Radio
+	srcPos geo.Point
+	frame  packet.Frame
+	start  sim.Time
+	end    sim.Time
+}
+
+// NewMedium creates a medium driven by sched.
+func NewMedium(sched *sim.Scheduler, cfg Config) (*Medium, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sched == nil {
+		return nil, errors.New("radio: nil scheduler")
+	}
+	return &Medium{
+		cfg:    cfg,
+		sched:  sched,
+		active: make(map[*transmission]struct{}),
+		stats: Stats{
+			FramesSent:      make(map[packet.Kind]uint64),
+			FramesDelivered: make(map[packet.Kind]uint64),
+		},
+	}, nil
+}
+
+// Config returns the medium configuration.
+func (m *Medium) Config() Config { return m.cfg }
+
+// SetFrameLog registers a callback invoked at the start of every
+// transmission with the virtual time, source, and frame — the hook behind
+// frame capture files. A nil callback disables logging.
+func (m *Medium) SetFrameLog(fn func(now float64, src packet.NodeID, f packet.Frame)) {
+	m.frameLog = fn
+}
+
+// SetLoss enables an independent per-reception corruption process with the
+// given probability — a simple model of fading, interference and checksum
+// failures beyond collisions. Losses show up to receivers exactly like
+// collisions (an undecodable frame).
+func (m *Medium) SetLoss(prob float64, rng *simrand.Source) error {
+	if prob < 0 || prob > 1 {
+		return fmt.Errorf("radio: loss probability %v out of [0,1]", prob)
+	}
+	if prob > 0 && rng == nil {
+		return errors.New("radio: loss process needs a random source")
+	}
+	m.lossProb = prob
+	m.lossRng = rng
+	return nil
+}
+
+// Stats returns a snapshot of the channel counters.
+func (m *Medium) Stats() Stats {
+	out := Stats{
+		FramesSent:      make(map[packet.Kind]uint64, len(m.stats.FramesSent)),
+		FramesDelivered: make(map[packet.Kind]uint64, len(m.stats.FramesDelivered)),
+		Collisions:      m.stats.Collisions,
+		Losses:          m.stats.Losses,
+		ControlBits:     m.stats.ControlBits,
+		DataBits:        m.stats.DataBits,
+	}
+	for k, v := range m.stats.FramesSent {
+		out.FramesSent[k] = v
+	}
+	for k, v := range m.stats.FramesDelivered {
+		out.FramesDelivered[k] = v
+	}
+	return out
+}
+
+// AirTime returns the on-air duration of frame f under the medium's sizes
+// and bitrate.
+func (m *Medium) AirTime(f packet.Frame) sim.Duration {
+	return float64(f.AirBits(m.cfg.Sizes)) / m.cfg.BitrateBps
+}
+
+// Attach creates a radio on this medium. position is sampled on demand and
+// must remain valid for the simulation's lifetime; handler receives events;
+// the radio starts in state initial (Off or Idle).
+func (m *Medium) Attach(id packet.NodeID, position func() geo.Point, handler Handler, profile energy.Profile, initial State) (*Radio, error) {
+	if position == nil || handler == nil {
+		return nil, errors.New("radio: nil position or handler")
+	}
+	if initial != Off && initial != Idle {
+		return nil, fmt.Errorf("radio: initial state must be Off or Idle, got %v", initial)
+	}
+	es := energy.Listen
+	if initial == Off {
+		es = energy.Sleep
+	}
+	meter, err := energy.NewMeter(profile, es, m.sched.Now())
+	if err != nil {
+		return nil, err
+	}
+	r := &Radio{
+		id:       id,
+		medium:   m,
+		position: position,
+		handler:  handler,
+		profile:  profile,
+		meter:    meter,
+		state:    initial,
+	}
+	m.radios = append(m.radios, r)
+	return r, nil
+}
+
+// Busy reports whether r senses any transmission in range (carrier sense).
+// A radio's own transmission does not count.
+func (m *Medium) Busy(r *Radio) bool {
+	pos := r.position()
+	rangeSq := m.cfg.RangeM * m.cfg.RangeM
+	for tx := range m.active {
+		if tx.src == r {
+			continue
+		}
+		if tx.srcPos.DistSq(pos) <= rangeSq {
+			return true
+		}
+	}
+	return false
+}
+
+// transmit puts a frame on the air from r. Callers guarantee r is Idle.
+func (m *Medium) transmit(r *Radio, f packet.Frame) {
+	now := m.sched.Now()
+	tx := &transmission{
+		src:    r,
+		srcPos: r.position(),
+		frame:  f,
+		start:  now,
+		end:    now + m.AirTime(f),
+	}
+	m.active[tx] = struct{}{}
+	if m.frameLog != nil {
+		m.frameLog(now, r.id, f)
+	}
+	m.stats.FramesSent[f.Kind()]++
+	bits := uint64(f.AirBits(m.cfg.Sizes))
+	if f.Kind() == packet.KindData {
+		m.stats.DataBits += bits
+	} else {
+		m.stats.ControlBits += bits
+	}
+
+	// Start receptions at every idle-listening radio in range.
+	rangeSq := m.cfg.RangeM * m.cfg.RangeM
+	for _, other := range m.radios {
+		if other == r {
+			continue
+		}
+		if tx.srcPos.DistSq(other.position()) > rangeSq {
+			continue
+		}
+		switch other.state {
+		case Idle:
+			other.beginReception(tx, now)
+			if m.lossProb > 0 && m.lossRng.Bool(m.lossProb) {
+				other.rx.corrupt = true
+				other.rx.lost = true
+			}
+		case Receiving:
+			// Overlap corrupts whatever this radio was receiving.
+			if other.rx != nil {
+				other.rx.corrupt = true
+			}
+		default:
+			// Off, Switching, Transmitting: hears nothing.
+		}
+	}
+
+	m.sched.AfterLabeled(tx.end-now, "frame-end", func() { m.finish(tx) })
+}
+
+// finish completes a transmission: the source returns to idle and each
+// uncorrupted receiver gets the frame.
+func (m *Medium) finish(tx *transmission) {
+	delete(m.active, tx)
+	now := m.sched.Now()
+
+	// Release receivers first so their handlers observe a consistent world
+	// before the sender's OnTxDone can start the next frame.
+	for _, r := range m.radios {
+		if r.rx == nil || r.rx.tx != tx {
+			continue
+		}
+		corrupted, lost := r.rx.corrupt, r.rx.lost
+		r.rx = nil
+		r.setState(Idle, now)
+		switch {
+		case lost:
+			m.stats.Losses++
+			r.handler.OnCollision()
+		case corrupted:
+			m.stats.Collisions++
+			r.handler.OnCollision()
+		default:
+			m.stats.FramesDelivered[tx.frame.Kind()]++
+			r.handler.OnFrame(tx.frame)
+		}
+	}
+
+	if !tx.src.killed {
+		tx.src.setState(Idle, now)
+		tx.src.handler.OnTxDone(tx.frame)
+	}
+}
+
+// reception tracks one in-progress frame arrival at a radio.
+type reception struct {
+	tx      *transmission
+	corrupt bool
+	lost    bool // corrupted by the random loss process, not overlap
+}
+
+// Radio is one node's transceiver.
+type Radio struct {
+	id       packet.NodeID
+	medium   *Medium
+	position func() geo.Point
+	handler  Handler
+	profile  energy.Profile
+	meter    *energy.Meter
+	state    State
+	rx       *reception
+	wakeEv   *sim.Event
+	killed   bool
+}
+
+// ID returns the owner node's identifier.
+func (r *Radio) ID() packet.NodeID { return r.id }
+
+// State returns the current radio state.
+func (r *Radio) State() State { return r.state }
+
+// Meter returns the radio's energy meter.
+func (r *Radio) Meter() *energy.Meter { return r.meter }
+
+// Position returns the radio's current position.
+func (r *Radio) Position() geo.Point { return r.position() }
+
+// CarrierBusy reports whether the radio senses an in-range transmission.
+func (r *Radio) CarrierBusy() bool { return r.medium.Busy(r) }
+
+// setState moves the radio and its energy meter to the new state.
+func (r *Radio) setState(s State, now sim.Time) {
+	r.state = s
+	// Transition errors are impossible here: states map 1:1 to valid
+	// energy states and the profile was validated at attach.
+	_ = r.meter.Transition(energyState(s), now)
+}
+
+func energyState(s State) energy.State {
+	switch s {
+	case Off:
+		return energy.Sleep
+	case Idle:
+		return energy.Listen
+	case Receiving:
+		return energy.Rx
+	case Transmitting:
+		return energy.Tx
+	case Switching:
+		return energy.Switch
+	default:
+		return energy.Listen
+	}
+}
+
+// beginReception locks the radio onto tx until the frame ends.
+func (r *Radio) beginReception(tx *transmission, now sim.Time) {
+	r.rx = &reception{tx: tx}
+	r.setState(Receiving, now)
+}
+
+// Transmit puts f on the air. The radio must be Idle; it transmits for the
+// frame's air time and returns to Idle, after which Handler.OnTxDone fires.
+// Transmit performs no carrier sensing — that is MAC policy (call
+// CarrierBusy first).
+func (r *Radio) Transmit(f packet.Frame) error {
+	if r.medium == nil {
+		return ErrDetached
+	}
+	if r.killed {
+		return ErrKilled
+	}
+	if r.state != Idle {
+		return fmt.Errorf("%w: state %v", ErrNotIdle, r.state)
+	}
+	if err := packet.Validate(f); err != nil {
+		return err
+	}
+	now := r.medium.sched.Now()
+	r.setState(Transmitting, now)
+	r.medium.transmit(r, f)
+	return nil
+}
+
+// Sleep turns the radio off. It must be Idle (a radio cannot abort a
+// reception or transmission). The switch takes Profile.SwitchTime at switch
+// power, after which the radio is Off.
+func (r *Radio) Sleep() error {
+	if r.killed {
+		return ErrKilled
+	}
+	if r.state != Idle {
+		return fmt.Errorf("%w: state %v", ErrNotIdle, r.state)
+	}
+	now := r.medium.sched.Now()
+	r.setState(Switching, now)
+	r.wakeEv = r.medium.sched.AfterLabeled(r.profile.SwitchTime, "radio-off", func() {
+		r.setState(Off, r.medium.sched.Now())
+	})
+	return nil
+}
+
+// Wake turns the radio on. It must be Off or switching off; after
+// Profile.SwitchTime at switch power the radio is Idle and Handler.OnAwake
+// fires.
+func (r *Radio) Wake() error {
+	if r.killed {
+		return ErrKilled
+	}
+	switch r.state {
+	case Off:
+		// proceed
+	case Switching:
+		// A wake racing a pending switch-off: cancel the off and restart
+		// the switch toward idle.
+		r.medium.sched.Cancel(r.wakeEv)
+	default:
+		return fmt.Errorf("%w: state %v", ErrNotOff, r.state)
+	}
+	now := r.medium.sched.Now()
+	r.setState(Switching, now)
+	r.wakeEv = r.medium.sched.AfterLabeled(r.profile.SwitchTime, "radio-on", func() {
+		r.setState(Idle, r.medium.sched.Now())
+		r.handler.OnAwake()
+	})
+	return nil
+}
+
+// Kill retires the radio permanently: any in-progress reception is
+// abandoned, pending wake/sleep switches are cancelled, and the radio goes
+// Off for good — models a node failure or battery exhaustion mid-activity.
+// If the radio is mid-transmission the frame already on the air completes
+// (receivers decode it), but the dead source gets no OnTxDone.
+func (r *Radio) Kill() {
+	if r.killed {
+		return
+	}
+	r.killed = true
+	r.medium.sched.Cancel(r.wakeEv)
+	r.wakeEv = nil
+	r.rx = nil
+	r.setState(Off, r.medium.sched.Now())
+}
+
+// Killed reports whether the radio was retired by Kill.
+func (r *Radio) Killed() bool { return r.killed }

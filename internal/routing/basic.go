@@ -1,0 +1,211 @@
+package routing
+
+import (
+	"fmt"
+
+	"dftmsn/internal/buffer"
+	"dftmsn/internal/mac"
+	"dftmsn/internal/packet"
+)
+
+// Direct is the §2 "direct transmission" basic scheme: a sensor keeps its
+// messages until it meets a sink and transmits only then. No sensor ever
+// relays for another, so delivery depends entirely on the origin's own
+// mobility. Provided as an extension baseline (analysed in the authors'
+// earlier DFT-MSN paper).
+type Direct struct {
+	id        packet.NodeID
+	fifo      *buffer.FIFO
+	isSink    func(packet.NodeID) bool
+	pendingID packet.MessageID
+}
+
+var _ Strategy = (*Direct)(nil)
+
+// NewDirect builds the scheme for node id with the given buffer capacity.
+func NewDirect(id packet.NodeID, queueCap int, isSink func(packet.NodeID) bool) (*Direct, error) {
+	if err := validateCommon(id, queueCap); err != nil {
+		return nil, err
+	}
+	if isSink == nil {
+		return nil, fmt.Errorf("routing: Direct needs an isSink classifier")
+	}
+	fifo, err := buffer.NewFIFO(queueCap)
+	if err != nil {
+		return nil, err
+	}
+	return &Direct{id: id, fifo: fifo, isSink: isSink}, nil
+}
+
+// Name implements Strategy.
+func (d *Direct) Name() string { return "DIRECT" }
+
+// Xi implements Strategy: direct transmission has no gradient metric; a
+// constant keeps the adaptive listening period at its floor.
+func (d *Direct) Xi() float64 { return 0 }
+
+// HasData implements Strategy.
+func (d *Direct) HasData() bool { return d.fifo.Len() > 0 }
+
+// SenderMetrics implements Strategy.
+func (d *Direct) SenderMetrics() (float64, float64, float64) { return 0, 0, 0 }
+
+// Qualify implements Strategy: sensors never relay under direct
+// transmission; only sinks answer (via the Sink strategy).
+func (d *Direct) Qualify(*packet.RTS) (bool, float64, int, float64) {
+	return false, 0, d.fifo.Available(), 0
+}
+
+// BuildSchedule implements Strategy: transmit the head message to one sink
+// candidate, if any answered.
+func (d *Direct) BuildSchedule(cands []mac.Candidate) ([]packet.ScheduleEntry, *packet.Data) {
+	head, ok := d.fifo.Head()
+	if !ok {
+		return nil, nil
+	}
+	for _, c := range sortCandidates(cands) {
+		if d.isSink(c.Node) {
+			d.pendingID = head.ID
+			return []packet.ScheduleEntry{{Node: c.Node, FTD: 1}}, entryToData(d.id, head)
+		}
+	}
+	return nil, nil
+}
+
+// OnDataReceived implements Strategy: unreachable for sensors (they never
+// qualify), kept total for interface safety.
+func (d *Direct) OnDataReceived(*packet.Data, packet.ScheduleEntry) bool { return false }
+
+// OnTxOutcome implements Strategy: a sink ACK completes delivery; the local
+// copy is discarded.
+func (d *Direct) OnTxOutcome(_ []packet.ScheduleEntry, acked []packet.NodeID) {
+	if len(acked) > 0 {
+		d.fifo.Remove(d.pendingID)
+	}
+}
+
+// OnCycleEnd implements Strategy.
+func (d *Direct) OnCycleEnd(mac.Outcome, float64) {}
+
+// OnDecayTick implements Strategy.
+func (d *Direct) OnDecayTick(float64) {}
+
+// Generate implements Strategy.
+func (d *Direct) Generate(id packet.MessageID, now float64, payloadBits int) bool {
+	return d.fifo.Insert(buffer.Entry{ID: id, Origin: d.id, CreatedAt: now, PayloadBits: payloadBits})
+}
+
+// ImportantCount implements Strategy.
+func (d *Direct) ImportantCount() int { return d.fifo.Len() }
+
+// QueueLen implements Strategy.
+func (d *Direct) QueueLen() int { return d.fifo.Len() }
+
+// QueueCap implements Strategy.
+func (d *Direct) QueueCap() int { return d.fifo.Cap() }
+
+// Drops implements Strategy.
+func (d *Direct) Drops() buffer.DropCounts { return d.fifo.Drops() }
+
+// Epidemic is the §2 "flooding" basic scheme: every encounter replicates
+// the message to any neighbour with buffer space; nodes keep their copies.
+// It bounds achievable delivery from above at the cost of extreme overhead.
+type Epidemic struct {
+	id   packet.NodeID
+	fifo *buffer.FIFO
+}
+
+var _ Strategy = (*Epidemic)(nil)
+
+// NewEpidemic builds the scheme for node id with the given buffer capacity.
+func NewEpidemic(id packet.NodeID, queueCap int) (*Epidemic, error) {
+	if err := validateCommon(id, queueCap); err != nil {
+		return nil, err
+	}
+	fifo, err := buffer.NewFIFO(queueCap)
+	if err != nil {
+		return nil, err
+	}
+	return &Epidemic{id: id, fifo: fifo}, nil
+}
+
+// Name implements Strategy.
+func (e *Epidemic) Name() string { return "EPIDEMIC" }
+
+// Xi implements Strategy: flooding treats all nodes alike.
+func (e *Epidemic) Xi() float64 { return 0.5 }
+
+// HasData implements Strategy.
+func (e *Epidemic) HasData() bool { return e.fifo.Len() > 0 }
+
+// SenderMetrics implements Strategy.
+func (e *Epidemic) SenderMetrics() (float64, float64, float64) { return 0, 0, 0 }
+
+// Qualify implements Strategy: any buffer space qualifies (duplicate
+// suppression happens at insert).
+func (e *Epidemic) Qualify(*packet.RTS) (bool, float64, int, float64) {
+	avail := e.fifo.Available()
+	return avail > 0, 0.5, avail, 0
+}
+
+// BuildSchedule implements Strategy: replicate the head message to every
+// candidate.
+func (e *Epidemic) BuildSchedule(cands []mac.Candidate) ([]packet.ScheduleEntry, *packet.Data) {
+	head, ok := e.fifo.Head()
+	if !ok || len(cands) == 0 {
+		return nil, nil
+	}
+	entries := make([]packet.ScheduleEntry, len(cands))
+	for i, c := range cands {
+		entries[i] = packet.ScheduleEntry{Node: c.Node, FTD: 0}
+	}
+	return entries, entryToData(e.id, head)
+}
+
+// OnDataReceived implements Strategy (FIFO.Insert deduplicates copies).
+func (e *Epidemic) OnDataReceived(d *packet.Data, _ packet.ScheduleEntry) bool {
+	return e.fifo.Insert(buffer.Entry{
+		ID:          d.ID,
+		Origin:      d.Origin,
+		CreatedAt:   d.CreatedAt,
+		PayloadBits: d.PayloadBits,
+		Hops:        d.Hops + 1,
+	})
+}
+
+// OnTxOutcome implements Strategy: the sender keeps its copy but rotates
+// the just-sent message to the back so other messages also spread.
+func (e *Epidemic) OnTxOutcome(_ []packet.ScheduleEntry, acked []packet.NodeID) {
+	if len(acked) == 0 {
+		return
+	}
+	head, ok := e.fifo.Head()
+	if !ok {
+		return
+	}
+	e.fifo.Remove(head.ID)
+	e.fifo.Insert(head)
+}
+
+// OnCycleEnd implements Strategy.
+func (e *Epidemic) OnCycleEnd(mac.Outcome, float64) {}
+
+// OnDecayTick implements Strategy.
+func (e *Epidemic) OnDecayTick(float64) {}
+
+// Generate implements Strategy.
+func (e *Epidemic) Generate(id packet.MessageID, now float64, payloadBits int) bool {
+	return e.fifo.Insert(buffer.Entry{ID: id, Origin: e.id, CreatedAt: now, PayloadBits: payloadBits})
+}
+
+// ImportantCount implements Strategy.
+func (e *Epidemic) ImportantCount() int { return e.fifo.Len() }
+
+// QueueLen implements Strategy.
+func (e *Epidemic) QueueLen() int { return e.fifo.Len() }
+
+// QueueCap implements Strategy.
+func (e *Epidemic) QueueCap() int { return e.fifo.Cap() }
+
+// Drops implements Strategy.
+func (e *Epidemic) Drops() buffer.DropCounts { return e.fifo.Drops() }

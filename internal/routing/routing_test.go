@@ -1,0 +1,478 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"dftmsn/internal/mac"
+	"dftmsn/internal/packet"
+)
+
+func newFAD(t *testing.T) *FAD {
+	t.Helper()
+	f, err := NewFAD(1, DefaultFADConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFADConfigValidate(t *testing.T) {
+	if err := DefaultFADConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	muts := []func(*FADConfig){
+		func(c *FADConfig) { c.Alpha = -0.1 },
+		func(c *FADConfig) { c.Alpha = 1.1 },
+		func(c *FADConfig) { c.DecayInterval = 0 },
+		func(c *FADConfig) { c.DeliveryThreshold = 0 },
+		func(c *FADConfig) { c.DeliveryThreshold = 1 },
+		func(c *FADConfig) { c.DropThreshold = 0 },
+		func(c *FADConfig) { c.DropThreshold = 1.2 },
+		func(c *FADConfig) { c.QueueCapacity = 0 },
+		func(c *FADConfig) { c.FImportant = 2 },
+	}
+	for i, m := range muts {
+		c := DefaultFADConfig()
+		m(&c)
+		if _, err := NewFAD(1, c); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestFADGenerateAndSenderMetrics(t *testing.T) {
+	f := newFAD(t)
+	if f.HasData() {
+		t.Fatal("fresh FAD has data")
+	}
+	xi, ftdVal, _ := f.SenderMetrics()
+	if xi != 0 || ftdVal != 0 {
+		t.Fatalf("empty metrics = %v/%v", xi, ftdVal)
+	}
+	if !f.Generate(100, 5, 1000) {
+		t.Fatal("Generate failed")
+	}
+	if !f.HasData() || f.QueueLen() != 1 {
+		t.Fatal("message not queued")
+	}
+	_, ftdVal, _ = f.SenderMetrics()
+	if ftdVal != 0 {
+		t.Fatalf("fresh message FTD = %v, want 0 (highest importance)", ftdVal)
+	}
+	if f.Name() != "FAD" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+}
+
+func TestFADQualify(t *testing.T) {
+	f := newFAD(t)
+	// xi = 0: never qualified against anyone (needs strictly higher).
+	ok, _, _, _ := f.Qualify(&packet.RTS{From: 2, Xi: 0, FTD: 0, Window: 4})
+	if ok {
+		t.Fatal("xi=0 node qualified against xi=0 sender")
+	}
+	// Raise xi via a sink contact (alpha = 0.1 gives xi = 0.1).
+	f.prob.OnTransmission(1)
+	ok, xi, avail, _ := f.Qualify(&packet.RTS{From: 2, Xi: 0.05, FTD: 0.2, Window: 4})
+	if !ok {
+		t.Fatal("higher-xi node did not qualify")
+	}
+	if xi != f.Xi() || avail != f.cfg.QueueCapacity {
+		t.Fatalf("CTS fields xi=%v avail=%d", xi, avail)
+	}
+	// Not qualified against an even higher sender.
+	if ok, _, _, _ := f.Qualify(&packet.RTS{From: 2, Xi: 0.9, FTD: 0.2, Window: 4}); ok {
+		t.Fatal("qualified against higher-xi sender")
+	}
+}
+
+func TestFADBuildScheduleSelectsUntilThreshold(t *testing.T) {
+	f := newFAD(t)
+	f.Generate(100, 5, 1000)
+	cands := []mac.Candidate{
+		{Node: 2, Xi: 0.6, BufferAvail: 5},
+		{Node: 3, Xi: 0.7, BufferAvail: 5},
+		{Node: 4, Xi: 0.5, BufferAvail: 5},
+	}
+	entries, data := f.BuildSchedule(cands)
+	if data == nil || data.ID != 100 || data.Origin != 1 {
+		t.Fatalf("data = %+v", data)
+	}
+	// Sorted by xi desc: 3 (0.7) then 2 (0.6): aggregate 1-(0.3)(0.4)=0.88
+	// <= 0.9, so 4 (0.5) is also taken: 1-0.3*0.4*0.5 = 0.94 > 0.9.
+	if len(entries) != 3 {
+		t.Fatalf("selected %d receivers, want 3", len(entries))
+	}
+	if entries[0].Node != 3 || entries[1].Node != 2 || entries[2].Node != 4 {
+		t.Fatalf("selection order: %+v", entries)
+	}
+	// Eq. 2 check for the first entry: others are 0.6 and 0.5, sender xi 0,
+	// message FTD 0: F = 1 - 1*1*(0.4*0.5) = 0.8.
+	if math.Abs(entries[0].FTD-0.8) > 1e-12 {
+		t.Fatalf("entry FTD = %v, want 0.8", entries[0].FTD)
+	}
+}
+
+func TestFADBuildScheduleEmpty(t *testing.T) {
+	f := newFAD(t)
+	if e, d := f.BuildSchedule([]mac.Candidate{{Node: 2, Xi: 0.5, BufferAvail: 1}}); e != nil || d != nil {
+		t.Fatal("schedule built with empty queue")
+	}
+	f.Generate(100, 5, 1000)
+	if e, d := f.BuildSchedule(nil); e != nil || d != nil {
+		t.Fatal("schedule built with no candidates")
+	}
+	// Candidates without buffer or with equal xi are filtered.
+	if e, _ := f.BuildSchedule([]mac.Candidate{{Node: 2, Xi: 0, BufferAvail: 4}}); len(e) != 0 {
+		t.Fatal("equal-xi candidate selected")
+	}
+	if e, _ := f.BuildSchedule([]mac.Candidate{{Node: 2, Xi: 0.9, BufferAvail: 0}}); len(e) != 0 {
+		t.Fatal("bufferless candidate selected")
+	}
+}
+
+func TestFADBuildSchedulePrunesFutileReceivers(t *testing.T) {
+	// A nearly-covered message (FTD just under the 0.95 drop threshold)
+	// would exceed the threshold at any moderate receiver (Eq. 2 folds the
+	// sender's retained copy in), so those receivers' queues would refuse
+	// the copy — the sender must not schedule them.
+	f := newFAD(t)
+	f.prob.OnTransmission(1) // xi = 0.1
+	// Head FTD 0.945: Eq. 2 gives the receiver copy
+	// 1-(1-0.945)(1-0.1) = 0.9505 > 0.95, so the receiver's queue would
+	// refuse it.
+	f.OnDataReceived(&packet.Data{ID: 100, Origin: 5}, packet.ScheduleEntry{FTD: 0.945})
+	entries, data := f.BuildSchedule([]mac.Candidate{{Node: 2, Xi: 0.6, BufferAvail: 5}})
+	if len(entries) != 0 || data != nil {
+		t.Fatalf("futile receiver scheduled: %+v", entries)
+	}
+	// A sink (xi = 1) always accepts and must survive the pruning.
+	entries, data = f.BuildSchedule([]mac.Candidate{{Node: 0, Xi: 1, BufferAvail: 1 << 20}})
+	if len(entries) != 1 || entries[0].Node != 0 || data == nil {
+		t.Fatalf("sink pruned: %+v", entries)
+	}
+}
+
+func TestFADBuildSchedulePruningRecomputesFTDs(t *testing.T) {
+	// With one receiver pruned, the survivors' Eq. 2 FTDs must be computed
+	// over the reduced set, not the original one.
+	f := newFAD(t)
+	f.OnDataReceived(&packet.Data{ID: 100, Origin: 5}, packet.ScheduleEntry{FTD: 0.9})
+	// Two candidates: together they push each other's copy FTD over the
+	// threshold; alone, the better one fits.
+	entries, _ := f.BuildSchedule([]mac.Candidate{
+		{Node: 2, Xi: 0.5, BufferAvail: 5},
+		{Node: 3, Xi: 0.4, BufferAvail: 5},
+	})
+	for _, e := range entries {
+		if e.FTD > f.cfg.DropThreshold {
+			t.Fatalf("scheduled entry above drop threshold: %+v", e)
+		}
+	}
+}
+
+func TestFADOnTxOutcomeUpdatesXiAndFTD(t *testing.T) {
+	f := newFAD(t)
+	f.Generate(100, 5, 1000)
+	cands := []mac.Candidate{{Node: 2, Xi: 0.6, BufferAvail: 5}}
+	entries, _ := f.BuildSchedule(cands)
+	if len(entries) != 1 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	f.OnTxOutcome(entries, []packet.NodeID{2})
+	// Eq. 1 with the default alpha 0.1: xi = 0.9*0 + 0.1*0.6 = 0.06.
+	if math.Abs(f.Xi()-0.06) > 1e-12 {
+		t.Fatalf("xi = %v, want 0.06", f.Xi())
+	}
+	// Eq. 3: FTD = 1-(1-0)(1-0.6) = 0.6; below the 0.95 threshold so the
+	// copy stays queued.
+	got, ok := f.Queue().FTDOf(100)
+	if !ok || math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("FTD after tx = %v (present=%v), want 0.6", got, ok)
+	}
+}
+
+func TestFADSinkAckDropsMessage(t *testing.T) {
+	f := newFAD(t)
+	f.Generate(100, 5, 1000)
+	entries, _ := f.BuildSchedule([]mac.Candidate{{Node: 0, Xi: 1, BufferAvail: 1000}})
+	f.OnTxOutcome(entries, []packet.NodeID{0})
+	// Receiver xi = 1 (sink): Eq. 3 gives FTD 1 > threshold: dropped.
+	if f.Queue().Contains(100) {
+		t.Fatal("message survived sink delivery")
+	}
+	// Eq. 1 with sink: xi = alpha = 0.1.
+	if math.Abs(f.Xi()-0.1) > 1e-12 {
+		t.Fatalf("xi = %v, want alpha", f.Xi())
+	}
+}
+
+func TestFADNoAckNoChange(t *testing.T) {
+	f := newFAD(t)
+	f.Generate(100, 5, 1000)
+	entries, _ := f.BuildSchedule([]mac.Candidate{{Node: 2, Xi: 0.6, BufferAvail: 5}})
+	f.OnTxOutcome(entries, nil)
+	if f.Xi() != 0 {
+		t.Fatal("xi moved without any ACK")
+	}
+	if got, _ := f.Queue().FTDOf(100); got != 0 {
+		t.Fatal("FTD moved without any ACK")
+	}
+}
+
+func TestFADOnDataReceived(t *testing.T) {
+	f := newFAD(t)
+	f.OnDataReceived(&packet.Data{From: 9, ID: 55, Origin: 7, CreatedAt: 10, Hops: 2},
+		packet.ScheduleEntry{Node: 1, FTD: 0.3})
+	es := f.Queue().Entries()
+	if len(es) != 1 || es[0].FTD != 0.3 || es[0].Hops != 3 || es[0].Origin != 7 {
+		t.Fatalf("entries = %+v", es)
+	}
+	// A copy above the drop threshold is rejected.
+	f.OnDataReceived(&packet.Data{From: 9, ID: 56, Origin: 7}, packet.ScheduleEntry{Node: 1, FTD: 0.99})
+	if f.Queue().Contains(56) {
+		t.Fatal("copy above drop threshold accepted")
+	}
+}
+
+func TestFADDecayTick(t *testing.T) {
+	cfg := DefaultFADConfig()
+	cfg.Alpha = 0.5
+	cfg.DecayInterval = 60
+	f, err := NewFAD(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.prob.OnTransmission(1) // xi = 0.5
+	f.OnCycleEnd(mac.Outcome{Sent: true}, 100)
+	f.txEver = true
+	// Not enough elapsed time: no decay.
+	f.OnDecayTick(130)
+	if f.Xi() != 0.5 {
+		t.Fatalf("xi decayed early: %v", f.Xi())
+	}
+	// Past the interval: decay by (1-alpha).
+	f.OnDecayTick(161)
+	if math.Abs(f.Xi()-0.25) > 1e-12 {
+		t.Fatalf("xi = %v, want 0.25", f.Xi())
+	}
+}
+
+func TestFADImportantCount(t *testing.T) {
+	f := newFAD(t) // FImportant = 0.5
+	f.Generate(1, 0, 100)
+	f.OnDataReceived(&packet.Data{ID: 2}, packet.ScheduleEntry{FTD: 0.6})
+	f.OnDataReceived(&packet.Data{ID: 3}, packet.ScheduleEntry{FTD: 0.4})
+	if got := f.ImportantCount(); got != 2 { // FTD 0 and 0.4
+		t.Fatalf("ImportantCount = %d, want 2", got)
+	}
+	if f.QueueCap() != 200 || f.QueueLen() != 3 {
+		t.Fatalf("len/cap = %d/%d", f.QueueLen(), f.QueueCap())
+	}
+}
+
+func isSink(id packet.NodeID) bool { return id == 0 }
+
+func newZBR(t *testing.T) *ZBR {
+	t.Helper()
+	z, err := NewZBR(1, DefaultZBRConfig(), isSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return z
+}
+
+func TestZBRValidation(t *testing.T) {
+	if _, err := NewZBR(1, ZBRConfig{Beta: 0, QueueCapacity: 10}, isSink); err == nil {
+		t.Error("beta 0 accepted")
+	}
+	if _, err := NewZBR(1, ZBRConfig{Beta: 1, QueueCapacity: 10}, isSink); err == nil {
+		t.Error("beta 1 accepted")
+	}
+	if _, err := NewZBR(1, ZBRConfig{Beta: 0.5, QueueCapacity: 0}, isSink); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewZBR(1, DefaultZBRConfig(), nil); err == nil {
+		t.Error("nil isSink accepted")
+	}
+}
+
+func TestZBRQualifyByHistory(t *testing.T) {
+	z := newZBR(t)
+	z.history = 0.5
+	ok, _, avail, h := z.Qualify(&packet.RTS{From: 2, History: 0.3, Window: 4})
+	if !ok || h != 0.5 || avail != 200 {
+		t.Fatalf("qualify = %v h=%v avail=%d", ok, h, avail)
+	}
+	if ok, _, _, _ := z.Qualify(&packet.RTS{From: 2, History: 0.7, Window: 4}); ok {
+		t.Fatal("qualified against higher history")
+	}
+}
+
+func TestZBRSingleReceiverHandoff(t *testing.T) {
+	z := newZBR(t)
+	z.Generate(100, 0, 1000)
+	entries, data := z.BuildSchedule([]mac.Candidate{
+		{Node: 2, History: 0.4},
+		{Node: 3, History: 0.9},
+		{Node: 4, History: 0.6},
+	})
+	if len(entries) != 1 || entries[0].Node != 3 {
+		t.Fatalf("entries = %+v, want single best-history node 3", entries)
+	}
+	if data.ID != 100 {
+		t.Fatalf("data = %+v", data)
+	}
+	// ACK: single copy moves — local copy removed.
+	z.OnTxOutcome(entries, []packet.NodeID{3})
+	if z.HasData() {
+		t.Fatal("copy kept after hand-off")
+	}
+	// No ACK: copy kept.
+	z.Generate(101, 0, 1000)
+	entries, _ = z.BuildSchedule([]mac.Candidate{{Node: 2, History: 0.4}})
+	z.OnTxOutcome(entries, nil)
+	if !z.HasData() {
+		t.Fatal("copy lost without ACK")
+	}
+}
+
+func TestZBRHistoryEWMA(t *testing.T) {
+	z := newZBR(t) // beta 0.1
+	// Sink contact within an epoch bumps history at the epoch tick.
+	z.Generate(1, 0, 100)
+	entries, _ := z.BuildSchedule([]mac.Candidate{{Node: 0, History: 1}})
+	z.OnTxOutcome(entries, []packet.NodeID{0})
+	z.OnCycleEnd(mac.Outcome{Attempted: true, Sent: true}, 0)
+	if z.History() != 0 {
+		t.Fatalf("history moved before the epoch tick: %v", z.History())
+	}
+	z.OnDecayTick(30)
+	if math.Abs(z.History()-0.1) > 1e-12 {
+		t.Fatalf("history = %v, want 0.1", z.History())
+	}
+	// An epoch without sink contact decays.
+	z.OnDecayTick(60)
+	if math.Abs(z.History()-0.09) > 1e-12 {
+		t.Fatalf("history = %v, want 0.09", z.History())
+	}
+}
+
+func TestZBRUninformedRandomWalk(t *testing.T) {
+	z := newZBR(t)
+	// Both sender and receiver below the no-information floor: the
+	// hand-off happens anyway (random-walk regime).
+	ok, _, _, _ := z.Qualify(&packet.RTS{From: 2, History: 0, Window: 4})
+	if !ok {
+		t.Fatal("uninformed pair did not qualify for random hand-off")
+	}
+	// Once the sender has real history, strict ordering applies again.
+	if ok, _, _, _ := z.Qualify(&packet.RTS{From: 2, History: 0.5, Window: 4}); ok {
+		t.Fatal("zero-history node qualified against informed sender")
+	}
+}
+
+func TestDirectOnlySinksReceive(t *testing.T) {
+	d, err := NewDirect(1, 50, isSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDirect(1, 0, isSink); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewDirect(1, 50, nil); err == nil {
+		t.Error("nil isSink accepted")
+	}
+	if ok, _, _, _ := d.Qualify(&packet.RTS{From: 2, Window: 1}); ok {
+		t.Fatal("direct sensor qualified as relay")
+	}
+	d.Generate(100, 0, 1000)
+	// Only sink candidates are scheduled.
+	if e, _ := d.BuildSchedule([]mac.Candidate{{Node: 2, Xi: 0.9, BufferAvail: 4}}); len(e) != 0 {
+		t.Fatal("scheduled to non-sink")
+	}
+	entries, data := d.BuildSchedule([]mac.Candidate{
+		{Node: 2, Xi: 0.9, BufferAvail: 4},
+		{Node: 0, Xi: 1, BufferAvail: 100},
+	})
+	if len(entries) != 1 || entries[0].Node != 0 || data.ID != 100 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	d.OnTxOutcome(entries, []packet.NodeID{0})
+	if d.HasData() {
+		t.Fatal("message kept after sink delivery")
+	}
+}
+
+func TestEpidemicReplicatesToAll(t *testing.T) {
+	e, err := NewEpidemic(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEpidemic(1, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if ok, _, _, _ := e.Qualify(&packet.RTS{From: 2, Window: 1}); !ok {
+		t.Fatal("epidemic node with space did not qualify")
+	}
+	e.Generate(100, 0, 1000)
+	e.Generate(101, 0, 1000)
+	entries, data := e.BuildSchedule([]mac.Candidate{{Node: 2}, {Node: 3}})
+	if len(entries) != 2 || data.ID != 100 {
+		t.Fatalf("entries = %+v data = %+v", entries, data)
+	}
+	// After an acked flood the sender keeps both messages but rotates the
+	// sent one to the back.
+	e.OnTxOutcome(entries, []packet.NodeID{2, 3})
+	if e.QueueLen() != 2 {
+		t.Fatalf("queue len = %d", e.QueueLen())
+	}
+	head, _ := e.fifo.Head()
+	if head.ID != 101 {
+		t.Fatalf("head = %v, want rotated 101", head.ID)
+	}
+	// Duplicate reception is suppressed.
+	e.OnDataReceived(&packet.Data{ID: 100, Origin: 1}, packet.ScheduleEntry{})
+	if e.QueueLen() != 2 {
+		t.Fatal("duplicate stored")
+	}
+}
+
+func TestSinkDeliversAndCounts(t *testing.T) {
+	var got []packet.MessageID
+	var at []float64
+	now := 42.0
+	s, err := NewSink(0, func() float64 { return now }, func(d *packet.Data, t float64) {
+		got = append(got, d.ID)
+		at = append(at, t)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSink(0, nil, nil); err == nil {
+		t.Error("nil callbacks accepted")
+	}
+	if s.HasData() {
+		t.Fatal("sink has data")
+	}
+	ok, xi, avail, h := s.Qualify(&packet.RTS{From: 5, Xi: 0.99, Window: 2})
+	if !ok || xi != 1 || h != 1 || avail <= 0 {
+		t.Fatalf("sink qualify = %v/%v/%d/%v", ok, xi, avail, h)
+	}
+	s.OnDataReceived(&packet.Data{ID: 7}, packet.ScheduleEntry{})
+	now = 50
+	s.OnDataReceived(&packet.Data{ID: 8}, packet.ScheduleEntry{})
+	if s.Received() != 2 || len(got) != 2 || got[0] != 7 || at[1] != 50 {
+		t.Fatalf("deliveries: %v at %v", got, at)
+	}
+	if s.Generate(1, 0, 10) {
+		t.Fatal("sink generated a message")
+	}
+	if e, d := s.BuildSchedule(nil); e != nil || d != nil {
+		t.Fatal("sink built a schedule")
+	}
+	if s.Xi() != 1 {
+		t.Fatal("sink xi != 1")
+	}
+}

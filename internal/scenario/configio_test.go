@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"dftmsn/internal/core"
+)
+
+func TestLoadConfigDefaults(t *testing.T) {
+	cfg, err := LoadConfig(strings.NewReader(`{"scheme": "opt"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultConfig(core.SchemeOPT)
+	if cfg.NumSensors != want.NumSensors || cfg.DurationSeconds != want.DurationSeconds {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.Scheme != core.SchemeOPT {
+		t.Fatalf("scheme %v", cfg.Scheme)
+	}
+}
+
+func TestLoadConfigOverrides(t *testing.T) {
+	doc := `{
+		"scheme": "ZBR",
+		"sensors": 42,
+		"sinks": 2,
+		"duration_s": 1234,
+		"loss_prob": 0.1,
+		"fail_fraction": 0.2,
+		"fail_at_s": 500,
+		"mobile_sinks": true,
+		"seed": 99
+	}`
+	cfg, err := LoadConfig(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scheme != core.SchemeZBR || cfg.NumSensors != 42 || cfg.NumSinks != 2 {
+		t.Fatalf("cfg %+v", cfg)
+	}
+	if cfg.DurationSeconds != 1234 || cfg.LossProb != 0.1 || !cfg.MobileSinks {
+		t.Fatalf("cfg %+v", cfg)
+	}
+	if cfg.FailFraction != 0.2 || cfg.FailAtSeconds != 500 || cfg.Seed != 99 {
+		t.Fatalf("cfg %+v", cfg)
+	}
+}
+
+func TestLoadConfigRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{`,                                 // malformed JSON
+		`{"scheme": "teleport"}`,            // unknown scheme
+		`{"scheme": "OPT", "sensores": 5}`,  // typo (unknown field)
+		`{"scheme": "OPT", "sensors": -5}`,  // invalid value
+		`{"scheme": "OPT", "loss_prob": 2}`, // out of range
+		`{}`,                                // missing scheme
+	}
+	for _, doc := range cases {
+		if _, err := LoadConfig(strings.NewReader(doc)); err == nil {
+			t.Errorf("accepted %q", doc)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := DefaultConfig(core.SchemeNOOPT)
+	orig.NumSensors = 33
+	orig.LossProb = 0.05
+	orig.Seed = 7
+	orig.DeliveryThreshold = 0.8
+	var sb strings.Builder
+	if err := SaveConfig(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadConfig(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if back.Scheme != orig.Scheme || back.NumSensors != 33 || back.LossProb != 0.05 ||
+		back.Seed != 7 || back.DeliveryThreshold != 0.8 {
+		t.Fatalf("round trip lost fields:\n%+v\n%+v", orig, back)
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	for _, s := range core.AllSchemes() {
+		got, err := ParseScheme(strings.ToLower(s.String()))
+		if err != nil || got != s {
+			t.Errorf("ParseScheme(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScheme("nope"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}

@@ -1,0 +1,500 @@
+// Package scenario assembles and runs complete DFT-MSN simulations with
+// the paper's §5 setup: a 150 m × 150 m field in 25 zones, 100 wearable
+// sensors under the zone-based mobility model, 3 sink nodes at strategic
+// locations, Poisson data generation (mean 120 s), 10 m / 10 kbps radios
+// with the Berkeley-mote power profile, and 25 000 s of virtual time.
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"dftmsn/internal/core"
+	"dftmsn/internal/energy"
+	"dftmsn/internal/geo"
+	"dftmsn/internal/mac"
+	"dftmsn/internal/metrics"
+	"dftmsn/internal/mobility"
+	"dftmsn/internal/packet"
+	"dftmsn/internal/radio"
+	"dftmsn/internal/routing"
+	"dftmsn/internal/sim"
+	"dftmsn/internal/simrand"
+	"dftmsn/internal/trace"
+)
+
+// Config describes one simulation run. DefaultConfig returns the paper's
+// defaults; zero values are rejected by Validate, not defaulted silently.
+type Config struct {
+	// Scheme selects the protocol variant.
+	Scheme core.Scheme
+	// NumSensors is the wearable sensor count (paper: 100).
+	NumSensors int
+	// NumSinks is the sink count (paper default: 3).
+	NumSinks int
+	// FieldSize is the square field edge in metres (paper: 150).
+	FieldSize float64
+	// ZonesPerSide partitions the field (paper: 5, i.e. 25 zones).
+	ZonesPerSide int
+	// MaxSpeed is the sensor speed bound in m/s (paper: 5).
+	MaxSpeed float64
+	// ExitProb is the zone-exit probability (paper: 0.2).
+	ExitProb float64
+	// RangeM is the radio range in metres (paper: 10).
+	RangeM float64
+	// BitrateBps is the channel rate (paper: 10 kbps).
+	BitrateBps float64
+	// ControlBits and DataBits are the frame sizes (paper: 50 / 1000).
+	ControlBits int
+	DataBits    int
+	// QueueCapacity is the sensor buffer in messages (paper: 200).
+	QueueCapacity int
+	// ArrivalMeanSeconds is the Poisson data inter-arrival mean (paper:
+	// 120 s).
+	ArrivalMeanSeconds float64
+	// DurationSeconds is the simulated time (paper: 25 000 s).
+	DurationSeconds float64
+	// TrafficStopSeconds optionally stops message generation before the
+	// horizon so in-flight messages can drain (0 = generate throughout,
+	// the paper's setting).
+	TrafficStopSeconds float64
+	// MobilityTickSeconds is the position-update granularity.
+	MobilityTickSeconds float64
+	// BatteryJoules bounds each sensor's energy; a sensor dies (radio
+	// permanently off) once its radio has consumed this much. Zero means
+	// unlimited, the paper's setting. Sinks are mains/high-end powered
+	// and never bounded.
+	BatteryJoules float64
+	// MobileSinks makes the sinks move under the same zone-based model as
+	// the sensors, modelling the paper's alternative deployment where
+	// high-end nodes are "carried by a subset of people" instead of
+	// standing at strategic locations.
+	MobileSinks bool
+	// LossProb corrupts each reception independently with this
+	// probability (fading/interference beyond collisions). Zero disables.
+	LossProb float64
+	// FailFraction kills this share of sensors at FailAtSeconds (their
+	// queues die with them) — the fault the paper's redundancy tolerates.
+	// Zero disables.
+	FailFraction float64
+	// FailAtSeconds is when the failure burst strikes.
+	FailAtSeconds float64
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Tracer optionally records events (nil = no tracing).
+	Tracer trace.Tracer
+	// FrameCapture optionally receives every transmitted frame in the
+	// packet capture format (see packet.CaptureWriter); nil disables.
+	FrameCapture io.Writer
+	// Params optionally overrides the scheme's node parameters; nil uses
+	// core.DefaultParams(Scheme).
+	Params *core.Params
+	// DeliveryThreshold overrides R of §3.2.2 for the FAD-family schemes
+	// (0 keeps the default 0.9).
+	DeliveryThreshold float64
+	// DropThreshold overrides the §3.1.2 FTD drop bound (0 keeps 0.95).
+	DropThreshold float64
+}
+
+// DefaultConfig returns the paper's §5 default setup for the given scheme.
+func DefaultConfig(scheme core.Scheme) Config {
+	return Config{
+		Scheme:              scheme,
+		NumSensors:          100,
+		NumSinks:            3,
+		FieldSize:           150,
+		ZonesPerSide:        5,
+		MaxSpeed:            5,
+		ExitProb:            0.2,
+		RangeM:              10,
+		BitrateBps:          10_000,
+		ControlBits:         50,
+		DataBits:            1000,
+		QueueCapacity:       200,
+		ArrivalMeanSeconds:  120,
+		DurationSeconds:     25_000,
+		MobilityTickSeconds: 1,
+		Seed:                1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if !c.Scheme.Valid() {
+		return fmt.Errorf("scenario: invalid scheme %d", int(c.Scheme))
+	}
+	if c.NumSensors <= 0 || c.NumSinks <= 0 {
+		return fmt.Errorf("scenario: need positive sensor (%d) and sink (%d) counts", c.NumSensors, c.NumSinks)
+	}
+	if c.FieldSize <= 0 || c.ZonesPerSide <= 0 {
+		return fmt.Errorf("scenario: invalid field %v / zones %d", c.FieldSize, c.ZonesPerSide)
+	}
+	if c.NumSinks > c.ZonesPerSide*c.ZonesPerSide {
+		return fmt.Errorf("scenario: %d sinks exceed %d zones", c.NumSinks, c.ZonesPerSide*c.ZonesPerSide)
+	}
+	if c.MaxSpeed <= 0 || c.ExitProb < 0 || c.ExitProb > 1 {
+		return fmt.Errorf("scenario: invalid mobility speed %v / exit %v", c.MaxSpeed, c.ExitProb)
+	}
+	if c.RangeM <= 0 || c.BitrateBps <= 0 || c.ControlBits <= 0 || c.DataBits <= 0 {
+		return fmt.Errorf("scenario: invalid channel parameters")
+	}
+	if c.QueueCapacity <= 0 {
+		return fmt.Errorf("scenario: queue capacity %d must be positive", c.QueueCapacity)
+	}
+	if c.ArrivalMeanSeconds <= 0 || c.DurationSeconds <= 0 || c.MobilityTickSeconds <= 0 {
+		return fmt.Errorf("scenario: invalid timing parameters")
+	}
+	if c.TrafficStopSeconds < 0 || c.TrafficStopSeconds > c.DurationSeconds {
+		return fmt.Errorf("scenario: traffic stop %v outside [0, duration]", c.TrafficStopSeconds)
+	}
+	if c.BatteryJoules < 0 {
+		return fmt.Errorf("scenario: battery %v must be >= 0", c.BatteryJoules)
+	}
+	if c.LossProb < 0 || c.LossProb > 1 {
+		return fmt.Errorf("scenario: loss probability %v out of [0,1]", c.LossProb)
+	}
+	if c.FailFraction < 0 || c.FailFraction > 1 {
+		return fmt.Errorf("scenario: fail fraction %v out of [0,1]", c.FailFraction)
+	}
+	if c.FailFraction > 0 && c.FailAtSeconds <= 0 {
+		return fmt.Errorf("scenario: FailAtSeconds must be positive when failures are enabled")
+	}
+	if c.DeliveryThreshold != 0 && (c.DeliveryThreshold <= 0 || c.DeliveryThreshold >= 1) {
+		return fmt.Errorf("scenario: delivery threshold %v out of (0,1)", c.DeliveryThreshold)
+	}
+	if c.DropThreshold != 0 && (c.DropThreshold <= 0 || c.DropThreshold > 1) {
+		return fmt.Errorf("scenario: drop threshold %v out of (0,1]", c.DropThreshold)
+	}
+	return nil
+}
+
+// Result is the digest of one run, covering the three §5 metrics
+// (delivery ratio, average nodal power, delivery delay) plus supporting
+// counters.
+type Result struct {
+	// Scheme names the variant that produced this result.
+	Scheme string
+	// Delivery summarises message outcomes.
+	Delivery metrics.Summary
+	// AvgSensorPowerMW is the paper's "average nodal power consumption
+	// rate" in milliwatts, over sensors.
+	AvgSensorPowerMW float64
+	// AvgDutyCycle is the mean fraction of time sensors spent awake.
+	AvgDutyCycle float64
+	// Channel aggregates medium-level counters.
+	Channel radio.Stats
+	// DropsFull and DropsThreshold aggregate queue drops across sensors.
+	DropsFull      uint64
+	DropsThreshold uint64
+	// Sleeps counts sensor sleep periods.
+	Sleeps uint64
+	// ControlBitsPerDelivered is the signalling overhead per delivered
+	// message (0 when nothing was delivered).
+	ControlBitsPerDelivered float64
+	// SimSeconds is the simulated duration.
+	SimSeconds float64
+	// Events is the number of kernel events executed.
+	Events uint64
+	// AliveFraction is the share of sensors with battery remaining at the
+	// end (1 when batteries are unlimited).
+	AliveFraction float64
+	// FirstDeathSeconds is when the first sensor died; 0 when none did.
+	FirstDeathSeconds float64
+}
+
+// Sim is one assembled simulation.
+type Sim struct {
+	cfg       Config
+	sched     *sim.Scheduler
+	medium    *radio.Medium
+	grid      *geo.Grid
+	walk      *mobility.ZoneWalk
+	sensors   []*core.Node
+	sinks     []*core.Node
+	collector *metrics.Collector
+	capture   *packet.CaptureWriter
+	nextMsgID packet.MessageID
+	ran       bool
+}
+
+// New assembles a simulation from cfg. The network is built immediately;
+// Run executes it.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.Nop{}
+	}
+	s := &Sim{cfg: cfg, sched: sim.NewScheduler(), collector: metrics.NewCollector()}
+	root := simrand.New(cfg.Seed)
+
+	var err error
+	s.grid, err = geo.NewGrid(geo.NewRect(0, 0, cfg.FieldSize, cfg.FieldSize), cfg.ZonesPerSide, cfg.ZonesPerSide)
+	if err != nil {
+		return nil, err
+	}
+	s.medium, err = radio.NewMedium(s.sched, radio.Config{
+		RangeM:     cfg.RangeM,
+		BitrateBps: cfg.BitrateBps,
+		Sizes:      packet.Sizes{ControlBits: cfg.ControlBits, DataBits: cfg.DataBits},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.LossProb > 0 {
+		if err := s.medium.SetLoss(cfg.LossProb, root.Split("loss")); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.FrameCapture != nil {
+		s.capture = packet.NewCaptureWriter(cfg.FrameCapture)
+		s.medium.SetFrameLog(func(now float64, src packet.NodeID, f packet.Frame) {
+			// Capture failures must not abort the simulation; the writer
+			// error surfaces at the Flush in Run.
+			_ = s.capture.Write(now, src, f)
+		})
+	}
+
+	mobCfg := mobility.ZoneWalkConfig{MaxSpeed: cfg.MaxSpeed, MinSpeed: 0.1, ExitProb: cfg.ExitProb}
+	walkers := cfg.NumSensors
+	if cfg.MobileSinks {
+		// Walk indices NumSensors..NumSensors+NumSinks-1 carry the sinks.
+		walkers += cfg.NumSinks
+	}
+	s.walk, err = mobility.NewZoneWalk(s.grid, walkers, mobCfg, root.Split("mobility"))
+	if err != nil {
+		return nil, err
+	}
+
+	macCfg := mac.DefaultConfig(float64(cfg.ControlBits) / cfg.BitrateBps)
+	params := core.DefaultParams(cfg.Scheme)
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	params.BatteryJoules = cfg.BatteryJoules
+	profile := energy.BerkeleyMote()
+	isSink := func(id packet.NodeID) bool { return int(id) < cfg.NumSinks }
+
+	// Sinks occupy strategic zones (IDs 0..NumSinks-1).
+	sinkZones := strategicZones(s.grid, cfg.NumSinks)
+	sinkParams := params
+	sinkParams.SleepEnabled = false
+	sinkParams.BatteryJoules = 0 // sinks are high-end, externally powered
+	for i := 0; i < cfg.NumSinks; i++ {
+		var position func() geo.Point
+		if cfg.MobileSinks {
+			walkIdx := cfg.NumSensors + i
+			position = func() geo.Point { return s.walk.Position(walkIdx) }
+		} else {
+			rect, err := s.grid.ZoneRect(sinkZones[i])
+			if err != nil {
+				return nil, err
+			}
+			pos := rect.Center()
+			position = func() geo.Point { return pos }
+		}
+		strat, err := routing.NewSink(packet.NodeID(i), s.sched.Now, s.deliver)
+		if err != nil {
+			return nil, err
+		}
+		node, err := core.NewNode(packet.NodeID(i), s.sched, s.medium, macCfg, sinkParams,
+			strat, position, profile,
+			root.Split(fmt.Sprintf("sink/%d", i)), cfg.Tracer)
+		if err != nil {
+			return nil, err
+		}
+		s.sinks = append(s.sinks, node)
+	}
+
+	// Sensors (IDs NumSinks..NumSinks+NumSensors-1).
+	for i := 0; i < cfg.NumSensors; i++ {
+		id := packet.NodeID(cfg.NumSinks + i)
+		strat, err := core.NewStrategyWithOverrides(cfg.Scheme, id, cfg.QueueCapacity, isSink,
+			core.StrategyOverrides{DeliveryThreshold: cfg.DeliveryThreshold, DropThreshold: cfg.DropThreshold})
+		if err != nil {
+			return nil, err
+		}
+		walkIdx := i
+		node, err := core.NewNode(id, s.sched, s.medium, macCfg, params,
+			strat, func() geo.Point { return s.walk.Position(walkIdx) }, profile,
+			root.Split(fmt.Sprintf("sensor/%d", i)), cfg.Tracer)
+		if err != nil {
+			return nil, err
+		}
+		s.sensors = append(s.sensors, node)
+	}
+
+	// Mobility ticking.
+	ticker := sim.NewTicker(s.sched, cfg.MobilityTickSeconds, func(sim.Time) {
+		s.walk.Step(cfg.MobilityTickSeconds)
+	})
+	ticker.Start()
+
+	// Traffic: independent Poisson processes per sensor.
+	traffic := root.Split("traffic")
+	for i, node := range s.sensors {
+		s.scheduleArrival(node, traffic.Split(fmt.Sprintf("sensor/%d", i)))
+	}
+
+	// Fault injection: at the failure time, a deterministic random subset
+	// of sensors dies with its queued messages.
+	if cfg.FailFraction > 0 {
+		failRng := root.Split("failures")
+		if _, err := s.sched.At(cfg.FailAtSeconds, func() {
+			perm := failRng.Perm(len(s.sensors))
+			kill := int(cfg.FailFraction * float64(len(s.sensors)))
+			for _, idx := range perm[:kill] {
+				s.sensors[idx].Kill()
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Start nodes with a small jitter so cycles do not run in lockstep.
+	startJitter := root.Split("start")
+	for _, node := range append(append([]*core.Node{}, s.sinks...), s.sensors...) {
+		n := node
+		if _, err := s.sched.At(startJitter.Uniform(0, 1), func() {
+			// Start errors are impossible for freshly built nodes.
+			_ = n.Start()
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// deliver is the sink-arrival callback feeding the metrics collector.
+func (s *Sim) deliver(d *packet.Data, now float64) {
+	// The sink hop itself counts as one transfer.
+	_ = s.collector.Delivered(d.ID, now, d.Hops+1)
+}
+
+// scheduleArrival arms the next Poisson data generation for node.
+func (s *Sim) scheduleArrival(node *core.Node, rng *simrand.Source) {
+	delay := rng.Exp(s.cfg.ArrivalMeanSeconds)
+	s.sched.After(delay, func() {
+		if !node.Alive() {
+			return // dead sensors sense nothing; their process ends
+		}
+		stop := s.cfg.DurationSeconds
+		if s.cfg.TrafficStopSeconds > 0 {
+			stop = s.cfg.TrafficStopSeconds
+		}
+		if s.sched.Now() <= stop {
+			s.nextMsgID++
+			id := s.nextMsgID
+			// Record generation even if the queue rejects it: a dropped
+			// message is still an undelivered message (§3.1.2).
+			_ = s.collector.Generated(id, node.ID(), s.sched.Now())
+			node.Generate(id, s.cfg.DataBits)
+			s.scheduleArrival(node, rng)
+		}
+	})
+}
+
+// Sensors returns the sensor nodes (for tools and examples).
+func (s *Sim) Sensors() []*core.Node { return s.sensors }
+
+// Sinks returns the sink nodes.
+func (s *Sim) Sinks() []*core.Node { return s.sinks }
+
+// Scheduler exposes the kernel (for tools that step manually).
+func (s *Sim) Scheduler() *sim.Scheduler { return s.sched }
+
+// Collector exposes the metrics collector.
+func (s *Sim) Collector() *metrics.Collector { return s.collector }
+
+// Run executes the simulation to its configured duration and returns the
+// result digest. Run may be called once.
+func (s *Sim) Run() (Result, error) {
+	if s.ran {
+		return Result{}, fmt.Errorf("scenario: simulation already ran")
+	}
+	s.ran = true
+	if err := s.sched.Run(s.cfg.DurationSeconds); err != nil {
+		return Result{}, fmt.Errorf("scenario: %w", err)
+	}
+	if s.capture != nil {
+		if err := s.capture.Flush(); err != nil {
+			return Result{}, fmt.Errorf("scenario: frame capture: %w", err)
+		}
+	}
+	return s.Snapshot(), nil
+}
+
+// Snapshot digests the current state into a Result (valid mid-run for
+// tools that step the scheduler themselves).
+func (s *Sim) Snapshot() Result {
+	now := s.sched.Now()
+	res := Result{
+		Scheme:     s.cfg.Scheme.String(),
+		Delivery:   s.collector.Summarize(),
+		Channel:    s.medium.Stats(),
+		SimSeconds: now,
+		Events:     s.sched.Fired(),
+	}
+	alive := 0
+	for _, n := range s.sensors {
+		meter := n.Radio().Meter()
+		res.AvgSensorPowerMW += meter.AveragePowerW(now) * 1e3
+		res.AvgDutyCycle += meter.DutyCycle(now)
+		drops := n.Strategy().Drops()
+		res.DropsFull += drops.Full
+		res.DropsThreshold += drops.Threshold
+		res.Sleeps += n.Stats().Sleeps
+		if n.Alive() {
+			alive++
+		} else if died := n.Stats().DiedAt; res.FirstDeathSeconds == 0 || died < res.FirstDeathSeconds {
+			res.FirstDeathSeconds = died
+		}
+	}
+	if len(s.sensors) > 0 {
+		res.AvgSensorPowerMW /= float64(len(s.sensors))
+		res.AvgDutyCycle /= float64(len(s.sensors))
+		res.AliveFraction = float64(alive) / float64(len(s.sensors))
+	}
+	if res.Delivery.Delivered > 0 {
+		res.ControlBitsPerDelivered = float64(res.Channel.ControlBits) / float64(res.Delivery.Delivered)
+	}
+	return res
+}
+
+// strategicZones returns the zones for sink placement: high-visiting-
+// probability locations spread across the field, starting from the centre
+// (the paper deploys sinks "at strategic locations with high visiting
+// probability").
+func strategicZones(g *geo.Grid, n int) []geo.ZoneID {
+	cols, rows := g.Cols(), g.Rows()
+	order := make([]geo.ZoneID, 0, cols*rows)
+	seen := make(map[geo.ZoneID]bool, cols*rows)
+	add := func(c, r int) {
+		if c < 0 || c >= cols || r < 0 || r >= rows {
+			return
+		}
+		id := geo.ZoneID(r*cols + c)
+		if !seen[id] {
+			seen[id] = true
+			order = append(order, id)
+		}
+	}
+	// Centre, then midpoints of half-quadrants, then corners, then the rest
+	// row-major — a deterministic spread that keeps early sinks far apart.
+	add(cols/2, rows/2)
+	add(cols/4, rows/4)
+	add(3*cols/4, 3*rows/4)
+	add(3*cols/4, rows/4)
+	add(cols/4, 3*rows/4)
+	add(0, rows/2)
+	add(cols-1, rows/2)
+	add(cols/2, 0)
+	add(cols/2, rows-1)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			add(c, r)
+		}
+	}
+	return order[:n]
+}

@@ -1,0 +1,195 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and a priority queue of scheduled
+// events. Events fire in (time, sequence) order, so two events scheduled for
+// the same instant fire in the order they were scheduled, which makes every
+// simulation run reproducible from its inputs alone.
+//
+// The kernel is intentionally single-threaded: all events run on the
+// goroutine that calls Run. Parallelism in this repository lives one level
+// up, in the sweep harness, which runs many independent kernels at once.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since the start of the
+// simulation. Virtual time is unrelated to wall-clock time; a Duration of
+// 1.0 means one simulated second.
+type Time = float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = float64
+
+// Infinity is a time later than any event a simulation can schedule.
+const Infinity Time = math.MaxFloat64
+
+// ErrStopped is returned by Run when the simulation was halted by Stop
+// before reaching its horizon.
+var ErrStopped = errors.New("sim: stopped")
+
+// Event is a scheduled callback. The zero value is not useful; events are
+// created by Scheduler.At and Scheduler.After.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // position in the heap, -1 once fired or cancelled
+	labels string
+}
+
+// At returns the virtual time this event is scheduled to fire at.
+func (e *Event) At() Time { return e.at }
+
+// Pending reports whether the event is still scheduled.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+
+// Label returns the debugging label attached at scheduling time, if any.
+func (e *Event) Label() string { return e.labels }
+
+// Scheduler owns the virtual clock and the pending-event queue.
+// The zero value is a valid scheduler positioned at time 0.
+type Scheduler struct {
+	queue   eventHeap
+	now     Time
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewScheduler returns a scheduler with its clock at zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently scheduled.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) is a programming error and is reported via the returned error.
+func (s *Scheduler) At(t Time, fn func()) (*Event, error) {
+	if fn == nil {
+		return nil, errors.New("sim: nil event func")
+	}
+	if t < s.now {
+		return nil, fmt.Errorf("sim: schedule at %v before now %v", t, s.now)
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e, nil
+}
+
+// After schedules fn to run d seconds from now. A negative d is clamped to
+// zero so that callers computing small deltas never schedule into the past.
+func (s *Scheduler) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	e, err := s.At(s.now+d, fn)
+	if err != nil {
+		// Unreachable: s.now+d >= s.now for d >= 0 and fn is checked by
+		// the only caller paths that can pass nil.
+		panic(err)
+	}
+	return e
+}
+
+// AfterLabeled is After with a debugging label attached to the event.
+func (s *Scheduler) AfterLabeled(d Duration, label string, fn func()) *Event {
+	e := s.After(d, fn)
+	e.labels = label
+	return e
+}
+
+// Cancel removes a pending event from the queue. Cancelling a nil, fired, or
+// already-cancelled event is a no-op, so callers can cancel unconditionally.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.index)
+	e.index = -1
+	e.fn = nil
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Step fires the single earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was fired.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	e.index = -1
+	s.now = e.at
+	fn := e.fn
+	e.fn = nil
+	s.fired++
+	fn()
+	return true
+}
+
+// Run executes events in order until the queue drains, the clock would pass
+// horizon, or Stop is called. The clock is left at min(horizon, last event
+// time). It returns ErrStopped if halted by Stop, nil otherwise.
+func (s *Scheduler) Run(horizon Time) error {
+	s.stopped = false
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		next := s.queue[0].at
+		if next > horizon {
+			break
+		}
+		s.Step()
+	}
+	if s.now < horizon && horizon < Infinity {
+		s.now = horizon
+	}
+	return nil
+}
+
+// eventHeap implements heap.Interface ordered by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,50 @@
+package sim
+
+// Ticker fires a callback at a fixed virtual-time period until stopped.
+// It is used for coarse periodic processes such as mobility updates and
+// metric sampling.
+type Ticker struct {
+	sched  *Scheduler
+	period Duration
+	fn     func(now Time)
+	ev     *Event
+	active bool
+}
+
+// NewTicker creates a ticker bound to sched with the given period and
+// callback. The ticker is created stopped; call Start to begin.
+func NewTicker(sched *Scheduler, period Duration, fn func(now Time)) *Ticker {
+	return &Ticker{sched: sched, period: period, fn: fn}
+}
+
+// Start schedules the first tick one period from now. Starting an already
+// running ticker is a no-op.
+func (t *Ticker) Start() {
+	if t.active {
+		return
+	}
+	t.active = true
+	t.arm()
+}
+
+// Stop cancels the pending tick. The ticker may be restarted later.
+func (t *Ticker) Stop() {
+	t.active = false
+	t.sched.Cancel(t.ev)
+	t.ev = nil
+}
+
+// Active reports whether the ticker is currently running.
+func (t *Ticker) Active() bool { return t.active }
+
+func (t *Ticker) arm() {
+	t.ev = t.sched.After(t.period, func() {
+		if !t.active {
+			return
+		}
+		t.fn(t.sched.Now())
+		if t.active {
+			t.arm()
+		}
+	})
+}

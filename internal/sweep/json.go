@@ -1,0 +1,59 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonTable is the marshalled form of a Table: experiment metadata plus
+// one record per (variant, x) cell carrying every metric with mean,
+// standard deviation, and run count.
+type jsonTable struct {
+	Experiment string     `json:"experiment"`
+	XLabel     string     `json:"x_label"`
+	Cells      []jsonCell `json:"cells"`
+}
+
+type jsonCell struct {
+	Variant string                `json:"variant"`
+	X       float64               `json:"x"`
+	Metrics map[string]jsonMetric `json:"metrics"`
+}
+
+type jsonMetric struct {
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Runs   int     `json:"runs"`
+}
+
+// JSON renders the full table (all metrics) as indented JSON, suitable for
+// downstream plotting tools.
+func (t *Table) JSON() ([]byte, error) {
+	out := jsonTable{
+		Experiment: t.Experiment,
+		XLabel:     t.XLabel,
+		Cells:      make([]jsonCell, 0, len(t.Variants)*len(t.Xs)),
+	}
+	for vi, name := range t.Variants {
+		for xi, x := range t.Xs {
+			cell := jsonCell{
+				Variant: name,
+				X:       x,
+				Metrics: make(map[string]jsonMetric, len(Metrics())),
+			}
+			for _, m := range Metrics() {
+				st := t.cells[vi][xi].value(m)
+				if st == nil {
+					return nil, fmt.Errorf("sweep: metric %q has no extractor", m)
+				}
+				cell.Metrics[string(m)] = jsonMetric{
+					Mean:   st.Mean(),
+					StdDev: st.StdDev(),
+					Runs:   st.N(),
+				}
+			}
+			out.Cells = append(out.Cells, cell)
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

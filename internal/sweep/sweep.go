@@ -1,0 +1,331 @@
+// Package sweep runs parameter sweeps over the DFT-MSN simulator: a grid
+// of (variant × x-value) points, each averaged over several seeds, executed
+// on a bounded worker pool. It powers the figure-regeneration harness
+// (cmd/figures) and the repository benchmarks.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"dftmsn/internal/metrics"
+	"dftmsn/internal/scenario"
+)
+
+// Variant is one line in a figure: a named configuration builder.
+type Variant struct {
+	// Name labels the row (e.g. "OPT", "ZBR", "OPT-noAdaptiveTau").
+	Name string
+	// Build produces the scenario for one x value. The sweep overrides the
+	// config's Seed per run.
+	Build func(x float64) (scenario.Config, error)
+}
+
+// Experiment is a full sweep: every variant evaluated at every x, averaged
+// over Runs seeds.
+type Experiment struct {
+	// Name identifies the experiment (e.g. "fig2a").
+	Name string
+	// XLabel names the swept parameter (e.g. "sinks").
+	XLabel string
+	// Xs are the swept values.
+	Xs []float64
+	// Variants are the lines.
+	Variants []Variant
+	// Runs is the number of seeds per point (>= 1).
+	Runs int
+	// BaseSeed offsets the per-run seeds for reproducibility.
+	BaseSeed uint64
+}
+
+// Validate reports experiment definition errors.
+func (e Experiment) Validate() error {
+	if e.Name == "" {
+		return errors.New("sweep: empty experiment name")
+	}
+	if len(e.Xs) == 0 || len(e.Variants) == 0 {
+		return fmt.Errorf("sweep: experiment %q needs xs and variants", e.Name)
+	}
+	if e.Runs < 1 {
+		return fmt.Errorf("sweep: experiment %q needs Runs >= 1", e.Name)
+	}
+	for _, v := range e.Variants {
+		if v.Name == "" || v.Build == nil {
+			return fmt.Errorf("sweep: experiment %q has an invalid variant", e.Name)
+		}
+	}
+	return nil
+}
+
+// Stats aggregates one metric over the runs of a point.
+type Stats struct {
+	w metrics.Welford
+}
+
+// Add records one observation.
+func (s *Stats) Add(x float64) { s.w.Add(x) }
+
+// Mean returns the mean over runs.
+func (s *Stats) Mean() float64 { return s.w.Mean() }
+
+// StdDev returns the sample standard deviation over runs.
+func (s *Stats) StdDev() float64 { return s.w.StdDev() }
+
+// N returns the number of runs recorded.
+func (s *Stats) N() int { return s.w.N() }
+
+// Point aggregates every reported metric for one (variant, x) cell.
+type Point struct {
+	DeliveryRatio  Stats
+	PowerMW        Stats
+	DelaySeconds   Stats
+	MedianDelay    Stats
+	DutyCycle      Stats
+	Duplicates     Stats
+	Collisions     Stats
+	Drops          Stats
+	CtrlBitsPerMsg Stats
+	AvgHops        Stats
+	DeliveredCount Stats
+	GeneratedCount Stats
+	AliveFraction  Stats
+	FirstDeath     Stats
+}
+
+// add folds one run result into the point.
+func (p *Point) add(r scenario.Result) {
+	p.DeliveryRatio.Add(r.Delivery.DeliveryRatio)
+	p.PowerMW.Add(r.AvgSensorPowerMW)
+	p.DelaySeconds.Add(r.Delivery.AvgDelaySeconds)
+	p.MedianDelay.Add(r.Delivery.MedianDelaySeconds)
+	p.DutyCycle.Add(r.AvgDutyCycle)
+	p.Duplicates.Add(float64(r.Delivery.Duplicates))
+	p.Collisions.Add(float64(r.Channel.Collisions))
+	p.Drops.Add(float64(r.DropsFull + r.DropsThreshold))
+	p.CtrlBitsPerMsg.Add(r.ControlBitsPerDelivered)
+	p.AvgHops.Add(r.Delivery.AvgHops)
+	p.DeliveredCount.Add(float64(r.Delivery.Delivered))
+	p.GeneratedCount.Add(float64(r.Delivery.Generated))
+	p.AliveFraction.Add(r.AliveFraction)
+	p.FirstDeath.Add(r.FirstDeathSeconds)
+}
+
+// Metric selects a column for formatting.
+type Metric string
+
+// Supported metrics.
+const (
+	MetricRatio      Metric = "ratio"
+	MetricPowerMW    Metric = "power_mw"
+	MetricDelay      Metric = "delay_s"
+	MetricDuty       Metric = "duty"
+	MetricCollisions Metric = "collisions"
+	MetricDrops      Metric = "drops"
+	MetricOverhead   Metric = "ctrl_bits_per_msg"
+	MetricHops       Metric = "hops"
+	MetricAlive      Metric = "alive_fraction"
+	MetricFirstDeath Metric = "first_death_s"
+)
+
+// Metrics lists the supported metric names.
+func Metrics() []Metric {
+	return []Metric{MetricRatio, MetricPowerMW, MetricDelay, MetricDuty,
+		MetricCollisions, MetricDrops, MetricOverhead, MetricHops,
+		MetricAlive, MetricFirstDeath}
+}
+
+// value extracts the named metric.
+func (p *Point) value(m Metric) *Stats {
+	switch m {
+	case MetricRatio:
+		return &p.DeliveryRatio
+	case MetricPowerMW:
+		return &p.PowerMW
+	case MetricDelay:
+		return &p.DelaySeconds
+	case MetricDuty:
+		return &p.DutyCycle
+	case MetricCollisions:
+		return &p.Collisions
+	case MetricDrops:
+		return &p.Drops
+	case MetricOverhead:
+		return &p.CtrlBitsPerMsg
+	case MetricHops:
+		return &p.AvgHops
+	case MetricAlive:
+		return &p.AliveFraction
+	case MetricFirstDeath:
+		return &p.FirstDeath
+	default:
+		return nil
+	}
+}
+
+// Table holds the aggregated sweep results: cells[variant][xIndex].
+type Table struct {
+	Experiment string
+	XLabel     string
+	Xs         []float64
+	Variants   []string
+	cells      [][]*Point
+}
+
+// Cell returns the aggregated point for (variant index, x index).
+func (t *Table) Cell(variant, xi int) *Point { return t.cells[variant][xi] }
+
+// Format renders one metric as an aligned text table, one row per variant.
+func (t *Table) Format(m Metric) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s by %s\n", t.Experiment, m, t.XLabel)
+	fmt.Fprintf(&b, "%-14s", t.XLabel)
+	for _, x := range t.Xs {
+		fmt.Fprintf(&b, "%12s", trimFloat(x))
+	}
+	b.WriteByte('\n')
+	for vi, name := range t.Variants {
+		fmt.Fprintf(&b, "%-14s", name)
+		for xi := range t.Xs {
+			st := t.cells[vi][xi].value(m)
+			if st == nil {
+				fmt.Fprintf(&b, "%12s", "?")
+				continue
+			}
+			fmt.Fprintf(&b, "%12.4g", st.Mean())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders one metric as comma-separated values with a header row,
+// including standard deviations.
+func (t *Table) CSV(m Metric) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "variant,%s,%s,stddev,runs\n", t.XLabel, m)
+	for vi, name := range t.Variants {
+		for xi, x := range t.Xs {
+			st := t.cells[vi][xi].value(m)
+			if st == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%s,%s,%g,%g,%d\n", name, trimFloat(x), st.Mean(), st.StdDev(), st.N())
+		}
+	}
+	return b.String()
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// Run executes the experiment on up to workers goroutines (0 means
+// GOMAXPROCS). Each (variant, x, run) is an independent simulation with
+// seed BaseSeed + runIndex; results are averaged per point.
+func (e Experiment) Run(workers int) (*Table, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	table := &Table{
+		Experiment: e.Name,
+		XLabel:     e.XLabel,
+		Xs:         append([]float64(nil), e.Xs...),
+		Variants:   make([]string, len(e.Variants)),
+		cells:      make([][]*Point, len(e.Variants)),
+	}
+	for vi, v := range e.Variants {
+		table.Variants[vi] = v.Name
+		table.cells[vi] = make([]*Point, len(e.Xs))
+		for xi := range e.Xs {
+			table.cells[vi][xi] = &Point{}
+		}
+	}
+
+	type job struct {
+		vi, xi, run int
+	}
+	type outcome struct {
+		job job
+		res scenario.Result
+		err error
+	}
+	jobs := make(chan job)
+	outcomes := make(chan outcome)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				cfg, err := e.Variants[j.vi].Build(e.Xs[j.xi])
+				if err != nil {
+					outcomes <- outcome{job: j, err: err}
+					continue
+				}
+				cfg.Seed = e.BaseSeed + uint64(j.run)
+				s, err := scenario.New(cfg)
+				if err != nil {
+					outcomes <- outcome{job: j, err: err}
+					continue
+				}
+				res, err := s.Run()
+				outcomes <- outcome{job: j, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for vi := range e.Variants {
+			for xi := range e.Xs {
+				for run := 0; run < e.Runs; run++ {
+					jobs <- job{vi: vi, xi: xi, run: run}
+				}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(outcomes)
+	}()
+
+	var firstErr error
+	for o := range outcomes {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sweep: %s[%s=%v run %d]: %w",
+					e.Variants[o.job.vi].Name, e.XLabel, e.Xs[o.job.xi], o.job.run, o.err)
+			}
+			continue
+		}
+		table.cells[o.job.vi][o.job.xi].add(o.res)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return table, nil
+}
+
+// SortedVariantIndex returns variant indices ordered by the metric at the
+// last x (descending) — convenient for "who wins" checks in tests and
+// benches.
+func (t *Table) SortedVariantIndex(m Metric) []int {
+	idx := make([]int, len(t.Variants))
+	for i := range idx {
+		idx[i] = i
+	}
+	last := len(t.Xs) - 1
+	sort.SliceStable(idx, func(a, b int) bool {
+		return t.cells[idx[a]][last].value(m).Mean() > t.cells[idx[b]][last].value(m).Mean()
+	})
+	return idx
+}

@@ -1,0 +1,267 @@
+package sweep
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dftmsn/internal/core"
+	"dftmsn/internal/scenario"
+)
+
+// tinyVariant builds a very small, fast scenario.
+func tinyVariant(name string, sch core.Scheme) Variant {
+	return Variant{
+		Name: name,
+		Build: func(x float64) (scenario.Config, error) {
+			cfg := scenario.DefaultConfig(sch)
+			cfg.NumSensors = 10
+			cfg.NumSinks = int(x)
+			cfg.DurationSeconds = 200
+			cfg.ArrivalMeanSeconds = 40
+			return cfg, nil
+		},
+	}
+}
+
+func tinyExperiment() Experiment {
+	return Experiment{
+		Name:     "tiny",
+		XLabel:   "sinks",
+		Xs:       []float64{1, 2},
+		Variants: []Variant{tinyVariant("OPT", core.SchemeOPT), tinyVariant("ZBR", core.SchemeZBR)},
+		Runs:     2,
+		BaseSeed: 3,
+	}
+}
+
+func TestExperimentValidate(t *testing.T) {
+	good := tinyExperiment()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	bad = good
+	bad.Xs = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty xs accepted")
+	}
+	bad = good
+	bad.Runs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero runs accepted")
+	}
+	bad = good
+	bad.Variants = []Variant{{Name: "x"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("nil build accepted")
+	}
+}
+
+func TestRunAggregates(t *testing.T) {
+	table, err := tinyExperiment().Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Variants) != 2 || len(table.Xs) != 2 {
+		t.Fatalf("table shape %dx%d", len(table.Variants), len(table.Xs))
+	}
+	for vi := range table.Variants {
+		for xi := range table.Xs {
+			p := table.Cell(vi, xi)
+			if p.DeliveryRatio.N() != 2 {
+				t.Fatalf("cell (%d,%d) has %d runs, want 2", vi, xi, p.DeliveryRatio.N())
+			}
+			if p.GeneratedCount.Mean() <= 0 {
+				t.Fatalf("cell (%d,%d) saw no traffic", vi, xi)
+			}
+			r := p.DeliveryRatio.Mean()
+			if r < 0 || r > 1 {
+				t.Fatalf("ratio %v out of range", r)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	t1, err := tinyExperiment().Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := tinyExperiment().Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi := range t1.Variants {
+		for xi := range t1.Xs {
+			a := t1.Cell(vi, xi).DeliveryRatio.Mean()
+			b := t8.Cell(vi, xi).DeliveryRatio.Mean()
+			if a != b {
+				t.Fatalf("cell (%d,%d) differs by worker count: %v vs %v", vi, xi, a, b)
+			}
+		}
+	}
+}
+
+func TestRunPropagatesBuildErrors(t *testing.T) {
+	e := tinyExperiment()
+	e.Variants = append(e.Variants, Variant{
+		Name: "broken",
+		Build: func(float64) (scenario.Config, error) {
+			return scenario.Config{}, nil // invalid zero config
+		},
+	})
+	if _, err := e.Run(2); err == nil {
+		t.Fatal("invalid config did not surface")
+	}
+}
+
+func TestFormatAndCSV(t *testing.T) {
+	table, err := tinyExperiment().Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := table.Format(MetricRatio)
+	if !strings.Contains(txt, "OPT") || !strings.Contains(txt, "ZBR") || !strings.Contains(txt, "sinks") {
+		t.Fatalf("Format output missing labels:\n%s", txt)
+	}
+	if len(strings.Split(strings.TrimSpace(txt), "\n")) != 4 { // header comment + x row + 2 variants
+		t.Fatalf("unexpected table shape:\n%s", txt)
+	}
+	csv := table.CSV(MetricPowerMW)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+2*2 { // header + variants*xs
+		t.Fatalf("CSV has %d lines:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "variant,sinks,power_mw") {
+		t.Fatalf("CSV header %q", lines[0])
+	}
+	// Unknown metric renders placeholders rather than panicking.
+	if out := table.Format(Metric("nope")); !strings.Contains(out, "?") {
+		t.Fatalf("unknown metric output:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	table, err := tinyExperiment().Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := table.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Experiment string `json:"experiment"`
+		XLabel     string `json:"x_label"`
+		Cells      []struct {
+			Variant string  `json:"variant"`
+			X       float64 `json:"x"`
+			Metrics map[string]struct {
+				Mean float64 `json:"mean"`
+				Runs int     `json:"runs"`
+			} `json:"metrics"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, raw)
+	}
+	if decoded.Experiment != "tiny" || decoded.XLabel != "sinks" {
+		t.Fatalf("metadata %+v", decoded)
+	}
+	if len(decoded.Cells) != 4 { // 2 variants x 2 xs
+		t.Fatalf("cells = %d", len(decoded.Cells))
+	}
+	for _, c := range decoded.Cells {
+		m, ok := c.Metrics["ratio"]
+		if !ok {
+			t.Fatalf("cell missing ratio metric: %+v", c)
+		}
+		if m.Runs != 2 || m.Mean < 0 || m.Mean > 1 {
+			t.Fatalf("ratio metric %+v", m)
+		}
+	}
+}
+
+func TestMetricsList(t *testing.T) {
+	if len(Metrics()) < 6 {
+		t.Fatalf("only %d metrics", len(Metrics()))
+	}
+	table, err := tinyExperiment().Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Metrics() {
+		if table.Cell(0, 0).value(m) == nil {
+			t.Errorf("metric %q has no extractor", m)
+		}
+	}
+}
+
+func TestSortedVariantIndex(t *testing.T) {
+	table, err := tinyExperiment().Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := table.SortedVariantIndex(MetricRatio)
+	if len(idx) != 2 {
+		t.Fatalf("idx = %v", idx)
+	}
+	last := len(table.Xs) - 1
+	a := table.Cell(idx[0], last).DeliveryRatio.Mean()
+	b := table.Cell(idx[1], last).DeliveryRatio.Mean()
+	if a < b {
+		t.Fatalf("not sorted: %v < %v", a, b)
+	}
+}
+
+func TestPredefinedExperimentsValidate(t *testing.T) {
+	o := QuickOptions()
+	for _, build := range []func(Options) (Experiment, error){Fig2, Density, Speed, Ablation, Extensions, Lifetime, Faults, Loss} {
+		e, err := build(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Validate(); err != nil {
+			t.Errorf("%s: %v", e.Name, err)
+		}
+		// Every variant must build a valid config at every x.
+		for _, v := range e.Variants {
+			for _, x := range e.Xs {
+				cfg, err := v.Build(x)
+				if err != nil {
+					t.Errorf("%s/%s(%v): %v", e.Name, v.Name, x, err)
+					continue
+				}
+				if err := cfg.Validate(); err != nil {
+					t.Errorf("%s/%s(%v): %v", e.Name, v.Name, x, err)
+				}
+			}
+		}
+	}
+	bad := Options{}
+	if _, err := Fig2(bad); err == nil {
+		t.Error("invalid options accepted")
+	}
+}
+
+func TestOptionsPresets(t *testing.T) {
+	p := PaperOptions()
+	if p.DurationSeconds != 25_000 || p.Sensors != 100 {
+		t.Fatalf("PaperOptions = %+v", p)
+	}
+	q := QuickOptions()
+	if q.DurationSeconds >= p.DurationSeconds {
+		t.Fatal("QuickOptions not quicker than PaperOptions")
+	}
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dftmsn/internal/packet"
+)
+
+// Record is one parsed trace event.
+type Record struct {
+	Time   float64
+	Node   packet.NodeID
+	Event  string
+	Detail string
+}
+
+// Parse reads the tab-separated format produced by Writer. Malformed lines
+// produce an error naming the line number.
+func Parse(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, "\t", 4)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d has %d fields, want 4", lineNo, len(fields))
+		}
+		ts, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d time: %w", lineNo, err)
+		}
+		node, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d node: %w", lineNo, err)
+		}
+		out = append(out, Record{
+			Time:   ts,
+			Node:   packet.NodeID(node),
+			Event:  fields[2],
+			Detail: fields[3],
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}
+
+// Summary aggregates a parsed trace.
+type Summary struct {
+	// Events counts records by event name.
+	Events map[string]int
+	// Nodes is the number of distinct nodes appearing.
+	Nodes int
+	// Span is [first, last] event time.
+	Span [2]float64
+	// Total is the record count.
+	Total int
+}
+
+// Summarize aggregates records.
+func Summarize(recs []Record) Summary {
+	s := Summary{Events: make(map[string]int)}
+	nodes := make(map[packet.NodeID]bool)
+	for i, r := range recs {
+		s.Events[r.Event]++
+		nodes[r.Node] = true
+		if i == 0 || r.Time < s.Span[0] {
+			s.Span[0] = r.Time
+		}
+		if r.Time > s.Span[1] {
+			s.Span[1] = r.Time
+		}
+	}
+	s.Nodes = len(nodes)
+	s.Total = len(recs)
+	return s
+}
+
+// Format renders the summary as aligned text, events sorted by count.
+func (s Summary) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d events from %d nodes over [%.3f, %.3f] s\n",
+		s.Total, s.Nodes, s.Span[0], s.Span[1])
+	type kv struct {
+		name  string
+		count int
+	}
+	rows := make([]kv, 0, len(s.Events))
+	for name, count := range s.Events {
+		rows = append(rows, kv{name, count})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].count != rows[j].count {
+			return rows[i].count > rows[j].count
+		}
+		return rows[i].name < rows[j].name
+	})
+	for _, row := range rows {
+		fmt.Fprintf(&b, "  %-12s %d\n", row.name, row.count)
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, 0)
+	w.Emit(1.5, 3, "tx", "preamble")
+	w.Emit(2.25, 4, "rx", "rts from=3")
+	w.Emit(7.125, 3, "sleep", "dur=3.5")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records", len(recs))
+	}
+	if recs[0].Time != 1.5 || recs[0].Node != 3 || recs[0].Event != "tx" || recs[0].Detail != "preamble" {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if recs[2].Event != "sleep" || recs[2].Detail != "dur=3.5" {
+		t.Fatalf("record 2 = %+v", recs[2])
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"notanumber\t1\tev\tdetail\n",
+		"1.0\tnotanode\tev\tdetail\n",
+		"1.0\t1\tonly-three-fields\n",
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("malformed line accepted: %q", c)
+		}
+	}
+	// Empty lines are tolerated.
+	recs, err := Parse(strings.NewReader("\n1\t2\tev\td\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("parsed %d records, want 1", len(recs))
+	}
+	// Empty input yields an empty trace.
+	recs, err = Parse(strings.NewReader(""))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty input: %v, %d records", err, len(recs))
+	}
+}
+
+func TestParseDetailMayContainTabs(t *testing.T) {
+	recs, err := Parse(strings.NewReader("1\t2\tev\tdetail\twith\ttabs\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Detail != "detail\twith\ttabs" {
+		t.Fatalf("detail = %q", recs[0].Detail)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := []Record{
+		{Time: 5, Node: 1, Event: "tx"},
+		{Time: 2, Node: 2, Event: "rx"},
+		{Time: 9, Node: 1, Event: "tx"},
+	}
+	s := Summarize(recs)
+	if s.Total != 3 || s.Nodes != 2 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Events["tx"] != 2 || s.Events["rx"] != 1 {
+		t.Fatalf("events %v", s.Events)
+	}
+	if s.Span != [2]float64{2, 9} {
+		t.Fatalf("span %v", s.Span)
+	}
+	out := s.Format()
+	if !strings.Contains(out, "3 events from 2 nodes") || !strings.Contains(out, "tx") {
+		t.Fatalf("format:\n%s", out)
+	}
+	// tx (2) sorts before rx (1).
+	if strings.Index(out, "tx") > strings.Index(out, "rx") {
+		t.Fatalf("events not sorted by count:\n%s", out)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Total != 0 || s.Nodes != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+	if out := s.Format(); !strings.Contains(out, "0 events") {
+		t.Fatalf("format %q", out)
+	}
+}

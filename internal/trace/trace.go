@@ -1,0 +1,73 @@
+// Package trace provides a lightweight structured event trace for the
+// simulator. Tracing is optional: the zero-cost Nop tracer is used by
+// default, and a Writer tracer emits tab-separated records for debugging
+// and the dfttrace tool.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+
+	"dftmsn/internal/packet"
+)
+
+// Tracer receives simulation events.
+type Tracer interface {
+	// Emit records one event: virtual time, the node concerned, a short
+	// event name (e.g. "tx", "rx", "sleep", "drop"), and free-form detail.
+	Emit(now float64, node packet.NodeID, event, detail string)
+}
+
+// Nop discards all events.
+type Nop struct{}
+
+var _ Tracer = Nop{}
+
+// Emit implements Tracer by doing nothing.
+func (Nop) Emit(float64, packet.NodeID, string, string) {}
+
+// Writer emits one tab-separated line per event. It is safe for concurrent
+// use so parallel sweep runs may share a destination for coarse debugging,
+// though per-run writers give cleaner output.
+type Writer struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	n   uint64
+	max uint64
+}
+
+var _ Tracer = (*Writer)(nil)
+
+// NewWriter wraps w. maxEvents caps output to guard against runaway traces;
+// zero means unlimited.
+func NewWriter(w io.Writer, maxEvents uint64) *Writer {
+	return &Writer{w: bufio.NewWriter(w), max: maxEvents}
+}
+
+// Emit implements Tracer.
+func (t *Writer) Emit(now float64, node packet.NodeID, event, detail string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.max > 0 && t.n >= t.max {
+		return
+	}
+	t.n++
+	// Write errors are surfaced by Flush; tracing must not abort a run.
+	fmt.Fprintf(t.w, "%.6f\t%d\t%s\t%s\n", now, node, event, detail)
+}
+
+// Events returns the number of events written (after capping).
+func (t *Writer) Events() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Flush drains buffered output to the underlying writer.
+func (t *Writer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Flush()
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNopDoesNothing(t *testing.T) {
+	// Must simply not panic.
+	Nop{}.Emit(1.5, 3, "tx", "data")
+}
+
+func TestWriterFormat(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, 0)
+	w.Emit(1.5, 3, "tx", "preamble")
+	w.Emit(2.25, 4, "rx", "rts from=3")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), sb.String())
+	}
+	fields := strings.Split(lines[0], "\t")
+	if len(fields) != 4 || fields[1] != "3" || fields[2] != "tx" || fields[3] != "preamble" {
+		t.Fatalf("line = %q", lines[0])
+	}
+	if !strings.HasPrefix(fields[0], "1.5") {
+		t.Fatalf("time field = %q", fields[0])
+	}
+	if w.Events() != 2 {
+		t.Fatalf("Events = %d", w.Events())
+	}
+}
+
+func TestWriterCapsEvents(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, 3)
+	for i := 0; i < 10; i++ {
+		w.Emit(float64(i), 1, "e", "")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "\n"); n != 3 {
+		t.Fatalf("wrote %d lines, want cap 3", n)
+	}
+	if w.Events() != 3 {
+		t.Fatalf("Events = %d, want 3", w.Events())
+	}
+}
+
+func TestWriterConcurrentSafety(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				w.Emit(float64(i), 1, "e", "x")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "\n"); n != 800 {
+		t.Fatalf("wrote %d lines, want 800", n)
+	}
+}

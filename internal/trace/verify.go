@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"dftmsn/internal/packet"
+)
+
+// Violation is one protocol-invariant breach found in a trace.
+type Violation struct {
+	Record Record
+	Reason string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%.6f node=%d %s: %s", v.Record.Time, v.Record.Node, v.Record.Event, v.Reason)
+}
+
+// Verify checks node-level protocol invariants over a parsed trace:
+//
+//  1. events are globally time-ordered (the writer emits in virtual-time
+//     order);
+//  2. sleep/wake alternate per node — no double sleep, no wake without a
+//     preceding sleep;
+//  3. a sleeping node neither receives data, multicasts, nor generates a
+//     transmission outcome (radio is off);
+//  4. "died"/"killed" is terminal — no further events from that node.
+//
+// It returns all violations found (empty for a conformant trace).
+func Verify(recs []Record) []Violation {
+	var out []Violation
+	type nodeState struct {
+		asleep bool
+		dead   bool
+	}
+	states := make(map[packet.NodeID]*nodeState)
+	lastTime := 0.0
+	for i, r := range recs {
+		if i > 0 && r.Time < lastTime {
+			out = append(out, Violation{r, fmt.Sprintf("time went backwards (%.6f after %.6f)", r.Time, lastTime)})
+		}
+		lastTime = r.Time
+		st := states[r.Node]
+		if st == nil {
+			st = &nodeState{}
+			states[r.Node] = st
+		}
+		if st.dead {
+			out = append(out, Violation{r, "event after death"})
+			continue
+		}
+		switch r.Event {
+		case "sleep":
+			if st.asleep {
+				out = append(out, Violation{r, "sleep while already asleep"})
+			}
+			st.asleep = true
+		case "wake":
+			if !st.asleep {
+				out = append(out, Violation{r, "wake without preceding sleep"})
+			}
+			st.asleep = false
+		case "rx-data", "schedule", "tx-outcome":
+			if st.asleep {
+				out = append(out, Violation{r, "radio activity while asleep"})
+			}
+		case "died", "killed":
+			st.dead = true
+		case "gen", "gen-drop":
+			// Sensing is independent of the radio; allowed while asleep.
+		}
+	}
+	return out
+}
+
+// FormatViolations renders violations one per line (empty string if none).
+func FormatViolations(vs []Violation) string {
+	if len(vs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, v := range vs {
+		b.WriteString(v.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyCleanTrace(t *testing.T) {
+	recs := []Record{
+		{Time: 1, Node: 1, Event: "gen"},
+		{Time: 2, Node: 1, Event: "schedule"},
+		{Time: 2.1, Node: 2, Event: "rx-data"},
+		{Time: 2.2, Node: 1, Event: "tx-outcome"},
+		{Time: 3, Node: 1, Event: "sleep"},
+		{Time: 4, Node: 1, Event: "gen"}, // sensing while asleep is fine
+		{Time: 6, Node: 1, Event: "wake"},
+		{Time: 7, Node: 1, Event: "sleep"},
+		{Time: 8, Node: 1, Event: "died"},
+	}
+	if vs := Verify(recs); len(vs) != 0 {
+		t.Fatalf("clean trace produced violations:\n%s", FormatViolations(vs))
+	}
+}
+
+func TestVerifyCatchesDoubleSleep(t *testing.T) {
+	recs := []Record{
+		{Time: 1, Node: 1, Event: "sleep"},
+		{Time: 2, Node: 1, Event: "sleep"},
+	}
+	vs := Verify(recs)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "already asleep") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestVerifyCatchesWakeWithoutSleep(t *testing.T) {
+	vs := Verify([]Record{{Time: 1, Node: 1, Event: "wake"}})
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "without preceding sleep") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestVerifyCatchesActivityWhileAsleep(t *testing.T) {
+	recs := []Record{
+		{Time: 1, Node: 1, Event: "sleep"},
+		{Time: 2, Node: 1, Event: "rx-data"},
+	}
+	vs := Verify(recs)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "while asleep") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestVerifyCatchesEventsAfterDeath(t *testing.T) {
+	recs := []Record{
+		{Time: 1, Node: 1, Event: "killed"},
+		{Time: 2, Node: 1, Event: "rx-data"},
+		{Time: 3, Node: 2, Event: "gen"}, // other nodes unaffected
+	}
+	vs := Verify(recs)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "after death") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestVerifyCatchesTimeReversal(t *testing.T) {
+	recs := []Record{
+		{Time: 5, Node: 1, Event: "gen"},
+		{Time: 4, Node: 2, Event: "gen"},
+	}
+	vs := Verify(recs)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "backwards") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestFormatViolations(t *testing.T) {
+	if FormatViolations(nil) != "" {
+		t.Fatal("empty violations render non-empty")
+	}
+	out := FormatViolations([]Violation{{Record{Time: 1.5, Node: 3, Event: "wake"}, "x"}})
+	if !strings.Contains(out, "node=3") || !strings.Contains(out, "wake") {
+		t.Fatalf("format: %q", out)
+	}
+}
