@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short cover bench figures figures-paper fuzz vet fmt clean
+.PHONY: all build test test-short race cover bench figures figures-paper fuzz vet fmt clean
 
 all: build test
 
@@ -14,6 +14,10 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# The full suite under the race detector (what CI runs).
+race:
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -short -cover ./...

@@ -4,12 +4,22 @@
 //
 //	dftsim [-scheme OPT] [-sensors 100] [-sinks 3] [-duration 25000]
 //	       [-seed 1] [-arrival 120] [-speed 5] [-queue 200] [-v] [-map]
+//	dftsim [-churn-mtbf S -churn-mttr S] [-churn-fraction F] [-churn-start S]
+//	       [-outage-start S -outage-duration S] [-outage-sink N]
+//	       [-burst-bad-loss P] [-burst-good-loss P] [-burst-good-s S] [-burst-bad-s S]
 //	dftsim -config scenario.json [-dumpconfig]
 //
 // The defaults reproduce the paper's §5 setup; -config loads a JSON
 // scenario (see internal/scenario/configio.go for the schema), -map
 // renders the final node positions as ASCII, and -dumpconfig prints the
 // effective configuration without simulating.
+//
+// The fault flags assemble a fault-injection plan: -churn-mtbf with
+// -churn-mttr enables exponential crash/reboot cycles, -outage-duration
+// takes a sink (or all sinks) down for a window, and -burst-bad-loss
+// switches the channel to Gilbert–Elliott two-state burst loss. When any
+// fault ran, the digest gains a resilience section. JSON configs express
+// the same (and more, e.g. several outages) under the "faults" key.
 package main
 
 import (
@@ -17,10 +27,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"dftmsn"
+	"dftmsn/internal/packet"
 )
 
 func main() {
@@ -42,6 +54,19 @@ func run(args []string, out io.Writer) error {
 		speed      = fs.Float64("speed", 5, "maximum sensor speed (m/s)")
 		queue      = fs.Int("queue", 200, "sensor buffer capacity (messages)")
 		verbose    = fs.Bool("v", false, "print extended counters")
+
+		churnMTBF     = fs.Float64("churn-mtbf", 0, "mean sensor up-time between crashes (s); with -churn-mttr enables churn")
+		churnMTTR     = fs.Float64("churn-mttr", 0, "mean sensor down-time until reboot (s)")
+		churnFraction = fs.Float64("churn-fraction", 0, "share of sensors subject to churn (0 = all)")
+		churnStart    = fs.Float64("churn-start", 0, "delay before the first crash draws (s)")
+		outageStart   = fs.Float64("outage-start", 0, "when the sink outage begins (s)")
+		outageDur     = fs.Float64("outage-duration", 0, "sink outage length (s); > 0 enables the outage")
+		outageSink    = fs.Int("outage-sink", -1, "sink index to take down (-1 = all sinks)")
+		burstBadLoss  = fs.Float64("burst-bad-loss", 0, "bad-state reception loss probability; > 0 enables Gilbert-Elliott burst loss")
+		burstGoodLoss = fs.Float64("burst-good-loss", 0, "good-state reception loss probability")
+		burstGoodS    = fs.Float64("burst-good-s", 90, "mean good-state sojourn (s)")
+		burstBadS     = fs.Float64("burst-bad-s", 30, "mean bad-state sojourn (s)")
+
 		configPath = fs.String("config", "", "JSON scenario file (flags above are ignored)")
 		dumpConfig = fs.Bool("dumpconfig", false, "print the effective config as JSON and exit")
 		showMap    = fs.Bool("map", false, "render an ASCII map of final node positions")
@@ -75,6 +100,34 @@ func run(args []string, out io.Writer) error {
 		cfg.ArrivalMeanSeconds = *arrival
 		cfg.MaxSpeed = *speed
 		cfg.QueueCapacity = *queue
+
+		plan := &dftmsn.FaultPlan{}
+		if *churnMTBF > 0 || *churnMTTR > 0 {
+			plan.Churn = &dftmsn.FaultChurn{
+				MTBFSeconds:  *churnMTBF,
+				MTTRSeconds:  *churnMTTR,
+				Fraction:     *churnFraction,
+				StartSeconds: *churnStart,
+			}
+		}
+		if *outageDur > 0 {
+			plan.SinkOutages = []dftmsn.SinkOutage{{
+				Sink:            *outageSink,
+				StartSeconds:    *outageStart,
+				DurationSeconds: *outageDur,
+			}}
+		}
+		if *burstBadLoss > 0 {
+			plan.Burst = &dftmsn.BurstLoss{
+				GoodLossProb:    *burstGoodLoss,
+				BadLossProb:     *burstBadLoss,
+				MeanGoodSeconds: *burstGoodS,
+				MeanBadSeconds:  *burstBadS,
+			}
+		}
+		if plan.Enabled() {
+			cfg.Faults = plan
+		}
 	}
 	if *dumpConfig {
 		return dftmsn.SaveConfig(out, cfg)
@@ -100,15 +153,38 @@ func run(args []string, out io.Writer) error {
 		res.Delivery.AvgDelaySeconds, res.Delivery.MedianDelaySeconds,
 		res.Delivery.P90DelaySeconds, res.Delivery.MaxDelaySeconds)
 	fmt.Fprintf(out, "avg nodal power   %.3f mW (duty cycle %.1f%%)\n", res.AvgSensorPowerMW, res.AvgDutyCycle*100)
+	if cfg.Faults.Enabled() || cfg.FailFraction > 0 {
+		r := res.Resilience
+		fmt.Fprintf(out, "resilience        %d crashes, %d recoveries, %d sink outages\n",
+			r.Crashes, r.Recoveries, r.SinkOutages)
+		fmt.Fprintf(out, "fault losses      %d queued copies destroyed, %d messages orphaned\n",
+			r.CopiesLost, r.Orphaned)
+		switch {
+		case r.RecoverySeconds < 0:
+			fmt.Fprintf(out, "ratio recovery    never (stayed below 80%% of the pre-fault ratio)\n")
+		case r.RecoverySeconds > 0:
+			fmt.Fprintf(out, "ratio recovery    %.0f s after the first fault\n", r.RecoverySeconds)
+		}
+	}
 	if *verbose {
 		fmt.Fprintf(out, "avg hops          %.2f\n", res.Delivery.AvgHops)
 		fmt.Fprintf(out, "queue drops       %d overflow, %d over-threshold\n", res.DropsFull, res.DropsThreshold)
 		fmt.Fprintf(out, "sleep periods     %d\n", res.Sleeps)
 		fmt.Fprintf(out, "collisions        %d corrupted receptions\n", res.Channel.Collisions)
+		fmt.Fprintf(out, "channel losses    %d uniform, %d burst\n",
+			res.Channel.LossesUniform, res.Channel.LossesBurst)
 		fmt.Fprintf(out, "air bits          %d control, %d data\n", res.Channel.ControlBits, res.Channel.DataBits)
 		fmt.Fprintf(out, "ctrl overhead     %.0f bits per delivered message\n", res.ControlBitsPerDelivered)
-		for kind, n := range res.Channel.FramesSent {
-			fmt.Fprintf(out, "frames %-9s %d sent, %d delivered\n", kind, n, res.Channel.FramesDelivered[kind])
+		// Map iteration order is randomised; sort so same-seed runs print
+		// byte-identical digests.
+		kinds := make([]packet.Kind, 0, len(res.Channel.FramesSent))
+		for kind := range res.Channel.FramesSent {
+			kinds = append(kinds, kind)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+		for _, kind := range kinds {
+			fmt.Fprintf(out, "frames %-9s %d sent, %d delivered\n",
+				kind, res.Channel.FramesSent[kind], res.Channel.FramesDelivered[kind])
 		}
 	}
 	if *showMap {

@@ -77,6 +77,64 @@ func TestRunWithConfigFile(t *testing.T) {
 	}
 }
 
+// TestRunWithFaultFlags drives a full fault plan — churn, a sink outage
+// and Gilbert–Elliott burst loss — from the command line, checks the
+// resilience section appears, and checks two same-seed runs print
+// byte-identical digests.
+func TestRunWithFaultFlags(t *testing.T) {
+	args := []string{
+		"-scheme", "OPT", "-sensors", "15", "-sinks", "2",
+		"-duration", "600", "-seed", "5", "-v",
+		"-churn-mtbf", "150", "-churn-mttr", "75", "-churn-start", "50",
+		"-outage-start", "100", "-outage-duration", "200", "-outage-sink", "0",
+		"-burst-bad-loss", "0.8", "-burst-good-s", "60", "-burst-bad-s", "20",
+	}
+	var a, b strings.Builder
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	for _, want := range []string{"resilience", "crashes", "sink outages", "fault losses", "channel losses"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "0 crashes") || strings.Contains(out, "0 sink outages") {
+		t.Errorf("fault plan inert:\n%s", out)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	// The digest includes wall time; compare everything after that line.
+	trim := func(s string) string { return s[strings.Index(s, "generated"):] }
+	if trim(a.String()) != trim(b.String()) {
+		t.Fatalf("same-seed digests differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+}
+
+// TestRunWithFaultConfig drives the same plan from a JSON config.
+func TestRunWithFaultConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cfg.json")
+	doc := `{
+		"scheme": "OPT", "sensors": 15, "sinks": 2, "duration_s": 600, "seed": 5,
+		"faults": {
+			"churn": {"mtbf_s": 150, "mttr_s": 75, "start_s": 50},
+			"sink_outages": [{"sink": 0, "start_s": 100, "duration_s": 200}],
+			"burst_loss": {"bad_loss_prob": 0.8, "mean_good_s": 60, "mean_bad_s": 20}
+		}
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-config", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "resilience") || strings.Contains(sb.String(), "0 crashes") {
+		t.Fatalf("fault config not honoured:\n%s", sb.String())
+	}
+}
+
 func TestRunWithMap(t *testing.T) {
 	var sb strings.Builder
 	err := run([]string{"-sensors", "15", "-sinks", "2", "-duration", "120", "-map"}, &sb)

@@ -19,6 +19,7 @@
 //	extensions OPT vs direct transmission vs epidemic flooding
 //	lifetime   finite-battery survival (§4.1 motivation quantified)
 //	faults     burst node failures vs multi-copy redundancy
+//	churn      sustained crash/reboot cycles vs multi-copy redundancy
 //	loss       independent per-reception corruption
 //	opt-tau    Eq. 10-13 collision curves and minimal tau_max (closed form)
 //	opt-w      Eq. 14 collision curves and minimal window (closed form)
@@ -76,6 +77,8 @@ func specs() []figureSpec {
 			"Lifetime — finite batteries (§4.1 motivation quantified)"},
 		{"faults", sweep.Faults, []sweep.Metric{sweep.MetricRatio, sweep.MetricDelay},
 			"Faults — burst node failures vs multi-copy redundancy"},
+		{"churn", sweep.Churn, []sweep.Metric{sweep.MetricRatio, sweep.MetricCrashes, sweep.MetricOrphaned, sweep.MetricRecovery},
+			"Churn — sustained crash/reboot cycles vs multi-copy redundancy"},
 		{"loss", sweep.Loss, []sweep.Metric{sweep.MetricRatio, sweep.MetricPowerMW},
 			"Loss — independent per-reception corruption"},
 	}
@@ -84,7 +87,7 @@ func specs() []figureSpec {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	var (
-		fig      = fs.String("fig", "all", "figure to regenerate (fig2a/b/c, fig2, density, speed, ablation, extensions, lifetime, faults, loss, opt-tau, opt-w, all)")
+		fig      = fs.String("fig", "all", "figure to regenerate (fig2a/b/c, fig2, density, speed, ablation, extensions, lifetime, faults, churn, loss, opt-tau, opt-w, all)")
 		scale    = fs.String("scale", "quick", "quick or paper")
 		runs     = fs.Int("runs", 0, "override seeds per point (0 = scale default)")
 		duration = fs.Float64("duration", 0, "override simulated seconds per run (0 = scale default)")

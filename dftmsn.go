@@ -38,6 +38,7 @@ import (
 	"io"
 
 	"dftmsn/internal/core"
+	"dftmsn/internal/faults"
 	"dftmsn/internal/optimize"
 	"dftmsn/internal/scenario"
 	"dftmsn/internal/sweep"
@@ -100,6 +101,24 @@ func LoadConfig(r io.Reader) (Config, error) { return scenario.LoadConfig(r) }
 
 // SaveConfig writes cfg's serialisable subset as indented JSON.
 func SaveConfig(w io.Writer, cfg Config) error { return scenario.SaveConfig(w, cfg) }
+
+// Fault-injection re-exports: a FaultPlan on Config.Faults schedules node
+// churn, sink outages, Gilbert–Elliott burst loss, and one-shot kills on
+// the run; the Result's Resilience digest reports what the faults cost.
+type (
+	// FaultPlan is a declarative fault schedule for one run.
+	FaultPlan = faults.Plan
+	// FaultChurn parameterises exponential crash/reboot cycles.
+	FaultChurn = faults.Churn
+	// SinkOutage is one sink-down window.
+	SinkOutage = faults.Outage
+	// BurstLoss parameterises Gilbert–Elliott two-state channel loss.
+	BurstLoss = faults.Burst
+	// FaultKill is a one-shot burst failure of a sensor fraction.
+	FaultKill = faults.Kill
+	// Resilience digests the fault process of one run.
+	Resilience = scenario.Resilience
+)
 
 // Run assembles and executes one simulation.
 func Run(cfg Config) (Result, error) {
@@ -168,6 +187,11 @@ func FaultsExperiment(o SweepOptions) (Experiment, error) { return sweep.Faults(
 // LossExperiment sweeps an independent per-reception corruption
 // probability, stressing the two-phase handshake.
 func LossExperiment(o SweepOptions) (Experiment, error) { return sweep.Loss(o) }
+
+// ChurnExperiment sweeps the fraction of sensors subjected to sustained
+// crash/reboot cycles, comparing multi-copy FAD against single-copy
+// forwarding under a steady failure process.
+func ChurnExperiment(o SweepOptions) (Experiment, error) { return sweep.Churn(o) }
 
 // Standalone §4 optimizers, usable outside the simulator.
 

@@ -173,6 +173,21 @@ func (q *Queue) UpdateFTD(id packet.MessageID, ftdValue float64) bool {
 	return true
 }
 
+// Wipe empties the queue and returns the IDs of the discarded entries —
+// what a node crash destroys. Wiped entries are not counted as drops: they
+// did not leave by a §3.1.2 queue rule.
+func (q *Queue) Wipe() []packet.MessageID {
+	if len(q.entries) == 0 {
+		return nil
+	}
+	ids := make([]packet.MessageID, len(q.entries))
+	for i := range q.entries {
+		ids[i] = q.entries[i].ID
+	}
+	q.entries = q.entries[:0]
+	return ids
+}
+
 // AvailableFor returns B(F) of §3.2.2: the number of buffer slots that are
 // either empty or occupied by messages with FTD strictly greater than f —
 // the space the queue can offer an incoming message with FTD f.

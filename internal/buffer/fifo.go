@@ -83,5 +83,19 @@ func (f *FIFO) Remove(id packet.MessageID) bool {
 	return false
 }
 
+// Wipe empties the FIFO and returns the IDs of the discarded entries —
+// what a node crash destroys. Wiped entries are not counted as drops.
+func (f *FIFO) Wipe() []packet.MessageID {
+	if len(f.entries) == 0 {
+		return nil
+	}
+	ids := make([]packet.MessageID, len(f.entries))
+	for i := range f.entries {
+		ids[i] = f.entries[i].ID
+	}
+	f.entries = f.entries[:0]
+	return ids
+}
+
 // Available returns the number of free slots.
 func (f *FIFO) Available() int { return f.capacity - len(f.entries) }

@@ -381,6 +381,172 @@ func TestKillMidCycleAbortsEngine(t *testing.T) {
 	net.sensor.Generate(501, 1000)
 }
 
+func TestCrashAndRecoverResumesDelivery(t *testing.T) {
+	net := newMiniNet(t, DefaultParams(SchemeNOSLEEP))
+	if err := net.sink.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.sensor.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash with an undelivered message in the queue: the copy dies too.
+	net.sched.After(0.5, func() {
+		net.sensor.Generate(700, 1000)
+		lost := net.sensor.Crash(true)
+		if len(lost) != 1 || lost[0] != 700 {
+			t.Errorf("crash wiped %v, want [700]", lost)
+		}
+		if net.sensor.Alive() {
+			t.Error("crashed node alive")
+		}
+		if net.sensor.Engine().InCycle() {
+			t.Error("engine still mid-cycle after crash")
+		}
+	})
+	net.sched.After(5, func() {
+		if err := net.sensor.Recover(true); err != nil {
+			t.Errorf("Recover: %v", err)
+		}
+	})
+	// A fresh message after the reboot must reach the sink.
+	net.sched.After(10, func() {
+		if !net.sensor.Generate(701, 1000) {
+			t.Error("post-recovery Generate failed")
+		}
+	})
+	if err := net.sched.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	if !net.sensor.Alive() {
+		t.Fatal("recovered node not alive")
+	}
+	st := net.sensor.Stats()
+	if st.Crashes != 1 || st.Recoveries != 1 {
+		t.Fatalf("stats %+v, want one crash and one recovery", st)
+	}
+	if len(net.delivered) != 1 || net.delivered[0] != 701 {
+		t.Fatalf("delivered %v, want [701]: the wiped copy must die, the new one arrive", net.delivered)
+	}
+}
+
+func TestCrashPreservingBufferDeliversAfterReboot(t *testing.T) {
+	net := newMiniNet(t, DefaultParams(SchemeNOSLEEP))
+	if err := net.sink.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.sensor.Start(); err != nil {
+		t.Fatal(err)
+	}
+	net.sched.After(0.5, func() {
+		net.sensor.Generate(800, 1000)
+		if lost := net.sensor.Crash(false); lost != nil {
+			t.Errorf("preserving crash reported losses: %v", lost)
+		}
+		if got := net.sensor.Strategy().QueueLen(); got != 1 {
+			t.Errorf("queue len %d after preserving crash, want 1", got)
+		}
+	})
+	net.sched.After(5, func() {
+		if err := net.sensor.Recover(false); err != nil {
+			t.Errorf("Recover: %v", err)
+		}
+	})
+	if err := net.sched.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	if len(net.delivered) != 1 || net.delivered[0] != 800 {
+		t.Fatalf("delivered %v, want the preserved copy [800]", net.delivered)
+	}
+}
+
+func TestRecoverGuards(t *testing.T) {
+	net := newMiniNet(t, DefaultParams(SchemeOPT))
+	if err := net.sensor.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.sensor.Recover(false); err == nil {
+		t.Fatal("Recover of a live node accepted")
+	}
+	// Killed (not crashed) nodes are down for good.
+	net.sensor.Kill()
+	if err := net.sensor.Recover(false); err == nil {
+		t.Fatal("Recover of a killed node accepted")
+	}
+	// Crash on an already-dead node is a no-op.
+	if lost := net.sensor.Crash(true); lost != nil {
+		t.Fatalf("Crash of a dead node wiped %v", lost)
+	}
+	if net.sensor.Stats().Crashes != 0 {
+		t.Fatal("Crash of a dead node counted")
+	}
+}
+
+func TestBatteryDeadNodeCannotReboot(t *testing.T) {
+	params := DefaultParams(SchemeNOSLEEP)
+	params.BatteryJoules = 0.1
+	net := newMiniNet(t, params)
+	if err := net.sensor.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before exhaustion, then try to reboot after the budget is spent
+	// anyway (the crash froze the meter; drain it first).
+	if err := net.sched.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	net.sensor.Crash(true)
+	if err := net.sched.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.sensor.Recover(false); err != nil {
+		// Either outcome is legitimate depending on how much was burnt
+		// before the crash; what matters is that a recover after true
+		// exhaustion fails. Force the exhausted case below.
+		t.Logf("recover refused: %v", err)
+	}
+	// Battery death through normal operation is final.
+	net2 := newMiniNet(t, params)
+	if err := net2.sensor.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := net2.sched.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	if net2.sensor.Alive() {
+		t.Fatal("node survived its battery")
+	}
+	if err := net2.sensor.Recover(false); err == nil {
+		t.Fatal("battery-dead node rebooted")
+	}
+}
+
+func TestCrashBeforeStartBootsOnRecover(t *testing.T) {
+	net := newMiniNet(t, DefaultParams(SchemeNOSLEEP))
+	if err := net.sink.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before the node's (jittered) Start fires.
+	net.sensor.Crash(true)
+	if err := net.sensor.Start(); err != nil {
+		t.Fatalf("Start of a crashed node: %v", err)
+	}
+	if err := net.sched.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if net.sensor.Engine().Stats().Cycles != 0 {
+		t.Fatal("crashed node cycled before recovery")
+	}
+	if err := net.sensor.Recover(false); err != nil {
+		t.Fatal(err)
+	}
+	net.sched.After(1, func() { net.sensor.Generate(900, 1000) })
+	if err := net.sched.Run(60); err != nil {
+		t.Fatal(err)
+	}
+	if len(net.delivered) != 1 || net.delivered[0] != 900 {
+		t.Fatalf("delivered %v, want [900] after late boot", net.delivered)
+	}
+}
+
 func TestUnlimitedBatteryNeverDies(t *testing.T) {
 	net := newMiniNet(t, DefaultParams(SchemeNOSLEEP))
 	if err := net.sensor.Start(); err != nil {

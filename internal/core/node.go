@@ -13,6 +13,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"dftmsn/internal/energy"
 	"dftmsn/internal/geo"
@@ -116,9 +117,12 @@ type NodeStats struct {
 	SleepSeconds float64
 	TauMaxUsed   int // last τ_max in effect
 	WindowUsed   int // last W in effect
-	// DiedAt is the virtual time the battery ran out; negative while the
-	// node is alive.
+	// DiedAt is the virtual time the node went down (battery, kill, or
+	// crash); negative while the node is alive.
 	DiedAt float64
+	// Crashes and Recoveries count fault-injection churn cycles.
+	Crashes    uint64
+	Recoveries uint64
 }
 
 // Node is one DFT-MSN node (sensor or sink) running the cross-layer
@@ -144,6 +148,7 @@ type Node struct {
 	stats   NodeStats
 	started bool
 	stopped bool
+	crashed bool // down by Crash (recoverable), not battery or Kill
 }
 
 var _ mac.Policy = (*Node)(nil)
@@ -233,6 +238,11 @@ func (n *Node) Start() error {
 		return errors.New("core: node already started")
 	}
 	n.started = true
+	if !n.Alive() {
+		// Crashed or killed before its scheduled start: a crashed node
+		// boots when Recover runs; a killed one never does.
+		return nil
+	}
 	n.decay.Start()
 	n.startCycle()
 	return nil
@@ -293,6 +303,66 @@ func (n *Node) Kill() {
 	n.engine.Abort()
 	n.radio.Kill()
 	n.tracer.Emit(now, n.id, "killed", "")
+}
+
+// Crash takes the node down like Kill, but recoverably: a later Recover
+// reboots it. wipeQueue destroys the queued message copies (the crash took
+// RAM with it) and returns their IDs; with wipeQueue false the buffer
+// survives the reboot (copies kept in flash).
+func (n *Node) Crash(wipeQueue bool) []packet.MessageID {
+	if !n.Alive() {
+		return nil
+	}
+	now := n.sched.Now()
+	n.stats.DiedAt = now
+	n.stats.Crashes++
+	n.crashed = true
+	n.stopped = true
+	n.decay.Stop()
+	n.engine.Abort()
+	n.radio.Kill()
+	var lost []packet.MessageID
+	if wipeQueue {
+		lost = n.strategy.WipeQueue()
+	}
+	n.tracer.Emit(now, n.id, "crash", fmt.Sprintf("lost=%d", len(lost)))
+	return lost
+}
+
+// Recover reboots a crashed node: the radio powers back up and the
+// working-cycle loop resumes. resetRouting clears learned soft state (ξ,
+// history) as a cold boot would. It fails for nodes that are alive, died
+// for good (battery, Kill), or whose battery cannot sustain a reboot.
+func (n *Node) Recover(resetRouting bool) error {
+	if n.Alive() {
+		return errors.New("core: recover of a live node")
+	}
+	if !n.crashed {
+		return errors.New("core: node is down for good (battery or kill)")
+	}
+	now := n.sched.Now()
+	if n.params.BatteryJoules > 0 && n.radio.Meter().TotalJoules(now) >= n.params.BatteryJoules {
+		return errors.New("core: battery exhausted; node cannot reboot")
+	}
+	if err := n.radio.Revive(); err != nil {
+		return err
+	}
+	n.crashed = false
+	n.stats.DiedAt = -1
+	n.stats.Recoveries++
+	n.stopped = false
+	if resetRouting {
+		n.strategy.ResetRouting()
+	}
+	n.tracer.Emit(now, n.id, "recover", "")
+	if !n.started {
+		// The node's scheduled Start has not fired yet; it boots normally.
+		return nil
+	}
+	n.decay.Start()
+	// The revived radio is Off; waking it re-enters the cycle loop via
+	// OnAwake → startCycle.
+	return n.radio.Wake()
 }
 
 // checkBattery retires the node once its energy budget is spent.
@@ -390,6 +460,11 @@ func (n *Node) currentTauMax() int {
 		}
 		xis = append(xis, nb.xi)
 	}
+	// The collision probability multiplies and sums in slice order, so the
+	// last-ulp rounding — and occasionally the τ_max threshold crossing —
+	// would otherwise depend on the map iteration order above, which Go
+	// randomises per run. Canonical order keeps same-seed runs identical.
+	sort.Float64s(xis)
 	tau, _ := optimize.MinTauMax(xis, n.params.CollisionTarget, n.params.TauMaxCap)
 	n.tauCached = tau
 	n.tauForVer = n.nbVersion

@@ -1,0 +1,348 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dftmsn/internal/packet"
+	"dftmsn/internal/sim"
+	"dftmsn/internal/simrand"
+)
+
+// fakeNode records injector calls so tests can assert event sequences.
+type fakeNode struct {
+	alive    bool
+	queued   []packet.MessageID
+	events   *[]string
+	idx      int
+	kind     string
+	failBoot bool
+}
+
+func (f *fakeNode) Alive() bool { return f.alive }
+
+func (f *fakeNode) Crash(wipe bool) []packet.MessageID {
+	f.alive = false
+	*f.events = append(*f.events, fmt.Sprintf("%s%d crash wipe=%v", f.kind, f.idx, wipe))
+	if !wipe {
+		return nil
+	}
+	lost := f.queued
+	f.queued = nil
+	return lost
+}
+
+func (f *fakeNode) Recover(reset bool) error {
+	if f.failBoot {
+		return fmt.Errorf("fake %s%d cannot reboot", f.kind, f.idx)
+	}
+	f.alive = true
+	*f.events = append(*f.events, fmt.Sprintf("%s%d recover reset=%v", f.kind, f.idx, reset))
+	return nil
+}
+
+func newFleet(events *[]string, sensors, sinks int) (sens, snk []Node) {
+	for i := 0; i < sensors; i++ {
+		sens = append(sens, &fakeNode{alive: true, events: events, idx: i, kind: "s",
+			queued: []packet.MessageID{packet.MessageID(i*10 + 1), packet.MessageID(i*10 + 2)}})
+	}
+	for i := 0; i < sinks; i++ {
+		snk = append(snk, &fakeNode{alive: true, events: events, idx: i, kind: "k"})
+	}
+	return sens, snk
+}
+
+func TestPlanValidate(t *testing.T) {
+	valid := Plan{
+		Churn:       &Churn{MTBFSeconds: 100, MTTRSeconds: 50, Fraction: 0.5},
+		SinkOutages: []Outage{{Sink: -1, StartSeconds: 10, DurationSeconds: 20}},
+		Burst:       &Burst{BadLossProb: 0.8, MeanGoodSeconds: 30, MeanBadSeconds: 5},
+		Kills:       []Kill{{AtSeconds: 500, Fraction: 0.4}},
+	}
+	if err := valid.Validate(1000, 3); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(1000, 3); err != nil {
+		t.Fatalf("nil plan rejected: %v", err)
+	}
+
+	bad := []struct {
+		name string
+		mut  func(p *Plan)
+	}{
+		{"zero MTBF", func(p *Plan) { p.Churn.MTBFSeconds = 0 }},
+		{"negative MTTR", func(p *Plan) { p.Churn.MTTRSeconds = -1 }},
+		{"churn fraction above one", func(p *Plan) { p.Churn.Fraction = 1.5 }},
+		{"churn start past horizon", func(p *Plan) { p.Churn.StartSeconds = 1000 }},
+		{"outage sink out of range", func(p *Plan) { p.SinkOutages[0].Sink = 3 }},
+		{"outage sink below -1", func(p *Plan) { p.SinkOutages[0].Sink = -2 }},
+		{"outage start past horizon", func(p *Plan) { p.SinkOutages[0].StartSeconds = 1001 }},
+		{"outage zero duration", func(p *Plan) { p.SinkOutages[0].DurationSeconds = 0 }},
+		{"burst prob above one", func(p *Plan) { p.Burst.BadLossProb = 1.1 }},
+		{"burst negative good prob", func(p *Plan) { p.Burst.GoodLossProb = -0.1 }},
+		{"burst zero good sojourn", func(p *Plan) { p.Burst.MeanGoodSeconds = 0 }},
+		{"burst zero bad sojourn", func(p *Plan) { p.Burst.MeanBadSeconds = 0 }},
+		{"kill at zero", func(p *Plan) { p.Kills[0].AtSeconds = 0 }},
+		{"kill past horizon", func(p *Plan) { p.Kills[0].AtSeconds = 1200 }},
+		{"kill fraction zero", func(p *Plan) { p.Kills[0].Fraction = 0 }},
+		{"kill fraction above one", func(p *Plan) { p.Kills[0].Fraction = 2 }},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			p := valid
+			churn := *valid.Churn
+			burst := *valid.Burst
+			p.Churn, p.Burst = &churn, &burst
+			p.SinkOutages = append([]Outage(nil), valid.SinkOutages...)
+			p.Kills = append([]Kill(nil), valid.Kills...)
+			tc.mut(&p)
+			if err := p.Validate(1000, 3); err == nil {
+				t.Errorf("plan with %s accepted", tc.name)
+			}
+		})
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := Plan{
+		Churn:       &Churn{MTBFSeconds: 200, MTTRSeconds: 40, Fraction: 0.25, StartSeconds: 100, PreserveBuffer: true, PreserveXi: true},
+		SinkOutages: []Outage{{Sink: 1, StartSeconds: 300, DurationSeconds: 60}},
+		Burst:       &Burst{GoodLossProb: 0.01, BadLossProb: 0.9, MeanGoodSeconds: 20, MeanBadSeconds: 2},
+		Kills:       []Kill{{AtSeconds: 750, Fraction: 0.3}},
+	}
+	b, err := json.Marshal(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatalf("round trip changed plan:\n got %+v\nwant %+v", back, p)
+	}
+	// An empty plan serialises to an empty object — no noise in configs.
+	empty, err := json.Marshal(&Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(empty) != "{}" {
+		t.Fatalf("empty plan marshalled to %s, want {}", empty)
+	}
+}
+
+func TestEnabledAndFirstFault(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Enabled() || nilPlan.NeedsInjector() {
+		t.Error("nil plan reported enabled")
+	}
+	if (&Plan{}).Enabled() {
+		t.Error("empty plan reported enabled")
+	}
+	burstOnly := &Plan{Burst: &Burst{BadLossProb: 1, MeanGoodSeconds: 1, MeanBadSeconds: 1}}
+	if !burstOnly.Enabled() || burstOnly.NeedsInjector() {
+		t.Error("burst-only plan: want enabled without injector")
+	}
+	if _, ok := burstOnly.FirstFaultSeconds(); ok {
+		t.Error("burst-only plan reported a discrete fault time")
+	}
+	p := &Plan{
+		Churn:       &Churn{MTBFSeconds: 1, MTTRSeconds: 1, StartSeconds: 400},
+		SinkOutages: []Outage{{Sink: 0, StartSeconds: 250, DurationSeconds: 10}},
+		Kills:       []Kill{{AtSeconds: 300, Fraction: 0.1}},
+	}
+	if got, ok := p.FirstFaultSeconds(); !ok || got != 250 {
+		t.Errorf("FirstFaultSeconds = %v,%v; want 250,true", got, ok)
+	}
+}
+
+func TestInjectorChurnDeterministic(t *testing.T) {
+	run := func() ([]string, Stats) {
+		var events []string
+		sched := sim.NewScheduler()
+		sensors, sinks := newFleet(&events, 10, 1)
+		plan := Plan{Churn: &Churn{MTBFSeconds: 100, MTTRSeconds: 30, Fraction: 0.5}}
+		inj, err := NewInjector(plan, 1000, sched, simrand.New(42).Split("failures"), sensors, sinks, Hooks{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inj.Arm(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Run(1000); err != nil {
+			t.Fatal(err)
+		}
+		return events, inj.Stats()
+	}
+	ev1, st1 := run()
+	ev2, st2 := run()
+	if !reflect.DeepEqual(ev1, ev2) || st1 != st2 {
+		t.Fatalf("same-seed churn runs diverged:\n%v\n%v", ev1, ev2)
+	}
+	if st1.Crashes == 0 {
+		t.Fatal("churn produced no crashes over 10x MTBF")
+	}
+	if st1.Recoveries == 0 {
+		t.Fatal("churn produced no recoveries over 33x MTTR")
+	}
+	// Recoveries can only trail crashes by the nodes currently down.
+	if st1.Recoveries > st1.Crashes {
+		t.Fatalf("more recoveries (%d) than crashes (%d)", st1.Recoveries, st1.Crashes)
+	}
+	// Fraction 0.5 of 10 sensors: exactly 5 distinct nodes may churn.
+	seen := map[string]bool{}
+	for _, e := range ev1 {
+		seen[e[:2]] = true
+	}
+	if len(seen) > 5 {
+		t.Fatalf("churn touched %d nodes, want at most 5: %v", len(seen), ev1)
+	}
+}
+
+func TestInjectorChurnPreserveFlags(t *testing.T) {
+	var events []string
+	sched := sim.NewScheduler()
+	sensors, sinks := newFleet(&events, 4, 1)
+	plan := Plan{Churn: &Churn{MTBFSeconds: 50, MTTRSeconds: 10, PreserveBuffer: true, PreserveXi: true}}
+	inj, err := NewInjector(plan, 500, sched, simrand.New(7), sensors, sinks, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Stats().CopiesLost != 0 {
+		t.Fatalf("preserve_buffer churn lost %d copies", inj.Stats().CopiesLost)
+	}
+	for _, e := range events {
+		switch {
+		case len(e) > 2 && e[3:] == "crash wipe=true":
+			t.Fatalf("preserve_buffer crash wiped the queue: %q", e)
+		case len(e) > 2 && e[3:] == "recover reset=true":
+			t.Fatalf("preserve_xi recovery reset routing: %q", e)
+		}
+	}
+}
+
+func TestInjectorKillMatchesFraction(t *testing.T) {
+	var events []string
+	crashed := map[int]bool{}
+	sched := sim.NewScheduler()
+	sensors, sinks := newFleet(&events, 20, 1)
+	plan := Plan{Kills: []Kill{{AtSeconds: 100, Fraction: 0.3}}}
+	inj, err := NewInjector(plan, 1000, sched, simrand.New(1), sensors, sinks,
+		Hooks{NodeCrashed: func(now float64, idx int, lost []packet.MessageID) {
+			if now != 100 {
+				t.Errorf("kill fired at %v, want 100", now)
+			}
+			crashed[idx] = true
+			if len(lost) != 2 {
+				t.Errorf("sensor %d lost %d copies, want 2", idx, len(lost))
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(crashed) != 6 {
+		t.Fatalf("kill hit %d sensors, want 6 (30%% of 20)", len(crashed))
+	}
+	st := inj.Stats()
+	if st.Crashes != 6 || st.Recoveries != 0 || st.CopiesLost != 12 {
+		t.Fatalf("stats %+v; want 6 crashes, 0 recoveries, 12 copies lost", st)
+	}
+	for idx := range crashed {
+		if sensors[idx].Alive() {
+			t.Fatalf("killed sensor %d still alive", idx)
+		}
+	}
+}
+
+func TestInjectorSinkOutageOverlap(t *testing.T) {
+	var events []string
+	sched := sim.NewScheduler()
+	sensors, sinks := newFleet(&events, 2, 2)
+	downAt, upAt := map[int][]float64{}, map[int][]float64{}
+	// Two overlapping windows on sink 0 plus an all-sinks window: sink 0
+	// must go down once and come back only after the last window ends.
+	plan := Plan{SinkOutages: []Outage{
+		{Sink: 0, StartSeconds: 100, DurationSeconds: 100},
+		{Sink: -1, StartSeconds: 150, DurationSeconds: 100},
+	}}
+	inj, err := NewInjector(plan, 1000, sched, simrand.New(3), sensors, sinks, Hooks{
+		SinkDown: func(now float64, i int) { downAt[i] = append(downAt[i], now) },
+		SinkUp:   func(now float64, i int) { upAt[i] = append(upAt[i], now) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(downAt[0], []float64{100}) || !reflect.DeepEqual(upAt[0], []float64{250}) {
+		t.Fatalf("sink 0 down %v up %v; want down [100] up [250]", downAt[0], upAt[0])
+	}
+	if !reflect.DeepEqual(downAt[1], []float64{150}) || !reflect.DeepEqual(upAt[1], []float64{250}) {
+		t.Fatalf("sink 1 down %v up %v; want down [150] up [250]", downAt[1], upAt[1])
+	}
+	if inj.Stats().SinkOutages != 2 {
+		t.Fatalf("counted %d outages, want 2 (overlap merged)", inj.Stats().SinkOutages)
+	}
+	for i, s := range sinks {
+		if !s.Alive() {
+			t.Fatalf("sink %d not recovered after outages", i)
+		}
+	}
+}
+
+func TestInjectorSkipsUnrebootableNode(t *testing.T) {
+	var events []string
+	sched := sim.NewScheduler()
+	sensors, sinks := newFleet(&events, 1, 1)
+	sensors[0].(*fakeNode).failBoot = true
+	plan := Plan{Churn: &Churn{MTBFSeconds: 10, MTTRSeconds: 5}}
+	inj, err := NewInjector(plan, 1000, sched, simrand.New(9), sensors, sinks, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	st := inj.Stats()
+	if st.Crashes != 1 || st.Recoveries != 0 {
+		t.Fatalf("unrebootable node: stats %+v, want exactly one crash and no recoveries", st)
+	}
+}
+
+func TestInjectorDoubleArm(t *testing.T) {
+	var events []string
+	sched := sim.NewScheduler()
+	sensors, sinks := newFleet(&events, 1, 1)
+	inj, err := NewInjector(Plan{}, 100, sched, simrand.New(1), sensors, sinks, Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Arm(); err == nil {
+		t.Fatal("second Arm succeeded")
+	}
+}

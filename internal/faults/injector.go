@@ -1,0 +1,251 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dftmsn/internal/packet"
+	"dftmsn/internal/sim"
+	"dftmsn/internal/simrand"
+)
+
+// Node is the view of a simulation node the injector controls. core.Node
+// implements it; tests use lightweight fakes.
+type Node interface {
+	// Alive reports whether the node is currently up.
+	Alive() bool
+	// Crash takes the node down, optionally destroying its queued message
+	// copies; the destroyed IDs are returned (nil when preserved).
+	Crash(wipeQueue bool) []packet.MessageID
+	// Recover brings a crashed node back up, optionally resetting its
+	// learned routing state. It fails when the node cannot restart (e.g.
+	// an exhausted battery).
+	Recover(resetRouting bool) error
+}
+
+// Hooks receive injector events; nil fields are skipped. The scenario
+// runner uses them to feed the resilience metrics.
+type Hooks struct {
+	// NodeCrashed fires after a sensor crash (churn or kill); lost holds
+	// the message copies destroyed with the buffer.
+	NodeCrashed func(now float64, sensor int, lost []packet.MessageID)
+	// NodeRecovered fires after a churned sensor comes back up.
+	NodeRecovered func(now float64, sensor int)
+	// SinkDown and SinkUp bracket a sink outage.
+	SinkDown func(now float64, sink int)
+	SinkUp   func(now float64, sink int)
+}
+
+// Stats counts what the injector actually did.
+type Stats struct {
+	// Crashes counts sensor crashes (churn cycles plus kills).
+	Crashes uint64
+	// Recoveries counts churn reboots.
+	Recoveries uint64
+	// SinkOutages counts outage windows that began.
+	SinkOutages uint64
+	// CopiesLost sums message copies destroyed with crashed buffers.
+	CopiesLost uint64
+}
+
+// Injector executes a validated Plan on the simulation scheduler. All
+// randomness comes from the provided source, so runs are reproducible.
+type Injector struct {
+	plan    Plan
+	sched   *sim.Scheduler
+	rng     *simrand.Source
+	sensors []Node
+	sinks   []Node
+	hooks   Hooks
+	stats   Stats
+
+	// churned marks sensors currently down *by churn* (distinguishing them
+	// from battery deaths and kills, which the injector must not revive).
+	churned []bool
+	// sinkDown counts overlapping outage windows per sink; a sink recovers
+	// when its count returns to zero.
+	sinkDown []int
+	armed    bool
+}
+
+// NewInjector builds an injector for the plan. duration is the run horizon
+// the plan was validated against; sensors and sinks are the controllable
+// nodes in ID order.
+func NewInjector(plan Plan, duration float64, sched *sim.Scheduler, rng *simrand.Source, sensors, sinks []Node, hooks Hooks) (*Injector, error) {
+	if sched == nil || rng == nil {
+		return nil, errors.New("faults: nil scheduler or random source")
+	}
+	if err := plan.Validate(duration, len(sinks)); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		plan:     plan,
+		sched:    sched,
+		rng:      rng,
+		sensors:  sensors,
+		sinks:    sinks,
+		hooks:    hooks,
+		churned:  make([]bool, len(sensors)),
+		sinkDown: make([]int, len(sinks)),
+	}, nil
+}
+
+// Stats returns a snapshot of the injector counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Arm schedules every planned fault. It may be called once, before the
+// simulation runs.
+func (in *Injector) Arm() error {
+	if in.armed {
+		return errors.New("faults: injector already armed")
+	}
+	in.armed = true
+	// Order matters for determinism: churn consumes per-node streams from
+	// in.rng at arm time; kills draw from in.rng at fire time. A plan that
+	// only contains kills therefore reproduces the legacy one-shot draw
+	// sequence exactly.
+	if c := in.plan.Churn; c != nil {
+		in.armChurn(c)
+	}
+	for _, o := range in.plan.SinkOutages {
+		in.armOutage(o)
+	}
+	for _, k := range in.plan.Kills {
+		k := k
+		if _, err := in.sched.At(k.AtSeconds, func() { in.fireKill(k) }); err != nil {
+			return fmt.Errorf("faults: scheduling kill: %w", err)
+		}
+	}
+	return nil
+}
+
+// armChurn starts one crash/recover chain per churned sensor.
+func (in *Injector) armChurn(c *Churn) {
+	n := len(in.sensors)
+	count := int(math.Ceil(c.ChurnFraction() * float64(n)))
+	if count > n {
+		count = n
+	}
+	perm := in.rng.Split("churn/select").Perm(n)
+	for _, idx := range perm[:count] {
+		idx := idx
+		rng := in.rng.Split(fmt.Sprintf("churn/%d", idx))
+		in.sched.After(c.StartSeconds+rng.Exp(c.MTBFSeconds), func() {
+			in.churnCrash(c, idx, rng)
+		})
+	}
+}
+
+// churnCrash takes sensor idx down and schedules its reboot.
+func (in *Injector) churnCrash(c *Churn, idx int, rng *simrand.Source) {
+	node := in.sensors[idx]
+	if !node.Alive() {
+		// Dead for another reason (battery, kill): this chain ends.
+		return
+	}
+	lost := node.Crash(!c.PreserveBuffer)
+	in.churned[idx] = true
+	in.stats.Crashes++
+	in.stats.CopiesLost += uint64(len(lost))
+	if in.hooks.NodeCrashed != nil {
+		in.hooks.NodeCrashed(in.sched.Now(), idx, lost)
+	}
+	in.sched.After(rng.Exp(c.MTTRSeconds), func() {
+		in.churnRecover(c, idx, rng)
+	})
+}
+
+// churnRecover reboots sensor idx and schedules its next crash.
+func (in *Injector) churnRecover(c *Churn, idx int, rng *simrand.Source) {
+	if !in.churned[idx] {
+		return
+	}
+	in.churned[idx] = false
+	if err := in.sensors[idx].Recover(!c.PreserveXi); err != nil {
+		// Unrecoverable (e.g. battery exhausted mid-crash): chain ends.
+		return
+	}
+	in.stats.Recoveries++
+	if in.hooks.NodeRecovered != nil {
+		in.hooks.NodeRecovered(in.sched.Now(), idx)
+	}
+	in.sched.After(rng.Exp(c.MTBFSeconds), func() {
+		in.churnCrash(c, idx, rng)
+	})
+}
+
+// armOutage schedules one sink-down window.
+func (in *Injector) armOutage(o Outage) {
+	targets := make([]int, 0, len(in.sinks))
+	if o.Sink == -1 {
+		for i := range in.sinks {
+			targets = append(targets, i)
+		}
+	} else {
+		targets = append(targets, o.Sink)
+	}
+	// Validate guaranteed StartSeconds < duration; the recovery may land
+	// past the horizon, in which case the sink simply never comes back.
+	in.sched.After(o.StartSeconds, func() {
+		for _, i := range targets {
+			in.takeSinkDown(i)
+		}
+	})
+	in.sched.After(o.StartSeconds+o.DurationSeconds, func() {
+		for _, i := range targets {
+			in.bringSinkUp(i)
+		}
+	})
+}
+
+func (in *Injector) takeSinkDown(i int) {
+	in.sinkDown[i]++
+	if in.sinkDown[i] > 1 {
+		return // already down under an overlapping window
+	}
+	in.stats.SinkOutages++
+	in.sinks[i].Crash(false) // sinks have no sensor queue; nothing to wipe
+	if in.hooks.SinkDown != nil {
+		in.hooks.SinkDown(in.sched.Now(), i)
+	}
+}
+
+func (in *Injector) bringSinkUp(i int) {
+	in.sinkDown[i]--
+	if in.sinkDown[i] > 0 {
+		return // another window still holds it down
+	}
+	if err := in.sinks[i].Recover(false); err != nil {
+		return
+	}
+	if in.hooks.SinkUp != nil {
+		in.hooks.SinkUp(in.sched.Now(), i)
+	}
+}
+
+// fireKill permanently fails a sensor fraction. The victim permutation is
+// drawn at fire time from the injector stream, matching the legacy
+// scenario FailFraction draw order.
+func (in *Injector) fireKill(k Kill) {
+	perm := in.rng.Perm(len(in.sensors))
+	kill := int(k.Fraction * float64(len(in.sensors)))
+	killed := 0
+	for _, idx := range perm {
+		if killed >= kill {
+			break
+		}
+		node := in.sensors[idx]
+		if !node.Alive() {
+			continue // already down; the burst hits live nodes
+		}
+		lost := node.Crash(true)
+		in.churned[idx] = false // a kill overrides any pending churn reboot
+		in.stats.Crashes++
+		in.stats.CopiesLost += uint64(len(lost))
+		if in.hooks.NodeCrashed != nil {
+			in.hooks.NodeCrashed(in.sched.Now(), idx, lost)
+		}
+		killed++
+	}
+}

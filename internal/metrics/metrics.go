@@ -20,6 +20,7 @@ type messageRecord struct {
 	delivered   bool
 	duplicates  int
 	hops        int
+	crashLost   int // copies destroyed by node crashes
 }
 
 // Collector accumulates per-message delivery outcomes. It is not safe for
@@ -69,6 +70,16 @@ func (c *Collector) IsDelivered(id packet.MessageID) bool {
 	return ok && rec.delivered
 }
 
+// CopyLostToCrash records that a queued copy of message id was destroyed by
+// a node crash (fault injection). Unknown ids are ignored — a copy can
+// outlive interest in its message only through bugs elsewhere, and fault
+// accounting must not abort a run.
+func (c *Collector) CopyLostToCrash(id packet.MessageID) {
+	if rec, ok := c.messages[id]; ok {
+		rec.crashLost++
+	}
+}
+
 // Summary is the digest of one run's delivery outcomes.
 type Summary struct {
 	// Generated is the number of distinct messages created.
@@ -90,6 +101,12 @@ type Summary struct {
 	MaxDelaySeconds float64
 	// AvgHops is the mean transfer count of the first-delivered copy.
 	AvgHops float64
+	// CrashLostCopies counts message copies destroyed by node crashes.
+	CrashLostCopies int
+	// Orphaned counts messages that lost at least one copy to a crash and
+	// never reached a sink — a proxy for "killed by the fault" (the lost
+	// copy may not have been the last one, but the message did die).
+	Orphaned int
 }
 
 // Summarize computes the digest over everything recorded so far.
@@ -100,7 +117,11 @@ func (c *Collector) Summarize() Summary {
 	for _, id := range c.order {
 		rec := c.messages[id]
 		s.Duplicates += rec.duplicates
+		s.CrashLostCopies += rec.crashLost
 		if !rec.delivered {
+			if rec.crashLost > 0 {
+				s.Orphaned++
+			}
 			continue
 		}
 		s.Delivered++
@@ -131,6 +152,44 @@ func (c *Collector) Summarize() Summary {
 		s.P90DelaySeconds = Percentile(delays, 0.9)
 	}
 	return s
+}
+
+// RecoveryTime measures how long after a fault at faultStart the delivery
+// rate returns to threshold× its pre-fault baseline. Both rates are
+// deliveries per window seconds: the baseline averages the whole pre-fault
+// span, then post-fault windows are scanned in order and the first one
+// meeting the target sets the recovery time (its start minus faultStart, so
+// an immediately healthy network reports 0). Returns −1 when no window up
+// to horizon recovers, and 0 when there is no meaningful baseline (no
+// pre-fault deliveries or no full pre-fault window) — nothing measurable
+// was lost.
+func (c *Collector) RecoveryTime(faultStart, window, threshold, horizon float64) float64 {
+	if window <= 0 || faultStart < window || horizon <= faultStart {
+		return 0
+	}
+	times := make([]float64, 0, len(c.order))
+	for _, id := range c.order {
+		if rec := c.messages[id]; rec.delivered {
+			times = append(times, rec.deliveredAt)
+		}
+	}
+	sort.Float64s(times)
+	preWindows := math.Floor(faultStart / window)
+	preSpan := preWindows * window
+	pre := sort.SearchFloat64s(times, preSpan)
+	baseline := float64(pre) / preWindows
+	if baseline == 0 {
+		return 0
+	}
+	target := threshold * baseline
+	for start := faultStart; start+window <= horizon+1e-9; start += window {
+		lo := sort.SearchFloat64s(times, start)
+		hi := sort.SearchFloat64s(times, start+window)
+		if float64(hi-lo) >= target {
+			return start - faultStart
+		}
+	}
+	return -1
 }
 
 // Percentile returns the p-quantile (p in [0,1]) of an ascending-sorted

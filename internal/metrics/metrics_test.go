@@ -245,3 +245,91 @@ func TestPropertyWelfordMean(t *testing.T) {
 }
 
 func uint64ID(i int) packet.MessageID { return packet.MessageID(i) }
+
+func TestCrashLossAndOrphans(t *testing.T) {
+	c := NewCollector()
+	for id := 1; id <= 4; id++ {
+		if err := c.Generated(packet.MessageID(id), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Message 1: loses two copies, never delivered -> orphaned.
+	c.CopyLostToCrash(1)
+	c.CopyLostToCrash(1)
+	// Message 2: loses a copy but another copy survives to a sink.
+	c.CopyLostToCrash(2)
+	if err := c.Delivered(2, 10, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Message 3: delivered, untouched by crashes.
+	if err := c.Delivered(3, 12, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Message 4: undelivered but also untouched -> not orphaned.
+	// Unknown ids are ignored.
+	c.CopyLostToCrash(999)
+	s := c.Summarize()
+	if s.CrashLostCopies != 3 {
+		t.Errorf("CrashLostCopies = %d, want 3", s.CrashLostCopies)
+	}
+	if s.Orphaned != 1 {
+		t.Errorf("Orphaned = %d, want 1 (only message 1)", s.Orphaned)
+	}
+	if s.Delivered != 2 {
+		t.Errorf("Delivered = %d, want 2", s.Delivered)
+	}
+}
+
+func TestRecoveryTime(t *testing.T) {
+	// Steady pre-fault traffic: one delivery per 10 s window for 100 s.
+	// Fault at 100 s; nothing delivered until 130 s, then steady again.
+	c := NewCollector()
+	id := 0
+	gen := func(at, deliveredAt float64) {
+		id++
+		if err := c.Generated(packet.MessageID(id), 1, at); err != nil {
+			t.Fatal(err)
+		}
+		if deliveredAt >= 0 {
+			if err := c.Delivered(packet.MessageID(id), deliveredAt, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 10; i++ {
+		gen(float64(i*10), float64(i*10)+5)
+	}
+	gen(100, -1) // lost to the fault
+	gen(110, -1)
+	gen(120, -1)
+	for i := 13; i < 20; i++ {
+		gen(float64(i*10), float64(i*10)+5)
+	}
+	got := c.RecoveryTime(100, 10, 0.8, 200)
+	if got != 30 {
+		t.Errorf("RecoveryTime = %v, want 30 (first healthy window starts at 130)", got)
+	}
+	// A network that never recovers reports -1.
+	c2 := NewCollector()
+	id = 1000
+	for i := 0; i < 10; i++ {
+		id++
+		if err := c2.Generated(packet.MessageID(id), 1, float64(i*10)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c2.Delivered(packet.MessageID(id), float64(i*10)+5, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c2.RecoveryTime(100, 10, 0.8, 200); got != -1 {
+		t.Errorf("dead-after-fault RecoveryTime = %v, want -1", got)
+	}
+	// No pre-fault baseline: nothing measurable, report 0.
+	c3 := NewCollector()
+	if got := c3.RecoveryTime(100, 10, 0.8, 200); got != 0 {
+		t.Errorf("empty RecoveryTime = %v, want 0", got)
+	}
+	if got := c2.RecoveryTime(5, 10, 0.8, 200); got != 0 {
+		t.Errorf("fault before one full window: RecoveryTime = %v, want 0", got)
+	}
+}

@@ -113,11 +113,49 @@ type Stats struct {
 	FramesDelivered map[packet.Kind]uint64
 	// Collisions counts receptions corrupted by overlap.
 	Collisions uint64
-	// Losses counts receptions corrupted by the random loss process.
+	// Losses counts receptions corrupted by any random loss process
+	// (LossesUniform + LossesBurst; kept as the historical total).
 	Losses uint64
+	// LossesUniform counts receptions corrupted by the i.i.d. process
+	// (SetLoss).
+	LossesUniform uint64
+	// LossesBurst counts receptions corrupted by the Gilbert–Elliott
+	// process (SetBurstLoss).
+	LossesBurst uint64
 	// ControlBits and DataBits count bits put on the air.
 	ControlBits uint64
 	DataBits    uint64
+}
+
+// BurstConfig parameterises the Gilbert–Elliott two-state loss process: the
+// channel alternates exponentially distributed good and bad sojourns, and
+// each reception is corrupted with the current state's loss probability.
+type BurstConfig struct {
+	// GoodLossProb is the per-reception loss probability in the good state.
+	GoodLossProb float64
+	// BadLossProb is the per-reception loss probability in the bad state.
+	BadLossProb float64
+	// MeanGoodSeconds is the mean good-state sojourn time.
+	MeanGoodSeconds float64
+	// MeanBadSeconds is the mean bad-state sojourn time.
+	MeanBadSeconds float64
+}
+
+// Validate reports burst-configuration errors.
+func (b BurstConfig) Validate() error {
+	if b.GoodLossProb < 0 || b.GoodLossProb > 1 {
+		return fmt.Errorf("radio: burst good-state loss %v out of [0,1]", b.GoodLossProb)
+	}
+	if b.BadLossProb < 0 || b.BadLossProb > 1 {
+		return fmt.Errorf("radio: burst bad-state loss %v out of [0,1]", b.BadLossProb)
+	}
+	if b.MeanGoodSeconds <= 0 {
+		return fmt.Errorf("radio: burst mean good sojourn %v must be positive", b.MeanGoodSeconds)
+	}
+	if b.MeanBadSeconds <= 0 {
+		return fmt.Errorf("radio: burst mean bad sojourn %v must be positive", b.MeanBadSeconds)
+	}
+	return nil
 }
 
 // Medium is the shared broadcast channel. All radios attach to one medium.
@@ -129,16 +167,20 @@ type Medium struct {
 	stats    Stats
 	lossProb float64
 	lossRng  *simrand.Source
+	burst    *BurstConfig
+	burstRng *simrand.Source
+	burstBad bool
 	frameLog func(now float64, src packet.NodeID, f packet.Frame)
 }
 
 // transmission is one frame in flight.
 type transmission struct {
-	src    *Radio
-	srcPos geo.Point
-	frame  packet.Frame
-	start  sim.Time
-	end    sim.Time
+	src      *Radio
+	srcEpoch uint64
+	srcPos   geo.Point
+	frame    packet.Frame
+	start    sim.Time
+	end      sim.Time
 }
 
 // NewMedium creates a medium driven by sched.
@@ -186,6 +228,53 @@ func (m *Medium) SetLoss(prob float64, rng *simrand.Source) error {
 	return nil
 }
 
+// SetBurstLoss enables the Gilbert–Elliott two-state loss process alongside
+// the uniform one. The channel starts in the good state; state flips are
+// scheduled immediately, so call this before the simulation runs. The
+// uniform process (if any) is drawn first per reception, and a reception it
+// already corrupted consumes no burst draw.
+func (m *Medium) SetBurstLoss(cfg BurstConfig, rng *simrand.Source) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if rng == nil {
+		return errors.New("radio: burst loss process needs a random source")
+	}
+	if m.burst != nil {
+		return errors.New("radio: burst loss process already running")
+	}
+	c := cfg
+	m.burst = &c
+	m.burstRng = rng
+	m.burstBad = false
+	m.scheduleBurstFlip()
+	return nil
+}
+
+// BurstBad reports whether the Gilbert–Elliott channel is currently in the
+// bad state (always false when SetBurstLoss was never called).
+func (m *Medium) BurstBad() bool { return m.burstBad }
+
+// scheduleBurstFlip arms the next Gilbert–Elliott state transition.
+func (m *Medium) scheduleBurstFlip() {
+	mean := m.burst.MeanGoodSeconds
+	if m.burstBad {
+		mean = m.burst.MeanBadSeconds
+	}
+	m.sched.AfterLabeled(m.burstRng.Exp(mean), "ge-flip", func() {
+		m.burstBad = !m.burstBad
+		m.scheduleBurstFlip()
+	})
+}
+
+// burstLossProb returns the current per-reception burst loss probability.
+func (m *Medium) burstLossProb() float64 {
+	if m.burstBad {
+		return m.burst.BadLossProb
+	}
+	return m.burst.GoodLossProb
+}
+
 // Stats returns a snapshot of the channel counters.
 func (m *Medium) Stats() Stats {
 	out := Stats{
@@ -193,6 +282,8 @@ func (m *Medium) Stats() Stats {
 		FramesDelivered: make(map[packet.Kind]uint64, len(m.stats.FramesDelivered)),
 		Collisions:      m.stats.Collisions,
 		Losses:          m.stats.Losses,
+		LossesUniform:   m.stats.LossesUniform,
+		LossesBurst:     m.stats.LossesBurst,
 		ControlBits:     m.stats.ControlBits,
 		DataBits:        m.stats.DataBits,
 	}
@@ -262,11 +353,12 @@ func (m *Medium) Busy(r *Radio) bool {
 func (m *Medium) transmit(r *Radio, f packet.Frame) {
 	now := m.sched.Now()
 	tx := &transmission{
-		src:    r,
-		srcPos: r.position(),
-		frame:  f,
-		start:  now,
-		end:    now + m.AirTime(f),
+		src:      r,
+		srcEpoch: r.epoch,
+		srcPos:   r.position(),
+		frame:    f,
+		start:    now,
+		end:      now + m.AirTime(f),
 	}
 	m.active[tx] = struct{}{}
 	if m.frameLog != nil {
@@ -295,6 +387,10 @@ func (m *Medium) transmit(r *Radio, f packet.Frame) {
 			if m.lossProb > 0 && m.lossRng.Bool(m.lossProb) {
 				other.rx.corrupt = true
 				other.rx.lost = true
+			} else if m.burst != nil && m.burstRng.Bool(m.burstLossProb()) {
+				other.rx.corrupt = true
+				other.rx.lost = true
+				other.rx.lostBurst = true
 			}
 		case Receiving:
 			// Overlap corrupts whatever this radio was receiving.
@@ -321,12 +417,17 @@ func (m *Medium) finish(tx *transmission) {
 		if r.rx == nil || r.rx.tx != tx {
 			continue
 		}
-		corrupted, lost := r.rx.corrupt, r.rx.lost
+		corrupted, lost, burst := r.rx.corrupt, r.rx.lost, r.rx.lostBurst
 		r.rx = nil
 		r.setState(Idle, now)
 		switch {
 		case lost:
 			m.stats.Losses++
+			if burst {
+				m.stats.LossesBurst++
+			} else {
+				m.stats.LossesUniform++
+			}
 			r.handler.OnCollision()
 		case corrupted:
 			m.stats.Collisions++
@@ -337,7 +438,9 @@ func (m *Medium) finish(tx *transmission) {
 		}
 	}
 
-	if !tx.src.killed {
+	// The epoch check keeps a source that died and was revived mid-flight
+	// from getting a stale OnTxDone for a frame its previous life sent.
+	if !tx.src.killed && tx.src.epoch == tx.srcEpoch {
 		tx.src.setState(Idle, now)
 		tx.src.handler.OnTxDone(tx.frame)
 	}
@@ -345,9 +448,10 @@ func (m *Medium) finish(tx *transmission) {
 
 // reception tracks one in-progress frame arrival at a radio.
 type reception struct {
-	tx      *transmission
-	corrupt bool
-	lost    bool // corrupted by the random loss process, not overlap
+	tx        *transmission
+	corrupt   bool
+	lost      bool // corrupted by a random loss process, not overlap
+	lostBurst bool // specifically by the Gilbert–Elliott process
 }
 
 // Radio is one node's transceiver.
@@ -362,6 +466,7 @@ type Radio struct {
 	rx       *reception
 	wakeEv   *sim.Event
 	killed   bool
+	epoch    uint64 // bumped by Kill; stale in-flight work checks it
 }
 
 // ID returns the owner node's identifier.
@@ -477,21 +582,34 @@ func (r *Radio) Wake() error {
 	return nil
 }
 
-// Kill retires the radio permanently: any in-progress reception is
-// abandoned, pending wake/sleep switches are cancelled, and the radio goes
-// Off for good — models a node failure or battery exhaustion mid-activity.
-// If the radio is mid-transmission the frame already on the air completes
-// (receivers decode it), but the dead source gets no OnTxDone.
+// Kill retires the radio: any in-progress reception is abandoned, pending
+// wake/sleep switches are cancelled, and the radio goes Off — models a node
+// failure or battery exhaustion mid-activity. If the radio is
+// mid-transmission the frame already on the air completes (receivers decode
+// it), but the dead source gets no OnTxDone, even if it is later Revived
+// before the frame ends. Kill is permanent unless Revive is called.
 func (r *Radio) Kill() {
 	if r.killed {
 		return
 	}
 	r.killed = true
+	r.epoch++
 	r.medium.sched.Cancel(r.wakeEv)
 	r.wakeEv = nil
 	r.rx = nil
 	r.setState(Off, r.medium.sched.Now())
 }
 
-// Killed reports whether the radio was retired by Kill.
+// Revive returns a killed radio to service. The radio comes back Off —
+// exactly as a rebooted mote powers up — so the owner must Wake it to
+// resume listening. Reviving a live radio is an error.
+func (r *Radio) Revive() error {
+	if !r.killed {
+		return errors.New("radio: revive of a live radio")
+	}
+	r.killed = false
+	return nil
+}
+
+// Killed reports whether the radio is currently retired by Kill.
 func (r *Radio) Killed() bool { return r.killed }

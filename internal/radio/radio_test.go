@@ -494,6 +494,175 @@ func TestLossProcessCorruptsFrames(t *testing.T) {
 	}
 }
 
+func TestBurstLossSplitsStats(t *testing.T) {
+	rg := newRig(t)
+	// Degenerate GE chain: lossless good state, always-lossy bad state, so
+	// every loss is attributable to the burst process and the split is exact.
+	cfg := BurstConfig{GoodLossProb: 0, BadLossProb: 1, MeanGoodSeconds: 0.5, MeanBadSeconds: 0.5}
+	if err := rg.medium.SetBurstLoss(BurstConfig{BadLossProb: 2, MeanGoodSeconds: 1, MeanBadSeconds: 1}, simrand.New(1)); err == nil {
+		t.Fatal("burst loss probability > 1 accepted")
+	}
+	if err := rg.medium.SetBurstLoss(BurstConfig{BadLossProb: 1, MeanGoodSeconds: 0, MeanBadSeconds: 1}, simrand.New(1)); err == nil {
+		t.Fatal("zero good sojourn accepted")
+	}
+	if err := rg.medium.SetBurstLoss(cfg, nil); err == nil {
+		t.Fatal("burst loss without rng accepted")
+	}
+	if err := rg.medium.SetBurstLoss(cfg, simrand.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.medium.SetBurstLoss(cfg, simrand.New(1)); err == nil {
+		t.Fatal("double SetBurstLoss accepted")
+	}
+	tx, _ := rg.attach(t, 1, geo.Point{X: 0, Y: 0}, Idle)
+	_, rx := rg.attach(t, 2, geo.Point{X: 5, Y: 0}, Idle)
+	const frames = 400
+	sent := 0
+	var sendNext func()
+	sendNext = func() {
+		if sent >= frames {
+			return
+		}
+		sent++
+		if err := tx.Transmit(&packet.Preamble{From: 1}); err != nil {
+			t.Errorf("transmit %d: %v", sent, err)
+			return
+		}
+		rg.sched.After(0.01, sendNext)
+	}
+	sendNext()
+	if err := rg.sched.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	st := rg.medium.Stats()
+	got := len(rx.frames)
+	if st.LossesBurst == 0 {
+		t.Fatal("GE bad state corrupted nothing")
+	}
+	if st.LossesUniform != 0 {
+		t.Fatalf("no uniform process set, yet %d uniform losses", st.LossesUniform)
+	}
+	if st.Losses != st.LossesUniform+st.LossesBurst {
+		t.Fatalf("loss total %d != uniform %d + burst %d", st.Losses, st.LossesUniform, st.LossesBurst)
+	}
+	if int(st.Losses)+got != frames {
+		t.Fatalf("losses %d + delivered %d != %d sent", st.Losses, got, frames)
+	}
+	// Equal mean sojourns with p=1/p=0 per state: loss fraction near 1/2,
+	// but bursty (wide tolerance — sojourns are 50x the send interval).
+	if frac := float64(st.LossesBurst) / frames; frac < 0.2 || frac > 0.8 {
+		t.Fatalf("burst loss fraction %.2f, want bursty ~0.5", frac)
+	}
+}
+
+func TestUniformAndBurstLossCoexist(t *testing.T) {
+	rg := newRig(t)
+	if err := rg.medium.SetLoss(0.3, simrand.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Always-bad channel: whatever survives the uniform coin is burst-lost.
+	if err := rg.medium.SetBurstLoss(BurstConfig{GoodLossProb: 1, BadLossProb: 1, MeanGoodSeconds: 1, MeanBadSeconds: 1}, simrand.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := rg.attach(t, 1, geo.Point{X: 0, Y: 0}, Idle)
+	_, rx := rg.attach(t, 2, geo.Point{X: 5, Y: 0}, Idle)
+	const frames = 100
+	sent := 0
+	var sendNext func()
+	sendNext = func() {
+		if sent >= frames {
+			return
+		}
+		sent++
+		if err := tx.Transmit(&packet.Preamble{From: 1}); err != nil {
+			t.Errorf("transmit %d: %v", sent, err)
+			return
+		}
+		rg.sched.After(0.01, sendNext)
+	}
+	sendNext()
+	if err := rg.sched.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	st := rg.medium.Stats()
+	if len(rx.frames) != 0 {
+		t.Fatalf("delivered %d frames through an always-lossy channel", len(rx.frames))
+	}
+	if st.LossesUniform == 0 || st.LossesBurst == 0 {
+		t.Fatalf("expected both causes: uniform %d burst %d", st.LossesUniform, st.LossesBurst)
+	}
+	if st.LossesUniform+st.LossesBurst != frames {
+		t.Fatalf("causes sum to %d, want %d", st.LossesUniform+st.LossesBurst, frames)
+	}
+}
+
+func TestReviveRestoresRadio(t *testing.T) {
+	rg := newRig(t)
+	r, rec := rg.attach(t, 1, geo.Point{X: 0, Y: 0}, Idle)
+	if err := r.Revive(); err == nil {
+		t.Fatal("revive of a live radio accepted")
+	}
+	r.Kill()
+	if err := r.Revive(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Killed() || r.State() != Off {
+		t.Fatalf("after revive: killed=%v state=%v, want live and off", r.Killed(), r.State())
+	}
+	if err := r.Wake(); err != nil {
+		t.Fatalf("Wake after revive: %v", err)
+	}
+	if err := rg.sched.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if r.State() != Idle || rec.awake != 1 {
+		t.Fatalf("revived radio state %v awake=%d, want idle after one wake", r.State(), rec.awake)
+	}
+	// And it participates in traffic again.
+	tx, _ := rg.attach(t, 2, geo.Point{X: 5, Y: 0}, Idle)
+	if err := tx.Transmit(&packet.Preamble{From: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.sched.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.frames) != 1 {
+		t.Fatalf("revived radio received %d frames, want 1", len(rec.frames))
+	}
+}
+
+func TestReviveMidFlightSuppressesStaleTxDone(t *testing.T) {
+	// A source that dies and reboots while its frame is still on the air
+	// must not see OnTxDone for that frame: it belongs to the previous life.
+	rg := newRig(t)
+	tx, txRec := rg.attach(t, 1, geo.Point{X: 0, Y: 0}, Idle)
+	_, rx := rg.attach(t, 2, geo.Point{X: 5, Y: 0}, Idle)
+	if err := tx.Transmit(&packet.Data{From: 1, ID: 7}); err != nil {
+		t.Fatal(err)
+	}
+	rg.sched.After(0.01, func() {
+		tx.Kill()
+		if err := tx.Revive(); err != nil {
+			t.Errorf("Revive: %v", err)
+		}
+		if err := tx.Wake(); err != nil {
+			t.Errorf("Wake: %v", err)
+		}
+	})
+	if err := rg.sched.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(rx.frames) != 1 {
+		t.Fatalf("in-flight frame not delivered: got %d", len(rx.frames))
+	}
+	if len(txRec.txDone) != 0 {
+		t.Fatal("revived source got OnTxDone for its previous life's frame")
+	}
+	if tx.State() != Idle {
+		t.Fatalf("revived source state %v, want idle", tx.State())
+	}
+}
+
 func TestKillRetiresRadio(t *testing.T) {
 	rg := newRig(t)
 	tx, _ := rg.attach(t, 1, geo.Point{X: 0, Y: 0}, Idle)

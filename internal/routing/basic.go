@@ -107,6 +107,12 @@ func (d *Direct) QueueCap() int { return d.fifo.Cap() }
 // Drops implements Strategy.
 func (d *Direct) Drops() buffer.DropCounts { return d.fifo.Drops() }
 
+// WipeQueue implements Strategy.
+func (d *Direct) WipeQueue() []packet.MessageID { return d.fifo.Wipe() }
+
+// ResetRouting implements Strategy: direct transmission learns nothing.
+func (d *Direct) ResetRouting() {}
+
 // Epidemic is the §2 "flooding" basic scheme: every encounter replicates
 // the message to any neighbour with buffer space; nodes keep their copies.
 // It bounds achievable delivery from above at the cost of extreme overhead.
@@ -209,3 +215,9 @@ func (e *Epidemic) QueueCap() int { return e.fifo.Cap() }
 
 // Drops implements Strategy.
 func (e *Epidemic) Drops() buffer.DropCounts { return e.fifo.Drops() }
+
+// WipeQueue implements Strategy.
+func (e *Epidemic) WipeQueue() []packet.MessageID { return e.fifo.Wipe() }
+
+// ResetRouting implements Strategy: flooding learns nothing.
+func (e *Epidemic) ResetRouting() {}

@@ -298,5 +298,16 @@ func (f *FAD) QueueCap() int { return f.queue.Cap() }
 // Drops implements Strategy.
 func (f *FAD) Drops() buffer.DropCounts { return f.queue.Drops() }
 
+// WipeQueue implements Strategy.
+func (f *FAD) WipeQueue() []packet.MessageID { return f.queue.Wipe() }
+
+// ResetRouting implements Strategy: ξ returns to its initial value and the
+// Eq. 1 timeout clock restarts as if the node had never transmitted.
+func (f *FAD) ResetRouting() {
+	f.prob.Reset()
+	f.lastTx = 0
+	f.txEver = false
+}
+
 // Queue exposes the underlying queue for inspection in tests and tools.
 func (f *FAD) Queue() *buffer.Queue { return f.queue }

@@ -63,6 +63,12 @@ type Strategy interface {
 	// Xi returns the node's current delivery-probability-like metric, used
 	// by the MAC layer for the Eq. 9 adaptive listening period.
 	Xi() float64
+	// WipeQueue empties the queue — a crash destroying the node's copies —
+	// and returns the destroyed message IDs (nil when already empty).
+	WipeQueue() []packet.MessageID
+	// ResetRouting clears learned soft state (ξ, history) back to the
+	// strategy's initial value — a reboot that lost RAM but kept flash.
+	ResetRouting()
 }
 
 // DeliverFunc is invoked by the Sink strategy when a message copy arrives.

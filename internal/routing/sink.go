@@ -88,3 +88,9 @@ func (s *Sink) QueueCap() int { return 1 }
 
 // Drops implements Strategy.
 func (s *Sink) Drops() buffer.DropCounts { return buffer.DropCounts{} }
+
+// WipeQueue implements Strategy: sinks hold no sensor queue.
+func (s *Sink) WipeQueue() []packet.MessageID { return nil }
+
+// ResetRouting implements Strategy: a sink's ξ is 1 by definition.
+func (s *Sink) ResetRouting() {}

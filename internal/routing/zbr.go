@@ -186,3 +186,13 @@ func (z *ZBR) QueueCap() int { return z.fifo.Cap() }
 
 // Drops implements Strategy.
 func (z *ZBR) Drops() buffer.DropCounts { return z.fifo.Drops() }
+
+// WipeQueue implements Strategy.
+func (z *ZBR) WipeQueue() []packet.MessageID { return z.fifo.Wipe() }
+
+// ResetRouting implements Strategy: the direct-to-sink history EWMA starts
+// over from zero.
+func (z *ZBR) ResetRouting() {
+	z.history = 0
+	z.sinkContact = false
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"dftmsn/internal/core"
+	"dftmsn/internal/faults"
 )
 
 // fileConfig is the JSON mirror of Config: the serialisable subset (no
@@ -14,30 +15,31 @@ import (
 // Zero-valued fields inherit the paper defaults for the chosen scheme,
 // so a config file only states its deviations.
 type fileConfig struct {
-	Scheme              string  `json:"scheme"`
-	NumSensors          int     `json:"sensors,omitempty"`
-	NumSinks            int     `json:"sinks,omitempty"`
-	FieldSize           float64 `json:"field_size_m,omitempty"`
-	ZonesPerSide        int     `json:"zones_per_side,omitempty"`
-	MaxSpeed            float64 `json:"max_speed_mps,omitempty"`
-	ExitProb            float64 `json:"exit_prob,omitempty"`
-	RangeM              float64 `json:"range_m,omitempty"`
-	BitrateBps          float64 `json:"bitrate_bps,omitempty"`
-	ControlBits         int     `json:"control_bits,omitempty"`
-	DataBits            int     `json:"data_bits,omitempty"`
-	QueueCapacity       int     `json:"queue_capacity,omitempty"`
-	ArrivalMeanSeconds  float64 `json:"arrival_mean_s,omitempty"`
-	DurationSeconds     float64 `json:"duration_s,omitempty"`
-	TrafficStopSeconds  float64 `json:"traffic_stop_s,omitempty"`
-	MobilityTickSeconds float64 `json:"mobility_tick_s,omitempty"`
-	BatteryJoules       float64 `json:"battery_j,omitempty"`
-	MobileSinks         bool    `json:"mobile_sinks,omitempty"`
-	LossProb            float64 `json:"loss_prob,omitempty"`
-	FailFraction        float64 `json:"fail_fraction,omitempty"`
-	FailAtSeconds       float64 `json:"fail_at_s,omitempty"`
-	Seed                uint64  `json:"seed,omitempty"`
-	DeliveryThreshold   float64 `json:"delivery_threshold,omitempty"`
-	DropThreshold       float64 `json:"drop_threshold,omitempty"`
+	Scheme              string       `json:"scheme"`
+	NumSensors          int          `json:"sensors,omitempty"`
+	NumSinks            int          `json:"sinks,omitempty"`
+	FieldSize           float64      `json:"field_size_m,omitempty"`
+	ZonesPerSide        int          `json:"zones_per_side,omitempty"`
+	MaxSpeed            float64      `json:"max_speed_mps,omitempty"`
+	ExitProb            float64      `json:"exit_prob,omitempty"`
+	RangeM              float64      `json:"range_m,omitempty"`
+	BitrateBps          float64      `json:"bitrate_bps,omitempty"`
+	ControlBits         int          `json:"control_bits,omitempty"`
+	DataBits            int          `json:"data_bits,omitempty"`
+	QueueCapacity       int          `json:"queue_capacity,omitempty"`
+	ArrivalMeanSeconds  float64      `json:"arrival_mean_s,omitempty"`
+	DurationSeconds     float64      `json:"duration_s,omitempty"`
+	TrafficStopSeconds  float64      `json:"traffic_stop_s,omitempty"`
+	MobilityTickSeconds float64      `json:"mobility_tick_s,omitempty"`
+	BatteryJoules       float64      `json:"battery_j,omitempty"`
+	MobileSinks         bool         `json:"mobile_sinks,omitempty"`
+	LossProb            float64      `json:"loss_prob,omitempty"`
+	FailFraction        float64      `json:"fail_fraction,omitempty"`
+	FailAtSeconds       float64      `json:"fail_at_s,omitempty"`
+	Faults              *faults.Plan `json:"faults,omitempty"`
+	Seed                uint64       `json:"seed,omitempty"`
+	DeliveryThreshold   float64      `json:"delivery_threshold,omitempty"`
+	DropThreshold       float64      `json:"drop_threshold,omitempty"`
 }
 
 // ParseScheme resolves a scheme by its paper name (case-insensitive).
@@ -113,6 +115,7 @@ func LoadConfig(r io.Reader) (Config, error) {
 	cfg.LossProb = fc.LossProb
 	cfg.FailFraction = fc.FailFraction
 	cfg.FailAtSeconds = fc.FailAtSeconds
+	cfg.Faults = fc.Faults
 	if fc.Seed != 0 {
 		cfg.Seed = fc.Seed
 	}
@@ -148,6 +151,7 @@ func SaveConfig(w io.Writer, cfg Config) error {
 		LossProb:            cfg.LossProb,
 		FailFraction:        cfg.FailFraction,
 		FailAtSeconds:       cfg.FailAtSeconds,
+		Faults:              cfg.Faults,
 		Seed:                cfg.Seed,
 		DeliveryThreshold:   cfg.DeliveryThreshold,
 		DropThreshold:       cfg.DropThreshold,

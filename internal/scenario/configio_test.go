@@ -1,10 +1,12 @@
 package scenario
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"dftmsn/internal/core"
+	"dftmsn/internal/faults"
 )
 
 func TestLoadConfigDefaults(t *testing.T) {
@@ -82,6 +84,110 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		back.Seed != 7 || back.DeliveryThreshold != 0.8 {
 		t.Fatalf("round trip lost fields:\n%+v\n%+v", orig, back)
 	}
+}
+
+func TestLoadConfigFaultPlan(t *testing.T) {
+	doc := `{
+		"scheme": "OPT",
+		"faults": {
+			"churn": {"mtbf_s": 500, "mttr_s": 100, "fraction": 0.5, "preserve_buffer": true},
+			"sink_outages": [{"sink": -1, "start_s": 100, "duration_s": 50}],
+			"burst_loss": {"bad_loss_prob": 0.9, "mean_good_s": 60, "mean_bad_s": 20},
+			"kills": [{"at_s": 1000, "fraction": 0.25}]
+		}
+	}`
+	cfg, err := LoadConfig(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cfg.Faults
+	if p == nil || p.Churn == nil || p.Burst == nil {
+		t.Fatalf("plan not loaded: %+v", p)
+	}
+	if p.Churn.MTBFSeconds != 500 || p.Churn.MTTRSeconds != 100 || p.Churn.Fraction != 0.5 || !p.Churn.PreserveBuffer {
+		t.Fatalf("churn %+v", p.Churn)
+	}
+	if len(p.SinkOutages) != 1 || p.SinkOutages[0].Sink != -1 || p.SinkOutages[0].DurationSeconds != 50 {
+		t.Fatalf("outages %+v", p.SinkOutages)
+	}
+	if p.Burst.BadLossProb != 0.9 || p.Burst.MeanGoodSeconds != 60 {
+		t.Fatalf("burst %+v", p.Burst)
+	}
+	if len(p.Kills) != 1 || p.Kills[0].AtSeconds != 1000 || p.Kills[0].Fraction != 0.25 {
+		t.Fatalf("kills %+v", p.Kills)
+	}
+}
+
+func TestLoadConfigRejectsBadFaultPlan(t *testing.T) {
+	cases := []string{
+		`{"scheme": "OPT", "faults": {"churn": {"mtbf_s": -1, "mttr_s": 100}}}`,                                // negative MTBF
+		`{"scheme": "OPT", "faults": {"churn": {"mtbf_s": 500}}}`,                                              // missing MTTR
+		`{"scheme": "OPT", "faults": {"churn": {"mtbf_s": "fast", "mttr_s": 100}}}`,                            // wrong type
+		`{"scheme": "OPT", "faults": {"sink_outages": [{"sink": 7, "start_s": 1, "duration_s": 1}]}}`,          // no such sink
+		`{"scheme": "OPT", "faults": {"sink_outages": [{"sink": 0, "start_s": 1}]}}`,                           // zero duration
+		`{"scheme": "OPT", "faults": {"burst_loss": {"bad_loss_prob": 2, "mean_good_s": 1, "mean_bad_s": 1}}}`, // prob > 1
+		`{"scheme": "OPT", "faults": {"kills": [{"at_s": 99999, "fraction": 0.5}]}}`,                           // beyond the run
+		`{"scheme": "OPT", "faults": {"kills": [{"at_s": 100, "fraction": 1.5}]}}`,                             // fraction > 1
+		`{"scheme": "OPT", "faults": {"churns": {}}}`,                                                          // typo (unknown field)
+		`{"scheme": "OPT", "fail_fraction": 0.5, "fail_at_s": 30000}`,                                          // legacy burst beyond the run
+	}
+	for _, doc := range cases {
+		if _, err := LoadConfig(strings.NewReader(doc)); err == nil {
+			t.Errorf("accepted %q", doc)
+		}
+	}
+}
+
+func TestSaveLoadRoundTripFaultPlan(t *testing.T) {
+	orig := DefaultConfig(core.SchemeOPT)
+	orig.Faults = &faults.Plan{
+		Churn:       &faults.Churn{MTBFSeconds: 800, MTTRSeconds: 200, Fraction: 0.3, StartSeconds: 50, PreserveXi: true},
+		SinkOutages: []faults.Outage{{Sink: 1, StartSeconds: 500, DurationSeconds: 250}},
+		Burst:       &faults.Burst{GoodLossProb: 0.01, BadLossProb: 0.7, MeanGoodSeconds: 90, MeanBadSeconds: 30},
+		Kills:       []faults.Kill{{AtSeconds: 2000, Fraction: 0.1}},
+	}
+	var sb strings.Builder
+	if err := SaveConfig(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadConfig(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if !reflect.DeepEqual(back.Faults, orig.Faults) {
+		t.Fatalf("fault plan lost in round trip:\n%+v\n%+v", orig.Faults, back.Faults)
+	}
+}
+
+// FuzzLoadConfig checks that arbitrary config documents — including
+// malformed fault plans — either load into a valid Config or error
+// cleanly, never panic.
+func FuzzLoadConfig(f *testing.F) {
+	seeds := []string{
+		`{"scheme": "opt"}`,
+		`{"scheme": "ZBR", "sensors": 42, "fail_fraction": 0.2, "fail_at_s": 500}`,
+		`{"scheme": "OPT", "faults": {"churn": {"mtbf_s": 500, "mttr_s": 100}}}`,
+		`{"scheme": "OPT", "faults": {"sink_outages": [{"sink": -1, "start_s": 1, "duration_s": 1}]}}`,
+		`{"scheme": "OPT", "faults": {"burst_loss": {"bad_loss_prob": 0.9, "mean_good_s": 6e1, "mean_bad_s": 2}}}`,
+		`{"scheme": "OPT", "faults": {"kills": [{"at_s": 1e3, "fraction": 0.25}]}}`,
+		`{"scheme": "OPT", "faults": {"churn": {"mtbf_s": 1e999, "mttr_s": null}}}`,
+		`{"scheme": "OPT", "faults": {"kills": [{"at_s": "NaN"}]}}`,
+		`{"scheme": "OPT", "faults": {`,
+		`{"scheme": "OPT", "faults": 7}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		cfg, err := LoadConfig(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		// Whatever loads must already be validated.
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("LoadConfig accepted an invalid config: %v\n%s", err, doc)
+		}
+	})
 }
 
 func TestParseScheme(t *testing.T) {

@@ -11,6 +11,7 @@ import (
 
 	"dftmsn/internal/core"
 	"dftmsn/internal/energy"
+	"dftmsn/internal/faults"
 	"dftmsn/internal/geo"
 	"dftmsn/internal/mac"
 	"dftmsn/internal/metrics"
@@ -79,6 +80,11 @@ type Config struct {
 	FailFraction float64
 	// FailAtSeconds is when the failure burst strikes.
 	FailAtSeconds float64
+	// Faults optionally injects richer faults: node churn, sink outages,
+	// Gilbert–Elliott burst loss, and additional kill bursts (see
+	// internal/faults). The legacy FailFraction/FailAtSeconds pair is
+	// folded into the plan as a one-shot kill, so the two compose.
+	Faults *faults.Plan
 	// Seed makes the run reproducible.
 	Seed uint64
 	// Tracer optionally records events (nil = no tracing).
@@ -159,6 +165,12 @@ func (c Config) Validate() error {
 	if c.FailFraction > 0 && c.FailAtSeconds <= 0 {
 		return fmt.Errorf("scenario: FailAtSeconds must be positive when failures are enabled")
 	}
+	if c.FailFraction > 0 && c.FailAtSeconds > c.DurationSeconds {
+		return fmt.Errorf("scenario: FailAtSeconds %v is beyond the %v s run; the failure would never fire", c.FailAtSeconds, c.DurationSeconds)
+	}
+	if err := c.Faults.Validate(c.DurationSeconds, c.NumSinks); err != nil {
+		return err
+	}
 	if c.DeliveryThreshold != 0 && (c.DeliveryThreshold <= 0 || c.DeliveryThreshold >= 1) {
 		return fmt.Errorf("scenario: delivery threshold %v out of (0,1)", c.DeliveryThreshold)
 	}
@@ -200,21 +212,61 @@ type Result struct {
 	AliveFraction float64
 	// FirstDeathSeconds is when the first sensor died; 0 when none did.
 	FirstDeathSeconds float64
+	// Resilience digests fault-injection outcomes (zero-valued when the
+	// run had no fault plan).
+	Resilience Resilience
+}
+
+// Resilience reports how the run weathered its injected faults.
+type Resilience struct {
+	// Crashes counts sensor crashes: churn cycles plus kill bursts.
+	Crashes uint64
+	// Recoveries counts churn reboots.
+	Recoveries uint64
+	// SinkOutages counts sink outage windows that began.
+	SinkOutages uint64
+	// CopiesLost sums message copies destroyed with crashed buffers.
+	CopiesLost uint64
+	// Orphaned counts messages that lost at least one copy to a crash and
+	// never reached a sink.
+	Orphaned int
+	// RecoverySeconds is how long after the first scheduled fault the
+	// windowed delivery rate returned to 0.8× its pre-fault baseline
+	// (window = duration/20): −1 when it never recovered within the run,
+	// 0 when nothing measurable was lost (see metrics.RecoveryTime).
+	RecoverySeconds float64
 }
 
 // Sim is one assembled simulation.
 type Sim struct {
 	cfg       Config
+	plan      faults.Plan
 	sched     *sim.Scheduler
 	medium    *radio.Medium
 	grid      *geo.Grid
 	walk      *mobility.ZoneWalk
 	sensors   []*core.Node
 	sinks     []*core.Node
+	injector  *faults.Injector
 	collector *metrics.Collector
 	capture   *packet.CaptureWriter
 	nextMsgID packet.MessageID
 	ran       bool
+}
+
+// faultPlan folds the legacy FailFraction/FailAtSeconds pair into the
+// declarative plan, as a one-shot kill appended after any configured ones.
+func (c Config) faultPlan() faults.Plan {
+	var plan faults.Plan
+	if c.Faults != nil {
+		plan = *c.Faults
+	}
+	if c.FailFraction > 0 {
+		kills := make([]faults.Kill, 0, len(plan.Kills)+1)
+		kills = append(kills, plan.Kills...)
+		plan.Kills = append(kills, faults.Kill{AtSeconds: c.FailAtSeconds, Fraction: c.FailFraction})
+	}
+	return plan
 }
 
 // New assembles a simulation from cfg. The network is built immediately;
@@ -226,7 +278,7 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.Tracer == nil {
 		cfg.Tracer = trace.Nop{}
 	}
-	s := &Sim{cfg: cfg, sched: sim.NewScheduler(), collector: metrics.NewCollector()}
+	s := &Sim{cfg: cfg, plan: cfg.faultPlan(), sched: sim.NewScheduler(), collector: metrics.NewCollector()}
 	root := simrand.New(cfg.Seed)
 
 	var err error
@@ -244,6 +296,16 @@ func New(cfg Config) (*Sim, error) {
 	}
 	if cfg.LossProb > 0 {
 		if err := s.medium.SetLoss(cfg.LossProb, root.Split("loss")); err != nil {
+			return nil, err
+		}
+	}
+	if b := s.plan.Burst; b != nil {
+		if err := s.medium.SetBurstLoss(radio.BurstConfig{
+			GoodLossProb:    b.GoodLossProb,
+			BadLossProb:     b.BadLossProb,
+			MeanGoodSeconds: b.MeanGoodSeconds,
+			MeanBadSeconds:  b.MeanBadSeconds,
+		}, root.Split("burstloss")); err != nil {
 			return nil, err
 		}
 	}
@@ -337,19 +399,36 @@ func New(cfg Config) (*Sim, error) {
 		s.scheduleArrival(node, traffic.Split(fmt.Sprintf("sensor/%d", i)))
 	}
 
-	// Fault injection: at the failure time, a deterministic random subset
-	// of sensors dies with its queued messages.
-	if cfg.FailFraction > 0 {
+	// Fault injection: the declarative plan (churn, sink outages, kill
+	// bursts — the legacy FailFraction burst folded in) runs on the
+	// scheduler with all randomness from one dedicated stream, split at
+	// the same position the legacy one-shot path used so kills-only runs
+	// reproduce the historical victim draws exactly.
+	if s.plan.NeedsInjector() {
 		failRng := root.Split("failures")
-		if _, err := s.sched.At(cfg.FailAtSeconds, func() {
-			perm := failRng.Perm(len(s.sensors))
-			kill := int(cfg.FailFraction * float64(len(s.sensors)))
-			for _, idx := range perm[:kill] {
-				s.sensors[idx].Kill()
-			}
-		}); err != nil {
+		sensorNodes := make([]faults.Node, len(s.sensors))
+		for i, n := range s.sensors {
+			sensorNodes[i] = n
+		}
+		sinkNodes := make([]faults.Node, len(s.sinks))
+		for i, n := range s.sinks {
+			sinkNodes[i] = n
+		}
+		hooks := faults.Hooks{
+			NodeCrashed: func(_ float64, _ int, lost []packet.MessageID) {
+				for _, id := range lost {
+					s.collector.CopyLostToCrash(id)
+				}
+			},
+		}
+		inj, err := faults.NewInjector(s.plan, cfg.DurationSeconds, s.sched, failRng, sensorNodes, sinkNodes, hooks)
+		if err != nil {
 			return nil, err
 		}
+		if err := inj.Arm(); err != nil {
+			return nil, err
+		}
+		s.injector = inj
 	}
 
 	// Start nodes with a small jitter so cycles do not run in lockstep.
@@ -376,20 +455,24 @@ func (s *Sim) deliver(d *packet.Data, now float64) {
 func (s *Sim) scheduleArrival(node *core.Node, rng *simrand.Source) {
 	delay := rng.Exp(s.cfg.ArrivalMeanSeconds)
 	s.sched.After(delay, func() {
-		if !node.Alive() {
-			return // dead sensors sense nothing; their process ends
+		if !node.Alive() && s.plan.Churn == nil {
+			return // permanently dead sensors sense nothing; their process ends
 		}
 		stop := s.cfg.DurationSeconds
 		if s.cfg.TrafficStopSeconds > 0 {
 			stop = s.cfg.TrafficStopSeconds
 		}
 		if s.sched.Now() <= stop {
-			s.nextMsgID++
-			id := s.nextMsgID
-			// Record generation even if the queue rejects it: a dropped
-			// message is still an undelivered message (§3.1.2).
-			_ = s.collector.Generated(id, node.ID(), s.sched.Now())
-			node.Generate(id, s.cfg.DataBits)
+			// Under churn a down sensor may reboot, so its Poisson process
+			// keeps ticking; it just senses nothing while crashed.
+			if node.Alive() {
+				s.nextMsgID++
+				id := s.nextMsgID
+				// Record generation even if the queue rejects it: a dropped
+				// message is still an undelivered message (§3.1.2).
+				_ = s.collector.Generated(id, node.ID(), s.sched.Now())
+				node.Generate(id, s.cfg.DataBits)
+			}
 			s.scheduleArrival(node, rng)
 		}
 	})
@@ -458,6 +541,17 @@ func (s *Sim) Snapshot() Result {
 	}
 	if res.Delivery.Delivered > 0 {
 		res.ControlBitsPerDelivered = float64(res.Channel.ControlBits) / float64(res.Delivery.Delivered)
+	}
+	res.Resilience.Orphaned = res.Delivery.Orphaned
+	if s.injector != nil {
+		st := s.injector.Stats()
+		res.Resilience.Crashes = st.Crashes
+		res.Resilience.Recoveries = st.Recoveries
+		res.Resilience.SinkOutages = st.SinkOutages
+		res.Resilience.CopiesLost = st.CopiesLost
+		if t0, ok := s.plan.FirstFaultSeconds(); ok {
+			res.Resilience.RecoverySeconds = s.collector.RecoveryTime(t0, s.cfg.DurationSeconds/20, 0.8, now)
+		}
 	}
 	return res
 }

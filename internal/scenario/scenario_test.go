@@ -1,11 +1,13 @@
 package scenario
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"dftmsn/internal/core"
 	"dftmsn/internal/energy"
+	"dftmsn/internal/faults"
 	"dftmsn/internal/geo"
 	"dftmsn/internal/trace"
 )
@@ -409,6 +411,11 @@ func TestFaultInjectionKillsFraction(t *testing.T) {
 	if dead != 6 {
 		t.Fatalf("%d dead sensors, want 6", dead)
 	}
+	// The injector now runs the legacy burst, so the resilience digest
+	// must account for it.
+	if res.Resilience.Crashes != 6 || res.Resilience.Recoveries != 0 {
+		t.Fatalf("resilience %+v, want 6 crashes and no recoveries", res.Resilience)
+	}
 }
 
 func TestFaultConfigValidation(t *testing.T) {
@@ -423,9 +430,120 @@ func TestFaultConfigValidation(t *testing.T) {
 		t.Error("failures without a time accepted")
 	}
 	cfg = quickConfig(core.SchemeOPT)
+	cfg.FailFraction = 0.5
+	cfg.FailAtSeconds = cfg.DurationSeconds + 1 // would silently never fire
+	if _, err := New(cfg); err == nil {
+		t.Error("failure time beyond the run accepted")
+	}
+	cfg = quickConfig(core.SchemeOPT)
 	cfg.LossProb = -0.1
 	if _, err := New(cfg); err == nil {
 		t.Error("negative loss accepted")
+	}
+	// Fault-plan errors surface through Config.Validate too.
+	cfg = quickConfig(core.SchemeOPT)
+	cfg.Faults = &faults.Plan{Churn: &faults.Churn{MTBFSeconds: -1, MTTRSeconds: 10}}
+	if _, err := New(cfg); err == nil {
+		t.Error("negative churn MTBF accepted")
+	}
+	cfg = quickConfig(core.SchemeOPT)
+	cfg.Faults = &faults.Plan{SinkOutages: []faults.Outage{{Sink: 5, StartSeconds: 10, DurationSeconds: 10}}}
+	if _, err := New(cfg); err == nil {
+		t.Error("outage of a nonexistent sink accepted")
+	}
+	cfg = quickConfig(core.SchemeOPT)
+	cfg.Faults = &faults.Plan{Kills: []faults.Kill{{AtSeconds: cfg.DurationSeconds * 2, Fraction: 0.5}}}
+	if _, err := New(cfg); err == nil {
+		t.Error("kill beyond the run accepted")
+	}
+}
+
+// TestFaultPlanEndToEnd runs the full fault-injection stack in one plan —
+// node churn, a sink outage, and Gilbert–Elliott burst loss — and checks
+// the resilience digest, plus byte-for-byte determinism across same-seed
+// runs.
+func TestFaultPlanEndToEnd(t *testing.T) {
+	run := func() Result {
+		t.Helper()
+		cfg := quickConfig(core.SchemeOPT)
+		cfg.DurationSeconds = 1200
+		cfg.Faults = &faults.Plan{
+			Churn:       &faults.Churn{MTBFSeconds: 300, MTTRSeconds: 100, Fraction: 0.5, StartSeconds: 200},
+			SinkOutages: []faults.Outage{{Sink: 0, StartSeconds: 400, DurationSeconds: 200}},
+			Burst:       &faults.Burst{BadLossProb: 0.8, MeanGoodSeconds: 120, MeanBadSeconds: 40},
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.Resilience.Crashes == 0 {
+		t.Error("churn produced no crashes")
+	}
+	if res.Resilience.Recoveries == 0 {
+		t.Error("churn produced no reboots")
+	}
+	if res.Resilience.Crashes < res.Resilience.Recoveries {
+		t.Errorf("more reboots (%d) than crashes (%d)", res.Resilience.Recoveries, res.Resilience.Crashes)
+	}
+	if res.Resilience.SinkOutages != 1 {
+		t.Errorf("sink outages %d, want 1", res.Resilience.SinkOutages)
+	}
+	if res.Channel.LossesBurst == 0 {
+		t.Error("burst loss process corrupted nothing")
+	}
+	if res.Delivery.Delivered == 0 {
+		t.Error("network delivered nothing despite faults")
+	}
+	if res.Resilience.Orphaned > res.Delivery.Generated-res.Delivery.Delivered {
+		t.Errorf("orphaned %d exceeds undelivered count", res.Resilience.Orphaned)
+	}
+	res2 := run()
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatalf("same seed diverged under a fault plan:\n%+v\n%+v", res, res2)
+	}
+}
+
+// TestSinkOutageSuppressesDeliveries starves a single-sink network during
+// the outage window: nothing can be delivered while the only sink is down.
+func TestSinkOutageSuppressesDeliveries(t *testing.T) {
+	cfg := quickConfig(core.SchemeOPT)
+	cfg.NumSinks = 1
+	cfg.DurationSeconds = 900
+	cfg.Faults = &faults.Plan{SinkOutages: []faults.Outage{{Sink: 0, StartSeconds: 300, DurationSeconds: 300}}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Scheduler().Run(300); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Snapshot().Delivery.Delivered
+	if before == 0 {
+		t.Fatal("no deliveries before the outage")
+	}
+	if err := s.Scheduler().Run(599); err != nil {
+		t.Fatal(err)
+	}
+	during := s.Snapshot().Delivery.Delivered
+	if during != before {
+		t.Fatalf("deliveries rose %d -> %d while the only sink was down", before, during)
+	}
+	if err := s.Scheduler().Run(900); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Snapshot()
+	if after.Delivery.Delivered <= during {
+		t.Fatalf("no deliveries after the sink recovered (stuck at %d)", during)
+	}
+	if after.Resilience.SinkOutages != 1 {
+		t.Fatalf("sink outages %d, want 1", after.Resilience.SinkOutages)
 	}
 }
 

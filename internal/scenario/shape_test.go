@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dftmsn/internal/core"
+	"dftmsn/internal/faults"
 )
 
 // TestPaperShapes is the repository's reproduction gate: it runs the four
@@ -140,6 +141,51 @@ func TestFaultToleranceShape(t *testing.T) {
 	if optRetained < zbrRetained-0.02 {
 		t.Errorf("fault tolerance inverted: OPT retained %.3f of its ratio, ZBR %.3f",
 			optRetained, zbrRetained)
+	}
+}
+
+// TestChurnToleranceShape is the churn analogue of the burst-failure
+// claim: under sustained crash/reboot cycles that wipe buffers, the
+// multi-copy FAD scheme out-delivers the single-copy ZBR baseline — a
+// crash destroys ZBR's only copy but merely thins FAD's redundancy.
+func TestChurnToleranceShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test skipped in -short mode")
+	}
+	seeds := []uint64{7, 13}
+	run := func(sch core.Scheme) (ratio float64, crashes, recoveries uint64) {
+		t.Helper()
+		var sum float64
+		for _, seed := range seeds {
+			cfg := DefaultConfig(sch)
+			cfg.DurationSeconds = 4000
+			cfg.Seed = seed
+			cfg.Faults = &faults.Plan{Churn: &faults.Churn{
+				MTBFSeconds:  1000,
+				MTTRSeconds:  500,
+				StartSeconds: 500,
+			}}
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += res.Delivery.DeliveryRatio
+			crashes += res.Resilience.Crashes
+			recoveries += res.Resilience.Recoveries
+		}
+		return sum / float64(len(seeds)), crashes, recoveries
+	}
+	opt, optCrashes, optRecoveries := run(core.SchemeOPT)
+	zbr, _, _ := run(core.SchemeZBR)
+	if optCrashes == 0 || optRecoveries == 0 {
+		t.Fatalf("churn inert: %d crashes, %d recoveries", optCrashes, optRecoveries)
+	}
+	if opt <= zbr {
+		t.Errorf("under churn FAD ratio %.3f not above ZBR %.3f", opt, zbr)
 	}
 }
 

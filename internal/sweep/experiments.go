@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dftmsn/internal/core"
+	"dftmsn/internal/faults"
 	"dftmsn/internal/scenario"
 )
 
@@ -237,6 +238,52 @@ func Faults(o Options) (Experiment, error) {
 		Name:     "faults",
 		XLabel:   "fail_fraction",
 		Xs:       []float64{0, 0.2, 0.4},
+		Variants: variants,
+		Runs:     o.Runs,
+		BaseSeed: o.BaseSeed,
+	}, nil
+}
+
+// Churn returns this reproduction's sustained-churn experiment: the swept
+// fraction of sensors crashes and reboots in exponential MTBF/MTTR cycles
+// (buffers wiped, ξ reset — the harsh reboot), under the multi-copy FAD
+// scheme versus the single-copy ZBR baseline and direct transmission.
+// Where the Faults experiment measures one burst, this one measures a
+// steady failure process: every crash destroys the node's custodial
+// copies, so delivery hinges on the replication the FTD loop maintains.
+// The resilience columns (orphaned, copies_lost, crashes, recovery_s)
+// expose the fault process itself next to the delivery metrics.
+func Churn(o Options) (Experiment, error) {
+	if err := o.validate(); err != nil {
+		return Experiment{}, err
+	}
+	variants := make([]Variant, 0, 3)
+	for _, sch := range []core.Scheme{core.SchemeOPT, core.SchemeZBR, core.SchemeDirect} {
+		sch := sch
+		variants = append(variants, Variant{
+			Name: sch.String(),
+			Build: func(x float64) (scenario.Config, error) {
+				cfg := scenario.DefaultConfig(sch)
+				cfg.NumSensors = o.Sensors
+				cfg.DurationSeconds = o.DurationSeconds
+				if x > 0 {
+					// Fraction 0 means "all sensors" in a plan, but on
+					// this axis x=0 is the fault-free baseline.
+					cfg.Faults = &faults.Plan{Churn: &faults.Churn{
+						MTBFSeconds:  o.DurationSeconds / 4,
+						MTTRSeconds:  o.DurationSeconds / 8,
+						Fraction:     x,
+						StartSeconds: o.DurationSeconds / 6,
+					}}
+				}
+				return cfg, nil
+			},
+		})
+	}
+	return Experiment{
+		Name:     "churn",
+		XLabel:   "churn_fraction",
+		Xs:       []float64{0, 0.25, 0.5, 1},
 		Variants: variants,
 		Runs:     o.Runs,
 		BaseSeed: o.BaseSeed,

@@ -95,6 +95,10 @@ type Point struct {
 	GeneratedCount Stats
 	AliveFraction  Stats
 	FirstDeath     Stats
+	Orphaned       Stats
+	CopiesLost     Stats
+	Crashes        Stats
+	RecoverySec    Stats
 }
 
 // add folds one run result into the point.
@@ -113,6 +117,10 @@ func (p *Point) add(r scenario.Result) {
 	p.GeneratedCount.Add(float64(r.Delivery.Generated))
 	p.AliveFraction.Add(r.AliveFraction)
 	p.FirstDeath.Add(r.FirstDeathSeconds)
+	p.Orphaned.Add(float64(r.Resilience.Orphaned))
+	p.CopiesLost.Add(float64(r.Resilience.CopiesLost))
+	p.Crashes.Add(float64(r.Resilience.Crashes))
+	p.RecoverySec.Add(r.Resilience.RecoverySeconds)
 }
 
 // Metric selects a column for formatting.
@@ -130,13 +138,18 @@ const (
 	MetricHops       Metric = "hops"
 	MetricAlive      Metric = "alive_fraction"
 	MetricFirstDeath Metric = "first_death_s"
+	MetricOrphaned   Metric = "orphaned"
+	MetricCopiesLost Metric = "copies_lost"
+	MetricCrashes    Metric = "crashes"
+	MetricRecovery   Metric = "recovery_s"
 )
 
 // Metrics lists the supported metric names.
 func Metrics() []Metric {
 	return []Metric{MetricRatio, MetricPowerMW, MetricDelay, MetricDuty,
 		MetricCollisions, MetricDrops, MetricOverhead, MetricHops,
-		MetricAlive, MetricFirstDeath}
+		MetricAlive, MetricFirstDeath, MetricOrphaned, MetricCopiesLost,
+		MetricCrashes, MetricRecovery}
 }
 
 // value extracts the named metric.
@@ -162,6 +175,14 @@ func (p *Point) value(m Metric) *Stats {
 		return &p.AliveFraction
 	case MetricFirstDeath:
 		return &p.FirstDeath
+	case MetricOrphaned:
+		return &p.Orphaned
+	case MetricCopiesLost:
+		return &p.CopiesLost
+	case MetricCrashes:
+		return &p.Crashes
+	case MetricRecovery:
+		return &p.RecoverySec
 	default:
 		return nil
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dftmsn/internal/core"
+	"dftmsn/internal/faults"
 	"dftmsn/internal/scenario"
 )
 
@@ -221,7 +222,7 @@ func TestSortedVariantIndex(t *testing.T) {
 
 func TestPredefinedExperimentsValidate(t *testing.T) {
 	o := QuickOptions()
-	for _, build := range []func(Options) (Experiment, error){Fig2, Density, Speed, Ablation, Extensions, Lifetime, Faults, Loss} {
+	for _, build := range []func(Options) (Experiment, error){Fig2, Density, Speed, Ablation, Extensions, Lifetime, Faults, Churn, Loss} {
 		e, err := build(o)
 		if err != nil {
 			t.Fatal(err)
@@ -246,6 +247,45 @@ func TestPredefinedExperimentsValidate(t *testing.T) {
 	bad := Options{}
 	if _, err := Fig2(bad); err == nil {
 		t.Error("invalid options accepted")
+	}
+}
+
+// TestResilienceColumns runs a tiny churn sweep and checks that the fault
+// process surfaces in the new resilience metrics.
+func TestResilienceColumns(t *testing.T) {
+	e := Experiment{
+		Name:   "tiny-churn",
+		XLabel: "churn_fraction",
+		Xs:     []float64{1},
+		Variants: []Variant{{
+			Name: "OPT",
+			Build: func(x float64) (scenario.Config, error) {
+				cfg := scenario.DefaultConfig(core.SchemeOPT)
+				cfg.NumSensors = 10
+				cfg.DurationSeconds = 600
+				cfg.ArrivalMeanSeconds = 40
+				cfg.Faults = &faults.Plan{Churn: &faults.Churn{
+					MTBFSeconds: 150,
+					MTTRSeconds: 75,
+					Fraction:    x,
+				}}
+				return cfg, nil
+			},
+		}},
+		Runs:     1,
+		BaseSeed: 5,
+	}
+	table, err := e.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := table.Cell(0, 0)
+	if p.Crashes.Mean() <= 0 {
+		t.Fatalf("churn sweep recorded no crashes")
+	}
+	csv := table.CSV(MetricCrashes)
+	if !strings.Contains(csv, "crashes") {
+		t.Fatalf("CSV header missing crashes column:\n%s", csv)
 	}
 }
 

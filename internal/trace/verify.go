@@ -25,14 +25,19 @@ func (v Violation) String() string {
 //     preceding sleep;
 //  3. a sleeping node neither receives data, multicasts, nor generates a
 //     transmission outcome (radio is off);
-//  4. "died"/"killed" is terminal — no further events from that node.
+//  4. "died"/"killed" is terminal — no further events from that node;
+//  5. "crash" silences a node until its "recover" (fault injection), and
+//     "recover" only follows a crash; the reboot re-enters the cycle loop
+//     through a "wake" that needs no preceding "sleep".
 //
 // It returns all violations found (empty for a conformant trace).
 func Verify(recs []Record) []Violation {
 	var out []Violation
 	type nodeState struct {
-		asleep bool
-		dead   bool
+		asleep    bool
+		dead      bool
+		crashed   bool
+		rebooting bool // recovered; the boot wake is pending
 	}
 	states := make(map[packet.NodeID]*nodeState)
 	lastTime := 0.0
@@ -50,23 +55,37 @@ func Verify(recs []Record) []Violation {
 			out = append(out, Violation{r, "event after death"})
 			continue
 		}
+		if st.crashed && r.Event != "recover" {
+			out = append(out, Violation{r, "event while crashed"})
+			continue
+		}
 		switch r.Event {
 		case "sleep":
 			if st.asleep {
 				out = append(out, Violation{r, "sleep while already asleep"})
 			}
 			st.asleep = true
+			st.rebooting = false
 		case "wake":
-			if !st.asleep {
+			if !st.asleep && !st.rebooting {
 				out = append(out, Violation{r, "wake without preceding sleep"})
 			}
 			st.asleep = false
+			st.rebooting = false
 		case "rx-data", "schedule", "tx-outcome":
 			if st.asleep {
 				out = append(out, Violation{r, "radio activity while asleep"})
 			}
 		case "died", "killed":
 			st.dead = true
+		case "crash":
+			st.crashed = true
+		case "recover":
+			if !st.crashed {
+				out = append(out, Violation{r, "recover of a node that was not crashed"})
+			}
+			st.crashed = false
+			st.rebooting = true
 		case "gen", "gen-drop":
 			// Sensing is independent of the radio; allowed while asleep.
 		}

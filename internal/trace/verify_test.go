@@ -63,6 +63,42 @@ func TestVerifyCatchesEventsAfterDeath(t *testing.T) {
 	}
 }
 
+func TestVerifyAllowsCrashRecoverCycle(t *testing.T) {
+	recs := []Record{
+		{Time: 1, Node: 1, Event: "gen"},
+		{Time: 2, Node: 1, Event: "crash"},
+		{Time: 3, Node: 1, Event: "recover"},
+		{Time: 3.1, Node: 1, Event: "wake"}, // reboot wake needs no sleep
+		{Time: 4, Node: 1, Event: "sleep"},
+		{Time: 4.5, Node: 1, Event: "crash"}, // crash while asleep
+		{Time: 5, Node: 1, Event: "recover"},
+		{Time: 5.1, Node: 1, Event: "wake"},
+		{Time: 6, Node: 1, Event: "rx-data"},
+	}
+	if vs := Verify(recs); len(vs) != 0 {
+		t.Fatalf("churn trace produced violations:\n%s", FormatViolations(vs))
+	}
+}
+
+func TestVerifyCatchesEventsWhileCrashed(t *testing.T) {
+	recs := []Record{
+		{Time: 1, Node: 1, Event: "crash"},
+		{Time: 2, Node: 1, Event: "rx-data"},
+		{Time: 3, Node: 2, Event: "gen"}, // other nodes unaffected
+	}
+	vs := Verify(recs)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "while crashed") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestVerifyCatchesRecoverWithoutCrash(t *testing.T) {
+	vs := Verify([]Record{{Time: 1, Node: 1, Event: "recover"}})
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "not crashed") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
 func TestVerifyCatchesTimeReversal(t *testing.T) {
 	recs := []Record{
 		{Time: 5, Node: 1, Event: "gen"},
