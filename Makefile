@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench figures figures-paper fuzz vet fmt clean
+.PHONY: all build test test-short race cover bench figures figures-paper chaos fuzz fuzz-smoke vet fmt clean
 
 all: build test
 
@@ -33,9 +33,21 @@ figures:
 figures-paper:
 	$(GO) run ./cmd/figures -fig fig2 -scale paper
 
+# Invariant-armed chaos campaign: randomized fault plans over many seeds,
+# failing seeds shrunk to a minimal reproducer. CHAOS_RUNS bounds it.
+CHAOS_RUNS ?= 200
+chaos:
+	$(GO) run ./cmd/dftchaos -runs $(CHAOS_RUNS)
+
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/packet/
 	$(GO) test -fuzz=FuzzStreamReader -fuzztime=30s ./internal/packet/
+
+# A quick fuzz pass over every fuzz target (what CI's smoke job runs).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/packet/
+	$(GO) test -fuzz=FuzzStreamReader -fuzztime=10s ./internal/packet/
+	$(GO) test -fuzz=FuzzLoadConfig -fuzztime=10s ./internal/scenario/
 
 vet:
 	$(GO) vet ./...

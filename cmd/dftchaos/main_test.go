@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCleanCampaign(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-runs", "15", "-seed", "4"}, &sb); err != nil {
+		t.Fatalf("clean campaign failed: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"chaos campaign", "15 randomized", "invariants", "0 violations", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCatchesMutation(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-runs", "4", "-seed", "4", "-inject-skip-sender-ftd"}, &sb)
+	if err == nil {
+		t.Fatalf("mutated build passed the campaign:\n%s", sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"FAIL", "ftd-sender", "minimized", "reproduce with", "-inject-skip-sender-ftd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scheme", "bogus"}, &sb); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+	if err := run([]string{"-unknownflag"}, &sb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-sinks", "0"}, &sb); err == nil {
+		t.Error("zero sinks accepted")
+	}
+}

@@ -7,6 +7,8 @@
 //	dftsim [-churn-mtbf S -churn-mttr S] [-churn-fraction F] [-churn-start S]
 //	       [-outage-start S -outage-duration S] [-outage-sink N]
 //	       [-burst-bad-loss P] [-burst-good-loss P] [-burst-good-s S] [-burst-bad-s S]
+//	       [-kill-at S -kill-fraction F]
+//	dftsim [-invariants off|report|panic] [-inject-skip-sender-ftd]
 //	dftsim -config scenario.json [-dumpconfig]
 //
 // The defaults reproduce the paper's §5 setup; -config loads a JSON
@@ -16,10 +18,19 @@
 //
 // The fault flags assemble a fault-injection plan: -churn-mtbf with
 // -churn-mttr enables exponential crash/reboot cycles, -outage-duration
-// takes a sink (or all sinks) down for a window, and -burst-bad-loss
-// switches the channel to Gilbert–Elliott two-state burst loss. When any
+// takes a sink (or all sinks) down for a window, -burst-bad-loss
+// switches the channel to Gilbert–Elliott two-state burst loss, and
+// -kill-at with -kill-fraction fails a sensor fraction for good. When any
 // fault ran, the digest gains a resilience section. JSON configs express
 // the same (and more, e.g. several outages) under the "faults" key.
+//
+// -invariants arms the runtime protocol-invariant engine
+// (internal/invariants): "report" adds an invariants line to the digest
+// and lists the first breaches; "panic" aborts at the first breach with
+// the virtual-time event context. -inject-skip-sender-ftd deliberately
+// breaks the Eq. 3 sender update — a mutation-testing knob proving the
+// engine catches a broken build (the chaos harness uses it; see
+// internal/chaos).
 package main
 
 import (
@@ -66,6 +77,11 @@ func run(args []string, out io.Writer) error {
 		burstGoodLoss = fs.Float64("burst-good-loss", 0, "good-state reception loss probability")
 		burstGoodS    = fs.Float64("burst-good-s", 90, "mean good-state sojourn (s)")
 		burstBadS     = fs.Float64("burst-bad-s", 30, "mean bad-state sojourn (s)")
+		killAt        = fs.Float64("kill-at", 0, "when a one-shot burst failure strikes (s); with -kill-fraction enables the kill")
+		killFraction  = fs.Float64("kill-fraction", 0, "share of sensors the burst failure kills")
+
+		invariantsMode = fs.String("invariants", "", "runtime invariant checking: off, report, or panic")
+		injectSkipFTD  = fs.Bool("inject-skip-sender-ftd", false, "deliberately break the Eq. 3 sender-FTD update (mutation testing)")
 
 		configPath = fs.String("config", "", "JSON scenario file (flags above are ignored)")
 		dumpConfig = fs.Bool("dumpconfig", false, "print the effective config as JSON and exit")
@@ -125,9 +141,23 @@ func run(args []string, out io.Writer) error {
 				MeanBadSeconds:  *burstBadS,
 			}
 		}
+		if *killFraction > 0 {
+			plan.Kills = []dftmsn.FaultKill{{
+				AtSeconds: *killAt,
+				Fraction:  *killFraction,
+			}}
+		}
 		if plan.Enabled() {
 			cfg.Faults = plan
 		}
+	}
+	// The invariant flags apply in both paths, so a -config run can still
+	// be armed (or a chaos reproducer can carry the mutation knob).
+	if *invariantsMode != "" {
+		cfg.Invariants = *invariantsMode
+	}
+	if *injectSkipFTD {
+		cfg.InjectSkipSenderFTD = true
 	}
 	if *dumpConfig {
 		return dftmsn.SaveConfig(out, cfg)
@@ -164,6 +194,17 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "ratio recovery    never (stayed below 80%% of the pre-fault ratio)\n")
 		case r.RecoverySeconds > 0:
 			fmt.Fprintf(out, "ratio recovery    %.0f s after the first fault\n", r.RecoverySeconds)
+		}
+	}
+	if res.Invariants.Armed {
+		fmt.Fprintf(out, "invariants        %d checks, %d violations\n",
+			res.Invariants.Checks, res.Invariants.Violations)
+		for i, v := range res.Invariants.Recorded {
+			if i >= 5 {
+				fmt.Fprintf(out, "  … %d more recorded\n", len(res.Invariants.Recorded)-i)
+				break
+			}
+			fmt.Fprintf(out, "  %s\n", v)
 		}
 	}
 	if *verbose {

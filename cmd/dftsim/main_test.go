@@ -1,13 +1,17 @@
 package main
 
 import (
+	"flag"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
 	"dftmsn"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 func TestParseScheme(t *testing.T) {
 	cases := map[string]dftmsn.Scheme{
@@ -132,6 +136,44 @@ func TestRunWithFaultConfig(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "resilience") || strings.Contains(sb.String(), "0 crashes") {
 		t.Fatalf("fault config not honoured:\n%s", sb.String())
+	}
+}
+
+// wallClock matches the only non-deterministic part of a digest: the
+// wall-clock duration inside the "simulated" line.
+var wallClock = regexp.MustCompile(`in [0-9][^)]*\)`)
+
+// TestResilienceDigestGolden locks the full digest of a faulted,
+// invariant-armed run — resilience section included — byte-for-byte
+// against testdata/resilience_digest.golden. Run with -update to rewrite
+// the golden file after an intentional digest change.
+func TestResilienceDigestGolden(t *testing.T) {
+	args := []string{
+		"-scheme", "OPT", "-sensors", "15", "-sinks", "2",
+		"-duration", "600", "-seed", "5", "-v",
+		"-churn-mtbf", "150", "-churn-mttr", "75", "-churn-start", "50",
+		"-outage-start", "100", "-outage-duration", "200", "-outage-sink", "0",
+		"-kill-at", "400", "-kill-fraction", "0.2",
+		"-invariants", "report",
+	}
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got := wallClock.ReplaceAllString(sb.String(), "in WALL)")
+	golden := filepath.Join("testdata", "resilience_digest.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/dftsim -run Golden -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("digest drifted from golden file (rerun with -update if intentional)\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
 

@@ -86,3 +86,16 @@ func TestRunRejectsBadArgs(t *testing.T) {
 		t.Error("unknown flag accepted")
 	}
 }
+
+func TestRunChaosSection(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "chaos", "-runs", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"chaos campaign", "invariants", "0 violations", "PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -37,8 +37,10 @@ package dftmsn
 import (
 	"io"
 
+	"dftmsn/internal/chaos"
 	"dftmsn/internal/core"
 	"dftmsn/internal/faults"
+	"dftmsn/internal/invariants"
 	"dftmsn/internal/optimize"
 	"dftmsn/internal/scenario"
 	"dftmsn/internal/sweep"
@@ -118,6 +120,26 @@ type (
 	FaultKill = faults.Kill
 	// Resilience digests the fault process of one run.
 	Resilience = scenario.Resilience
+)
+
+// Robustness re-exports: set Config.Invariants to "report" or "panic" to
+// arm the runtime protocol-invariant engine on a run (the Result's
+// Invariants digest reports its verdict), and use a ChaosCampaign to soak
+// the protocol under hundreds of randomized fault plans with the engine
+// armed and failures shrunk to minimal reproducers.
+type (
+	// InvariantsDigest summarises the invariant engine's work on one run.
+	InvariantsDigest = invariants.Digest
+	// InvariantViolation is one observed invariant breach.
+	InvariantViolation = invariants.Violation
+	// ChaosCampaign configures a randomized fault campaign.
+	ChaosCampaign = chaos.Campaign
+	// ChaosSummary digests a campaign: totals, failures, and the
+	// minimized reproducer for the earliest failure.
+	ChaosSummary = chaos.Summary
+	// ChaosFailureReport is a failing run plus its minimized fault plan
+	// and ready-to-run reproducer command.
+	ChaosFailureReport = chaos.FailureReport
 )
 
 // Run assembles and executes one simulation.

@@ -47,6 +47,7 @@ type Queue struct {
 	threshold float64
 	drops     DropCounts
 	seq       uint64
+	version   uint64 // bumped on every content mutation
 }
 
 // NewQueue returns a queue holding at most capacity entries, dropping any
@@ -73,6 +74,11 @@ func (q *Queue) Threshold() float64 { return q.threshold }
 
 // Drops returns the drop counters.
 func (q *Queue) Drops() DropCounts { return q.drops }
+
+// Version returns a counter bumped on every content mutation (insert,
+// remove, FTD update, wipe). Observers (internal/invariants) use it to
+// re-validate the queue ordering only when the contents actually changed.
+func (q *Queue) Version() uint64 { return q.version }
 
 // Head returns the most important entry (smallest FTD) without removing it.
 // ok is false when the queue is empty.
@@ -125,11 +131,13 @@ func (q *Queue) Insert(e Entry) bool {
 		if e.FTD < q.entries[i].FTD {
 			q.entries[i].FTD = e.FTD
 			q.resort(i)
+			q.version++
 		}
 		return true
 	}
 	e.seq = q.seq
 	q.seq++
+	q.version++
 	pos := q.insertPos(e)
 	q.entries = append(q.entries, Entry{})
 	copy(q.entries[pos+1:], q.entries[pos:])
@@ -152,6 +160,7 @@ func (q *Queue) Remove(id packet.MessageID) bool {
 		return false
 	}
 	q.entries = append(q.entries[:i], q.entries[i+1:]...)
+	q.version++
 	return true
 }
 
@@ -163,6 +172,7 @@ func (q *Queue) UpdateFTD(id packet.MessageID, ftdValue float64) bool {
 	if i < 0 {
 		return false
 	}
+	q.version++
 	if ftdValue > q.threshold || ftdValue < 0 || math.IsNaN(ftdValue) {
 		q.entries = append(q.entries[:i], q.entries[i+1:]...)
 		q.drops.Threshold++
@@ -185,6 +195,7 @@ func (q *Queue) Wipe() []packet.MessageID {
 		ids[i] = q.entries[i].ID
 	}
 	q.entries = q.entries[:0]
+	q.version++
 	return ids
 }
 

@@ -350,3 +350,44 @@ func TestFIFOBasics(t *testing.T) {
 		t.Fatal("empty FIFO head ok")
 	}
 }
+
+// TestVersionTracksMutations checks the version counter moves exactly when
+// queue contents change — the invariant engine relies on it to skip
+// rescanning untouched queues.
+func TestVersionTracksMutations(t *testing.T) {
+	q := newQ(t, 2, 0.9)
+	v := q.Version()
+	if !q.Insert(Entry{ID: 1, FTD: 0.2}) {
+		t.Fatal("insert refused")
+	}
+	if q.Version() == v {
+		t.Error("insert did not bump version")
+	}
+	v = q.Version()
+	// Reads leave the version alone.
+	q.Head()
+	q.Entries()
+	q.Contains(1)
+	q.Occupancy()
+	if q.Version() != v {
+		t.Error("reads bumped version")
+	}
+	// A refused insert (above threshold) is not a mutation.
+	if q.Insert(Entry{ID: 2, FTD: 0.95}) {
+		t.Fatal("threshold insert accepted")
+	}
+	if q.Version() != v {
+		t.Error("refused insert bumped version")
+	}
+	if !q.UpdateFTD(1, 0.3) {
+		t.Fatal("update refused")
+	}
+	if q.Version() == v {
+		t.Error("UpdateFTD did not bump version")
+	}
+	v = q.Version()
+	q.Wipe()
+	if q.Version() == v {
+		t.Error("Wipe did not bump version")
+	}
+}

@@ -126,6 +126,11 @@ type StrategyOverrides struct {
 	DeliveryThreshold float64
 	// DropThreshold overrides the §3.1.2 FTD drop bound.
 	DropThreshold float64
+	// SkipSenderFTDUpdate deliberately breaks the Eq. 3 sender-FTD update
+	// (mutation testing for the runtime invariant engine; see
+	// routing.FADConfig.SkipSenderFTDUpdate). Never enable in a real
+	// experiment.
+	SkipSenderFTDUpdate bool
 }
 
 // NewStrategy builds the routing strategy a sensor runs under scheme s.
@@ -147,6 +152,7 @@ func NewStrategyWithOverrides(s Scheme, id packet.NodeID, queueCap int, isSink f
 		if ov.DropThreshold > 0 {
 			cfg.DropThreshold = ov.DropThreshold
 		}
+		cfg.SkipSenderFTDUpdate = ov.SkipSenderFTDUpdate
 		return routing.NewFAD(id, cfg)
 	case SchemeZBR:
 		cfg := routing.DefaultZBRConfig()

@@ -237,9 +237,12 @@ func TestInjectorKillMatchesFraction(t *testing.T) {
 	sensors, sinks := newFleet(&events, 20, 1)
 	plan := Plan{Kills: []Kill{{AtSeconds: 100, Fraction: 0.3}}}
 	inj, err := NewInjector(plan, 1000, sched, simrand.New(1), sensors, sinks,
-		Hooks{NodeCrashed: func(now float64, idx int, lost []packet.MessageID) {
+		Hooks{NodeCrashed: func(now float64, idx int, wiped bool, lost []packet.MessageID) {
 			if now != 100 {
 				t.Errorf("kill fired at %v, want 100", now)
+			}
+			if !wiped {
+				t.Errorf("kill of sensor %d reported wiped=false", idx)
 			}
 			crashed[idx] = true
 			if len(lost) != 2 {

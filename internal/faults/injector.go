@@ -27,9 +27,10 @@ type Node interface {
 // Hooks receive injector events; nil fields are skipped. The scenario
 // runner uses them to feed the resilience metrics.
 type Hooks struct {
-	// NodeCrashed fires after a sensor crash (churn or kill); lost holds
-	// the message copies destroyed with the buffer.
-	NodeCrashed func(now float64, sensor int, lost []packet.MessageID)
+	// NodeCrashed fires after a sensor crash (churn or kill); wiped reports
+	// whether the crash destroyed the buffer, and lost holds the message
+	// copies that went with it (nil when the buffer was preserved).
+	NodeCrashed func(now float64, sensor int, wiped bool, lost []packet.MessageID)
 	// NodeRecovered fires after a churned sensor comes back up.
 	NodeRecovered func(now float64, sensor int)
 	// SinkDown and SinkUp bracket a sink outage.
@@ -149,7 +150,7 @@ func (in *Injector) churnCrash(c *Churn, idx int, rng *simrand.Source) {
 	in.stats.Crashes++
 	in.stats.CopiesLost += uint64(len(lost))
 	if in.hooks.NodeCrashed != nil {
-		in.hooks.NodeCrashed(in.sched.Now(), idx, lost)
+		in.hooks.NodeCrashed(in.sched.Now(), idx, !c.PreserveBuffer, lost)
 	}
 	in.sched.After(rng.Exp(c.MTTRSeconds), func() {
 		in.churnRecover(c, idx, rng)
@@ -244,7 +245,7 @@ func (in *Injector) fireKill(k Kill) {
 		in.stats.Crashes++
 		in.stats.CopiesLost += uint64(len(lost))
 		if in.hooks.NodeCrashed != nil {
-			in.hooks.NodeCrashed(in.sched.Now(), idx, lost)
+			in.hooks.NodeCrashed(in.sched.Now(), idx, true, lost)
 		}
 		killed++
 	}

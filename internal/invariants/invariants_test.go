@@ -1,0 +1,276 @@
+package invariants
+
+import (
+	"strings"
+	"testing"
+
+	"dftmsn/internal/buffer"
+	"dftmsn/internal/ftd"
+	"dftmsn/internal/packet"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]Mode{"": Off, "off": Off, "report": Report, "panic": Panic}
+	for in, want := range cases {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	if Report.String() != "report" || Off.String() != "off" || Panic.String() != "panic" {
+		t.Error("mode names drifted")
+	}
+}
+
+// collect returns an engine in Report mode plus a pointer to the list of
+// violations it reports.
+func collect() (*Engine, *[]Violation) {
+	var got []Violation
+	e := New(Options{Mode: Report, OnViolation: func(v Violation) { got = append(got, v) }})
+	return e, &got
+}
+
+func checkNames(t *testing.T, vs []Violation, want ...string) {
+	t.Helper()
+	if len(vs) != len(want) {
+		t.Fatalf("got %d violations %v, want %d (%v)", len(vs), vs, len(want), want)
+	}
+	for i, name := range want {
+		if vs[i].Check != name {
+			t.Errorf("violation %d is %q (%s), want %q", i, vs[i].Check, vs[i].Detail, name)
+		}
+	}
+}
+
+func TestXiRange(t *testing.T) {
+	e, got := collect()
+	xi := 0.5
+	e.Register(Probe{ID: 1, Xi: func() float64 { return xi }})
+	e.OnEvent(1, 0, "")
+	checkNames(t, *got)
+	xi = 1.5
+	e.OnEvent(2, 1, "")
+	checkNames(t, *got, "xi-range")
+}
+
+func TestSinkXiPinned(t *testing.T) {
+	e, got := collect()
+	xi := 1.0
+	e.Register(Probe{ID: 0, IsSink: true, Xi: func() float64 { return xi }})
+	e.OnEvent(1, 0, "")
+	checkNames(t, *got)
+	xi = 0.9
+	e.OnEvent(2, 1, "")
+	checkNames(t, *got, "xi-range")
+}
+
+func TestXiMonotoneDecay(t *testing.T) {
+	e, got := collect()
+	xi := 0.5
+	e.Register(Probe{ID: 1, Xi: func() float64 { return xi }, XiEWMA: true})
+	xi = 0.4 // decay between contacts: fine
+	e.OnEvent(1, 0, "")
+	checkNames(t, *got)
+	// A rise with no completed transmission (no MAC engine registered, so
+	// SendSuccesses cannot have moved) breaks Eq. 1.
+	xi = 0.6
+	e.OnEvent(2, 1, "")
+	checkNames(t, *got, "xi-monotone")
+}
+
+func TestQueueValidationIsVersionGated(t *testing.T) {
+	q, err := buffer.NewQueue(4, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, got := collect()
+	e.Register(Probe{ID: 1, Queue: q})
+	q.Insert(buffer.Entry{ID: 1, FTD: 0.2})
+	q.Insert(buffer.Entry{ID: 2, FTD: 0.5})
+	e.OnEvent(1, 0, "")
+	checkNames(t, *got) // sorted, in range, below threshold: clean
+	// The version counter gates revalidation: an untouched queue is not
+	// rescanned, so idle events cost nothing here.
+	idle := e.Checks()
+	e.OnEvent(2, 1, "")
+	if e.Checks() != idle {
+		t.Errorf("idle event rescanned an unchanged queue (%d -> %d checks)", idle, e.Checks())
+	}
+	q.Insert(buffer.Entry{ID: 3, FTD: 0.3})
+	e.OnEvent(3, 2, "")
+	if e.Checks() <= idle {
+		t.Error("queue change did not trigger revalidation")
+	}
+	checkNames(t, *got)
+}
+
+// TestQueueShapeChecks feeds crafted queue snapshots the buffer API itself
+// refuses to build (that refusal is the invariant) straight to the shape
+// check.
+func TestQueueShapeChecks(t *testing.T) {
+	e, got := collect()
+	e.checkQueueShape(1, []buffer.Entry{{ID: 1, FTD: 0.2}, {ID: 2, FTD: 0.5}}, 4, 0.9)
+	checkNames(t, *got)
+	e.checkQueueShape(1, []buffer.Entry{{ID: 1, FTD: 0.95}}, 4, 0.9)
+	checkNames(t, *got, "queue-order")
+	*got = nil
+	e.checkQueueShape(1, []buffer.Entry{{ID: 1, FTD: 0.5}, {ID: 2, FTD: 0.2}}, 4, 0.9)
+	checkNames(t, *got, "queue-order")
+	*got = nil
+	e.checkQueueShape(1, []buffer.Entry{{ID: 1, FTD: -0.1}}, 4, 0.9)
+	checkNames(t, *got, "ftd-range")
+	*got = nil
+	e.checkQueueShape(1, make([]buffer.Entry, 5), 4, 0.9)
+	checkNames(t, *got, "queue-order")
+}
+
+func TestFTDSplitRecomputation(t *testing.T) {
+	e, got := collect()
+	e.Register(Probe{ID: 1})
+	obs := e.FADObserver(1)
+	headFTD, senderXi := 0.3, 0.4
+	xis := []float64{0.2, 0.6}
+	entries := []packet.ScheduleEntry{
+		{Node: 2, FTD: ftd.CopyFTD(headFTD, senderXi, []float64{xis[1]})},
+		{Node: 3, FTD: ftd.CopyFTD(headFTD, senderXi, []float64{xis[0]})},
+	}
+	obs.ScheduleBuilt(7, headFTD, senderXi, entries, xis)
+	checkNames(t, *got)  // exact Eq. 2 recomputation: clean
+	entries[0].FTD = 0.1 // below the pre-split FTD and off the formula
+	obs.ScheduleBuilt(7, headFTD, senderXi, entries, xis)
+	checkNames(t, *got, "ftd-split", "ftd-split")
+}
+
+func TestFTDSenderRecomputation(t *testing.T) {
+	e, got := collect()
+	e.Register(Probe{ID: 1})
+	obs := e.FADObserver(1)
+	before := 0.3
+	acked := []float64{0.5}
+	want := ftd.SenderFTD(before, acked)
+	obs.TxOutcome(7, true, before, acked, true, want)
+	checkNames(t, *got) // matches Eq. 3: clean
+	obs.TxOutcome(7, true, before, acked, true, before)
+	checkNames(t, *got, "ftd-sender")
+	// No custody (the pending copy was overflow-dropped mid-exchange):
+	// nothing to check.
+	*got = nil
+	obs.TxOutcome(7, false, 0, acked, false, 0)
+	checkNames(t, *got)
+}
+
+func TestSinkCustody(t *testing.T) {
+	e, got := collect()
+	e.Register(Probe{ID: 1})
+	obs := e.FADObserver(1)
+	acked := []float64{1} // a sink acknowledged (only sinks hold ξ = 1)
+	want := ftd.SenderFTD(0.3, acked)
+	if want != 1 {
+		t.Fatalf("Eq. 3 after a sink ack = %v, want 1", want)
+	}
+	obs.TxOutcome(7, true, 0.3, acked, false, 0) // custody dropped: clean
+	checkNames(t, *got)
+	obs.TxOutcome(7, true, 0.3, acked, true, 0.3) // retained below 1: double breach
+	checkNames(t, *got, "ftd-sender", "sink-custody")
+}
+
+func TestCopyConservation(t *testing.T) {
+	q, err := buffer.NewQueue(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, got := collect()
+	e.Register(Probe{ID: 1, Queue: q})
+	q.Insert(buffer.Entry{ID: 1, FTD: 0.2})
+	q.Insert(buffer.Entry{ID: 2, FTD: 0.5})
+	e.OnEvent(1, 0, "") // engine observes the 2-deep queue
+	lost := q.Wipe()
+	e.NodeCrashed(1, true, lost)
+	e.Finish(uint64(len(lost)))
+	checkNames(t, *got) // ledger balances: clean
+}
+
+func TestCopyConservationCatchesShortfall(t *testing.T) {
+	q, err := buffer.NewQueue(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, got := collect()
+	e.Register(Probe{ID: 1, Queue: q})
+	q.Insert(buffer.Entry{ID: 1, FTD: 0.2})
+	q.Insert(buffer.Entry{ID: 2, FTD: 0.5})
+	e.OnEvent(1, 0, "")
+	lost := q.Wipe()
+	e.NodeCrashed(1, true, lost[:1]) // crash under-reports one copy
+	if len(*got) == 0 || (*got)[0].Check != "copy-conservation" {
+		t.Fatalf("shortfall not caught: %v", *got)
+	}
+}
+
+func TestCopyConservationPreservedBuffer(t *testing.T) {
+	q, err := buffer.NewQueue(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, got := collect()
+	e.Register(Probe{ID: 1, Queue: q})
+	q.Insert(buffer.Entry{ID: 1, FTD: 0.2})
+	e.OnEvent(1, 0, "")
+	e.NodeCrashed(1, false, nil) // preserve-buffer churn: queue survives
+	e.Finish(0)
+	checkNames(t, *got)
+}
+
+func TestFinishCatchesDigestMismatch(t *testing.T) {
+	e, got := collect()
+	e.Finish(3) // digest claims losses the hooks never reported
+	if len(*got) != 1 || (*got)[0].Check != "copy-conservation" {
+		t.Fatalf("digest mismatch not caught: %v", *got)
+	}
+}
+
+func TestPanicModeRaises(t *testing.T) {
+	e := New(Options{Mode: Panic})
+	xi := 2.0
+	e.Register(Probe{ID: 1, Xi: func() float64 { return xi }})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic mode did not panic")
+		}
+		if err, ok := r.(error); !ok || !strings.Contains(err.Error(), "xi-range") {
+			t.Fatalf("panic value = %v", r)
+		}
+	}()
+	e.OnEvent(1, 0, "")
+}
+
+func TestOffModeIsInert(t *testing.T) {
+	e, got := collect()
+	e.opts.Mode = Off
+	xi := 2.0
+	e.Register(Probe{ID: 1, Xi: func() float64 { return xi }})
+	e.OnEvent(1, 0, "")
+	if len(*got) != 0 || e.Checks() != 0 {
+		t.Fatalf("off mode did work: %d checks, %v", e.Checks(), *got)
+	}
+	if e.Digest().Armed {
+		t.Error("off engine reports armed")
+	}
+}
+
+func TestMaxViolationsCapsRecorded(t *testing.T) {
+	e := New(Options{Mode: Report, MaxViolations: 2})
+	xi := 2.0
+	e.Register(Probe{ID: 1, Xi: func() float64 { return xi }})
+	for i := 0; i < 5; i++ {
+		e.OnEvent(float64(i), uint64(i), "")
+	}
+	d := e.Digest()
+	if d.Violations != 5 || len(d.Recorded) != 2 {
+		t.Fatalf("violations=%d recorded=%d, want 5 and 2", d.Violations, len(d.Recorded))
+	}
+}

@@ -135,6 +135,42 @@ const (
 	phNAV                        // bystander: deferring until exchange ends
 )
 
+// String names the phase for diagnostics (stuck-cycle reports).
+func (p phase) String() string {
+	switch p {
+	case phOff:
+		return "off"
+	case phListen:
+		return "listen"
+	case phListenOnly:
+		return "listen-only"
+	case phSendPreamble:
+		return "send-preamble"
+	case phSendRTS:
+		return "send-rts"
+	case phCTSWindow:
+		return "cts-window"
+	case phSendSchedule:
+		return "send-schedule"
+	case phSendData:
+		return "send-data"
+	case phAckWindow:
+		return "ack-window"
+	case phAwaitRTS:
+		return "await-rts"
+	case phAwaitSchedule:
+		return "await-schedule"
+	case phAwaitData:
+		return "await-data"
+	case phSendAck:
+		return "send-ack"
+	case phNAV:
+		return "nav"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
 // Stats counts engine-level events for one node.
 type Stats struct {
 	Cycles          uint64
@@ -160,10 +196,11 @@ type Engine struct {
 	rng    *simrand.Source
 	onEnd  func(Outcome)
 
-	phase   phase
-	timer   *sim.Event
-	ctsSend *sim.Event
-	ackSend *sim.Event
+	phase      phase
+	cycleStart float64
+	timer      *sim.Event
+	ctsSend    *sim.Event
+	ackSend    *sim.Event
 
 	// Sender-side cycle state.
 	cands       []Candidate
@@ -221,6 +258,13 @@ func (e *Engine) Stats() Stats { return e.stats }
 // InCycle reports whether a cycle is currently running.
 func (e *Engine) InCycle() bool { return e.phase != phOff }
 
+// CycleInfo reports whether a cycle is in progress, when it started, and
+// the current phase name — the liveness probe behind the runtime invariant
+// "every started cycle terminates" (internal/invariants).
+func (e *Engine) CycleInfo() (inCycle bool, startedAt float64, phaseName string) {
+	return e.phase != phOff, e.cycleStart, e.phase.String()
+}
+
 // StartCycle begins one working cycle with an adaptive listening period of
 // tauSlots slots (§4.2: drawn by the caller uniformly from [1, σ]).
 // The radio must be idle.
@@ -238,6 +282,7 @@ func (e *Engine) StartCycle(tauSlots int) error {
 		tauSlots = 1
 	}
 	e.stats.Cycles++
+	e.cycleStart = e.sched.Now()
 	e.out = Outcome{}
 	e.cands = e.cands[:0]
 	e.entries = nil

@@ -28,6 +28,9 @@ type messageRecord struct {
 type Collector struct {
 	messages map[packet.MessageID]*messageRecord
 	order    []packet.MessageID // generation order, for deterministic reports
+
+	invariantViolations int
+	firstViolation      string
 }
 
 // NewCollector returns an empty collector.
@@ -80,6 +83,16 @@ func (c *Collector) CopyLostToCrash(id packet.MessageID) {
 	}
 }
 
+// InvariantViolation records one runtime protocol-invariant breach reported
+// by the invariant engine (internal/invariants). The first breach's
+// description is kept verbatim for the run digest.
+func (c *Collector) InvariantViolation(desc string) {
+	if c.invariantViolations == 0 {
+		c.firstViolation = desc
+	}
+	c.invariantViolations++
+}
+
 // Summary is the digest of one run's delivery outcomes.
 type Summary struct {
 	// Generated is the number of distinct messages created.
@@ -107,11 +120,21 @@ type Summary struct {
 	// never reached a sink — a proxy for "killed by the fault" (the lost
 	// copy may not have been the last one, but the message did die).
 	Orphaned int
+	// InvariantViolations counts runtime protocol-invariant breaches
+	// reported by the invariant engine (0 when the engine was not armed or
+	// the run was clean).
+	InvariantViolations int
+	// FirstInvariantViolation describes the first breach ("" when none).
+	FirstInvariantViolation string
 }
 
 // Summarize computes the digest over everything recorded so far.
 func (c *Collector) Summarize() Summary {
-	s := Summary{Generated: len(c.order)}
+	s := Summary{
+		Generated:               len(c.order),
+		InvariantViolations:     c.invariantViolations,
+		FirstInvariantViolation: c.firstViolation,
+	}
 	delays := make([]float64, 0, len(c.order))
 	totalHops := 0
 	for _, id := range c.order {

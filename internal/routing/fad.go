@@ -26,6 +26,12 @@ type FADConfig struct {
 	QueueCapacity int
 	// FImportant is the Eq. 5 importance bound for the sleep optimizer.
 	FImportant float64
+	// SkipSenderFTDUpdate deliberately mis-implements the protocol by
+	// skipping the Eq. 3 sender-FTD update after a multicast. It exists
+	// only to validate the runtime invariant engine and the chaos harness
+	// against a known-bad build (mutation testing); never enable it in a
+	// real experiment.
+	SkipSenderFTDUpdate bool
 }
 
 // DefaultFADConfig returns the defaults used by the reproduction (the paper
@@ -64,6 +70,24 @@ func (c FADConfig) Validate() error {
 	return nil
 }
 
+// FADObserver receives the FAD scheme's protocol-update events as they
+// happen, carrying enough context to independently recompute the Eq. 2 and
+// Eq. 3 formulas. The runtime invariant engine (internal/invariants) is the
+// intended implementation; a nil observer costs nothing.
+type FADObserver interface {
+	// ScheduleBuilt fires after BuildSchedule selected a receiver set:
+	// headID/headFTD describe the multicast message before the split,
+	// senderXi is the node's ξ, entries carry the Eq. 2 per-copy FTDs, and
+	// selectedXis are the chosen receivers' ξ values in entry order.
+	ScheduleBuilt(headID packet.MessageID, headFTD, senderXi float64, entries []packet.ScheduleEntry, selectedXis []float64)
+	// TxOutcome fires after the ACK window closed with at least one
+	// acknowledged receiver: before is the retained copy's FTD before the
+	// Eq. 3 update (valid only when hadCopy), ackedXis are the acknowledged
+	// receivers' ξ values, and retained/after describe the queue state
+	// after the update (after equals before when the copy was dropped).
+	TxOutcome(msgID packet.MessageID, hadCopy bool, before float64, ackedXis []float64, retained bool, after float64)
+}
+
 // FAD is the paper's §3 data-delivery scheme: FTD-managed queue plus
 // delivery-probability-guided multicast.
 type FAD struct {
@@ -71,6 +95,7 @@ type FAD struct {
 	cfg   FADConfig
 	queue *buffer.Queue
 	prob  *ftd.DeliveryProb
+	obs   FADObserver
 
 	// lastTx is the virtual time of the last successful data transmission,
 	// driving the Eq. 1 timeout decay.
@@ -106,6 +131,9 @@ func NewFAD(id packet.NodeID, cfg FADConfig) (*FAD, error) {
 
 // Name implements Strategy.
 func (f *FAD) Name() string { return "FAD" }
+
+// SetObserver attaches a protocol-update observer (nil detaches).
+func (f *FAD) SetObserver(o FADObserver) { f.obs = o }
 
 // Xi implements Strategy.
 func (f *FAD) Xi() float64 { return f.prob.Value() }
@@ -185,6 +213,13 @@ func (f *FAD) BuildSchedule(cands []mac.Candidate) ([]packet.ScheduleEntry, *pac
 		f.pendingXis[packet.NodeID(s.Node)] = s.Xi
 	}
 	f.pendingID = head.ID
+	if f.obs != nil {
+		selectedXis := make([]float64, len(selected))
+		for i, s := range selected {
+			selectedXis[i] = s.Xi
+		}
+		f.obs.ScheduleBuilt(head.ID, head.FTD, xi, entries, selectedXis)
+	}
 	return entries, entryToData(f.id, head)
 }
 
@@ -252,9 +287,16 @@ func (f *FAD) OnTxOutcome(entries []packet.ScheduleEntry, acked []packet.NodeID)
 		return
 	}
 	f.prob.OnTransmission(best)
-	newFTD := ftd.SenderFTD(before, ackedXis)
-	if ok {
-		f.queue.UpdateFTD(f.pendingID, newFTD)
+	retained := ok
+	if ok && !f.cfg.SkipSenderFTDUpdate {
+		retained = f.queue.UpdateFTD(f.pendingID, ftd.SenderFTD(before, ackedXis))
+	}
+	after := before
+	if retained {
+		after, _ = f.queue.FTDOf(f.pendingID)
+	}
+	if f.obs != nil {
+		f.obs.TxOutcome(f.pendingID, ok, before, ackedXis, retained, after)
 	}
 	f.txEver = true
 }

@@ -40,6 +40,8 @@ type fileConfig struct {
 	Seed                uint64       `json:"seed,omitempty"`
 	DeliveryThreshold   float64      `json:"delivery_threshold,omitempty"`
 	DropThreshold       float64      `json:"drop_threshold,omitempty"`
+	Invariants          string       `json:"invariants,omitempty"`
+	InjectSkipSenderFTD bool         `json:"inject_skip_sender_ftd,omitempty"`
 }
 
 // ParseScheme resolves a scheme by its paper name (case-insensitive).
@@ -121,6 +123,8 @@ func LoadConfig(r io.Reader) (Config, error) {
 	}
 	cfg.DeliveryThreshold = fc.DeliveryThreshold
 	cfg.DropThreshold = fc.DropThreshold
+	cfg.Invariants = fc.Invariants
+	cfg.InjectSkipSenderFTD = fc.InjectSkipSenderFTD
 	if err := cfg.Validate(); err != nil {
 		return Config{}, err
 	}
@@ -155,6 +159,8 @@ func SaveConfig(w io.Writer, cfg Config) error {
 		Seed:                cfg.Seed,
 		DeliveryThreshold:   cfg.DeliveryThreshold,
 		DropThreshold:       cfg.DropThreshold,
+		Invariants:          cfg.Invariants,
+		InjectSkipSenderFTD: cfg.InjectSkipSenderFTD,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -201,3 +201,28 @@ func TestParseScheme(t *testing.T) {
 		t.Error("unknown scheme accepted")
 	}
 }
+
+func TestSaveLoadRoundTripInvariantFields(t *testing.T) {
+	orig := DefaultConfig(core.SchemeOPT)
+	orig.Invariants = "panic"
+	orig.InjectSkipSenderFTD = true
+	var sb strings.Builder
+	if err := SaveConfig(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadConfig(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	if back.Invariants != "panic" || !back.InjectSkipSenderFTD {
+		t.Fatalf("round trip lost invariant fields:\n%s\n%+v", sb.String(), back)
+	}
+	// The default (engine off, no injection) keeps the keys out of the JSON.
+	var plain strings.Builder
+	if err := SaveConfig(&plain, DefaultConfig(core.SchemeOPT)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "invariants") || strings.Contains(plain.String(), "inject_") {
+		t.Fatalf("zero-valued invariant keys serialized:\n%s", plain.String())
+	}
+}

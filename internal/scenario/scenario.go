@@ -13,6 +13,7 @@ import (
 	"dftmsn/internal/energy"
 	"dftmsn/internal/faults"
 	"dftmsn/internal/geo"
+	"dftmsn/internal/invariants"
 	"dftmsn/internal/mac"
 	"dftmsn/internal/metrics"
 	"dftmsn/internal/mobility"
@@ -100,6 +101,16 @@ type Config struct {
 	DeliveryThreshold float64
 	// DropThreshold overrides the §3.1.2 FTD drop bound (0 keeps 0.95).
 	DropThreshold float64
+	// Invariants arms the runtime protocol-invariant engine
+	// (internal/invariants): "" or "off" disables it, "report" records
+	// breaches into the metrics, "panic" panics at the first breach with
+	// the offending event's virtual-time context.
+	Invariants string
+	// InjectSkipSenderFTD deliberately breaks the Eq. 3 sender-FTD update
+	// in the FAD-family schemes — a known-bad build for validating that the
+	// invariant engine and the chaos harness actually catch protocol rot.
+	// Never enable it in a real experiment.
+	InjectSkipSenderFTD bool
 }
 
 // DefaultConfig returns the paper's §5 default setup for the given scheme.
@@ -177,6 +188,9 @@ func (c Config) Validate() error {
 	if c.DropThreshold != 0 && (c.DropThreshold <= 0 || c.DropThreshold > 1) {
 		return fmt.Errorf("scenario: drop threshold %v out of (0,1]", c.DropThreshold)
 	}
+	if _, err := invariants.ParseMode(c.Invariants); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
 	return nil
 }
 
@@ -215,6 +229,10 @@ type Result struct {
 	// Resilience digests fault-injection outcomes (zero-valued when the
 	// run had no fault plan).
 	Resilience Resilience
+	// Invariants digests the runtime invariant engine (Armed false when it
+	// was off). Violation counts also surface in Delivery
+	// (metrics.Summary.InvariantViolations).
+	Invariants invariants.Digest
 }
 
 // Resilience reports how the run weathered its injected faults.
@@ -249,6 +267,7 @@ type Sim struct {
 	sinks     []*core.Node
 	injector  *faults.Injector
 	collector *metrics.Collector
+	invEng    *invariants.Engine
 	capture   *packet.CaptureWriter
 	nextMsgID packet.MessageID
 	ran       bool
@@ -280,6 +299,19 @@ func New(cfg Config) (*Sim, error) {
 	}
 	s := &Sim{cfg: cfg, plan: cfg.faultPlan(), sched: sim.NewScheduler(), collector: metrics.NewCollector()}
 	root := simrand.New(cfg.Seed)
+
+	// The mode was validated above; arm the invariant engine before the
+	// nodes exist so their probes can register as they are built.
+	invMode, _ := invariants.ParseMode(cfg.Invariants)
+	if invMode != invariants.Off {
+		s.invEng = invariants.New(invariants.Options{
+			Mode:  invMode,
+			Clock: s.sched.Now,
+			OnViolation: func(v invariants.Violation) {
+				s.collector.InvariantViolation(v.String())
+			},
+		})
+	}
 
 	var err error
 	s.grid, err = geo.NewGrid(geo.NewRect(0, 0, cfg.FieldSize, cfg.FieldSize), cfg.ZonesPerSide, cfg.ZonesPerSide)
@@ -367,13 +399,25 @@ func New(cfg Config) (*Sim, error) {
 			return nil, err
 		}
 		s.sinks = append(s.sinks, node)
+		if s.invEng != nil {
+			s.invEng.Register(invariants.Probe{
+				ID:     node.ID(),
+				IsSink: true,
+				Xi:     strat.Xi,
+				Engine: node.Engine(),
+			})
+		}
 	}
 
 	// Sensors (IDs NumSinks..NumSinks+NumSensors-1).
 	for i := 0; i < cfg.NumSensors; i++ {
 		id := packet.NodeID(cfg.NumSinks + i)
 		strat, err := core.NewStrategyWithOverrides(cfg.Scheme, id, cfg.QueueCapacity, isSink,
-			core.StrategyOverrides{DeliveryThreshold: cfg.DeliveryThreshold, DropThreshold: cfg.DropThreshold})
+			core.StrategyOverrides{
+				DeliveryThreshold:   cfg.DeliveryThreshold,
+				DropThreshold:       cfg.DropThreshold,
+				SkipSenderFTDUpdate: cfg.InjectSkipSenderFTD,
+			})
 		if err != nil {
 			return nil, err
 		}
@@ -385,6 +429,15 @@ func New(cfg Config) (*Sim, error) {
 			return nil, err
 		}
 		s.sensors = append(s.sensors, node)
+		if s.invEng != nil {
+			probe := invariants.Probe{ID: id, Xi: strat.Xi, Engine: node.Engine()}
+			if fad, ok := strat.(*routing.FAD); ok {
+				probe.XiEWMA = true
+				probe.Queue = fad.Queue()
+				fad.SetObserver(s.invEng.FADObserver(id))
+			}
+			s.invEng.Register(probe)
+		}
 	}
 
 	// Mobility ticking.
@@ -415,9 +468,12 @@ func New(cfg Config) (*Sim, error) {
 			sinkNodes[i] = n
 		}
 		hooks := faults.Hooks{
-			NodeCrashed: func(_ float64, _ int, lost []packet.MessageID) {
+			NodeCrashed: func(_ float64, sensor int, wiped bool, lost []packet.MessageID) {
 				for _, id := range lost {
 					s.collector.CopyLostToCrash(id)
+				}
+				if s.invEng != nil {
+					s.invEng.NodeCrashed(packet.NodeID(cfg.NumSinks+sensor), wiped, lost)
 				}
 			},
 		}
@@ -429,6 +485,13 @@ func New(cfg Config) (*Sim, error) {
 			return nil, err
 		}
 		s.injector = inj
+	}
+
+	// The invariant sweep runs as the kernel's post-event hook, inside each
+	// event's panic-context wrapper: a Panic-mode breach is re-raised as a
+	// sim.EventPanic naming the event that exposed it.
+	if s.invEng != nil {
+		s.sched.SetEventHook(s.invEng.OnEvent)
 	}
 
 	// Start nodes with a small jitter so cycles do not run in lockstep.
@@ -497,7 +560,7 @@ func (s *Sim) Run() (Result, error) {
 		return Result{}, fmt.Errorf("scenario: simulation already ran")
 	}
 	s.ran = true
-	if err := s.sched.Run(s.cfg.DurationSeconds); err != nil {
+	if err := s.runScheduler(); err != nil {
 		return Result{}, fmt.Errorf("scenario: %w", err)
 	}
 	if s.capture != nil {
@@ -505,7 +568,35 @@ func (s *Sim) Run() (Result, error) {
 			return Result{}, fmt.Errorf("scenario: frame capture: %w", err)
 		}
 	}
+	if s.invEng != nil {
+		// Close the copy-conservation ledger against the injector's digest.
+		var lost uint64
+		if s.injector != nil {
+			lost = s.injector.Stats().CopiesLost
+		}
+		s.invEng.Finish(lost)
+	}
 	return s.Snapshot(), nil
+}
+
+// runScheduler drives the kernel to the horizon. With the invariant
+// engine armed, a sim.EventPanic escaping an event — notably the engine's
+// own panic mode firing inside the post-event hook — is recovered into an
+// error, so callers get a clean failure carrying the virtual-time event
+// context instead of a crashed process.
+func (s *Sim) runScheduler() (err error) {
+	if s.invEng != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				ep, ok := r.(*sim.EventPanic)
+				if !ok {
+					panic(r)
+				}
+				err = ep
+			}
+		}()
+	}
+	return s.sched.Run(s.cfg.DurationSeconds)
 }
 
 // Snapshot digests the current state into a Result (valid mid-run for
@@ -552,6 +643,9 @@ func (s *Sim) Snapshot() Result {
 		if t0, ok := s.plan.FirstFaultSeconds(); ok {
 			res.Resilience.RecoverySeconds = s.collector.RecoveryTime(t0, s.cfg.DurationSeconds/20, 0.8, now)
 		}
+	}
+	if s.invEng != nil {
+		res.Invariants = s.invEng.Digest()
 	}
 	return res
 }

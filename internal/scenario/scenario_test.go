@@ -681,3 +681,95 @@ func TestMessageIDsUniquePerRun(t *testing.T) {
 		t.Fatal("no messages")
 	}
 }
+
+// TestInvariantsCleanRun arms the invariant engine over a faulted run and
+// expects real work and zero breaches: the protocol as built satisfies its
+// own catalog.
+func TestInvariantsCleanRun(t *testing.T) {
+	cfg := quickConfig(core.SchemeOPT)
+	cfg.Invariants = "report"
+	cfg.Faults = &faults.Plan{
+		Churn:       &faults.Churn{MTBFSeconds: 150, MTTRSeconds: 75, StartSeconds: 50},
+		SinkOutages: []faults.Outage{{Sink: 0, StartSeconds: 100, DurationSeconds: 200}},
+		Kills:       []faults.Kill{{AtSeconds: 400, Fraction: 0.2}},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Invariants.Armed {
+		t.Fatal("engine not armed")
+	}
+	if res.Invariants.Checks == 0 {
+		t.Fatal("engine did no checks")
+	}
+	if res.Invariants.Violations != 0 {
+		t.Fatalf("clean build violated invariants:\n%v", res.Invariants.Recorded)
+	}
+	if res.Delivery.InvariantViolations != 0 || res.Delivery.FirstInvariantViolation != "" {
+		t.Fatalf("collector saw violations: %d, %q",
+			res.Delivery.InvariantViolations, res.Delivery.FirstInvariantViolation)
+	}
+}
+
+// TestInvariantsCatchMutation flips the Eq. 3 sender-FTD update off and
+// expects the engine to flag ftd-sender breaches both in the digest and in
+// the metrics summary.
+func TestInvariantsCatchMutation(t *testing.T) {
+	cfg := quickConfig(core.SchemeOPT)
+	cfg.Invariants = "report"
+	cfg.InjectSkipSenderFTD = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Invariants.Violations == 0 {
+		t.Fatal("Eq. 3 mutation not caught")
+	}
+	if len(res.Invariants.Recorded) == 0 ||
+		!strings.Contains(res.Invariants.Recorded[0].Check, "ftd-sender") {
+		t.Fatalf("first recorded violation: %+v", res.Invariants.Recorded)
+	}
+	if res.Delivery.InvariantViolations == 0 ||
+		!strings.Contains(res.Delivery.FirstInvariantViolation, "ftd-sender") {
+		t.Fatalf("summary missed it: %d, %q",
+			res.Delivery.InvariantViolations, res.Delivery.FirstInvariantViolation)
+	}
+}
+
+// TestInvariantsPanicMode expects a mutated build to surface as a clean
+// error carrying the virtual-time event context, not a process crash.
+func TestInvariantsPanicMode(t *testing.T) {
+	cfg := quickConfig(core.SchemeOPT)
+	cfg.Invariants = "panic"
+	cfg.InjectSkipSenderFTD = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Run()
+	if err == nil {
+		t.Fatal("panic mode let a mutated build finish")
+	}
+	for _, want := range []string{"panic in event", "ftd-sender", "t="} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestInvariantsModeValidation(t *testing.T) {
+	cfg := quickConfig(core.SchemeOPT)
+	cfg.Invariants = "bogus"
+	if _, err := New(cfg); err == nil {
+		t.Error("bogus invariants mode accepted")
+	}
+}

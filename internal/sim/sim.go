@@ -51,6 +51,39 @@ func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
 // Label returns the debugging label attached at scheduling time, if any.
 func (e *Event) Label() string { return e.labels }
 
+// EventPanic wraps a panic raised by an event callback with the simulation
+// context of the event that was executing: virtual time, sequence number,
+// and the debugging label attached at scheduling time. Without it, a panic
+// mid-run surfaces with a Go stack but no hint of *when* in virtual time or
+// *which* scheduled event went wrong.
+type EventPanic struct {
+	// Time is the virtual time the panicking event fired at.
+	Time Time
+	// Seq is the event's scheduling sequence number.
+	Seq uint64
+	// Label is the event's debugging label ("" if none was attached).
+	Label string
+	// Value is the original panic value.
+	Value any
+}
+
+// Error implements error so recovered EventPanics compose with errors.As.
+func (p *EventPanic) Error() string {
+	label := p.Label
+	if label == "" {
+		label = "-"
+	}
+	return fmt.Sprintf("sim: panic in event t=%.6f seq=%d label=%s: %v", p.Time, p.Seq, label, p.Value)
+}
+
+// Unwrap exposes the original panic value when it was an error.
+func (p *EventPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Scheduler owns the virtual clock and the pending-event queue.
 // The zero value is a valid scheduler positioned at time 0.
 type Scheduler struct {
@@ -59,6 +92,7 @@ type Scheduler struct {
 	seq     uint64
 	stopped bool
 	fired   uint64
+	onEvent func(now Time, seq uint64, label string)
 }
 
 // NewScheduler returns a scheduler with its clock at zero.
@@ -124,6 +158,15 @@ func (s *Scheduler) Cancel(e *Event) {
 // Stop halts the run loop after the currently executing event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
+// SetEventHook registers fn to run after every fired event, with the
+// event's virtual time, sequence number, and label. A nil fn clears the
+// hook. The hook runs inside the event's panic-context wrapper, so a
+// panicking hook (e.g. an invariant engine in panic mode) is also re-raised
+// as an EventPanic carrying the event that exposed the breach.
+func (s *Scheduler) SetEventHook(fn func(now Time, seq uint64, label string)) {
+	s.onEvent = fn
+}
+
 // Step fires the single earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event was fired.
 func (s *Scheduler) Step() bool {
@@ -136,8 +179,27 @@ func (s *Scheduler) Step() bool {
 	fn := e.fn
 	e.fn = nil
 	s.fired++
-	fn()
+	s.dispatch(e, fn)
 	return true
+}
+
+// dispatch runs one event callback (and the post-event hook) with panic
+// context attached: a panic escaping either is re-raised as an *EventPanic
+// identifying the event by virtual time, sequence number, and label.
+// Already-wrapped panics pass through untouched.
+func (s *Scheduler) dispatch(e *Event, fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, wrapped := r.(*EventPanic); wrapped {
+				panic(r)
+			}
+			panic(&EventPanic{Time: e.at, Seq: e.seq, Label: e.labels, Value: r})
+		}
+	}()
+	fn()
+	if s.onEvent != nil {
+		s.onEvent(s.now, e.seq, e.labels)
+	}
 }
 
 // Run executes events in order until the queue drains, the clock would pass

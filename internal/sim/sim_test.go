@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"errors"
 	"math/rand/v2"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -329,4 +331,67 @@ func BenchmarkSchedulerChurn(b *testing.B) {
 		s.After(1, func() {})
 		s.Step()
 	}
+}
+
+func TestEventHookFiresAfterEachEvent(t *testing.T) {
+	s := NewScheduler()
+	type rec struct {
+		now   Time
+		seq   uint64
+		label string
+	}
+	var hooks []rec
+	s.SetEventHook(func(now Time, seq uint64, label string) {
+		hooks = append(hooks, rec{now, seq, label})
+	})
+	var fired int
+	s.AfterLabeled(1, "a", func() { fired++ })
+	s.AfterLabeled(2, "b", func() { fired++ })
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 || len(hooks) != 2 {
+		t.Fatalf("fired=%d hooks=%d, want 2 and 2", fired, len(hooks))
+	}
+	if hooks[0] != (rec{1, 0, "a"}) || hooks[1] != (rec{2, 1, "b"}) {
+		t.Fatalf("hook records %+v", hooks)
+	}
+}
+
+func TestEventPanicCarriesEventContext(t *testing.T) {
+	s := NewScheduler()
+	boom := errors.New("boom")
+	s.AfterLabeled(3, "doomed", func() { panic(boom) })
+	defer func() {
+		r := recover()
+		ep, ok := r.(*EventPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *EventPanic", r, r)
+		}
+		if ep.Time != 3 || ep.Label != "doomed" || ep.Value != error(boom) {
+			t.Fatalf("EventPanic = %+v", ep)
+		}
+		if !strings.Contains(ep.Error(), "t=3.000000") || !strings.Contains(ep.Error(), "label=doomed") {
+			t.Fatalf("Error() = %q", ep.Error())
+		}
+		if !errors.Is(ep, boom) {
+			t.Error("Unwrap lost the original error")
+		}
+	}()
+	_ = s.Run(10)
+}
+
+// TestEventHookPanicIsWrapped checks a panic raised by the hook itself —
+// the invariant engine's panic mode — still gains event context.
+func TestEventHookPanicIsWrapped(t *testing.T) {
+	s := NewScheduler()
+	s.SetEventHook(func(Time, uint64, string) { panic("hook says no") })
+	s.AfterLabeled(1, "watched", func() {})
+	defer func() {
+		ep, ok := recover().(*EventPanic)
+		if !ok || ep.Label != "watched" || ep.Value != any("hook says no") {
+			t.Fatalf("recovered %+v", ep)
+		}
+	}()
+	_ = s.Run(10)
 }

@@ -99,6 +99,7 @@ type Point struct {
 	CopiesLost     Stats
 	Crashes        Stats
 	RecoverySec    Stats
+	Violations     Stats
 }
 
 // add folds one run result into the point.
@@ -121,6 +122,7 @@ func (p *Point) add(r scenario.Result) {
 	p.CopiesLost.Add(float64(r.Resilience.CopiesLost))
 	p.Crashes.Add(float64(r.Resilience.Crashes))
 	p.RecoverySec.Add(r.Resilience.RecoverySeconds)
+	p.Violations.Add(float64(r.Invariants.Violations))
 }
 
 // Metric selects a column for formatting.
@@ -142,6 +144,7 @@ const (
 	MetricCopiesLost Metric = "copies_lost"
 	MetricCrashes    Metric = "crashes"
 	MetricRecovery   Metric = "recovery_s"
+	MetricViolations Metric = "invariant_violations"
 )
 
 // Metrics lists the supported metric names.
@@ -149,7 +152,7 @@ func Metrics() []Metric {
 	return []Metric{MetricRatio, MetricPowerMW, MetricDelay, MetricDuty,
 		MetricCollisions, MetricDrops, MetricOverhead, MetricHops,
 		MetricAlive, MetricFirstDeath, MetricOrphaned, MetricCopiesLost,
-		MetricCrashes, MetricRecovery}
+		MetricCrashes, MetricRecovery, MetricViolations}
 }
 
 // value extracts the named metric.
@@ -183,6 +186,8 @@ func (p *Point) value(m Metric) *Stats {
 		return &p.Crashes
 	case MetricRecovery:
 		return &p.RecoverySec
+	case MetricViolations:
+		return &p.Violations
 	default:
 		return nil
 	}
@@ -248,15 +253,52 @@ func trimFloat(x float64) string {
 	return fmt.Sprintf("%g", x)
 }
 
-// Run executes the experiment on up to workers goroutines (0 means
-// GOMAXPROCS). Each (variant, x, run) is an independent simulation with
-// seed BaseSeed + runIndex; results are averaged per point.
-func (e Experiment) Run(workers int) (*Table, error) {
-	if err := e.Validate(); err != nil {
-		return nil, err
+// Parallel runs fn(0), …, fn(n-1) on up to workers goroutines (0 means
+// GOMAXPROCS) and waits for all of them. On failure it returns the error of
+// the smallest failing index, regardless of completion order, so callers get
+// a deterministic report. The chaos campaign runner shares this pool.
+func Parallel(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the experiment on up to workers goroutines (0 means
+// GOMAXPROCS). Each (variant, x, run) is an independent simulation with
+// seed BaseSeed + runIndex; results are averaged per point, folded in job
+// order so the aggregate floats are reproducible.
+func (e Experiment) Run(workers int) (*Table, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
 	}
 	table := &Table{
 		Experiment: e.Name,
@@ -276,62 +318,42 @@ func (e Experiment) Run(workers int) (*Table, error) {
 	type job struct {
 		vi, xi, run int
 	}
-	type outcome struct {
-		job job
-		res scenario.Result
-		err error
-	}
-	jobs := make(chan job)
-	outcomes := make(chan outcome)
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				cfg, err := e.Variants[j.vi].Build(e.Xs[j.xi])
-				if err != nil {
-					outcomes <- outcome{job: j, err: err}
-					continue
-				}
-				cfg.Seed = e.BaseSeed + uint64(j.run)
-				s, err := scenario.New(cfg)
-				if err != nil {
-					outcomes <- outcome{job: j, err: err}
-					continue
-				}
-				res, err := s.Run()
-				outcomes <- outcome{job: j, res: res, err: err}
-			}
-		}()
-	}
-	go func() {
-		for vi := range e.Variants {
-			for xi := range e.Xs {
-				for run := 0; run < e.Runs; run++ {
-					jobs <- job{vi: vi, xi: xi, run: run}
-				}
+	flat := make([]job, 0, len(e.Variants)*len(e.Xs)*e.Runs)
+	for vi := range e.Variants {
+		for xi := range e.Xs {
+			for run := 0; run < e.Runs; run++ {
+				flat = append(flat, job{vi: vi, xi: xi, run: run})
 			}
 		}
-		close(jobs)
-		wg.Wait()
-		close(outcomes)
-	}()
-
-	var firstErr error
-	for o := range outcomes {
-		if o.err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("sweep: %s[%s=%v run %d]: %w",
-					e.Variants[o.job.vi].Name, e.XLabel, e.Xs[o.job.xi], o.job.run, o.err)
-			}
-			continue
-		}
-		table.cells[o.job.vi][o.job.xi].add(o.res)
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	results := make([]scenario.Result, len(flat))
+	err := Parallel(len(flat), workers, func(i int) error {
+		j := flat[i]
+		fail := func(err error) error {
+			return fmt.Errorf("sweep: %s[%s=%v run %d]: %w",
+				e.Variants[j.vi].Name, e.XLabel, e.Xs[j.xi], j.run, err)
+		}
+		cfg, err := e.Variants[j.vi].Build(e.Xs[j.xi])
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Seed = e.BaseSeed + uint64(j.run)
+		s, err := scenario.New(cfg)
+		if err != nil {
+			return fail(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			return fail(err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range flat {
+		table.cells[j.vi][j.xi].add(results[i])
 	}
 	return table, nil
 }

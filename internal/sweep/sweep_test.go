@@ -2,7 +2,9 @@ package sweep
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"dftmsn/internal/core"
@@ -303,5 +305,44 @@ func TestOptionsPresets(t *testing.T) {
 	}
 	if err := q.validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestParallel(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		err := Parallel(25, workers, func(i int) error {
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(seen) != 25 {
+			t.Fatalf("workers=%d: %d indices run, want 25", workers, len(seen))
+		}
+		for i, n := range seen {
+			if n != 1 {
+				t.Fatalf("workers=%d: index %d run %d times", workers, i, n)
+			}
+		}
+	}
+	// The smallest failing index wins regardless of completion order.
+	for trial := 0; trial < 20; trial++ {
+		err := Parallel(10, 4, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("trial %d: err = %v, want job 3 failed", trial, err)
+		}
+	}
+	if err := Parallel(0, 4, func(int) error { return fmt.Errorf("boom") }); err != nil {
+		t.Fatalf("n=0 ran jobs: %v", err)
 	}
 }

@@ -28,7 +28,10 @@ func (v Violation) String() string {
 //  4. "died"/"killed" is terminal — no further events from that node;
 //  5. "crash" silences a node until its "recover" (fault injection), and
 //     "recover" only follows a crash; the reboot re-enters the cycle loop
-//     through a "wake" that needs no preceding "sleep".
+//     through a "wake" that needs no preceding "sleep";
+//  6. between "recover" and that boot wake the node is still booting: it
+//     neither touches the radio (no rx-data, schedule, or tx-outcome) nor
+//     goes to sleep.
 //
 // It returns all violations found (empty for a conformant trace).
 func Verify(recs []Record) []Violation {
@@ -64,6 +67,9 @@ func Verify(recs []Record) []Violation {
 			if st.asleep {
 				out = append(out, Violation{r, "sleep while already asleep"})
 			}
+			if st.rebooting {
+				out = append(out, Violation{r, "sleep before the boot wake"})
+			}
 			st.asleep = true
 			st.rebooting = false
 		case "wake":
@@ -75,6 +81,9 @@ func Verify(recs []Record) []Violation {
 		case "rx-data", "schedule", "tx-outcome":
 			if st.asleep {
 				out = append(out, Violation{r, "radio activity while asleep"})
+			}
+			if st.rebooting {
+				out = append(out, Violation{r, "radio activity before boot wake"})
 			}
 		case "died", "killed":
 			st.dead = true

@@ -92,6 +92,30 @@ func TestVerifyCatchesEventsWhileCrashed(t *testing.T) {
 	}
 }
 
+func TestVerifyCatchesRadioActivityWhileRebooting(t *testing.T) {
+	recs := []Record{
+		{Time: 1, Node: 1, Event: "crash"},
+		{Time: 2, Node: 1, Event: "recover"},
+		{Time: 2.5, Node: 1, Event: "rx-data"}, // radio up before the boot wake
+	}
+	vs := Verify(recs)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "before boot wake") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestVerifyCatchesSleepWhileRebooting(t *testing.T) {
+	recs := []Record{
+		{Time: 1, Node: 1, Event: "crash"},
+		{Time: 2, Node: 1, Event: "recover"},
+		{Time: 2.5, Node: 1, Event: "sleep"}, // must boot through a wake first
+	}
+	vs := Verify(recs)
+	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "before the boot wake") {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
 func TestVerifyCatchesRecoverWithoutCrash(t *testing.T) {
 	vs := Verify([]Record{{Time: 1, Node: 1, Event: "recover"}})
 	if len(vs) != 1 || !strings.Contains(vs[0].Reason, "not crashed") {
