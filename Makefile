@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench figures figures-paper chaos fuzz fuzz-smoke vet fmt clean
+.PHONY: all build test test-short race cover bench bench-json figures figures-paper chaos fuzz fuzz-smoke vet fmt clean
 
 all: build test
 
@@ -24,6 +24,12 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Capture a machine-readable benchmark baseline (telemetry on/off pair
+# included) for before/after comparisons.
+bench-json:
+	$(GO) test -bench=. -benchmem ./internal/telemetry/ ./internal/scenario/ \
+		| $(GO) run ./cmd/benchjson > BENCH_baseline.json
 
 # Regenerate every table/figure at reduced scale (~30 min on one core).
 figures:

@@ -1,0 +1,109 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON document on stdout, so benchmark baselines can be stored
+// and diffed (`make bench-json` writes BENCH_baseline.json with it).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -benchtime=1x ./... | benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Package     string  `json:"package,omitempty"`
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	HasMem      bool    `json:"has_mem"`
+}
+
+// Document is the full JSON output.
+type Document struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkNopRecord-8  1000000  1.05 ns/op  0 B/op  0 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse folds a `go test -bench` transcript into a Document, tracking the
+// per-package header lines so each benchmark is attributed.
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Package: pkg, Name: m[1]}
+		if m[2] != "" {
+			b.Procs, _ = strconv.Atoi(m[2])
+		}
+		var err error
+		if b.Iterations, err = strconv.ParseInt(m[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", line, err)
+		}
+		if b.NsPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		if m[5] != "" {
+			if b.BytesPerOp, err = strconv.ParseFloat(m[5], 64); err != nil {
+				return nil, fmt.Errorf("bad B/op in %q: %w", line, err)
+			}
+			b.HasMem = true
+		}
+		if m[6] != "" {
+			if b.AllocsPerOp, err = strconv.ParseInt(m[6], 10, 64); err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	return doc, sc.Err()
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const fixture = `goos: linux
+goarch: amd64
+pkg: dftmsn/internal/telemetry
+cpu: Some CPU @ 2.50GHz
+BenchmarkNopRecord-8     	1000000000	         0.2513 ns/op	       0 B/op	       0 allocs/op
+BenchmarkJSONLRecord-8   	 2876166	       417.2 ns/op	       3 B/op	       0 allocs/op
+PASS
+ok  	dftmsn/internal/telemetry	2.573s
+pkg: dftmsn/internal/scenario
+BenchmarkRunNoTelemetry-8	       1	  51039875 ns/op	 8030232 B/op	   94854 allocs/op
+BenchmarkRunTelemetry-8  	       1	  55810542 ns/op	 9422672 B/op	  104102 allocs/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" {
+		t.Errorf("platform = %q/%q", doc.Goos, doc.Goarch)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkNopRecord" || b.Package != "dftmsn/internal/telemetry" ||
+		b.Procs != 8 || b.Iterations != 1000000000 || b.NsPerOp != 0.2513 ||
+		!b.HasMem || b.AllocsPerOp != 0 {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	run := doc.Benchmarks[2]
+	if run.Package != "dftmsn/internal/scenario" || run.Name != "BenchmarkRunNoTelemetry" ||
+		run.BytesPerOp != 8030232 || run.AllocsPerOp != 94854 {
+		t.Errorf("scenario benchmark = %+v", run)
+	}
+}
+
+func TestParseWithoutMem(t *testing.T) {
+	doc, err := parse(strings.NewReader("BenchmarkX \t 100 \t 52.5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkX" || b.Procs != 0 || b.HasMem || b.NsPerOp != 52.5 {
+		t.Errorf("benchmark = %+v", b)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	doc, err := parse(strings.NewReader("random text\n--- PASS: TestFoo\nBenchmark\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("noise parsed as benchmarks: %+v", doc.Benchmarks)
+	}
+}

@@ -9,6 +9,7 @@
 //	       [-burst-bad-loss P] [-burst-good-loss P] [-burst-good-s S] [-burst-bad-s S]
 //	       [-kill-at S -kill-fraction F]
 //	dftsim [-invariants off|report|panic] [-inject-skip-sender-ftd]
+//	dftsim [-telemetry] [-trace events.jsonl] [-trace-format jsonl|binary]
 //	dftsim -config scenario.json [-dumpconfig]
 //
 // The defaults reproduce the paper's §5 setup; -config loads a JSON
@@ -31,6 +32,12 @@
 // breaks the Eq. 3 sender update — a mutation-testing knob proving the
 // engine catches a broken build (the chaos harness uses it; see
 // internal/chaos).
+//
+// -telemetry arms the telemetry layer (internal/telemetry): the digest
+// gains a line with histogram-derived delay percentiles and mean queue
+// occupancy / delivery probability. -trace FILE additionally streams every
+// typed trace-v2 event to FILE in the -trace-format encoding (jsonl or
+// binary) for offline analysis with dftstats.
 package main
 
 import (
@@ -44,6 +51,7 @@ import (
 
 	"dftmsn"
 	"dftmsn/internal/packet"
+	"dftmsn/internal/telemetry"
 )
 
 func main() {
@@ -82,6 +90,10 @@ func run(args []string, out io.Writer) error {
 
 		invariantsMode = fs.String("invariants", "", "runtime invariant checking: off, report, or panic")
 		injectSkipFTD  = fs.Bool("inject-skip-sender-ftd", false, "deliberately break the Eq. 3 sender-FTD update (mutation testing)")
+
+		telemetryOn = fs.Bool("telemetry", false, "collect per-run telemetry metrics and print a digest line")
+		tracePath   = fs.String("trace", "", "write typed trace-v2 events to this file (implies -telemetry)")
+		traceFormat = fs.String("trace-format", "jsonl", "trace-v2 encoding: jsonl or binary")
 
 		configPath = fs.String("config", "", "JSON scenario file (flags above are ignored)")
 		dumpConfig = fs.Bool("dumpconfig", false, "print the effective config as JSON and exit")
@@ -159,6 +171,29 @@ func run(args []string, out io.Writer) error {
 	if *injectSkipFTD {
 		cfg.InjectSkipSenderFTD = true
 	}
+	if *telemetryOn || *tracePath != "" {
+		cfg.Telemetry = true
+	}
+	var (
+		tw        telemetry.FileWriter
+		traceFile *os.File
+	)
+	if *tracePath != "" {
+		format, err := telemetry.ParseFormat(*traceFormat)
+		if err != nil {
+			return err
+		}
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close() // backstop; the happy path closes explicitly
+		tw, err = telemetry.NewWriter(traceFile, format, 0)
+		if err != nil {
+			return err
+		}
+		cfg.Recorder = tw
+	}
 	if *dumpConfig {
 		return dftmsn.SaveConfig(out, cfg)
 	}
@@ -173,6 +208,14 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	wall := time.Since(start)
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+	}
 
 	fmt.Fprintf(out, "scheme            %s\n", res.Scheme)
 	fmt.Fprintf(out, "simulated         %.0f s (%d events in %v)\n", res.SimSeconds, res.Events, wall.Round(time.Millisecond))
@@ -205,6 +248,15 @@ func run(args []string, out io.Writer) error {
 				break
 			}
 			fmt.Fprintf(out, "  %s\n", v)
+		}
+	}
+	if rep := res.Telemetry; rep != nil && rep.Run != nil {
+		m := rep.Run
+		fmt.Fprintf(out, "telemetry         delay p50 %.1f s p90 %.1f s, mean occupancy %.1f, mean xi %.2f\n",
+			m.DeliveryDelay.Quantile(0.5), m.DeliveryDelay.Quantile(0.9),
+			m.QueueOccupancy.Mean(), m.Xi.Mean())
+		if tw != nil {
+			fmt.Fprintf(out, "trace v2          %d events -> %s (%s)\n", tw.Events(), *tracePath, *traceFormat)
 		}
 	}
 	if *verbose {

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dftmsn"
+	"dftmsn/internal/telemetry"
+)
+
+// makeTrace runs a small simulation with a deliberately tight queue (so
+// drops occur) and writes its trace-v2 file, returning the path and the
+// decoded events.
+func makeTrace(t *testing.T, format telemetry.Format) (string, []telemetry.Event) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace."+string(format))
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := telemetry.NewWriter(f, format, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dftmsn.DefaultConfig(dftmsn.OPT)
+	cfg.NumSensors = 15
+	cfg.NumSinks = 2
+	cfg.DurationSeconds = 900
+	cfg.ArrivalMeanSeconds = 40
+	cfg.QueueCapacity = 4
+	cfg.Seed = 7
+	cfg.Telemetry = true
+	cfg.Recorder = w
+	if _, err := dftmsn.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := telemetry.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, events
+}
+
+// TestCustodyChains is the acceptance check: from a trace-v2 file,
+// dftstats reconstructs the full custody chain of a delivered message and
+// of a dropped one.
+func TestCustodyChains(t *testing.T) {
+	path, events := makeTrace(t, telemetry.FormatJSONL)
+	ledger := telemetry.BuildLedger(events)
+	var delivered, dropped *telemetry.Custody
+	for _, id := range ledger.IDs() {
+		c := ledger.Message(id)
+		switch c.Status() {
+		case "delivered":
+			if delivered == nil {
+				delivered = c
+			}
+		case "dropped":
+			if dropped == nil {
+				dropped = c
+			}
+		}
+	}
+	if delivered == nil || dropped == nil {
+		t.Fatalf("fixture run lacks a delivered (%v) or dropped (%v) message", delivered, dropped)
+	}
+
+	var sb strings.Builder
+	if err := run([]string{"-msg", itoa(uint64(delivered.ID)), path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"delivered", "gen (queued at origin)", "deliver at sink"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delivered chain missing %q:\n%s", want, out)
+		}
+	}
+	// The header also says "t=..."; only indented step lines count.
+	if len(delivered.Steps) < 2 || strings.Count(out, "\n  t=") != len(delivered.Steps) {
+		t.Errorf("chain prints %d steps, ledger has %d:\n%s",
+			strings.Count(out, "\n  t="), len(delivered.Steps), out)
+	}
+
+	sb.Reset()
+	if err := run([]string{"-msg", itoa(uint64(dropped.ID)), path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out = sb.String()
+	for _, want := range []string{"dropped", "gen (queued at origin)", "drop ("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dropped chain missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "deliver at sink") {
+		t.Errorf("dropped chain claims delivery:\n%s", out)
+	}
+
+	// Unknown message IDs are an error, not silence.
+	if err := run([]string{"-msg", "99999999", path}, &sb); err == nil {
+		t.Error("unknown message accepted")
+	}
+}
+
+func itoa(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// TestOverviewAndNodes checks the default and -nodes outputs against the
+// decoded event stream, for both encodings.
+func TestOverviewAndNodes(t *testing.T) {
+	for _, format := range []telemetry.Format{telemetry.FormatJSONL, telemetry.FormatBinary} {
+		path, events := makeTrace(t, format)
+		var delivers int
+		for _, ev := range events {
+			if ev.Type == telemetry.EvDeliver {
+				delivers++
+			}
+		}
+		var sb strings.Builder
+		if err := run([]string{path}, &sb); err != nil {
+			t.Fatal(err)
+		}
+		out := sb.String()
+		for _, want := range []string{"events over", "messages:", "delivery delay percentiles", "p50", "drops:"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s overview missing %q:\n%s", format, want, out)
+			}
+		}
+		if !strings.Contains(out, itoa(uint64(delivers))+" deliveries") {
+			t.Errorf("%s overview delivery count mismatch (want %d):\n%s", format, delivers, out)
+		}
+
+		sb.Reset()
+		if err := run([]string{"-nodes", path}, &sb); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+		if len(lines) < 10 || !strings.HasPrefix(lines[0], "node") {
+			t.Errorf("%s nodes table malformed:\n%s", format, sb.String())
+		}
+	}
+}
+
+// TestSeriesCSV checks the -series output shape and monotonicity.
+func TestSeriesCSV(t *testing.T) {
+	path, _ := makeTrace(t, telemetry.FormatJSONL)
+	out := filepath.Join(t.TempDir(), "series.csv")
+	var sb strings.Builder
+	if err := run([]string{"-series", out, "-interval", "30", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "t,generated,delivered,dropped,delivery_ratio" {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	if len(lines) < 10 {
+		t.Fatalf("only %d series rows", len(lines)-1)
+	}
+	prevGen := -1
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 5 {
+			t.Fatalf("bad row %q", line)
+		}
+		gen := atoi(t, fields[1])
+		if gen < prevGen {
+			t.Fatalf("generated count not monotone: %q", line)
+		}
+		prevGen = gen
+	}
+	// -series - writes to the provided writer.
+	sb.Reset()
+	if err := run([]string{"-series", "-", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "t,generated") {
+		t.Fatalf("stdout series missing:\n%s", sb.String())
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("not a number: %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// TestBadInputs covers flag and file errors.
+func TestBadInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Error("missing file argument accepted")
+	}
+	if err := run([]string{"a", "b"}, &sb); err == nil {
+		t.Error("two file arguments accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing")}, &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}, &sb); err == nil {
+		t.Error("empty file accepted")
+	}
+}

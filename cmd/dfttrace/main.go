@@ -7,9 +7,16 @@
 //
 //	dfttrace [-scheme OPT] [-sensors 20] [-sinks 2] [-duration 300]
 //	         [-seed 1] [-max 20000] [-out -]
+//	dfttrace -read FILE
+//
+// -read summarises an existing trace file instead of simulating. The
+// encoding is auto-detected: legacy tab-separated traces (this command's
+// own output) and both trace-v2 encodings (JSONL and binary, as written
+// by dftsim -trace) are accepted.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"flag"
 	"fmt"
@@ -17,6 +24,7 @@ import (
 	"os"
 
 	"dftmsn"
+	"dftmsn/internal/telemetry"
 	"dftmsn/internal/trace"
 )
 
@@ -38,9 +46,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		maxEvents  = fs.Uint64("max", 20_000, "trace event cap (0 = unlimited)")
 		outPath    = fs.String("out", "-", "output file (- for stdout)")
 		summary    = fs.Bool("summary", false, "print per-event-type counts to stderr")
+		readPath   = fs.String("read", "", "summarise an existing trace file (legacy TSV or trace v2) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *readPath != "" {
+		return summarizeFile(*readPath, stdout)
 	}
 	scheme, err := parseScheme(*schemeName)
 	if err != nil {
@@ -91,6 +103,59 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprint(stderr, trace.Summarize(recs).Format())
 	}
+	return nil
+}
+
+// summarizeFile prints a per-event-type summary of a trace file,
+// auto-detecting the encoding: trace v2 (JSONL or binary) by its header,
+// anything else parsed as the legacy tab-separated format.
+func summarizeFile(path string, out io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	format, err := telemetry.DetectFormat(br)
+	if err != nil {
+		// Not trace v2; DetectFormat only peeked, so the legacy parser
+		// still sees the whole stream.
+		recs, perr := trace.Parse(br)
+		if perr != nil {
+			return fmt.Errorf("neither trace v2 (%v) nor legacy TSV (%v)", err, perr)
+		}
+		fmt.Fprint(out, "legacy trace: ", trace.Summarize(recs).Format())
+		return nil
+	}
+	events, err := telemetry.ReadAll(br)
+	if err != nil {
+		return err
+	}
+	var span [2]float64
+	counts := make(map[telemetry.EventType]int)
+	for i, ev := range events {
+		counts[ev.Type]++
+		if i == 0 || ev.Time < span[0] {
+			span[0] = ev.Time
+		}
+		if ev.Time > span[1] {
+			span[1] = ev.Time
+		}
+	}
+	fmt.Fprintf(out, "trace v2 (%s): %d events over [%.3f, %.3f] s\n",
+		format, len(events), span[0], span[1])
+	for _, typ := range telemetry.EventTypes() {
+		if n := counts[typ]; n > 0 {
+			fmt.Fprintf(out, "  %-12s %d\n", typ, n)
+		}
+	}
+	ledger := telemetry.BuildLedger(events)
+	status := make(map[string]int)
+	for _, id := range ledger.IDs() {
+		status[ledger.Message(id).Status()]++
+	}
+	fmt.Fprintf(out, "messages: %d tracked, %d delivered, %d dropped, %d rejected, %d in-flight\n",
+		ledger.Len(), status["delivered"], status["dropped"], status["rejected"], status["in-flight"])
 	return nil
 }
 

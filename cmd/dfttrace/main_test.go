@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"flag"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"dftmsn/internal/telemetry"
 )
 
 func TestTraceToWriter(t *testing.T) {
@@ -77,5 +82,98 @@ func TestTraceBadArgs(t *testing.T) {
 	}
 	if err := run([]string{"-out", "/nonexistent-dir/x/y"}, &out, &errOut); err == nil {
 		t.Error("unwritable out path accepted")
+	}
+}
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureEvents is a small deterministic trace-v2 stream: one delivered
+// message, one dropped message, and a sleep.
+func fixtureEvents() []telemetry.Event {
+	return []telemetry.Event{
+		{Time: 0.5, Node: 3, Type: telemetry.EvGen, Msg: 1},
+		{Time: 0.7, Node: 4, Type: telemetry.EvGen, Msg: 2},
+		{Time: 1.0, Node: 3, Type: telemetry.EvTx, Msg: 1, Count: 1},
+		{Time: 1.2, Node: 4, Type: telemetry.EvRx, Msg: 1, Peer: 3, FTD: 0.25, Kept: true},
+		{Time: 2.0, Node: 0, Type: telemetry.EvDeliver, Msg: 1, Value: 1.5, Count: 2},
+		{Time: 2.5, Node: 4, Type: telemetry.EvDrop, Msg: 2, FTD: 0.9, Aux: int32(telemetry.DropThreshold)},
+		{Time: 3.0, Node: 5, Type: telemetry.EvSleep, Value: 2.0},
+	}
+}
+
+// legacyFixture is the same story in the legacy tab-separated format.
+const legacyFixture = "0.500\t3\tgen\tmsg=1\n" +
+	"0.700\t4\tgen\tmsg=2\n" +
+	"1.000\t3\tschedule\tmsg=1 receivers=1\n" +
+	"1.200\t4\trx-data\tmsg=1 from=3 ftd=0.250 kept=true\n" +
+	"3.000\t5\tsleep\tdur=2.000\n"
+
+// TestReadGolden locks the -read summary output for every supported
+// encoding against a golden file. Rerun with -update after an intentional
+// output change.
+func TestReadGolden(t *testing.T) {
+	dir := t.TempDir()
+	paths := map[string]string{}
+
+	for _, format := range []telemetry.Format{telemetry.FormatJSONL, telemetry.FormatBinary} {
+		var buf bytes.Buffer
+		w, err := telemetry.NewWriter(&buf, format, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range fixtureEvents() {
+			w.Record(ev)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, "trace."+string(format))
+		if err := os.WriteFile(p, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths[string(format)] = p
+	}
+	legacyPath := filepath.Join(dir, "trace.tsv")
+	if err := os.WriteFile(legacyPath, []byte(legacyFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	paths["legacy"] = legacyPath
+
+	for _, name := range []string{"jsonl", "binary", "legacy"} {
+		var out, errOut strings.Builder
+		if err := run([]string{"-read", paths[name]}, &out, &errOut); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		golden := filepath.Join("testdata", "read_"+name+".golden")
+		if *update {
+			if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%v (run `go test ./cmd/dfttrace -run Golden -update` to create it)", err)
+		}
+		if out.String() != string(want) {
+			t.Errorf("%s summary drifted from golden (rerun with -update if intentional)\n--- got ---\n%s--- want ---\n%s",
+				name, out.String(), want)
+		}
+	}
+}
+
+// TestReadRejectsGarbage checks -read reports a useful error for a file
+// that is neither encoding, and for a missing file.
+func TestReadRejectsGarbage(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(p, []byte("!!not a trace!!\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if err := run([]string{"-read", p}, &out, &errOut); err == nil {
+		t.Error("garbage file accepted")
+	}
+	if err := run([]string{"-read", filepath.Join(t.TempDir(), "missing")}, &out, &errOut); err == nil {
+		t.Error("missing file accepted")
 	}
 }

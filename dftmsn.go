@@ -44,6 +44,7 @@ import (
 	"dftmsn/internal/optimize"
 	"dftmsn/internal/scenario"
 	"dftmsn/internal/sweep"
+	"dftmsn/internal/telemetry"
 )
 
 // Scheme selects a protocol variant.
@@ -141,6 +142,39 @@ type (
 	// and ready-to-run reproducer command.
 	ChaosFailureReport = chaos.FailureReport
 )
+
+// Telemetry re-exports: set Config.Telemetry to collect a per-run metrics
+// registry (histograms, counters, sampled gauges) into Result.Telemetry,
+// and attach a TelemetryRecorder to Config.Recorder to stream every typed
+// trace-v2 event (use NewTraceWriter for the file encodings). A
+// TelemetryLedger rebuilds per-message custody chains from a recorded
+// stream; cmd/dftstats is the command-line face of the same machinery.
+type (
+	// TelemetryRecorder consumes typed trace-v2 events during a run.
+	TelemetryRecorder = telemetry.Recorder
+	// TelemetryEvent is one typed trace-v2 event.
+	TelemetryEvent = telemetry.Event
+	// TelemetryReport is a run's collected metrics and sampled series.
+	TelemetryReport = telemetry.Report
+	// TelemetryLedger indexes a trace by message, giving custody chains.
+	TelemetryLedger = telemetry.Ledger
+	// TraceFormat names a trace-v2 file encoding ("jsonl" or "binary").
+	TraceFormat = telemetry.Format
+)
+
+// NewTraceWriter returns a recorder streaming trace-v2 events into w in
+// the given encoding; cap the stream with maxEvents (0 = unlimited). Call
+// Flush before closing w.
+func NewTraceWriter(w io.Writer, format TraceFormat, maxEvents uint64) (telemetry.FileWriter, error) {
+	return telemetry.NewWriter(w, format, maxEvents)
+}
+
+// ReadTrace decodes a trace-v2 file, auto-detecting the encoding.
+func ReadTrace(path string) ([]TelemetryEvent, error) { return telemetry.ReadFile(path) }
+
+// BuildLedger reconstructs per-message custody chains from a trace-v2
+// event stream.
+func BuildLedger(events []TelemetryEvent) *TelemetryLedger { return telemetry.BuildLedger(events) }
 
 // Run assembles and executes one simulation.
 func Run(cfg Config) (Result, error) {

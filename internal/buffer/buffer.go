@@ -39,6 +39,18 @@ type DropCounts struct {
 	Threshold uint64
 }
 
+// DropReason tells a drop hook which §3.1.2 rule discarded an entry.
+type DropReason uint8
+
+// The queue's drop rules.
+const (
+	// DropThreshold: the entry's FTD exceeded the drop threshold (or was
+	// corrupt, which the queue treats as fully covered).
+	DropThreshold DropReason = iota + 1
+	// DropFull: the queue overflowed and the entry sorted last.
+	DropFull
+)
+
 // Queue is the paper's FTD-sorted bounded queue. The zero value is not
 // usable; construct with NewQueue.
 type Queue struct {
@@ -48,6 +60,7 @@ type Queue struct {
 	drops     DropCounts
 	seq       uint64
 	version   uint64 // bumped on every content mutation
+	dropHook  func(e Entry, reason DropReason)
 }
 
 // NewQueue returns a queue holding at most capacity entries, dropping any
@@ -79,6 +92,25 @@ func (q *Queue) Drops() DropCounts { return q.drops }
 // remove, FTD update, wipe). Observers (internal/invariants) use it to
 // re-validate the queue ordering only when the contents actually changed.
 func (q *Queue) Version() uint64 { return q.version }
+
+// SetDropHook installs a callback observing every entry discarded by a
+// §3.1.2 drop rule (threshold or overflow), with the entry's FTD at drop
+// time. Wipe is not reported — crash losses are the caller's to account.
+// A nil hook disables observation.
+func (q *Queue) SetDropHook(fn func(e Entry, reason DropReason)) { q.dropHook = fn }
+
+// dropped counts and reports one discarded entry.
+func (q *Queue) dropped(e Entry, reason DropReason) {
+	switch reason {
+	case DropThreshold:
+		q.drops.Threshold++
+	case DropFull:
+		q.drops.Full++
+	}
+	if q.dropHook != nil {
+		q.dropHook(e, reason)
+	}
+}
 
 // Head returns the most important entry (smallest FTD) without removing it.
 // ok is false when the queue is empty.
@@ -120,11 +152,11 @@ func (q *Queue) FTDOf(id packet.MessageID) (ftdValue float64, ok bool) {
 func (q *Queue) Insert(e Entry) bool {
 	if e.FTD < 0 || e.FTD > 1 || math.IsNaN(e.FTD) {
 		// Treat corrupt FTD as most-covered: drop.
-		q.drops.Threshold++
+		q.dropped(e, DropThreshold)
 		return false
 	}
 	if e.FTD > q.threshold {
-		q.drops.Threshold++
+		q.dropped(e, DropThreshold)
 		return false
 	}
 	if i := q.indexOf(e.ID); i >= 0 {
@@ -143,10 +175,10 @@ func (q *Queue) Insert(e Entry) bool {
 	copy(q.entries[pos+1:], q.entries[pos:])
 	q.entries[pos] = e
 	if len(q.entries) > q.capacity {
-		dropped := q.entries[len(q.entries)-1]
+		evicted := q.entries[len(q.entries)-1]
 		q.entries = q.entries[:len(q.entries)-1]
-		q.drops.Full++
-		return dropped.ID != e.ID
+		q.dropped(evicted, DropFull)
+		return evicted.ID != e.ID
 	}
 	return true
 }
@@ -174,8 +206,10 @@ func (q *Queue) UpdateFTD(id packet.MessageID, ftdValue float64) bool {
 	}
 	q.version++
 	if ftdValue > q.threshold || ftdValue < 0 || math.IsNaN(ftdValue) {
+		gone := q.entries[i]
+		gone.FTD = ftdValue // report the FTD that triggered the drop
 		q.entries = append(q.entries[:i], q.entries[i+1:]...)
-		q.drops.Threshold++
+		q.dropped(gone, DropThreshold)
 		return false
 	}
 	q.entries[i].FTD = ftdValue

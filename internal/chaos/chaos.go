@@ -359,6 +359,9 @@ func (c Campaign) command(seed uint64, p faults.Plan) string {
 	for _, k := range p.Kills {
 		fmt.Fprintf(&b, " -kill-at %g -kill-fraction %g", k.AtSeconds, k.Fraction)
 	}
+	// Arm the telemetry layer so the replayed failure comes back with its
+	// metrics report and typed event stream for post-mortem analysis.
+	b.WriteString(" -telemetry")
 	return b.String()
 }
 

@@ -106,7 +106,7 @@ func TestBrokenBuildIsCaughtAndMinimized(t *testing.T) {
 	if m.Clauses > 2 {
 		t.Errorf("minimized reproducer has %d fault clauses, want <= 2:\n%+v", m.Clauses, m.Minimized)
 	}
-	for _, want := range []string{"dftsim", "-seed", "-invariants", "-inject-skip-sender-ftd"} {
+	for _, want := range []string{"dftsim", "-seed", "-invariants", "-inject-skip-sender-ftd", "-telemetry"} {
 		if !strings.Contains(m.Command, want) {
 			t.Errorf("reproducer command missing %q: %s", want, m.Command)
 		}

@@ -24,7 +24,7 @@ import (
 	"dftmsn/internal/routing"
 	"dftmsn/internal/sim"
 	"dftmsn/internal/simrand"
-	"dftmsn/internal/trace"
+	"dftmsn/internal/telemetry"
 )
 
 // Params holds the node-level protocol parameters (§4 optimizations and
@@ -136,7 +136,7 @@ type Node struct {
 	strategy routing.Strategy
 	params   Params
 	rng      *simrand.Source
-	tracer   trace.Tracer
+	rec      telemetry.Recorder
 
 	sleepCtl  *optimize.SleepController
 	neighbors map[packet.NodeID]neighborInfo
@@ -167,7 +167,7 @@ func NewNode(
 	position func() geo.Point,
 	profile energy.Profile,
 	rng *simrand.Source,
-	tracer trace.Tracer,
+	rec telemetry.Recorder,
 ) (*Node, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
@@ -175,8 +175,8 @@ func NewNode(
 	if strategy == nil || rng == nil {
 		return nil, errors.New("core: nil strategy or rng")
 	}
-	if tracer == nil {
-		tracer = trace.Nop{}
+	if rec == nil {
+		rec = telemetry.Nop{}
 	}
 	n := &Node{
 		id:        id,
@@ -185,7 +185,7 @@ func NewNode(
 		strategy:  strategy,
 		params:    params,
 		rng:       rng,
-		tracer:    tracer,
+		rec:       rec,
 		neighbors: make(map[packet.NodeID]neighborInfo),
 		tauForVer: ^uint64(0),
 	}
@@ -260,11 +260,11 @@ func (n *Node) Stop() {
 func (n *Node) Generate(id packet.MessageID, payloadBits int) bool {
 	now := n.sched.Now()
 	ok := n.strategy.Generate(id, now, payloadBits)
-	if ok {
-		n.tracer.Emit(now, n.id, "gen", fmt.Sprintf("msg=%d", id))
-	} else {
-		n.tracer.Emit(now, n.id, "gen-drop", fmt.Sprintf("msg=%d", id))
+	typ := telemetry.EvGen
+	if !ok {
+		typ = telemetry.EvGenDrop
 	}
+	n.rec.Record(telemetry.Event{Time: now, Node: n.id, Type: typ, Msg: id})
 	return ok
 }
 
@@ -302,7 +302,7 @@ func (n *Node) Kill() {
 	n.decay.Stop()
 	n.engine.Abort()
 	n.radio.Kill()
-	n.tracer.Emit(now, n.id, "killed", "")
+	n.rec.Record(telemetry.Event{Time: now, Node: n.id, Type: telemetry.EvKill})
 }
 
 // Crash takes the node down like Kill, but recoverably: a later Recover
@@ -325,7 +325,7 @@ func (n *Node) Crash(wipeQueue bool) []packet.MessageID {
 	if wipeQueue {
 		lost = n.strategy.WipeQueue()
 	}
-	n.tracer.Emit(now, n.id, "crash", fmt.Sprintf("lost=%d", len(lost)))
+	n.rec.Record(telemetry.Event{Time: now, Node: n.id, Type: telemetry.EvCrash, Count: int32(len(lost))})
 	return lost
 }
 
@@ -354,7 +354,7 @@ func (n *Node) Recover(resetRouting bool) error {
 	if resetRouting {
 		n.strategy.ResetRouting()
 	}
-	n.tracer.Emit(now, n.id, "recover", "")
+	n.rec.Record(telemetry.Event{Time: now, Node: n.id, Type: telemetry.EvReboot})
 	if !n.started {
 		// The node's scheduled Start has not fired yet; it boots normally.
 		return nil
@@ -377,7 +377,7 @@ func (n *Node) checkBattery(now float64) bool {
 	n.stats.DiedAt = now
 	n.stopped = true
 	n.decay.Stop()
-	n.tracer.Emit(now, n.id, "died", fmt.Sprintf("joules=%.3f", n.params.BatteryJoules))
+	n.rec.Record(telemetry.Event{Time: now, Node: n.id, Type: telemetry.EvDied, Value: n.params.BatteryJoules})
 	// Power the radio down for good; ignore failure if mid-switch.
 	_ = n.radio.Sleep()
 	return true
@@ -422,7 +422,7 @@ func (n *Node) goToSleep(now float64) {
 	n.sleepCtl.ResetIdle()
 	n.stats.Sleeps++
 	n.stats.SleepSeconds += dur
-	n.tracer.Emit(now, n.id, "sleep", fmt.Sprintf("dur=%.3f", dur))
+	n.rec.Record(telemetry.Event{Time: now, Node: n.id, Type: telemetry.EvSleep, Value: dur})
 	n.sched.After(dur, func() {
 		if n.stopped {
 			return
@@ -436,7 +436,7 @@ func (n *Node) goToSleep(now float64) {
 
 // onAwake is called when the radio finishes powering on.
 func (n *Node) onAwake() {
-	n.tracer.Emit(n.sched.Now(), n.id, "wake", "")
+	n.rec.Record(telemetry.Event{Time: n.sched.Now(), Node: n.id, Type: telemetry.EvWake})
 	n.startCycle()
 }
 
@@ -519,7 +519,10 @@ func (n *Node) Qualify(rts *packet.RTS) (bool, float64, int, float64) {
 func (n *Node) BuildSchedule(cands []mac.Candidate) ([]packet.ScheduleEntry, *packet.Data) {
 	entries, data := n.strategy.BuildSchedule(cands)
 	if len(entries) > 0 {
-		n.tracer.Emit(n.sched.Now(), n.id, "schedule", fmt.Sprintf("msg=%d receivers=%d", data.ID, len(entries)))
+		n.rec.Record(telemetry.Event{
+			Time: n.sched.Now(), Node: n.id, Type: telemetry.EvTx,
+			Msg: data.ID, Count: int32(len(entries)),
+		})
 	}
 	return entries, data
 }
@@ -527,14 +530,19 @@ func (n *Node) BuildSchedule(cands []mac.Candidate) ([]packet.ScheduleEntry, *pa
 // OnDataReceived implements mac.Policy.
 func (n *Node) OnDataReceived(d *packet.Data, entry packet.ScheduleEntry) bool {
 	kept := n.strategy.OnDataReceived(d, entry)
-	n.tracer.Emit(n.sched.Now(), n.id, "rx-data",
-		fmt.Sprintf("msg=%d from=%d ftd=%.3f kept=%v", d.ID, d.From, entry.FTD, kept))
+	n.rec.Record(telemetry.Event{
+		Time: n.sched.Now(), Node: n.id, Type: telemetry.EvRx,
+		Msg: d.ID, Peer: d.From, FTD: entry.FTD, Kept: kept,
+	})
 	return kept
 }
 
 // OnTxOutcome implements mac.Policy.
 func (n *Node) OnTxOutcome(entries []packet.ScheduleEntry, acked []packet.NodeID) {
-	n.tracer.Emit(n.sched.Now(), n.id, "tx-outcome", fmt.Sprintf("scheduled=%d acked=%d", len(entries), len(acked)))
+	n.rec.Record(telemetry.Event{
+		Time: n.sched.Now(), Node: n.id, Type: telemetry.EvTxOutcome,
+		Count: int32(len(entries)), Aux: int32(len(acked)),
+	})
 	n.strategy.OnTxOutcome(entries, acked)
 }
 

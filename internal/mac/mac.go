@@ -20,6 +20,7 @@ import (
 	"dftmsn/internal/radio"
 	"dftmsn/internal/sim"
 	"dftmsn/internal/simrand"
+	"dftmsn/internal/telemetry"
 )
 
 // Candidate is a potential receiver learned from its CTS during the
@@ -195,6 +196,7 @@ type Engine struct {
 	policy Policy
 	rng    *simrand.Source
 	onEnd  func(Outcome)
+	rec    telemetry.Recorder
 
 	phase      phase
 	cycleStart float64
@@ -238,7 +240,18 @@ func New(id packet.NodeID, sched *sim.Scheduler, medium *radio.Medium, cfg Confi
 		policy: policy,
 		rng:    rng,
 		onEnd:  onEnd,
+		rec:    telemetry.Nop{},
 	}, nil
+}
+
+// SetRecorder attaches a trace-v2 recorder observing the engine's control
+// traffic (CTS and ACK transmissions). A nil recorder restores the
+// allocation-free default.
+func (e *Engine) SetRecorder(r telemetry.Recorder) {
+	if r == nil {
+		r = telemetry.Nop{}
+	}
+	e.rec = r
 }
 
 // Bind attaches the engine to its radio. Must be called once before
@@ -478,6 +491,10 @@ func (e *Engine) onRTS(r *packet.RTS) {
 		}
 		if err := e.radio.Transmit(cts); err == nil {
 			e.stats.CTSSent++
+			e.rec.Record(telemetry.Event{
+				Time: e.sched.Now(), Node: e.id, Type: telemetry.EvCTS,
+				Peer: cts.To, Value: cts.Xi,
+			})
 		}
 	})
 	e.phase = phAwaitSchedule
@@ -547,7 +564,12 @@ func (e *Engine) onData(d *packet.Data) {
 			e.out.Received = true
 			e.stats.Receives++
 			e.endCycle()
+			return
 		}
+		e.rec.Record(telemetry.Event{
+			Time: e.sched.Now(), Node: e.id, Type: telemetry.EvAck,
+			Msg: ack.ID, Peer: ack.To,
+		})
 	})
 	// Backstop in case the ACK transmit never completes.
 	e.setTimer(delay+e.cfg.AckSlot+4*e.cfg.Guard+e.medium.AirTime(ack), func() {

@@ -333,3 +333,79 @@ func TestRecoveryTime(t *testing.T) {
 		t.Errorf("fault before one full window: RecoveryTime = %v, want 0", got)
 	}
 }
+
+// TestSummaryAllUndelivered: messages generated but none delivered — every
+// delay statistic must stay zero and the ratio must not divide by zero.
+func TestSummaryAllUndelivered(t *testing.T) {
+	c := NewCollector()
+	for i := 1; i <= 5; i++ {
+		if err := c.Generated(uint64ID(i), packet.NodeID(i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Summarize()
+	if s.Generated != 5 || s.Delivered != 0 {
+		t.Fatalf("counts = %+v", s)
+	}
+	if s.DeliveryRatio != 0 || s.AvgDelaySeconds != 0 || s.MedianDelaySeconds != 0 ||
+		s.P90DelaySeconds != 0 || s.MaxDelaySeconds != 0 || s.AvgHops != 0 {
+		t.Fatalf("undelivered run has nonzero delay stats: %+v", s)
+	}
+}
+
+// TestSummarySingleDelivery: with exactly one delivery, mean, median, p90
+// and max all collapse to that one delay.
+func TestSummarySingleDelivery(t *testing.T) {
+	c := NewCollector()
+	if err := c.Generated(uint64ID(1), 3, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Generated(uint64ID(2), 4, 12); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delivered(uint64ID(1), 73.5, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Summarize()
+	if s.Delivered != 1 || s.DeliveryRatio != 0.5 {
+		t.Fatalf("counts = %+v", s)
+	}
+	const want = 63.5
+	for name, got := range map[string]float64{
+		"avg": s.AvgDelaySeconds, "median": s.MedianDelaySeconds,
+		"p90": s.P90DelaySeconds, "max": s.MaxDelaySeconds,
+	} {
+		if got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if s.AvgHops != 2 {
+		t.Errorf("hops = %v, want 2", s.AvgHops)
+	}
+}
+
+// TestPercentileEdges locks the nearest-rank boundary behaviour: empty
+// input, out-of-range p, and the exact rank cut between two elements.
+func TestPercentileEdges(t *testing.T) {
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	xs := []float64{10, 20}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{-0.5, 10}, {0, 10}, {0.5, 10}, {0.5000001, 20}, {1, 20}, {2, 20},
+	}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.p); got != tc.want {
+			t.Errorf("Percentile(%v, %v) = %v, want %v", xs, tc.p, got, tc.want)
+		}
+	}
+	single := []float64{7}
+	for _, p := range []float64{0, 0.5, 0.9, 1} {
+		if got := Percentile(single, p); got != 7 {
+			t.Errorf("single-element Percentile(%v) = %v, want 7", p, got)
+		}
+	}
+}

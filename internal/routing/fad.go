@@ -88,6 +88,44 @@ type FADObserver interface {
 	TxOutcome(msgID packet.MessageID, hadCopy bool, before float64, ackedXis []float64, retained bool, after float64)
 }
 
+// FADObservers tees protocol-update events to several observers in order.
+type FADObservers []FADObserver
+
+var _ FADObserver = FADObservers(nil)
+
+// ScheduleBuilt implements FADObserver.
+func (m FADObservers) ScheduleBuilt(headID packet.MessageID, headFTD, senderXi float64, entries []packet.ScheduleEntry, selectedXis []float64) {
+	for _, o := range m {
+		o.ScheduleBuilt(headID, headFTD, senderXi, entries, selectedXis)
+	}
+}
+
+// TxOutcome implements FADObserver.
+func (m FADObservers) TxOutcome(msgID packet.MessageID, hadCopy bool, before float64, ackedXis []float64, retained bool, after float64) {
+	for _, o := range m {
+		o.TxOutcome(msgID, hadCopy, before, ackedXis, retained, after)
+	}
+}
+
+// CombineFADObservers composes observers, skipping nils: none yields nil
+// (which SetObserver treats as detached), one is returned unwrapped.
+func CombineFADObservers(obs ...FADObserver) FADObserver {
+	out := make(FADObservers, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			out = append(out, o)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	default:
+		return out
+	}
+}
+
 // FAD is the paper's §3 data-delivery scheme: FTD-managed queue plus
 // delivery-probability-guided multicast.
 type FAD struct {

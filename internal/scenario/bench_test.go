@@ -1,0 +1,55 @@
+package scenario
+
+import (
+	"testing"
+
+	"dftmsn/internal/core"
+	"dftmsn/internal/telemetry"
+)
+
+// benchConfig is a small but non-trivial run: enough traffic that the
+// per-event recorder cost dominates over setup.
+func benchConfig() Config {
+	cfg := DefaultConfig(core.SchemeOPT)
+	cfg.NumSensors = 20
+	cfg.NumSinks = 2
+	cfg.DurationSeconds = 400
+	cfg.ArrivalMeanSeconds = 60
+	cfg.Seed = 11
+	return cfg
+}
+
+// BenchmarkRunNoTelemetry is the baseline: the telemetry layer off, every
+// Record call hitting the allocation-free Nop recorder. Compare against
+// BenchmarkRunTelemetry to price the observability layer (make bench-json
+// captures both into BENCH_baseline.json).
+func BenchmarkRunNoTelemetry(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := New(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunTelemetry runs the same scenario with the metrics registry,
+// the periodic sampler, and an in-memory trace-v2 stream all armed.
+func BenchmarkRunTelemetry(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Telemetry = true
+		cfg.Recorder = &telemetry.Buffer{}
+		s, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 
+	"dftmsn/internal/buffer"
 	"dftmsn/internal/core"
 	"dftmsn/internal/energy"
 	"dftmsn/internal/faults"
@@ -22,6 +23,7 @@ import (
 	"dftmsn/internal/routing"
 	"dftmsn/internal/sim"
 	"dftmsn/internal/simrand"
+	"dftmsn/internal/telemetry"
 	"dftmsn/internal/trace"
 )
 
@@ -88,8 +90,22 @@ type Config struct {
 	Faults *faults.Plan
 	// Seed makes the run reproducible.
 	Seed uint64
-	// Tracer optionally records events (nil = no tracing).
+	// Tracer optionally records events in the legacy TSV format (nil = no
+	// tracing). It is served through the trace-v2 layer by a byte-compatible
+	// adapter, so old tooling keeps working unchanged.
 	Tracer trace.Tracer
+	// Recorder optionally receives the run's typed trace-v2 events (nil =
+	// none). Attach a telemetry.JSONLWriter/BinaryWriter for files, a
+	// telemetry.Buffer for in-memory analysis, or any custom Recorder;
+	// compose several with telemetry.Combine.
+	Recorder telemetry.Recorder
+	// Telemetry arms the per-run metrics registry (counters, the §5
+	// distributional histograms) and the periodic time-series sampler; the
+	// report lands in Result.Telemetry.
+	Telemetry bool
+	// TelemetrySampleSeconds is the sampler interval in virtual seconds
+	// (0 = DurationSeconds/100).
+	TelemetrySampleSeconds float64
 	// FrameCapture optionally receives every transmitted frame in the
 	// packet capture format (see packet.CaptureWriter); nil disables.
 	FrameCapture io.Writer
@@ -164,6 +180,9 @@ func (c Config) Validate() error {
 	if c.TrafficStopSeconds < 0 || c.TrafficStopSeconds > c.DurationSeconds {
 		return fmt.Errorf("scenario: traffic stop %v outside [0, duration]", c.TrafficStopSeconds)
 	}
+	if c.TelemetrySampleSeconds < 0 {
+		return fmt.Errorf("scenario: telemetry sample interval %v must be >= 0", c.TelemetrySampleSeconds)
+	}
 	if c.BatteryJoules < 0 {
 		return fmt.Errorf("scenario: battery %v must be >= 0", c.BatteryJoules)
 	}
@@ -233,6 +252,10 @@ type Result struct {
 	// was off). Violation counts also surface in Delivery
 	// (metrics.Summary.InvariantViolations).
 	Invariants invariants.Digest
+	// Telemetry carries the run's metrics registry and sampled time series
+	// when Config.Telemetry was set; nil otherwise. Excluded from JSON
+	// digests — tools print it through cmd/dftstats and the sweep CSV.
+	Telemetry *telemetry.Report `json:"-"`
 }
 
 // Resilience reports how the run weathered its injected faults.
@@ -269,6 +292,10 @@ type Sim struct {
 	collector *metrics.Collector
 	invEng    *invariants.Engine
 	capture   *packet.CaptureWriter
+	rec       telemetry.Recorder
+	telem     *telemetry.RunMetrics
+	sampler   *telemetry.Sampler
+	series    *telemetry.Series
 	nextMsgID packet.MessageID
 	ran       bool
 }
@@ -294,11 +321,25 @@ func New(cfg Config) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Tracer == nil {
-		cfg.Tracer = trace.Nop{}
-	}
 	s := &Sim{cfg: cfg, plan: cfg.faultPlan(), sched: sim.NewScheduler(), collector: metrics.NewCollector()}
 	root := simrand.New(cfg.Seed)
+
+	// Telemetry composition: the caller's trace-v2 recorder, the legacy
+	// tracer behind a byte-compatible adapter, and (when armed) the metrics
+	// registry all observe the same typed event stream. With none of them
+	// configured this collapses to the allocation-free Nop.
+	if cfg.Telemetry {
+		s.telem = telemetry.NewRunRegistry(cfg.DurationSeconds, cfg.QueueCapacity)
+	}
+	var legacy telemetry.Recorder
+	if adapter := telemetry.NewLegacyAdapter(cfg.Tracer); adapter != nil {
+		legacy = adapter
+	}
+	var metricsRec telemetry.Recorder
+	if s.telem != nil {
+		metricsRec = s.telem
+	}
+	s.rec = telemetry.Combine(cfg.Recorder, legacy, metricsRec)
 
 	// The mode was validated above; arm the invariant engine before the
 	// nodes exist so their probes can register as they are built.
@@ -388,16 +429,20 @@ func New(cfg Config) (*Sim, error) {
 			pos := rect.Center()
 			position = func() geo.Point { return pos }
 		}
-		strat, err := routing.NewSink(packet.NodeID(i), s.sched.Now, s.deliver)
+		sinkID := packet.NodeID(i)
+		strat, err := routing.NewSink(sinkID, s.sched.Now, func(d *packet.Data, now float64) {
+			s.deliver(sinkID, d, now)
+		})
 		if err != nil {
 			return nil, err
 		}
-		node, err := core.NewNode(packet.NodeID(i), s.sched, s.medium, macCfg, sinkParams,
+		node, err := core.NewNode(sinkID, s.sched, s.medium, macCfg, sinkParams,
 			strat, position, profile,
-			root.Split(fmt.Sprintf("sink/%d", i)), cfg.Tracer)
+			root.Split(fmt.Sprintf("sink/%d", i)), s.rec)
 		if err != nil {
 			return nil, err
 		}
+		node.Engine().SetRecorder(s.rec)
 		s.sinks = append(s.sinks, node)
 		if s.invEng != nil {
 			s.invEng.Register(invariants.Probe{
@@ -424,19 +469,42 @@ func New(cfg Config) (*Sim, error) {
 		walkIdx := i
 		node, err := core.NewNode(id, s.sched, s.medium, macCfg, params,
 			strat, func() geo.Point { return s.walk.Position(walkIdx) }, profile,
-			root.Split(fmt.Sprintf("sensor/%d", i)), cfg.Tracer)
+			root.Split(fmt.Sprintf("sensor/%d", i)), s.rec)
 		if err != nil {
 			return nil, err
 		}
+		node.Engine().SetRecorder(s.rec)
 		s.sensors = append(s.sensors, node)
-		if s.invEng != nil {
-			probe := invariants.Probe{ID: id, Xi: strat.Xi, Engine: node.Engine()}
-			if fad, ok := strat.(*routing.FAD); ok {
+		if fad, ok := strat.(*routing.FAD); ok {
+			var obs routing.FADObserver
+			if s.invEng != nil {
+				obs = s.invEng.FADObserver(id)
+			}
+			if s.recording() {
+				// Every §3.1.2 drop carries provenance: the copy's FTD at
+				// drop time and which rule discarded it.
+				nodeID := id
+				fad.Queue().SetDropHook(func(e buffer.Entry, reason buffer.DropReason) {
+					aux := telemetry.DropThreshold
+					if reason == buffer.DropFull {
+						aux = telemetry.DropFull
+					}
+					s.rec.Record(telemetry.Event{
+						Time: s.sched.Now(), Node: nodeID, Type: telemetry.EvDrop,
+						Msg: e.ID, FTD: e.FTD, Aux: aux,
+					})
+				})
+				obs = routing.CombineFADObservers(obs, &fadRecorder{rec: s.rec, id: id, now: s.sched.Now})
+			}
+			fad.SetObserver(obs)
+			if s.invEng != nil {
+				probe := invariants.Probe{ID: id, Xi: strat.Xi, Engine: node.Engine()}
 				probe.XiEWMA = true
 				probe.Queue = fad.Queue()
-				fad.SetObserver(s.invEng.FADObserver(id))
+				s.invEng.Register(probe)
 			}
-			s.invEng.Register(probe)
+		} else if s.invEng != nil {
+			s.invEng.Register(invariants.Probe{ID: id, Xi: strat.Xi, Engine: node.Engine()})
 		}
 	}
 
@@ -468,12 +536,19 @@ func New(cfg Config) (*Sim, error) {
 			sinkNodes[i] = n
 		}
 		hooks := faults.Hooks{
-			NodeCrashed: func(_ float64, sensor int, wiped bool, lost []packet.MessageID) {
+			NodeCrashed: func(at float64, sensor int, wiped bool, lost []packet.MessageID) {
+				victim := packet.NodeID(cfg.NumSinks + sensor)
 				for _, id := range lost {
 					s.collector.CopyLostToCrash(id)
+					// Crash losses do not pass the queue's drop rules, so the
+					// provenance ledger learns about them here.
+					s.rec.Record(telemetry.Event{
+						Time: at, Node: victim, Type: telemetry.EvDrop,
+						Msg: id, Aux: telemetry.DropCrash,
+					})
 				}
 				if s.invEng != nil {
-					s.invEng.NodeCrashed(packet.NodeID(cfg.NumSinks+sensor), wiped, lost)
+					s.invEng.NodeCrashed(victim, wiped, lost)
 				}
 			},
 		}
@@ -487,11 +562,33 @@ func New(cfg Config) (*Sim, error) {
 		s.injector = inj
 	}
 
-	// The invariant sweep runs as the kernel's post-event hook, inside each
-	// event's panic-context wrapper: a Panic-mode breach is re-raised as a
-	// sim.EventPanic naming the event that exposed it.
-	if s.invEng != nil {
+	// The metrics sampler snapshots the registry on a fixed virtual-time
+	// grid, refreshing the live gauges (total queue occupancy, mean ξ,
+	// alive sensors) and the periodic histograms first.
+	if s.telem != nil {
+		interval := cfg.TelemetrySampleSeconds
+		if interval <= 0 {
+			interval = cfg.DurationSeconds / 100
+		}
+		s.sampler = telemetry.NewSampler(s.telem.Registry, interval, s.sampleGauges)
+	}
+
+	// The invariant sweep and the telemetry sampler share the kernel's
+	// post-event hook, inside each event's panic-context wrapper: a
+	// Panic-mode breach is re-raised as a sim.EventPanic naming the event
+	// that exposed it.
+	switch {
+	case s.invEng != nil && s.sampler != nil:
+		s.sched.SetEventHook(func(now sim.Time, seq uint64, label string) {
+			s.invEng.OnEvent(now, seq, label)
+			s.sampler.Tick(float64(now))
+		})
+	case s.invEng != nil:
 		s.sched.SetEventHook(s.invEng.OnEvent)
+	case s.sampler != nil:
+		s.sched.SetEventHook(func(now sim.Time, _ uint64, _ string) {
+			s.sampler.Tick(float64(now))
+		})
 	}
 
 	// Start nodes with a small jitter so cycles do not run in lockstep.
@@ -508,10 +605,76 @@ func New(cfg Config) (*Sim, error) {
 	return s, nil
 }
 
-// deliver is the sink-arrival callback feeding the metrics collector.
-func (s *Sim) deliver(d *packet.Data, now float64) {
+// recording reports whether any trace-v2 consumer is attached.
+func (s *Sim) recording() bool {
+	_, nop := s.rec.(telemetry.Nop)
+	return !nop
+}
+
+// fadRecorder forwards the FAD scheme's Eq. 3 sender-FTD updates into the
+// trace-v2 stream.
+type fadRecorder struct {
+	rec telemetry.Recorder
+	id  packet.NodeID
+	now func() float64
+}
+
+var _ routing.FADObserver = (*fadRecorder)(nil)
+
+// ScheduleBuilt implements routing.FADObserver; the multicast itself is
+// already traced as EvTx by the node.
+func (f *fadRecorder) ScheduleBuilt(packet.MessageID, float64, float64, []packet.ScheduleEntry, []float64) {
+}
+
+// TxOutcome implements routing.FADObserver.
+func (f *fadRecorder) TxOutcome(msgID packet.MessageID, hadCopy bool, before float64, _ []float64, retained bool, after float64) {
+	if !hadCopy {
+		return
+	}
+	f.rec.Record(telemetry.Event{
+		Time: f.now(), Node: f.id, Type: telemetry.EvFTDUpdate,
+		Msg: msgID, Value: before, FTD: after, Kept: retained,
+	})
+}
+
+// sampleGauges refreshes the registry's live gauges and periodic
+// histograms from node state; the sampler calls it before each snapshot.
+func (s *Sim) sampleGauges(float64) {
+	totalQueued, xiSum, alive := 0, 0.0, 0
+	for _, n := range s.sensors {
+		strat := n.Strategy()
+		qlen := strat.QueueLen()
+		totalQueued += qlen
+		xi := strat.Xi()
+		xiSum += xi
+		s.telem.QueueOccupancy.Observe(float64(qlen))
+		s.telem.Xi.Observe(xi)
+		if n.Alive() {
+			alive++
+		}
+	}
+	s.telem.QueueLen.Set(float64(totalQueued))
+	if len(s.sensors) > 0 {
+		s.telem.MeanXi.Set(xiSum / float64(len(s.sensors)))
+	}
+	s.telem.AliveNodes.Set(float64(alive))
+}
+
+// deliver is the sink-arrival callback feeding the metrics collector and
+// the trace-v2 stream.
+func (s *Sim) deliver(sink packet.NodeID, d *packet.Data, now float64) {
 	// The sink hop itself counts as one transfer.
-	_ = s.collector.Delivered(d.ID, now, d.Hops+1)
+	hops := d.Hops + 1
+	first := !s.collector.IsDelivered(d.ID)
+	_ = s.collector.Delivered(d.ID, now, hops)
+	if first {
+		// First custody only: duplicate copies reaching other sinks are not
+		// new deliveries.
+		s.rec.Record(telemetry.Event{
+			Time: now, Node: sink, Type: telemetry.EvDeliver,
+			Msg: d.ID, Value: now - d.CreatedAt, Count: int32(hops),
+		})
+	}
 }
 
 // scheduleArrival arms the next Poisson data generation for node.
@@ -575,6 +738,9 @@ func (s *Sim) Run() (Result, error) {
 			lost = s.injector.Stats().CopiesLost
 		}
 		s.invEng.Finish(lost)
+	}
+	if s.sampler != nil {
+		s.series = s.sampler.Finish(s.sched.Now())
 	}
 	return s.Snapshot(), nil
 }
@@ -646,6 +812,13 @@ func (s *Sim) Snapshot() Result {
 	}
 	if s.invEng != nil {
 		res.Invariants = s.invEng.Digest()
+	}
+	if s.telem != nil {
+		report := &telemetry.Report{Run: s.telem, Series: s.series}
+		if fw, ok := s.cfg.Recorder.(telemetry.FileWriter); ok {
+			report.Events = fw.Events()
+		}
+		res.Telemetry = report
 	}
 	return res
 }

@@ -15,6 +15,7 @@ import (
 
 	"dftmsn/internal/metrics"
 	"dftmsn/internal/scenario"
+	"dftmsn/internal/telemetry"
 )
 
 // Variant is one line in a figure: a named configuration builder.
@@ -41,6 +42,12 @@ type Experiment struct {
 	Runs int
 	// BaseSeed offsets the per-run seeds for reproducibility.
 	BaseSeed uint64
+	// Telemetry arms the per-run metrics registry on every simulation and
+	// aggregates the runs of each point into Point.Telemetry (histograms
+	// and event counters sum across seeds; per-run time series are not
+	// kept). All runs of a point share duration and queue capacity, so the
+	// histogram bounds line up for merging.
+	Telemetry bool
 }
 
 // Validate reports experiment definition errors.
@@ -100,6 +107,10 @@ type Point struct {
 	Crashes        Stats
 	RecoverySec    Stats
 	Violations     Stats
+
+	// Telemetry is the merged per-run telemetry of the point's seeds: nil
+	// unless the experiment ran with Telemetry set.
+	Telemetry *telemetry.Report
 }
 
 // add folds one run result into the point.
@@ -338,6 +349,9 @@ func (e Experiment) Run(workers int) (*Table, error) {
 			return fail(err)
 		}
 		cfg.Seed = e.BaseSeed + uint64(j.run)
+		if e.Telemetry {
+			cfg.Telemetry = true
+		}
 		s, err := scenario.New(cfg)
 		if err != nil {
 			return fail(err)
@@ -354,6 +368,26 @@ func (e Experiment) Run(workers int) (*Table, error) {
 	}
 	for i, j := range flat {
 		table.cells[j.vi][j.xi].add(results[i])
+	}
+	if e.Telemetry {
+		// flat is laid out (vi, xi, run)-major, so a point's runs are the
+		// contiguous block starting at (vi*len(Xs)+xi)*Runs; merging in
+		// run order keeps the aggregated floats reproducible.
+		for vi := range e.Variants {
+			for xi := range e.Xs {
+				base := (vi*len(e.Xs) + xi) * e.Runs
+				reps := make([]*telemetry.Report, e.Runs)
+				for run := 0; run < e.Runs; run++ {
+					reps[run] = results[base+run].Telemetry
+				}
+				merged, err := telemetry.MergeReports(reps)
+				if err != nil {
+					return nil, fmt.Errorf("sweep: %s[%s=%v]: %w",
+						e.Variants[vi].Name, e.XLabel, e.Xs[xi], err)
+				}
+				table.cells[vi][xi].Telemetry = merged
+			}
+		}
 	}
 	return table, nil
 }

@@ -10,6 +10,7 @@ import (
 	"dftmsn/internal/core"
 	"dftmsn/internal/faults"
 	"dftmsn/internal/scenario"
+	"dftmsn/internal/telemetry"
 )
 
 // tinyVariant builds a very small, fast scenario.
@@ -344,5 +345,45 @@ func TestParallel(t *testing.T) {
 	}
 	if err := Parallel(0, 4, func(int) error { return fmt.Errorf("boom") }); err != nil {
 		t.Fatalf("n=0 ran jobs: %v", err)
+	}
+}
+
+// TestRunTelemetryAggregation checks that arming Experiment.Telemetry
+// yields a merged per-point report whose counters sum over the point's
+// seeds and whose delivery histogram matches the averaged delivered count.
+func TestRunTelemetryAggregation(t *testing.T) {
+	e := tinyExperiment()
+	e.Telemetry = true
+	table, err := e.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi := range table.Variants {
+		for xi := range table.Xs {
+			p := table.Cell(vi, xi)
+			if p.Telemetry == nil || p.Telemetry.Run == nil {
+				t.Fatalf("cell (%d,%d) has no merged telemetry", vi, xi)
+			}
+			m := p.Telemetry.Run
+			// DeliveredCount holds the per-run mean; the merged histogram
+			// holds the sum over the point's runs.
+			wantDelivered := p.DeliveredCount.Mean() * float64(p.DeliveredCount.N())
+			if got := float64(m.DeliveryDelay.Count()); got != wantDelivered {
+				t.Errorf("cell (%d,%d): merged delay histogram n=%v, want %v", vi, xi, got, wantDelivered)
+			}
+			wantGen := p.GeneratedCount.Mean() * float64(p.GeneratedCount.N())
+			gen := m.EventCount(telemetry.EvGen) + m.EventCount(telemetry.EvGenDrop)
+			if gen != wantGen {
+				t.Errorf("cell (%d,%d): merged gen counters %v, want %v", vi, xi, gen, wantGen)
+			}
+		}
+	}
+	// Telemetry off leaves the field nil.
+	plain, err := tinyExperiment().Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cell(0, 0).Telemetry != nil {
+		t.Error("telemetry report attached without Experiment.Telemetry")
 	}
 }

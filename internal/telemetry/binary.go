@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"dftmsn/internal/packet"
+)
+
+// Binary framing: a 6-byte header — the magic "DFTB" followed by the schema
+// version as a little-endian uint16 — then fixed-width 50-byte records:
+//
+//	off  size  field
+//	  0     8  Time   (float64 bits, little-endian)
+//	  8     4  Node   (int32)
+//	 12     1  Type   (uint8)
+//	 13     1  Kept   (0/1)
+//	 14     8  Msg    (uint64)
+//	 22     4  Peer   (int32)
+//	 26     8  FTD    (float64 bits)
+//	 34     8  Value  (float64 bits)
+//	 42     4  Count  (int32)
+//	 46     4  Aux    (int32)
+const (
+	binaryMagic      = "DFTB"
+	binaryRecordSize = 50
+	binaryHeaderSize = 6
+)
+
+// BinaryWriter emits trace-v2 events in the compact binary framing. It is
+// safe for concurrent use; the first write error is surfaced by Flush.
+type BinaryWriter struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	rec    [binaryRecordSize]byte
+	n      uint64
+	max    uint64
+	err    error
+	header bool
+}
+
+var _ Recorder = (*BinaryWriter)(nil)
+
+// NewBinary wraps w. maxEvents caps output; zero means unlimited.
+func NewBinary(w io.Writer, maxEvents uint64) *BinaryWriter {
+	return &BinaryWriter{w: bufio.NewWriter(w), max: maxEvents}
+}
+
+// Record implements Recorder.
+func (t *BinaryWriter) Record(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.max > 0 && t.n >= t.max {
+		return
+	}
+	if !t.header {
+		t.header = true
+		var hdr [binaryHeaderSize]byte
+		copy(hdr[:4], binaryMagic)
+		binary.LittleEndian.PutUint16(hdr[4:6], SchemaVersion)
+		t.write(hdr[:])
+	}
+	t.n++
+	b := t.rec[:]
+	binary.LittleEndian.PutUint64(b[0:8], math.Float64bits(ev.Time))
+	binary.LittleEndian.PutUint32(b[8:12], uint32(ev.Node))
+	b[12] = byte(ev.Type)
+	if ev.Kept {
+		b[13] = 1
+	} else {
+		b[13] = 0
+	}
+	binary.LittleEndian.PutUint64(b[14:22], uint64(ev.Msg))
+	binary.LittleEndian.PutUint32(b[22:26], uint32(ev.Peer))
+	binary.LittleEndian.PutUint64(b[26:34], math.Float64bits(ev.FTD))
+	binary.LittleEndian.PutUint64(b[34:42], math.Float64bits(ev.Value))
+	binary.LittleEndian.PutUint32(b[42:46], uint32(ev.Count))
+	binary.LittleEndian.PutUint32(b[46:50], uint32(ev.Aux))
+	t.write(b)
+}
+
+func (t *BinaryWriter) write(b []byte) {
+	if t.err != nil {
+		return
+	}
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+	}
+}
+
+// Events returns the number of events written (after capping).
+func (t *BinaryWriter) Events() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Flush drains buffered output and returns the first error encountered by
+// any write since construction.
+func (t *BinaryWriter) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.w.Flush(); t.err == nil && err != nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// readBinary parses a binary trace-v2 stream positioned at the magic.
+func readBinary(r *bufio.Reader) ([]Event, error) {
+	var hdr [binaryHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("telemetry: binary header: %w", err)
+	}
+	if string(hdr[:4]) != binaryMagic {
+		return nil, fmt.Errorf("telemetry: bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v > SchemaVersion {
+		return nil, fmt.Errorf("telemetry: schema %d newer than supported %d", v, SchemaVersion)
+	}
+	var out []Event
+	var rec [binaryRecordSize]byte
+	for i := 1; ; i++ {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("telemetry: record %d: %w", i, err)
+		}
+		typ := EventType(rec[12])
+		if typ == EvNone || typ >= numEventTypes {
+			return nil, fmt.Errorf("telemetry: record %d: invalid event type %d", i, rec[12])
+		}
+		out = append(out, Event{
+			Time:  math.Float64frombits(binary.LittleEndian.Uint64(rec[0:8])),
+			Node:  packet.NodeID(int32(binary.LittleEndian.Uint32(rec[8:12]))),
+			Type:  typ,
+			Kept:  rec[13] != 0,
+			Msg:   packet.MessageID(binary.LittleEndian.Uint64(rec[14:22])),
+			Peer:  packet.NodeID(int32(binary.LittleEndian.Uint32(rec[22:26]))),
+			FTD:   math.Float64frombits(binary.LittleEndian.Uint64(rec[26:34])),
+			Value: math.Float64frombits(binary.LittleEndian.Uint64(rec[34:42])),
+			Count: int32(binary.LittleEndian.Uint32(rec[42:46])),
+			Aux:   int32(binary.LittleEndian.Uint32(rec[46:50])),
+		})
+	}
+}

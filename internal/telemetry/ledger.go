@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dftmsn/internal/packet"
+)
+
+// Custody is one message's provenance: every trace-v2 event that concerns
+// it, in (time, stream) order, plus derived summary facts. Because DFT-MSN
+// replicates copies, the "chain" is really a tree — Steps is its
+// chronological flattening, with each rx step naming the sending peer.
+type Custody struct {
+	// ID is the message.
+	ID packet.MessageID
+	// Origin is the sensing node (the node of the gen/gen-drop event).
+	Origin packet.NodeID
+	// GeneratedAt is the sensing time.
+	GeneratedAt float64
+	// Accepted reports whether the origin's queue took the message at all.
+	Accepted bool
+	// Relays counts custody transfers that stuck (rx events with Kept).
+	Relays int
+	// Drops counts copies destroyed by any drop rule (threshold, overflow,
+	// crash).
+	Drops int
+	// Delivered reports whether any copy reached a sink.
+	Delivered bool
+	// DeliveredAt is the first sink-custody time (if Delivered).
+	DeliveredAt float64
+	// Delay is the generation-to-sink delay in seconds (if Delivered).
+	Delay float64
+	// Steps is every event mentioning the message, chronological.
+	Steps []Event
+}
+
+// Status summarizes the message's fate in one word.
+func (c *Custody) Status() string {
+	switch {
+	case c.Delivered:
+		return "delivered"
+	case !c.Accepted && len(c.Steps) <= 1:
+		return "rejected"
+	case c.Drops > 0:
+		return "dropped"
+	default:
+		return "in-flight"
+	}
+}
+
+// Format renders the custody chain as a human-readable multi-line block.
+func (c *Custody) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "message %d: origin node %d, generated t=%.3f, %s",
+		c.ID, c.Origin, c.GeneratedAt, c.Status())
+	if c.Delivered {
+		fmt.Fprintf(&b, " (delay %.3fs)", c.Delay)
+	}
+	b.WriteByte('\n')
+	for _, ev := range c.Steps {
+		fmt.Fprintf(&b, "  t=%10.3f  node %-4d %s\n", ev.Time, ev.Node, formatStep(ev))
+	}
+	return b.String()
+}
+
+// formatStep renders one custody step without the time/node prefix.
+func formatStep(ev Event) string {
+	switch ev.Type {
+	case EvGen:
+		return "gen (queued at origin)"
+	case EvGenDrop:
+		return "gen-drop (origin queue rejected)"
+	case EvTx:
+		return fmt.Sprintf("tx to %d receiver(s)", ev.Count)
+	case EvRx:
+		kept := "kept"
+		if !ev.Kept {
+			kept = "discarded"
+		}
+		return fmt.Sprintf("rx from node %d (ftd=%.3f, %s)", ev.Peer, ev.FTD, kept)
+	case EvAck:
+		return fmt.Sprintf("ack to node %d", ev.Peer)
+	case EvFTDUpdate:
+		kept := "kept"
+		if !ev.Kept {
+			kept = "dropped"
+		}
+		return fmt.Sprintf("ftd-update %.3f -> %.3f at sender (%s)", ev.Value, ev.FTD, kept)
+	case EvDrop:
+		return fmt.Sprintf("drop (%s, ftd=%.3f)", DropReasonString(ev.Aux), ev.FTD)
+	case EvDeliver:
+		return fmt.Sprintf("deliver at sink (delay=%.3fs)", ev.Value)
+	default:
+		return ev.Type.String()
+	}
+}
+
+// Ledger indexes a run's events by message, reconstructing provenance.
+type Ledger struct {
+	byID  map[packet.MessageID]*Custody
+	order []packet.MessageID
+}
+
+// BuildLedger folds an event stream (as read from a trace-v2 file, already
+// in time order) into per-message custody records. Events that concern no
+// message (sleep, wake, node lifecycle, cts) are ignored.
+func BuildLedger(events []Event) *Ledger {
+	l := &Ledger{byID: make(map[packet.MessageID]*Custody)}
+	for _, ev := range events {
+		if ev.Msg == 0 {
+			continue
+		}
+		c := l.byID[ev.Msg]
+		if c == nil {
+			c = &Custody{ID: ev.Msg}
+			l.byID[ev.Msg] = c
+			l.order = append(l.order, ev.Msg)
+		}
+		c.Steps = append(c.Steps, ev)
+		switch ev.Type {
+		case EvGen:
+			c.Origin = ev.Node
+			c.GeneratedAt = ev.Time
+			c.Accepted = true
+		case EvGenDrop:
+			c.Origin = ev.Node
+			c.GeneratedAt = ev.Time
+		case EvRx:
+			if ev.Kept {
+				c.Relays++
+			}
+		case EvDrop:
+			c.Drops++
+		case EvDeliver:
+			if !c.Delivered {
+				c.Delivered = true
+				c.DeliveredAt = ev.Time
+				c.Delay = ev.Value
+			}
+		}
+	}
+	return l
+}
+
+// Message returns the custody record for a message, or nil if the trace
+// never mentions it.
+func (l *Ledger) Message(id packet.MessageID) *Custody {
+	return l.byID[id]
+}
+
+// IDs lists every message in the trace, sorted.
+func (l *Ledger) IDs() []packet.MessageID {
+	out := append([]packet.MessageID(nil), l.order...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len is the number of distinct messages in the trace.
+func (l *Ledger) Len() int { return len(l.byID) }

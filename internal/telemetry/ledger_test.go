@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// ledgerEvents is a hand-built run: message 1 is relayed then delivered,
+// message 2 is dropped by the FTD threshold at a relay, message 3 is
+// rejected at the origin.
+func ledgerEvents() []Event {
+	return []Event{
+		{Time: 1.0, Node: 4, Type: EvGen, Msg: 1},
+		{Time: 1.5, Node: 5, Type: EvGen, Msg: 2},
+		{Time: 2.0, Node: 6, Type: EvGenDrop, Msg: 3},
+		{Time: 3.0, Node: 4, Type: EvTx, Msg: 1, Count: 1},
+		{Time: 3.0, Node: 7, Type: EvRx, Msg: 1, Peer: 4, FTD: 0.5, Kept: true},
+		{Time: 3.0, Node: 7, Type: EvAck, Msg: 1, Peer: 4},
+		{Time: 3.1, Node: 4, Type: EvFTDUpdate, Msg: 1, Value: 0.5, FTD: 0.75, Kept: true},
+		{Time: 4.0, Node: 5, Type: EvTx, Msg: 2, Count: 1},
+		{Time: 4.0, Node: 8, Type: EvRx, Msg: 2, Peer: 5, FTD: 0.4, Kept: true},
+		{Time: 5.0, Node: 4, Type: EvDrop, Msg: 1, FTD: 0.96, Aux: DropThreshold},
+		{Time: 6.0, Node: 8, Type: EvDrop, Msg: 2, FTD: 0.99, Aux: DropThreshold},
+		{Time: 6.5, Node: 5, Type: EvDrop, Msg: 2, FTD: 0.8, Aux: DropFull},
+		{Time: 7.0, Node: 0, Type: EvDeliver, Msg: 1, Value: 6.0, Count: 2},
+	}
+}
+
+func TestLedgerDeliveredChain(t *testing.T) {
+	l := BuildLedger(ledgerEvents())
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	c := l.Message(1)
+	if c == nil {
+		t.Fatal("message 1 missing")
+	}
+	if c.Origin != 4 || c.GeneratedAt != 1.0 || !c.Accepted {
+		t.Errorf("origin facts: %+v", c)
+	}
+	if !c.Delivered || c.DeliveredAt != 7.0 || c.Delay != 6.0 {
+		t.Errorf("delivery facts: %+v", c)
+	}
+	if c.Relays != 1 || c.Drops != 1 {
+		t.Errorf("relays=%d drops=%d, want 1, 1", c.Relays, c.Drops)
+	}
+	if got := c.Status(); got != "delivered" {
+		t.Errorf("Status = %q", got)
+	}
+	// The chain flattening must preserve order: gen → tx → rx → ... → deliver.
+	if c.Steps[0].Type != EvGen || c.Steps[len(c.Steps)-1].Type != EvDeliver {
+		t.Errorf("chain endpoints wrong: %v ... %v", c.Steps[0].Type, c.Steps[len(c.Steps)-1].Type)
+	}
+	out := c.Format()
+	for _, want := range []string{
+		"message 1: origin node 4, generated t=1.000, delivered (delay 6.000s)",
+		"rx from node 4",
+		"drop (threshold, ftd=0.960)",
+		"deliver at sink (delay=6.000s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLedgerDroppedChain(t *testing.T) {
+	l := BuildLedger(ledgerEvents())
+	c := l.Message(2)
+	if c == nil {
+		t.Fatal("message 2 missing")
+	}
+	if c.Delivered {
+		t.Error("message 2 should not be delivered")
+	}
+	if c.Drops != 2 || c.Relays != 1 {
+		t.Errorf("drops=%d relays=%d, want 2, 1", c.Drops, c.Relays)
+	}
+	if got := c.Status(); got != "dropped" {
+		t.Errorf("Status = %q", got)
+	}
+	out := c.Format()
+	for _, want := range []string{
+		"message 2: origin node 5, generated t=1.500, dropped",
+		"drop (threshold, ftd=0.990)",
+		"drop (full, ftd=0.800)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLedgerRejectedAndUnknown(t *testing.T) {
+	l := BuildLedger(ledgerEvents())
+	c := l.Message(3)
+	if c == nil {
+		t.Fatal("message 3 missing")
+	}
+	if c.Accepted || c.Status() != "rejected" {
+		t.Errorf("message 3: accepted=%v status=%q", c.Accepted, c.Status())
+	}
+	if l.Message(99) != nil {
+		t.Error("unknown message should be nil")
+	}
+	ids := l.IDs()
+	if len(ids) != 3 || ids[0] != 1 || ids[2] != 3 {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestLedgerInFlight(t *testing.T) {
+	l := BuildLedger([]Event{
+		{Time: 1.0, Node: 4, Type: EvGen, Msg: 1},
+	})
+	if got := l.Message(1).Status(); got != "in-flight" {
+		t.Errorf("Status = %q, want in-flight", got)
+	}
+}

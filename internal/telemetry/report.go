@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Standard histogram names used by NewRunRegistry; cmd/dftstats and the
+// sweep aggregation refer to these.
+const (
+	HistDeliveryDelay  = "delivery_delay_s"
+	HistQueueOccupancy = "queue_occupancy"
+	HistXi             = "xi"
+	HistFTDAtDrop      = "ftd_at_drop"
+	HistSleepDuration  = "sleep_duration_s"
+)
+
+// RunMetrics is the standard per-run metrics set: one counter per event
+// type, the paper's five distributional histograms (§5), and the gauges
+// the periodic sampler tracks into a time series. It implements Recorder,
+// folding the event stream directly; queue occupancy and ξ are sampled
+// periodically by the scenario rather than event-driven.
+type RunMetrics struct {
+	Registry *Registry
+
+	DeliveryDelay  *Histogram
+	QueueOccupancy *Histogram
+	Xi             *Histogram
+	FTDAtDrop      *Histogram
+	SleepDuration  *Histogram
+
+	QueueLen   *Gauge
+	MeanXi     *Gauge
+	AliveNodes *Gauge
+
+	counters [numEventTypes]*Counter
+}
+
+var _ Recorder = (*RunMetrics)(nil)
+
+// CounterName renders an event type's counter name ("gen-drop" →
+// "gen_drop_total").
+func CounterName(t EventType) string {
+	return strings.ReplaceAll(t.String(), "-", "_") + "_total"
+}
+
+// NewRunRegistry builds the standard registry for a run of the given
+// virtual duration (seconds) and per-node queue capacity. Runs with equal
+// duration and capacity produce mergeable histograms, which is what the
+// sweep aggregation relies on.
+func NewRunRegistry(duration float64, queueCap int) *RunMetrics {
+	if duration <= 0 {
+		duration = 1
+	}
+	if queueCap <= 0 {
+		queueCap = 32
+	}
+	r := NewRegistry()
+	m := &RunMetrics{Registry: r}
+	for t := EventType(1); t < numEventTypes; t++ {
+		m.counters[t] = r.Counter(CounterName(t))
+	}
+	m.QueueLen = r.Gauge("queue_len_total")
+	m.MeanXi = r.Gauge("mean_xi")
+	m.AliveNodes = r.Gauge("alive_nodes")
+	// 40 linear delay buckets spanning the run; overflow catches stragglers.
+	m.DeliveryDelay = r.Histogram(HistDeliveryDelay, LinearBuckets(duration/40, duration/40, 40))
+	occStep := float64(queueCap) / 32
+	if occStep < 1 {
+		occStep = 1
+	}
+	m.QueueOccupancy = r.Histogram(HistQueueOccupancy, LinearBuckets(0, occStep, 33))
+	m.Xi = r.Histogram(HistXi, LinearBuckets(0.05, 0.05, 20))
+	m.FTDAtDrop = r.Histogram(HistFTDAtDrop, LinearBuckets(0.05, 0.05, 20))
+	m.SleepDuration = r.Histogram(HistSleepDuration, ExponentialBuckets(0.25, 2, 12))
+	return m
+}
+
+// Record implements Recorder: counts every event and feeds the
+// event-driven histograms.
+func (m *RunMetrics) Record(ev Event) {
+	if ev.Type == EvNone || ev.Type >= numEventTypes {
+		return
+	}
+	m.counters[ev.Type].Inc()
+	switch ev.Type {
+	case EvDeliver:
+		m.DeliveryDelay.Observe(ev.Value)
+	case EvSleep:
+		m.SleepDuration.Observe(ev.Value)
+	case EvDrop:
+		m.FTDAtDrop.Observe(ev.FTD)
+	}
+}
+
+// EventCount returns how many events of a type were recorded.
+func (m *RunMetrics) EventCount(t EventType) float64 {
+	if t == EvNone || t >= numEventTypes {
+		return 0
+	}
+	return m.counters[t].Value()
+}
+
+// Merge folds another run's metrics (same duration/capacity setup) into
+// this one: histograms and counters add; gauges, being point-in-time,
+// keep this run's values.
+func (m *RunMetrics) Merge(o *RunMetrics) error {
+	if o == nil {
+		return nil
+	}
+	for _, pair := range [][2]*Histogram{
+		{m.DeliveryDelay, o.DeliveryDelay},
+		{m.QueueOccupancy, o.QueueOccupancy},
+		{m.Xi, o.Xi},
+		{m.FTDAtDrop, o.FTDAtDrop},
+		{m.SleepDuration, o.SleepDuration},
+	} {
+		if err := pair[0].MergeFrom(pair[1]); err != nil {
+			return err
+		}
+	}
+	for t := EventType(1); t < numEventTypes; t++ {
+		m.counters[t].Add(o.counters[t].Value())
+	}
+	return nil
+}
+
+// Report is a run's telemetry output: the folded metrics, the sampled
+// time series (nil when sampling was off), and how many events were
+// written to the trace file (0 when no file recorder was attached).
+type Report struct {
+	Run    *RunMetrics
+	Series *Series
+	Events uint64
+}
+
+// MergeReports aggregates per-run reports (e.g. across a sweep's parallel
+// repetitions) into one: histograms and counters sum, series are dropped
+// (they are per-run artifacts). Nil reports are skipped; returns nil if
+// none carry metrics.
+func MergeReports(reports []*Report) (*Report, error) {
+	var out *Report
+	for _, r := range reports {
+		if r == nil || r.Run == nil {
+			continue
+		}
+		if out == nil {
+			out = &Report{Run: r.Run, Events: r.Events}
+			continue
+		}
+		if err := out.Run.Merge(r.Run); err != nil {
+			return nil, fmt.Errorf("telemetry: aggregate reports: %w", err)
+		}
+		out.Events += r.Events
+	}
+	return out, nil
+}

@@ -1,0 +1,279 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"dftmsn/internal/trace"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Time: 0.5, Node: 4, Type: EvGen, Msg: 1},
+		{Time: 0.6, Node: 5, Type: EvGenDrop, Msg: 2},
+		{Time: 1.25, Node: 4, Type: EvCTS, Peer: 9, Value: 0.75},
+		{Time: 1.5, Node: 4, Type: EvTx, Msg: 1, Count: 2},
+		{Time: 1.75, Node: 0, Type: EvRx, Msg: 1, Peer: 4, FTD: 0.5, Kept: true},
+		{Time: 1.75, Node: 9, Type: EvRx, Msg: 1, Peer: 4, FTD: 0.25, Kept: false},
+		{Time: 1.8, Node: 0, Type: EvAck, Msg: 1, Peer: 4},
+		{Time: 1.9, Node: 4, Type: EvFTDUpdate, Msg: 1, Value: 0.5, FTD: 0.875, Kept: true},
+		{Time: 2.0, Node: 4, Type: EvTxOutcome, Msg: 1, Count: 2, Aux: 1},
+		{Time: 2.5, Node: 0, Type: EvDeliver, Msg: 1, Value: 2.0, Count: 1},
+		{Time: 3.0, Node: 4, Type: EvDrop, Msg: 1, FTD: 0.97, Aux: DropThreshold},
+		{Time: 4.0, Node: 7, Type: EvSleep, Value: 12.5},
+		{Time: 16.5, Node: 7, Type: EvWake},
+		{Time: 20.0, Node: 8, Type: EvCrash, Count: 3},
+		{Time: 25.0, Node: 8, Type: EvReboot},
+		{Time: 30.0, Node: 6, Type: EvKill},
+		{Time: 40.0, Node: 3, Type: EvDied, Value: 100.0},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	w := NewJSONL(&buf, 0)
+	for _, ev := range events {
+		w.Record(ev)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := w.Events(); got != uint64(len(events)) {
+		t.Fatalf("Events() = %d, want %d", got, len(events))
+	}
+	if !strings.HasPrefix(buf.String(), `{"schema":2,"format":"dftmsn-trace"}`) {
+		t.Fatalf("missing header, got %q", buf.String()[:40])
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	w := NewBinary(&buf, 0)
+	for _, ev := range events {
+		w.Record(ev)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if want := binaryHeaderSize + len(events)*binaryRecordSize; buf.Len() != want {
+		t.Fatalf("binary size %d, want %d", buf.Len(), want)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestDetectFormat(t *testing.T) {
+	var jb, bb bytes.Buffer
+	jw := NewJSONL(&jb, 0)
+	jw.Record(Event{Type: EvGen, Msg: 1})
+	jw.Flush()
+	bw := NewBinary(&bb, 0)
+	bw.Record(Event{Type: EvGen, Msg: 1})
+	bw.Flush()
+
+	if f, err := DetectFormat(bufio.NewReader(&jb)); err != nil || f != FormatJSONL {
+		t.Errorf("jsonl detect = %v, %v", f, err)
+	}
+	if f, err := DetectFormat(bufio.NewReader(&bb)); err != nil || f != FormatBinary {
+		t.Errorf("binary detect = %v, %v", f, err)
+	}
+	if _, err := DetectFormat(bufio.NewReader(strings.NewReader("0.5\t3\tgen\tmsg=1\n"))); err == nil {
+		t.Error("legacy TSV detected as trace v2")
+	}
+}
+
+func TestReaderRejectsNewerSchema(t *testing.T) {
+	in := `{"schema":99,"format":"dftmsn-trace"}` + "\n"
+	if _, err := ReadAll(strings.NewReader(in)); err == nil {
+		t.Fatal("want error for newer schema")
+	}
+}
+
+func TestWriterCapsEvents(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONL(&buf, 3)
+	for i := 0; i < 10; i++ {
+		w.Record(Event{Time: float64(i), Type: EvGen, Msg: 1})
+	}
+	w.Flush()
+	if got := w.Events(); got != 3 {
+		t.Fatalf("Events() = %d, want 3", got)
+	}
+	events, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("read %d events, want 3", len(events))
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct{ budget int }
+
+var errSink = errors.New("disk full")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, errSink
+	}
+	f.budget -= len(p)
+	return len(p), nil
+}
+
+func TestWriterFlushSurfacesWriteError(t *testing.T) {
+	for name, mk := range map[string]func(*failWriter) FileWriter{
+		"jsonl":  func(fw *failWriter) FileWriter { return NewJSONL(fw, 0) },
+		"binary": func(fw *failWriter) FileWriter { return NewBinary(fw, 0) },
+	} {
+		w := mk(&failWriter{budget: 8})
+		for i := 0; i < 4096; i++ { // enough to overflow bufio's buffer
+			w.Record(Event{Time: float64(i), Type: EvGen, Msg: 1})
+		}
+		if err := w.Flush(); !errors.Is(err, errSink) {
+			t.Errorf("%s: Flush = %v, want %v", name, err, errSink)
+		}
+	}
+}
+
+func TestParseEventTypeRoundTrip(t *testing.T) {
+	for _, typ := range EventTypes() {
+		got, ok := ParseEventType(typ.String())
+		if !ok || got != typ {
+			t.Errorf("ParseEventType(%q) = %v, %v", typ.String(), got, ok)
+		}
+	}
+	if _, ok := ParseEventType("bogus"); ok {
+		t.Error("ParseEventType accepted bogus name")
+	}
+	if _, ok := ParseEventType("none"); ok {
+		t.Error("ParseEventType accepted the zero value name")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	if _, ok := Combine().(Nop); !ok {
+		t.Error("Combine() should be Nop")
+	}
+	b := &Buffer{}
+	if got := Combine(nil, b, nil); got != Recorder(b) {
+		t.Errorf("Combine with one non-nil should unwrap, got %T", got)
+	}
+	b2 := &Buffer{}
+	m := Combine(b, b2)
+	m.Record(Event{Type: EvGen, Msg: 7})
+	if len(b.Events) != 1 || len(b2.Events) != 1 {
+		t.Errorf("Multi fan-out: got %d, %d events", len(b.Events), len(b2.Events))
+	}
+}
+
+// TestLegacyAdapterByteCompatible locks the adapter to the historical TSV
+// lines byte for byte.
+func TestLegacyAdapterByteCompatible(t *testing.T) {
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf, 0)
+	a := NewLegacyAdapter(w)
+	for _, ev := range sampleEvents() {
+		a.Record(ev)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	want := strings.Join([]string{
+		"0.500000\t4\tgen\tmsg=1",
+		"0.600000\t5\tgen-drop\tmsg=2",
+		"1.500000\t4\tschedule\tmsg=1 receivers=2",
+		"1.750000\t0\trx-data\tmsg=1 from=4 ftd=0.500 kept=true",
+		"1.750000\t9\trx-data\tmsg=1 from=4 ftd=0.250 kept=false",
+		"2.000000\t4\ttx-outcome\tscheduled=2 acked=1",
+		"4.000000\t7\tsleep\tdur=12.500",
+		"16.500000\t7\twake\t",
+		"20.000000\t8\tcrash\tlost=3",
+		"25.000000\t8\trecover\t",
+		"30.000000\t6\tkilled\t",
+		"40.000000\t3\tdied\tjoules=100.000",
+	}, "\n") + "\n"
+	if buf.String() != want {
+		t.Errorf("legacy lines:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	if NewLegacyAdapter(nil) != nil {
+		t.Error("NewLegacyAdapter(nil) should be nil")
+	}
+}
+
+// TestNopZeroAlloc is the acceptance criterion: the telemetry-off path
+// allocates nothing per event.
+func TestNopZeroAlloc(t *testing.T) {
+	var rec Recorder = Nop{}
+	ev := Event{Time: 1.5, Node: 3, Type: EvRx, Msg: 42, Peer: 7, FTD: 0.5, Kept: true}
+	allocs := testing.AllocsPerRun(1000, func() {
+		rec.Record(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("Nop.Record allocates %v per event, want 0", allocs)
+	}
+}
+
+func BenchmarkNopRecord(b *testing.B) {
+	var rec Recorder = Nop{}
+	ev := Event{Time: 1.5, Node: 3, Type: EvRx, Msg: 42, Peer: 7, FTD: 0.5, Kept: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Record(ev)
+	}
+}
+
+func BenchmarkJSONLRecord(b *testing.B) {
+	w := NewJSONL(io.Discard, 0)
+	ev := Event{Time: 1.5, Node: 3, Type: EvRx, Msg: 42, Peer: 7, FTD: 0.5, Kept: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Record(ev)
+	}
+}
+
+func BenchmarkBinaryRecord(b *testing.B) {
+	w := NewBinary(io.Discard, 0)
+	ev := Event{Time: 1.5, Node: 3, Type: EvRx, Msg: 42, Peer: 7, FTD: 0.5, Kept: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Record(ev)
+	}
+}
+
+func TestQuantileNaNIgnored(t *testing.T) {
+	h := newHistogram("x", LinearBuckets(1, 1, 4))
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Fatalf("NaN counted: %d", h.Count())
+	}
+}

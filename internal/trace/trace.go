@@ -36,6 +36,7 @@ type Writer struct {
 	w   *bufio.Writer
 	n   uint64
 	max uint64
+	err error
 }
 
 var _ Tracer = (*Writer)(nil)
@@ -54,8 +55,11 @@ func (t *Writer) Emit(now float64, node packet.NodeID, event, detail string) {
 		return
 	}
 	t.n++
-	// Write errors are surfaced by Flush; tracing must not abort a run.
-	fmt.Fprintf(t.w, "%.6f\t%d\t%s\t%s\n", now, node, event, detail)
+	// The first write error is captured and surfaced by Flush; tracing must
+	// not abort a run.
+	if _, err := fmt.Fprintf(t.w, "%.6f\t%d\t%s\t%s\n", now, node, event, detail); err != nil && t.err == nil {
+		t.err = err
+	}
 }
 
 // Events returns the number of events written (after capping).
@@ -65,9 +69,13 @@ func (t *Writer) Events() uint64 {
 	return t.n
 }
 
-// Flush drains buffered output to the underlying writer.
+// Flush drains buffered output to the underlying writer and returns the
+// first error encountered by any write since construction.
 func (t *Writer) Flush() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.w.Flush()
+	if err := t.w.Flush(); t.err == nil && err != nil {
+		t.err = err
+	}
+	return t.err
 }

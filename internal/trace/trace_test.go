@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -49,6 +50,36 @@ func TestWriterCapsEvents(t *testing.T) {
 	}
 	if w.Events() != 3 {
 		t.Fatalf("Events = %d, want 3", w.Events())
+	}
+}
+
+// failAfter accepts its first budget bytes, then fails every write.
+type failAfter struct{ budget int }
+
+var errDiskFull = errors.New("disk full")
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, errDiskFull
+	}
+	f.budget -= len(p)
+	return len(p), nil
+}
+
+// TestWriterFlushSurfacesWriteError locks in that Emit's write errors are
+// not lost: the first one is reported by Flush, even when later flushes
+// succeed trivially.
+func TestWriterFlushSurfacesWriteError(t *testing.T) {
+	w := NewWriter(&failAfter{budget: 16}, 0)
+	for i := 0; i < 4096; i++ { // enough to overflow bufio's buffer mid-run
+		w.Emit(float64(i), 1, "e", "x")
+	}
+	if err := w.Flush(); !errors.Is(err, errDiskFull) {
+		t.Fatalf("Flush = %v, want %v", err, errDiskFull)
+	}
+	// The error is sticky: a second Flush still reports it.
+	if err := w.Flush(); !errors.Is(err, errDiskFull) {
+		t.Fatalf("second Flush = %v, want %v", err, errDiskFull)
 	}
 }
 
