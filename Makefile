@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json figures figures-paper chaos fuzz fuzz-smoke vet fmt clean
+.PHONY: all build test test-short race cover bench bench-json bench-diff bench-scale figures figures-paper chaos fuzz fuzz-smoke vet fmt clean
 
 all: build test
 
@@ -25,11 +25,31 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
-# Capture a machine-readable benchmark baseline (telemetry on/off pair
-# included) for before/after comparisons.
+# Packages whose benchmarks form the regression-gated tier. Concatenated
+# multi-package transcripts parse fine (benchjson tracks pkg: headers).
+BENCH_PKGS = ./internal/telemetry/ ./internal/scenario/ ./internal/radio/
+
+# Capture a machine-readable benchmark baseline (telemetry on/off pair and
+# the radio-medium microbenchmarks included) for before/after comparisons.
 bench-json:
-	$(GO) test -bench=. -benchmem ./internal/telemetry/ ./internal/scenario/ \
+	$(GO) test -bench=. -benchmem $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson > BENCH_baseline.json
+
+# Diff a fresh benchmark run against the committed baseline; exits nonzero
+# on a >25% ns/op or allocs/op regression in any benchmark present in both.
+bench-diff:
+	$(GO) test -bench=. -benchmem $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -diff BENCH_baseline.json
+
+# The gated scale tier: 500- and 2000-node runs, spatial index vs the
+# linear-scan control arm, asserting the index keeps its >=5x edge at 2000
+# nodes. Too slow for the CI bench smoke, hence the env guard.
+bench-scale:
+	DFTMSN_SCALE_BENCH=1 $(GO) test -bench=BenchmarkRunLarge -benchtime=3x \
+			./internal/scenario/ \
+		| $(GO) run ./cmd/benchjson \
+			-speedup-slow BenchmarkRunLarge2000Linear \
+			-speedup-fast BenchmarkRunLarge2000 -speedup-min 5
 
 # Regenerate every table/figure at reduced scale (~30 min on one core).
 figures:

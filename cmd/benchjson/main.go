@@ -5,11 +5,22 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -benchtime=1x ./... | benchjson
+//	go test -bench=. -benchmem ./... | benchjson -diff BENCH_baseline.json
+//	go test -bench=RunLarge ./... | benchjson \
+//	    -speedup-slow BenchmarkRunLarge2000Linear \
+//	    -speedup-fast BenchmarkRunLarge2000 -speedup-min 5
+//
+// With -diff, every benchmark present in both the baseline and the fresh
+// run is compared; a ns/op or allocs/op increase beyond the tolerance
+// (default 25%) is a regression and the exit status is nonzero. With the
+// -speedup flags, the named slow benchmark must be at least -speedup-min
+// times the ns/op of the fast one.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -25,9 +36,39 @@ type Benchmark struct {
 	Procs       int     `json:"procs,omitempty"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
 	HasMem      bool    `json:"has_mem"`
+}
+
+// MarshalJSON emits bytes_per_op/allocs_per_op whenever the benchmark was
+// parsed with -benchmem (has_mem), zero or not — a genuinely zero-alloc
+// benchmark must stay distinguishable from one parsed without memory
+// columns, which plain omitempty tags cannot express.
+func (b Benchmark) MarshalJSON() ([]byte, error) {
+	type core struct {
+		Package     string   `json:"package,omitempty"`
+		Name        string   `json:"name"`
+		Procs       int      `json:"procs,omitempty"`
+		Iterations  int64    `json:"iterations"`
+		NsPerOp     float64  `json:"ns_per_op"`
+		BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+		AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+		HasMem      bool     `json:"has_mem"`
+	}
+	c := core{
+		Package:    b.Package,
+		Name:       b.Name,
+		Procs:      b.Procs,
+		Iterations: b.Iterations,
+		NsPerOp:    b.NsPerOp,
+		HasMem:     b.HasMem,
+	}
+	if b.HasMem {
+		c.BytesPerOp = &b.BytesPerOp
+		c.AllocsPerOp = &b.AllocsPerOp
+	}
+	return json.Marshal(c)
 }
 
 // Document is the full JSON output.
@@ -44,11 +85,53 @@ var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
+	diffPath := flag.String("diff", "", "baseline JSON to diff the fresh run on stdin against (regression ⇒ exit 1)")
+	nsTol := flag.Float64("ns-tol", 0.25, "tolerated fractional ns/op increase before a diff counts as a regression")
+	allocTol := flag.Float64("alloc-tol", 0.25, "tolerated fractional allocs/op increase before a diff counts as a regression")
+	speedupSlow := flag.String("speedup-slow", "", "benchmark name expected to be slower (speedup assertion)")
+	speedupFast := flag.String("speedup-fast", "", "benchmark name expected to be faster (speedup assertion)")
+	speedupMin := flag.Float64("speedup-min", 0, "required ns/op ratio slow/fast (0 disables the assertion)")
+	flag.Parse()
+
 	doc, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+
+	failed := false
+	checked := false
+	if *diffPath != "" {
+		checked = true
+		base, err := loadBaseline(*diffPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		rows, regressed := diff(base, doc, *nsTol, *allocTol)
+		for _, row := range rows {
+			fmt.Println(row)
+		}
+		if regressed {
+			fmt.Println("FAIL: benchmark regression beyond tolerance")
+			failed = true
+		}
+	}
+	if *speedupMin > 0 {
+		checked = true
+		row, ok := speedup(doc, *speedupSlow, *speedupFast, *speedupMin)
+		fmt.Println(row)
+		if !ok {
+			failed = true
+		}
+	}
+	if checked {
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
@@ -58,7 +141,9 @@ func main() {
 }
 
 // parse folds a `go test -bench` transcript into a Document, tracking the
-// per-package header lines so each benchmark is attributed.
+// per-package header lines so each benchmark is attributed. Concatenated
+// multi-package transcripts are handled: later goos/goarch headers repeat
+// the same values.
 func parse(r io.Reader) (*Document, error) {
 	doc := &Document{Benchmarks: []Benchmark{}}
 	sc := bufio.NewScanner(r)
@@ -106,4 +191,88 @@ func parse(r io.Reader) (*Document, error) {
 		doc.Benchmarks = append(doc.Benchmarks, b)
 	}
 	return doc, sc.Err()
+}
+
+// loadBaseline reads a Document previously written by this tool.
+func loadBaseline(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// diff compares every benchmark present in both documents (keyed by
+// package + name) and reports per-metric changes. A ns/op or allocs/op
+// increase beyond the given fractional tolerance is a regression.
+// Benchmarks present on only one side are skipped: baselines are allowed
+// to trail newly added benchmarks until regenerated.
+func diff(base, fresh *Document, nsTol, allocTol float64) (rows []string, regressed bool) {
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Package+"."+b.Name] = b
+	}
+	for _, f := range fresh.Benchmarks {
+		b, ok := baseBy[f.Package+"."+f.Name]
+		if !ok {
+			continue
+		}
+		verdict := "ok"
+		nsDelta := frac(f.NsPerOp, b.NsPerOp)
+		if b.NsPerOp > 0 && nsDelta > nsTol {
+			verdict = "REGRESSION(ns/op)"
+			regressed = true
+		}
+		allocNote := ""
+		if b.HasMem && f.HasMem {
+			allocDelta := frac(float64(f.AllocsPerOp), float64(b.AllocsPerOp))
+			allocNote = fmt.Sprintf("  allocs %d -> %d (%+.1f%%)",
+				b.AllocsPerOp, f.AllocsPerOp, 100*allocDelta)
+			if b.AllocsPerOp > 0 && allocDelta > allocTol {
+				verdict = "REGRESSION(allocs/op)"
+				regressed = true
+			}
+		}
+		rows = append(rows, fmt.Sprintf("%-14s %s.%s: ns/op %.0f -> %.0f (%+.1f%%)%s",
+			verdict, f.Package, f.Name, b.NsPerOp, f.NsPerOp, 100*nsDelta, allocNote))
+	}
+	return rows, regressed
+}
+
+// frac returns the fractional change from old to new (0 when old is 0).
+func frac(new_, old float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new_ - old) / old
+}
+
+// speedup asserts that the benchmark named slow took at least min times
+// the ns/op of the one named fast (names match ignoring package).
+func speedup(doc *Document, slow, fast string, min float64) (row string, ok bool) {
+	find := func(name string) (Benchmark, bool) {
+		for _, b := range doc.Benchmarks {
+			if b.Name == name {
+				return b, true
+			}
+		}
+		return Benchmark{}, false
+	}
+	s, okS := find(slow)
+	f, okF := find(fast)
+	if !okS || !okF {
+		return fmt.Sprintf("FAIL: speedup: missing benchmark %q or %q in input", slow, fast), false
+	}
+	if f.NsPerOp <= 0 {
+		return fmt.Sprintf("FAIL: speedup: %s has non-positive ns/op", fast), false
+	}
+	ratio := s.NsPerOp / f.NsPerOp
+	if ratio < min {
+		return fmt.Sprintf("FAIL: speedup %s/%s = %.2fx < required %.2fx", slow, fast, ratio, min), false
+	}
+	return fmt.Sprintf("ok: speedup %s/%s = %.2fx >= %.2fx", slow, fast, ratio, min), true
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -64,5 +65,98 @@ func TestParseIgnoresNoise(t *testing.T) {
 	}
 	if len(doc.Benchmarks) != 0 {
 		t.Fatalf("noise parsed as benchmarks: %+v", doc.Benchmarks)
+	}
+}
+
+// A zero-alloc benchmark parsed with -benchmem must serialise its zero
+// memory columns; one parsed without must omit them. Plain omitempty tags
+// conflated the two.
+func TestMarshalZeroMemColumns(t *testing.T) {
+	doc, err := parse(strings.NewReader(fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nop := doc.Benchmarks[0]
+	if !nop.HasMem || nop.AllocsPerOp != 0 {
+		t.Fatalf("fixture NopRecord parsed wrong: %+v", nop)
+	}
+	out, err := json.Marshal(nop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"bytes_per_op":0`, `"allocs_per_op":0`, `"has_mem":true`} {
+		if !strings.Contains(string(out), key) {
+			t.Errorf("marshalled NopRecord missing %s: %s", key, out)
+		}
+	}
+
+	nomem := Benchmark{Name: "BenchmarkX", Iterations: 1, NsPerOp: 10}
+	out, err = json.Marshal(nomem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"bytes_per_op", "allocs_per_op"} {
+		if strings.Contains(string(out), key) {
+			t.Errorf("marshalled no-mem benchmark has %s: %s", key, out)
+		}
+	}
+
+	// Round-trip keeps the two cases distinguishable.
+	var back Benchmark
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.HasMem {
+		t.Errorf("round-tripped no-mem benchmark gained HasMem")
+	}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	base := &Document{Benchmarks: []Benchmark{
+		{Package: "p", Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100, HasMem: true},
+		{Package: "p", Name: "BenchmarkB", NsPerOp: 1000, AllocsPerOp: 100, HasMem: true},
+		{Package: "p", Name: "BenchmarkGone", NsPerOp: 1},
+	}}
+	fresh := &Document{Benchmarks: []Benchmark{
+		{Package: "p", Name: "BenchmarkA", NsPerOp: 1200, AllocsPerOp: 110, HasMem: true}, // within 25%
+		{Package: "p", Name: "BenchmarkB", NsPerOp: 900, AllocsPerOp: 200, HasMem: true},  // alloc regression
+		{Package: "p", Name: "BenchmarkNew", NsPerOp: 5},                                  // not in baseline
+	}}
+	rows, regressed := diff(base, fresh, 0.25, 0.25)
+	if !regressed {
+		t.Fatalf("diff missed the allocs/op regression; rows: %v", rows)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("diff compared %d rows, want 2 (intersection only): %v", len(rows), rows)
+	}
+	if strings.Contains(rows[0], "REGRESSION") {
+		t.Errorf("within-tolerance row flagged: %s", rows[0])
+	}
+	if !strings.Contains(rows[1], "REGRESSION(allocs/op)") {
+		t.Errorf("allocs regression row not flagged: %s", rows[1])
+	}
+
+	// A faster run with fewer allocations never regresses.
+	improved := &Document{Benchmarks: []Benchmark{
+		{Package: "p", Name: "BenchmarkA", NsPerOp: 500, AllocsPerOp: 10, HasMem: true},
+	}}
+	if _, reg := diff(base, improved, 0.25, 0.25); reg {
+		t.Errorf("improvement reported as regression")
+	}
+}
+
+func TestSpeedupAssertion(t *testing.T) {
+	doc := &Document{Benchmarks: []Benchmark{
+		{Package: "p", Name: "BenchmarkSlow", NsPerOp: 10000},
+		{Package: "p", Name: "BenchmarkFast", NsPerOp: 1000},
+	}}
+	if row, ok := speedup(doc, "BenchmarkSlow", "BenchmarkFast", 5); !ok {
+		t.Errorf("10x speedup failed a 5x bar: %s", row)
+	}
+	if row, ok := speedup(doc, "BenchmarkSlow", "BenchmarkFast", 20); ok {
+		t.Errorf("10x speedup passed a 20x bar: %s", row)
+	}
+	if _, ok := speedup(doc, "BenchmarkMissing", "BenchmarkFast", 2); ok {
+		t.Errorf("missing benchmark passed the assertion")
 	}
 }

@@ -149,6 +149,10 @@ type Node struct {
 	started bool
 	stopped bool
 	crashed bool // down by Crash (recoverable), not battery or Kill
+
+	startCycleFn func() // pre-bound n.startCycle for retry scheduling
+	wakeFn       func() // pre-bound end-of-sleep wake callback
+	xiBuf        []float64
 }
 
 var _ mac.Policy = (*Node)(nil)
@@ -190,6 +194,16 @@ func NewNode(
 		tauForVer: ^uint64(0),
 	}
 	n.stats.DiedAt = -1
+	n.startCycleFn = n.startCycle
+	n.wakeFn = func() {
+		if n.stopped {
+			return
+		}
+		if err := n.radio.Wake(); err != nil {
+			// Unreachable in normal operation; try a fresh cycle anyway.
+			n.startCycle()
+		}
+	}
 	if params.SleepEnabled {
 		ctl, err := optimize.NewSleepController(params.Sleep)
 		if err != nil {
@@ -280,7 +294,7 @@ func (n *Node) startCycle() {
 	tau := n.rng.SlotIn(sigma)
 	if err := n.engine.StartCycle(tau); err != nil {
 		// The radio is mid-switch or otherwise unavailable: retry shortly.
-		n.sched.After(n.params.DecayInterval/100+1e-3, n.startCycle)
+		n.sched.Post(n.params.DecayInterval/100+1e-3, "", n.startCycleFn)
 	}
 }
 
@@ -423,15 +437,7 @@ func (n *Node) goToSleep(now float64) {
 	n.stats.Sleeps++
 	n.stats.SleepSeconds += dur
 	n.rec.Record(telemetry.Event{Time: now, Node: n.id, Type: telemetry.EvSleep, Value: dur})
-	n.sched.After(dur, func() {
-		if n.stopped {
-			return
-		}
-		if err := n.radio.Wake(); err != nil {
-			// Unreachable in normal operation; try a fresh cycle anyway.
-			n.startCycle()
-		}
-	})
+	n.sched.Post(dur, "", n.wakeFn)
 }
 
 // onAwake is called when the radio finishes powering on.
@@ -451,8 +457,7 @@ func (n *Node) currentTauMax() int {
 		return n.tauCached
 	}
 	now := n.sched.Now()
-	xis := make([]float64, 0, len(n.neighbors)+1)
-	xis = append(xis, n.strategy.Xi())
+	xis := append(n.xiBuf[:0], n.strategy.Xi())
 	for id, nb := range n.neighbors {
 		if now-nb.seenAt > n.params.NeighborTTL {
 			delete(n.neighbors, id)
@@ -465,6 +470,7 @@ func (n *Node) currentTauMax() int {
 	// would otherwise depend on the map iteration order above, which Go
 	// randomises per run. Canonical order keeps same-seed runs identical.
 	sort.Float64s(xis)
+	n.xiBuf = xis
 	tau, _ := optimize.MinTauMax(xis, n.params.CollisionTarget, n.params.TauMaxCap)
 	n.tauCached = tau
 	n.tauForVer = n.nbVersion

@@ -220,6 +220,32 @@ type Engine struct {
 
 	out   Outcome
 	stats Stats
+
+	// Pre-bound timer callbacks: every setTimer/Reschedule call reuses
+	// these instead of allocating a fresh closure per cycle.
+	listenExpiredFn func()
+	windowClosedFn  func()
+	acksClosedFn    func()
+	endCycleFn      func()
+	schedMissedFn   func()
+	sendCTSFn       func()
+	sendAckFn       func()
+	ackBackstopFn   func()
+
+	// Reusable outgoing-frame buffers. Safe to reuse per engine: receivers
+	// consume PREAMBLE/CTS/SCHEDULE/ACK contents synchronously at delivery,
+	// and the only RTS field read after the delivery event is From, which
+	// never changes. DATA frames are policy-owned and never reused here.
+	preamble   packet.Preamble
+	rtsBuf     packet.RTS
+	pendingCTS packet.CTS
+	pendingAck packet.Ack
+	schedBuf   packet.Schedule
+
+	// Air times of empty SCHEDULE/DATA frames, precomputed for the
+	// timeout and NAV arithmetic (control frames have fixed air cost).
+	schedAir float64
+	dataAir  float64
 }
 
 // New creates an engine. onEnd fires exactly once per started cycle, with
@@ -232,16 +258,37 @@ func New(id packet.NodeID, sched *sim.Scheduler, medium *radio.Medium, cfg Confi
 	if sched == nil || medium == nil || policy == nil || rng == nil || onEnd == nil {
 		return nil, errors.New("mac: nil dependency")
 	}
-	return &Engine{
-		id:     id,
-		sched:  sched,
-		medium: medium,
-		cfg:    cfg,
-		policy: policy,
-		rng:    rng,
-		onEnd:  onEnd,
-		rec:    telemetry.Nop{},
-	}, nil
+	e := &Engine{
+		id:       id,
+		sched:    sched,
+		medium:   medium,
+		cfg:      cfg,
+		policy:   policy,
+		rng:      rng,
+		onEnd:    onEnd,
+		rec:      telemetry.Nop{},
+		preamble: packet.Preamble{From: id},
+		schedAir: medium.AirTime(&packet.Schedule{}),
+		dataAir:  medium.AirTime(&packet.Data{}),
+	}
+	e.listenExpiredFn = e.listenExpired
+	e.windowClosedFn = e.windowClosed
+	e.acksClosedFn = e.acksClosed
+	e.endCycleFn = e.endCycle
+	e.schedMissedFn = func() {
+		e.stats.ScheduleMissed++
+		e.endCycle()
+	}
+	e.sendCTSFn = e.sendCTS
+	e.sendAckFn = e.sendAck
+	e.ackBackstopFn = func() {
+		if e.phase == phSendAck {
+			e.out.Received = true
+			e.stats.Receives++
+			e.endCycle()
+		}
+	}
+	return e, nil
 }
 
 // SetRecorder attaches a trace-v2 recorder observing the engine's control
@@ -302,24 +349,24 @@ func (e *Engine) StartCycle(tauSlots int) error {
 	e.acked = nil
 	e.rts = nil
 	e.phase = phListen
-	e.setTimer(float64(tauSlots)*e.cfg.SlotTime, e.listenExpired)
+	e.setTimer(float64(tauSlots)*e.cfg.SlotTime, e.listenExpiredFn)
 	return nil
 }
 
-// setTimer replaces the engine timer.
+// setTimer replaces the engine timer, reusing its Event object (the engine
+// is the handle's exclusive owner, so Reschedule == Cancel+After).
 func (e *Engine) setTimer(d sim.Duration, fn func()) {
-	e.sched.Cancel(e.timer)
-	e.timer = e.sched.After(d, fn)
+	e.timer = e.sched.Reschedule(e.timer, d, "", fn)
 }
 
 // Abort cancels the cycle in progress without reporting an outcome — used
 // when the node dies mid-cycle. The engine cannot be restarted afterwards
-// except by StartCycle on a live radio.
+// except by StartCycle on a live radio. The cancelled Event objects are
+// kept for reuse by the next cycle's timers.
 func (e *Engine) Abort() {
 	e.sched.Cancel(e.timer)
 	e.sched.Cancel(e.ctsSend)
 	e.sched.Cancel(e.ackSend)
-	e.timer, e.ctsSend, e.ackSend = nil, nil, nil
 	e.phase = phOff
 }
 
@@ -328,7 +375,6 @@ func (e *Engine) endCycle() {
 	e.sched.Cancel(e.timer)
 	e.sched.Cancel(e.ctsSend)
 	e.sched.Cancel(e.ackSend)
-	e.timer, e.ctsSend, e.ackSend = nil, nil, nil
 	e.phase = phOff
 	out := e.out
 	e.onEnd(out)
@@ -348,16 +394,14 @@ func (e *Engine) listenExpired() {
 	if !e.policy.HasData() {
 		// Receiver-only window: stay available for incoming preambles.
 		e.phase = phListenOnly
-		e.setTimer(float64(e.cfg.ReceiverListenSlots)*e.cfg.SlotTime, func() {
-			e.endCycle()
-		})
+		e.setTimer(float64(e.cfg.ReceiverListenSlots)*e.cfg.SlotTime, e.endCycleFn)
 		return
 	}
 	// Channel idle and data pending: grab the channel with a preamble.
 	e.stats.Attempts++
 	e.out.Attempted = true
 	e.phase = phSendPreamble
-	if err := e.radio.Transmit(&packet.Preamble{From: e.id}); err != nil {
+	if err := e.radio.Transmit(&e.preamble); err != nil {
 		// A frame started in this same instant; treat as busy.
 		e.stats.BusyChannel++
 		e.out.Deferred = true
@@ -373,18 +417,18 @@ func (e *Engine) OnTxDone(f packet.Frame) {
 		if window < 1 {
 			window = 1
 		}
-		rts := &packet.RTS{From: e.id, Xi: xi, FTD: ftdVal, Window: window, History: history}
+		e.rtsBuf = packet.RTS{From: e.id, Xi: xi, FTD: ftdVal, Window: window, History: history}
 		e.phase = phSendRTS
-		if err := e.radio.Transmit(rts); err != nil {
+		if err := e.radio.Transmit(&e.rtsBuf); err != nil {
 			e.endCycle()
 			return
 		}
-		e.rts = rts
+		e.rts = &e.rtsBuf
 	case phSendRTS:
 		// Contention window opens: collect CTS replies for W slots.
 		e.phase = phCTSWindow
 		w := float64(e.rts.Window)
-		e.setTimer(w*e.cfg.SlotTime+e.cfg.Guard, e.windowClosed)
+		e.setTimer(w*e.cfg.SlotTime+e.cfg.Guard, e.windowClosedFn)
 	case phSendSchedule:
 		e.phase = phSendData
 		if err := e.radio.Transmit(e.pendingData); err != nil {
@@ -395,7 +439,7 @@ func (e *Engine) OnTxDone(f packet.Frame) {
 		// ACK window: one AckSlot per scheduled receiver, plus guard.
 		e.phase = phAckWindow
 		d := float64(len(e.entries))*e.cfg.AckSlot + e.cfg.Guard
-		e.setTimer(d, e.acksClosed)
+		e.setTimer(d, e.acksClosedFn)
 	case phSendAck:
 		e.out.Received = true
 		e.stats.Receives++
@@ -416,8 +460,8 @@ func (e *Engine) windowClosed() {
 	e.entries = entries
 	e.pendingData = data
 	e.phase = phSendSchedule
-	sched := &packet.Schedule{From: e.id, Entries: entries}
-	if err := e.radio.Transmit(sched); err != nil {
+	e.schedBuf = packet.Schedule{From: e.id, Entries: entries}
+	if err := e.radio.Transmit(&e.schedBuf); err != nil {
 		e.policy.OnTxOutcome(e.entries, nil)
 		e.endCycle()
 	}
@@ -455,11 +499,10 @@ func (e *Engine) OnFrame(f packet.Frame) {
 func (e *Engine) onPreamble(p *packet.Preamble) {
 	switch e.phase {
 	case phListen, phListenOnly:
-		// Someone grabbed the channel: become a potential responder.
+		// Someone grabbed the channel: become a potential responder. The
+		// timer ends the cycle if the RTS never arrives.
 		e.phase = phAwaitRTS
-		e.setTimer(float64(e.cfg.RTSTimeoutSlots)*e.cfg.SlotTime, func() {
-			e.endCycle() // RTS never arrived
-		})
+		e.setTimer(float64(e.cfg.RTSTimeoutSlots)*e.cfg.SlotTime, e.endCycleFn)
 	default:
 		// Engaged elsewhere: ignore.
 	}
@@ -480,30 +523,31 @@ func (e *Engine) onRTS(r *packet.RTS) {
 	// Qualified: reply with CTS in a uniformly chosen slot of the window.
 	slot := e.rng.SlotIn(r.Window)
 	delay := float64(slot-1)*e.cfg.SlotTime + e.cfg.Guard
-	cts := &packet.CTS{From: e.id, To: r.From, Xi: xi, BufferAvail: avail, History: history}
-	e.sched.Cancel(e.ctsSend)
-	e.ctsSend = e.sched.After(delay, func() {
-		if e.phase != phAwaitSchedule {
-			return
-		}
-		if e.radio.State() != radio.Idle {
-			return // mid-reception of a colliding CTS: slot lost
-		}
-		if err := e.radio.Transmit(cts); err == nil {
-			e.stats.CTSSent++
-			e.rec.Record(telemetry.Event{
-				Time: e.sched.Now(), Node: e.id, Type: telemetry.EvCTS,
-				Peer: cts.To, Value: cts.Xi,
-			})
-		}
-	})
+	e.pendingCTS = packet.CTS{From: e.id, To: r.From, Xi: xi, BufferAvail: avail, History: history}
+	e.ctsSend = e.sched.Reschedule(e.ctsSend, delay, "", e.sendCTSFn)
 	e.phase = phAwaitSchedule
 	// Wait out the window plus the SCHEDULE frame itself.
-	timeout := float64(r.Window+2)*e.cfg.SlotTime + e.medium.AirTime(&packet.Schedule{}) + 4*e.cfg.Guard
-	e.setTimer(timeout, func() {
-		e.stats.ScheduleMissed++
-		e.endCycle()
-	})
+	timeout := float64(r.Window+2)*e.cfg.SlotTime + e.schedAir + 4*e.cfg.Guard
+	e.setTimer(timeout, e.schedMissedFn)
+}
+
+// sendCTS fires in the responder's chosen contention slot and puts the
+// pending CTS on the air, unless the exchange moved on or the slot is lost
+// to a colliding CTS mid-reception.
+func (e *Engine) sendCTS() {
+	if e.phase != phAwaitSchedule {
+		return
+	}
+	if e.radio.State() != radio.Idle {
+		return // mid-reception of a colliding CTS: slot lost
+	}
+	if err := e.radio.Transmit(&e.pendingCTS); err == nil {
+		e.stats.CTSSent++
+		e.rec.Record(telemetry.Event{
+			Time: e.sched.Now(), Node: e.id, Type: telemetry.EvCTS,
+			Peer: e.pendingCTS.To, Value: e.pendingCTS.Xi,
+		})
+	}
 }
 
 func (e *Engine) onCTS(c *packet.CTS) {
@@ -527,8 +571,8 @@ func (e *Engine) onSchedule(s *packet.Schedule) {
 			e.myEntry = entry
 			e.myIdx = i
 			e.phase = phAwaitData
-			dataTimeout := e.medium.AirTime(&packet.Data{}) + float64(e.cfg.RTSTimeoutSlots)*e.cfg.SlotTime
-			e.setTimer(dataTimeout, func() { e.endCycle() })
+			dataTimeout := e.dataAir + float64(e.cfg.RTSTimeoutSlots)*e.cfg.SlotTime
+			e.setTimer(dataTimeout, e.endCycleFn)
 			return
 		}
 	}
@@ -549,35 +593,32 @@ func (e *Engine) onData(d *packet.Data) {
 	}
 	// ACK in our slot: the k-th listed receiver ACKs k·t_ack after the
 	// data (§3.2.2), i.e. slot k of the ACK window.
-	ack := &packet.Ack{From: e.id, To: d.From, ID: d.ID}
+	e.pendingAck = packet.Ack{From: e.id, To: d.From, ID: d.ID}
 	delay := float64(e.myIdx)*e.cfg.AckSlot + e.cfg.Guard
 	e.phase = phSendAck
-	e.sched.Cancel(e.ackSend)
-	e.ackSend = e.sched.After(delay, func() {
-		if e.phase != phSendAck {
-			return
-		}
-		if err := e.radio.Transmit(ack); err != nil {
-			// Slot unusable (still mid-reception): message kept, but the
-			// sender will treat us as invalid — matching the paper's lost
-			// ACK handling. The data still counts as received locally.
-			e.out.Received = true
-			e.stats.Receives++
-			e.endCycle()
-			return
-		}
-		e.rec.Record(telemetry.Event{
-			Time: e.sched.Now(), Node: e.id, Type: telemetry.EvAck,
-			Msg: ack.ID, Peer: ack.To,
-		})
-	})
+	e.ackSend = e.sched.Reschedule(e.ackSend, delay, "", e.sendAckFn)
 	// Backstop in case the ACK transmit never completes.
-	e.setTimer(delay+e.cfg.AckSlot+4*e.cfg.Guard+e.medium.AirTime(ack), func() {
-		if e.phase == phSendAck {
-			e.out.Received = true
-			e.stats.Receives++
-			e.endCycle()
-		}
+	e.setTimer(delay+e.cfg.AckSlot+4*e.cfg.Guard+e.medium.AirTime(&e.pendingAck), e.ackBackstopFn)
+}
+
+// sendAck fires in the receiver's ACK slot and puts the pending ACK on the
+// air.
+func (e *Engine) sendAck() {
+	if e.phase != phSendAck {
+		return
+	}
+	if err := e.radio.Transmit(&e.pendingAck); err != nil {
+		// Slot unusable (still mid-reception): message kept, but the
+		// sender will treat us as invalid — matching the paper's lost
+		// ACK handling. The data still counts as received locally.
+		e.out.Received = true
+		e.stats.Receives++
+		e.endCycle()
+		return
+	}
+	e.rec.Record(telemetry.Event{
+		Time: e.sched.Now(), Node: e.id, Type: telemetry.EvAck,
+		Msg: e.pendingAck.ID, Peer: e.pendingAck.To,
 	})
 }
 
@@ -595,11 +636,11 @@ func (e *Engine) deferNAV(window int) {
 	e.out.Deferred = true
 	e.phase = phNAV
 	d := float64(window)*e.cfg.SlotTime +
-		e.medium.AirTime(&packet.Schedule{}) +
-		e.medium.AirTime(&packet.Data{}) +
+		e.schedAir +
+		e.dataAir +
 		float64(window)*e.cfg.AckSlot +
 		8*e.cfg.Guard
-	e.setTimer(d, func() { e.endCycle() })
+	e.setTimer(d, e.endCycleFn)
 }
 
 // deferNAVForData silences the node for the remaining DATA + ACK portion of
@@ -608,8 +649,8 @@ func (e *Engine) deferNAVForData(n int) {
 	e.stats.NAVDeferrals++
 	e.out.Deferred = true
 	e.phase = phNAV
-	d := e.medium.AirTime(&packet.Data{}) + float64(n)*e.cfg.AckSlot + 8*e.cfg.Guard
-	e.setTimer(d, func() { e.endCycle() })
+	d := e.dataAir + float64(n)*e.cfg.AckSlot + 8*e.cfg.Guard
+	e.setTimer(d, e.endCycleFn)
 }
 
 // OnCollision implements radio.Handler.

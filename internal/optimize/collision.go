@@ -34,37 +34,45 @@ func Sigma(xi float64, tauMax int) int {
 //	θ_ij = σ_j − τ  if σ_j > τ, else 0.
 func GrabProbabilities(sigmas []int) []float64 {
 	probs := make([]float64, len(sigmas))
-	for i, si := range sigmas {
-		if si < 1 {
-			continue
-		}
-		var pi float64
-		for tau := 1; tau <= si; tau++ {
-			term := 1 / float64(si)
-			for j, sj := range sigmas {
-				if j == i {
-					continue
-				}
-				if sj > tau {
-					term *= float64(sj-tau) / float64(sj)
-				} else {
-					term = 0
-					break
-				}
-			}
-			pi += term
-		}
-		probs[i] = pi
+	for i := range sigmas {
+		probs[i] = grabProbability(sigmas, i)
 	}
 	return probs
 }
 
+// grabProbability computes one node's P_i of Eq. 10/11.
+func grabProbability(sigmas []int, i int) float64 {
+	si := sigmas[i]
+	if si < 1 {
+		return 0
+	}
+	var pi float64
+	for tau := 1; tau <= si; tau++ {
+		term := 1 / float64(si)
+		for j, sj := range sigmas {
+			if j == i {
+				continue
+			}
+			if sj > tau {
+				term *= float64(sj-tau) / float64(sj)
+			} else {
+				term = 0
+				break
+			}
+		}
+		pi += term
+	}
+	return pi
+}
+
 // PreambleCollisionProb computes Eq. 12: the probability γ that no node
-// grabs the channel cleanly, i.e. 1 − Σ_i P_i.
+// grabs the channel cleanly, i.e. 1 − Σ_i P_i. Summing grabProbability
+// directly keeps the Eq. 13 linear search (one call per candidate τ_max)
+// allocation-free.
 func PreambleCollisionProb(sigmas []int) float64 {
 	var sum float64
-	for _, p := range GrabProbabilities(sigmas) {
-		sum += p
+	for i := range sigmas {
+		sum += grabProbability(sigmas, i)
 	}
 	g := 1 - sum
 	if g < 0 {

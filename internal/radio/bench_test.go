@@ -1,0 +1,117 @@
+package radio
+
+import (
+	"testing"
+
+	"dftmsn/internal/energy"
+	"dftmsn/internal/geo"
+	"dftmsn/internal/packet"
+	"dftmsn/internal/sim"
+	"dftmsn/internal/simrand"
+)
+
+// nopHandler discards all radio events.
+type nopHandler struct{}
+
+func (nopHandler) OnFrame(packet.Frame)  {}
+func (nopHandler) OnCollision()          {}
+func (nopHandler) OnTxDone(packet.Frame) {}
+func (nopHandler) OnAwake()              {}
+
+// benchMedium builds a medium with n radios spread uniformly over a field
+// sized to keep the paper's density (one radio per 225 m², the §5 default
+// of 100 nodes on 150×150 m²).
+func benchMedium(b *testing.B, n int, linear bool) (*sim.Scheduler, *Medium, []*Radio) {
+	b.Helper()
+	sched := sim.NewScheduler()
+	cfg := DefaultConfig()
+	cfg.LinearScan = linear
+	m, err := NewMedium(sched, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	field := 15.0 * float64(intSqrt(n))
+	rng := simrand.New(7)
+	radios := make([]*Radio, n)
+	for i := range radios {
+		p := geo.Point{X: rng.Uniform(0, field), Y: rng.Uniform(0, field)}
+		r, err := m.Attach(packet.NodeID(i), func() geo.Point { return p }, nopHandler{}, energy.BerkeleyMote(), Idle)
+		if err != nil {
+			b.Fatal(err)
+		}
+		radios[i] = r
+	}
+	return sched, m, radios
+}
+
+func intSqrt(n int) int {
+	i := 1
+	for i*i < n {
+		i++
+	}
+	return i
+}
+
+// benchTransmitFinish measures one full frame lifetime — transmit (range
+// query + reception starts) and finish (receiver release) — from a rotating
+// set of senders.
+func benchTransmitFinish(b *testing.B, n int, linear bool) {
+	sched, _, radios := benchMedium(b, n, linear)
+	pre := &packet.Preamble{From: 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := radios[i%len(radios)]
+		if err := r.Transmit(pre); err != nil {
+			continue // sender mid-reception of the previous frame: skip
+		}
+		for sched.Step() {
+		}
+	}
+}
+
+func BenchmarkMediumTransmit100(b *testing.B)        { benchTransmitFinish(b, 100, false) }
+func BenchmarkMediumTransmit100Linear(b *testing.B)  { benchTransmitFinish(b, 100, true) }
+func BenchmarkMediumTransmit1000(b *testing.B)       { benchTransmitFinish(b, 1000, false) }
+func BenchmarkMediumTransmit1000Linear(b *testing.B) { benchTransmitFinish(b, 1000, true) }
+
+// benchBusy measures the carrier-sense query with frames in flight in
+// proportion to the network size — the regime the index exists for, where
+// the linear scan walks every active transmission on the whole field.
+func benchBusy(b *testing.B, n int, linear bool) {
+	sched, m, radios := benchMedium(b, n, linear)
+	// Put spread-out frames on the air and keep them there: Data frames are
+	// long (1000 bits = 0.1 s), so probe while they fly.
+	want := n / 8
+	onAir := 0
+	for i := 0; i < len(radios) && onAir < want; i += len(radios)/want + 1 {
+		if err := radios[i].Transmit(&packet.Data{From: radios[i].ID(), ID: 1}); err == nil {
+			onAir++
+		}
+	}
+	probe := radios[len(radios)/2]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Busy(probe)
+	}
+	b.StopTimer()
+	for sched.Step() {
+	}
+}
+
+func BenchmarkMediumBusy1000(b *testing.B)       { benchBusy(b, 1000, false) }
+func BenchmarkMediumBusy1000Linear(b *testing.B) { benchBusy(b, 1000, true) }
+
+// BenchmarkRefreshPositions measures the per-mobility-tick index refresh
+// (every radio checked, a fraction re-filed).
+func BenchmarkRefreshPositions1000(b *testing.B) {
+	_, m, _ := benchMedium(b, 1000, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RefreshPositions()
+	}
+}
+
+var _ Handler = nopHandler{}

@@ -28,6 +28,12 @@ import (
 	"dftmsn/internal/simrand"
 )
 
+// busyIndexThreshold is the in-flight transmission count above which the
+// carrier-sense query switches from walking the active slice to the 3×3
+// cell-map lookup — nine map probes only pay off once they skip more than
+// roughly nine transmissions.
+const busyIndexThreshold = 9
+
 // State is a radio operating state.
 type State int
 
@@ -87,6 +93,11 @@ type Config struct {
 	BitrateBps float64
 	// Sizes give frame air costs.
 	Sizes packet.Sizes
+	// LinearScan disables the uniform-grid spatial index, restoring the
+	// O(N) full-radio scan at frame start and the full active-set scan for
+	// carrier sense. It exists as the control arm for differential
+	// equivalence tests and scale benchmarks; leave it false otherwise.
+	LinearScan bool
 }
 
 // DefaultConfig returns the paper's §5 channel parameters.
@@ -163,7 +174,11 @@ type Medium struct {
 	cfg      Config
 	sched    *sim.Scheduler
 	radios   []*Radio
-	active   map[*transmission]struct{}
+	active   []*transmission // frames in flight; swap-removed at frame end
+	index    *cellIndex      // nil when cfg.LinearScan
+	scratch  []*Radio        // reusable neighborhood-query buffer
+	txPool   []*transmission // recycled transmission objects
+	finishFn func(any)       // bound once; frame-end events carry the tx as arg
 	stats    Stats
 	lossProb float64
 	lossRng  *simrand.Source
@@ -173,14 +188,19 @@ type Medium struct {
 	frameLog func(now float64, src packet.NodeID, f packet.Frame)
 }
 
-// transmission is one frame in flight.
+// transmission is one frame in flight. Objects are pooled by the medium:
+// receivers keeps its capacity across reuses, so steady-state frames
+// allocate neither the struct nor the receiver list.
 type transmission struct {
-	src      *Radio
-	srcEpoch uint64
-	srcPos   geo.Point
-	frame    packet.Frame
-	start    sim.Time
-	end      sim.Time
+	src       *Radio
+	srcEpoch  uint64
+	srcPos    geo.Point
+	frame     packet.Frame
+	start     sim.Time
+	end       sim.Time
+	receivers []*Radio // radios that began reception, in attach order
+	cellKey   int64    // srcPos cell while active (indexed mode)
+	activeIdx int      // position in Medium.active
 }
 
 // NewMedium creates a medium driven by sched.
@@ -191,15 +211,21 @@ func NewMedium(sched *sim.Scheduler, cfg Config) (*Medium, error) {
 	if sched == nil {
 		return nil, errors.New("radio: nil scheduler")
 	}
-	return &Medium{
-		cfg:    cfg,
-		sched:  sched,
-		active: make(map[*transmission]struct{}),
+	m := &Medium{
+		cfg:   cfg,
+		sched: sched,
 		stats: Stats{
 			FramesSent:      make(map[packet.Kind]uint64),
 			FramesDelivered: make(map[packet.Kind]uint64),
 		},
-	}, nil
+	}
+	if !cfg.LinearScan {
+		// Cell side = transmission range: the minimum size for which the
+		// 3×3 neighborhood provably covers the range disc.
+		m.index = newCellIndex(cfg.RangeM)
+	}
+	m.finishFn = func(arg any) { m.finish(arg.(*transmission)) }
+	return m, nil
 }
 
 // Config returns the medium configuration.
@@ -328,17 +354,51 @@ func (m *Medium) Attach(id packet.NodeID, position func() geo.Point, handler Han
 		profile:  profile,
 		meter:    meter,
 		state:    initial,
+		idx:      len(m.radios),
+	}
+	r.offFn = func() { r.setState(Off, m.sched.Now()) }
+	r.onFn = func() {
+		r.setState(Idle, m.sched.Now())
+		r.handler.OnAwake()
 	}
 	m.radios = append(m.radios, r)
+	if m.index != nil {
+		m.index.add(r, position())
+	}
 	return r, nil
 }
 
+// RefreshPositions re-files every radio whose position moved it across a
+// cell boundary since the last refresh. Positions in this simulator are
+// piecewise constant — they change only inside a mobility step — so calling
+// this after each step keeps the index exact; between refreshes the index
+// answers queries for the positions as of the last refresh, which is also
+// what every radio's position function reports. A no-op in linear mode.
+func (m *Medium) RefreshPositions() {
+	if m.index == nil {
+		return
+	}
+	for _, r := range m.radios {
+		if key := m.index.cellKeyFor(r.position()); key != r.cellKey {
+			m.index.move(r, key)
+		}
+	}
+}
+
 // Busy reports whether r senses any transmission in range (carrier sense).
-// A radio's own transmission does not count.
+// A radio's own transmission does not count. In indexed mode only the 3×3
+// cell neighborhood's active transmissions are examined.
 func (m *Medium) Busy(r *Radio) bool {
 	pos := r.position()
 	rangeSq := m.cfg.RangeM * m.cfg.RangeM
-	for tx := range m.active {
+	// Busy is an order-independent boolean, so the two scans below are
+	// trivially equivalent; pick whichever inspects fewer transmissions.
+	// With only a handful of frames in flight the plain slice walk beats
+	// the nine cell-map lookups of the 3×3 neighbourhood query.
+	if m.index != nil && len(m.active) > busyIndexThreshold {
+		return m.index.busy(pos, r, rangeSq)
+	}
+	for _, tx := range m.active {
 		if tx.src == r {
 			continue
 		}
@@ -352,15 +412,19 @@ func (m *Medium) Busy(r *Radio) bool {
 // transmit puts a frame on the air from r. Callers guarantee r is Idle.
 func (m *Medium) transmit(r *Radio, f packet.Frame) {
 	now := m.sched.Now()
-	tx := &transmission{
-		src:      r,
-		srcEpoch: r.epoch,
-		srcPos:   r.position(),
-		frame:    f,
-		start:    now,
-		end:      now + m.AirTime(f),
+	tx := m.newTransmission()
+	tx.src = r
+	tx.srcEpoch = r.epoch
+	tx.srcPos = r.position()
+	tx.frame = f
+	tx.start = now
+	tx.end = now + m.AirTime(f)
+	tx.activeIdx = len(m.active)
+	m.active = append(m.active, tx)
+	if m.index != nil {
+		tx.cellKey = m.index.cellKeyFor(tx.srcPos)
+		m.index.txAdd(tx)
 	}
-	m.active[tx] = struct{}{}
 	if m.frameLog != nil {
 		m.frameLog(now, r.id, f)
 	}
@@ -372,9 +436,18 @@ func (m *Medium) transmit(r *Radio, f packet.Frame) {
 		m.stats.ControlBits += bits
 	}
 
-	// Start receptions at every idle-listening radio in range.
+	// Start receptions at every idle-listening radio in range. The indexed
+	// path restricts the scan to the 3×3 cell neighborhood — complete since
+	// cell size >= range — sorted back into attach order so the loss RNG
+	// draws fire in exactly the linear scan's order.
+	candidates := m.radios
+	if m.index != nil {
+		m.scratch = m.index.neighbors(tx.srcPos, m.scratch[:0])
+		sortByAttachOrder(m.scratch)
+		candidates = m.scratch
+	}
 	rangeSq := m.cfg.RangeM * m.cfg.RangeM
-	for _, other := range m.radios {
+	for _, other := range candidates {
 		if other == r {
 			continue
 		}
@@ -402,20 +475,42 @@ func (m *Medium) transmit(r *Radio, f packet.Frame) {
 		}
 	}
 
-	m.sched.AfterLabeled(tx.end-now, "frame-end", func() { m.finish(tx) })
+	m.sched.PostArg(tx.end-now, "frame-end", m.finishFn, tx)
+}
+
+// newTransmission takes a transmission from the pool, or allocates one.
+func (m *Medium) newTransmission() *transmission {
+	if n := len(m.txPool); n > 0 {
+		tx := m.txPool[n-1]
+		m.txPool[n-1] = nil
+		m.txPool = m.txPool[:n-1]
+		return tx
+	}
+	return &transmission{}
 }
 
 // finish completes a transmission: the source returns to idle and each
-// uncorrupted receiver gets the frame.
+// uncorrupted receiver gets the frame. Only the receiver list captured at
+// frame start is visited — a radio can hold a reception of tx at frame end
+// only if it began that reception at frame start (Kill is the one way out
+// mid-flight, and it clears the reception), so the list is exhaustive.
 func (m *Medium) finish(tx *transmission) {
-	delete(m.active, tx)
+	last := len(m.active) - 1
+	moved := m.active[last]
+	m.active[tx.activeIdx] = moved
+	moved.activeIdx = tx.activeIdx
+	m.active[last] = nil
+	m.active = m.active[:last]
+	if m.index != nil {
+		m.index.txRemove(tx)
+	}
 	now := m.sched.Now()
 
 	// Release receivers first so their handlers observe a consistent world
 	// before the sender's OnTxDone can start the next frame.
-	for _, r := range m.radios {
+	for _, r := range tx.receivers {
 		if r.rx == nil || r.rx.tx != tx {
-			continue
+			continue // reception abandoned by Kill (possibly reused since)
 		}
 		corrupted, lost, burst := r.rx.corrupt, r.rx.lost, r.rx.lostBurst
 		r.rx = nil
@@ -444,6 +539,17 @@ func (m *Medium) finish(tx *transmission) {
 		tx.src.setState(Idle, now)
 		tx.src.handler.OnTxDone(tx.frame)
 	}
+
+	// Recycle after the handlers ran: nothing retains the transmission past
+	// this point (receivers' rx links were cleared above; frames may be
+	// retained by handlers but are not pooled).
+	tx.src = nil
+	tx.frame = nil
+	for i := range tx.receivers {
+		tx.receivers[i] = nil
+	}
+	tx.receivers = tx.receivers[:0]
+	m.txPool = append(m.txPool, tx)
 }
 
 // reception tracks one in-progress frame arrival at a radio.
@@ -464,9 +570,14 @@ type Radio struct {
 	meter    *energy.Meter
 	state    State
 	rx       *reception
+	rxSlot   reception // backing store for rx; reused across receptions
 	wakeEv   *sim.Event
+	offFn    func() // bound once at attach; Sleep/Wake reschedule into them
+	onFn     func()
 	killed   bool
 	epoch    uint64 // bumped by Kill; stale in-flight work checks it
+	idx      int    // attach order; fixes candidate iteration order
+	cellKey  int64  // current spatial-index cell (indexed mode)
 }
 
 // ID returns the owner node's identifier.
@@ -509,9 +620,14 @@ func energyState(s State) energy.State {
 	}
 }
 
-// beginReception locks the radio onto tx until the frame ends.
+// beginReception locks the radio onto tx until the frame ends. The
+// reception lives in the radio's own slot (one reception is in progress at
+// a time), and the radio joins tx's receiver list so frame end need not
+// rescan the medium.
 func (r *Radio) beginReception(tx *transmission, now sim.Time) {
-	r.rx = &reception{tx: tx}
+	r.rxSlot = reception{tx: tx}
+	r.rx = &r.rxSlot
+	tx.receivers = append(tx.receivers, r)
 	r.setState(Receiving, now)
 }
 
@@ -550,9 +666,8 @@ func (r *Radio) Sleep() error {
 	}
 	now := r.medium.sched.Now()
 	r.setState(Switching, now)
-	r.wakeEv = r.medium.sched.AfterLabeled(r.profile.SwitchTime, "radio-off", func() {
-		r.setState(Off, r.medium.sched.Now())
-	})
+	// The radio owns wakeEv exclusively, so the Event object is reused.
+	r.wakeEv = r.medium.sched.Reschedule(r.wakeEv, r.profile.SwitchTime, "radio-off", r.offFn)
 	return nil
 }
 
@@ -567,18 +682,14 @@ func (r *Radio) Wake() error {
 	case Off:
 		// proceed
 	case Switching:
-		// A wake racing a pending switch-off: cancel the off and restart
-		// the switch toward idle.
-		r.medium.sched.Cancel(r.wakeEv)
+		// A wake racing a pending switch-off: Reschedule below replaces
+		// the pending off with the switch toward idle.
 	default:
 		return fmt.Errorf("%w: state %v", ErrNotOff, r.state)
 	}
 	now := r.medium.sched.Now()
 	r.setState(Switching, now)
-	r.wakeEv = r.medium.sched.AfterLabeled(r.profile.SwitchTime, "radio-on", func() {
-		r.setState(Idle, r.medium.sched.Now())
-		r.handler.OnAwake()
-	})
+	r.wakeEv = r.medium.sched.Reschedule(r.wakeEv, r.profile.SwitchTime, "radio-on", r.onFn)
 	return nil
 }
 
@@ -594,8 +705,9 @@ func (r *Radio) Kill() {
 	}
 	r.killed = true
 	r.epoch++
+	// Cancel but keep the handle: a revived radio's next Sleep/Wake
+	// reschedules into the same Event object.
 	r.medium.sched.Cancel(r.wakeEv)
-	r.wakeEv = nil
 	r.rx = nil
 	r.setState(Off, r.medium.sched.Now())
 }

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"os"
 	"testing"
 
 	"dftmsn/internal/core"
@@ -35,6 +36,69 @@ func BenchmarkRunNoTelemetry(b *testing.B) {
 		}
 	}
 }
+
+// largeConfig scales the paper's setup to n sensors while holding its node
+// density fixed (one node per 225 m² — 100 nodes on 150×150 m²) and its
+// 30 m zone edge, so contact rates stay representative as n grows. The
+// horizon is short: these benchmarks price the per-event hot path, not the
+// 25 000 s steady state.
+func largeConfig(n int, seconds float64, linear bool) Config {
+	cfg := DefaultConfig(core.SchemeOPT)
+	cfg.NumSensors = n
+	cfg.NumSinks = n / 100
+	if cfg.NumSinks < 2 {
+		cfg.NumSinks = 2
+	}
+	zones := intSqrtCeil(n * 225 / 900) // (edge/30)² = n·225/900 zones
+	if zones < 2 {
+		zones = 2
+	}
+	cfg.ZonesPerSide = zones
+	cfg.FieldSize = 30 * float64(zones)
+	cfg.DurationSeconds = seconds
+	cfg.ArrivalMeanSeconds = 5
+	cfg.Seed = 11
+	cfg.LinearMedium = linear
+	return cfg
+}
+
+func intSqrtCeil(n int) int {
+	i := 1
+	for i*i < n {
+		i++
+	}
+	return i
+}
+
+// benchRunLarge is the scale tier: guarded behind DFTMSN_SCALE_BENCH because
+// a 2000-node run is far too slow for the CI bench smoke (-benchtime=1x
+// would still pay one full run per variant). Run them via `make bench-scale`,
+// which also asserts the indexed/linear speedup ratio with benchjson.
+func benchRunLarge(b *testing.B, n int, seconds float64, linear bool) {
+	if os.Getenv("DFTMSN_SCALE_BENCH") == "" {
+		b.Skip("set DFTMSN_SCALE_BENCH=1 (or use `make bench-scale`) to run the scale tier")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Construction is untimed: the scale tier prices the event loop,
+		// where the medium's range queries live, not the one-off setup.
+		b.StopTimer()
+		s, err := New(largeConfig(n, seconds, linear))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunLarge500(b *testing.B)        { benchRunLarge(b, 500, 60, false) }
+func BenchmarkRunLarge500Linear(b *testing.B)  { benchRunLarge(b, 500, 60, true) }
+func BenchmarkRunLarge2000(b *testing.B)       { benchRunLarge(b, 2000, 30, false) }
+func BenchmarkRunLarge2000Linear(b *testing.B) { benchRunLarge(b, 2000, 30, true) }
 
 // BenchmarkRunTelemetry runs the same scenario with the metrics registry,
 // the periodic sampler, and an in-memory trace-v2 stream all armed.

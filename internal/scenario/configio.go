@@ -38,6 +38,7 @@ type fileConfig struct {
 	FailAtSeconds       float64      `json:"fail_at_s,omitempty"`
 	Faults              *faults.Plan `json:"faults,omitempty"`
 	Seed                uint64       `json:"seed,omitempty"`
+	LinearMedium        bool         `json:"linear_medium,omitempty"`
 	DeliveryThreshold   float64      `json:"delivery_threshold,omitempty"`
 	DropThreshold       float64      `json:"drop_threshold,omitempty"`
 	Invariants          string       `json:"invariants,omitempty"`
@@ -121,6 +122,7 @@ func LoadConfig(r io.Reader) (Config, error) {
 	if fc.Seed != 0 {
 		cfg.Seed = fc.Seed
 	}
+	cfg.LinearMedium = fc.LinearMedium
 	cfg.DeliveryThreshold = fc.DeliveryThreshold
 	cfg.DropThreshold = fc.DropThreshold
 	cfg.Invariants = fc.Invariants
@@ -157,6 +159,7 @@ func SaveConfig(w io.Writer, cfg Config) error {
 		FailAtSeconds:       cfg.FailAtSeconds,
 		Faults:              cfg.Faults,
 		Seed:                cfg.Seed,
+		LinearMedium:        cfg.LinearMedium,
 		DeliveryThreshold:   cfg.DeliveryThreshold,
 		DropThreshold:       cfg.DropThreshold,
 		Invariants:          cfg.Invariants,

@@ -90,6 +90,11 @@ type Config struct {
 	Faults *faults.Plan
 	// Seed makes the run reproducible.
 	Seed uint64
+	// LinearMedium runs the radio medium with its O(N) linear scans
+	// instead of the uniform-grid spatial index. The two are verified
+	// equivalent (bit-identical results); this is the control arm for the
+	// differential test and the scale benchmarks. Leave it false.
+	LinearMedium bool
 	// Tracer optionally records events in the legacy TSV format (nil = no
 	// tracing). It is served through the trace-v2 layer by a byte-compatible
 	// adapter, so old tooling keeps working unchanged.
@@ -363,6 +368,7 @@ func New(cfg Config) (*Sim, error) {
 		RangeM:     cfg.RangeM,
 		BitrateBps: cfg.BitrateBps,
 		Sizes:      packet.Sizes{ControlBits: cfg.ControlBits, DataBits: cfg.DataBits},
+		LinearScan: cfg.LinearMedium,
 	})
 	if err != nil {
 		return nil, err
@@ -511,6 +517,9 @@ func New(cfg Config) (*Sim, error) {
 	// Mobility ticking.
 	ticker := sim.NewTicker(s.sched, cfg.MobilityTickSeconds, func(sim.Time) {
 		s.walk.Step(cfg.MobilityTickSeconds)
+		// Positions only change inside Step, so refreshing the medium's
+		// spatial index here keeps it exact between ticks.
+		s.medium.RefreshPositions()
 	})
 	ticker.Start()
 

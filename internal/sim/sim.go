@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -34,12 +33,22 @@ var ErrStopped = errors.New("sim: stopped")
 
 // Event is a scheduled callback. The zero value is not useful; events are
 // created by Scheduler.At and Scheduler.After.
+//
+// Events come in two ownership flavors. Handle events (from At, After,
+// AfterLabeled, Reschedule) are returned to the caller, who may Cancel or
+// Reschedule them later; they are never recycled, so a retained handle
+// stays permanently !Pending after it fires or is cancelled. Pooled events
+// (from Post and PostArg) return no handle, cannot be cancelled, and are
+// recycled through the scheduler's free list after firing.
 type Event struct {
-	at     Time
-	seq    uint64
-	fn     func()
-	index  int // position in the heap, -1 once fired or cancelled
-	labels string
+	at       Time
+	seq      uint64
+	fn       func()
+	fnArg    func(any) // set instead of fn for PostArg events
+	arg      any
+	index    int // position in the heap, -1 once fired or cancelled
+	labels   string
+	poolable bool // true for Post/PostArg events: recycled after firing
 }
 
 // At returns the virtual time this event is scheduled to fire at.
@@ -93,6 +102,7 @@ type Scheduler struct {
 	stopped bool
 	fired   uint64
 	onEvent func(now Time, seq uint64, label string)
+	free    []*Event // recycled Post/PostArg events; handle events never enter
 }
 
 // NewScheduler returns a scheduler with its clock at zero.
@@ -118,7 +128,7 @@ func (s *Scheduler) At(t Time, fn func()) (*Event, error) {
 	}
 	e := &Event{at: t, seq: s.seq, fn: fn}
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.queue.push(e)
 	return e, nil
 }
 
@@ -144,13 +154,102 @@ func (s *Scheduler) AfterLabeled(d Duration, label string, fn func()) *Event {
 	return e
 }
 
+// Post schedules fn to run d seconds from now without returning a handle.
+// Posted events cannot be cancelled, which lets the scheduler recycle their
+// Event objects through an internal free list: steady-state fire-and-forget
+// scheduling allocates no Event per call. A negative d is clamped to zero.
+func (s *Scheduler) Post(d Duration, label string, fn func()) {
+	if fn == nil {
+		panic(errors.New("sim: nil event func"))
+	}
+	e := s.pooled(d, label)
+	e.fn = fn
+	s.queue.push(e)
+}
+
+// PostArg is Post for callbacks taking one argument. Threading the argument
+// through the event instead of closing over it lets hot paths schedule one
+// long-lived func(any) with zero per-call allocations (a pointer stored in
+// an `any` does not allocate).
+func (s *Scheduler) PostArg(d Duration, label string, fn func(any), arg any) {
+	if fn == nil {
+		panic(errors.New("sim: nil event func"))
+	}
+	e := s.pooled(d, label)
+	e.fnArg = fn
+	e.arg = arg
+	s.queue.push(e)
+}
+
+// pooled takes an Event from the free list (or allocates the pool's first
+// use of a slot) and stamps it for scheduling d from now.
+func (s *Scheduler) pooled(d Duration, label string) *Event {
+	if d < 0 {
+		d = 0
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{poolable: true}
+	}
+	e.at = s.now + d
+	e.seq = s.seq
+	s.seq++
+	e.labels = label
+	return e
+}
+
+// release returns a fired pooled event to the free list.
+func (s *Scheduler) release(e *Event) {
+	e.fn = nil
+	e.fnArg = nil
+	e.arg = nil
+	e.labels = ""
+	e.index = -1
+	s.free = append(s.free, e)
+}
+
+// Reschedule moves e to fire d seconds from now with the given fn and label,
+// reusing the Event object in place. It is semantically equivalent to
+// Cancel(e) followed by AfterLabeled(d, label, fn) — exactly one sequence
+// number is consumed either way — but allocates nothing. The caller must
+// hold the only live reference to e; handles obtained from At, After,
+// AfterLabeled, or a previous Reschedule qualify, whether pending, fired,
+// or cancelled. A nil e falls back to AfterLabeled.
+func (s *Scheduler) Reschedule(e *Event, d Duration, label string, fn func()) *Event {
+	if e == nil || e.poolable {
+		return s.AfterLabeled(d, label, fn)
+	}
+	if fn == nil {
+		panic(errors.New("sim: nil event func"))
+	}
+	if d < 0 {
+		d = 0
+	}
+	if e.index >= 0 {
+		s.queue.remove(e.index)
+	}
+	e.at = s.now + d
+	e.seq = s.seq
+	s.seq++
+	e.fn = fn
+	e.fnArg = nil
+	e.arg = nil
+	e.labels = label
+	s.queue.push(e)
+	return e
+}
+
 // Cancel removes a pending event from the queue. Cancelling a nil, fired, or
 // already-cancelled event is a no-op, so callers can cancel unconditionally.
 func (s *Scheduler) Cancel(e *Event) {
 	if e == nil || e.index < 0 {
 		return
 	}
-	heap.Remove(&s.queue, e.index)
+	s.queue.remove(e.index)
 	e.index = -1
 	e.fn = nil
 }
@@ -173,13 +272,13 @@ func (s *Scheduler) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
-	e.index = -1
+	e := s.queue.popMin()
 	s.now = e.at
-	fn := e.fn
-	e.fn = nil
 	s.fired++
-	s.dispatch(e, fn)
+	s.dispatch(e)
+	if e.poolable {
+		s.release(e)
+	}
 	return true
 }
 
@@ -187,7 +286,7 @@ func (s *Scheduler) Step() bool {
 // context attached: a panic escaping either is re-raised as an *EventPanic
 // identifying the event by virtual time, sequence number, and label.
 // Already-wrapped panics pass through untouched.
-func (s *Scheduler) dispatch(e *Event, fn func()) {
+func (s *Scheduler) dispatch(e *Event) {
 	defer func() {
 		if r := recover(); r != nil {
 			if _, wrapped := r.(*EventPanic); wrapped {
@@ -196,7 +295,16 @@ func (s *Scheduler) dispatch(e *Event, fn func()) {
 			panic(&EventPanic{Time: e.at, Seq: e.seq, Label: e.labels, Value: r})
 		}
 	}()
-	fn()
+	if e.fnArg != nil {
+		fn, arg := e.fnArg, e.arg
+		e.fnArg = nil
+		e.arg = nil
+		fn(arg)
+	} else {
+		fn := e.fn
+		e.fn = nil
+		fn()
+	}
 	if s.onEvent != nil {
 		s.onEvent(s.now, e.seq, e.labels)
 	}
@@ -223,35 +331,99 @@ func (s *Scheduler) Run(horizon Time) error {
 	return nil
 }
 
-// eventHeap implements heap.Interface ordered by (time, seq).
+// eventHeap is a hand-rolled binary min-heap ordered by (time, seq). The
+// ordering is a strict total order (sequence numbers are unique), so any
+// correct min-heap pops events in exactly the same order — replacing
+// container/heap changes performance, never behavior. The sift routines are
+// hole-based (shift, then place once) with the comparison inlined, which
+// is the scheduler's single hottest path at scale.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// before reports whether a must fire before b.
+func before(a, b *Event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
+// push appends e and restores the heap property.
+func (h *eventHeap) push(e *Event) {
 	*h = append(*h, e)
+	h.up(len(*h) - 1)
 }
 
-func (h *eventHeap) Pop() any {
+// popMin removes and returns the earliest event, marking it fired
+// (index -1).
+func (h *eventHeap) popMin() *Event {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+	e := old[0]
+	n := len(old) - 1
+	last := old[n]
+	old[n] = nil
+	*h = old[:n]
+	if n > 0 {
+		old[0] = last
+		last.index = 0
+		h.down(0)
+	}
+	e.index = -1
 	return e
+}
+
+// remove deletes the event at heap position i (for Cancel/Reschedule). The
+// caller owns the removed event and resets its index.
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	last := old[n]
+	old[n] = nil
+	*h = old[:n]
+	if i == n {
+		return
+	}
+	old[i] = last
+	last.index = i
+	h.down(i)
+	if last.index == i {
+		h.up(i)
+	}
+}
+
+// up sifts the event at position i toward the root.
+func (h eventHeap) up(i int) {
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := h[parent]
+		if !before(e, p) {
+			break
+		}
+		h[i] = p
+		p.index = i
+		i = parent
+	}
+	h[i] = e
+	e.index = i
+}
+
+// down sifts the event at position i toward the leaves.
+func (h eventHeap) down(i int) {
+	n := len(h)
+	e := h[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && before(h[r], h[child]) {
+			child = r
+		}
+		c := h[child]
+		if !before(c, e) {
+			break
+		}
+		h[i] = c
+		c.index = i
+		i = child
+	}
+	h[i] = e
+	e.index = i
 }

@@ -9,12 +9,23 @@ type Ticker struct {
 	fn     func(now Time)
 	ev     *Event
 	active bool
+	tick   func() // bound once; rearming reuses it and the Event object
 }
 
 // NewTicker creates a ticker bound to sched with the given period and
 // callback. The ticker is created stopped; call Start to begin.
 func NewTicker(sched *Scheduler, period Duration, fn func(now Time)) *Ticker {
-	return &Ticker{sched: sched, period: period, fn: fn}
+	t := &Ticker{sched: sched, period: period, fn: fn}
+	t.tick = func() {
+		if !t.active {
+			return
+		}
+		t.fn(t.sched.Now())
+		if t.active {
+			t.arm()
+		}
+	}
+	return t
 }
 
 // Start schedules the first tick one period from now. Starting an already
@@ -31,20 +42,14 @@ func (t *Ticker) Start() {
 func (t *Ticker) Stop() {
 	t.active = false
 	t.sched.Cancel(t.ev)
-	t.ev = nil
 }
 
 // Active reports whether the ticker is currently running.
 func (t *Ticker) Active() bool { return t.active }
 
+// arm (re)schedules the next tick, reusing the ticker's Event object: the
+// ticker is its handle's exclusive owner, so Reschedule is equivalent to
+// Cancel+After without the per-tick allocation.
 func (t *Ticker) arm() {
-	t.ev = t.sched.After(t.period, func() {
-		if !t.active {
-			return
-		}
-		t.fn(t.sched.Now())
-		if t.active {
-			t.arm()
-		}
-	})
+	t.ev = t.sched.Reschedule(t.ev, t.period, "", t.tick)
 }
