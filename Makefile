@@ -31,25 +31,42 @@ BENCH_PKGS = ./internal/telemetry/ ./internal/scenario/ ./internal/radio/
 
 # Capture a machine-readable benchmark baseline (telemetry on/off pair and
 # the radio-medium microbenchmarks included) for before/after comparisons.
+# The scale tier's 2000-node lazy-decay point rides along so the baseline
+# records its events/run — cheap under elision, and it arms the bench-diff
+# event gate.
 bench-json:
-	$(GO) test -bench=. -benchmem $(BENCH_PKGS) \
+	( $(GO) test -bench=. -benchmem $(BENCH_PKGS) && \
+	  DFTMSN_SCALE_BENCH=1 $(GO) test -bench='BenchmarkRunLarge2000Idle$$' \
+			-benchmem -benchtime=3x ./internal/scenario/ ) \
 		| $(GO) run ./cmd/benchjson > BENCH_baseline.json
 
 # Diff a fresh benchmark run against the committed baseline; exits nonzero
-# on a >25% ns/op or allocs/op regression in any benchmark present in both.
+# on a >25% ns/op or allocs/op regression, or a >10% events/run growth, in
+# any benchmark present in both.
 bench-diff:
-	$(GO) test -bench=. -benchmem $(BENCH_PKGS) \
+	( $(GO) test -bench=. -benchmem $(BENCH_PKGS) && \
+	  DFTMSN_SCALE_BENCH=1 $(GO) test -bench='BenchmarkRunLarge2000Idle$$' \
+			-benchmem -benchtime=3x ./internal/scenario/ ) \
 		| $(GO) run ./cmd/benchjson -diff BENCH_baseline.json
 
-# The gated scale tier: 500- and 2000-node runs, spatial index vs the
-# linear-scan control arm, asserting the index keeps its >=5x edge at 2000
-# nodes. Too slow for the CI bench smoke, hence the env guard.
+# The gated scale tier: 500- and 2000-node runs with two control arms —
+# spatial index vs linear scan (>=5x ns/op edge) and lazy vs eager decay on
+# the low-duty-cycle idle point (>=1.5x ns/op and >=5x fewer fired events).
+# One transcript, asserted twice. Too slow for the CI bench smoke, hence
+# the env guard.
 bench-scale:
 	DFTMSN_SCALE_BENCH=1 $(GO) test -bench=BenchmarkRunLarge -benchtime=3x \
-			./internal/scenario/ \
-		| $(GO) run ./cmd/benchjson \
+			./internal/scenario/ > bench-scale.out
+	$(GO) run ./cmd/benchjson \
 			-speedup-slow BenchmarkRunLarge2000Linear \
-			-speedup-fast BenchmarkRunLarge2000 -speedup-min 5
+			-speedup-fast BenchmarkRunLarge2000 -speedup-min 5 \
+		< bench-scale.out
+	$(GO) run ./cmd/benchjson \
+			-speedup-slow BenchmarkRunLarge2000IdleEager \
+			-speedup-fast BenchmarkRunLarge2000Idle \
+			-speedup-min 1.5 -speedup-events-min 5 \
+		< bench-scale.out
+	@rm -f bench-scale.out
 
 # Regenerate every table/figure at reduced scale (~30 min on one core).
 figures:

@@ -12,9 +12,11 @@
 //
 // With -diff, every benchmark present in both the baseline and the fresh
 // run is compared; a ns/op or allocs/op increase beyond the tolerance
-// (default 25%) is a regression and the exit status is nonzero. With the
-// -speedup flags, the named slow benchmark must be at least -speedup-min
-// times the ns/op of the fast one.
+// (default 25%), or an events/run increase beyond -events-tol (default
+// 10%; the scenario scale benchmarks report this custom metric), is a
+// regression and the exit status is nonzero. With the -speedup flags, the
+// named slow benchmark must be at least -speedup-min times the ns/op of
+// the fast one.
 package main
 
 import (
@@ -39,6 +41,11 @@ type Benchmark struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	HasMem      bool    `json:"has_mem"`
+	// EventsPerRun is the custom events/run metric the scenario scale
+	// benchmarks report (kernel events fired per simulated run) — the
+	// number the event-elision engine exists to shrink.
+	EventsPerRun float64 `json:"events_per_run,omitempty"`
+	HasEvents    bool    `json:"has_events,omitempty"`
 }
 
 // MarshalJSON emits bytes_per_op/allocs_per_op whenever the benchmark was
@@ -47,14 +54,16 @@ type Benchmark struct {
 // columns, which plain omitempty tags cannot express.
 func (b Benchmark) MarshalJSON() ([]byte, error) {
 	type core struct {
-		Package     string   `json:"package,omitempty"`
-		Name        string   `json:"name"`
-		Procs       int      `json:"procs,omitempty"`
-		Iterations  int64    `json:"iterations"`
-		NsPerOp     float64  `json:"ns_per_op"`
-		BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
-		AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
-		HasMem      bool     `json:"has_mem"`
+		Package      string   `json:"package,omitempty"`
+		Name         string   `json:"name"`
+		Procs        int      `json:"procs,omitempty"`
+		Iterations   int64    `json:"iterations"`
+		NsPerOp      float64  `json:"ns_per_op"`
+		BytesPerOp   *float64 `json:"bytes_per_op,omitempty"`
+		AllocsPerOp  *int64   `json:"allocs_per_op,omitempty"`
+		HasMem       bool     `json:"has_mem"`
+		EventsPerRun *float64 `json:"events_per_run,omitempty"`
+		HasEvents    bool     `json:"has_events,omitempty"`
 	}
 	c := core{
 		Package:    b.Package,
@@ -63,10 +72,14 @@ func (b Benchmark) MarshalJSON() ([]byte, error) {
 		Iterations: b.Iterations,
 		NsPerOp:    b.NsPerOp,
 		HasMem:     b.HasMem,
+		HasEvents:  b.HasEvents,
 	}
 	if b.HasMem {
 		c.BytesPerOp = &b.BytesPerOp
 		c.AllocsPerOp = &b.AllocsPerOp
+	}
+	if b.HasEvents {
+		c.EventsPerRun = &b.EventsPerRun
 	}
 	return json.Marshal(c)
 }
@@ -81,16 +94,21 @@ type Document struct {
 // benchLine matches e.g.
 //
 //	BenchmarkNopRecord-8  1000000  1.05 ns/op  0 B/op  0 allocs/op
+//	BenchmarkRunLarge2000-8  1  3.1e+08 ns/op  161072 events/run  9 B/op  1 allocs/op
+//
+// (custom metrics print between ns/op and the -benchmem columns).
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.e+]+) ns/op(?:\s+([0-9.e+]+) events/run)?(?:\s+([0-9.e+]+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
 	diffPath := flag.String("diff", "", "baseline JSON to diff the fresh run on stdin against (regression ⇒ exit 1)")
 	nsTol := flag.Float64("ns-tol", 0.25, "tolerated fractional ns/op increase before a diff counts as a regression")
 	allocTol := flag.Float64("alloc-tol", 0.25, "tolerated fractional allocs/op increase before a diff counts as a regression")
+	eventsTol := flag.Float64("events-tol", 0.10, "tolerated fractional events/run increase before a diff counts as a regression")
 	speedupSlow := flag.String("speedup-slow", "", "benchmark name expected to be slower (speedup assertion)")
 	speedupFast := flag.String("speedup-fast", "", "benchmark name expected to be faster (speedup assertion)")
 	speedupMin := flag.Float64("speedup-min", 0, "required ns/op ratio slow/fast (0 disables the assertion)")
+	speedupEventsMin := flag.Float64("speedup-events-min", 0, "additionally required events/run ratio slow/fast (0 disables; both benchmarks must report the metric)")
 	flag.Parse()
 
 	doc, err := parse(os.Stdin)
@@ -108,7 +126,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		rows, regressed := diff(base, doc, *nsTol, *allocTol)
+		rows, regressed := diff(base, doc, *nsTol, *allocTol, *eventsTol)
 		for _, row := range rows {
 			fmt.Println(row)
 		}
@@ -117,10 +135,12 @@ func main() {
 			failed = true
 		}
 	}
-	if *speedupMin > 0 {
+	if *speedupMin > 0 || *speedupEventsMin > 0 {
 		checked = true
-		row, ok := speedup(doc, *speedupSlow, *speedupFast, *speedupMin)
-		fmt.Println(row)
+		rows, ok := speedup(doc, *speedupSlow, *speedupFast, *speedupMin, *speedupEventsMin)
+		for _, row := range rows {
+			fmt.Println(row)
+		}
 		if !ok {
 			failed = true
 		}
@@ -178,13 +198,19 @@ func parse(r io.Reader) (*Document, error) {
 			return nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
 		}
 		if m[5] != "" {
-			if b.BytesPerOp, err = strconv.ParseFloat(m[5], 64); err != nil {
+			if b.EventsPerRun, err = strconv.ParseFloat(m[5], 64); err != nil {
+				return nil, fmt.Errorf("bad events/run in %q: %w", line, err)
+			}
+			b.HasEvents = true
+		}
+		if m[6] != "" {
+			if b.BytesPerOp, err = strconv.ParseFloat(m[6], 64); err != nil {
 				return nil, fmt.Errorf("bad B/op in %q: %w", line, err)
 			}
 			b.HasMem = true
 		}
-		if m[6] != "" {
-			if b.AllocsPerOp, err = strconv.ParseInt(m[6], 10, 64); err != nil {
+		if m[7] != "" {
+			if b.AllocsPerOp, err = strconv.ParseInt(m[7], 10, 64); err != nil {
 				return nil, fmt.Errorf("bad allocs/op in %q: %w", line, err)
 			}
 		}
@@ -207,11 +233,13 @@ func loadBaseline(path string) (*Document, error) {
 }
 
 // diff compares every benchmark present in both documents (keyed by
-// package + name) and reports per-metric changes. A ns/op or allocs/op
-// increase beyond the given fractional tolerance is a regression.
-// Benchmarks present on only one side are skipped: baselines are allowed
-// to trail newly added benchmarks until regenerated.
-func diff(base, fresh *Document, nsTol, allocTol float64) (rows []string, regressed bool) {
+// package + name) and reports per-metric changes. A ns/op, allocs/op, or
+// events/run increase beyond the given fractional tolerance is a
+// regression — the events/run gate is what catches an elision opportunity
+// silently lost (events regrowing without ns/op moving much on a fast
+// machine). Benchmarks present on only one side are skipped: baselines
+// are allowed to trail newly added benchmarks until regenerated.
+func diff(base, fresh *Document, nsTol, allocTol, eventsTol float64) (rows []string, regressed bool) {
 	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseBy[b.Package+"."+b.Name] = b
@@ -237,8 +265,18 @@ func diff(base, fresh *Document, nsTol, allocTol float64) (rows []string, regres
 				regressed = true
 			}
 		}
-		rows = append(rows, fmt.Sprintf("%-14s %s.%s: ns/op %.0f -> %.0f (%+.1f%%)%s",
-			verdict, f.Package, f.Name, b.NsPerOp, f.NsPerOp, 100*nsDelta, allocNote))
+		eventsNote := ""
+		if b.HasEvents && f.HasEvents {
+			eventsDelta := frac(f.EventsPerRun, b.EventsPerRun)
+			eventsNote = fmt.Sprintf("  events %.0f -> %.0f (%+.1f%%)",
+				b.EventsPerRun, f.EventsPerRun, 100*eventsDelta)
+			if b.EventsPerRun > 0 && eventsDelta > eventsTol {
+				verdict = "REGRESSION(events/run)"
+				regressed = true
+			}
+		}
+		rows = append(rows, fmt.Sprintf("%-14s %s.%s: ns/op %.0f -> %.0f (%+.1f%%)%s%s",
+			verdict, f.Package, f.Name, b.NsPerOp, f.NsPerOp, 100*nsDelta, allocNote, eventsNote))
 	}
 	return rows, regressed
 }
@@ -252,8 +290,9 @@ func frac(new_, old float64) float64 {
 }
 
 // speedup asserts that the benchmark named slow took at least min times
-// the ns/op of the one named fast (names match ignoring package).
-func speedup(doc *Document, slow, fast string, min float64) (row string, ok bool) {
+// the ns/op of the one named fast (names match ignoring package), and —
+// when eventsMin > 0 — fired at least eventsMin times the events/run.
+func speedup(doc *Document, slow, fast string, min, eventsMin float64) (rows []string, ok bool) {
 	find := func(name string) (Benchmark, bool) {
 		for _, b := range doc.Benchmarks {
 			if b.Name == name {
@@ -265,14 +304,35 @@ func speedup(doc *Document, slow, fast string, min float64) (row string, ok bool
 	s, okS := find(slow)
 	f, okF := find(fast)
 	if !okS || !okF {
-		return fmt.Sprintf("FAIL: speedup: missing benchmark %q or %q in input", slow, fast), false
+		return []string{fmt.Sprintf("FAIL: speedup: missing benchmark %q or %q in input", slow, fast)}, false
 	}
-	if f.NsPerOp <= 0 {
-		return fmt.Sprintf("FAIL: speedup: %s has non-positive ns/op", fast), false
+	ok = true
+	if min > 0 {
+		switch ratio := s.NsPerOp / f.NsPerOp; {
+		case f.NsPerOp <= 0:
+			rows = append(rows, fmt.Sprintf("FAIL: speedup: %s has non-positive ns/op", fast))
+			ok = false
+		case ratio < min:
+			rows = append(rows, fmt.Sprintf("FAIL: speedup %s/%s = %.2fx < required %.2fx", slow, fast, ratio, min))
+			ok = false
+		default:
+			rows = append(rows, fmt.Sprintf("ok: speedup %s/%s = %.2fx >= %.2fx", slow, fast, ratio, min))
+		}
 	}
-	ratio := s.NsPerOp / f.NsPerOp
-	if ratio < min {
-		return fmt.Sprintf("FAIL: speedup %s/%s = %.2fx < required %.2fx", slow, fast, ratio, min), false
+	if eventsMin > 0 {
+		switch {
+		case !s.HasEvents || !f.HasEvents || f.EventsPerRun <= 0:
+			rows = append(rows, fmt.Sprintf("FAIL: speedup: %s or %s lacks an events/run metric", slow, fast))
+			ok = false
+		default:
+			ratio := s.EventsPerRun / f.EventsPerRun
+			if ratio < eventsMin {
+				rows = append(rows, fmt.Sprintf("FAIL: event reduction %s/%s = %.2fx < required %.2fx", slow, fast, ratio, eventsMin))
+				ok = false
+			} else {
+				rows = append(rows, fmt.Sprintf("ok: event reduction %s/%s = %.2fx >= %.2fx", slow, fast, ratio, eventsMin))
+			}
+		}
 	}
-	return fmt.Sprintf("ok: speedup %s/%s = %.2fx >= %.2fx", slow, fast, ratio, min), true
+	return rows, ok
 }

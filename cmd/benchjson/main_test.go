@@ -122,7 +122,7 @@ func TestDiffFlagsRegressions(t *testing.T) {
 		{Package: "p", Name: "BenchmarkB", NsPerOp: 900, AllocsPerOp: 200, HasMem: true},  // alloc regression
 		{Package: "p", Name: "BenchmarkNew", NsPerOp: 5},                                  // not in baseline
 	}}
-	rows, regressed := diff(base, fresh, 0.25, 0.25)
+	rows, regressed := diff(base, fresh, 0.25, 0.25, 0.10)
 	if !regressed {
 		t.Fatalf("diff missed the allocs/op regression; rows: %v", rows)
 	}
@@ -140,8 +140,82 @@ func TestDiffFlagsRegressions(t *testing.T) {
 	improved := &Document{Benchmarks: []Benchmark{
 		{Package: "p", Name: "BenchmarkA", NsPerOp: 500, AllocsPerOp: 10, HasMem: true},
 	}}
-	if _, reg := diff(base, improved, 0.25, 0.25); reg {
+	if _, reg := diff(base, improved, 0.25, 0.25, 0.10); reg {
 		t.Errorf("improvement reported as regression")
+	}
+}
+
+// TestDiffFlagsEventRegressions checks the events/run gate: an event-count
+// growth beyond tolerance fails even when ns/op improved (a lost elision
+// opportunity can hide behind a faster machine), and the gate stays quiet
+// when either side lacks the metric.
+func TestDiffFlagsEventRegressions(t *testing.T) {
+	base := &Document{Benchmarks: []Benchmark{
+		{Package: "p", Name: "BenchmarkRun", NsPerOp: 1000, EventsPerRun: 10000, HasEvents: true},
+		{Package: "p", Name: "BenchmarkNoMetric", NsPerOp: 1000},
+	}}
+	fresh := &Document{Benchmarks: []Benchmark{
+		{Package: "p", Name: "BenchmarkRun", NsPerOp: 800, EventsPerRun: 12000, HasEvents: true},
+		{Package: "p", Name: "BenchmarkNoMetric", NsPerOp: 1000, EventsPerRun: 99, HasEvents: true},
+	}}
+	rows, regressed := diff(base, fresh, 0.25, 0.25, 0.10)
+	if !regressed {
+		t.Fatalf("diff missed the events/run regression; rows: %v", rows)
+	}
+	if !strings.Contains(rows[0], "REGRESSION(events/run)") {
+		t.Errorf("events regression row not flagged: %s", rows[0])
+	}
+	if strings.Contains(rows[1], "REGRESSION") || strings.Contains(rows[1], "events") {
+		t.Errorf("metric-less baseline row compared events: %s", rows[1])
+	}
+	// Within tolerance passes.
+	okFresh := &Document{Benchmarks: []Benchmark{
+		{Package: "p", Name: "BenchmarkRun", NsPerOp: 1000, EventsPerRun: 10500, HasEvents: true},
+	}}
+	if rows, reg := diff(base, okFresh, 0.25, 0.25, 0.10); reg {
+		t.Errorf("within-tolerance events growth flagged: %v", rows)
+	}
+}
+
+// TestParseEventsMetric checks the custom events/run column parses and
+// round-trips through JSON, and that its absence stays distinguishable
+// from zero.
+func TestParseEventsMetric(t *testing.T) {
+	line := "BenchmarkRunLarge2000-8 \t 1 \t 310000000 ns/op \t 161072 events/run \t 9000 B/op \t 120 allocs/op\n"
+	doc, err := parse(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if !b.HasEvents || b.EventsPerRun != 161072 || !b.HasMem ||
+		b.BytesPerOp != 9000 || b.AllocsPerOp != 120 || b.NsPerOp != 310000000 {
+		t.Fatalf("benchmark = %+v", b)
+	}
+	out, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"events_per_run":161072`) {
+		t.Errorf("marshalled benchmark missing events_per_run: %s", out)
+	}
+	var back Benchmark
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != b {
+		t.Errorf("round trip changed the benchmark: %+v != %+v", back, b)
+	}
+	// Without the metric the field is omitted entirely.
+	plain := Benchmark{Name: "BenchmarkX", Iterations: 1, NsPerOp: 10}
+	out, err = json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "events_per_run") || strings.Contains(string(out), "has_events") {
+		t.Errorf("metric-less benchmark serialised event fields: %s", out)
 	}
 }
 
@@ -150,13 +224,35 @@ func TestSpeedupAssertion(t *testing.T) {
 		{Package: "p", Name: "BenchmarkSlow", NsPerOp: 10000},
 		{Package: "p", Name: "BenchmarkFast", NsPerOp: 1000},
 	}}
-	if row, ok := speedup(doc, "BenchmarkSlow", "BenchmarkFast", 5); !ok {
-		t.Errorf("10x speedup failed a 5x bar: %s", row)
+	if rows, ok := speedup(doc, "BenchmarkSlow", "BenchmarkFast", 5, 0); !ok {
+		t.Errorf("10x speedup failed a 5x bar: %v", rows)
 	}
-	if row, ok := speedup(doc, "BenchmarkSlow", "BenchmarkFast", 20); ok {
-		t.Errorf("10x speedup passed a 20x bar: %s", row)
+	if rows, ok := speedup(doc, "BenchmarkSlow", "BenchmarkFast", 20, 0); ok {
+		t.Errorf("10x speedup passed a 20x bar: %v", rows)
 	}
-	if _, ok := speedup(doc, "BenchmarkMissing", "BenchmarkFast", 2); ok {
+	if _, ok := speedup(doc, "BenchmarkMissing", "BenchmarkFast", 2, 0); ok {
 		t.Errorf("missing benchmark passed the assertion")
+	}
+}
+
+func TestSpeedupEventsAssertion(t *testing.T) {
+	doc := &Document{Benchmarks: []Benchmark{
+		{Package: "p", Name: "BenchmarkEager", NsPerOp: 10000, EventsPerRun: 60000, HasEvents: true},
+		{Package: "p", Name: "BenchmarkLazy", NsPerOp: 4000, EventsPerRun: 7000, HasEvents: true},
+		{Package: "p", Name: "BenchmarkBare", NsPerOp: 4000},
+	}}
+	if rows, ok := speedup(doc, "BenchmarkEager", "BenchmarkLazy", 1.5, 5); !ok {
+		t.Errorf("8.6x event reduction failed a 5x bar: %v", rows)
+	}
+	if rows, ok := speedup(doc, "BenchmarkEager", "BenchmarkLazy", 1.5, 10); ok {
+		t.Errorf("8.6x event reduction passed a 10x bar: %v", rows)
+	}
+	// The events bar can run without a ns/op bar, and fails cleanly when a
+	// side lacks the metric.
+	if rows, ok := speedup(doc, "BenchmarkEager", "BenchmarkLazy", 0, 5); !ok || len(rows) != 1 {
+		t.Errorf("events-only assertion: ok=%v rows=%v", ok, rows)
+	}
+	if _, ok := speedup(doc, "BenchmarkEager", "BenchmarkBare", 0, 2); ok {
+		t.Errorf("metric-less benchmark passed the events assertion")
 	}
 }

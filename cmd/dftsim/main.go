@@ -38,6 +38,13 @@
 // occupancy / delivery probability. -trace FILE additionally streams every
 // typed trace-v2 event to FILE in the -trace-format encoding (jsonl or
 // binary) for offline analysis with dftstats.
+//
+// -eager-decay disables the event-elision engine (PROTOCOL.md §11) and
+// runs every ξ-decay tick and sleep cycle as a real kernel event — the
+// control arm for performance comparisons; results are identical either
+// way, only the event count and wall time change. -cpuprofile and
+// -memprofile write pprof profiles of the run for use with `go tool
+// pprof`.
 package main
 
 import (
@@ -45,6 +52,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -94,6 +103,10 @@ func run(args []string, out io.Writer) error {
 		telemetryOn = fs.Bool("telemetry", false, "collect per-run telemetry metrics and print a digest line")
 		tracePath   = fs.String("trace", "", "write typed trace-v2 events to this file (implies -telemetry)")
 		traceFormat = fs.String("trace-format", "jsonl", "trace-v2 encoding: jsonl or binary")
+
+		eagerDecay = fs.Bool("eager-decay", false, "disable event elision: run every decay tick and sleep cycle as a kernel event (control arm)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile (post-run) to this file")
 
 		configPath = fs.String("config", "", "JSON scenario file (flags above are ignored)")
 		dumpConfig = fs.Bool("dumpconfig", false, "print the effective config as JSON and exit")
@@ -174,6 +187,9 @@ func run(args []string, out io.Writer) error {
 	if *telemetryOn || *tracePath != "" {
 		cfg.Telemetry = true
 	}
+	if *eagerDecay {
+		cfg.EagerDecay = true
+	}
 	var (
 		tw        telemetry.FileWriter
 		traceFile *os.File
@@ -197,6 +213,17 @@ func run(args []string, out io.Writer) error {
 	if *dumpConfig {
 		return dftmsn.SaveConfig(out, cfg)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	start := time.Now()
 	sim, err := dftmsn.New(cfg)
@@ -208,6 +235,20 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	wall := time.Since(start)
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle the heap so the profile reflects retained state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
 	if tw != nil {
 		if err := tw.Flush(); err != nil {
 			return err
@@ -218,7 +259,8 @@ func run(args []string, out io.Writer) error {
 	}
 
 	fmt.Fprintf(out, "scheme            %s\n", res.Scheme)
-	fmt.Fprintf(out, "simulated         %.0f s (%d events in %v)\n", res.SimSeconds, res.Events, wall.Round(time.Millisecond))
+	fmt.Fprintf(out, "simulated         %.0f s (%d events, %d elided in %v)\n",
+		res.SimSeconds, res.Events, res.EventsElided, wall.Round(time.Millisecond))
 	fmt.Fprintf(out, "generated         %d messages\n", res.Delivery.Generated)
 	fmt.Fprintf(out, "delivered         %d (ratio %.3f, %d duplicate arrivals)\n",
 		res.Delivery.Delivered, res.Delivery.DeliveryRatio, res.Delivery.Duplicates)

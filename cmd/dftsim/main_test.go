@@ -216,6 +216,54 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
+// TestRunWithEagerDecay checks the control arm: -eager-decay must leave
+// every physics line of the digest byte-identical while dropping the
+// elided-event count to zero.
+func TestRunWithEagerDecay(t *testing.T) {
+	base := []string{"-scheme", "OPT", "-sensors", "15", "-sinks", "2",
+		"-duration", "300", "-seed", "5", "-v"}
+	var lazy, eager strings.Builder
+	if err := run(base, &lazy); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, base...), "-eager-decay"), &eager); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eager.String(), " 0 elided") {
+		t.Errorf("eager run still elided events:\n%s", eager.String())
+	}
+	if strings.Contains(lazy.String(), " 0 elided") {
+		t.Errorf("lazy run elided nothing:\n%s", lazy.String())
+	}
+	trim := func(s string) string { return s[strings.Index(s, "generated"):] }
+	if trim(lazy.String()) != trim(eager.String()) {
+		t.Errorf("eager-decay perturbed the physics digest:\n%s\n---\n%s",
+			lazy.String(), eager.String())
+	}
+}
+
+// TestRunWithProfiles checks -cpuprofile and -memprofile produce non-empty
+// pprof files.
+func TestRunWithProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pb.gz"), filepath.Join(dir, "mem.pb.gz")
+	var sb strings.Builder
+	err := run([]string{"-sensors", "10", "-sinks", "1", "-duration", "200",
+		"-cpuprofile", cpu, "-memprofile", mem}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
 // TestRunWithTelemetry drives -telemetry and -trace: the digest gains the
 // telemetry lines, the trace file decodes as trace v2 in both encodings,
 // and a telemetry-armed run prints the same physics digest as a plain one.

@@ -1,6 +1,7 @@
 package buffer
 
 import (
+	"fmt"
 	"testing"
 
 	"dftmsn/internal/packet"
@@ -53,6 +54,55 @@ func BenchmarkQueueUpdateFTD(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		id := packet.MessageID(i % 200)
 		q.UpdateFTD(id, float64(i%90)/100)
+	}
+}
+
+// queueDepths are the deep-queue benchmark points: 64 is where the old
+// linear ID scans started to dominate MAC-cycle profiles; 256 exceeds the
+// paper's default capacity.
+var queueDepths = []int{64, 256}
+
+func fullQueue(b *testing.B, depth int) *Queue {
+	b.Helper()
+	q := benchQueue(b, depth)
+	for i := 0; i < depth; i++ {
+		q.Insert(Entry{ID: packet.MessageID(i), FTD: float64(i%90) / 100})
+	}
+	return q
+}
+
+// BenchmarkQueueLookupDeep measures the indexOf path behind Contains and
+// FTDOf — a map probe plus binary search since the event-elision PR,
+// previously a linear scan.
+func BenchmarkQueueLookupDeep(b *testing.B) {
+	for _, depth := range queueDepths {
+		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+			q := fullQueue(b, depth)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := q.FTDOf(packet.MessageID(i % depth)); !ok {
+					b.Fatal("lookup missed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueueUpdateFTDDeep measures the Eq. 3 update path (lookup +
+// single-copy resort) with FTD changes that force long moves across the
+// sorted order.
+func BenchmarkQueueUpdateFTDDeep(b *testing.B) {
+	for _, depth := range queueDepths {
+		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+			q := fullQueue(b, depth)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := packet.MessageID(i % depth)
+				q.UpdateFTD(id, float64((i*37)%90)/100)
+			}
+		})
 	}
 }
 

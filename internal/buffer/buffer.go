@@ -61,6 +61,14 @@ type Queue struct {
 	seq       uint64
 	version   uint64 // bumped on every content mutation
 	dropHook  func(e Entry, reason DropReason)
+
+	// index maps each queued message to its current FTD, turning the ID
+	// lookups on every protocol path (Contains, FTDOf, Insert dedup,
+	// Remove, UpdateFTD) from linear scans into a map probe plus a binary
+	// search over the sorted entries. Storing the FTD rather than the
+	// position keeps maintenance O(1): positions shift on every insert and
+	// remove, but an entry's FTD only changes when the caller updates it.
+	index map[packet.MessageID]float64
 }
 
 // NewQueue returns a queue holding at most capacity entries, dropping any
@@ -73,7 +81,12 @@ func NewQueue(capacity int, threshold float64) (*Queue, error) {
 	if threshold < 0 || math.IsNaN(threshold) {
 		return nil, fmt.Errorf("buffer: threshold %v must be >= 0", threshold)
 	}
-	return &Queue{entries: make([]Entry, 0, capacity), capacity: capacity, threshold: threshold}, nil
+	return &Queue{
+		entries:   make([]Entry, 0, capacity),
+		capacity:  capacity,
+		threshold: threshold,
+		index:     make(map[packet.MessageID]float64, capacity),
+	}, nil
 }
 
 // Len returns the number of stored entries.
@@ -162,6 +175,7 @@ func (q *Queue) Insert(e Entry) bool {
 	if i := q.indexOf(e.ID); i >= 0 {
 		if e.FTD < q.entries[i].FTD {
 			q.entries[i].FTD = e.FTD
+			q.index[e.ID] = e.FTD
 			q.resort(i)
 			q.version++
 		}
@@ -174,9 +188,11 @@ func (q *Queue) Insert(e Entry) bool {
 	q.entries = append(q.entries, Entry{})
 	copy(q.entries[pos+1:], q.entries[pos:])
 	q.entries[pos] = e
+	q.index[e.ID] = e.FTD
 	if len(q.entries) > q.capacity {
 		evicted := q.entries[len(q.entries)-1]
 		q.entries = q.entries[:len(q.entries)-1]
+		delete(q.index, evicted.ID)
 		q.dropped(evicted, DropFull)
 		return evicted.ID != e.ID
 	}
@@ -192,6 +208,7 @@ func (q *Queue) Remove(id packet.MessageID) bool {
 		return false
 	}
 	q.entries = append(q.entries[:i], q.entries[i+1:]...)
+	delete(q.index, id)
 	q.version++
 	return true
 }
@@ -209,10 +226,12 @@ func (q *Queue) UpdateFTD(id packet.MessageID, ftdValue float64) bool {
 		gone := q.entries[i]
 		gone.FTD = ftdValue // report the FTD that triggered the drop
 		q.entries = append(q.entries[:i], q.entries[i+1:]...)
+		delete(q.index, id)
 		q.dropped(gone, DropThreshold)
 		return false
 	}
 	q.entries[i].FTD = ftdValue
+	q.index[id] = ftdValue
 	q.resort(i)
 	return true
 }
@@ -229,6 +248,7 @@ func (q *Queue) Wipe() []packet.MessageID {
 		ids[i] = q.entries[i].ID
 	}
 	q.entries = q.entries[:0]
+	clear(q.index)
 	q.version++
 	return ids
 }
@@ -267,22 +287,43 @@ func (q *Queue) Occupancy() float64 {
 	return float64(len(q.entries)) / float64(q.capacity)
 }
 
+// indexOf locates the queued copy of id: a map probe for its FTD, a
+// binary search to the start of that FTD's run, then a walk over the run
+// (usually length 1) to match the ID. Returns -1 when absent.
 func (q *Queue) indexOf(id packet.MessageID) int {
-	for i := range q.entries {
+	f, ok := q.index[id]
+	if !ok {
+		return -1
+	}
+	lo, hi := 0, len(q.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q.entries[mid].FTD < f {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo; i < len(q.entries) && q.entries[i].FTD == f; i++ {
 		if q.entries[i].ID == id {
 			return i
 		}
 	}
-	return -1
+	panic("buffer: index out of sync with entries")
 }
 
 // insertPos returns the sorted position for e: after all entries with
 // smaller-or-equal FTD (stable for ties).
 func (q *Queue) insertPos(e Entry) int {
-	lo, hi := 0, len(q.entries)
+	return q.insertPosIn(e.FTD, 0, len(q.entries))
+}
+
+// insertPosIn returns the first index in [lo, hi) whose FTD strictly
+// exceeds f, or hi when none does — insertPos restricted to a window.
+func (q *Queue) insertPosIn(f float64, lo, hi int) int {
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if q.entries[mid].FTD <= e.FTD {
+		if q.entries[mid].FTD <= f {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -291,12 +332,24 @@ func (q *Queue) insertPos(e Entry) int {
 	return lo
 }
 
-// resort restores sorted order after the FTD at index i changed.
+// resort restores sorted order after the FTD at index i changed, with one
+// binary search over the affected side and one copy across the gap —
+// where a delete-then-reinsert would shift the whole tail twice. The
+// destination replicates insertPos on the array without entry i exactly,
+// ties included: an entry matching its new neighbours' FTD lands after
+// the run, as a fresh insert would.
 func (q *Queue) resort(i int) {
 	e := q.entries[i]
-	q.entries = append(q.entries[:i], q.entries[i+1:]...)
-	pos := q.insertPos(e)
-	q.entries = append(q.entries, Entry{})
-	copy(q.entries[pos+1:], q.entries[pos:])
-	q.entries[pos] = e
+	switch {
+	case i+1 < len(q.entries) && q.entries[i+1].FTD <= e.FTD:
+		// Move right: e belongs after the run of entries <= its new FTD.
+		pos := q.insertPosIn(e.FTD, i+1, len(q.entries))
+		copy(q.entries[i:pos-1], q.entries[i+1:pos])
+		q.entries[pos-1] = e
+	case i > 0 && q.entries[i-1].FTD > e.FTD:
+		// Move left: e belongs before the run of entries > its new FTD.
+		pos := q.insertPosIn(e.FTD, 0, i)
+		copy(q.entries[pos+1:i+1], q.entries[pos:i])
+		q.entries[pos] = e
+	}
 }

@@ -1,0 +1,155 @@
+package buffer
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"dftmsn/internal/packet"
+)
+
+// naiveQueue reimplements the queue's ordering rules the way the original
+// code did — linear ID scans and delete-then-reinsert resorts — as the
+// reference model for the indexed fast paths. Drop accounting is omitted:
+// only ordering and membership semantics are under test here.
+type naiveQueue struct {
+	entries   []Entry
+	capacity  int
+	threshold float64
+	seq       uint64
+}
+
+func (n *naiveQueue) indexOf(id packet.MessageID) int {
+	for i := range n.entries {
+		if n.entries[i].ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (n *naiveQueue) insertPos(f float64) int {
+	lo, hi := 0, len(n.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.entries[mid].FTD <= f {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (n *naiveQueue) resort(i int) {
+	e := n.entries[i]
+	n.entries = append(n.entries[:i], n.entries[i+1:]...)
+	pos := n.insertPos(e.FTD)
+	n.entries = append(n.entries, Entry{})
+	copy(n.entries[pos+1:], n.entries[pos:])
+	n.entries[pos] = e
+}
+
+func (n *naiveQueue) insert(e Entry) bool {
+	if e.FTD < 0 || e.FTD > 1 || e.FTD > n.threshold {
+		return false
+	}
+	if i := n.indexOf(e.ID); i >= 0 {
+		if e.FTD < n.entries[i].FTD {
+			n.entries[i].FTD = e.FTD
+			n.resort(i)
+		}
+		return true
+	}
+	e.seq = n.seq
+	n.seq++
+	pos := n.insertPos(e.FTD)
+	n.entries = append(n.entries, Entry{})
+	copy(n.entries[pos+1:], n.entries[pos:])
+	n.entries[pos] = e
+	if len(n.entries) > n.capacity {
+		evicted := n.entries[len(n.entries)-1]
+		n.entries = n.entries[:len(n.entries)-1]
+		return evicted.ID != e.ID
+	}
+	return true
+}
+
+func (n *naiveQueue) remove(id packet.MessageID) bool {
+	i := n.indexOf(id)
+	if i < 0 {
+		return false
+	}
+	n.entries = append(n.entries[:i], n.entries[i+1:]...)
+	return true
+}
+
+func (n *naiveQueue) updateFTD(id packet.MessageID, f float64) bool {
+	i := n.indexOf(id)
+	if i < 0 {
+		return false
+	}
+	if f > n.threshold || f < 0 {
+		n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		return false
+	}
+	n.entries[i].FTD = f
+	n.resort(i)
+	return true
+}
+
+// TestQueueMatchesNaiveModel drives the indexed queue and the original
+// linear-scan model through a long randomized op stream — inserts with
+// colliding FTDs (tie runs), duplicate merges, removes, threshold-crossing
+// FTD updates, wipes — and requires identical return values and identical
+// entry order (FTD ties included) after every step.
+func TestQueueMatchesNaiveModel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	q := newQ(t, 48, 0.95)
+	ref := &naiveQueue{capacity: 48, threshold: 0.95}
+
+	// A coarse FTD grid forces frequent exact ties, the regime where the
+	// single-copy resort and the FTD-keyed index are easiest to get wrong.
+	ftd := func() float64 { return float64(rng.IntN(12)) / 10 }
+
+	for step := 0; step < 20000; step++ {
+		id := packet.MessageID(rng.IntN(96))
+		switch rng.IntN(10) {
+		case 0:
+			if got, want := q.Remove(id), ref.remove(id); got != want {
+				t.Fatalf("step %d: Remove(%d) = %v, naive %v", step, id, got, want)
+			}
+		case 1, 2:
+			f := ftd()
+			if got, want := q.UpdateFTD(id, f), ref.updateFTD(id, f); got != want {
+				t.Fatalf("step %d: UpdateFTD(%d, %v) = %v, naive %v", step, id, f, got, want)
+			}
+		case 3:
+			if got, want := q.Contains(id), ref.indexOf(id) >= 0; got != want {
+				t.Fatalf("step %d: Contains(%d) = %v, naive %v", step, id, got, want)
+			}
+		case 4:
+			if step%701 == 0 {
+				q.Wipe()
+				ref.entries = ref.entries[:0]
+			}
+		default:
+			e := Entry{ID: id, Origin: 3, FTD: ftd()}
+			if got, want := q.Insert(e), ref.insert(e); got != want {
+				t.Fatalf("step %d: Insert(%d, %v) = %v, naive %v", step, e.ID, e.FTD, got, want)
+			}
+		}
+		got, want := q.Entries(), ref.entries
+		if len(got) != len(want) {
+			t.Fatalf("step %d: %d entries, naive %d", step, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID || got[i].FTD != want[i].FTD {
+				t.Fatalf("step %d: entry %d = {%d %v}, naive {%d %v}",
+					step, i, got[i].ID, got[i].FTD, want[i].ID, want[i].FTD)
+			}
+		}
+	}
+	if len(q.Entries()) == 0 {
+		t.Fatal("op stream never left entries to compare")
+	}
+}

@@ -68,6 +68,12 @@ type Params struct {
 	// DecayInterval is the Eq. 1 timeout check period in seconds.
 	DecayInterval float64
 
+	// EagerDecay forces the per-node decay ticker even for strategies that
+	// support lazy closed-form decay, and disables idle-cycle coalescing —
+	// the control arm for the event-elision differential tests, mirroring
+	// radio.Config.LinearScan.
+	EagerDecay bool
+
 	// BatteryJoules is the node's energy budget; once its radio has
 	// consumed this much the node dies (radio permanently off). Zero
 	// means unlimited — the paper's evaluation does not exhaust
@@ -144,15 +150,47 @@ type Node struct {
 	tauCached int
 	tauForVer uint64
 
-	decay   *sim.Ticker
+	decay   *sim.Ticker         // eager decay arm (nil under lazy decay)
+	lazy    routing.LazyDecayer // lazy decay arm (nil under eager decay)
+	macCfg  mac.Config
 	stats   NodeStats
 	started bool
 	stopped bool
 	crashed bool // down by Crash (recoverable), not battery or Kill
 
+	// Event elision: when elide is set, provably idle listen-only cycles
+	// coalesce into a single plan-end event (see planIdleSpan).
+	elide     bool
+	plan      idleSpan
+	planEndEv *sim.Event
+	planEndFn func()
+
 	startCycleFn func() // pre-bound n.startCycle for retry scheduling
 	wakeFn       func() // pre-bound end-of-sleep wake callback
 	xiBuf        []float64
+}
+
+// Idle-span plan caps: a plan covers at most planMaxCycles cycles and at
+// most planMaxSeconds of virtual time, keeping the cycle-termination
+// invariant's liveness budget (60 s) comfortably green while bounding the
+// drawn-ahead τ tail an early materialize must rewind.
+const (
+	planMaxCycles  = 32
+	planMaxSeconds = 20.0
+)
+
+// idleSpan is one coalesced run of planned listen-only cycles — the
+// event-elision fast path. Boundaries are precomputed with the exact
+// floating-point steps the eager arm's timer chain would take; the node
+// schedules a single plan-end event and replays or abandons the span when
+// the world intervenes (frame capture, audible carrier, traffic, faults).
+type idleSpan struct {
+	active  bool
+	starts  []float64 // cycle start times s_i
+	listens []float64 // listen-expiry times l_i = s_i + τ_i·slot
+	ends    []float64 // cycle-end times e_i = l_i + R·slot; s_{i+1} = e_i
+	sigmas  []int     // σ_i each τ_i was drawn from (for stream rewind)
+	rngSnap simrand.State
 }
 
 var _ mac.Policy = (*Node)(nil)
@@ -188,6 +226,7 @@ func NewNode(
 		medium:    medium,
 		strategy:  strategy,
 		params:    params,
+		macCfg:    macCfg,
 		rng:       rng,
 		rec:       rec,
 		neighbors: make(map[packet.NodeID]neighborInfo),
@@ -225,10 +264,51 @@ func NewNode(
 	}
 	eng.SetAwakeFunc(n.onAwake)
 	n.radio = r
-	n.decay = sim.NewTicker(sched, params.DecayInterval, func(now sim.Time) {
-		n.strategy.OnDecayTick(now)
-	})
+	// Decay arm selection: strategies whose soft state decays on a period
+	// either run a per-node ticker (the eager control arm) or evaluate the
+	// identical epoch sequence in closed form on read (the lazy arm).
+	// Strategies with constant metrics schedule no decay events either way.
+	if dt, ok := strategy.(routing.DecayTicker); ok {
+		lz, lazyOK := strategy.(routing.LazyDecayer)
+		if lazyOK && !params.EagerDecay {
+			n.lazy = lz
+			lz.EnableLazyDecay(sched.Now, params.DecayInterval)
+		} else {
+			n.decay = sim.NewTicker(sched, params.DecayInterval, func(now sim.Time) {
+				dt.OnDecayTick(now)
+			})
+		}
+	}
+	// Idle-cycle coalescing needs every per-cycle side effect to be
+	// replayable: no eager decay ticker (its epochs are kernel events the
+	// plan would skip) and no battery bound (checkBattery reads the meter
+	// at each boundary).
+	n.elide = !params.EagerDecay && n.decay == nil && params.BatteryJoules == 0
+	if n.elide {
+		n.planEndFn = n.planEnd
+		r.SetPreCapture(func() { n.materialize(n.sched.Now()) })
+	}
 	return n, nil
+}
+
+// decayStart begins the node's decay epoch sequence in whichever arm is
+// wired (per-node ticker or closed-form ledger).
+func (n *Node) decayStart() {
+	if n.decay != nil {
+		n.decay.Start()
+	} else if n.lazy != nil {
+		n.lazy.StartLazyDecay(n.sched.Now())
+	}
+}
+
+// decayStop halts the decay epoch sequence; under lazy decay pending
+// epochs settle through now and the value freezes.
+func (n *Node) decayStop() {
+	if n.decay != nil {
+		n.decay.Stop()
+	} else if n.lazy != nil {
+		n.lazy.StopLazyDecay(n.sched.Now())
+	}
 }
 
 // ID returns the node identifier.
@@ -257,22 +337,27 @@ func (n *Node) Start() error {
 		// boots when Recover runs; a killed one never does.
 		return nil
 	}
-	n.decay.Start()
+	n.decayStart()
 	n.startCycle()
 	return nil
 }
 
 // Stop halts the node at the next cycle boundary (the current cycle, if
-// any, still completes; no further cycles or sleeps are scheduled).
+// any, still completes; no further cycles or sleeps are scheduled). An
+// idle-span plan materializes first: its later cycles must not run.
 func (n *Node) Stop() {
+	n.materialize(n.sched.Now())
 	n.stopped = true
-	n.decay.Stop()
+	n.decayStop()
 }
 
 // Generate inserts a locally sensed message (called by the traffic
 // process). It reports whether the message was accepted into the queue.
+// An idle-span plan materializes first: with data queued, the resumed
+// cycle's listen expiry re-checks HasData and takes the attempt path.
 func (n *Node) Generate(id packet.MessageID, payloadBits int) bool {
 	now := n.sched.Now()
+	n.materialize(now)
 	ok := n.strategy.Generate(id, now, payloadBits)
 	typ := telemetry.EvGen
 	if !ok {
@@ -283,19 +368,213 @@ func (n *Node) Generate(id packet.MessageID, payloadBits int) bool {
 }
 
 // startCycle draws the §4.2 adaptive listening period and starts one MAC
-// cycle.
+// cycle — or, when the node can prove the coming cycles are idle, plans a
+// coalesced span of them instead.
 func (n *Node) startCycle() {
 	if n.stopped {
 		return
 	}
 	tauMax := n.currentTauMax()
 	n.stats.TauMaxUsed = tauMax
+	if n.elide && n.planIdleSpan(tauMax) {
+		return
+	}
 	sigma := optimize.Sigma(n.strategy.Xi(), tauMax)
 	tau := n.rng.SlotIn(sigma)
 	if err := n.engine.StartCycle(tau); err != nil {
 		// The radio is mid-switch or otherwise unavailable: retry shortly.
 		n.sched.Post(n.params.DecayInterval/100+1e-3, "", n.startCycleFn)
 	}
+}
+
+// planIdleSpan tries to coalesce the node's next run of provably idle
+// listen-only cycles into a single plan-end event, reporting whether a
+// plan was installed.
+//
+// Eligibility: nothing queued to send (an idle cycle never transmits), the
+// radio idle with no carrier audible (a busy carrier at the listen expiry
+// would end the cycle Deferred, a different cycle shape), and — static,
+// folded into n.elide — no eager decay ticker and no battery bound. While
+// a plan runs nothing observable originates at this node: each boundary's
+// upkeep sees an all-false Outcome, ξ decays in closed form, the radio
+// stays Idle, and no telemetry is due. Anything originating elsewhere
+// materializes the plan before becoming observable: a frame starting in
+// range (radio pre-capture hook), mobility carrying the node into an
+// in-flight frame's carrier range (PollCarrier after mobility steps),
+// traffic insertion (Generate), and fault injection (Stop/Kill/Crash).
+//
+// The τ values for all planned cycles are drawn up front, in cycle order,
+// from the same stream with the same σ arguments the eager arm would use
+// at each cycle start — so a completed plan leaves the stream exactly
+// where the eager arm's per-cycle draws would have. An early materialize
+// rewinds to the snapshot and re-draws only the consumed prefix.
+func (n *Node) planIdleSpan(tauMax int) bool {
+	if n.strategy.HasData() || n.radio.State() != radio.Idle || n.radio.CarrierBusy() {
+		return false
+	}
+	maxK := planMaxCycles
+	if n.sleepCtl != nil {
+		// The plan may extend at most to the cycle whose completion trips
+		// ShouldSleep: that boundary must take the real endCycle path so
+		// the sleep decision and EvSleep happen exactly as in the eager
+		// arm.
+		if r := n.sleepCtl.Config().L - n.sleepCtl.IdleCycles(); r < maxK {
+			maxK = r
+		}
+	}
+	if maxK < 1 {
+		return false
+	}
+	if err := n.engine.BeginCoalesced(); err != nil {
+		return false
+	}
+	now := n.sched.Now()
+	p := &n.plan
+	p.starts, p.listens, p.ends, p.sigmas = p.starts[:0], p.listens[:0], p.ends[:0], p.sigmas[:0]
+	p.rngSnap = n.rng.State()
+	slot := n.macCfg.SlotTime
+	listen := float64(n.macCfg.ReceiverListenSlots) * slot
+	start := now
+	for k := 0; k < maxK; k++ {
+		xi := n.strategy.Xi()
+		if n.lazy != nil {
+			xi = n.lazy.XiAt(start)
+		}
+		sigma := optimize.Sigma(xi, tauMax)
+		tau := n.rng.SlotIn(sigma)
+		// Stepwise, never factored: the eager timer chain accumulates
+		// l = s + τ·slot and e = l + R·slot one addition at a time, and the
+		// boundaries must match it to the last ulp.
+		l := start + float64(tau)*slot
+		e := l + listen
+		p.starts = append(p.starts, start)
+		p.listens = append(p.listens, l)
+		p.ends = append(p.ends, e)
+		p.sigmas = append(p.sigmas, sigma)
+		start = e
+		if e-now >= planMaxSeconds {
+			break
+		}
+	}
+	ev, err := n.sched.RescheduleAt(n.planEndEv, p.ends[len(p.ends)-1], "idle-span", n.planEndFn)
+	if err != nil {
+		// Unreachable: every plan end is strictly in the future.
+		panic(fmt.Sprintf("core: idle-span end in the past: %v", err))
+	}
+	n.planEndEv = ev
+	p.active = true
+	return true
+}
+
+// replayBoundary applies the state updates of one fully elided idle-cycle
+// boundary at time t, in the exact order the eager arm's endCycle →
+// onCycleEnd → startCycle chain applies them. The battery check is absent
+// by the elide gate; ShouldSleep cannot trip by the plan-length bound.
+func (n *Node) replayBoundary(t float64) {
+	n.strategy.OnCycleEnd(mac.Outcome{}, t)
+	if n.sleepCtl != nil {
+		n.sleepCtl.RecordCycle(false, false)
+	}
+	n.engine.ReplayCycles(1, t)
+}
+
+// materialize abandons the active idle-span plan at the current instant:
+// boundaries strictly before now replay their upkeep, the τ stream rewinds
+// to exactly the draws the eager arm has made by now, and the engine
+// resumes the in-progress cycle with its timer at the exact eager expiry.
+// A boundary at exactly now is not replayed — the resumed timer (or the
+// plan-end event) fires at now and takes the real code path. No-op when no
+// plan is active, so every caller may invoke it unconditionally.
+func (n *Node) materialize(now float64) {
+	p := &n.plan
+	if !p.active {
+		return
+	}
+	p.active = false
+	n.sched.Cancel(n.planEndEv)
+	var elided uint64
+	i := 0
+	for ; p.ends[i] < now; i++ {
+		n.replayBoundary(p.ends[i])
+		elided += 2 // the cycle's listen timer and end timer
+	}
+	// Rewind and re-consume the τ draws for cycles 0..i — the ones the
+	// eager arm has made by now; the drawn-ahead tail is discarded.
+	n.rng.Restore(p.rngSnap)
+	for d := 0; d <= i; d++ {
+		n.rng.SlotIn(p.sigmas[d])
+	}
+	var err error
+	if now <= p.listens[i] {
+		err = n.engine.ResumeListen(p.starts[i], p.listens[i])
+	} else {
+		elided++ // the cycle's listen timer already elapsed unobserved
+		err = n.engine.ResumeListenOnly(p.starts[i], p.ends[i])
+	}
+	if err != nil {
+		panic("core: idle-span resume failed: " + err.Error())
+	}
+	n.sched.CountElided(elided)
+}
+
+// planEnd fires at the last planned cycle's end: interior boundaries
+// replay, and the final cycle finishes through the real endCycle path so
+// the sleep-or-continue decision runs the exact eager code.
+func (n *Node) planEnd() {
+	p := &n.plan
+	if !p.active {
+		return
+	}
+	p.active = false
+	last := len(p.ends) - 1
+	for i := 0; i < last; i++ {
+		n.replayBoundary(p.ends[i])
+	}
+	// Each interior boundary elides a listen timer and an end timer; the
+	// final cycle's listen timer is also elided, while its end timer is
+	// this very event.
+	n.sched.CountElided(uint64(2*last + 1))
+	if err := n.engine.FinishCoalesced(); err != nil {
+		panic("core: plan end outside coalesced mode: " + err.Error())
+	}
+}
+
+// PollCarrier materializes the idle-span plan when a carrier has become
+// audible — the driver calls it after mobility steps taken while frames
+// are in flight, since a busy carrier at the listen expiry ends the cycle
+// Deferred rather than idle.
+func (n *Node) PollCarrier() {
+	if n.plan.active && n.radio.CarrierBusy() {
+		n.materialize(n.sched.Now())
+	}
+}
+
+// FinalizeElision settles the node's elision accounting at the simulation
+// horizon, after the scheduler drains: boundaries of a still-active plan
+// that the eager arm would have fired by the horizon (at <= horizon, the
+// scheduler's own fire rule) replay and count, and the closed-form decay
+// ledger settles to the horizon and is harvested. Call exactly once per
+// run; safe on eager-arm nodes, where it is a no-op.
+func (n *Node) FinalizeElision(horizon float64) {
+	var elided uint64
+	p := &n.plan
+	if p.active {
+		p.active = false
+		n.sched.Cancel(n.planEndEv)
+		i := 0
+		for ; i < len(p.ends) && p.ends[i] <= horizon; i++ {
+			n.replayBoundary(p.ends[i])
+			elided += 2
+		}
+		if i < len(p.ends) && p.listens[i] <= horizon {
+			elided++ // listen timer of the cycle straddling the horizon
+		}
+	}
+	if n.lazy != nil {
+		n.lazy.StopLazyDecay(horizon)
+		elided += n.lazy.ElidedDecayTicks()
+	}
+	n.sched.CountElided(elided)
 }
 
 // Alive reports whether the node's battery (if bounded) still has charge
@@ -311,9 +590,10 @@ func (n *Node) Kill() {
 		return
 	}
 	now := n.sched.Now()
+	n.materialize(now)
 	n.stats.DiedAt = now
 	n.stopped = true
-	n.decay.Stop()
+	n.decayStop()
 	n.engine.Abort()
 	n.radio.Kill()
 	n.rec.Record(telemetry.Event{Time: now, Node: n.id, Type: telemetry.EvKill})
@@ -328,11 +608,12 @@ func (n *Node) Crash(wipeQueue bool) []packet.MessageID {
 		return nil
 	}
 	now := n.sched.Now()
+	n.materialize(now)
 	n.stats.DiedAt = now
 	n.stats.Crashes++
 	n.crashed = true
 	n.stopped = true
-	n.decay.Stop()
+	n.decayStop()
 	n.engine.Abort()
 	n.radio.Kill()
 	var lost []packet.MessageID
@@ -373,7 +654,7 @@ func (n *Node) Recover(resetRouting bool) error {
 		// The node's scheduled Start has not fired yet; it boots normally.
 		return nil
 	}
-	n.decay.Start()
+	n.decayStart()
 	// The revived radio is Off; waking it re-enters the cycle loop via
 	// OnAwake → startCycle.
 	return n.radio.Wake()
@@ -390,7 +671,7 @@ func (n *Node) checkBattery(now float64) bool {
 	}
 	n.stats.DiedAt = now
 	n.stopped = true
-	n.decay.Stop()
+	n.decayStop()
 	n.rec.Record(telemetry.Event{Time: now, Node: n.id, Type: telemetry.EvDied, Value: n.params.BatteryJoules})
 	// Power the radio down for good; ignore failure if mid-switch.
 	_ = n.radio.Sleep()

@@ -74,6 +74,18 @@ func (d *DeliveryProb) OnTimeout() {
 	d.xi = clampUnit((1 - d.alpha) * d.xi)
 }
 
+// PeekTimeout returns the value xi would take after one Eq. 1 decay step,
+// without mutating the tracker. It applies the identical floating-point
+// expression as OnTimeout, so lazy-decay planners iterating it reproduce
+// the eager tick-by-tick trajectory bit-for-bit (a closed-form power would
+// round differently).
+func (d *DeliveryProb) PeekTimeout(xi float64) float64 {
+	if d.sink {
+		return xi
+	}
+	return clampUnit((1 - d.alpha) * xi)
+}
+
 // Reset returns ξ to its initial value (0 for sensors, 1 for sinks).
 func (d *DeliveryProb) Reset() {
 	if d.sink {

@@ -134,6 +134,7 @@ const (
 	phAwaitData                  // responder: scheduled, waiting for DATA
 	phSendAck                    // responder: ACK on the air
 	phNAV                        // bystander: deferring until exchange ends
+	phCoalesced                  // idle cycles batched by the event-elision planner
 )
 
 // String names the phase for diagnostics (stuck-cycle reports).
@@ -167,6 +168,8 @@ func (p phase) String() string {
 		return "send-ack"
 	case phNAV:
 		return "nav"
+	case phCoalesced:
+		return "coalesced"
 	default:
 		return fmt.Sprintf("phase(%d)", int(p))
 	}
@@ -357,6 +360,96 @@ func (e *Engine) StartCycle(tauSlots int) error {
 // is the handle's exclusive owner, so Reschedule == Cancel+After).
 func (e *Engine) setTimer(d sim.Duration, fn func()) {
 	e.timer = e.sched.Reschedule(e.timer, d, "", fn)
+}
+
+// setTimerAt is setTimer with an absolute expiry, for resuming a coalesced
+// cycle whose timer must land on the exact instant the eager arm computed
+// by stepwise accumulation (now + (t-now) can round one ulp off).
+func (e *Engine) setTimerAt(t sim.Time, fn func()) error {
+	ev, err := e.sched.RescheduleAt(e.timer, t, "", fn)
+	if err != nil {
+		return err
+	}
+	e.timer = ev
+	return nil
+}
+
+// --- Coalesced idle cycles (event elision, see internal/core planner) ---
+//
+// When the planner proves the node's next K cycles are pure listen-only
+// idles, the engine parks in phCoalesced with no timers: the planner holds
+// the cycle boundaries and replays or resumes them on demand. The engine
+// only tracks what the liveness probe and statistics need.
+
+// BeginCoalesced enters coalesced idle mode in place of StartCycle for the
+// plan's first cycle: same preconditions, same per-cycle state reset, but
+// no listen timer — the planner owns the plan-end event.
+func (e *Engine) BeginCoalesced() error {
+	if e.radio == nil {
+		return errors.New("mac: engine not bound to a radio")
+	}
+	if e.phase != phOff {
+		return errors.New("mac: cycle already in progress")
+	}
+	if e.radio.State() != radio.Idle {
+		return fmt.Errorf("mac: radio %v, need idle", e.radio.State())
+	}
+	e.stats.Cycles++
+	e.cycleStart = e.sched.Now()
+	e.out = Outcome{}
+	e.cands = e.cands[:0]
+	e.entries = nil
+	e.acked = nil
+	e.rts = nil
+	e.phase = phCoalesced
+	return nil
+}
+
+// Coalesced reports whether the engine is parked in coalesced idle mode.
+func (e *Engine) Coalesced() bool { return e.phase == phCoalesced }
+
+// ReplayCycles accounts n fully-replayed idle cycle boundaries: each one is
+// a cycle end plus the next cycle's start, so the cycle counter advances as
+// if StartCycle had run n more times. cycleStart is the start time of the
+// now-current cycle (the one after the last replayed boundary).
+func (e *Engine) ReplayCycles(n uint64, cycleStart float64) {
+	e.stats.Cycles += n
+	e.cycleStart = cycleStart
+}
+
+// ResumeListen rejoins the current coalesced cycle mid-listening: the
+// engine adopts phListen with the listen timer at the absolute expiry the
+// eager arm would have scheduled. The cycle is already counted.
+func (e *Engine) ResumeListen(cycleStart float64, timerAt sim.Time) error {
+	if e.phase != phCoalesced {
+		return errors.New("mac: resume outside coalesced mode")
+	}
+	e.cycleStart = cycleStart
+	e.phase = phListen
+	return e.setTimerAt(timerAt, e.listenExpiredFn)
+}
+
+// ResumeListenOnly rejoins the current coalesced cycle after its listening
+// period passed with no data: phListenOnly with the cycle-end timer at the
+// absolute expiry the eager arm would have scheduled.
+func (e *Engine) ResumeListenOnly(cycleStart float64, timerAt sim.Time) error {
+	if e.phase != phCoalesced {
+		return errors.New("mac: resume outside coalesced mode")
+	}
+	e.cycleStart = cycleStart
+	e.phase = phListenOnly
+	return e.setTimerAt(timerAt, e.endCycleFn)
+}
+
+// FinishCoalesced ends the plan's final cycle through the normal endCycle
+// path, so the owner's cycle-end callback takes the exact eager decision
+// (sleep vs next cycle) with an idle Outcome.
+func (e *Engine) FinishCoalesced() error {
+	if e.phase != phCoalesced {
+		return errors.New("mac: finish outside coalesced mode")
+	}
+	e.endCycle()
+	return nil
 }
 
 // Abort cancels the cycle in progress without reporting an outcome — used

@@ -385,6 +385,12 @@ func (m *Medium) RefreshPositions() {
 	}
 }
 
+// ActiveTransmissions returns the number of frames currently in flight.
+// Frames start and end only inside scheduler events, so the count is
+// constant over any event-free stretch of virtual time — the property the
+// event-elision planner's carrier scans rely on.
+func (m *Medium) ActiveTransmissions() int { return len(m.active) }
+
 // Busy reports whether r senses any transmission in range (carrier sense).
 // A radio's own transmission does not count. In indexed mode only the 3×3
 // cell neighborhood's active transmissions are examined.
@@ -453,6 +459,13 @@ func (m *Medium) transmit(r *Radio, f packet.Frame) {
 		}
 		if tx.srcPos.DistSq(other.position()) > rangeSq {
 			continue
+		}
+		if other.state == Idle && other.preCapture != nil {
+			// Give an idle radio's owner a chance to materialize elided
+			// state before the frame becomes observable. The hook must
+			// leave the radio Idle; it runs before beginReception and
+			// before any loss draw, so the RNG stream is untouched.
+			other.preCapture()
 		}
 		switch other.state {
 		case Idle:
@@ -562,23 +575,31 @@ type reception struct {
 
 // Radio is one node's transceiver.
 type Radio struct {
-	id       packet.NodeID
-	medium   *Medium
-	position func() geo.Point
-	handler  Handler
-	profile  energy.Profile
-	meter    *energy.Meter
-	state    State
-	rx       *reception
-	rxSlot   reception // backing store for rx; reused across receptions
-	wakeEv   *sim.Event
-	offFn    func() // bound once at attach; Sleep/Wake reschedule into them
-	onFn     func()
-	killed   bool
-	epoch    uint64 // bumped by Kill; stale in-flight work checks it
-	idx      int    // attach order; fixes candidate iteration order
-	cellKey  int64  // current spatial-index cell (indexed mode)
+	id         packet.NodeID
+	medium     *Medium
+	position   func() geo.Point
+	handler    Handler
+	profile    energy.Profile
+	meter      *energy.Meter
+	state      State
+	rx         *reception
+	rxSlot     reception // backing store for rx; reused across receptions
+	wakeEv     *sim.Event
+	offFn      func() // bound once at attach; Sleep/Wake reschedule into them
+	onFn       func()
+	killed     bool
+	epoch      uint64 // bumped by Kill; stale in-flight work checks it
+	idx        int    // attach order; fixes candidate iteration order
+	cellKey    int64  // current spatial-index cell (indexed mode)
+	preCapture func() // pre-reception hook; see SetPreCapture
 }
+
+// SetPreCapture registers a hook invoked when this radio is idle and in
+// range of a frame at its start instant, immediately before the radio would
+// begin receiving it (and before any loss-process draw). Owners that elide
+// events while idle use it to materialize pending state; the hook must
+// leave the radio Idle. A nil hook disables the callback.
+func (r *Radio) SetPreCapture(fn func()) { r.preCapture = fn }
 
 // ID returns the owner node's identifier.
 func (r *Radio) ID() packet.NodeID { return r.id }

@@ -84,11 +84,10 @@ func (d *Direct) OnTxOutcome(_ []packet.ScheduleEntry, acked []packet.NodeID) {
 	}
 }
 
-// OnCycleEnd implements Strategy.
+// OnCycleEnd implements Strategy. Direct transmission has no periodic
+// decay, so the scheme implements neither DecayTicker nor LazyDecayer and
+// schedules no decay events in any mode.
 func (d *Direct) OnCycleEnd(mac.Outcome, float64) {}
-
-// OnDecayTick implements Strategy.
-func (d *Direct) OnDecayTick(float64) {}
 
 // Generate implements Strategy.
 func (d *Direct) Generate(id packet.MessageID, now float64, payloadBits int) bool {
@@ -193,11 +192,10 @@ func (e *Epidemic) OnTxOutcome(_ []packet.ScheduleEntry, acked []packet.NodeID) 
 	e.fifo.Insert(head)
 }
 
-// OnCycleEnd implements Strategy.
+// OnCycleEnd implements Strategy. Flooding has no periodic decay, so the
+// scheme implements neither DecayTicker nor LazyDecayer and schedules no
+// decay events in any mode.
 func (e *Epidemic) OnCycleEnd(mac.Outcome, float64) {}
-
-// OnDecayTick implements Strategy.
-func (e *Epidemic) OnDecayTick(float64) {}
 
 // Generate implements Strategy.
 func (e *Epidemic) Generate(id packet.MessageID, now float64, payloadBits int) bool {

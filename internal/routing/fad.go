@@ -140,13 +140,28 @@ type FAD struct {
 	lastTx float64
 	txEver bool
 
+	// Lazy closed-form decay (see routing.LazyDecayer): when lazyClock is
+	// set the node schedules no decay ticker; instead epochs pending at
+	// nextTick, nextTick+lazyInterval, … are settled on read. lazyInterval
+	// is the node ticker's period; the Eq. 1 gate still uses
+	// cfg.DecayInterval, exactly as the eager OnDecayTick does.
+	lazyClock    func() float64
+	lazyInterval float64
+	lazyRunning  bool
+	nextTick     float64
+	lazyTicks    uint64
+
 	// pending caches the context of the in-flight multicast between
 	// BuildSchedule and OnTxOutcome.
 	pendingID  packet.MessageID
 	pendingXis map[packet.NodeID]float64
 }
 
-var _ Strategy = (*FAD)(nil)
+var (
+	_ Strategy    = (*FAD)(nil)
+	_ DecayTicker = (*FAD)(nil)
+	_ LazyDecayer = (*FAD)(nil)
+)
 
 // NewFAD builds the scheme for node id.
 func NewFAD(id packet.NodeID, cfg FADConfig) (*FAD, error) {
@@ -174,13 +189,17 @@ func (f *FAD) Name() string { return "FAD" }
 func (f *FAD) SetObserver(o FADObserver) { f.obs = o }
 
 // Xi implements Strategy.
-func (f *FAD) Xi() float64 { return f.prob.Value() }
+func (f *FAD) Xi() float64 {
+	f.settleDecay()
+	return f.prob.Value()
+}
 
 // HasData implements Strategy.
 func (f *FAD) HasData() bool { return f.queue.Len() > 0 }
 
 // SenderMetrics implements Strategy.
 func (f *FAD) SenderMetrics() (float64, float64, float64) {
+	f.settleDecay()
 	head, ok := f.queue.Head()
 	if !ok {
 		return f.prob.Value(), 0, 0
@@ -188,10 +207,81 @@ func (f *FAD) SenderMetrics() (float64, float64, float64) {
 	return f.prob.Value(), head.FTD, 0
 }
 
+// EnableLazyDecay implements LazyDecayer.
+func (f *FAD) EnableLazyDecay(clock func() float64, interval float64) {
+	f.lazyClock = clock
+	f.lazyInterval = interval
+}
+
+// StartLazyDecay implements LazyDecayer: the first epoch ends one interval
+// from now, mirroring sim.Ticker.Start. Starting a running sequence is a
+// no-op, like Ticker.Start.
+func (f *FAD) StartLazyDecay(now float64) {
+	if f.lazyRunning {
+		return
+	}
+	f.lazyRunning = true
+	f.nextTick = now + f.lazyInterval
+}
+
+// StopLazyDecay implements LazyDecayer: epochs through now settle, then
+// the value freezes until the next StartLazyDecay.
+func (f *FAD) StopLazyDecay(now float64) {
+	f.settleTo(now)
+	f.lazyRunning = false
+}
+
+// ElidedDecayTicks implements LazyDecayer.
+func (f *FAD) ElidedDecayTicks() uint64 { return f.lazyTicks }
+
+// settleDecay applies every epoch pending at the current clock.
+func (f *FAD) settleDecay() {
+	if f.lazyClock == nil || !f.lazyRunning {
+		return
+	}
+	f.settleTo(f.lazyClock())
+}
+
+// settleTo replays pending epochs with end times <= now, applying at each
+// exactly what the eager OnDecayTick would have: the Eq. 1 timeout gated
+// on the last transmission. lastTx and txEver only mutate in methods that
+// settle first, so every replayed epoch sees the values it would have
+// seen live.
+func (f *FAD) settleTo(now float64) {
+	if f.lazyClock == nil || !f.lazyRunning {
+		return
+	}
+	for f.nextTick <= now {
+		if !f.txEver || f.nextTick-f.lastTx >= f.cfg.DecayInterval {
+			f.prob.OnTimeout()
+		}
+		f.lazyTicks++
+		f.nextTick += f.lazyInterval
+	}
+}
+
+// XiAt implements LazyDecayer: the ξ a read at time t will see, given no
+// intervening transmission or reset. In eager mode (no lazy clock) ξ only
+// changes through events, so the current value is the answer.
+func (f *FAD) XiAt(t float64) float64 {
+	f.settleDecay()
+	xi := f.prob.Value()
+	if f.lazyClock == nil || !f.lazyRunning {
+		return xi
+	}
+	for tick := f.nextTick; tick <= t; tick += f.lazyInterval {
+		if !f.txEver || tick-f.lastTx >= f.cfg.DecayInterval {
+			xi = f.prob.PeekTimeout(xi)
+		}
+	}
+	return xi
+}
+
 // Qualify implements Strategy: a qualified receiver has a strictly higher
 // delivery probability than the sender and buffer space for the message's
 // FTD (§3.2.1).
 func (f *FAD) Qualify(rts *packet.RTS) (bool, float64, int, float64) {
+	f.settleDecay()
 	xi := f.prob.Value()
 	avail := f.queue.AvailableFor(rts.FTD)
 	if xi > rts.Xi && avail > 0 {
@@ -209,6 +299,7 @@ func (f *FAD) BuildSchedule(cands []mac.Candidate) ([]packet.ScheduleEntry, *pac
 	if !ok || len(cands) == 0 {
 		return nil, nil
 	}
+	f.settleDecay()
 	xi := f.prob.Value()
 	sorted := sortCandidates(cands)
 	fc := make([]ftd.Candidate, len(sorted))
@@ -298,6 +389,9 @@ func (f *FAD) OnTxOutcome(entries []packet.ScheduleEntry, acked []packet.NodeID)
 	if len(acked) == 0 {
 		return
 	}
+	// Epochs pending before this outcome decay the pre-transmission ξ and
+	// see the pre-transmission lastTx/txEver, exactly as live ticks did.
+	f.settleDecay()
 	ackSet := make(map[packet.NodeID]bool, len(acked))
 	for _, a := range acked {
 		ackSet[a] = true
@@ -343,11 +437,14 @@ func (f *FAD) OnTxOutcome(entries []packet.ScheduleEntry, acked []packet.NodeID)
 // handled in OnTxOutcome; nothing to do here.
 func (f *FAD) OnCycleEnd(out mac.Outcome, now float64) {
 	if out.Sent {
+		f.settleDecay()
 		f.lastTx = now
 	}
 }
 
-// OnDecayTick implements Strategy: Eq. 1's timeout branch.
+// OnDecayTick implements DecayTicker: Eq. 1's timeout branch. Only the
+// eager control arm drives it; under lazy decay the same update runs in
+// settleTo.
 func (f *FAD) OnDecayTick(now float64) {
 	if !f.txEver || now-f.lastTx >= f.cfg.DecayInterval {
 		f.prob.OnTimeout()
@@ -383,7 +480,10 @@ func (f *FAD) WipeQueue() []packet.MessageID { return f.queue.Wipe() }
 
 // ResetRouting implements Strategy: ξ returns to its initial value and the
 // Eq. 1 timeout clock restarts as if the node had never transmitted.
+// Epochs pending at reset time settle against the old state first, keeping
+// the elided-tick ledger aligned with the eager arm's fired ticks.
 func (f *FAD) ResetRouting() {
+	f.settleDecay()
 	f.prob.Reset()
 	f.lastTx = 0
 	f.txEver = false

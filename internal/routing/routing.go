@@ -48,8 +48,6 @@ type Strategy interface {
 	OnTxOutcome(entries []packet.ScheduleEntry, acked []packet.NodeID)
 	// OnCycleEnd runs per-working-cycle upkeep (e.g. ZBR history decay).
 	OnCycleEnd(out mac.Outcome, now float64)
-	// OnDecayTick runs the Eq. 1 timeout decay check at time now.
-	OnDecayTick(now float64)
 	// Generate inserts a locally sensed message into the queue, returning
 	// false if it was dropped immediately.
 	Generate(id packet.MessageID, now float64, payloadBits int) bool
@@ -69,6 +67,52 @@ type Strategy interface {
 	// ResetRouting clears learned soft state (ξ, history) back to the
 	// strategy's initial value — a reboot that lost RAM but kept flash.
 	ResetRouting()
+}
+
+// DecayTicker is the advisory companion to Strategy for schemes whose
+// soft state decays on a period (FAD's Eq. 1 timeout, ZBR's history
+// epochs). It is no longer part of Strategy itself: the node layer type-
+// asserts for it and only then runs a per-node decay ticker — the eager
+// control arm. Schemes with constant metrics (Direct, Epidemic, Sink)
+// implement neither this nor LazyDecayer and schedule no decay events in
+// any mode.
+type DecayTicker interface {
+	// OnDecayTick runs one decay epoch ending at time now.
+	OnDecayTick(now float64)
+}
+
+// LazyDecayer is implemented by strategies that can evaluate their
+// periodic decay in closed form on read instead of firing one kernel
+// event per epoch. The contract mirrors the eager ticker exactly: epochs
+// land at start+interval, start+2·interval, … (the same floating-point
+// accumulation a sim.Ticker produces), each epoch applies the identical
+// update the strategy's OnDecayTick would have applied at that instant,
+// and reads between epochs see the value as of the last epoch. Lifecycle
+// calls bracket the epoch sequence the way the node brackets its ticker:
+// StartLazyDecay where the ticker would Start (node start, reboot),
+// StopLazyDecay where it would Stop (node stop, crash, battery death) —
+// pending state settles through the stop time and then freezes, so
+// observers of a dead node read the value it died with.
+type LazyDecayer interface {
+	// EnableLazyDecay switches the strategy from ticker-driven decay to
+	// closed-form evaluation. clock supplies the current virtual time for
+	// settle-on-read; interval is the epoch period the eager ticker would
+	// have used.
+	EnableLazyDecay(clock func() float64, interval float64)
+	// StartLazyDecay begins an epoch sequence: the first epoch ends one
+	// interval after now.
+	StartLazyDecay(now float64)
+	// StopLazyDecay settles epochs through now, then freezes the value.
+	StopLazyDecay(now float64)
+	// XiAt returns the value Xi() will report at virtual time t >= now,
+	// assuming no transmission or reset happens in between. It does not
+	// mutate state beyond settling already-elapsed epochs; idle-cycle
+	// planners use it to pre-compute contention windows.
+	XiAt(t float64) float64
+	// ElidedDecayTicks returns the cumulative number of epochs evaluated
+	// in closed form — each one a kernel event the eager arm would have
+	// scheduled and fired.
+	ElidedDecayTicks() uint64
 }
 
 // DeliverFunc is invoked by the Sink strategy when a message copy arrives.

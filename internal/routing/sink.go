@@ -68,11 +68,10 @@ func (s *Sink) OnDataReceived(d *packet.Data, _ packet.ScheduleEntry) bool {
 // OnTxOutcome implements Strategy (unreachable).
 func (s *Sink) OnTxOutcome([]packet.ScheduleEntry, []packet.NodeID) {}
 
-// OnCycleEnd implements Strategy.
+// OnCycleEnd implements Strategy. A sink's ξ is pinned at 1, so the
+// strategy implements neither DecayTicker nor LazyDecayer and schedules
+// no decay events in any mode.
 func (s *Sink) OnCycleEnd(mac.Outcome, float64) {}
-
-// OnDecayTick implements Strategy.
-func (s *Sink) OnDecayTick(float64) {}
 
 // Generate implements Strategy: sinks do not sense.
 func (s *Sink) Generate(packet.MessageID, float64, int) bool { return false }

@@ -57,10 +57,24 @@ type ZBR struct {
 	history     float64
 	sinkContact bool
 
+	// Lazy closed-form history decay (see routing.LazyDecayer): epochs
+	// pending at nextTick, nextTick+lazyInterval, … settle on read. The
+	// first pending epoch absorbs the current sink-contact flag, later
+	// ones see it cleared — identical to firing OnDecayTick per epoch.
+	lazyClock    func() float64
+	lazyInterval float64
+	lazyRunning  bool
+	nextTick     float64
+	lazyTicks    uint64
+
 	pendingID packet.MessageID
 }
 
-var _ Strategy = (*ZBR)(nil)
+var (
+	_ Strategy    = (*ZBR)(nil)
+	_ DecayTicker = (*ZBR)(nil)
+	_ LazyDecayer = (*ZBR)(nil)
+)
 
 // NewZBR builds the baseline for node id. isSink identifies sink node IDs
 // (ZebraNet nodes know their base station).
@@ -84,16 +98,88 @@ func (z *ZBR) Name() string { return "ZBR" }
 // Xi implements Strategy: ZBR's channel-access metric is its history, so
 // the Eq. 9 adaptive listening keeps favouring nodes with little to offer
 // as receivers, mirroring OPT's MAC behaviour.
-func (z *ZBR) Xi() float64 { return z.history }
+func (z *ZBR) Xi() float64 {
+	z.settleDecay()
+	return z.history
+}
 
 // History returns the node's direct-to-sink success history.
-func (z *ZBR) History() float64 { return z.history }
+func (z *ZBR) History() float64 {
+	z.settleDecay()
+	return z.history
+}
+
+// EnableLazyDecay implements LazyDecayer.
+func (z *ZBR) EnableLazyDecay(clock func() float64, interval float64) {
+	z.lazyClock = clock
+	z.lazyInterval = interval
+}
+
+// StartLazyDecay implements LazyDecayer.
+func (z *ZBR) StartLazyDecay(now float64) {
+	if z.lazyRunning {
+		return
+	}
+	z.lazyRunning = true
+	z.nextTick = now + z.lazyInterval
+}
+
+// StopLazyDecay implements LazyDecayer.
+func (z *ZBR) StopLazyDecay(now float64) {
+	z.settleTo(now)
+	z.lazyRunning = false
+}
+
+// ElidedDecayTicks implements LazyDecayer.
+func (z *ZBR) ElidedDecayTicks() uint64 { return z.lazyTicks }
+
+// settleDecay applies every epoch pending at the current clock.
+func (z *ZBR) settleDecay() {
+	if z.lazyClock == nil || !z.lazyRunning {
+		return
+	}
+	z.settleTo(z.lazyClock())
+}
+
+// settleTo replays pending epochs with end times <= now. Each replay is
+// the exact OnDecayTick body, so the first pending epoch consumes the
+// live sink-contact flag and clears it for the rest.
+func (z *ZBR) settleTo(now float64) {
+	if z.lazyClock == nil || !z.lazyRunning {
+		return
+	}
+	for z.nextTick <= now {
+		z.applyEpoch()
+		z.lazyTicks++
+		z.nextTick += z.lazyInterval
+	}
+}
+
+// XiAt implements LazyDecayer: the history a read at time t will see,
+// assuming no sink contact or reset in between.
+func (z *ZBR) XiAt(t float64) float64 {
+	z.settleDecay()
+	h := z.history
+	if z.lazyClock == nil || !z.lazyRunning {
+		return h
+	}
+	contact := 0.0
+	if z.sinkContact {
+		contact = 1
+	}
+	for tick := z.nextTick; tick <= t; tick += z.lazyInterval {
+		h = (1-z.cfg.Beta)*h + z.cfg.Beta*contact
+		contact = 0
+	}
+	return h
+}
 
 // HasData implements Strategy.
 func (z *ZBR) HasData() bool { return z.fifo.Len() > 0 }
 
 // SenderMetrics implements Strategy.
 func (z *ZBR) SenderMetrics() (float64, float64, float64) {
+	z.settleDecay()
 	return z.history, 0, z.history
 }
 
@@ -101,6 +187,7 @@ func (z *ZBR) SenderMetrics() (float64, float64, float64) {
 // strictly exceeds the sender's, or when both are below the no-information
 // floor (the random-walk regime), and it has buffer space.
 func (z *ZBR) Qualify(rts *packet.RTS) (bool, float64, int, float64) {
+	z.settleDecay()
 	avail := z.fifo.Available()
 	better := z.history > rts.History
 	uninformed := z.history <= z.cfg.NoInfoFloor && rts.History <= z.cfg.NoInfoFloor
@@ -143,6 +230,9 @@ func (z *ZBR) OnTxOutcome(_ []packet.ScheduleEntry, acked []packet.NodeID) {
 	z.fifo.Remove(z.pendingID)
 	for _, a := range acked {
 		if z.isSink(a) {
+			// Epochs that ended before this contact must absorb the old
+			// flag state before the new contact is visible.
+			z.settleDecay()
 			z.sinkContact = true
 		}
 	}
@@ -153,9 +243,14 @@ func (z *ZBR) OnTxOutcome(_ []packet.ScheduleEntry, acked []packet.NodeID) {
 // ZebraNet's metric is a success *rate* over scan periods, not per-contact.
 func (z *ZBR) OnCycleEnd(mac.Outcome, float64) {}
 
-// OnDecayTick implements Strategy: one history epoch ends — the EWMA
-// absorbs whether any direct sink contact happened during it.
-func (z *ZBR) OnDecayTick(float64) {
+// OnDecayTick implements DecayTicker: one history epoch ends — the EWMA
+// absorbs whether any direct sink contact happened during it. Only the
+// eager control arm drives it; under lazy decay applyEpoch runs in
+// settleTo instead.
+func (z *ZBR) OnDecayTick(float64) { z.applyEpoch() }
+
+// applyEpoch folds the sink-contact flag into the history EWMA.
+func (z *ZBR) applyEpoch() {
 	contact := 0.0
 	if z.sinkContact {
 		contact = 1
@@ -191,8 +286,10 @@ func (z *ZBR) Drops() buffer.DropCounts { return z.fifo.Drops() }
 func (z *ZBR) WipeQueue() []packet.MessageID { return z.fifo.Wipe() }
 
 // ResetRouting implements Strategy: the direct-to-sink history EWMA starts
-// over from zero.
+// over from zero. Pending epochs settle against the old state first so the
+// elided-tick ledger matches the eager arm's fired ticks.
 func (z *ZBR) ResetRouting() {
+	z.settleDecay()
 	z.history = 0
 	z.sinkContact = false
 }

@@ -70,35 +70,66 @@ func intSqrtCeil(n int) int {
 	return i
 }
 
+// idleConfig is the low-duty-cycle variant of the 2000-node point: sparse
+// traffic and a sleep controller tuned for long idle stretches (TMin 5 s,
+// L = 12 idle cycles before sleeping — a deployment that spends most of its
+// life asleep, the regime §4 targets). This is where the event-elision
+// engine must earn its keep: the lazy arm is required to fire at least 5×
+// fewer events and run at least 1.5× faster than the eager control
+// (BenchmarkRunLarge2000IdleEager), gated by `make bench-scale`.
+func idleConfig(n int, seconds float64, eager bool) Config {
+	cfg := largeConfig(n, seconds, false)
+	cfg.ArrivalMeanSeconds = 300
+	cfg.EagerDecay = eager
+	p := core.DefaultParams(core.SchemeOPT)
+	p.Sleep.TMin = 5
+	p.Sleep.L = 12
+	cfg.Params = &p
+	return cfg
+}
+
 // benchRunLarge is the scale tier: guarded behind DFTMSN_SCALE_BENCH because
 // a 2000-node run is far too slow for the CI bench smoke (-benchtime=1x
 // would still pay one full run per variant). Run them via `make bench-scale`,
-// which also asserts the indexed/linear speedup ratio with benchjson.
-func benchRunLarge(b *testing.B, n int, seconds float64, linear bool) {
+// which also asserts the indexed/linear and lazy/eager speedup ratios with
+// benchjson.
+func benchRunLarge(b *testing.B, cfg Config) {
 	if os.Getenv("DFTMSN_SCALE_BENCH") == "" {
 		b.Skip("set DFTMSN_SCALE_BENCH=1 (or use `make bench-scale`) to run the scale tier")
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
+	var events uint64
 	for i := 0; i < b.N; i++ {
 		// Construction is untimed: the scale tier prices the event loop,
 		// where the medium's range queries live, not the one-off setup.
 		b.StopTimer()
-		s, err := New(largeConfig(n, seconds, linear))
+		s, err := New(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		if _, err := s.Run(); err != nil {
+		res, err := s.Run()
+		if err != nil {
 			b.Fatal(err)
 		}
+		events += res.Events
 	}
+	// events/run feeds benchjson's regression gate: an elision opportunity
+	// silently lost shows up here even when ns/op hides it.
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
 }
 
-func BenchmarkRunLarge500(b *testing.B)        { benchRunLarge(b, 500, 60, false) }
-func BenchmarkRunLarge500Linear(b *testing.B)  { benchRunLarge(b, 500, 60, true) }
-func BenchmarkRunLarge2000(b *testing.B)       { benchRunLarge(b, 2000, 30, false) }
-func BenchmarkRunLarge2000Linear(b *testing.B) { benchRunLarge(b, 2000, 30, true) }
+func BenchmarkRunLarge500(b *testing.B)       { benchRunLarge(b, largeConfig(500, 60, false)) }
+func BenchmarkRunLarge500Linear(b *testing.B) { benchRunLarge(b, largeConfig(500, 60, true)) }
+func BenchmarkRunLarge2000(b *testing.B)      { benchRunLarge(b, largeConfig(2000, 30, false)) }
+func BenchmarkRunLarge2000Linear(b *testing.B) {
+	benchRunLarge(b, largeConfig(2000, 30, true))
+}
+func BenchmarkRunLarge2000Idle(b *testing.B) { benchRunLarge(b, idleConfig(2000, 30, false)) }
+func BenchmarkRunLarge2000IdleEager(b *testing.B) {
+	benchRunLarge(b, idleConfig(2000, 30, true))
+}
 
 // BenchmarkRunTelemetry runs the same scenario with the metrics registry,
 // the periodic sampler, and an in-memory trace-v2 stream all armed.

@@ -39,6 +39,7 @@ type fileConfig struct {
 	Faults              *faults.Plan `json:"faults,omitempty"`
 	Seed                uint64       `json:"seed,omitempty"`
 	LinearMedium        bool         `json:"linear_medium,omitempty"`
+	EagerDecay          bool         `json:"eager_decay,omitempty"`
 	DeliveryThreshold   float64      `json:"delivery_threshold,omitempty"`
 	DropThreshold       float64      `json:"drop_threshold,omitempty"`
 	Invariants          string       `json:"invariants,omitempty"`
@@ -123,6 +124,7 @@ func LoadConfig(r io.Reader) (Config, error) {
 		cfg.Seed = fc.Seed
 	}
 	cfg.LinearMedium = fc.LinearMedium
+	cfg.EagerDecay = fc.EagerDecay
 	cfg.DeliveryThreshold = fc.DeliveryThreshold
 	cfg.DropThreshold = fc.DropThreshold
 	cfg.Invariants = fc.Invariants
@@ -160,6 +162,7 @@ func SaveConfig(w io.Writer, cfg Config) error {
 		Faults:              cfg.Faults,
 		Seed:                cfg.Seed,
 		LinearMedium:        cfg.LinearMedium,
+		EagerDecay:          cfg.EagerDecay,
 		DeliveryThreshold:   cfg.DeliveryThreshold,
 		DropThreshold:       cfg.DropThreshold,
 		Invariants:          cfg.Invariants,

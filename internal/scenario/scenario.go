@@ -95,6 +95,13 @@ type Config struct {
 	// equivalent (bit-identical results); this is the control arm for the
 	// differential test and the scale benchmarks. Leave it false.
 	LinearMedium bool
+	// EagerDecay runs the nodes with per-node decay tickers and per-cycle
+	// MAC events instead of the event-elision engine (lazy closed-form ξ
+	// decay, coalesced idle spans, batched mobility ticks). The two are
+	// verified equivalent (bit-identical results and telemetry); this is
+	// the control arm for the differential tests and the scale benchmarks.
+	// Leave it false.
+	EagerDecay bool
 	// Tracer optionally records events in the legacy TSV format (nil = no
 	// tracing). It is served through the trace-v2 layer by a byte-compatible
 	// adapter, so old tooling keeps working unchanged.
@@ -243,8 +250,15 @@ type Result struct {
 	ControlBitsPerDelivered float64
 	// SimSeconds is the simulated duration.
 	SimSeconds float64
-	// Events is the number of kernel events executed.
-	Events uint64
+	// Events is the number of kernel events executed. EventsScheduled is
+	// how many were filed into the heap, and EventsElided is how many the
+	// elision engine replayed in closed form instead of firing (idle-span
+	// cycle boundaries, batched mobility ticks, lazy decay epochs). An
+	// eager run of the same configuration fires Events + EventsElided
+	// events, which the differential tests assert exactly.
+	Events          uint64
+	EventsScheduled uint64
+	EventsElided    uint64
 	// AliveFraction is the share of sensors with battery remaining at the
 	// end (1 when batteries are unlimited).
 	AliveFraction float64
@@ -414,6 +428,7 @@ func New(cfg Config) (*Sim, error) {
 		params = *cfg.Params
 	}
 	params.BatteryJoules = cfg.BatteryJoules
+	params.EagerDecay = cfg.EagerDecay
 	profile := energy.BerkeleyMote()
 	isSink := func(id packet.NodeID) bool { return int(id) < cfg.NumSinks }
 
@@ -514,14 +529,44 @@ func New(cfg Config) (*Sim, error) {
 		}
 	}
 
-	// Mobility ticking.
-	ticker := sim.NewTicker(s.sched, cfg.MobilityTickSeconds, func(sim.Time) {
+	// Mobility ticking rides the shared upkeep wheel: tick times are
+	// bit-identical to the dedicated ticker this replaced. In the lazy arm
+	// the subscriber is batchable — runs of ticks inside an event-free
+	// window with a silent channel collapse into one replay, since
+	// positions only change inside Step and nothing can observe them
+	// mid-window. With frames in flight the batch declines: a coalesced
+	// node may step into carrier range, and a busy carrier at its listen
+	// expiry is observable (a Deferred cycle), so those ticks run as real
+	// events followed by a carrier poll.
+	wheel := sim.NewWheel(s.sched, cfg.DurationSeconds)
+	tickStep := func(sim.Time) {
 		s.walk.Step(cfg.MobilityTickSeconds)
 		// Positions only change inside Step, so refreshing the medium's
 		// spatial index here keeps it exact between ticks.
 		s.medium.RefreshPositions()
-	})
-	ticker.Start()
+	}
+	if cfg.EagerDecay {
+		wheel.Add(cfg.MobilityTickSeconds, tickStep)
+	} else {
+		wheel.AddBatchable(cfg.MobilityTickSeconds, func(now sim.Time) {
+			tickStep(now)
+			if s.medium.ActiveTransmissions() > 0 {
+				s.pollCarriers()
+			}
+		}, func(n int, _, _ sim.Time) int {
+			// Transmissions start and end only inside events, so the count
+			// is constant across the whole event-free window: zero means no
+			// carrier can go busy mid-window and the steps are unobservable.
+			if s.medium.ActiveTransmissions() > 0 {
+				return 0
+			}
+			for i := 0; i < n; i++ {
+				s.walk.Step(cfg.MobilityTickSeconds)
+			}
+			s.medium.RefreshPositions()
+			return n
+		})
+	}
 
 	// Traffic: independent Poisson processes per sensor.
 	traffic := root.Split("traffic")
@@ -646,6 +691,18 @@ func (f *fadRecorder) TxOutcome(msgID packet.MessageID, hadCopy bool, before flo
 	})
 }
 
+// pollCarriers gives every coalesced idle span a chance to observe a busy
+// carrier after a mobility step (see core.Node.PollCarrier). Nodes without
+// an active span ignore it.
+func (s *Sim) pollCarriers() {
+	for _, n := range s.sinks {
+		n.PollCarrier()
+	}
+	for _, n := range s.sensors {
+		n.PollCarrier()
+	}
+}
+
 // sampleGauges refreshes the registry's live gauges and periodic
 // histograms from node state; the sampler calls it before each snapshot.
 func (s *Sim) sampleGauges(float64) {
@@ -735,6 +792,17 @@ func (s *Sim) Run() (Result, error) {
 	if err := s.runScheduler(); err != nil {
 		return Result{}, fmt.Errorf("scenario: %w", err)
 	}
+	// Close the elision ledgers at the horizon: still-active idle spans
+	// replay the cycle boundaries the eager arm would have run up to the
+	// horizon, and the lazy decay ledgers are harvested into the kernel's
+	// elided counter. A no-op on eager-arm nodes. This runs before the
+	// sampler's final snapshot so ξ reads are settled through the horizon.
+	for _, n := range s.sinks {
+		n.FinalizeElision(s.cfg.DurationSeconds)
+	}
+	for _, n := range s.sensors {
+		n.FinalizeElision(s.cfg.DurationSeconds)
+	}
 	if s.capture != nil {
 		if err := s.capture.Flush(); err != nil {
 			return Result{}, fmt.Errorf("scenario: frame capture: %w", err)
@@ -779,11 +847,13 @@ func (s *Sim) runScheduler() (err error) {
 func (s *Sim) Snapshot() Result {
 	now := s.sched.Now()
 	res := Result{
-		Scheme:     s.cfg.Scheme.String(),
-		Delivery:   s.collector.Summarize(),
-		Channel:    s.medium.Stats(),
-		SimSeconds: now,
-		Events:     s.sched.Fired(),
+		Scheme:          s.cfg.Scheme.String(),
+		Delivery:        s.collector.Summarize(),
+		Channel:         s.medium.Stats(),
+		SimSeconds:      now,
+		Events:          s.sched.Fired(),
+		EventsScheduled: s.sched.Scheduled(),
+		EventsElided:    s.sched.Elided(),
 	}
 	alive := 0
 	for _, n := range s.sensors {
@@ -823,6 +893,9 @@ func (s *Sim) Snapshot() Result {
 		res.Invariants = s.invEng.Digest()
 	}
 	if s.telem != nil {
+		s.telem.EventsScheduled.Set(float64(res.EventsScheduled))
+		s.telem.EventsFired.Set(float64(res.Events))
+		s.telem.EventsElided.Set(float64(res.EventsElided))
 		report := &telemetry.Report{Run: s.telem, Series: s.series}
 		if fw, ok := s.cfg.Recorder.(telemetry.FileWriter); ok {
 			report.Events = fw.Events()

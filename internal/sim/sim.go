@@ -96,13 +96,15 @@ func (p *EventPanic) Unwrap() error {
 // Scheduler owns the virtual clock and the pending-event queue.
 // The zero value is a valid scheduler positioned at time 0.
 type Scheduler struct {
-	queue   eventHeap
-	now     Time
-	seq     uint64
-	stopped bool
-	fired   uint64
-	onEvent func(now Time, seq uint64, label string)
-	free    []*Event // recycled Post/PostArg events; handle events never enter
+	queue     eventHeap
+	now       Time
+	seq       uint64
+	stopped   bool
+	fired     uint64
+	scheduled uint64
+	elided    uint64
+	onEvent   func(now Time, seq uint64, label string)
+	free      []*Event // recycled Post/PostArg events; handle events never enter
 }
 
 // NewScheduler returns a scheduler with its clock at zero.
@@ -113,6 +115,31 @@ func (s *Scheduler) Now() Time { return s.now }
 
 // Fired returns the number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Scheduled returns the number of events ever pushed onto the queue,
+// counting reschedules (each consumes a sequence number, like a fresh
+// scheduling).
+func (s *Scheduler) Scheduled() uint64 { return s.scheduled }
+
+// Elided returns the number of events that elision layers above the kernel
+// replayed in closed form instead of scheduling (see CountElided).
+func (s *Scheduler) Elided() uint64 { return s.elided }
+
+// CountElided records n events that an elision layer coalesced away: work
+// that an eager implementation would have scheduled and fired as distinct
+// events but that was instead replayed in closed form. The kernel only
+// aggregates the count; callers own the accounting discipline.
+func (s *Scheduler) CountElided(n uint64) { s.elided += n }
+
+// NextEventTime returns the firing time of the earliest pending event. The
+// second result is false when the queue is empty. Peeking does not disturb
+// the queue; elision layers use it to bound how far they may fast-forward.
+func (s *Scheduler) NextEventTime() (Time, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}
 
 // Pending returns the number of events currently scheduled.
 func (s *Scheduler) Pending() int { return len(s.queue) }
@@ -128,6 +155,7 @@ func (s *Scheduler) At(t Time, fn func()) (*Event, error) {
 	}
 	e := &Event{at: t, seq: s.seq, fn: fn}
 	s.seq++
+	s.scheduled++
 	s.queue.push(e)
 	return e, nil
 }
@@ -164,6 +192,7 @@ func (s *Scheduler) Post(d Duration, label string, fn func()) {
 	}
 	e := s.pooled(d, label)
 	e.fn = fn
+	s.scheduled++
 	s.queue.push(e)
 }
 
@@ -178,6 +207,7 @@ func (s *Scheduler) PostArg(d Duration, label string, fn func(any), arg any) {
 	e := s.pooled(d, label)
 	e.fnArg = fn
 	e.arg = arg
+	s.scheduled++
 	s.queue.push(e)
 }
 
@@ -235,12 +265,48 @@ func (s *Scheduler) Reschedule(e *Event, d Duration, label string, fn func()) *E
 	e.at = s.now + d
 	e.seq = s.seq
 	s.seq++
+	s.scheduled++
 	e.fn = fn
 	e.fnArg = nil
 	e.arg = nil
 	e.labels = label
 	s.queue.push(e)
 	return e
+}
+
+// RescheduleAt is Reschedule with an absolute firing time instead of a
+// delay. Elision layers need it to land events at boundary times computed
+// by replaying the eager arm's floating-point arithmetic: rescheduling by
+// the delta (t - now) can round to a different float64 than the eager
+// accumulation produced, and a one-ulp drift is enough to reorder two
+// events. Times in the past are an error, mirroring At.
+func (s *Scheduler) RescheduleAt(e *Event, t Time, label string, fn func()) (*Event, error) {
+	if t < s.now {
+		return nil, fmt.Errorf("sim: reschedule at %v before now %v", t, s.now)
+	}
+	if e == nil || e.poolable {
+		fresh, err := s.At(t, fn)
+		if err == nil {
+			fresh.labels = label
+		}
+		return fresh, err
+	}
+	if fn == nil {
+		return nil, errors.New("sim: nil event func")
+	}
+	if e.index >= 0 {
+		s.queue.remove(e.index)
+	}
+	e.at = t
+	e.seq = s.seq
+	s.seq++
+	s.scheduled++
+	e.fn = fn
+	e.fnArg = nil
+	e.arg = nil
+	e.labels = label
+	s.queue.push(e)
+	return e, nil
 }
 
 // Cancel removes a pending event from the queue. Cancelling a nil, fired, or

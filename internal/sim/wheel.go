@@ -1,0 +1,203 @@
+package sim
+
+// Wheel coalesces periodic upkeep from many subscribers onto a single
+// pending kernel event. Where N Tickers keep N events in the heap (and pay
+// N sift paths per period), a Wheel keeps exactly one: at each firing it
+// runs every subscriber due at that instant, then re-arms itself at the
+// earliest next due time. Subscriber due times follow the same
+// floating-point accumulation as Ticker (due += period from the previous
+// due time), so replacing per-subscriber Tickers with one Wheel preserves
+// tick times bit-for-bit.
+//
+// A subscriber registered with a batch function additionally participates
+// in idle fast-forward: when the kernel's next pending event lies beyond
+// one or more of the subscriber's upcoming ticks, those ticks are replayed
+// in one call instead of being scheduled, and the virtual clock jumps
+// straight over the gap. Batched ticks are replayed strictly before the
+// next pending event and never past the wheel's horizon, so anything the
+// ticks mutate is observationally identical to the eager schedule: no
+// other event can run inside the batched window to see intermediate state.
+// Batch callbacks must not read the scheduler clock (they run early, at
+// the coalescing event's time) and must not schedule events.
+type Wheel struct {
+	sched   *Scheduler
+	horizon Time
+	subs    []*WheelTicker
+	ev      *Event
+	armedAt Time
+	armed   bool
+	fire    func() // bound once; re-arming reuses it and the Event object
+}
+
+// WheelTicker is one periodic subscription on a Wheel.
+type WheelTicker struct {
+	wheel  *Wheel
+	period Duration
+	due    Time
+	fn     func(now Time)
+	batch  func(n int, from, to Time) int
+	active bool
+}
+
+// NewWheel creates a wheel bound to sched. The horizon bounds idle
+// fast-forward: batched ticks never run past it, mirroring how Run never
+// fires events past its horizon. Use the run's duration; a wheel that
+// never batches (no batch functions) ignores it.
+func NewWheel(sched *Scheduler, horizon Time) *Wheel {
+	w := &Wheel{sched: sched, horizon: horizon}
+	w.fire = w.onFire
+	return w
+}
+
+// Add registers a periodic subscriber and starts it: the first tick runs
+// one period from now, like Ticker.Start. Subscribers due at the same
+// instant run in registration order.
+func (w *Wheel) Add(period Duration, fn func(now Time)) *WheelTicker {
+	return w.add(period, fn, nil)
+}
+
+// AddBatchable registers a subscriber eligible for idle fast-forward.
+// When the wheel can prove a run of upcoming ticks lies inside an
+// event-free window (no other pending event and no other subscriber due
+// inside the run, and the run ends at or before the horizon), it offers
+// them to batch(n, from, to) — covering the n ticks at from, from+period,
+// …, to — instead of scheduling them. batch returns how many of the n
+// ticks it consumed; consumed ticks are reported to the scheduler as
+// elided events, and any remainder (a subscriber may decline a window it
+// cannot prove unobservable, e.g. while frames are in flight) runs
+// through fn as ordinary scheduled ticks.
+func (w *Wheel) AddBatchable(period Duration, fn func(now Time), batch func(n int, from, to Time) int) *WheelTicker {
+	return w.add(period, fn, batch)
+}
+
+func (w *Wheel) add(period Duration, fn func(now Time), batch func(n int, from, to Time) int) *WheelTicker {
+	if period <= 0 {
+		panic("sim: wheel period must be positive")
+	}
+	if fn == nil {
+		panic("sim: nil wheel subscriber func")
+	}
+	t := &WheelTicker{wheel: w, period: period, fn: fn, batch: batch, active: true}
+	t.due = w.sched.Now() + period
+	w.subs = append(w.subs, t)
+	w.rearm()
+	return t
+}
+
+// Stop deactivates the subscription. Other subscribers are unaffected.
+func (t *WheelTicker) Stop() {
+	t.active = false
+	t.wheel.rearm()
+}
+
+// Active reports whether the subscription is running.
+func (t *WheelTicker) Active() bool { return t.active }
+
+// onFire runs every subscriber due now, then batches or re-arms.
+func (w *Wheel) onFire() {
+	w.armed = false
+	now := w.sched.Now()
+	for _, t := range w.subs {
+		if t.active && t.due <= now {
+			t.fn(now)
+			t.due += t.period
+		}
+	}
+	w.advance()
+}
+
+// advance batches eligible idle runs, then arms the wheel event at the
+// earliest remaining due time.
+func (w *Wheel) advance() {
+	for {
+		t := w.earliest()
+		if t == nil {
+			return // nothing active; the wheel sleeps until the next Add
+		}
+		if t.batch == nil {
+			break
+		}
+		// A tick is batchable while it precedes every other pending kernel
+		// event and every other subscriber's due time, and does not pass
+		// the horizon. With an empty queue there is no bound to prove the
+		// window idle against, so fall back to normal scheduling.
+		bound, ok := w.sched.NextEventTime()
+		if !ok {
+			break
+		}
+		for _, o := range w.subs {
+			if o != t && o.active && o.due < bound {
+				bound = o.due
+			}
+		}
+		from, to, n := t.due, t.due, 0
+		for next := t.due; next < bound && next <= w.horizon; next += t.period {
+			to = next
+			n++
+		}
+		if n == 0 {
+			break
+		}
+		consumed := t.batch(n, from, to)
+		if consumed < 0 || consumed > n {
+			panic("sim: wheel batch consumed out of range")
+		}
+		for i := 0; i < consumed; i++ {
+			t.due += t.period
+		}
+		w.sched.CountElided(uint64(consumed))
+		if consumed < n {
+			// The subscriber declined part of the window; schedule the rest.
+			break
+		}
+	}
+	t := w.earliest()
+	if t == nil {
+		return
+	}
+	if w.armed && w.armedAt == t.due {
+		return
+	}
+	ev, err := w.sched.RescheduleAt(w.ev, t.due, "wheel", w.fire)
+	if err != nil {
+		// Unreachable: due times are always >= now by construction.
+		panic(err)
+	}
+	w.ev = ev
+	w.armedAt = t.due
+	w.armed = true
+}
+
+// rearm re-evaluates the wheel's pending event after membership changes.
+func (w *Wheel) rearm() {
+	t := w.earliest()
+	if t == nil {
+		if w.armed {
+			w.sched.Cancel(w.ev)
+			w.armed = false
+		}
+		return
+	}
+	if w.armed && w.armedAt == t.due {
+		return
+	}
+	ev, err := w.sched.RescheduleAt(w.ev, t.due, "wheel", w.fire)
+	if err != nil {
+		panic(err)
+	}
+	w.ev = ev
+	w.armedAt = t.due
+	w.armed = true
+}
+
+// earliest returns the active subscriber with the smallest due time, or
+// nil when none are active. Ties go to the earliest registration.
+func (w *Wheel) earliest() *WheelTicker {
+	var best *WheelTicker
+	for _, t := range w.subs {
+		if t.active && (best == nil || t.due < best.due) {
+			best = t
+		}
+	}
+	return best
+}

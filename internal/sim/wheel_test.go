@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestWheelMatchesTickers is the wheel's differential property: each
+// subscriber's tick-time sequence is bit-identical to what a dedicated
+// Ticker produces (the same due += period floating-point accumulation),
+// while the wheel keeps only one pending kernel event. Ordering at shared
+// instants is the wheel's own contract (registration order) and is not
+// compared — the scenario hangs one subscriber per wheel.
+func TestWheelMatchesTickers(t *testing.T) {
+	run := func(useWheel bool) map[string][]Time {
+		s := NewScheduler()
+		log := map[string][]Time{}
+		sub := func(tag string) func(Time) {
+			return func(now Time) { log[tag] = append(log[tag], now) }
+		}
+		if useWheel {
+			w := NewWheel(s, 100)
+			w.Add(0.7, sub("a"))
+			w.Add(1.4, sub("b")) // every 2nd "a" tick coincides
+			w.Add(3.1, sub("c"))
+		} else {
+			NewTicker(s, 0.7, sub("a")).Start()
+			NewTicker(s, 1.4, sub("b")).Start()
+			NewTicker(s, 3.1, sub("c")).Start()
+		}
+		if err := s.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	wheel, tickers := run(true), run(false)
+	for _, tag := range []string{"a", "b", "c"} {
+		w, tk := wheel[tag], tickers[tag]
+		if len(w) != len(tk) {
+			t.Fatalf("%s: wheel fired %d times, ticker %d", tag, len(w), len(tk))
+		}
+		for i := range w {
+			if w[i] != tk[i] {
+				t.Fatalf("%s: fire %d at %v on the wheel, %v on the ticker", tag, i, w[i], tk[i])
+			}
+		}
+	}
+}
+
+// TestWheelKeepsOneEvent verifies the coalescing claim: N subscribers cost
+// one scheduled event per firing instant, not N standing events.
+func TestWheelKeepsOneEvent(t *testing.T) {
+	s := NewScheduler()
+	w := NewWheel(s, 10)
+	for i := 0; i < 8; i++ {
+		w.Add(1, func(Time) {})
+	}
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	// 10 firing instants (t=1..10), each one kernel event re-armed in
+	// place; the 8 subscribers share them.
+	if got := s.Fired(); got != 10 {
+		t.Fatalf("fired %d events; want 10 (one per instant)", got)
+	}
+}
+
+// TestWheelBatchesIdleRuns verifies idle fast-forward: a batchable
+// subscriber's ticks inside an event-free gap collapse into one batch call
+// bounded strictly by the next pending event, the elided count matches what
+// an eager run would have fired, and once the queue holds no other event to
+// prove a window idle against, ticks fall back to live scheduling.
+func TestWheelBatchesIdleRuns(t *testing.T) {
+	s := NewScheduler()
+	w := NewWheel(s, 50)
+	var ticked, batched int
+	var spans [][2]Time
+	w.AddBatchable(1,
+		func(Time) { ticked++ },
+		func(n int, from, to Time) int {
+			batched += n
+			spans = append(spans, [2]Time{from, to})
+			return n
+		})
+	// One distant event bounds the batch; past it the queue is empty, so
+	// the remaining ticks must run live (no bound to prove idleness).
+	if _, err := s.At(20.5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if ticked+batched != 50 {
+		t.Fatalf("covered %d ticks (%d live, %d batched); want 50", ticked+batched, ticked, batched)
+	}
+	// The tick at t=1 fires live (the wheel's own first event), ticks 2..20
+	// batch under the t=20.5 bound, and 21..50 fire live over the now-empty
+	// queue.
+	if batched != 19 || ticked != 31 {
+		t.Fatalf("batched %d ticks, live %d; want 19 batched, 31 live (spans %v)", batched, ticked, spans)
+	}
+	if got := s.Elided(); got != 19 {
+		t.Fatalf("scheduler elided count %d; want 19", got)
+	}
+	if len(spans) != 1 || spans[0] != [2]Time{2, 20} {
+		t.Fatalf("batch spans %v; want [[2 20]]", spans)
+	}
+}
+
+// TestWheelBatchDecline verifies the partial-consumption contract: a batch
+// returning 0 falls back to live ticks without losing any, and the elided
+// count only reflects what was actually consumed.
+func TestWheelBatchDecline(t *testing.T) {
+	s := NewScheduler()
+	w := NewWheel(s, 12)
+	var ticked, offered int
+	w.AddBatchable(1,
+		func(Time) { ticked++ },
+		func(n int, _, _ Time) int {
+			offered += n
+			return 0
+		})
+	// A far event keeps the queue non-empty so windows keep being offered.
+	if _, err := s.At(11.5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(12); err != nil {
+		t.Fatal(err)
+	}
+	if ticked != 12 || s.Elided() != 0 {
+		t.Fatalf("declining batch: %d live ticks, %d elided; want 12, 0", ticked, s.Elided())
+	}
+	if offered == 0 {
+		t.Fatal("batch was never offered a window")
+	}
+}
+
+// TestWheelBatchPartialConsume verifies that a batch consuming only part of
+// its window advances exactly that many due times, counts exactly that many
+// elisions, and leaves the remainder to fire as live ticks — no tick lost
+// or duplicated.
+func TestWheelBatchPartialConsume(t *testing.T) {
+	s := NewScheduler()
+	w := NewWheel(s, 30)
+	var live []Time
+	var consumed int
+	w.AddBatchable(1,
+		func(now Time) { live = append(live, now) },
+		func(n int, _, _ Time) int {
+			take := n / 2
+			consumed += take
+			return take
+		})
+	if _, err := s.At(25.5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	if len(live)+consumed != 30 {
+		t.Fatalf("covered %d ticks (%d live, %d batched); want 30", len(live)+consumed, len(live), consumed)
+	}
+	if uint64(consumed) != s.Elided() {
+		t.Fatalf("batch consumed %d but scheduler counted %d elided", consumed, s.Elided())
+	}
+	if consumed == 0 {
+		t.Fatal("no window was ever partially consumed")
+	}
+	for i := 1; i < len(live); i++ {
+		if live[i] <= live[i-1] {
+			t.Fatalf("live ticks out of order: %v", live)
+		}
+	}
+}
+
+// TestWheelBatchSkipsOtherSubscribers verifies a batch never jumps a
+// non-batchable subscriber's due time.
+func TestWheelBatchSkipsOtherSubscribers(t *testing.T) {
+	s := NewScheduler()
+	w := NewWheel(s, 9)
+	var fast, slow []Time
+	var spans [][2]Time
+	w.AddBatchable(1,
+		func(now Time) { fast = append(fast, now) },
+		func(n int, from, to Time) int {
+			spans = append(spans, [2]Time{from, to})
+			for i := 0; i < n; i++ {
+				fast = append(fast, from+float64(i))
+			}
+			return n
+		})
+	w.Add(4, func(now Time) { slow = append(slow, now) })
+	// Keep the queue non-empty so batching is in play throughout.
+	if _, err := s.At(8.5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(9); err != nil {
+		t.Fatal(err)
+	}
+	if len(fast) != 9 {
+		t.Fatalf("fast subscriber covered %d ticks; want 9 (%v)", len(fast), fast)
+	}
+	if len(slow) != 2 {
+		t.Fatalf("slow subscriber fired %d times; want 2 (%v)", len(slow), slow)
+	}
+	for i := 1; i < len(fast); i++ {
+		if fast[i] <= fast[i-1] {
+			t.Fatalf("fast ticks out of order: %v", fast)
+		}
+	}
+	// No batch window may contain a slow due time (4, 8): the slow
+	// subscriber must observe those instants live.
+	for _, sp := range spans {
+		for _, due := range []Time{4, 8} {
+			if sp[0] <= due && due <= sp[1] {
+				t.Fatalf("batch span %v crosses slow subscriber due %v", sp, due)
+			}
+		}
+	}
+	if len(spans) == 0 {
+		t.Fatal("fast subscriber never batched")
+	}
+}
+
+// TestWheelStopMidRun verifies Stop removes a subscriber without
+// disturbing the others' schedules.
+func TestWheelStopMidRun(t *testing.T) {
+	s := NewScheduler()
+	w := NewWheel(s, 10)
+	var a, b int
+	ta := w.Add(1, func(Time) { a++ })
+	w.Add(1, func(Time) { b++ })
+	if _, err := s.At(5.5, func() { ta.Stop() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if a != 5 || b != 10 {
+		t.Fatalf("a fired %d (want 5), b fired %d (want 10)", a, b)
+	}
+	if ta.Active() {
+		t.Fatal("stopped subscription still active")
+	}
+}
+
+// TestRescheduleAtReusesEvent covers the kernel primitive behind the wheel
+// and the coalesced-cycle timers: absolute-time rescheduling that errors
+// on past times and reuses the handle.
+func TestRescheduleAtReusesEvent(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	fn := func() { fired = append(fired, s.Now()) }
+	ev, err := s.RescheduleAt(nil, 2, "x", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.At(1, func() {
+		// Re-aim the pending event from inside the run.
+		if _, err := s.RescheduleAt(ev, 3, "x", fn); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("fired at %v; want exactly once at t=3", fired)
+	}
+	if _, err := s.RescheduleAt(ev, s.Now()-1, "x", fn); err == nil {
+		t.Fatal("RescheduleAt accepted a past time")
+	}
+}
+
+// TestCountersAndNextEventTime covers the scheduled/fired/elided counters
+// and the queue-peek used to bound batches.
+func TestCountersAndNextEventTime(t *testing.T) {
+	s := NewScheduler()
+	if _, ok := s.NextEventTime(); ok {
+		t.Fatal("empty scheduler reported a next event")
+	}
+	if _, err := s.At(4, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.At(2, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if next, ok := s.NextEventTime(); !ok || next != 2 {
+		t.Fatalf("NextEventTime = %v, %v; want 2, true", next, ok)
+	}
+	s.CountElided(7)
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if s.Scheduled() != 2 || s.Fired() != 2 || s.Elided() != 7 {
+		t.Fatalf("counters scheduled=%d fired=%d elided=%d; want 2, 2, 7",
+			s.Scheduled(), s.Fired(), s.Elided())
+	}
+}

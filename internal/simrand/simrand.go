@@ -19,11 +19,13 @@ import (
 // the distribution helpers the simulator needs.
 type Source struct {
 	rng *rand.Rand
+	pcg *rand.PCG
 }
 
 // New returns a stream derived from the given 64-bit seed.
 func New(seed uint64) *Source {
-	return &Source{rng: rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))}
+	pcg := rand.NewPCG(seed, 0x9e3779b97f4a7c15)
+	return &Source{rng: rand.New(pcg), pcg: pcg}
 }
 
 // Split derives an independent stream keyed by label. Splitting with the
@@ -35,7 +37,33 @@ func (s *Source) Split(label string) *Source {
 	mix := h.Sum64()
 	// Mix the label hash with fresh draws so sibling splits differ even for
 	// colliding labels, while remaining a pure function of the parent state.
-	return &Source{rng: rand.New(rand.NewPCG(s.rng.Uint64()^mix, mix))}
+	pcg := rand.NewPCG(s.rng.Uint64()^mix, mix)
+	return &Source{rng: rand.New(pcg), pcg: pcg}
+}
+
+// State captures the stream position for a later Restore. rand.Rand keeps
+// no state of its own (every helper pulls directly from the generator), so
+// the PCG snapshot alone pins down all future draws.
+type State []byte
+
+// State returns an opaque snapshot of the stream position. Speculative
+// consumers (the idle-span planner) snapshot before drawing ahead, and on
+// early abort Restore + re-draw the prefix actually consumed, keeping the
+// stream bit-identical to one that never drew ahead.
+func (s *Source) State() State {
+	b, err := s.pcg.MarshalBinary()
+	if err != nil {
+		// PCG's MarshalBinary cannot fail; keep the invariant visible.
+		panic(err)
+	}
+	return b
+}
+
+// Restore rewinds the stream to a snapshot taken by State.
+func (s *Source) Restore(st State) {
+	if err := s.pcg.UnmarshalBinary(st); err != nil {
+		panic(err)
+	}
 }
 
 // Float64 returns a uniform draw in [0, 1).

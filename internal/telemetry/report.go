@@ -33,6 +33,14 @@ type RunMetrics struct {
 	MeanXi     *Gauge
 	AliveNodes *Gauge
 
+	// Kernel event counters, set once at the end of a run: how many events
+	// the scheduler filed, fired, and elided (replayed in closed form by
+	// the event-elision engine instead of firing). Point-in-time gauges,
+	// so Merge keeps the receiver's values like the others.
+	EventsScheduled *Gauge
+	EventsFired     *Gauge
+	EventsElided    *Gauge
+
 	counters [numEventTypes]*Counter
 }
 
@@ -63,6 +71,9 @@ func NewRunRegistry(duration float64, queueCap int) *RunMetrics {
 	m.QueueLen = r.Gauge("queue_len_total")
 	m.MeanXi = r.Gauge("mean_xi")
 	m.AliveNodes = r.Gauge("alive_nodes")
+	m.EventsScheduled = r.Gauge("kernel_events_scheduled")
+	m.EventsFired = r.Gauge("kernel_events_fired")
+	m.EventsElided = r.Gauge("kernel_events_elided")
 	// 40 linear delay buckets spanning the run; overflow catches stragglers.
 	m.DeliveryDelay = r.Histogram(HistDeliveryDelay, LinearBuckets(duration/40, duration/40, 40))
 	occStep := float64(queueCap) / 32
