@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-diff bench-scale figures figures-paper chaos fuzz fuzz-smoke vet fmt clean
+.PHONY: all build test test-short race cover bench bench-json bench-diff bench-scale figures figures-paper chaos fuzz fuzz-smoke snapshot-diff vet fmt clean
 
 all: build test
 
@@ -85,12 +85,20 @@ chaos:
 fuzz:
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/packet/
 	$(GO) test -fuzz=FuzzStreamReader -fuzztime=30s ./internal/packet/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/snapshot/
 
 # A quick fuzz pass over every fuzz target (what CI's smoke job runs).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzStreamReader -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzLoadConfig -fuzztime=10s ./internal/scenario/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/snapshot/
+
+# The snapshot/fork/restore differential gate under the race detector: all
+# three arms bit-identical on Result and telemetry across the 10-config
+# matrix, plus the RNG rewind edge cases.
+snapshot-diff:
+	$(GO) test -race -run 'TestSnapshotDifferential|TestPeriodicCheckpointsDontPerturb|TestRestoreForPlanMatchesScratch|TestCheckpoint' ./internal/scenario/
 
 vet:
 	$(GO) vet ./...

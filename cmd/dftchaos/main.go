@@ -7,6 +7,7 @@
 //	dftchaos [-runs 200] [-seed 1] [-workers 0]
 //	         [-scheme OPT] [-sensors 12] [-sinks 2] [-duration 400] [-arrival 40]
 //	         [-min-ratio 0] [-max-recovery 0]
+//	         [-state campaign.jsonl] [-resume] [-json]
 //	         [-inject-skip-sender-ftd]
 //
 // Each run draws a random fault plan (node churn, sink outages,
@@ -19,9 +20,16 @@
 // The default scenario is deliberately small (a dozen sensors, a few
 // hundred simulated seconds) so a 200-run campaign finishes in seconds;
 // scale -sensors/-duration/-runs up for a nightly soak.
+//
+// -state FILE persists every run's outcome as it completes; a campaign
+// killed partway can pick up where it left off with -resume and reach the
+// exact verdicts of an uninterrupted run. -json prints the summary as
+// machine-readable JSON instead of the text report. The exit status is
+// nonzero whenever any run failed, so CI can gate on it directly.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -53,6 +61,10 @@ func run(args []string, out io.Writer) error {
 		minRatio    = fs.Float64("min-ratio", 0, "fail a run delivering below this ratio (0 disables)")
 		maxRecovery = fs.Float64("max-recovery", 0, "fail a run whose delivery rate takes longer than this to recover (s, 0 disables)")
 
+		stateFile = fs.String("state", "", "persist run outcomes to this file as they complete")
+		resume    = fs.Bool("resume", false, "skip runs already recorded in the -state file")
+		jsonOut   = fs.Bool("json", false, "print the campaign summary as JSON")
+
 		injectSkipFTD = fs.Bool("inject-skip-sender-ftd", false, "deliberately break the Eq. 3 sender-FTD update (mutation testing)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +81,10 @@ func run(args []string, out io.Writer) error {
 	cfg.ArrivalMeanSeconds = *arrival
 	cfg.InjectSkipSenderFTD = *injectSkipFTD
 
+	if *resume && *stateFile == "" {
+		return fmt.Errorf("-resume requires -state")
+	}
+
 	campaign := dftmsn.ChaosCampaign{
 		Base:               cfg,
 		Runs:               *runs,
@@ -76,12 +92,22 @@ func run(args []string, out io.Writer) error {
 		Workers:            *workers,
 		MinDeliveryRatio:   *minRatio,
 		MaxRecoverySeconds: *maxRecovery,
+		StateFile:          *stateFile,
+		Resume:             *resume,
 	}
 	summary, err := campaign.Run()
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(out, summary.Format())
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summary); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprint(out, summary.Format())
+	}
 	if !summary.Clean() {
 		return fmt.Errorf("%d of %d runs failed", summary.FailureCount, summary.Runs)
 	}

@@ -10,6 +10,7 @@
 //	       [-kill-at S -kill-fraction F]
 //	dftsim [-invariants off|report|panic] [-inject-skip-sender-ftd]
 //	dftsim [-telemetry] [-trace events.jsonl] [-trace-format jsonl|binary]
+//	dftsim [-snapshot state.snap [-snapshot-at S]] [-restore state.snap]
 //	dftsim -config scenario.json [-dumpconfig]
 //
 // The defaults reproduce the paper's §5 setup; -config loads a JSON
@@ -39,6 +40,18 @@
 // typed trace-v2 event to FILE in the -trace-format encoding (jsonl or
 // binary) for offline analysis with dftstats.
 //
+// -snapshot-at S steps the simulation to the first quiescent instant at or
+// after S virtual seconds, writes a complete snapshot of the kernel and
+// protocol state to the -snapshot file (PROTOCOL.md §12), and continues the
+// run — the result is identical to an unsnapshotted run. -restore FILE
+// resumes a saved snapshot and runs it to the horizon; the digest it prints
+// is bit-identical to the run the snapshot came from (reattach -telemetry /
+// -trace if the snapshotted run used them). When the invariant engine runs
+// in report mode with -snapshot set (and no explicit -snapshot-at), a run
+// that breaches an invariant automatically re-simulates its prefix and
+// writes a snapshot shortly before the first violation — a ready-made
+// time-travel debugging session.
+//
 // -eager-decay disables the event-elision engine (PROTOCOL.md §11) and
 // runs every ξ-decay tick and sleep cycle as a real kernel event — the
 // control arm for performance comparisons; results are identical either
@@ -48,6 +61,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -104,6 +118,10 @@ func run(args []string, out io.Writer) error {
 		tracePath   = fs.String("trace", "", "write typed trace-v2 events to this file (implies -telemetry)")
 		traceFormat = fs.String("trace-format", "jsonl", "trace-v2 encoding: jsonl or binary")
 
+		snapshotPath = fs.String("snapshot", "", "snapshot file to write (with -snapshot-at, or automatically on an invariant violation in report mode)")
+		snapshotAt   = fs.Float64("snapshot-at", -1, "take a quiescent snapshot at or after this virtual time (s) and keep running")
+		restorePath  = fs.String("restore", "", "resume a saved snapshot instead of starting a new run (scenario flags are ignored)")
+
 		eagerDecay = fs.Bool("eager-decay", false, "disable event elision: run every decay tick and sleep cycle as a kernel event (control arm)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile (post-run) to this file")
@@ -116,7 +134,23 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	var cfg dftmsn.Config
-	if *configPath != "" {
+	var restoreSnap *dftmsn.Snapshot
+	if *restorePath != "" {
+		if *configPath != "" {
+			return fmt.Errorf("-restore and -config are mutually exclusive")
+		}
+		var err error
+		restoreSnap, err = dftmsn.LoadSnapshot(*restorePath)
+		if err != nil {
+			return err
+		}
+		// The snapshot is self-describing: its embedded config drives the
+		// digest below and rebuilds the simulation shell to overlay.
+		cfg, err = dftmsn.LoadConfig(bytes.NewReader(restoreSnap.Config))
+		if err != nil {
+			return err
+		}
+	} else if *configPath != "" {
 		f, err := os.Open(*configPath)
 		if err != nil {
 			return err
@@ -226,15 +260,45 @@ func run(args []string, out io.Writer) error {
 	}
 
 	start := time.Now()
-	sim, err := dftmsn.New(cfg)
+	var (
+		sim *dftmsn.Sim
+		err error
+	)
+	if restoreSnap != nil {
+		// Overlay the snapshot onto a rebuilt shell; cfg carries any
+		// runtime reattachments (-telemetry, -trace) applied above.
+		rcfg := cfg
+		sim, err = dftmsn.RestoreSim(restoreSnap, func(c *dftmsn.Config) { *c = rcfg })
+	} else {
+		sim, err = dftmsn.New(cfg)
+	}
 	if err != nil {
 		return err
+	}
+	var snapshotNote string
+	if *snapshotAt >= 0 {
+		if *snapshotPath == "" {
+			return fmt.Errorf("-snapshot-at needs -snapshot FILE")
+		}
+		snap, err := sim.CheckpointAt(*snapshotAt)
+		if err != nil {
+			return err
+		}
+		if err := dftmsn.SaveSnapshot(*snapshotPath, snap); err != nil {
+			return err
+		}
+		snapshotNote = fmt.Sprintf("snapshot          quiescent state at %.1f s -> %s\n", snap.Time, *snapshotPath)
 	}
 	res, err := sim.Run()
 	if err != nil {
 		return err
 	}
 	wall := time.Since(start)
+	if note, err := violationSnapshot(cfg, res, *snapshotPath, *snapshotAt >= 0 || restoreSnap != nil); err != nil {
+		return err
+	} else if note != "" {
+		snapshotNote += note
+	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
@@ -322,10 +386,43 @@ func run(args []string, out io.Writer) error {
 				kind, res.Channel.FramesSent[kind], res.Channel.FramesDelivered[kind])
 		}
 	}
+	fmt.Fprint(out, snapshotNote)
 	if *showMap {
 		fmt.Fprint(out, renderMap(sim, cfg))
 	}
 	return nil
+}
+
+// violationSnapshot implements the time-travel debugging hook: when a
+// report-mode run breached an invariant and a -snapshot path is set (and no
+// explicit snapshot was requested), re-simulate the run's deterministic
+// prefix and write a snapshot shortly before the first violation, ready for
+// -restore. Re-running the prefix is cheap relative to hand-bisecting the
+// failure, and the snapshot run is bit-identical to the reported one.
+func violationSnapshot(cfg dftmsn.Config, res dftmsn.Result, path string, taken bool) (string, error) {
+	if path == "" || taken || cfg.Invariants != "report" ||
+		res.Invariants.Violations == 0 || len(res.Invariants.Recorded) == 0 {
+		return "", nil
+	}
+	first := res.Invariants.Recorded[0].Time
+	if first <= 0 {
+		return "", nil
+	}
+	pcfg := cfg
+	pcfg.Recorder = nil // don't double-write an attached trace
+	sim, err := dftmsn.New(pcfg)
+	if err != nil {
+		return "", err
+	}
+	snap, err := sim.CheckpointAt(0.9 * first)
+	if err != nil {
+		return "", err
+	}
+	if err := dftmsn.SaveSnapshot(path, snap); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("snapshot          pre-violation state at %.1f s -> %s (first violation at %.1f s)\n",
+		snap.Time, path, first), nil
 }
 
 // renderMap draws the final node positions on an ASCII grid: 'S' marks a

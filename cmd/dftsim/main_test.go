@@ -242,6 +242,98 @@ func TestRunWithEagerDecay(t *testing.T) {
 	}
 }
 
+// TestRunSnapshotRestore checkpoints a run at mid-horizon, restores it in
+// a second process invocation, and checks the continued run prints the
+// exact digest of an uninterrupted one.
+func TestRunSnapshotRestore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.snap")
+	base := []string{"-scheme", "OPT", "-sensors", "15", "-sinks", "2",
+		"-duration", "300", "-seed", "5", "-v"}
+
+	var straight, snapped, restored strings.Builder
+	if err := run(base, &straight); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, base...),
+		"-snapshot", path, "-snapshot-at", "150"), &snapped); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(snapped.String(), "snapshot") {
+		t.Fatalf("snapshot note missing:\n%s", snapped.String())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("snapshot file not written: %v", err)
+	}
+	if err := run([]string{"-restore", path, "-v"}, &restored); err != nil {
+		t.Fatal(err)
+	}
+
+	trim := func(s string) string {
+		s = s[strings.Index(s, "generated"):]
+		s = wallClock.ReplaceAllString(s, "in WALL)")
+		if i := strings.Index(s, "snapshot"); i >= 0 {
+			s = s[:i]
+		}
+		return s
+	}
+	if trim(straight.String()) != trim(snapped.String()) {
+		t.Errorf("taking a snapshot perturbed the digest:\n%s\n---\n%s",
+			straight.String(), snapped.String())
+	}
+	if trim(straight.String()) != trim(restored.String()) {
+		t.Errorf("restored digest differs from the straight run:\n%s\n---\n%s",
+			straight.String(), restored.String())
+	}
+
+	var sb strings.Builder
+	if err := run([]string{"-snapshot-at", "10"}, &sb); err == nil {
+		t.Error("-snapshot-at without -snapshot accepted")
+	}
+	cfgPath := filepath.Join(t.TempDir(), "cfg.json")
+	if err := os.WriteFile(cfgPath, []byte(`{"scheme": "OPT"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-restore", path, "-config", cfgPath}, &sb); err == nil {
+		t.Error("-restore with -config accepted")
+	}
+}
+
+// TestRunViolationAutoSnapshot arms the invariant engine against a mutated
+// build with -snapshot but no -snapshot-at: the run fails invariants, and
+// dftsim re-simulates a pre-violation checkpoint to the named file. A
+// restore of that file must reproduce the violations (the mutation travels
+// inside the snapshot's embedded config).
+func TestRunViolationAutoSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "violation.snap")
+	var sb strings.Builder
+	err := run([]string{"-scheme", "OPT", "-sensors", "15", "-sinks", "2",
+		"-duration", "600", "-seed", "5",
+		"-invariants", "report", "-inject-skip-sender-ftd",
+		"-snapshot", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, " 0 violations") {
+		t.Fatalf("mutated run reported no violations:\n%s", out)
+	}
+	if !strings.Contains(out, "pre-violation") {
+		t.Fatalf("auto-snapshot note missing:\n%s", out)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("violation snapshot not written: %v", err)
+	}
+
+	var restored strings.Builder
+	if err := run([]string{"-restore", path}, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(restored.String(), " 0 violations") ||
+		!strings.Contains(restored.String(), "violation") {
+		t.Fatalf("restored run did not reproduce the violation:\n%s", restored.String())
+	}
+}
+
 // TestRunWithProfiles checks -cpuprofile and -memprofile produce non-empty
 // pprof files.
 func TestRunWithProfiles(t *testing.T) {

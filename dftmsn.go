@@ -43,6 +43,7 @@ import (
 	"dftmsn/internal/invariants"
 	"dftmsn/internal/optimize"
 	"dftmsn/internal/scenario"
+	"dftmsn/internal/snapshot"
 	"dftmsn/internal/sweep"
 	"dftmsn/internal/telemetry"
 )
@@ -183,6 +184,43 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	return s.Run()
+}
+
+// Snapshot re-exports: checkpoint a running simulation (Sim.CheckpointAt,
+// Sim.Fork), persist it, and later restore a bit-identical continuation.
+type Snapshot = snapshot.Snapshot
+
+// SaveSnapshot writes a snapshot to path in the versioned binary format.
+func SaveSnapshot(path string, snap *Snapshot) error { return snapshot.Save(path, snap) }
+
+// LoadSnapshot reads a snapshot written by SaveSnapshot.
+func LoadSnapshot(path string) (*Snapshot, error) { return snapshot.Load(path) }
+
+// RestoreSim rebuilds a simulation from a snapshot; running it to the
+// horizon is bit-identical to the run the snapshot was taken from. The
+// customize hooks may reattach runtime-only config (recorders, tracers)
+// the snapshot cannot carry.
+func RestoreSim(snap *Snapshot, customize ...func(*Config)) (*Sim, error) {
+	return scenario.Restore(snap, customize...)
+}
+
+// RestoreSimForPlan rebuilds a simulation from a snapshot with a different
+// fault plan substituted — the instant chaos reproducer: the fault-free
+// prefix is skipped and the continuation is bit-identical to a from-scratch
+// run under the new plan.
+func RestoreSimForPlan(snap *Snapshot, plan *FaultPlan, customize ...func(*Config)) (*Sim, error) {
+	return scenario.RestoreForPlan(snap, plan, customize...)
+}
+
+// FaultFuture is one candidate fault plan's outcome from EvalFaultFutures.
+type FaultFuture = sweep.FaultFuture
+
+// EvalFaultFutures evaluates candidate fault plans against the base
+// scenario in parallel, warm-forking each from a single checkpoint taken at
+// checkpointAt seconds; plans the checkpoint cannot serve fall back to cold
+// from-scratch runs, so every result is the true full-run outcome.
+func EvalFaultFutures(base Config, checkpointAt float64, plans []*FaultPlan, workers int) ([]FaultFuture, error) {
+	return sweep.EvalFaultFutures(base, checkpointAt, plans, workers)
 }
 
 // Sweep harness re-exports: define an Experiment (or use a predefined one)

@@ -253,6 +253,57 @@ func (q *Queue) Wipe() []packet.MessageID {
 	return ids
 }
 
+// EntryState is Entry with the insertion-order stamp exposed, so a snapshot
+// can reproduce FTD tie-breaking exactly.
+type EntryState struct {
+	ID          packet.MessageID
+	Origin      packet.NodeID
+	CreatedAt   float64
+	PayloadBits int
+	FTD         float64
+	Hops        int
+	Seq         uint64
+}
+
+// QueueState is a Queue's snapshot: contents in priority order plus the
+// counters that influence future behavior. Capacity, threshold, and hooks
+// are construction-time configuration and are rebuilt, not snapshotted.
+type QueueState struct {
+	Entries []EntryState
+	Seq     uint64
+	Version uint64
+	Drops   DropCounts
+}
+
+// ExportState captures the queue for a snapshot.
+func (q *Queue) ExportState() QueueState {
+	st := QueueState{Seq: q.seq, Version: q.version, Drops: q.drops}
+	for _, e := range q.entries {
+		st.Entries = append(st.Entries, EntryState{
+			ID: e.ID, Origin: e.Origin, CreatedAt: e.CreatedAt,
+			PayloadBits: e.PayloadBits, FTD: e.FTD, Hops: e.Hops, Seq: e.seq,
+		})
+	}
+	return st
+}
+
+// RestoreState overlays a snapshot onto a freshly built queue with the same
+// capacity and threshold, rebuilding the ID index.
+func (q *Queue) RestoreState(st QueueState) {
+	q.entries = q.entries[:0]
+	clear(q.index)
+	for _, e := range st.Entries {
+		q.entries = append(q.entries, Entry{
+			ID: e.ID, Origin: e.Origin, CreatedAt: e.CreatedAt,
+			PayloadBits: e.PayloadBits, FTD: e.FTD, Hops: e.Hops, seq: e.Seq,
+		})
+		q.index[e.ID] = e.FTD
+	}
+	q.seq = st.Seq
+	q.version = st.Version
+	q.drops = st.Drops
+}
+
 // AvailableFor returns B(F) of §3.2.2: the number of buffer slots that are
 // either empty or occupied by messages with FTD strictly greater than f —
 // the space the queue can offer an incoming message with FTD f.

@@ -99,3 +99,35 @@ func (f *FIFO) Wipe() []packet.MessageID {
 
 // Available returns the number of free slots.
 func (f *FIFO) Available() int { return f.capacity - len(f.entries) }
+
+// FIFOState is a FIFO's snapshot: contents in arrival order plus the drop
+// counters. Entry seq stamps are unused by FIFOs but carried for fidelity.
+type FIFOState struct {
+	Entries []EntryState
+	Drops   DropCounts
+}
+
+// ExportState captures the FIFO for a snapshot.
+func (f *FIFO) ExportState() FIFOState {
+	st := FIFOState{Drops: f.drops}
+	for _, e := range f.entries {
+		st.Entries = append(st.Entries, EntryState{
+			ID: e.ID, Origin: e.Origin, CreatedAt: e.CreatedAt,
+			PayloadBits: e.PayloadBits, FTD: e.FTD, Hops: e.Hops, Seq: e.seq,
+		})
+	}
+	return st
+}
+
+// RestoreState overlays a snapshot onto a freshly built FIFO with the same
+// capacity.
+func (f *FIFO) RestoreState(st FIFOState) {
+	f.entries = f.entries[:0]
+	for _, e := range st.Entries {
+		f.entries = append(f.entries, Entry{
+			ID: e.ID, Origin: e.Origin, CreatedAt: e.CreatedAt,
+			PayloadBits: e.PayloadBits, FTD: e.FTD, Hops: e.Hops, seq: e.Seq,
+		})
+	}
+	f.drops = st.Drops
+}

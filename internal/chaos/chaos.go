@@ -13,14 +13,19 @@
 package chaos
 
 import (
+	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"strings"
+	"sync"
 
 	"dftmsn/internal/faults"
 	"dftmsn/internal/scenario"
 	"dftmsn/internal/simrand"
+	"dftmsn/internal/snapshot"
 	"dftmsn/internal/sweep"
 )
 
@@ -52,6 +57,21 @@ type Campaign struct {
 	// MaxFailures caps the recorded failure list (default 20); further
 	// failures are only counted.
 	MaxFailures int
+
+	// StateFile persists each run's outcome as it completes (JSON lines,
+	// mutex-guarded appends). A campaign killed partway leaves a valid file.
+	StateFile string
+	// Resume loads StateFile before running and skips every run already
+	// recorded there; the resumed campaign reaches the same verdicts as an
+	// uninterrupted one. Resuming a missing file starts a fresh campaign.
+	Resume bool
+
+	// testHookBeforeRun, when set, runs in the worker before each
+	// simulation — tests use it to inject worker panics.
+	testHookBeforeRun func(i int)
+	// noWarmShrink forces every shrink candidate onto a cold from-scratch
+	// run — tests use it to pin warm/cold shrink equivalence.
+	noWarmShrink bool
 }
 
 // Failure is one failing campaign run.
@@ -83,9 +103,27 @@ type FailureReport struct {
 	Clauses int
 	// ShrinkRuns is how many reruns the minimization spent.
 	ShrinkRuns int
+	// Shrink accounts the minimization work: how many candidate reruns were
+	// served from the warm checkpoint and how much virtual time the whole
+	// minimization re-simulated.
+	Shrink ShrinkStats
 	// Command is a ready-to-run dftsim invocation reproducing the
 	// minimized failure.
 	Command string
+}
+
+// ShrinkStats accounts the simulation work a minimization spent. With the
+// warm checkpoint in play, VirtualSeconds stays well below Candidates ×
+// horizon: each reused candidate re-simulates only the span from the
+// checkpoint to the horizon instead of the whole run.
+type ShrinkStats struct {
+	// Candidates is the number of clause-subset reruns attempted.
+	Candidates int
+	// Reused is how many of them restarted from the warm checkpoint.
+	Reused int
+	// VirtualSeconds is the total virtual time re-simulated, including the
+	// one-off cost of building the checkpoint itself.
+	VirtualSeconds float64
 }
 
 // Summary digests a whole campaign.
@@ -136,30 +174,72 @@ func (c Campaign) withDefaults() Campaign {
 	return c
 }
 
+// outcome is one run's identity and result — what the campaign judges and
+// what the state file persists.
+type outcome struct {
+	seed     uint64
+	plan     faults.Plan
+	res      scenario.Result
+	err      error
+	ran      bool
+	panicked bool
+}
+
 // Run executes the campaign. The returned error covers campaign-level
-// problems (an invalid base config); failing runs are reported in the
-// Summary, not as errors.
+// problems (an invalid base config, an unreadable state file); failing runs
+// are reported in the Summary, not as errors.
 func (c Campaign) Run() (Summary, error) {
 	c = c.withDefaults()
 	if c.Base.NumSinks < 1 {
 		return Summary{}, errors.New("chaos: base config needs at least one sink")
 	}
-	type outcome struct {
-		seed uint64
-		plan faults.Plan
-		res  scenario.Result
-		err  error
-		ran  bool
-	}
 	outcomes := make([]outcome, c.Runs)
-	_ = sweep.Parallel(c.Runs, c.Workers, func(i int) error {
+	resuming := false
+	if c.Resume && c.StateFile != "" {
+		found, err := c.loadState(outcomes)
+		if err != nil {
+			return Summary{}, err
+		}
+		resuming = found
+	}
+	state, err := c.openState(resuming)
+	if err != nil {
+		return Summary{}, err
+	}
+	defer state.Close()
+
+	errs := sweep.ParallelErrors(c.Runs, c.Workers, func(i int) error {
+		if outcomes[i].ran {
+			return nil // resumed from the state file
+		}
 		rng := simrand.New(c.Seed).Split(fmt.Sprintf("chaos/%d", i))
 		plan := RandomPlan(rng.Split("plan"), c.Base.DurationSeconds, c.Base.NumSinks)
 		seed := rng.Split("seed").Uint64()
+		// Record the run's identity before simulating, so a panic below is
+		// still attributable to its seed and plan.
+		outcomes[i] = outcome{seed: seed, plan: plan}
+		if c.testHookBeforeRun != nil {
+			c.testHookBeforeRun(i)
+		}
 		res, err := c.runOnce(seed, plan)
 		outcomes[i] = outcome{seed: seed, plan: plan, res: res, err: err, ran: true}
+		state.record(i, outcomes[i])
 		return nil
 	})
+	for i := range outcomes {
+		if outcomes[i].ran || errs[i] == nil {
+			continue
+		}
+		// The worker panicked out of the simulation; the pool recovered it.
+		// Judge the run as a failure under its already-drawn identity.
+		outcomes[i].err = errs[i]
+		outcomes[i].ran = true
+		outcomes[i].panicked = true
+		state.record(i, outcomes[i])
+	}
+	if err := state.flushErr(); err != nil {
+		return Summary{}, err
+	}
 
 	sum := Summary{Runs: c.Runs, MinDeliveryRatio: math.Inf(1)}
 	var firstFailure *Failure
@@ -179,6 +259,9 @@ func (c Campaign) Run() (Summary, error) {
 			sum.CopiesLost += o.res.Resilience.CopiesLost
 		}
 		kind, reason, failed := c.judge(o.res, o.err, o.plan)
+		if o.panicked {
+			kind = "panic"
+		}
 		if !failed {
 			continue
 		}
@@ -211,8 +294,16 @@ func (c Campaign) Run() (Summary, error) {
 	return sum, nil
 }
 
-// runOnce executes the base scenario with the given seed and fault plan.
-func (c Campaign) runOnce(seed uint64, plan faults.Plan) (scenario.Result, error) {
+// runOnce executes the base scenario with the given seed and fault plan. A
+// panicking simulation is recovered into an error, so a deterministic panic
+// found by the campaign reproduces as an "error" failure when shrunk or
+// resumed rather than crashing the harness.
+func (c Campaign) runOnce(seed uint64, plan faults.Plan) (res scenario.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
 	cfg := c.Base
 	cfg.Seed = seed
 	if plan.Enabled() {
@@ -226,6 +317,154 @@ func (c Campaign) runOnce(seed uint64, plan faults.Plan) (scenario.Result, error
 		return scenario.Result{}, err
 	}
 	return s.Run()
+}
+
+// stateHeader is the campaign fingerprint leading the state file; a resume
+// against a file from a different campaign is rejected.
+type stateHeader struct {
+	Seed     uint64  `json:"campaign_seed"`
+	Runs     int     `json:"runs"`
+	Scheme   string  `json:"scheme"`
+	Sensors  int     `json:"sensors"`
+	Sinks    int     `json:"sinks"`
+	Duration float64 `json:"duration_s"`
+}
+
+func (c Campaign) header() stateHeader {
+	return stateHeader{
+		Seed: c.Seed, Runs: c.Runs, Scheme: c.Base.Scheme.String(),
+		Sensors: c.Base.NumSensors, Sinks: c.Base.NumSinks,
+		Duration: c.Base.DurationSeconds,
+	}
+}
+
+// runRecord is one persisted run outcome (a JSON line after the header).
+type runRecord struct {
+	Run    int              `json:"run"`
+	Seed   uint64           `json:"seed"`
+	Plan   faults.Plan      `json:"plan"`
+	Err    string           `json:"err,omitempty"`
+	Panic  bool             `json:"panic,omitempty"`
+	Result *scenario.Result `json:"result,omitempty"`
+}
+
+// loadState reads the state file into outcomes. A missing file is not an
+// error (found=false): the resume starts a fresh campaign.
+func (c Campaign) loadState(outcomes []outcome) (found bool, err error) {
+	f, err := os.Open(c.StateFile)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("chaos: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return false, fmt.Errorf("chaos: state file %s is empty", c.StateFile)
+	}
+	var hdr stateHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return false, fmt.Errorf("chaos: state file %s: %w", c.StateFile, err)
+	}
+	if hdr != c.header() {
+		return false, fmt.Errorf("chaos: state file %s belongs to a different campaign: %+v", c.StateFile, hdr)
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		var rec runRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return false, fmt.Errorf("chaos: state file %s line %d: %w", c.StateFile, line, err)
+		}
+		if rec.Run < 0 || rec.Run >= len(outcomes) {
+			return false, fmt.Errorf("chaos: state file %s line %d: run %d out of range", c.StateFile, line, rec.Run)
+		}
+		o := outcome{seed: rec.Seed, plan: rec.Plan, ran: true, panicked: rec.Panic}
+		if rec.Err != "" {
+			o.err = errors.New(rec.Err)
+		}
+		if rec.Result != nil {
+			o.res = *rec.Result
+		}
+		outcomes[rec.Run] = o
+	}
+	if err := sc.Err(); err != nil {
+		return false, fmt.Errorf("chaos: state file %s: %w", c.StateFile, err)
+	}
+	return true, nil
+}
+
+// stateWriter appends run records to the campaign state file as runs
+// complete; a no-op when the campaign has no StateFile.
+type stateWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	enc *json.Encoder
+	err error
+}
+
+// openState prepares the state file for appending: a fresh campaign
+// truncates and writes the header, a resume appends to the validated file.
+func (c Campaign) openState(appendExisting bool) (*stateWriter, error) {
+	if c.StateFile == "" {
+		return &stateWriter{}, nil
+	}
+	if appendExisting {
+		f, err := os.OpenFile(c.StateFile, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+		return &stateWriter{f: f, enc: json.NewEncoder(f)}, nil
+	}
+	f, err := os.Create(c.StateFile)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	w := &stateWriter{f: f, enc: json.NewEncoder(f)}
+	if err := w.enc.Encode(c.header()); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	return w, nil
+}
+
+// record persists one completed run. Encoding errors are latched and
+// surfaced once by flushErr, so one bad write fails the campaign loudly
+// instead of silently truncating the state.
+func (w *stateWriter) record(i int, o outcome) {
+	if w.f == nil {
+		return
+	}
+	rec := runRecord{Run: i, Seed: o.seed, Plan: o.plan, Panic: o.panicked}
+	if o.err != nil {
+		rec.Err = o.err.Error()
+	} else {
+		res := o.res
+		rec.Result = &res
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return
+	}
+	if err := w.enc.Encode(rec); err != nil {
+		w.err = fmt.Errorf("chaos: state file: %w", err)
+	}
+}
+
+func (w *stateWriter) flushErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+func (w *stateWriter) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Close()
 }
 
 // judge classifies one run outcome. A run fails on (in precedence order) a
@@ -307,16 +546,26 @@ func ClauseCount(p faults.Plan) int { return len(clausesOf(p)) }
 // Iterated to a fixed point within the rerun budget, this finds a
 // 1-minimal failing subset (removing any single remaining clause makes
 // the failure disappear).
+//
+// Every candidate shares the failing run's fault-free prefix, so shrink
+// checkpoints that prefix once, shortly before the plan's first discrete
+// fault, and warm-restores each candidate from there — re-simulating only
+// the faulted tail instead of the whole horizon. Candidates the checkpoint
+// cannot serve (a dropped burst clause changes the channel state baked into
+// it) fall back to cold from-scratch runs; either way the verdicts are
+// bit-identical to cold shrinking.
 func (c Campaign) shrink(f Failure) FailureReport {
 	report := FailureReport{Failure: f, Minimized: f.Plan}
+	warm := c.warmCheckpoint(f, &report.Shrink)
 	keep := clausesOf(f.Plan)
 	for changed := true; changed && report.ShrinkRuns < c.MaxShrinkRuns; {
 		changed = false
 		for i := 0; i < len(keep) && report.ShrinkRuns < c.MaxShrinkRuns; i++ {
 			cand := append(append([]clause(nil), keep[:i]...), keep[i+1:]...)
-			res, err := c.runOnce(f.Seed, buildPlan(f.Plan, cand))
+			plan := buildPlan(f.Plan, cand)
+			res, err := c.runCandidate(f.Seed, plan, warm, &report.Shrink)
 			report.ShrinkRuns++
-			if _, _, failed := c.judge(res, err, buildPlan(f.Plan, cand)); failed {
+			if _, _, failed := c.judge(res, err, plan); failed {
 				keep = cand
 				changed = true
 				i--
@@ -327,6 +576,72 @@ func (c Campaign) shrink(f Failure) FailureReport {
 	report.Clauses = len(keep)
 	report.Command = c.command(f.Seed, report.Minimized)
 	return report
+}
+
+// warmShrinkState is the shared checkpoint shrink candidates restart from:
+// the encoded snapshot (decoded per candidate so restores share no mutable
+// state) and its instant.
+type warmShrinkState struct {
+	blob []byte
+	time float64
+}
+
+// warmCheckpoint simulates the failing run's fault-free prefix — the base
+// config under the failing seed, keeping only the plan's burst clause — to
+// 80% of the way to the first discrete fault and snapshots there. Returns
+// nil (cold shrinking) when the plan has no discrete faults to stop before,
+// when the base folds in legacy fail fields the substitution would drop, or
+// when no quiescent instant lands strictly before the first fault.
+func (c Campaign) warmCheckpoint(f Failure, stats *ShrinkStats) *warmShrinkState {
+	if c.noWarmShrink || c.Base.FailFraction != 0 || c.Base.FailAtSeconds != 0 {
+		return nil
+	}
+	ff, ok := (&f.Plan).FirstFaultSeconds()
+	if !ok || ff <= 0 {
+		return nil
+	}
+	cfg := c.Base
+	cfg.Seed = f.Seed
+	cfg.Faults = nil
+	if f.Plan.Burst != nil {
+		cfg.Faults = &faults.Plan{Burst: f.Plan.Burst}
+	}
+	s, err := scenario.New(cfg)
+	if err != nil {
+		return nil
+	}
+	snap, err := s.CheckpointAt(0.8 * ff)
+	if err != nil || snap.Time >= ff {
+		return nil
+	}
+	blob, err := snapshot.EncodeBytes(snap)
+	if err != nil {
+		return nil
+	}
+	stats.VirtualSeconds += snap.Time // the one-off cost of building it
+	return &warmShrinkState{blob: blob, time: snap.Time}
+}
+
+// runCandidate executes one shrink candidate, warm from the checkpoint when
+// it admits the plan and cold otherwise, accounting the virtual time spent.
+func (c Campaign) runCandidate(seed uint64, plan faults.Plan, warm *warmShrinkState, stats *ShrinkStats) (scenario.Result, error) {
+	stats.Candidates++
+	if warm != nil {
+		if snap, err := snapshot.DecodeBytes(warm.blob); err == nil {
+			var p *faults.Plan
+			if plan.Enabled() {
+				pp := plan
+				p = &pp
+			}
+			if s, err := scenario.RestoreForPlan(snap, p); err == nil {
+				stats.Reused++
+				stats.VirtualSeconds += c.Base.DurationSeconds - warm.time
+				return s.Run()
+			}
+		}
+	}
+	stats.VirtualSeconds += c.Base.DurationSeconds
+	return c.runOnce(seed, plan)
 }
 
 // command renders a ready-to-run dftsim invocation reproducing a failing
@@ -431,6 +746,8 @@ func (s Summary) Format() string {
 	if m := s.Minimized; m != nil {
 		fmt.Fprintf(&b, "minimized         run %d shrunk to %d fault clauses in %d reruns\n",
 			m.RunIndex, m.Clauses, m.ShrinkRuns)
+		fmt.Fprintf(&b, "shrink work       %d of %d candidates warm-restored, %.0f virtual s re-simulated\n",
+			m.Shrink.Reused, m.Shrink.Candidates, m.Shrink.VirtualSeconds)
 		fmt.Fprintf(&b, "reproduce with    %s\n", m.Command)
 	}
 	return b.String()

@@ -1,6 +1,9 @@
 package chaos
 
 import (
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -163,5 +166,217 @@ func TestShrinkFindsMinimalClauseSubset(t *testing.T) {
 	only := buildPlan(p, cs[1:2])
 	if only.Churn != nil || len(only.SinkOutages) != 1 || only.Burst != nil || len(only.Kills) != 0 {
 		t.Fatalf("subset rebuild wrong: %+v", only)
+	}
+}
+
+// lateFaultPlan is a plan whose first discrete fault is late enough for a
+// warm checkpoint to pay off (burst loss may start immediately; it is baked
+// into the checkpoint).
+func lateFaultPlan() faults.Plan {
+	return faults.Plan{
+		Churn:       &faults.Churn{StartSeconds: 250, MTBFSeconds: 150, MTTRSeconds: 30, Fraction: 0.3},
+		SinkOutages: []faults.Outage{{Sink: 0, StartSeconds: 280, DurationSeconds: 60}},
+		Kills:       []faults.Kill{{AtSeconds: 300, Fraction: 0.2}},
+		Burst:       &faults.Burst{GoodLossProb: 0.01, BadLossProb: 0.5, MeanGoodSeconds: 40, MeanBadSeconds: 10},
+	}
+}
+
+// TestShrinkCandidatesAreBitIdenticalWarmOrCold pins the shrink reuse
+// contract: every clause-subset candidate run from the warm checkpoint must
+// produce exactly the Result a cold from-scratch run produces — including
+// subsets the checkpoint cannot serve (dropped burst clause), which must
+// silently fall back to cold runs.
+func TestShrinkCandidatesAreBitIdenticalWarmOrCold(t *testing.T) {
+	c := Campaign{Base: smallBase(), MinDeliveryRatio: 1.1}.withDefaults()
+	f := Failure{Seed: 77, Plan: lateFaultPlan(), Kind: "bound"}
+	var stats ShrinkStats
+	warm := c.warmCheckpoint(f, &stats)
+	if warm == nil {
+		t.Fatal("no warm checkpoint for a late-fault plan")
+	}
+	if ff, _ := (&f.Plan).FirstFaultSeconds(); warm.time >= ff {
+		t.Fatalf("checkpoint at %v s is not before the first fault at %v s", warm.time, ff)
+	}
+	cs := clausesOf(f.Plan)
+	candidates := [][]clause{cs, cs[:0], cs[0:1], cs[1:3], cs[2:4]}
+	sawWarm, sawCold := false, false
+	for i, keep := range candidates {
+		plan := buildPlan(f.Plan, keep)
+		before := stats.Reused
+		warmRes, warmErr := c.runCandidate(f.Seed, plan, warm, &stats)
+		coldRes, coldErr := c.runOnce(f.Seed, plan)
+		if (warmErr == nil) != (coldErr == nil) {
+			t.Fatalf("candidate %d: warm err %v, cold err %v", i, warmErr, coldErr)
+		}
+		if !reflect.DeepEqual(warmRes, coldRes) {
+			t.Errorf("candidate %d (%d clauses) diverges between warm and cold runs", i, len(keep))
+		}
+		if stats.Reused > before {
+			sawWarm = true
+		} else {
+			sawCold = true
+		}
+	}
+	if !sawWarm || !sawCold {
+		t.Fatalf("candidate set did not exercise both paths: warm=%v cold=%v", sawWarm, sawCold)
+	}
+}
+
+// TestShrinkWarmCheckpointSavesVirtualTime is the efficiency acceptance
+// check: with the warm checkpoint, a shrink re-simulates strictly less
+// virtual time than candidates × horizon, and reaches the same minimized
+// plan a cold shrink does.
+func TestShrinkWarmCheckpointSavesVirtualTime(t *testing.T) {
+	c := Campaign{Base: smallBase(), MinDeliveryRatio: 1.1}.withDefaults()
+	f := Failure{Seed: 77, Plan: lateFaultPlan(), Kind: "bound"}
+	warmRep := c.shrink(f)
+	if warmRep.Shrink.Candidates != warmRep.ShrinkRuns || warmRep.Shrink.Candidates == 0 {
+		t.Fatalf("candidate accounting off: %+v vs %d reruns", warmRep.Shrink, warmRep.ShrinkRuns)
+	}
+	if warmRep.Shrink.Reused == 0 {
+		t.Fatal("no candidate was warm-restored")
+	}
+	budget := float64(warmRep.Shrink.Candidates) * c.Base.DurationSeconds
+	if warmRep.Shrink.VirtualSeconds >= budget {
+		t.Fatalf("shrink re-simulated %.0f virtual s, not below the %.0f s cold budget",
+			warmRep.Shrink.VirtualSeconds, budget)
+	}
+
+	cold := c
+	cold.noWarmShrink = true
+	coldRep := cold.shrink(f)
+	if coldRep.Shrink.Reused != 0 {
+		t.Fatalf("cold shrink reused the checkpoint: %+v", coldRep.Shrink)
+	}
+	if !reflect.DeepEqual(warmRep.Minimized, coldRep.Minimized) ||
+		warmRep.Clauses != coldRep.Clauses || warmRep.ShrinkRuns != coldRep.ShrinkRuns {
+		t.Fatalf("warm and cold shrinking disagree:\nwarm: %+v (%d clauses, %d runs)\ncold: %+v (%d clauses, %d runs)",
+			warmRep.Minimized, warmRep.Clauses, warmRep.ShrinkRuns,
+			coldRep.Minimized, coldRep.Clauses, coldRep.ShrinkRuns)
+	}
+}
+
+// TestCampaignStateResume pins the checkpointed-campaign contract: a
+// campaign interrupted partway resumes from its state file to the exact
+// verdicts of an uninterrupted run, and a fully recorded campaign resumes
+// without re-running anything.
+func TestCampaignStateResume(t *testing.T) {
+	sf := filepath.Join(t.TempDir(), "state.jsonl")
+	c := Campaign{Base: smallBase(), Runs: 10, Seed: 11, StateFile: sf}
+	full, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(blob), "\n"), "\n")
+	if len(lines) != 1+c.Runs {
+		t.Fatalf("state file has %d lines, want header + %d records", len(lines), c.Runs)
+	}
+
+	// Simulate an interruption: keep the header and the first four records.
+	if err := os.WriteFile(sf, []byte(strings.Join(lines[:5], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c.Resume = true
+	resumed, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		t.Fatalf("resumed campaign verdict differs:\nfull:    %+v\nresumed: %+v", full, resumed)
+	}
+
+	// The file is complete again; a further resume must re-run nothing —
+	// observable as the state file not growing.
+	before, err := os.ReadFile(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, again) {
+		t.Fatal("fully resumed campaign verdict differs")
+	}
+	if len(after) != len(before) {
+		t.Fatalf("fully resumed campaign appended %d bytes — it re-ran recorded work", len(after)-len(before))
+	}
+
+	// A state file from a different campaign must be rejected.
+	other := c
+	other.Seed = 999
+	if _, err := other.Run(); err == nil {
+		t.Fatal("foreign state file accepted")
+	}
+}
+
+// TestCampaignResumeReachesFailingVerdicts covers resume across a failing
+// campaign: verdicts, failure digest and the minimized reproducer must
+// match the uninterrupted run's.
+func TestCampaignResumeReachesFailingVerdicts(t *testing.T) {
+	sf := filepath.Join(t.TempDir(), "state.jsonl")
+	c := Campaign{Base: smallBase(), Runs: 6, Seed: 3, MinDeliveryRatio: 1.1, StateFile: sf}
+	full, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Clean() || full.Minimized == nil {
+		t.Fatalf("impossible bound produced a clean campaign: %+v", full)
+	}
+	blob, err := os.ReadFile(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(blob), "\n"), "\n")
+	if err := os.WriteFile(sf, []byte(strings.Join(lines[:3], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c.Resume = true
+	resumed, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		t.Fatalf("resumed failing campaign differs:\nfull:    %s\nresumed: %s", full.Format(), resumed.Format())
+	}
+}
+
+// TestWorkerPanicIsRecordedNotFatal injects a panic into one campaign
+// worker: the campaign must finish, judge the other runs normally, and
+// surface the panicked run in the failure digest with its seed and plan.
+func TestWorkerPanicIsRecordedNotFatal(t *testing.T) {
+	c := Campaign{Base: smallBase(), Runs: 6, Seed: 5}
+	c.testHookBeforeRun = func(i int) {
+		if i == 3 {
+			panic("injected worker panic")
+		}
+	}
+	sum, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Runs != 6 {
+		t.Fatalf("campaign ran %d of 6", sum.Runs)
+	}
+	if sum.FailureCount != 1 {
+		t.Fatalf("%d failures, want exactly the panicked run:\n%s", sum.FailureCount, sum.Format())
+	}
+	f := sum.Failures[0]
+	if f.RunIndex != 3 || f.Kind != "panic" || !strings.Contains(f.Reason, "injected worker panic") {
+		t.Fatalf("panicked run misrecorded: %+v", f)
+	}
+	if f.Seed == 0 {
+		t.Fatal("panicked run lost its seed")
+	}
+	if !strings.Contains(sum.Format(), "panic") {
+		t.Errorf("digest does not show the panic:\n%s", sum.Format())
 	}
 }

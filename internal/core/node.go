@@ -167,7 +167,12 @@ type Node struct {
 
 	startCycleFn func() // pre-bound n.startCycle for retry scheduling
 	wakeFn       func() // pre-bound end-of-sleep wake callback
-	xiBuf        []float64
+	// Retained start-retry and sleep-wake handles for snapshots. These are
+	// slices, not single events: a crash-recover during a sleep can leave a
+	// stale wake pending while a new one is scheduled, and both fire.
+	retryEvs []*sim.Event
+	wakeEvs  []*sim.Event
+	xiBuf    []float64
 }
 
 // Idle-span plan caps: a plan covers at most planMaxCycles cycles and at
@@ -383,7 +388,7 @@ func (n *Node) startCycle() {
 	tau := n.rng.SlotIn(sigma)
 	if err := n.engine.StartCycle(tau); err != nil {
 		// The radio is mid-switch or otherwise unavailable: retry shortly.
-		n.sched.Post(n.params.DecayInterval/100+1e-3, "", n.startCycleFn)
+		n.retryEvs = appendPending(n.retryEvs, n.sched.After(n.params.DecayInterval/100+1e-3, n.startCycleFn))
 	}
 }
 
@@ -718,7 +723,20 @@ func (n *Node) goToSleep(now float64) {
 	n.stats.Sleeps++
 	n.stats.SleepSeconds += dur
 	n.rec.Record(telemetry.Event{Time: now, Node: n.id, Type: telemetry.EvSleep, Value: dur})
-	n.sched.Post(dur, "", n.wakeFn)
+	n.wakeEvs = appendPending(n.wakeEvs, n.sched.After(dur, n.wakeFn))
+}
+
+// appendPending appends ev to evs, pruning entries that have already fired
+// so the retained-handle slices stay bounded by the number of genuinely
+// concurrent events (in practice one, occasionally two across a crash).
+func appendPending(evs []*sim.Event, ev *sim.Event) []*sim.Event {
+	out := evs[:0]
+	for _, e := range evs {
+		if e.Pending() {
+			out = append(out, e)
+		}
+	}
+	return append(out, ev)
 }
 
 // onAwake is called when the radio finishes powering on.

@@ -226,3 +226,41 @@ func (m *Meter) DutyCycle(now float64) float64 {
 
 // Switches returns the number of state changes so far.
 func (m *Meter) Switches() uint64 { return m.switches }
+
+// MeterState is a Meter's snapshot. The profile is configuration and is
+// rebuilt, not serialized.
+type MeterState struct {
+	State    State
+	Since    float64
+	Joules   [numStates + 1]float64
+	Duration [numStates + 1]float64
+	Switches uint64
+}
+
+// ExportState captures the meter without accruing: time since the last state
+// change is charged identically whether accrual happens before or after a
+// restore, so a non-mutating capture keeps the original and restored runs
+// bit-identical.
+func (m *Meter) ExportState() MeterState {
+	return MeterState{
+		State:    m.state,
+		Since:    m.since,
+		Joules:   m.joules,
+		Duration: m.duration,
+		Switches: m.switches,
+	}
+}
+
+// RestoreState overlays a snapshot onto a freshly built meter with the same
+// profile.
+func (m *Meter) RestoreState(st MeterState) error {
+	if !st.State.valid() {
+		return fmt.Errorf("energy: snapshot state %d invalid", int(st.State))
+	}
+	m.state = st.State
+	m.since = st.Since
+	m.joules = st.Joules
+	m.duration = st.Duration
+	m.switches = st.Switches
+	return nil
+}

@@ -86,6 +86,16 @@ func (d *DeliveryProb) PeekTimeout(xi float64) float64 {
 	return clampUnit((1 - d.alpha) * xi)
 }
 
+// RestoreValue overwrites ξ with a snapshotted value. Sinks stay pinned
+// at 1.
+func (d *DeliveryProb) RestoreValue(xi float64) {
+	if d.sink {
+		d.xi = 1
+		return
+	}
+	d.xi = clampUnit(xi)
+}
+
 // Reset returns ξ to its initial value (0 for sensors, 1 for sinks).
 func (d *DeliveryProb) Reset() {
 	if d.sink {

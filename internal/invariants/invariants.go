@@ -471,6 +471,70 @@ func (e *Engine) Finish(digestCopiesLost uint64) {
 	}
 }
 
+// NodeCheckState is one probed node's snapshot inside an EngineState,
+// ordered by probe registration.
+type NodeCheckState struct {
+	LastXi       float64
+	LastSuccess  uint64
+	LastVersion  uint64
+	LastQueueLen int
+	MuteLiveness float64
+}
+
+// EngineState is the engine's snapshot: the per-node sweep memories plus the
+// run-wide counters and ledger. Options and probes are rebuilt, not
+// serialized.
+type EngineState struct {
+	Nodes            []NodeCheckState
+	Now              float64
+	Checks           uint64
+	Violations       uint64
+	Recorded         []Violation
+	CrashWipedCopies uint64
+	CrashReports     uint64
+}
+
+// ExportState captures the engine for a snapshot.
+func (e *Engine) ExportState() EngineState {
+	st := EngineState{
+		Now:              e.now,
+		Checks:           e.checks,
+		Violations:       e.violations,
+		Recorded:         append([]Violation(nil), e.recorded...),
+		CrashWipedCopies: e.crashWipedCopies,
+		CrashReports:     e.crashReports,
+	}
+	for _, n := range e.nodes {
+		st.Nodes = append(st.Nodes, NodeCheckState{
+			LastXi: n.lastXi, LastSuccess: n.lastSuccess, LastVersion: n.lastVersion,
+			LastQueueLen: n.lastQueueLen, MuteLiveness: n.muteLiveness,
+		})
+	}
+	return st
+}
+
+// RestoreState overlays a snapshot onto an engine with the same probes
+// registered in the same order.
+func (e *Engine) RestoreState(st EngineState) error {
+	if len(st.Nodes) != len(e.nodes) {
+		return fmt.Errorf("invariants: snapshot has %d node states, engine has %d probes", len(st.Nodes), len(e.nodes))
+	}
+	for i, n := range st.Nodes {
+		e.nodes[i].lastXi = n.LastXi
+		e.nodes[i].lastSuccess = n.LastSuccess
+		e.nodes[i].lastVersion = n.LastVersion
+		e.nodes[i].lastQueueLen = n.LastQueueLen
+		e.nodes[i].muteLiveness = n.MuteLiveness
+	}
+	e.now = st.Now
+	e.checks = st.Checks
+	e.violations = st.Violations
+	e.recorded = append(e.recorded[:0], st.Recorded...)
+	e.crashWipedCopies = st.CrashWipedCopies
+	e.crashReports = st.CrashReports
+	return nil
+}
+
 // Digest summarises the engine state for a run result.
 type Digest struct {
 	// Armed reports whether checking was enabled.

@@ -1,0 +1,96 @@
+package mac
+
+import (
+	"fmt"
+
+	"dftmsn/internal/sim"
+	"dftmsn/internal/simrand"
+)
+
+// Quiescent reports whether the engine is in a phase a snapshot can capture:
+// no frame on the air or expected, no CTS/ACK slot armed — only the cycle
+// timer (listen expiry or receiver-window end) may be pending. The
+// checkpoint machinery steps the kernel until every engine is quiescent
+// before capturing, so mid-exchange MAC state never needs serializing.
+func (e *Engine) Quiescent() bool {
+	switch e.phase {
+	case phOff, phListen, phListenOnly, phCoalesced:
+		return true
+	default:
+		return false
+	}
+}
+
+// EngineState is a quiescent engine's snapshot. Per-exchange scratch state
+// (candidates, schedule, pending frames) is empty in every quiescent phase
+// and is not carried.
+type EngineState struct {
+	Phase      string // phase name, one of the quiescent phases
+	CycleStart float64
+	Stats      Stats
+	RNG        simrand.State
+	Timer      *sim.EventRef
+}
+
+// ExportState captures the engine for a snapshot. It fails when the engine
+// is mid-exchange; callers must reach quiescence first.
+func (e *Engine) ExportState() (EngineState, error) {
+	if !e.Quiescent() {
+		return EngineState{}, fmt.Errorf("mac: engine in phase %s, cannot snapshot mid-exchange", e.phase)
+	}
+	return EngineState{
+		Phase:      e.phase.String(),
+		CycleStart: e.cycleStart,
+		Stats:      e.stats,
+		RNG:        e.rng.State(),
+		Timer:      sim.Ref(e.timer),
+	}, nil
+}
+
+// quiescentPhase maps a snapshot phase name back to the phase value,
+// accepting only quiescent phases.
+func quiescentPhase(name string) (phase, error) {
+	for _, p := range []phase{phOff, phListen, phListenOnly, phCoalesced} {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return phOff, fmt.Errorf("mac: snapshot phase %q is not a quiescent phase", name)
+}
+
+// RestoreState overlays a snapshot onto a freshly built engine, re-injecting
+// the cycle timer at its exact recorded position. The timer callback is
+// inferred from the phase: listening expiry for phListen, cycle end for
+// phListenOnly; the other quiescent phases carry no timer.
+func (e *Engine) RestoreState(st EngineState) error {
+	p, err := quiescentPhase(st.Phase)
+	if err != nil {
+		return err
+	}
+	var fn func()
+	switch p {
+	case phListen:
+		fn = e.listenExpiredFn
+	case phListenOnly:
+		fn = e.endCycleFn
+	default:
+		if st.Timer != nil {
+			return fmt.Errorf("mac: snapshot phase %s carries a timer", st.Phase)
+		}
+	}
+	if fn != nil && st.Timer == nil {
+		return fmt.Errorf("mac: snapshot phase %s is missing its timer", st.Phase)
+	}
+	ev, err := e.sched.InjectAt(st.Timer, fn)
+	if err != nil {
+		return err
+	}
+	if ev != nil {
+		e.timer = ev
+	}
+	e.phase = p
+	e.cycleStart = st.CycleStart
+	e.stats = st.Stats
+	e.rng.Restore(st.RNG)
+	return nil
+}

@@ -177,6 +177,58 @@ func (c *Collector) Summarize() Summary {
 	return s
 }
 
+// MessageState is one message's snapshot inside a CollectorState, carried in
+// generation order so the encoding is deterministic.
+type MessageState struct {
+	ID          packet.MessageID
+	Origin      packet.NodeID
+	GeneratedAt float64
+	DeliveredAt float64
+	Delivered   bool
+	Duplicates  int
+	Hops        int
+	CrashLost   int
+}
+
+// CollectorState is a Collector's snapshot.
+type CollectorState struct {
+	Messages            []MessageState
+	InvariantViolations int
+	FirstViolation      string
+}
+
+// ExportState captures the collector for a snapshot.
+func (c *Collector) ExportState() CollectorState {
+	st := CollectorState{
+		InvariantViolations: c.invariantViolations,
+		FirstViolation:      c.firstViolation,
+	}
+	for _, id := range c.order {
+		rec := c.messages[id]
+		st.Messages = append(st.Messages, MessageState{
+			ID: id, Origin: rec.origin, GeneratedAt: rec.generatedAt,
+			DeliveredAt: rec.deliveredAt, Delivered: rec.delivered,
+			Duplicates: rec.duplicates, Hops: rec.hops, CrashLost: rec.crashLost,
+		})
+	}
+	return st
+}
+
+// RestoreState overlays a snapshot onto a fresh collector.
+func (c *Collector) RestoreState(st CollectorState) {
+	clear(c.messages)
+	c.order = c.order[:0]
+	for _, m := range st.Messages {
+		c.messages[m.ID] = &messageRecord{
+			origin: m.Origin, generatedAt: m.GeneratedAt, deliveredAt: m.DeliveredAt,
+			delivered: m.Delivered, duplicates: m.Duplicates, hops: m.Hops, crashLost: m.CrashLost,
+		}
+		c.order = append(c.order, m.ID)
+	}
+	c.invariantViolations = st.InvariantViolations
+	c.firstViolation = st.FirstViolation
+}
+
 // RecoveryTime measures how long after a fault at faultStart the delivery
 // rate returns to threshold× its pre-fault baseline. Both rates are
 // deliveries per window seconds: the baseline averages the whole pre-fault

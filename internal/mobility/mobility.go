@@ -295,6 +295,51 @@ func neighborAcross(g *geo.Grid, z geo.ZoneID, hit edge) (geo.ZoneID, bool) {
 	return 0, false
 }
 
+// WalkerState is one node's snapshot inside a ZoneWalk.
+type WalkerState struct {
+	Pos   geo.Point
+	Home  geo.ZoneID
+	Zone  geo.ZoneID
+	DirX  float64
+	DirY  float64
+	Speed float64
+}
+
+// ZoneWalkState is a ZoneWalk's snapshot: every walker plus the mobility RNG
+// stream, so post-restore boundary decisions replay the original draws.
+type ZoneWalkState struct {
+	Nodes []WalkerState
+	RNG   simrand.State
+}
+
+// ExportState captures the walk for a snapshot.
+func (w *ZoneWalk) ExportState() ZoneWalkState {
+	st := ZoneWalkState{RNG: w.rng.State()}
+	for _, n := range w.nodes {
+		st.Nodes = append(st.Nodes, WalkerState{
+			Pos: n.pos, Home: n.home, Zone: n.zone,
+			DirX: n.dirX, DirY: n.dirY, Speed: n.speed,
+		})
+	}
+	return st
+}
+
+// RestoreState overlays a snapshot onto a freshly built walk with the same
+// node count and grid.
+func (w *ZoneWalk) RestoreState(st ZoneWalkState) error {
+	if len(st.Nodes) != len(w.nodes) {
+		return fmt.Errorf("mobility: snapshot has %d walkers, walk has %d", len(st.Nodes), len(w.nodes))
+	}
+	for i, n := range st.Nodes {
+		w.nodes[i] = walker{
+			pos: n.Pos, home: n.Home, zone: n.Zone,
+			dirX: n.DirX, dirY: n.DirY, speed: n.Speed,
+		}
+	}
+	w.rng.Restore(st.RNG)
+	return nil
+}
+
 // Static is a Model for immobile nodes (sinks deployed at strategic
 // locations).
 type Static struct {

@@ -158,3 +158,32 @@ func (c *SleepController) SleepDuration(alpha float64) float64 {
 func (c *SleepController) TMax() float64 {
 	return c.cfg.TMin * float64(c.cfg.S) / (1 - c.cfg.H)
 }
+
+// SleepState is a SleepController's snapshot: the cycle-outcome ring buffer
+// and the idle-cycle counter. The configuration is rebuilt, not serialized.
+type SleepState struct {
+	History []bool
+	Next    int
+	Filled  int
+	Idle    int
+}
+
+// ExportState captures the controller for a snapshot.
+func (c *SleepController) ExportState() SleepState {
+	h := make([]bool, len(c.history))
+	copy(h, c.history)
+	return SleepState{History: h, Next: c.next, Filled: c.filled, Idle: c.idle}
+}
+
+// RestoreState overlays a snapshot onto a freshly built controller with the
+// same S.
+func (c *SleepController) RestoreState(st SleepState) error {
+	if len(st.History) != len(c.history) {
+		return fmt.Errorf("optimize: snapshot history length %d, controller has %d", len(st.History), len(c.history))
+	}
+	copy(c.history, st.History)
+	c.next = st.Next
+	c.filled = st.Filled
+	c.idle = st.Idle
+	return nil
+}

@@ -185,6 +185,8 @@ type Medium struct {
 	burst    *BurstConfig
 	burstRng *simrand.Source
 	burstBad bool
+	burstEv  *sim.Event // retained flip handle; reused across flips
+	flipFn   func()     // bound once; scheduleBurstFlip reuses it
 	frameLog func(now float64, src packet.NodeID, f packet.Frame)
 }
 
@@ -225,6 +227,10 @@ func NewMedium(sched *sim.Scheduler, cfg Config) (*Medium, error) {
 		m.index = newCellIndex(cfg.RangeM)
 	}
 	m.finishFn = func(arg any) { m.finish(arg.(*transmission)) }
+	m.flipFn = func() {
+		m.burstBad = !m.burstBad
+		m.scheduleBurstFlip()
+	}
 	return m, nil
 }
 
@@ -281,16 +287,15 @@ func (m *Medium) SetBurstLoss(cfg BurstConfig, rng *simrand.Source) error {
 // bad state (always false when SetBurstLoss was never called).
 func (m *Medium) BurstBad() bool { return m.burstBad }
 
-// scheduleBurstFlip arms the next Gilbert–Elliott state transition.
+// scheduleBurstFlip arms the next Gilbert–Elliott state transition, reusing
+// the retained flip handle (the medium is its exclusive owner, so
+// Reschedule is equivalent to the former per-flip AfterLabeled).
 func (m *Medium) scheduleBurstFlip() {
 	mean := m.burst.MeanGoodSeconds
 	if m.burstBad {
 		mean = m.burst.MeanBadSeconds
 	}
-	m.sched.AfterLabeled(m.burstRng.Exp(mean), "ge-flip", func() {
-		m.burstBad = !m.burstBad
-		m.scheduleBurstFlip()
-	})
+	m.burstEv = m.sched.Reschedule(m.burstEv, m.burstRng.Exp(mean), "ge-flip", m.flipFn)
 }
 
 // burstLossProb returns the current per-reception burst loss probability.

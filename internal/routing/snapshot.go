@@ -1,0 +1,187 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"dftmsn/internal/buffer"
+	"dftmsn/internal/packet"
+)
+
+// PendingXiState is one entry of FAD's pending-multicast ξ cache, keyed by
+// receiver node ID. Snapshots carry the cache as a node-sorted slice so the
+// encoding is deterministic (the live cache is a map).
+type PendingXiState struct {
+	Node packet.NodeID
+	Xi   float64
+}
+
+// State is a routing strategy's snapshot. One struct covers every scheme;
+// fields that do not apply to a strategy stay at their zero values. Kind
+// guards against overlaying a snapshot onto the wrong scheme.
+type State struct {
+	Kind string // Strategy.Name() of the captured scheme
+
+	// FAD: delivery probability and the Eq. 1 timeout clock.
+	Xi     float64
+	LastTx float64
+	TxEver bool
+	Queue  buffer.QueueState
+
+	// FIFO-backed schemes (ZBR, Direct, Epidemic).
+	FIFO buffer.FIFOState
+
+	// Lazy closed-form decay (FAD, ZBR).
+	LazyRunning bool
+	NextTick    float64
+	LazyTicks   uint64
+
+	// In-flight multicast context (FAD, ZBR, Direct).
+	PendingID  packet.MessageID
+	PendingXis []PendingXiState
+
+	// ZBR: direct-to-sink history EWMA and the per-epoch contact flag.
+	History     float64
+	SinkContact bool
+
+	// Sink: copies delivered so far.
+	Delivered uint64
+}
+
+// errKind reports a snapshot/strategy scheme mismatch.
+func errKind(want, got string) error {
+	return fmt.Errorf("routing: snapshot kind %q does not match strategy %q", got, want)
+}
+
+// ExportState captures the scheme without mutating it: lazy-decay epochs
+// pending at capture time stay pending and replay after restore exactly as
+// they would have live.
+func (f *FAD) ExportState() State {
+	st := State{
+		Kind:        f.Name(),
+		Xi:          f.prob.Value(),
+		LastTx:      f.lastTx,
+		TxEver:      f.txEver,
+		Queue:       f.queue.ExportState(),
+		LazyRunning: f.lazyRunning,
+		NextTick:    f.nextTick,
+		LazyTicks:   f.lazyTicks,
+		PendingID:   f.pendingID,
+	}
+	for node, xi := range f.pendingXis {
+		st.PendingXis = append(st.PendingXis, PendingXiState{Node: node, Xi: xi})
+	}
+	sort.Slice(st.PendingXis, func(i, j int) bool {
+		return st.PendingXis[i].Node < st.PendingXis[j].Node
+	})
+	return st
+}
+
+// RestoreState overlays a snapshot onto a freshly built FAD with the same
+// configuration.
+func (f *FAD) RestoreState(st State) error {
+	if st.Kind != f.Name() {
+		return errKind(f.Name(), st.Kind)
+	}
+	f.prob.RestoreValue(st.Xi)
+	f.lastTx = st.LastTx
+	f.txEver = st.TxEver
+	f.queue.RestoreState(st.Queue)
+	f.lazyRunning = st.LazyRunning
+	f.nextTick = st.NextTick
+	f.lazyTicks = st.LazyTicks
+	f.pendingID = st.PendingID
+	clear(f.pendingXis)
+	for _, p := range st.PendingXis {
+		f.pendingXis[p.Node] = p.Xi
+	}
+	return nil
+}
+
+// ExportState captures the scheme without mutating it.
+func (z *ZBR) ExportState() State {
+	return State{
+		Kind:        z.Name(),
+		FIFO:        z.fifo.ExportState(),
+		History:     z.history,
+		SinkContact: z.sinkContact,
+		LazyRunning: z.lazyRunning,
+		NextTick:    z.nextTick,
+		LazyTicks:   z.lazyTicks,
+		PendingID:   z.pendingID,
+	}
+}
+
+// RestoreState overlays a snapshot onto a freshly built ZBR with the same
+// configuration.
+func (z *ZBR) RestoreState(st State) error {
+	if st.Kind != z.Name() {
+		return errKind(z.Name(), st.Kind)
+	}
+	z.fifo.RestoreState(st.FIFO)
+	z.history = st.History
+	z.sinkContact = st.SinkContact
+	z.lazyRunning = st.LazyRunning
+	z.nextTick = st.NextTick
+	z.lazyTicks = st.LazyTicks
+	z.pendingID = st.PendingID
+	return nil
+}
+
+// ExportState captures the scheme.
+func (d *Direct) ExportState() State {
+	return State{Kind: d.Name(), FIFO: d.fifo.ExportState(), PendingID: d.pendingID}
+}
+
+// RestoreState overlays a snapshot onto a freshly built Direct.
+func (d *Direct) RestoreState(st State) error {
+	if st.Kind != d.Name() {
+		return errKind(d.Name(), st.Kind)
+	}
+	d.fifo.RestoreState(st.FIFO)
+	d.pendingID = st.PendingID
+	return nil
+}
+
+// ExportState captures the scheme.
+func (e *Epidemic) ExportState() State {
+	return State{Kind: e.Name(), FIFO: e.fifo.ExportState()}
+}
+
+// RestoreState overlays a snapshot onto a freshly built Epidemic.
+func (e *Epidemic) RestoreState(st State) error {
+	if st.Kind != e.Name() {
+		return errKind(e.Name(), st.Kind)
+	}
+	e.fifo.RestoreState(st.FIFO)
+	return nil
+}
+
+// ExportState captures the sink's delivery counter.
+func (s *Sink) ExportState() State {
+	return State{Kind: s.Name(), Delivered: s.count}
+}
+
+// RestoreState overlays a snapshot onto a freshly built Sink.
+func (s *Sink) RestoreState(st State) error {
+	if st.Kind != s.Name() {
+		return errKind(s.Name(), st.Kind)
+	}
+	s.count = st.Delivered
+	return nil
+}
+
+// Exporter is implemented by every strategy in this package; the node layer
+// uses it to capture and overlay routing state generically.
+type Exporter interface {
+	ExportState() State
+	RestoreState(State) error
+}
+
+var (
+	_ Exporter = (*FAD)(nil)
+	_ Exporter = (*ZBR)(nil)
+	_ Exporter = (*Direct)(nil)
+	_ Exporter = (*Epidemic)(nil)
+	_ Exporter = (*Sink)(nil)
+)

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -44,6 +45,9 @@ type fileConfig struct {
 	DropThreshold       float64      `json:"drop_threshold,omitempty"`
 	Invariants          string       `json:"invariants,omitempty"`
 	InjectSkipSenderFTD bool         `json:"inject_skip_sender_ftd,omitempty"`
+	Telemetry           bool         `json:"telemetry,omitempty"`
+	Params              *core.Params `json:"params,omitempty"`
+	CheckpointEvery     float64      `json:"checkpoint_every_s,omitempty"`
 }
 
 // ParseScheme resolves a scheme by its paper name (case-insensitive).
@@ -129,6 +133,9 @@ func LoadConfig(r io.Reader) (Config, error) {
 	cfg.DropThreshold = fc.DropThreshold
 	cfg.Invariants = fc.Invariants
 	cfg.InjectSkipSenderFTD = fc.InjectSkipSenderFTD
+	cfg.Telemetry = fc.Telemetry
+	cfg.Params = fc.Params
+	cfg.CheckpointEvery = fc.CheckpointEvery
 	if err := cfg.Validate(); err != nil {
 		return Config{}, err
 	}
@@ -167,8 +174,28 @@ func SaveConfig(w io.Writer, cfg Config) error {
 		DropThreshold:       cfg.DropThreshold,
 		Invariants:          cfg.Invariants,
 		InjectSkipSenderFTD: cfg.InjectSkipSenderFTD,
+		Telemetry:           cfg.Telemetry,
+		Params:              cfg.Params,
+		CheckpointEvery:     cfg.CheckpointEvery,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(fc)
+}
+
+// EncodeConfig returns the canonical JSON of the serialisable subset of cfg
+// — what a snapshot embeds to make itself self-describing.
+func EncodeConfig(cfg Config) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := SaveConfig(&buf, cfg); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeConfig parses a configuration produced by EncodeConfig. Runtime-only
+// attachments (tracers, recorders, frame capture) are not part of the
+// encoding; reattach them after decoding.
+func DecodeConfig(b []byte) (Config, error) {
+	return LoadConfig(bytes.NewReader(b))
 }

@@ -23,6 +23,7 @@ import (
 	"dftmsn/internal/routing"
 	"dftmsn/internal/sim"
 	"dftmsn/internal/simrand"
+	"dftmsn/internal/snapshot"
 	"dftmsn/internal/telemetry"
 	"dftmsn/internal/trace"
 )
@@ -139,6 +140,12 @@ type Config struct {
 	// invariant engine and the chaos harness actually catch protocol rot.
 	// Never enable it in a real experiment.
 	InjectSkipSenderFTD bool
+	// CheckpointEvery takes a full-state snapshot at (approximately) this
+	// virtual-time period; the snapshots land in Result.Checkpoints. Each
+	// checkpoint is taken at the first quiescent instant at or after its
+	// grid point, so the continued run is bit-identical to an
+	// uncheckpointed one. Zero disables.
+	CheckpointEvery float64
 }
 
 // DefaultConfig returns the paper's §5 default setup for the given scheme.
@@ -222,6 +229,9 @@ func (c Config) Validate() error {
 	if _, err := invariants.ParseMode(c.Invariants); err != nil {
 		return fmt.Errorf("scenario: %w", err)
 	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("scenario: checkpoint interval %v must be >= 0", c.CheckpointEvery)
+	}
 	return nil
 }
 
@@ -275,6 +285,10 @@ type Result struct {
 	// when Config.Telemetry was set; nil otherwise. Excluded from JSON
 	// digests — tools print it through cmd/dftstats and the sweep CSV.
 	Telemetry *telemetry.Report `json:"-"`
+	// Checkpoints holds the periodic snapshots taken when
+	// Config.CheckpointEvery was set; nil otherwise. Excluded from JSON
+	// digests — persist them with snapshot.Save.
+	Checkpoints []*snapshot.Snapshot `json:"-"`
 }
 
 // Resilience reports how the run weathered its injected faults.
@@ -305,6 +319,7 @@ type Sim struct {
 	medium    *radio.Medium
 	grid      *geo.Grid
 	walk      *mobility.ZoneWalk
+	wheel     *sim.Wheel
 	sensors   []*core.Node
 	sinks     []*core.Node
 	injector  *faults.Injector
@@ -317,6 +332,17 @@ type Sim struct {
 	series    *telemetry.Series
 	nextMsgID packet.MessageID
 	ran       bool
+
+	// Traffic processes with retained handles so checkpoints can capture
+	// and restores re-inject them: one RNG stream, pending arrival event,
+	// and bound callback per sensor.
+	trafficRngs []*simrand.Source
+	arrivalEvs  []*sim.Event
+	arrivalFns  []func()
+	// startsPending counts start-jitter events not yet fired; quiescence —
+	// and therefore checkpointing — requires all nodes started.
+	startsPending int
+	checkpoints   []*snapshot.Snapshot
 }
 
 // faultPlan folds the legacy FailFraction/FailAtSeconds pair into the
@@ -387,8 +413,15 @@ func New(cfg Config) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Loss, burst-loss and fault randomness come from auxiliary streams
+	// derived directly from the seed, not from the root split chain:
+	// enabling or disabling one of these features must not shift the
+	// streams every other component draws from. Two configurations that
+	// differ only in fault clauses therefore run bit-identically up to the
+	// first fault action — the property checkpoint reuse across fault
+	// plans (chaos shrinking, sweep warm-forks) relies on.
 	if cfg.LossProb > 0 {
-		if err := s.medium.SetLoss(cfg.LossProb, root.Split("loss")); err != nil {
+		if err := s.medium.SetLoss(cfg.LossProb, simrand.New(cfg.Seed).Split("aux/loss")); err != nil {
 			return nil, err
 		}
 	}
@@ -398,7 +431,7 @@ func New(cfg Config) (*Sim, error) {
 			BadLossProb:     b.BadLossProb,
 			MeanGoodSeconds: b.MeanGoodSeconds,
 			MeanBadSeconds:  b.MeanBadSeconds,
-		}, root.Split("burstloss")); err != nil {
+		}, simrand.New(cfg.Seed).Split("aux/burstloss")); err != nil {
 			return nil, err
 		}
 	}
@@ -539,6 +572,7 @@ func New(cfg Config) (*Sim, error) {
 	// expiry is observable (a Deferred cycle), so those ticks run as real
 	// events followed by a carrier poll.
 	wheel := sim.NewWheel(s.sched, cfg.DurationSeconds)
+	s.wheel = wheel
 	tickStep := func(sim.Time) {
 		s.walk.Step(cfg.MobilityTickSeconds)
 		// Positions only change inside Step, so refreshing the medium's
@@ -568,10 +602,17 @@ func New(cfg Config) (*Sim, error) {
 		})
 	}
 
-	// Traffic: independent Poisson processes per sensor.
+	// Traffic: independent Poisson processes per sensor, with retained
+	// event handles and bound callbacks so checkpoints can capture them.
 	traffic := root.Split("traffic")
-	for i, node := range s.sensors {
-		s.scheduleArrival(node, traffic.Split(fmt.Sprintf("sensor/%d", i)))
+	s.trafficRngs = make([]*simrand.Source, len(s.sensors))
+	s.arrivalEvs = make([]*sim.Event, len(s.sensors))
+	s.arrivalFns = make([]func(), len(s.sensors))
+	for i := range s.sensors {
+		i := i
+		s.trafficRngs[i] = traffic.Split(fmt.Sprintf("sensor/%d", i))
+		s.arrivalFns[i] = func() { s.arrivalFire(i) }
+		s.armArrival(i)
 	}
 
 	// Fault injection: the declarative plan (churn, sink outages, kill
@@ -580,7 +621,7 @@ func New(cfg Config) (*Sim, error) {
 	// the same position the legacy one-shot path used so kills-only runs
 	// reproduce the historical victim draws exactly.
 	if s.plan.NeedsInjector() {
-		failRng := root.Split("failures")
+		failRng := simrand.New(cfg.Seed).Split("aux/failures")
 		sensorNodes := make([]faults.Node, len(s.sensors))
 		for i, n := range s.sensors {
 			sensorNodes[i] = n
@@ -646,10 +687,14 @@ func New(cfg Config) (*Sim, error) {
 	}
 
 	// Start nodes with a small jitter so cycles do not run in lockstep.
+	// The pending-starts counter gates quiescence: no checkpoint can be
+	// taken until every node has booted.
 	startJitter := root.Split("start")
 	for _, node := range append(append([]*core.Node{}, s.sinks...), s.sensors...) {
 		n := node
+		s.startsPending++
 		if _, err := s.sched.At(startJitter.Uniform(0, 1), func() {
+			s.startsPending--
 			// Start errors are impossible for freshly built nodes.
 			_ = n.Start()
 		}); err != nil {
@@ -743,31 +788,36 @@ func (s *Sim) deliver(sink packet.NodeID, d *packet.Data, now float64) {
 	}
 }
 
-// scheduleArrival arms the next Poisson data generation for node.
-func (s *Sim) scheduleArrival(node *core.Node, rng *simrand.Source) {
-	delay := rng.Exp(s.cfg.ArrivalMeanSeconds)
-	s.sched.After(delay, func() {
-		if !node.Alive() && s.plan.Churn == nil {
-			return // permanently dead sensors sense nothing; their process ends
+// armArrival schedules sensor i's next Poisson data generation, reusing
+// the sensor's retained event handle.
+func (s *Sim) armArrival(i int) {
+	delay := s.trafficRngs[i].Exp(s.cfg.ArrivalMeanSeconds)
+	s.arrivalEvs[i] = s.sched.Reschedule(s.arrivalEvs[i], delay, "", s.arrivalFns[i])
+}
+
+// arrivalFire handles one Poisson arrival at sensor i and re-arms the next.
+func (s *Sim) arrivalFire(i int) {
+	node := s.sensors[i]
+	if !node.Alive() && s.plan.Churn == nil {
+		return // permanently dead sensors sense nothing; their process ends
+	}
+	stop := s.cfg.DurationSeconds
+	if s.cfg.TrafficStopSeconds > 0 {
+		stop = s.cfg.TrafficStopSeconds
+	}
+	if s.sched.Now() <= stop {
+		// Under churn a down sensor may reboot, so its Poisson process
+		// keeps ticking; it just senses nothing while crashed.
+		if node.Alive() {
+			s.nextMsgID++
+			id := s.nextMsgID
+			// Record generation even if the queue rejects it: a dropped
+			// message is still an undelivered message (§3.1.2).
+			_ = s.collector.Generated(id, node.ID(), s.sched.Now())
+			node.Generate(id, s.cfg.DataBits)
 		}
-		stop := s.cfg.DurationSeconds
-		if s.cfg.TrafficStopSeconds > 0 {
-			stop = s.cfg.TrafficStopSeconds
-		}
-		if s.sched.Now() <= stop {
-			// Under churn a down sensor may reboot, so its Poisson process
-			// keeps ticking; it just senses nothing while crashed.
-			if node.Alive() {
-				s.nextMsgID++
-				id := s.nextMsgID
-				// Record generation even if the queue rejects it: a dropped
-				// message is still an undelivered message (§3.1.2).
-				_ = s.collector.Generated(id, node.ID(), s.sched.Now())
-				node.Generate(id, s.cfg.DataBits)
-			}
-			s.scheduleArrival(node, rng)
-		}
-	})
+		s.armArrival(i)
+	}
 }
 
 // Sensors returns the sensor nodes (for tools and examples).
@@ -782,13 +832,39 @@ func (s *Sim) Scheduler() *sim.Scheduler { return s.sched }
 // Collector exposes the metrics collector.
 func (s *Sim) Collector() *metrics.Collector { return s.collector }
 
+// ensureArmed arms the fault injector if it has not been armed yet (by a
+// prior CheckpointAt, or a restore that overlaid its state).
+func (s *Sim) ensureArmed() error {
+	if s.injector != nil && !s.injector.Armed() {
+		return s.injector.Arm()
+	}
+	return nil
+}
+
 // Run executes the simulation to its configured duration and returns the
-// result digest. Run may be called once.
+// result digest. Run may be called once. With CheckpointEvery set, the
+// periodic snapshots are taken first (each at the first quiescent instant
+// at or after its grid point) and attached to Result.Checkpoints.
 func (s *Sim) Run() (Result, error) {
 	if s.ran {
 		return Result{}, fmt.Errorf("scenario: simulation already ran")
 	}
+	if s.cfg.CheckpointEvery > 0 {
+		for k := s.cfg.CheckpointEvery; k < s.cfg.DurationSeconds; k += s.cfg.CheckpointEvery {
+			if k <= float64(s.sched.Now()) {
+				continue // a restored run skips grid points already behind it
+			}
+			snap, err := s.CheckpointAt(k)
+			if err != nil {
+				return Result{}, err
+			}
+			s.checkpoints = append(s.checkpoints, snap)
+		}
+	}
 	s.ran = true
+	if err := s.ensureArmed(); err != nil {
+		return Result{}, fmt.Errorf("scenario: %w", err)
+	}
 	if err := s.runScheduler(); err != nil {
 		return Result{}, fmt.Errorf("scenario: %w", err)
 	}
@@ -819,7 +895,9 @@ func (s *Sim) Run() (Result, error) {
 	if s.sampler != nil {
 		s.series = s.sampler.Finish(s.sched.Now())
 	}
-	return s.Snapshot(), nil
+	res := s.Snapshot()
+	res.Checkpoints = s.checkpoints
+	return res, nil
 }
 
 // runScheduler drives the kernel to the horizon. With the invariant

@@ -1,0 +1,240 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"dftmsn/internal/faults"
+	"dftmsn/internal/snapshot"
+	"dftmsn/internal/telemetry"
+)
+
+// concatEvents joins a recorded prefix and continuation without aliasing
+// either slice's backing array.
+func concatEvents(prefix, rest []telemetry.Event) []telemetry.Event {
+	out := make([]telemetry.Event, 0, len(prefix)+len(rest))
+	out = append(out, prefix...)
+	return append(out, rest...)
+}
+
+// compareArm asserts an arm's Result and full telemetry stream are
+// bit-identical to the straight run's.
+func compareArm(t *testing.T, arm string, wantRes, gotRes Result, wantEvents, gotEvents []telemetry.Event) {
+	t.Helper()
+	if !reflect.DeepEqual(wantRes, gotRes) {
+		t.Errorf("%s: results diverge:\nstraight: %+v\n%s: %+v", arm, wantRes, arm, gotRes)
+	}
+	if len(wantEvents) != len(gotEvents) {
+		t.Fatalf("%s: telemetry stream lengths diverge: straight %d, %s %d",
+			arm, len(wantEvents), arm, len(gotEvents))
+	}
+	for i := range wantEvents {
+		if !reflect.DeepEqual(wantEvents[i], gotEvents[i]) {
+			t.Fatalf("%s: telemetry streams diverge at event %d:\nstraight: %s\n%s: %s",
+				arm, i, eventString(wantEvents[i]), arm, eventString(gotEvents[i]))
+		}
+	}
+}
+
+// TestSnapshotDifferential is the end-to-end correctness gate for the
+// snapshot tentpole, over the full 10-config differential matrix (faults,
+// battery, burst loss, low-duty elision, mobile sinks). Three arms must be
+// bit-identical on the whole Result and the full typed telemetry stream:
+//
+//  1. the straight run to the horizon;
+//  2. checkpoint mid-run, encode + decode the snapshot through the
+//     versioned codec, restore in a fresh process image, continue;
+//  3. fork in memory at the checkpoint, continue the clone.
+//
+// On top of that, the simulation the checkpoint was exported from must
+// itself continue unperturbed — exports never mutate.
+func TestSnapshotDifferential(t *testing.T) {
+	for name, cfg := range elisionConfigs() {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+
+			// Arm 1: the straight run.
+			straight := func() (Result, []telemetry.Event) {
+				c := cfg
+				buf := &telemetry.Buffer{}
+				c.Recorder = buf
+				s, err := New(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, buf.Events
+			}
+			baseRes, baseEvents := straight()
+
+			// Checkpoint at ~40% of the horizon.
+			mid := 0.4 * cfg.DurationSeconds
+			buf := &telemetry.Buffer{}
+			c := cfg
+			c.Recorder = buf
+			s, err := New(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap, err := s.CheckpointAt(mid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Time < mid || snap.Time >= cfg.DurationSeconds {
+				t.Fatalf("checkpoint landed at %v s, want within [%v, %v)", snap.Time, mid, cfg.DurationSeconds)
+			}
+			prefix := append([]telemetry.Event(nil), buf.Events...)
+
+			// Round-trip the snapshot through the versioned codec: the
+			// restore arm continues from decoded bytes, exactly like a fresh
+			// process image would.
+			blob, err := snapshot.EncodeBytes(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := snapshot.DecodeBytes(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Arm 3: fork in memory before the original moves again.
+			forkBuf := &telemetry.Buffer{}
+			fork, err := s.Fork(func(c *Config) { c.Recorder = forkBuf })
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The exporting simulation continues to the horizon untouched.
+			origRes, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareArm(t, "original-after-export", baseRes, origRes, baseEvents, buf.Events)
+
+			forkRes, err := fork.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareArm(t, "fork", baseRes, forkRes, baseEvents, concatEvents(prefix, forkBuf.Events))
+
+			// Arm 2: restore from the decoded bytes and continue.
+			restBuf := &telemetry.Buffer{}
+			restored, err := Restore(decoded, func(c *Config) { c.Recorder = restBuf })
+			if err != nil {
+				t.Fatal(err)
+			}
+			restRes, err := restored.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			compareArm(t, "restore", baseRes, restRes, baseEvents, concatEvents(prefix, restBuf.Events))
+		})
+	}
+}
+
+// TestPeriodicCheckpointsDontPerturb pins the Run-integrated checkpointing:
+// a run with CheckpointEvery set produces the checkpoints and an otherwise
+// bit-identical Result.
+func TestPeriodicCheckpointsDontPerturb(t *testing.T) {
+	for _, name := range []string{"opt-churn-kills", "opt-low-duty"} {
+		name := name
+		cfg, ok := elisionConfigs()[name]
+		if !ok {
+			t.Fatalf("config %s missing from the differential matrix", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			run := func(every float64) Result {
+				c := cfg
+				c.CheckpointEvery = every
+				s, err := New(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			plain := run(0)
+			every := cfg.DurationSeconds / 4
+			chk := run(every)
+			if want := 3; len(chk.Checkpoints) != want {
+				t.Fatalf("got %d checkpoints, want %d", len(chk.Checkpoints), want)
+			}
+			last := 0.0
+			for i, snap := range chk.Checkpoints {
+				k := float64(i+1) * every
+				if snap.Time < k || snap.Time <= last {
+					t.Fatalf("checkpoint %d at %v s, want >= %v and increasing", i, snap.Time, k)
+				}
+				last = snap.Time
+			}
+			chk.Checkpoints = nil
+			if !reflect.DeepEqual(plain, chk) {
+				t.Fatalf("checkpointing perturbed the run:\nplain: %+v\nchk:   %+v", plain, chk)
+			}
+		})
+	}
+}
+
+// TestRestoreForPlanMatchesScratch pins the instant-reproducer property: a
+// warm snapshot taken before any fault, re-armed with a *different* fault
+// plan, must continue bit-identically to a from-scratch run under that
+// plan.
+func TestRestoreForPlanMatchesScratch(t *testing.T) {
+	base := elisionConfigs()["opt-plain"]
+	plan := &faults.Plan{
+		Churn:       &faults.Churn{StartSeconds: 300, MTBFSeconds: 200, MTTRSeconds: 50, Fraction: 0.4},
+		SinkOutages: []faults.Outage{{Sink: 0, StartSeconds: 350, DurationSeconds: 100}},
+		Kills:       []faults.Kill{{AtSeconds: 400, Fraction: 0.2}},
+	}
+
+	// The scratch arm: the base config with the plan applied from t=0.
+	withPlan := base
+	withPlan.Faults = plan
+	scratchBuf := &telemetry.Buffer{}
+	withPlan.Recorder = scratchBuf
+	sw, err := New(withPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm arm: checkpoint the *fault-free* base config before the plan's
+	// first fault, then substitute the plan.
+	buf := &telemetry.Buffer{}
+	c := base
+	c.Recorder = buf
+	s, err := New(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.CheckpointAt(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t0, _ := plan.FirstFaultSeconds(); snap.Time >= t0 {
+		t.Fatalf("checkpoint at %v s is not before the plan's first fault (%v s)", snap.Time, t0)
+	}
+	prefix := append([]telemetry.Event(nil), buf.Events...)
+
+	restBuf := &telemetry.Buffer{}
+	restored, err := RestoreForPlan(snap, plan, func(c *Config) { c.Recorder = restBuf })
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRes, err := restored.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareArm(t, "restore-for-plan", wantRes, gotRes, scratchBuf.Events, concatEvents(prefix, restBuf.Events))
+}

@@ -54,6 +54,12 @@ type Event struct {
 // At returns the virtual time this event is scheduled to fire at.
 func (e *Event) At() Time { return e.at }
 
+// Seq returns the event's scheduling sequence number. Together with At it
+// pins the event's exact position in the firing order, which is what the
+// snapshot layer records so a restored run re-injects pending events at
+// bit-identical heap positions.
+func (e *Event) Seq() uint64 { return e.seq }
+
 // Pending reports whether the event is still scheduled.
 func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
 
@@ -105,7 +111,14 @@ type Scheduler struct {
 	elided    uint64
 	onEvent   func(now Time, seq uint64, label string)
 	free      []*Event // recycled Post/PostArg events; handle events never enter
+	isoSeq    uint64   // next isolated sequence number; 0 means "not yet used"
 }
+
+// isoSeqBase is the first sequence number of the isolated band (see
+// AtIsolated). It leaves the ordinary band below it more headroom than any
+// run can consume while keeping the isolated band itself effectively
+// unbounded.
+const isoSeqBase uint64 = 1 << 62
 
 // NewScheduler returns a scheduler with its clock at zero.
 func NewScheduler() *Scheduler { return &Scheduler{} }
@@ -307,6 +320,115 @@ func (s *Scheduler) RescheduleAt(e *Event, t Time, label string, fn func()) (*Ev
 	e.labels = label
 	s.queue.push(e)
 	return e, nil
+}
+
+// AtIsolated schedules fn at absolute time t with a sequence number from the
+// isolated band above isoSeqBase, without touching the ordinary sequence
+// counter or the scheduled total. Layers whose mere presence must not perturb
+// the rest of the run — the fault injector is the canonical user — schedule
+// through it: adding or removing isolated events leaves every ordinary
+// event's (time, seq) position and the kernel's counters bit-identical, which
+// is what lets a warm snapshot taken before the first fault be re-armed with
+// a different fault plan. Isolated events lose ties against ordinary events
+// at the same instant and fire in scheduling order among themselves.
+func (s *Scheduler) AtIsolated(t Time, label string, fn func()) (*Event, error) {
+	if fn == nil {
+		return nil, errors.New("sim: nil event func")
+	}
+	if t < s.now {
+		return nil, fmt.Errorf("sim: schedule at %v before now %v", t, s.now)
+	}
+	if s.isoSeq == 0 {
+		s.isoSeq = isoSeqBase
+	}
+	e := &Event{at: t, seq: s.isoSeq, labels: label, fn: fn}
+	s.isoSeq++
+	s.queue.push(e)
+	return e, nil
+}
+
+// EventRef pins a pending event's exact queue position for a snapshot. The
+// restore side re-injects the callback at the same (At, Seq) via InjectAt,
+// reproducing the firing order bit-for-bit.
+type EventRef struct {
+	At    Time
+	Seq   uint64
+	Label string
+}
+
+// Ref captures a pending event's position, or nil if e is not pending.
+func Ref(e *Event) *EventRef {
+	if !e.Pending() {
+		return nil
+	}
+	return &EventRef{At: e.at, Seq: e.seq, Label: e.labels}
+}
+
+// InjectAt schedules fn at the exact (time, seq) position recorded in ref,
+// consuming no sequence number and not counting toward the scheduled total:
+// the event being revived was already counted when originally scheduled, in
+// the counters a restore carries over. It is the restore-side dual of Ref
+// and must only be used with positions captured from a snapshot (the caller
+// guarantees seq uniqueness). A nil ref is a no-op returning nil, so
+// components can re-inject optional timers unconditionally.
+func (s *Scheduler) InjectAt(ref *EventRef, fn func()) (*Event, error) {
+	if ref == nil {
+		return nil, nil
+	}
+	if fn == nil {
+		return nil, errors.New("sim: nil event func")
+	}
+	if ref.At < s.now {
+		return nil, fmt.Errorf("sim: inject at %v before now %v", ref.At, s.now)
+	}
+	e := &Event{at: ref.At, seq: ref.Seq, labels: ref.Label, fn: fn}
+	s.queue.push(e)
+	return e, nil
+}
+
+// KernelState is the scheduler's own snapshot: clock, counters, and both
+// sequence allocators. The pending events themselves are captured by the
+// components that own their callbacks (closures cannot be serialised).
+type KernelState struct {
+	Now       Time
+	Seq       uint64
+	IsoSeq    uint64
+	Fired     uint64
+	Scheduled uint64
+	Elided    uint64
+}
+
+// ExportState captures the scheduler's clock and counters.
+func (s *Scheduler) ExportState() KernelState {
+	return KernelState{
+		Now: s.now, Seq: s.seq, IsoSeq: s.isoSeq,
+		Fired: s.fired, Scheduled: s.scheduled, Elided: s.elided,
+	}
+}
+
+// ResetForRestore drops every pending event and overwrites the clock and
+// counters from st. Retained handles of dropped events become permanently
+// !Pending, exactly as if cancelled; the restore layer re-injects the events
+// that were pending at snapshot time via InjectAt and hands components fresh
+// handles. The free list survives (pooled events are never pending at a
+// quiescent snapshot).
+func (s *Scheduler) ResetForRestore(st KernelState) {
+	for _, e := range s.queue {
+		if e != nil {
+			e.index = -1
+			e.fn = nil
+			e.fnArg = nil
+			e.arg = nil
+		}
+	}
+	s.queue = s.queue[:0]
+	s.now = st.Now
+	s.seq = st.Seq
+	s.isoSeq = st.IsoSeq
+	s.fired = st.Fired
+	s.scheduled = st.Scheduled
+	s.elided = st.Elided
+	s.stopped = false
 }
 
 // Cancel removes a pending event from the queue. Cancelling a nil, fired, or

@@ -53,3 +53,30 @@ func (t *Ticker) Active() bool { return t.active }
 func (t *Ticker) arm() {
 	t.ev = t.sched.Reschedule(t.ev, t.period, "", t.tick)
 }
+
+// TickerState is a Ticker's snapshot: whether it runs and where its pending
+// tick sits in the queue (nil when no tick is pending).
+type TickerState struct {
+	Active bool
+	Ev     *EventRef
+}
+
+// ExportState captures the ticker for a snapshot.
+func (t *Ticker) ExportState() TickerState {
+	return TickerState{Active: t.active, Ev: Ref(t.ev)}
+}
+
+// RestoreState overlays a snapshot onto this ticker, re-injecting the
+// pending tick at its exact recorded position. The scheduler's queue must
+// already have been reset.
+func (t *Ticker) RestoreState(st TickerState) error {
+	t.active = st.Active
+	ev, err := t.sched.InjectAt(st.Ev, t.tick)
+	if err != nil {
+		return err
+	}
+	if ev != nil {
+		t.ev = ev
+	}
+	return nil
+}

@@ -1,5 +1,11 @@
 package sim
 
+import "fmt"
+
+func errWheelShape(have, want int) error {
+	return fmt.Errorf("sim: wheel snapshot has %d subscribers, wheel has %d", want, have)
+}
+
 // Wheel coalesces periodic upkeep from many subscribers onto a single
 // pending kernel event. Where N Tickers keep N events in the heap (and pay
 // N sift paths per period), a Wheel keeps exactly one: at each firing it
@@ -188,6 +194,56 @@ func (w *Wheel) rearm() {
 	w.ev = ev
 	w.armedAt = t.due
 	w.armed = true
+}
+
+// WheelSubState is one subscriber's snapshot: its next due time and whether
+// it still runs. Periods and callbacks are rebuilt by the code that
+// registered the subscriber.
+type WheelSubState struct {
+	Due    Time
+	Active bool
+}
+
+// WheelState is a Wheel's snapshot. Subscribers are keyed by registration
+// order, which the rebuilt wheel must reproduce.
+type WheelState struct {
+	Subs    []WheelSubState
+	ArmedAt Time
+	Armed   bool
+	Ev      *EventRef
+}
+
+// ExportState captures the wheel for a snapshot.
+func (w *Wheel) ExportState() WheelState {
+	st := WheelState{ArmedAt: w.armedAt, Armed: w.armed, Ev: Ref(w.ev)}
+	for _, t := range w.subs {
+		st.Subs = append(st.Subs, WheelSubState{Due: t.due, Active: t.active})
+	}
+	return st
+}
+
+// RestoreState overlays a snapshot onto a freshly built wheel with the same
+// subscribers in the same registration order, re-injecting the pending wheel
+// event at its exact recorded position. The scheduler's queue must already
+// have been reset.
+func (w *Wheel) RestoreState(st WheelState) error {
+	if len(st.Subs) != len(w.subs) {
+		return errWheelShape(len(w.subs), len(st.Subs))
+	}
+	for i, s := range st.Subs {
+		w.subs[i].due = s.Due
+		w.subs[i].active = s.Active
+	}
+	w.armedAt = st.ArmedAt
+	w.armed = st.Armed
+	ev, err := w.sched.InjectAt(st.Ev, w.fire)
+	if err != nil {
+		return err
+	}
+	if ev != nil {
+		w.ev = ev
+	}
+	return nil
 }
 
 // earliest returns the active subscriber with the smallest due time, or

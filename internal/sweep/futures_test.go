@@ -1,0 +1,130 @@
+package sweep
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dftmsn/internal/core"
+	"dftmsn/internal/faults"
+	"dftmsn/internal/scenario"
+)
+
+func futuresBase() scenario.Config {
+	cfg := scenario.DefaultConfig(core.SchemeOPT)
+	cfg.NumSensors = 10
+	cfg.NumSinks = 2
+	cfg.DurationSeconds = 400
+	cfg.ArrivalMeanSeconds = 40
+	cfg.Seed = 21
+	cfg.Invariants = "report"
+	return cfg
+}
+
+// coldFuture is the from-scratch reference a future must match.
+func coldFuture(t *testing.T, base scenario.Config, plan *faults.Plan) scenario.Result {
+	t.Helper()
+	cfg := base
+	cfg.Faults = plan
+	s, err := scenario.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEvalFaultFuturesMatchesColdRuns(t *testing.T) {
+	base := futuresBase()
+	plans := []*faults.Plan{
+		nil, // the fault-free future
+		{Churn: &faults.Churn{StartSeconds: 250, MTBFSeconds: 150, MTTRSeconds: 30, Fraction: 0.3}},
+		{Kills: []faults.Kill{{AtSeconds: 300, Fraction: 0.2}},
+			SinkOutages: []faults.Outage{{Sink: 0, StartSeconds: 280, DurationSeconds: 60}}},
+		// A burst clause the base lacks: channel state the checkpoint cannot
+		// supply, so this future must fall back to a cold run.
+		{Burst: &faults.Burst{GoodLossProb: 0.01, BadLossProb: 0.5, MeanGoodSeconds: 40, MeanBadSeconds: 10}},
+		// A fault before the checkpoint: the warm restore must refuse it.
+		{Kills: []faults.Kill{{AtSeconds: 50, Fraction: 0.1}}},
+	}
+	futures, err := EvalFaultFutures(base, 100, plans, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(futures) != len(plans) {
+		t.Fatalf("%d futures for %d plans", len(futures), len(plans))
+	}
+	wantWarm := []bool{true, true, true, false, false}
+	for i, f := range futures {
+		if f.Err != nil {
+			t.Fatalf("future %d: %v", i, f.Err)
+		}
+		if f.Warm != wantWarm[i] {
+			t.Errorf("future %d: warm=%v, want %v", i, f.Warm, wantWarm[i])
+		}
+		cold := coldFuture(t, base, plans[i])
+		if !reflect.DeepEqual(f.Result, cold) {
+			t.Errorf("future %d diverges from the from-scratch run:\nwarm: %+v\ncold: %+v", i, f.Result, cold)
+		}
+	}
+}
+
+func TestEvalFaultFuturesRejectsBadCheckpoint(t *testing.T) {
+	base := futuresBase()
+	if _, err := EvalFaultFutures(base, base.DurationSeconds, []*faults.Plan{nil}, 1); err == nil {
+		t.Fatal("checkpoint at the horizon accepted")
+	}
+	if _, err := EvalFaultFutures(base, 100, nil, 1); err == nil {
+		t.Fatal("empty plan list accepted")
+	}
+}
+
+func TestParallelErrorsRecoversPanics(t *testing.T) {
+	errs := ParallelErrors(5, 2, func(i int) error {
+		if i == 2 {
+			panic("boom")
+		}
+		return nil
+	})
+	for i, err := range errs {
+		if i == 2 {
+			if err == nil || !strings.Contains(err.Error(), "job 2 panicked: boom") {
+				t.Fatalf("errs[2] = %v", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("errs[%d] = %v", i, err)
+		}
+	}
+	if err := Parallel(5, 2, func(i int) error {
+		if i == 2 {
+			panic("boom")
+		}
+		return nil
+	}); err == nil {
+		t.Fatal("Parallel swallowed the panic")
+	}
+}
+
+func TestExperimentRunNamesPanickedPoint(t *testing.T) {
+	e := tinyExperiment()
+	e.Variants[1].Build = func(x float64) (scenario.Config, error) {
+		if x == 2 {
+			panic("poisoned build")
+		}
+		return tinyVariant("ZBR", core.SchemeZBR).Build(x)
+	}
+	_, err := e.Run(2)
+	if err == nil {
+		t.Fatal("panicking point did not fail the sweep")
+	}
+	for _, want := range []string{"ZBR", "sinks=2", "seed", "panic", "poisoned build"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q: %v", want, err)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -269,6 +270,19 @@ func trimFloat(x float64) string {
 // the smallest failing index, regardless of completion order, so callers get
 // a deterministic report. The chaos campaign runner shares this pool.
 func Parallel(n, workers int, fn func(i int) error) error {
+	for _, err := range ParallelErrors(n, workers, fn) {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParallelErrors is Parallel with the full per-index error slice: errs[i] is
+// fn(i)'s error, nil on success. A panicking fn is recovered into its slot's
+// error rather than tearing down the pool, so one poisoned job cannot abort
+// a whole campaign — the caller sees exactly which indices failed and why.
+func ParallelErrors(n, workers int, fn func(i int) error) []error {
 	if n <= 0 {
 		return nil
 	}
@@ -286,7 +300,7 @@ func Parallel(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				errs[i] = fn(i)
+				errs[i] = guarded(fn, i)
 			}
 		}()
 	}
@@ -295,12 +309,18 @@ func Parallel(n, workers int, fn func(i int) error) error {
 	}
 	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	return errs
+}
+
+// guarded calls fn(i), converting a panic into an error carrying the job
+// index and the stack of the failing worker.
+func guarded(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep: job %d panicked: %v\n%s", i, r, debug.Stack())
 		}
-	}
-	return nil
+	}()
+	return fn(i)
 }
 
 // Run executes the experiment on up to workers goroutines (0 means
@@ -338,17 +358,26 @@ func (e Experiment) Run(workers int) (*Table, error) {
 		}
 	}
 	results := make([]scenario.Result, len(flat))
-	err := Parallel(len(flat), workers, func(i int) error {
+	err := Parallel(len(flat), workers, func(i int) (err error) {
 		j := flat[i]
+		seed := e.BaseSeed + uint64(j.run)
 		fail := func(err error) error {
-			return fmt.Errorf("sweep: %s[%s=%v run %d]: %w",
-				e.Variants[j.vi].Name, e.XLabel, e.Xs[j.xi], j.run, err)
+			return fmt.Errorf("sweep: %s[%s=%v run %d seed %d]: %w",
+				e.Variants[j.vi].Name, e.XLabel, e.Xs[j.xi], j.run, seed, err)
 		}
+		// A panicking simulation is recorded against its point, not as a
+		// bare job index: the failure names the variant, x, run and seed
+		// needed to replay it in isolation.
+		defer func() {
+			if r := recover(); r != nil {
+				err = fail(fmt.Errorf("panic: %v\n%s", r, debug.Stack()))
+			}
+		}()
 		cfg, err := e.Variants[j.vi].Build(e.Xs[j.xi])
 		if err != nil {
 			return fail(err)
 		}
-		cfg.Seed = e.BaseSeed + uint64(j.run)
+		cfg.Seed = seed
 		if e.Telemetry {
 			cfg.Telemetry = true
 		}

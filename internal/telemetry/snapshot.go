@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+)
+
+// HistogramState is one histogram's snapshot: the observation tallies. The
+// bucket bounds are configuration and are rebuilt, not serialized. Min/Max
+// are carried as "finite?" pairs so the no-observation sentinels (±Inf)
+// survive encodings that cannot represent infinities.
+type HistogramState struct {
+	Name   string
+	Counts []uint64
+	Sum    float64
+	N      uint64
+	Min    float64
+	Max    float64
+}
+
+// RegistryState is a Registry's snapshot: every metric value in registration
+// order, with names carried for shape verification on restore.
+type RegistryState struct {
+	CounterNames  []string
+	CounterValues []float64
+	GaugeNames    []string
+	GaugeValues   []float64
+	Hists         []HistogramState
+}
+
+// ExportState captures the registry for a snapshot.
+func (r *Registry) ExportState() RegistryState {
+	var st RegistryState
+	for _, c := range r.counters {
+		st.CounterNames = append(st.CounterNames, c.name)
+		st.CounterValues = append(st.CounterValues, c.v)
+	}
+	for _, g := range r.gauges {
+		st.GaugeNames = append(st.GaugeNames, g.name)
+		st.GaugeValues = append(st.GaugeValues, g.v)
+	}
+	for _, h := range r.hists {
+		hs := HistogramState{
+			Name:   h.name,
+			Counts: append([]uint64(nil), h.counts...),
+			Sum:    h.sum,
+			N:      h.n,
+			Min:    h.min,
+			Max:    h.max,
+		}
+		if h.n == 0 {
+			// ±Inf sentinels; re-derived on restore.
+			hs.Min, hs.Max = 0, 0
+		}
+		st.Hists = append(st.Hists, hs)
+	}
+	return st
+}
+
+// RestoreState overlays a snapshot onto a registry whose metrics were
+// re-registered in the same order with the same names and bounds.
+func (r *Registry) RestoreState(st RegistryState) error {
+	if len(st.CounterNames) != len(r.counters) || len(st.GaugeNames) != len(r.gauges) || len(st.Hists) != len(r.hists) {
+		return fmt.Errorf("telemetry: snapshot shape %d/%d/%d metrics, registry has %d/%d/%d",
+			len(st.CounterNames), len(st.GaugeNames), len(st.Hists),
+			len(r.counters), len(r.gauges), len(r.hists))
+	}
+	for i, c := range r.counters {
+		if st.CounterNames[i] != c.name {
+			return fmt.Errorf("telemetry: snapshot counter %d is %q, registry has %q", i, st.CounterNames[i], c.name)
+		}
+	}
+	for i, g := range r.gauges {
+		if st.GaugeNames[i] != g.name {
+			return fmt.Errorf("telemetry: snapshot gauge %d is %q, registry has %q", i, st.GaugeNames[i], g.name)
+		}
+	}
+	for i, h := range r.hists {
+		hs := st.Hists[i]
+		if hs.Name != h.name {
+			return fmt.Errorf("telemetry: snapshot histogram %d is %q, registry has %q", i, hs.Name, h.name)
+		}
+		if len(hs.Counts) != len(h.counts) {
+			return fmt.Errorf("telemetry: snapshot histogram %q has %d buckets, registry has %d", h.name, len(hs.Counts), len(h.counts))
+		}
+	}
+	for i, c := range r.counters {
+		c.v = st.CounterValues[i]
+	}
+	for i, g := range r.gauges {
+		g.v = st.GaugeValues[i]
+	}
+	for i, h := range r.hists {
+		hs := st.Hists[i]
+		copy(h.counts, hs.Counts)
+		h.sum = hs.Sum
+		h.n = hs.N
+		if hs.N == 0 {
+			h.min, h.max = math.Inf(1), math.Inf(-1)
+		} else {
+			h.min, h.max = hs.Min, hs.Max
+		}
+	}
+	return nil
+}
+
+// SamplerState is a Sampler's snapshot: the next due time and the rows
+// emitted so far.
+type SamplerState struct {
+	Next    float64
+	Samples []Sample
+}
+
+// ExportState captures the sampler for a snapshot. Sample rows are deep
+// copied so later ticks in the original run do not alias the snapshot.
+func (s *Sampler) ExportState() SamplerState {
+	st := SamplerState{Next: s.next}
+	for _, row := range s.series.Samples {
+		st.Samples = append(st.Samples, Sample{
+			Time:   row.Time,
+			Values: append([]float64(nil), row.Values...),
+		})
+	}
+	return st
+}
+
+// RestoreState overlays a snapshot onto a freshly built sampler with the same
+// interval and registry layout.
+func (s *Sampler) RestoreState(st SamplerState) {
+	s.next = st.Next
+	s.series.Samples = s.series.Samples[:0]
+	for _, row := range st.Samples {
+		s.series.Samples = append(s.series.Samples, Sample{
+			Time:   row.Time,
+			Values: append([]float64(nil), row.Values...),
+		})
+	}
+}
