@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-diff bench-scale figures figures-paper chaos fuzz fuzz-smoke snapshot-diff vet fmt clean
+.PHONY: all build test test-short race cover bench bench-json bench-diff bench-scale figures figures-paper chaos fuzz fuzz-smoke snapshot-diff service-soak vet fmt clean
 
 all: build test
 
@@ -86,6 +86,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/packet/
 	$(GO) test -fuzz=FuzzStreamReader -fuzztime=30s ./internal/packet/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/snapshot/
+	$(GO) test -fuzz=FuzzRequestDecode -fuzztime=30s ./internal/service/
 
 # A quick fuzz pass over every fuzz target (what CI's smoke job runs).
 fuzz-smoke:
@@ -93,12 +94,19 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzStreamReader -fuzztime=10s ./internal/packet/
 	$(GO) test -fuzz=FuzzLoadConfig -fuzztime=10s ./internal/scenario/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/snapshot/
+	$(GO) test -fuzz=FuzzRequestDecode -fuzztime=10s ./internal/service/
 
 # The snapshot/fork/restore differential gate under the race detector: all
 # three arms bit-identical on Result and telemetry across the 10-config
 # matrix, plus the RNG rewind edge cases.
 snapshot-diff:
 	$(GO) test -race -run 'TestSnapshotDifferential|TestPeriodicCheckpointsDontPerturb|TestRestoreForPlanMatchesScratch|TestCheckpoint' ./internal/scenario/
+
+# The dftserve crash soak under the race detector: build the daemon, kill
+# -9 it mid-campaign, restart on the same journal, and require verdicts
+# bit-identical to an uninterrupted server's (plus a cache hit on resubmit).
+service-soak:
+	DFTMSN_SOAK=1 $(GO) test -race -run TestServiceSoak -timeout 20m -count=1 ./cmd/dftserve/
 
 vet:
 	$(GO) vet ./...

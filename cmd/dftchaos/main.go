@@ -7,6 +7,7 @@
 //	dftchaos [-runs 200] [-seed 1] [-workers 0]
 //	         [-scheme OPT] [-sensors 12] [-sinks 2] [-duration 400] [-arrival 40]
 //	         [-min-ratio 0] [-max-recovery 0]
+//	         [-shrink-candidate-budget 0] [-shrink-total-budget 0]
 //	         [-state campaign.jsonl] [-resume] [-json]
 //	         [-inject-skip-sender-ftd]
 //
@@ -61,6 +62,9 @@ func run(args []string, out io.Writer) error {
 		minRatio    = fs.Float64("min-ratio", 0, "fail a run delivering below this ratio (0 disables)")
 		maxRecovery = fs.Float64("max-recovery", 0, "fail a run whose delivery rate takes longer than this to recover (s, 0 disables)")
 
+		shrinkCandidateBudget = fs.Duration("shrink-candidate-budget", 0, "wall-clock budget per shrink candidate (0 disables)")
+		shrinkTotalBudget     = fs.Duration("shrink-total-budget", 0, "wall-clock budget for the whole minimization (0 disables)")
+
 		stateFile = fs.String("state", "", "persist run outcomes to this file as they complete")
 		resume    = fs.Bool("resume", false, "skip runs already recorded in the -state file")
 		jsonOut   = fs.Bool("json", false, "print the campaign summary as JSON")
@@ -94,6 +98,9 @@ func run(args []string, out io.Writer) error {
 		MaxRecoverySeconds: *maxRecovery,
 		StateFile:          *stateFile,
 		Resume:             *resume,
+
+		ShrinkCandidateBudget: *shrinkCandidateBudget,
+		ShrinkTotalBudget:     *shrinkTotalBudget,
 	}
 	summary, err := campaign.Run()
 	if err != nil {

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The service soak: build the daemon, run it under mixed load, kill -9 it
+// mid-campaign, restart it on the same journal, and require every job to
+// finish with results bit-identical to an uninterrupted server's. Gated
+// behind DFTMSN_SOAK=1 because it builds binaries and runs for a while;
+// CI's nightly service-soak job (and `make service-soak`) turns it on.
+
+const soakChaosBody = `{"kind":"chaos","chaos":{"runs":40,"seed":5},"config":{"scheme":"OPT","sensors":12,"sinks":2,"duration_s":400,"arrival_mean_s":40}}`
+
+func soakRunBody(seed int) string {
+	return fmt.Sprintf(`{"kind":"run","config":{"scheme":"OPT","sensors":8,"sinks":1,"duration_s":300,"arrival_mean_s":30,"seed":%d}}`, seed)
+}
+
+const soakSweepBody = `{"kind":"sweep","sweep":{"experiment":"fig2","duration_s":300,"runs":1,"sensors":10}}`
+
+// soakServer is one dftserve process under test.
+type soakServer struct {
+	cmd *exec.Cmd
+	url string
+}
+
+func buildDaemon(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "dftserve")
+	cmd := exec.Command("go", "build", "-race", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func startDaemon(t *testing.T, bin string, args ...string) *soakServer {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Process.Kill()
+		t.Fatal("daemon exited before announcing its address")
+	}
+	line := sc.Text()
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		cmd.Process.Kill()
+		t.Fatalf("unexpected startup line: %q", line)
+	}
+	addr := strings.Fields(line[i+len(marker):])[0]
+	go func() { // drain further output so the child never blocks on stdout
+		for sc.Scan() {
+		}
+	}()
+	return &soakServer{cmd: cmd, url: "http://" + addr}
+}
+
+func (s *soakServer) submit(t *testing.T, body string) string {
+	t.Helper()
+	resp, err := http.Post(s.url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.ID
+}
+
+// await polls a job to a terminal state and returns its status.
+func (s *soakServer) await(t *testing.T, id string, timeout time.Duration) map[string]json.RawMessage {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(s.url + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st map[string]json.RawMessage
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch state := strings.Trim(string(st["state"]), `"`); state {
+		case "done", "cancelled", "quarantined":
+			return st
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish within %v", id, timeout)
+	return nil
+}
+
+func (s *soakServer) sigterm(t *testing.T) {
+	t.Helper()
+	if err := s.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly after SIGTERM: %v", err)
+	}
+}
+
+func TestServiceSoakKillDashNine(t *testing.T) {
+	if os.Getenv("DFTMSN_SOAK") != "1" {
+		t.Skip("set DFTMSN_SOAK=1 to run the service soak")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+
+	// Reference pass: an uninterrupted server computes every verdict.
+	refDir := filepath.Join(dir, "ref")
+	os.MkdirAll(refDir, 0o755)
+	ref := startDaemon(t, bin,
+		"-journal", filepath.Join(refDir, "journal.jsonl"), "-state-dir", refDir)
+	refChaos := ref.submit(t, soakChaosBody)
+	refRunA := ref.submit(t, soakRunBody(1))
+	refRunB := ref.submit(t, soakRunBody(2))
+	refSweep := ref.submit(t, soakSweepBody)
+	want := map[string]json.RawMessage{
+		"chaos": ref.await(t, refChaos, 5*time.Minute)["result"],
+		"runA":  ref.await(t, refRunA, time.Minute)["result"],
+		"runB":  ref.await(t, refRunB, time.Minute)["result"],
+		"sweep": ref.await(t, refSweep, 5*time.Minute)["result"],
+	}
+	for k, v := range want {
+		if len(v) == 0 {
+			t.Fatalf("reference %s job produced no payload", k)
+		}
+	}
+	ref.sigterm(t)
+
+	// Victim pass: same load, kill -9 mid-campaign.
+	vicDir := filepath.Join(dir, "vic")
+	os.MkdirAll(vicDir, 0o755)
+	journal := filepath.Join(vicDir, "journal.jsonl")
+	vic := startDaemon(t, bin, "-journal", journal, "-state-dir", vicDir, "-workers", "2")
+	vicChaos := vic.submit(t, soakChaosBody)
+	vicRunA := vic.submit(t, soakRunBody(1))
+	vicRunB := vic.submit(t, soakRunBody(2))
+	vicSweep := vic.submit(t, soakSweepBody)
+	time.Sleep(500 * time.Millisecond) // let the campaign get partway
+	if err := vic.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	vic.cmd.Wait()
+
+	// Restart on the same journal: every unfinished job must resume and
+	// reach the uninterrupted verdicts, bit for bit.
+	revived := startDaemon(t, bin, "-journal", journal, "-state-dir", vicDir, "-workers", "2")
+	defer revived.sigterm(t)
+	got := map[string]json.RawMessage{
+		"chaos": revived.await(t, vicChaos, 5*time.Minute)["result"],
+		"runA":  revived.await(t, vicRunA, time.Minute)["result"],
+		"runB":  revived.await(t, vicRunB, time.Minute)["result"],
+		"sweep": revived.await(t, vicSweep, 5*time.Minute)["result"],
+	}
+	for k, w := range want {
+		if !bytes.Equal(got[k], w) {
+			t.Errorf("%s verdict differs after kill -9 + resume:\n%s\n--- want ---\n%s", k, got[k], w)
+		}
+	}
+
+	// The revived server must also serve a repeat of the finished
+	// campaign from its journal-warmed cache (state 200/done at submit).
+	resp, err := http.Post(revived.url+"/v1/jobs", "application/json", strings.NewReader(soakChaosBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("repeat campaign after resume = %d, want 200 (cache)", resp.StatusCode)
+	}
+}

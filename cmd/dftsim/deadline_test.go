@@ -1,0 +1,77 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dftmsn"
+)
+
+// TestRunDeadlineExpiry pins the -deadline contract: an expired deadline
+// still prints a digest (the completed prefix, flagged with a "deadline"
+// line), and run returns an error wrapping dftmsn.ErrCancelled so main can
+// exit with the distinct status 3.
+func TestRunDeadlineExpiry(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-sensors", "40", "-sinks", "2", "-duration", "200000",
+		"-arrival", "30", "-deadline", "1ns",
+	}, &sb)
+	if err == nil {
+		t.Fatal("run with an already-expired deadline returned nil")
+	}
+	if !errors.Is(err, dftmsn.ErrCancelled) {
+		t.Fatalf("deadline error does not wrap ErrCancelled: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"scheme", "simulated", "deadline", "expired", "generated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("partial digest missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunDeadlineGenerous verifies an unexpired deadline changes nothing:
+// the digest is byte-identical to a run without one.
+func TestRunDeadlineGenerous(t *testing.T) {
+	args := []string{"-sensors", "12", "-sinks", "1", "-duration", "300", "-arrival", "40"}
+	var plain, budgeted strings.Builder
+	if err := run(args, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-deadline", "10m"), &budgeted); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the wall-clock portion of the "simulated" line before comparing.
+	norm := func(s string) string {
+		lines := strings.Split(s, "\n")
+		for i, l := range lines {
+			if strings.HasPrefix(l, "simulated") {
+				lines[i] = l[:strings.Index(l, " elided")]
+			}
+		}
+		return strings.Join(lines, "\n")
+	}
+	if norm(plain.String()) != norm(budgeted.String()) {
+		t.Fatalf("generous deadline perturbed the digest:\n%s\n---\n%s", plain.String(), budgeted.String())
+	}
+}
+
+// TestRunDeadlinePartialResilience: a faulted run cut short by its deadline
+// still prints the resilience section from the completed prefix.
+func TestRunDeadlinePartialResilience(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-sensors", "40", "-sinks", "2", "-duration", "200000", "-arrival", "30",
+		"-churn-mtbf", "200", "-churn-mttr", "50",
+		"-deadline", "1ns",
+	}, &sb)
+	if !errors.Is(err, dftmsn.ErrCancelled) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "deadline") || !strings.Contains(out, "resilience") {
+		t.Errorf("partial digest missing deadline/resilience lines:\n%s", out)
+	}
+}

@@ -11,6 +11,7 @@
 //	dftsim [-invariants off|report|panic] [-inject-skip-sender-ftd]
 //	dftsim [-telemetry] [-trace events.jsonl] [-trace-format jsonl|binary]
 //	dftsim [-snapshot state.snap [-snapshot-at S]] [-restore state.snap]
+//	dftsim [-deadline 30s]
 //	dftsim -config scenario.json [-dumpconfig]
 //
 // The defaults reproduce the paper's §5 setup; -config loads a JSON
@@ -52,6 +53,12 @@
 // writes a snapshot shortly before the first violation — a ready-made
 // time-travel debugging session.
 //
+// -deadline puts a wall-clock budget on the run. Cancellation is
+// cooperative and event-granular: on expiry the simulation stops between
+// two events, the digest printed is the bit-exact digest of the completed
+// prefix (a "deadline" line marks how far it got), and the process exits
+// with status 3 — distinct from status 1, which means the run failed.
+//
 // -eager-decay disables the event-elision engine (PROTOCOL.md §11) and
 // runs every ξ-decay tick and sleep cycle as a real kernel event — the
 // control arm for performance comparisons; results are identical either
@@ -62,6 +69,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -77,11 +85,18 @@ import (
 	"dftmsn/internal/telemetry"
 )
 
+// Exit status: 0 on success, 1 on failure, 3 when a -deadline expired (the
+// partial digest of the completed prefix was still printed).
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "dftsim:", err)
-		os.Exit(1)
+	err := run(os.Args[1:], os.Stdout)
+	if err == nil {
+		return
 	}
+	fmt.Fprintln(os.Stderr, "dftsim:", err)
+	if errors.Is(err, dftmsn.ErrCancelled) {
+		os.Exit(3)
+	}
+	os.Exit(1)
 }
 
 func run(args []string, out io.Writer) error {
@@ -95,6 +110,7 @@ func run(args []string, out io.Writer) error {
 		arrival    = fs.Float64("arrival", 120, "mean data inter-arrival per sensor (s)")
 		speed      = fs.Float64("speed", 5, "maximum sensor speed (m/s)")
 		queue      = fs.Int("queue", 200, "sensor buffer capacity (messages)")
+		deadline   = fs.Duration("deadline", 0, "wall-clock budget; on expiry the run stops at an event boundary, prints the partial digest, and exits with status 3 (0 = none)")
 		verbose    = fs.Bool("v", false, "print extended counters")
 
 		churnMTBF     = fs.Float64("churn-mtbf", 0, "mean sensor up-time between crashes (s); with -churn-mttr enables churn")
@@ -224,6 +240,9 @@ func run(args []string, out io.Writer) error {
 	if *eagerDecay {
 		cfg.EagerDecay = true
 	}
+	if *deadline > 0 {
+		cfg.Cancel = dftmsn.WallClockDeadline(*deadline)
+	}
 	var (
 		tw        telemetry.FileWriter
 		traceFile *os.File
@@ -290,11 +309,13 @@ func run(args []string, out io.Writer) error {
 		snapshotNote = fmt.Sprintf("snapshot          quiescent state at %.1f s -> %s\n", snap.Time, *snapshotPath)
 	}
 	res, err := sim.Run()
-	if err != nil {
+	cancelled := err != nil && errors.Is(err, dftmsn.ErrCancelled)
+	if err != nil && !cancelled {
 		return err
 	}
+	runErr := err
 	wall := time.Since(start)
-	if note, err := violationSnapshot(cfg, res, *snapshotPath, *snapshotAt >= 0 || restoreSnap != nil); err != nil {
+	if note, err := violationSnapshot(cfg, res, *snapshotPath, *snapshotAt >= 0 || restoreSnap != nil || cancelled); err != nil {
 		return err
 	} else if note != "" {
 		snapshotNote += note
@@ -325,6 +346,10 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "scheme            %s\n", res.Scheme)
 	fmt.Fprintf(out, "simulated         %.0f s (%d events, %d elided in %v)\n",
 		res.SimSeconds, res.Events, res.EventsElided, wall.Round(time.Millisecond))
+	if cancelled {
+		fmt.Fprintf(out, "deadline          %v expired; this digest is the completed prefix, not the %.0f s horizon\n",
+			*deadline, cfg.DurationSeconds)
+	}
 	fmt.Fprintf(out, "generated         %d messages\n", res.Delivery.Generated)
 	fmt.Fprintf(out, "delivered         %d (ratio %.3f, %d duplicate arrivals)\n",
 		res.Delivery.Delivered, res.Delivery.DeliveryRatio, res.Delivery.Duplicates)
@@ -390,6 +415,11 @@ func run(args []string, out io.Writer) error {
 	if *showMap {
 		fmt.Fprint(out, renderMap(sim, cfg))
 	}
+	if cancelled {
+		// Surface the cancellation so main exits with the distinct status;
+		// the partial digest above is already on out.
+		return fmt.Errorf("deadline %v: %w", *deadline, runErr)
+	}
 	return nil
 }
 
@@ -410,6 +440,7 @@ func violationSnapshot(cfg dftmsn.Config, res dftmsn.Result, path string, taken 
 	}
 	pcfg := cfg
 	pcfg.Recorder = nil // don't double-write an attached trace
+	pcfg.Cancel = nil   // the prefix re-simulation is not under the run's deadline
 	sim, err := dftmsn.New(pcfg)
 	if err != nil {
 		return "", err

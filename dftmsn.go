@@ -36,6 +36,7 @@ package dftmsn
 
 import (
 	"io"
+	"time"
 
 	"dftmsn/internal/chaos"
 	"dftmsn/internal/core"
@@ -43,6 +44,7 @@ import (
 	"dftmsn/internal/invariants"
 	"dftmsn/internal/optimize"
 	"dftmsn/internal/scenario"
+	"dftmsn/internal/sim"
 	"dftmsn/internal/snapshot"
 	"dftmsn/internal/sweep"
 	"dftmsn/internal/telemetry"
@@ -176,6 +178,16 @@ func ReadTrace(path string) ([]TelemetryEvent, error) { return telemetry.ReadFil
 // BuildLedger reconstructs per-message custody chains from a trace-v2
 // event stream.
 func BuildLedger(events []TelemetryEvent) *TelemetryLedger { return telemetry.BuildLedger(events) }
+
+// ErrCancelled is the sentinel wrapped by Run's error when the run's
+// cooperative cancellation probe (Config.Cancel) fired. Cancellation is
+// cooperative and event-granular: the partial Result returned alongside the
+// error is the bit-exact digest of the completed event prefix.
+var ErrCancelled = sim.ErrCancelled
+
+// WallClockDeadline returns a cancellation probe for Config.Cancel that
+// fires once d of wall-clock time has elapsed since its first consultation.
+func WallClockDeadline(d time.Duration) func() bool { return scenario.WallClockDeadline(d) }
 
 // Run assembles and executes one simulation.
 func Run(cfg Config) (Result, error) {

@@ -21,9 +21,12 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"dftmsn/internal/faults"
 	"dftmsn/internal/scenario"
+	"dftmsn/internal/sim"
 	"dftmsn/internal/simrand"
 	"dftmsn/internal/snapshot"
 	"dftmsn/internal/sweep"
@@ -65,6 +68,24 @@ type Campaign struct {
 	// recorded there; the resumed campaign reaches the same verdicts as an
 	// uninterrupted one. Resuming a missing file starts a fresh campaign.
 	Resume bool
+
+	// Cancel, when set, is polled between runs and threaded into every
+	// simulation as its cooperative cancellation probe. A fired probe stops
+	// the campaign at the next event boundary: completed runs keep their
+	// recorded outcomes (and state-file lines), interrupted ones are left
+	// unrecorded so a resume re-executes them bit-identically, and Run
+	// returns the partial Summary with an error wrapping sim.ErrCancelled.
+	Cancel func() bool
+
+	// ShrinkCandidateBudget bounds the wall-clock time any single shrink
+	// candidate may spend simulating; an over-budget candidate is abandoned
+	// and its clause conservatively kept (0 disables the bound).
+	ShrinkCandidateBudget time.Duration
+	// ShrinkTotalBudget bounds the wall-clock time of the whole
+	// minimization; when it expires the shrink stops where it stands
+	// (0 disables the bound). Either budget biting sets
+	// ShrinkStats.Truncated.
+	ShrinkTotalBudget time.Duration
 
 	// testHookBeforeRun, when set, runs in the worker before each
 	// simulation — tests use it to inject worker panics.
@@ -124,6 +145,10 @@ type ShrinkStats struct {
 	// VirtualSeconds is the total virtual time re-simulated, including the
 	// one-off cost of building the checkpoint itself.
 	VirtualSeconds float64
+	// Truncated reports that a wall-clock shrink budget (or a campaign
+	// cancellation) cut the minimization short: the reported plan still
+	// fails, but it is no longer guaranteed to be 1-minimal.
+	Truncated bool
 }
 
 // Summary digests a whole campaign.
@@ -208,9 +233,14 @@ func (c Campaign) Run() (Summary, error) {
 	}
 	defer state.Close()
 
+	var cancelled atomic.Bool
 	errs := sweep.ParallelErrors(c.Runs, c.Workers, func(i int) error {
 		if outcomes[i].ran {
 			return nil // resumed from the state file
+		}
+		if c.Cancel != nil && c.Cancel() {
+			cancelled.Store(true)
+			return nil
 		}
 		rng := simrand.New(c.Seed).Split(fmt.Sprintf("chaos/%d", i))
 		plan := RandomPlan(rng.Split("plan"), c.Base.DurationSeconds, c.Base.NumSinks)
@@ -221,7 +251,15 @@ func (c Campaign) Run() (Summary, error) {
 		if c.testHookBeforeRun != nil {
 			c.testHookBeforeRun(i)
 		}
-		res, err := c.runOnce(seed, plan)
+		res, err := c.runOnce(seed, plan, c.Cancel)
+		if errors.Is(err, sim.ErrCancelled) {
+			// Left unrecorded (ran stays false): a cancelled run never
+			// reaches the state file, so a later resume re-executes it from
+			// scratch and the resumed verdict is bit-identical to an
+			// uninterrupted campaign's.
+			cancelled.Store(true)
+			return nil
+		}
 		outcomes[i] = outcome{seed: seed, plan: plan, res: res, err: err, ran: true}
 		state.record(i, outcomes[i])
 		return nil
@@ -287,9 +325,19 @@ func (c Campaign) Run() (Summary, error) {
 	if math.IsInf(sum.MinDeliveryRatio, 1) {
 		sum.MinDeliveryRatio = 0
 	}
-	if firstFailure != nil {
+	if firstFailure != nil && !cancelled.Load() {
 		report := c.shrink(*firstFailure)
 		sum.Minimized = &report
+	}
+	if cancelled.Load() {
+		executed := 0
+		for i := range outcomes {
+			if outcomes[i].ran {
+				executed++
+			}
+		}
+		return sum, fmt.Errorf("chaos: campaign cancelled after %d of %d runs: %w",
+			executed, c.Runs, sim.ErrCancelled)
 	}
 	return sum, nil
 }
@@ -298,7 +346,7 @@ func (c Campaign) Run() (Summary, error) {
 // panicking simulation is recovered into an error, so a deterministic panic
 // found by the campaign reproduces as an "error" failure when shrunk or
 // resumed rather than crashing the harness.
-func (c Campaign) runOnce(seed uint64, plan faults.Plan) (res scenario.Result, err error) {
+func (c Campaign) runOnce(seed uint64, plan faults.Plan, cancel func() bool) (res scenario.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
@@ -306,6 +354,7 @@ func (c Campaign) runOnce(seed uint64, plan faults.Plan) (res scenario.Result, e
 	}()
 	cfg := c.Base
 	cfg.Seed = seed
+	cfg.Cancel = cancel
 	if plan.Enabled() {
 		p := plan
 		cfg.Faults = &p
@@ -556,15 +605,37 @@ func ClauseCount(p faults.Plan) int { return len(clausesOf(p)) }
 // bit-identical to cold shrinking.
 func (c Campaign) shrink(f Failure) FailureReport {
 	report := FailureReport{Failure: f, Minimized: f.Plan}
-	warm := c.warmCheckpoint(f, &report.Shrink)
+	var totalDeadline time.Time
+	if c.ShrinkTotalBudget > 0 {
+		totalDeadline = time.Now().Add(c.ShrinkTotalBudget)
+	}
+	overTotal := func() bool {
+		if !totalDeadline.IsZero() && time.Now().After(totalDeadline) {
+			return true
+		}
+		return c.Cancel != nil && c.Cancel()
+	}
+	warm := c.warmCheckpoint(f, &report.Shrink, c.candidateProbe(totalDeadline))
 	keep := clausesOf(f.Plan)
+loop:
 	for changed := true; changed && report.ShrinkRuns < c.MaxShrinkRuns; {
 		changed = false
 		for i := 0; i < len(keep) && report.ShrinkRuns < c.MaxShrinkRuns; i++ {
+			if overTotal() {
+				report.Shrink.Truncated = true
+				break loop
+			}
 			cand := append(append([]clause(nil), keep[:i]...), keep[i+1:]...)
 			plan := buildPlan(f.Plan, cand)
-			res, err := c.runCandidate(f.Seed, plan, warm, &report.Shrink)
+			res, err := c.runCandidate(f.Seed, plan, warm, &report.Shrink, c.candidateProbe(totalDeadline))
 			report.ShrinkRuns++
+			if errors.Is(err, sim.ErrCancelled) {
+				// The candidate ran over its wall-clock budget; keep its
+				// clause (the conservative verdict) and note the result may
+				// not be 1-minimal.
+				report.Shrink.Truncated = true
+				continue
+			}
 			if _, _, failed := c.judge(res, err, plan); failed {
 				keep = cand
 				changed = true
@@ -576,6 +647,31 @@ func (c Campaign) shrink(f Failure) FailureReport {
 	report.Clauses = len(keep)
 	report.Command = c.command(f.Seed, report.Minimized)
 	return report
+}
+
+// candidateProbe builds the cooperative cancellation probe one shrink
+// candidate simulates under: its own wall-clock budget, the minimization's
+// total deadline, and the campaign-level Cancel, whichever fires first.
+// Returns nil (no probe, no per-event overhead) when none of the three is
+// armed.
+func (c Campaign) candidateProbe(totalDeadline time.Time) func() bool {
+	var candDeadline time.Time
+	if c.ShrinkCandidateBudget > 0 {
+		candDeadline = time.Now().Add(c.ShrinkCandidateBudget)
+	}
+	if candDeadline.IsZero() && totalDeadline.IsZero() && c.Cancel == nil {
+		return nil
+	}
+	return func() bool {
+		now := time.Now()
+		if !candDeadline.IsZero() && now.After(candDeadline) {
+			return true
+		}
+		if !totalDeadline.IsZero() && now.After(totalDeadline) {
+			return true
+		}
+		return c.Cancel != nil && c.Cancel()
+	}
 }
 
 // warmShrinkState is the shared checkpoint shrink candidates restart from:
@@ -592,7 +688,7 @@ type warmShrinkState struct {
 // nil (cold shrinking) when the plan has no discrete faults to stop before,
 // when the base folds in legacy fail fields the substitution would drop, or
 // when no quiescent instant lands strictly before the first fault.
-func (c Campaign) warmCheckpoint(f Failure, stats *ShrinkStats) *warmShrinkState {
+func (c Campaign) warmCheckpoint(f Failure, stats *ShrinkStats, cancel func() bool) *warmShrinkState {
 	if c.noWarmShrink || c.Base.FailFraction != 0 || c.Base.FailAtSeconds != 0 {
 		return nil
 	}
@@ -602,6 +698,7 @@ func (c Campaign) warmCheckpoint(f Failure, stats *ShrinkStats) *warmShrinkState
 	}
 	cfg := c.Base
 	cfg.Seed = f.Seed
+	cfg.Cancel = cancel
 	cfg.Faults = nil
 	if f.Plan.Burst != nil {
 		cfg.Faults = &faults.Plan{Burst: f.Plan.Burst}
@@ -624,7 +721,7 @@ func (c Campaign) warmCheckpoint(f Failure, stats *ShrinkStats) *warmShrinkState
 
 // runCandidate executes one shrink candidate, warm from the checkpoint when
 // it admits the plan and cold otherwise, accounting the virtual time spent.
-func (c Campaign) runCandidate(seed uint64, plan faults.Plan, warm *warmShrinkState, stats *ShrinkStats) (scenario.Result, error) {
+func (c Campaign) runCandidate(seed uint64, plan faults.Plan, warm *warmShrinkState, stats *ShrinkStats, cancel func() bool) (scenario.Result, error) {
 	stats.Candidates++
 	if warm != nil {
 		if snap, err := snapshot.DecodeBytes(warm.blob); err == nil {
@@ -633,7 +730,9 @@ func (c Campaign) runCandidate(seed uint64, plan faults.Plan, warm *warmShrinkSt
 				pp := plan
 				p = &pp
 			}
-			if s, err := scenario.RestoreForPlan(snap, p); err == nil {
+			// The probe is runtime-only config (never encoded), so
+			// reattaching it here cannot perturb the restored run.
+			if s, err := scenario.RestoreForPlan(snap, p, func(cfg *scenario.Config) { cfg.Cancel = cancel }); err == nil {
 				stats.Reused++
 				stats.VirtualSeconds += c.Base.DurationSeconds - warm.time
 				return s.Run()
@@ -641,7 +740,7 @@ func (c Campaign) runCandidate(seed uint64, plan faults.Plan, warm *warmShrinkSt
 		}
 	}
 	stats.VirtualSeconds += c.Base.DurationSeconds
-	return c.runOnce(seed, plan)
+	return c.runOnce(seed, plan, cancel)
 }
 
 // command renders a ready-to-run dftsim invocation reproducing a failing
@@ -748,6 +847,9 @@ func (s Summary) Format() string {
 			m.RunIndex, m.Clauses, m.ShrinkRuns)
 		fmt.Fprintf(&b, "shrink work       %d of %d candidates warm-restored, %.0f virtual s re-simulated\n",
 			m.Shrink.Reused, m.Shrink.Candidates, m.Shrink.VirtualSeconds)
+		if m.Shrink.Truncated {
+			fmt.Fprintf(&b, "shrink truncated  wall-clock budget expired; the plan may not be 1-minimal\n")
+		}
 		fmt.Fprintf(&b, "reproduce with    %s\n", m.Command)
 	}
 	return b.String()

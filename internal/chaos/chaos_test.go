@@ -118,7 +118,7 @@ func TestBrokenBuildIsCaughtAndMinimized(t *testing.T) {
 	// the recorded seed and expect the same verdict. (withDefaults arms
 	// the invariant engine the same way Run does.)
 	c = c.withDefaults()
-	res, err := c.runOnce(m.Seed, m.Minimized)
+	res, err := c.runOnce(m.Seed, m.Minimized, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestShrinkCandidatesAreBitIdenticalWarmOrCold(t *testing.T) {
 	c := Campaign{Base: smallBase(), MinDeliveryRatio: 1.1}.withDefaults()
 	f := Failure{Seed: 77, Plan: lateFaultPlan(), Kind: "bound"}
 	var stats ShrinkStats
-	warm := c.warmCheckpoint(f, &stats)
+	warm := c.warmCheckpoint(f, &stats, nil)
 	if warm == nil {
 		t.Fatal("no warm checkpoint for a late-fault plan")
 	}
@@ -203,8 +203,8 @@ func TestShrinkCandidatesAreBitIdenticalWarmOrCold(t *testing.T) {
 	for i, keep := range candidates {
 		plan := buildPlan(f.Plan, keep)
 		before := stats.Reused
-		warmRes, warmErr := c.runCandidate(f.Seed, plan, warm, &stats)
-		coldRes, coldErr := c.runOnce(f.Seed, plan)
+		warmRes, warmErr := c.runCandidate(f.Seed, plan, warm, &stats, nil)
+		coldRes, coldErr := c.runOnce(f.Seed, plan, nil)
 		if (warmErr == nil) != (coldErr == nil) {
 			t.Fatalf("candidate %d: warm err %v, cold err %v", i, warmErr, coldErr)
 		}

@@ -64,6 +64,12 @@ func (s *Sim) stepUntilQuiescent(k float64) (err error) {
 		}()
 	}
 	for !(float64(s.sched.Now()) >= k && s.quiescent()) {
+		// The same cooperative probe that governs Run bounds checkpointing
+		// loops, so a wall-clock deadline covers the whole job.
+		if s.sched.Cancelled() {
+			return fmt.Errorf("scenario: checkpoint stepping cancelled at %.1f virtual s: %w",
+				float64(s.sched.Now()), sim.ErrCancelled)
+		}
 		next, ok := s.sched.NextEventTime()
 		if !ok || float64(next) > s.cfg.DurationSeconds {
 			return fmt.Errorf("scenario: no quiescent instant at or after %v s before the %v s horizon", k, s.cfg.DurationSeconds)

@@ -6,8 +6,10 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"dftmsn/internal/buffer"
 	"dftmsn/internal/core"
@@ -146,6 +148,26 @@ type Config struct {
 	// grid point, so the continued run is bit-identical to an
 	// uncheckpointed one. Zero disables.
 	CheckpointEvery float64
+	// Cancel optionally installs a cooperative cancellation probe on the
+	// kernel (see sim.SetCancel): consulted between events, and when it
+	// returns true the run stops with an error wrapping sim.ErrCancelled
+	// while still returning the partial Result accumulated so far. Because
+	// cancellation lands strictly at event boundaries, the cancelled run's
+	// fired events — and therefore its RNG draws, metrics, and telemetry
+	// stream — are bit-identical to the same-length prefix of an
+	// uncancelled run. Runtime-only, like Recorder: excluded from the
+	// config encoding, so arming a deadline never changes a cache key or a
+	// snapshot. Typical probes are wall-clock deadlines (WallClockDeadline).
+	Cancel func() bool
+}
+
+// WallClockDeadline returns a cancellation probe that fires once the given
+// wall-clock duration has elapsed (measured from this call). Attach it to
+// Config.Cancel to bound a run's real execution time without perturbing its
+// virtual-time determinism.
+func WallClockDeadline(d time.Duration) func() bool {
+	deadline := time.Now().Add(d)
+	return func() bool { return time.Now().After(deadline) }
 }
 
 // DefaultConfig returns the paper's §5 default setup for the given scheme.
@@ -367,6 +389,9 @@ func New(cfg Config) (*Sim, error) {
 		return nil, err
 	}
 	s := &Sim{cfg: cfg, plan: cfg.faultPlan(), sched: sim.NewScheduler(), collector: metrics.NewCollector()}
+	if cfg.Cancel != nil {
+		s.sched.SetCancel(cfg.Cancel)
+	}
 	root := simrand.New(cfg.Seed)
 
 	// Telemetry composition: the caller's trace-v2 recorder, the legacy
@@ -845,16 +870,26 @@ func (s *Sim) ensureArmed() error {
 // result digest. Run may be called once. With CheckpointEvery set, the
 // periodic snapshots are taken first (each at the first quiescent instant
 // at or after its grid point) and attached to Result.Checkpoints.
+//
+// With Config.Cancel armed, a run whose probe fires stops between events
+// and returns the partial Result accumulated so far together with an error
+// wrapping sim.ErrCancelled — callers distinguish "cancelled with usable
+// partial data" from a genuinely failed run via errors.Is.
 func (s *Sim) Run() (Result, error) {
 	if s.ran {
 		return Result{}, fmt.Errorf("scenario: simulation already ran")
 	}
+	cancelled := false
 	if s.cfg.CheckpointEvery > 0 {
 		for k := s.cfg.CheckpointEvery; k < s.cfg.DurationSeconds; k += s.cfg.CheckpointEvery {
 			if k <= float64(s.sched.Now()) {
 				continue // a restored run skips grid points already behind it
 			}
 			snap, err := s.CheckpointAt(k)
+			if errors.Is(err, sim.ErrCancelled) {
+				cancelled = true
+				break
+			}
 			if err != nil {
 				return Result{}, err
 			}
@@ -865,19 +900,30 @@ func (s *Sim) Run() (Result, error) {
 	if err := s.ensureArmed(); err != nil {
 		return Result{}, fmt.Errorf("scenario: %w", err)
 	}
-	if err := s.runScheduler(); err != nil {
-		return Result{}, fmt.Errorf("scenario: %w", err)
+	if !cancelled {
+		switch err := s.runScheduler(); {
+		case errors.Is(err, sim.ErrCancelled):
+			cancelled = true
+		case err != nil:
+			return Result{}, fmt.Errorf("scenario: %w", err)
+		}
 	}
-	// Close the elision ledgers at the horizon: still-active idle spans
-	// replay the cycle boundaries the eager arm would have run up to the
-	// horizon, and the lazy decay ledgers are harvested into the kernel's
-	// elided counter. A no-op on eager-arm nodes. This runs before the
-	// sampler's final snapshot so ξ reads are settled through the horizon.
+	// Close the elision ledgers: still-active idle spans replay the cycle
+	// boundaries the eager arm would have run up to the end of the run,
+	// and the lazy decay ledgers are harvested into the kernel's elided
+	// counter. A no-op on eager-arm nodes. This runs before the sampler's
+	// final snapshot so ξ reads are settled through the end. A cancelled
+	// run finalizes at the clock it stopped at, not the horizon, keeping
+	// the partial counters consistent with the events that actually fired.
+	end := s.cfg.DurationSeconds
+	if cancelled {
+		end = float64(s.sched.Now())
+	}
 	for _, n := range s.sinks {
-		n.FinalizeElision(s.cfg.DurationSeconds)
+		n.FinalizeElision(end)
 	}
 	for _, n := range s.sensors {
-		n.FinalizeElision(s.cfg.DurationSeconds)
+		n.FinalizeElision(end)
 	}
 	if s.capture != nil {
 		if err := s.capture.Flush(); err != nil {
@@ -897,6 +943,10 @@ func (s *Sim) Run() (Result, error) {
 	}
 	res := s.Snapshot()
 	res.Checkpoints = s.checkpoints
+	if cancelled {
+		return res, fmt.Errorf("scenario: run cancelled at %.1f virtual s: %w",
+			float64(s.sched.Now()), sim.ErrCancelled)
+	}
 	return res, nil
 }
 

@@ -1,0 +1,56 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Cache is the content-addressed result store: cache key (see CacheKey) to
+// the job's JSON result payload. Entries are immutable once stored —
+// determinism guarantees any two computations of a key agree — so a hit
+// can be served without revalidation and with zero simulation events.
+// The journal warms the cache on restart; the map itself is memory-only.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]json.RawMessage
+	hits    uint64
+	misses  uint64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]json.RawMessage)}
+}
+
+// Get returns the payload stored under key, counting the hit or miss.
+func (c *Cache) Get(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return p, ok
+}
+
+// Put stores a payload under key. First write wins: a concurrent duplicate
+// computation of the same key stores an identical payload anyway.
+func (c *Cache) Put(key string, payload json.RawMessage) {
+	if key == "" || payload == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		c.entries[key] = payload
+	}
+}
+
+// Stats reports entry count and the hit/miss counters.
+func (c *Cache) Stats() (entries int, hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.hits, c.misses
+}

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dftmsn/internal/scenario"
+)
+
+// FuzzRequestDecode throws arbitrary bytes at the service request decoder
+// and pins the invariants the cache hangs off: decoding never panics, an
+// accepted config's canonical encoding is a fixed point (encode → decode →
+// encode is byte-identical), and the derived cache key is stable across
+// that round trip — two spellings of the same scenario must share one key.
+func FuzzRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"kind":"run","config":{"scheme":"OPT"}}`))
+	f.Add([]byte(`{"kind":"run","tenant":"t","deadline_ms":100,"config":{"scheme":"ZBR","sensors":9,"sinks":3,"duration_s":500,"seed":42}}`))
+	f.Add([]byte(`{"kind":"sweep","sweep":{"experiment":"fig2","runs":2}}`))
+	f.Add([]byte(`{"kind":"chaos","chaos":{"runs":5,"seed":7},"config":{"scheme":"OPT","faults":{"churn":{"mtbf_s":100,"mttr_s":10}}}}`))
+	f.Add([]byte(`{"kind":"run","config":{"scheme":"EPIDEMIC","params":{"alpha":0.5}}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`garbage`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, cfg, err := DecodeRequest(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; not panicking is the property
+		}
+		key1, err := requestKey(req, cfg)
+		if err != nil {
+			t.Fatalf("accepted request has no key: %v", err)
+		}
+		if len(key1) != 64 || strings.ToLower(key1) != key1 {
+			t.Fatalf("malformed cache key %q", key1)
+		}
+		if req.Kind == "sweep" {
+			return // no embedded config to round-trip
+		}
+		enc1, err := scenario.EncodeConfig(cfg)
+		if err != nil {
+			t.Fatalf("accepted config does not encode: %v", err)
+		}
+		cfg2, err := scenario.DecodeConfig(enc1)
+		if err != nil {
+			t.Fatalf("canonical encoding does not decode: %v\n%s", err, enc1)
+		}
+		enc2, err := scenario.EncodeConfig(cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("canonical encoding is not a fixed point:\n%s\n---\n%s", enc1, enc2)
+		}
+		req2 := req
+		req2.Config = enc1
+		key2, err := requestKey(req2, cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key1 != key2 {
+			t.Fatalf("cache key unstable across canonical round trip: %s vs %s", key1, key2)
+		}
+	})
+}

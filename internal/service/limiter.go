@@ -1,0 +1,61 @@
+package service
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tenantLimiter hands out admission tokens per tenant: a classic token
+// bucket refilled at rate tokens/second up to burst. A drained bucket
+// rejects with the wait until the next token, which the server surfaces as
+// a Retry-After header — backpressure the client can act on instead of a
+// blind 500.
+type tenantLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second; <= 0 disables limiting
+	burst   float64
+	buckets map[string]*bucket
+	now     func() time.Time // test hook; time.Now in production
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantLimiter(rate float64, burst int) *tenantLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tenantLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// admit takes one token from tenant's bucket. When the bucket is dry it
+// returns ok=false and how long until a token is available.
+func (l *tenantLimiter) admit(tenant string) (ok bool, retryAfter time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(math.Ceil(need)) * time.Second
+}

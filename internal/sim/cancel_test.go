@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCancelStopsBetweenEvents pins the cooperative-cancellation contract:
+// the probe is consulted on entry and then every CancelStride events, the
+// run stops with ErrCancelled strictly between events, and the clock stays
+// at the last fired event instead of advancing to the horizon.
+func TestCancelStopsBetweenEvents(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	var schedule func()
+	schedule = func() {
+		fired++
+		s.Post(1, "tick", schedule)
+	}
+	s.Post(1, "tick", schedule)
+
+	probeCalls := 0
+	s.SetCancel(func() bool {
+		probeCalls++
+		return probeCalls > 3 // cancel at the fourth probe call
+	})
+	err := s.Run(1e9)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Run = %v, want ErrCancelled", err)
+	}
+	// Entry probe + one probe per CancelStride events: cancelling on the
+	// fourth call means exactly 3*CancelStride events fired.
+	if want := 3 * CancelStride; fired != want {
+		t.Fatalf("fired %d events before cancellation, want %d", fired, want)
+	}
+	if got, want := s.Now(), Time(3*CancelStride); got != want {
+		t.Fatalf("clock at %v after cancellation, want last event time %v", got, want)
+	}
+	if s.Fired() != uint64(fired) {
+		t.Fatalf("Fired() = %d, want %d", s.Fired(), fired)
+	}
+}
+
+// TestCancelImmediately checks that a probe that is already true stops the
+// run before any event fires.
+func TestCancelImmediately(t *testing.T) {
+	s := NewScheduler()
+	s.Post(1, "", func() { t.Fatal("event fired despite immediate cancellation") })
+	s.SetCancel(func() bool { return true })
+	if err := s.Run(100); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Run = %v, want ErrCancelled", err)
+	}
+	if s.Fired() != 0 {
+		t.Fatalf("fired %d events, want 0", s.Fired())
+	}
+}
+
+// TestCancelPrefixDeterminism runs the same event program twice — once to
+// completion, once cancelled partway — and asserts the cancelled run's
+// observation log is exactly a prefix of the full run's: cancellation at
+// event granularity cannot perturb what the completed prefix computed.
+func TestCancelPrefixDeterminism(t *testing.T) {
+	program := func(s *Scheduler, log *[]Time) {
+		var tick func()
+		n := 0
+		tick = func() {
+			*log = append(*log, s.Now())
+			n++
+			if n < 1000 {
+				s.Post(0.5, "", tick)
+			}
+		}
+		s.Post(0.5, "", tick)
+	}
+
+	var full []Time
+	sFull := NewScheduler()
+	program(sFull, &full)
+	if err := sFull.Run(Infinity); err != nil {
+		t.Fatal(err)
+	}
+
+	var part []Time
+	sPart := NewScheduler()
+	program(sPart, &part)
+	calls := 0
+	sPart.SetCancel(func() bool { calls++; return calls > 2 })
+	if err := sPart.Run(Infinity); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Run = %v, want ErrCancelled", err)
+	}
+
+	if len(part) == 0 || len(part) >= len(full) {
+		t.Fatalf("cancelled run logged %d events, full run %d; want a proper non-empty prefix", len(part), len(full))
+	}
+	for i, v := range part {
+		if full[i] != v {
+			t.Fatalf("log diverges at %d: cancelled %v, full %v", i, v, full[i])
+		}
+	}
+}
+
+// TestCancelledHonoursStride checks the Step-path probe used by
+// checkpointing loops.
+func TestCancelledHonoursStride(t *testing.T) {
+	s := NewScheduler()
+	calls := 0
+	s.SetCancel(func() bool { calls++; return false })
+	for i := 0; i < 2*CancelStride; i++ {
+		if s.Cancelled() {
+			t.Fatal("probe returning false must not cancel")
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("probe called %d times over %d checks, want 2", calls, 2*CancelStride)
+	}
+	s.SetCancel(nil)
+	if s.Cancelled() {
+		t.Fatal("nil probe must never cancel")
+	}
+}

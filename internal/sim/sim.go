@@ -31,6 +31,13 @@ const Infinity Time = math.MaxFloat64
 // before reaching its horizon.
 var ErrStopped = errors.New("sim: stopped")
 
+// ErrCancelled is returned by Run when the cooperative cancellation probe
+// armed via SetCancel reported true. Cancellation is observed strictly
+// between events — never mid-event — so every event the run did fire is
+// bit-identical to the corresponding prefix of an uncancelled run: no RNG
+// draw, telemetry record, or metric of the completed prefix is perturbed.
+var ErrCancelled = errors.New("sim: cancelled")
+
 // Event is a scheduled callback. The zero value is not useful; events are
 // created by Scheduler.At and Scheduler.After.
 //
@@ -112,7 +119,18 @@ type Scheduler struct {
 	onEvent   func(now Time, seq uint64, label string)
 	free      []*Event // recycled Post/PostArg events; handle events never enter
 	isoSeq    uint64   // next isolated sequence number; 0 means "not yet used"
+
+	cancel          func() bool // cooperative cancellation probe (see SetCancel)
+	cancelCountdown int         // events until the next probe call
 }
+
+// CancelStride is how many events fire between calls to the cancellation
+// probe. Probes are typically wall-clock checks (time.Now per call), so
+// calling one per event would tax the kernel's hottest loop; a stride keeps
+// the overhead negligible while still bounding the reaction latency to a
+// few dozen events. The stride only affects *when* cancellation is noticed,
+// never what the completed prefix computed.
+const CancelStride = 64
 
 // isoSeqBase is the first sequence number of the isolated band (see
 // AtIsolated). It leaves the ordinary band below it more headroom than any
@@ -445,6 +463,34 @@ func (s *Scheduler) Cancel(e *Event) {
 // Stop halts the run loop after the currently executing event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
+// SetCancel registers a cooperative cancellation probe. Run calls it between
+// events (every CancelStride events, and once on entry); when it returns
+// true the run stops with ErrCancelled, leaving the clock at the last fired
+// event. A nil fn clears the probe. Because the probe is only consulted at
+// event boundaries, a cancelled run's fired events are bit-identical to the
+// same-length prefix of an uncancelled run — the property the deadline
+// machinery in the scenario and service layers is built on.
+func (s *Scheduler) SetCancel(fn func() bool) {
+	s.cancel = fn
+	s.cancelCountdown = 0
+}
+
+// Cancelled consults the cancellation probe directly, honouring the stride.
+// Loops that drive the kernel through Step instead of Run (checkpointing,
+// manual stepping tools) call it once per step to stay responsive to the
+// same deadline that governs Run.
+func (s *Scheduler) Cancelled() bool {
+	if s.cancel == nil {
+		return false
+	}
+	if s.cancelCountdown > 0 {
+		s.cancelCountdown--
+		return false
+	}
+	s.cancelCountdown = CancelStride - 1
+	return s.cancel()
+}
+
 // SetEventHook registers fn to run after every fired event, with the
 // event's virtual time, sequence number, and label. A nil fn clears the
 // hook. The hook runs inside the event's panic-context wrapper, so a
@@ -506,6 +552,9 @@ func (s *Scheduler) Run(horizon Time) error {
 	for len(s.queue) > 0 {
 		if s.stopped {
 			return ErrStopped
+		}
+		if s.Cancelled() {
+			return ErrCancelled
 		}
 		next := s.queue[0].at
 		if next > horizon {

@@ -1,0 +1,43 @@
+package sweep
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dftmsn/internal/sim"
+)
+
+// TestExperimentCancel checks that a fired probe aborts the sweep with an
+// error wrapping sim.ErrCancelled instead of running every point.
+func TestExperimentCancel(t *testing.T) {
+	e := tinyExperiment()
+	e.Cancel = func() bool { return true }
+	_, err := e.Run(1)
+	if !errors.Is(err, sim.ErrCancelled) {
+		t.Fatalf("Run = %v, want an error wrapping sim.ErrCancelled", err)
+	}
+}
+
+// TestExperimentNilCancelCompletes pins that the zero value keeps the sweep
+// unchanged.
+func TestExperimentNilCancelCompletes(t *testing.T) {
+	table, err := tinyExperiment().Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := table.Cell(0, 0).DeliveryRatio.N(); got != 2 {
+		t.Fatalf("point aggregated %d runs, want 2", got)
+	}
+}
+
+// TestGuard pins the exported panic-to-error recovery.
+func TestGuard(t *testing.T) {
+	if err := Guard(func() error { return nil }); err != nil {
+		t.Fatalf("Guard(ok) = %v", err)
+	}
+	err := Guard(func() error { panic("poison") })
+	if err == nil || !strings.Contains(err.Error(), "poison") {
+		t.Fatalf("Guard(panic) = %v, want error naming the panic value", err)
+	}
+}

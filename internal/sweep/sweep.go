@@ -16,6 +16,7 @@ import (
 
 	"dftmsn/internal/metrics"
 	"dftmsn/internal/scenario"
+	"dftmsn/internal/sim"
 	"dftmsn/internal/telemetry"
 )
 
@@ -49,6 +50,14 @@ type Experiment struct {
 	// kept). All runs of a point share duration and queue capacity, so the
 	// histogram bounds line up for merging.
 	Telemetry bool
+	// Cancel optionally installs a cooperative cancellation probe on the
+	// whole sweep: it is consulted before each simulation starts and
+	// threaded into every running kernel (scenario.Config.Cancel), so a
+	// fired probe stops in-flight runs at their next event boundary and
+	// skips runs not yet started. A cancelled sweep returns an error
+	// wrapping sim.ErrCancelled. Runtime-only; it never perturbs the
+	// events completed runs fired.
+	Cancel func() bool
 }
 
 // Validate reports experiment definition errors.
@@ -323,6 +332,20 @@ func guarded(fn func(i int) error, i int) (err error) {
 	return fn(i)
 }
 
+// Guard runs fn, converting a panic into an error carrying the panic value
+// and the worker's stack. It is the same recovery discipline the pool's
+// workers apply per job, exported for consumers that execute jobs outside
+// ParallelErrors — the scenario service's executor isolates poison jobs
+// with it.
+func Guard(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep: job panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return fn()
+}
+
 // Run executes the experiment on up to workers goroutines (0 means
 // GOMAXPROCS). Each (variant, x, run) is an independent simulation with
 // seed BaseSeed + runIndex; results are averaged per point, folded in job
@@ -373,6 +396,11 @@ func (e Experiment) Run(workers int) (*Table, error) {
 				err = fail(fmt.Errorf("panic: %v\n%s", r, debug.Stack()))
 			}
 		}()
+		// A fired probe skips runs not yet started; in-flight runs stop at
+		// their next event boundary via the per-kernel probe below.
+		if e.Cancel != nil && e.Cancel() {
+			return fail(sim.ErrCancelled)
+		}
 		cfg, err := e.Variants[j.vi].Build(e.Xs[j.xi])
 		if err != nil {
 			return fail(err)
@@ -381,6 +409,7 @@ func (e Experiment) Run(workers int) (*Table, error) {
 		if e.Telemetry {
 			cfg.Telemetry = true
 		}
+		cfg.Cancel = e.Cancel
 		s, err := scenario.New(cfg)
 		if err != nil {
 			return fail(err)
