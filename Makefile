@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-diff bench-scale figures figures-paper chaos fuzz fuzz-smoke snapshot-diff service-soak vet fmt clean
+.PHONY: all build test test-short race cover bench bench-json bench-diff bench-progress bench-scale figures figures-paper chaos fuzz fuzz-smoke snapshot-diff observe-diff service-soak vet fmt clean
 
 all: build test
 
@@ -49,6 +49,17 @@ bench-diff:
 			-benchmem -benchtime=3x ./internal/scenario/ ) \
 		| $(GO) run ./cmd/benchjson -diff BENCH_baseline.json
 
+# The observability overhead gate: the kernel progress probe (OnProgress
+# armed, default throttle) must cost less than 1% ns/op over the unobserved
+# baseline. -benchtime by time (not 1x) so the ratio is stable enough to
+# assert this tightly.
+bench-progress:
+	$(GO) test -bench='BenchmarkRunNoTelemetry$$|BenchmarkRunProgress$$' \
+			-benchtime=2s -count=3 ./internal/scenario/ \
+		| $(GO) run ./cmd/benchjson \
+			-speedup-slow BenchmarkRunProgress \
+			-speedup-fast BenchmarkRunNoTelemetry -speedup-max 1.01
+
 # The gated scale tier: 500- and 2000-node runs with two control arms —
 # spatial index vs linear scan (>=5x ns/op edge) and lazy vs eager decay on
 # the low-duty-cycle idle point (>=1.5x ns/op and >=5x fewer fired events).
@@ -87,6 +98,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzStreamReader -fuzztime=30s ./internal/packet/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/snapshot/
 	$(GO) test -fuzz=FuzzRequestDecode -fuzztime=30s ./internal/service/
+	$(GO) test -fuzz=FuzzSSEDecode -fuzztime=30s ./internal/telemetry/
 
 # A quick fuzz pass over every fuzz target (what CI's smoke job runs).
 fuzz-smoke:
@@ -95,12 +107,23 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzLoadConfig -fuzztime=10s ./internal/scenario/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/snapshot/
 	$(GO) test -fuzz=FuzzRequestDecode -fuzztime=10s ./internal/service/
+	$(GO) test -fuzz=FuzzSSEDecode -fuzztime=10s ./internal/telemetry/
 
 # The snapshot/fork/restore differential gate under the race detector: all
 # three arms bit-identical on Result and telemetry across the 10-config
 # matrix, plus the RNG rewind edge cases.
 snapshot-diff:
 	$(GO) test -race -run 'TestSnapshotDifferential|TestPeriodicCheckpointsDontPerturb|TestRestoreForPlanMatchesScratch|TestCheckpoint' ./internal/scenario/
+
+# The observability differential gate under the race detector: an observed
+# run (progress probe firing at every kernel stride, StreamTee in the
+# recorder chain, consumers attaching/detaching mid-run) must be
+# bit-identical to an unobserved one across the 10-config matrix, and the
+# /stream endpoint must replay/resume with no gaps and no duplicates.
+observe-diff:
+	$(GO) test -race \
+			-run 'TestObservedRunMatchesUnobserved|TestStreamAttachDetachMidRunNoPerturb|TestStreamEndpointReplayAndResume' \
+			./internal/scenario/ ./internal/service/
 
 # The dftserve crash soak under the race detector: build the daemon, kill
 # -9 it mid-campaign, restart on the same journal, and require verdicts

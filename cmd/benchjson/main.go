@@ -108,6 +108,7 @@ func main() {
 	speedupSlow := flag.String("speedup-slow", "", "benchmark name expected to be slower (speedup assertion)")
 	speedupFast := flag.String("speedup-fast", "", "benchmark name expected to be faster (speedup assertion)")
 	speedupMin := flag.Float64("speedup-min", 0, "required ns/op ratio slow/fast (0 disables the assertion)")
+	speedupMax := flag.Float64("speedup-max", 0, "maximum allowed ns/op ratio slow/fast — an overhead ceiling, e.g. 1.01 for a <1% probe cost gate (0 disables)")
 	speedupEventsMin := flag.Float64("speedup-events-min", 0, "additionally required events/run ratio slow/fast (0 disables; both benchmarks must report the metric)")
 	flag.Parse()
 
@@ -116,6 +117,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	coalesce(doc)
 
 	failed := false
 	checked := false
@@ -135,9 +137,9 @@ func main() {
 			failed = true
 		}
 	}
-	if *speedupMin > 0 || *speedupEventsMin > 0 {
+	if *speedupMin > 0 || *speedupMax > 0 || *speedupEventsMin > 0 {
 		checked = true
-		rows, ok := speedup(doc, *speedupSlow, *speedupFast, *speedupMin, *speedupEventsMin)
+		rows, ok := speedup(doc, *speedupSlow, *speedupFast, *speedupMin, *speedupMax, *speedupEventsMin)
 		for _, row := range rows {
 			fmt.Println(row)
 		}
@@ -219,6 +221,30 @@ func parse(r io.Reader) (*Document, error) {
 	return doc, sc.Err()
 }
 
+// coalesce folds duplicate benchmark rows — `go test -count=N` emits one
+// line per run — into a single best-of-N row per (package, name), keeping
+// the run with the lowest ns/op. Noise on a shared runner only ever adds
+// time, so the fastest run is the least-contaminated measurement; this is
+// what makes tight overhead ceilings (-speedup-max 1.01) assertable with
+// -count > 1. The deterministic columns (allocs/op, events/run) are
+// identical across runs, so keeping the fastest row loses nothing.
+func coalesce(doc *Document) {
+	best := make(map[string]int, len(doc.Benchmarks))
+	out := doc.Benchmarks[:0]
+	for _, b := range doc.Benchmarks {
+		key := b.Package + "\x00" + b.Name
+		if i, ok := best[key]; ok {
+			if b.NsPerOp < out[i].NsPerOp {
+				out[i] = b
+			}
+			continue
+		}
+		best[key] = len(out)
+		out = append(out, b)
+	}
+	doc.Benchmarks = out
+}
+
 // loadBaseline reads a Document previously written by this tool.
 func loadBaseline(path string) (*Document, error) {
 	data, err := os.ReadFile(path)
@@ -290,9 +316,11 @@ func frac(new_, old float64) float64 {
 }
 
 // speedup asserts that the benchmark named slow took at least min times
-// the ns/op of the one named fast (names match ignoring package), and —
-// when eventsMin > 0 — fired at least eventsMin times the events/run.
-func speedup(doc *Document, slow, fast string, min, eventsMin float64) (rows []string, ok bool) {
+// the ns/op of the one named fast (names match ignoring package), at most
+// max times when max > 0 (an overhead ceiling: "the probe arm may cost no
+// more than 1% over the control arm" is max = 1.01), and — when eventsMin
+// > 0 — fired at least eventsMin times the events/run.
+func speedup(doc *Document, slow, fast string, min, max, eventsMin float64) (rows []string, ok bool) {
 	find := func(name string) (Benchmark, bool) {
 		for _, b := range doc.Benchmarks {
 			if b.Name == name {
@@ -317,6 +345,18 @@ func speedup(doc *Document, slow, fast string, min, eventsMin float64) (rows []s
 			ok = false
 		default:
 			rows = append(rows, fmt.Sprintf("ok: speedup %s/%s = %.2fx >= %.2fx", slow, fast, ratio, min))
+		}
+	}
+	if max > 0 {
+		switch ratio := s.NsPerOp / f.NsPerOp; {
+		case f.NsPerOp <= 0:
+			rows = append(rows, fmt.Sprintf("FAIL: overhead: %s has non-positive ns/op", fast))
+			ok = false
+		case ratio > max:
+			rows = append(rows, fmt.Sprintf("FAIL: overhead %s/%s = %.4fx > allowed %.4fx", slow, fast, ratio, max))
+			ok = false
+		default:
+			rows = append(rows, fmt.Sprintf("ok: overhead %s/%s = %.4fx <= %.4fx", slow, fast, ratio, max))
 		}
 	}
 	if eventsMin > 0 {

@@ -224,14 +224,34 @@ func TestSpeedupAssertion(t *testing.T) {
 		{Package: "p", Name: "BenchmarkSlow", NsPerOp: 10000},
 		{Package: "p", Name: "BenchmarkFast", NsPerOp: 1000},
 	}}
-	if rows, ok := speedup(doc, "BenchmarkSlow", "BenchmarkFast", 5, 0); !ok {
+	if rows, ok := speedup(doc, "BenchmarkSlow", "BenchmarkFast", 5, 0, 0); !ok {
 		t.Errorf("10x speedup failed a 5x bar: %v", rows)
 	}
-	if rows, ok := speedup(doc, "BenchmarkSlow", "BenchmarkFast", 20, 0); ok {
+	if rows, ok := speedup(doc, "BenchmarkSlow", "BenchmarkFast", 20, 0, 0); ok {
 		t.Errorf("10x speedup passed a 20x bar: %v", rows)
 	}
-	if _, ok := speedup(doc, "BenchmarkMissing", "BenchmarkFast", 2, 0); ok {
+	if _, ok := speedup(doc, "BenchmarkMissing", "BenchmarkFast", 2, 0, 0); ok {
 		t.Errorf("missing benchmark passed the assertion")
+	}
+}
+
+// TestSpeedupOverheadCeiling covers the -speedup-max gate: the progress
+// probe arm may cost at most the given ratio over the control arm.
+func TestSpeedupOverheadCeiling(t *testing.T) {
+	doc := &Document{Benchmarks: []Benchmark{
+		{Package: "p", Name: "BenchmarkRunProgress", NsPerOp: 1005},
+		{Package: "p", Name: "BenchmarkRunNoTelemetry", NsPerOp: 1000},
+	}}
+	if rows, ok := speedup(doc, "BenchmarkRunProgress", "BenchmarkRunNoTelemetry", 0, 1.01, 0); !ok {
+		t.Errorf("0.5%% overhead failed a 1%% ceiling: %v", rows)
+	}
+	if rows, ok := speedup(doc, "BenchmarkRunProgress", "BenchmarkRunNoTelemetry", 0, 1.002, 0); ok {
+		t.Errorf("0.5%% overhead passed a 0.2%% ceiling: %v", rows)
+	}
+	// A faster-than-control probe arm trivially satisfies the ceiling.
+	doc.Benchmarks[0].NsPerOp = 990
+	if rows, ok := speedup(doc, "BenchmarkRunProgress", "BenchmarkRunNoTelemetry", 0, 1.01, 0); !ok {
+		t.Errorf("negative overhead failed the ceiling: %v", rows)
 	}
 }
 
@@ -241,18 +261,41 @@ func TestSpeedupEventsAssertion(t *testing.T) {
 		{Package: "p", Name: "BenchmarkLazy", NsPerOp: 4000, EventsPerRun: 7000, HasEvents: true},
 		{Package: "p", Name: "BenchmarkBare", NsPerOp: 4000},
 	}}
-	if rows, ok := speedup(doc, "BenchmarkEager", "BenchmarkLazy", 1.5, 5); !ok {
+	if rows, ok := speedup(doc, "BenchmarkEager", "BenchmarkLazy", 1.5, 0, 5); !ok {
 		t.Errorf("8.6x event reduction failed a 5x bar: %v", rows)
 	}
-	if rows, ok := speedup(doc, "BenchmarkEager", "BenchmarkLazy", 1.5, 10); ok {
+	if rows, ok := speedup(doc, "BenchmarkEager", "BenchmarkLazy", 1.5, 0, 10); ok {
 		t.Errorf("8.6x event reduction passed a 10x bar: %v", rows)
 	}
 	// The events bar can run without a ns/op bar, and fails cleanly when a
 	// side lacks the metric.
-	if rows, ok := speedup(doc, "BenchmarkEager", "BenchmarkLazy", 0, 5); !ok || len(rows) != 1 {
+	if rows, ok := speedup(doc, "BenchmarkEager", "BenchmarkLazy", 0, 0, 5); !ok || len(rows) != 1 {
 		t.Errorf("events-only assertion: ok=%v rows=%v", ok, rows)
 	}
-	if _, ok := speedup(doc, "BenchmarkEager", "BenchmarkBare", 0, 2); ok {
+	if _, ok := speedup(doc, "BenchmarkEager", "BenchmarkBare", 0, 0, 2); ok {
 		t.Errorf("metric-less benchmark passed the events assertion")
+	}
+}
+
+func TestCoalesceBestOfN(t *testing.T) {
+	doc := &Document{Benchmarks: []Benchmark{
+		{Package: "p", Name: "BenchmarkA", NsPerOp: 120, AllocsPerOp: 7},
+		{Package: "p", Name: "BenchmarkB", NsPerOp: 500},
+		{Package: "p", Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 7},
+		{Package: "q", Name: "BenchmarkA", NsPerOp: 90},
+		{Package: "p", Name: "BenchmarkA", NsPerOp: 110, AllocsPerOp: 7},
+	}}
+	coalesce(doc)
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("coalesced to %d rows, want 3", len(doc.Benchmarks))
+	}
+	if b := doc.Benchmarks[0]; b.Name != "BenchmarkA" || b.Package != "p" || b.NsPerOp != 100 {
+		t.Fatalf("best-of-N row = %+v, want p/BenchmarkA at 100 ns/op", b)
+	}
+	if b := doc.Benchmarks[1]; b.Name != "BenchmarkB" || b.NsPerOp != 500 {
+		t.Fatalf("singleton row perturbed: %+v", b)
+	}
+	if b := doc.Benchmarks[2]; b.Package != "q" || b.NsPerOp != 90 {
+		t.Fatalf("same name in another package must stay separate: %+v", b)
 	}
 }

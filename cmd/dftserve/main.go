@@ -10,6 +10,8 @@
 //	         [-queue 64] [-workers 0] [-retries 2]
 //	         [-tenant-rate 0] [-tenant-burst 8]
 //	         [-default-deadline 0] [-max-deadline 0] [-grace 5s]
+//	         [-log info] [-debug-addr 127.0.0.1:6060]
+//	         [-heartbeat 15s] [-progress-every 1s]
 //
 // API:
 //
@@ -18,10 +20,23 @@
 //	                   Retry-After under backpressure
 //	GET  /v1/jobs      list job statuses
 //	GET  /v1/jobs/{id} job status and result payload
+//	GET  /v1/jobs/{id}/stream    live trace-v2 event stream as SSE for jobs
+//	                   submitted with "stream": true; resumable from any
+//	                   offset (?offset= or Last-Event-ID), heartbeats while
+//	                   idle, "event: done" terminator (PROTOCOL.md section 14)
+//	GET  /v1/jobs/{id}/progress  latest kernel progress snapshot (virtual
+//	                   clock, fraction of horizon, event rate, ETA) as JSON
 //	GET  /healthz      liveness (200 while the process runs)
 //	GET  /readyz       readiness (503 once draining)
-//	GET  /metrics      queue depth, cache hit counters, retry/quarantine
-//	                   totals as JSON
+//	GET  /metrics      Prometheus text exposition: job/admission counters
+//	                   (per-tenant labels), queue and cache gauges,
+//	                   queue-wait and run-duration histograms
+//
+// -log LEVEL enables structured logs on stderr (debug, info, warn, error),
+// every line carrying the job id as a correlation attribute. -debug-addr
+// serves net/http/pprof on a separate listener, kept off the public API
+// address on purpose. dfttail is the companion client for /stream and
+// /progress.
 //
 // Determinism makes the service cache exact: a scenario config, seed, and
 // build version fully determine the result, so a repeated submission is
@@ -41,8 +56,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -debug-addr serves the default mux
 	"os"
 	"os/signal"
 	"syscall"
@@ -74,6 +91,11 @@ func run(args []string, out io.Writer) error {
 		defaultDeadline = fs.Duration("default-deadline", 0, "deadline for jobs that set none (0 = none)")
 		maxDeadline     = fs.Duration("max-deadline", 0, "cap on any job deadline (0 = no cap)")
 		grace           = fs.Duration("grace", 5*time.Second, "drain grace before running jobs are cancelled on shutdown")
+
+		logLevel      = fs.String("log", "", "structured log level on stderr: debug, info, warn, or error (empty = off)")
+		debugAddr     = fs.String("debug-addr", "", "separate listener for net/http/pprof profiling endpoints (empty = off)")
+		heartbeat     = fs.Duration("heartbeat", 15*time.Second, "SSE comment heartbeat interval on idle /stream connections")
+		progressEvery = fs.Duration("progress-every", 0, "how often running jobs refresh their progress snapshot (0 = 1s)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +104,14 @@ func run(args []string, out io.Writer) error {
 		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
 			return err
 		}
+	}
+	var logger *slog.Logger
+	if *logLevel != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			return fmt.Errorf("-log: %w", err)
+		}
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	}
 	s, err := service.New(service.Options{
 		QueueDepth:       *queue,
@@ -93,11 +123,25 @@ func run(args []string, out io.Writer) error {
 		MaxDeadline:      *maxDeadline,
 		JournalPath:      *journal,
 		StateDir:         *stateDir,
+		Logger:           logger,
+		StreamHeartbeat:  *heartbeat,
+		ProgressEvery:    *progressEvery,
 	})
 	if err != nil {
 		return err
 	}
 	s.Start()
+
+	if *debugAddr != "" {
+		// pprof registers itself on http.DefaultServeMux; serving that mux
+		// on its own listener keeps the profiling surface off the API port.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "dftserve debug (pprof) on %s\n", dln.Addr())
+		go http.Serve(dln, http.DefaultServeMux)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -10,6 +10,7 @@
 //	       [-kill-at S -kill-fraction F]
 //	dftsim [-invariants off|report|panic] [-inject-skip-sender-ftd]
 //	dftsim [-telemetry] [-trace events.jsonl] [-trace-format jsonl|binary]
+//	dftsim [-progress]
 //	dftsim [-snapshot state.snap [-snapshot-at S]] [-restore state.snap]
 //	dftsim [-deadline 30s]
 //	dftsim -config scenario.json [-dumpconfig]
@@ -40,6 +41,12 @@
 // occupancy / delivery probability. -trace FILE additionally streams every
 // typed trace-v2 event to FILE in the -trace-format encoding (jsonl or
 // binary) for offline analysis with dftstats.
+//
+// -progress prints a live line to stderr about once a second: percent of
+// the virtual horizon, the kernel clock, the event rate, and a wall-clock
+// ETA. The probe rides the kernel's cancellation stride, so an observed run
+// is bit-identical to an unobserved one — stderr only; stdout stays a clean
+// digest.
 //
 // -snapshot-at S steps the simulation to the first quiescent instant at or
 // after S virtual seconds, writes a complete snapshot of the kernel and
@@ -130,6 +137,7 @@ func run(args []string, out io.Writer) error {
 		invariantsMode = fs.String("invariants", "", "runtime invariant checking: off, report, or panic")
 		injectSkipFTD  = fs.Bool("inject-skip-sender-ftd", false, "deliberately break the Eq. 3 sender-FTD update (mutation testing)")
 
+		progress    = fs.Bool("progress", false, "print a live progress line (virtual clock, % of horizon, event rate, ETA) to stderr about once a second")
 		telemetryOn = fs.Bool("telemetry", false, "collect per-run telemetry metrics and print a digest line")
 		tracePath   = fs.String("trace", "", "write typed trace-v2 events to this file (implies -telemetry)")
 		traceFormat = fs.String("trace-format", "jsonl", "trace-v2 encoding: jsonl or binary")
@@ -236,6 +244,13 @@ func run(args []string, out io.Writer) error {
 	}
 	if *telemetryOn || *tracePath != "" {
 		cfg.Telemetry = true
+	}
+	if *progress {
+		// Progress rides the kernel probe stride; the lines go to stderr so
+		// they never contaminate a digest or -dumpconfig piped from stdout.
+		cfg.OnProgress = func(p dftmsn.Progress) {
+			fmt.Fprintf(os.Stderr, "dftsim: %s\n", formatProgress(p))
+		}
 	}
 	if *eagerDecay {
 		cfg.EagerDecay = true
@@ -421,6 +436,34 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("deadline %v: %w", *deadline, runErr)
 	}
 	return nil
+}
+
+// formatProgress renders one -progress stderr line.
+func formatProgress(p dftmsn.Progress) string {
+	if p.Done {
+		return fmt.Sprintf("done: %.0f s simulated, %s events (%s elided) in %.1f s",
+			p.VirtualSeconds, countShort(p.Events), countShort(p.EventsElided), p.WallSeconds)
+	}
+	line := fmt.Sprintf("%5.1f%%  t=%.0f/%.0f s  %s events  %s ev/s",
+		100*p.Fraction, p.VirtualSeconds, p.HorizonSeconds,
+		countShort(p.Events), countShort(uint64(p.EventsPerSec)))
+	if p.ETASeconds > 0 {
+		line += fmt.Sprintf("  eta %s", (time.Duration(p.ETASeconds * float64(time.Second))).Round(time.Second))
+	}
+	return line
+}
+
+// countShort renders an event count compactly (1234567 -> "1.2M").
+func countShort(n uint64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.0fk", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
 }
 
 // violationSnapshot implements the time-travel debugging hook: when a

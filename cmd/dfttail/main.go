@@ -1,0 +1,214 @@
+// Command dfttail observes a job running on a dftserve instance: a live
+// progress bar driven by the kernel's progress probe, or the job's trace-v2
+// event stream tailed over Server-Sent Events.
+//
+// Usage:
+//
+//	dfttail -job ID [-addr http://127.0.0.1:8080] [-poll 500ms]
+//	dfttail -job ID -events [-offset 0]
+//
+// The default mode polls GET /v1/jobs/{id}/progress and redraws a one-line
+// bar — virtual clock, percent of the horizon, event rate, wall-clock ETA —
+// until the job reaches a terminal state.
+//
+// -events instead tails GET /v1/jobs/{id}/stream (the job must have been
+// submitted with "stream": true) and prints each event's canonical JSONL
+// line to stdout, so `dfttail -events` composes with dftstats and any JSONL
+// tooling exactly like an at-rest trace file. If the connection drops the
+// client reconnects from its last offset via the SSE Last-Event-ID
+// contract, so the printed stream has no gaps and no duplicates. The tail
+// ends when the server sends its "event: done" terminator, which is
+// reported on stderr with the job's terminal state.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"dftmsn/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dfttail:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("dfttail", flag.ContinueOnError)
+	var (
+		addr   = fs.String("addr", "http://127.0.0.1:8080", "dftserve base URL")
+		jobID  = fs.String("job", "", "job id to observe (required)")
+		events = fs.Bool("events", false, `tail the trace-v2 event stream instead of the progress bar (job must be submitted with "stream": true)`)
+		offset = fs.Uint64("offset", 0, "stream offset to start from (with -events)")
+		poll   = fs.Duration("poll", 500*time.Millisecond, "progress poll interval")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *jobID == "" {
+		return errors.New("-job ID is required")
+	}
+	base := strings.TrimRight(*addr, "/")
+	if *events {
+		return tailEvents(base, *jobID, *offset, out, errOut)
+	}
+	return tailProgress(base, *jobID, *poll, out)
+}
+
+// progressStatus mirrors the service's ProgressStatus wire form.
+type progressStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	CacheHit bool   `json:"cache_hit"`
+	Progress *struct {
+		VirtualSeconds float64 `json:"virtual_s"`
+		HorizonSeconds float64 `json:"horizon_s"`
+		Fraction       float64 `json:"fraction"`
+		Events         uint64  `json:"events"`
+		EventsElided   uint64  `json:"events_elided"`
+		EventsPerSec   float64 `json:"events_per_s"`
+		ETASeconds     float64 `json:"eta_s"`
+		Done           bool    `json:"done"`
+	} `json:"progress"`
+}
+
+// terminal mirrors the service's terminal job states.
+func terminal(state string) bool {
+	switch state {
+	case "done", "cancelled", "quarantined", "interrupted":
+		return true
+	}
+	return false
+}
+
+// tailProgress polls /progress and redraws the bar (carriage return, no
+// newline) until the job is terminal, then prints the final line.
+func tailProgress(base, id string, poll time.Duration, out io.Writer) error {
+	url := base + "/v1/jobs/" + id + "/progress"
+	for {
+		var ps progressStatus
+		if err := getJSON(url, &ps); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\r%s", renderBar(ps))
+		if terminal(ps.State) {
+			fmt.Fprintln(out)
+			return nil
+		}
+		time.Sleep(poll)
+	}
+}
+
+// renderBar draws one progress line.
+func renderBar(ps progressStatus) string {
+	p := ps.Progress
+	if p == nil {
+		if ps.CacheHit {
+			return fmt.Sprintf("%s  %s (served from cache, nothing simulated)", ps.ID, ps.State)
+		}
+		return fmt.Sprintf("%s  %s", ps.ID, ps.State)
+	}
+	const width = 20
+	filled := int(p.Fraction * width)
+	if filled > width {
+		filled = width
+	}
+	bar := strings.Repeat("=", filled) + strings.Repeat("-", width-filled)
+	line := fmt.Sprintf("%s  [%s] %5.1f%%  t=%.0f/%.0f s  %d events  %.0f ev/s",
+		ps.ID, bar, 100*p.Fraction, p.VirtualSeconds, p.HorizonSeconds, p.Events, p.EventsPerSec)
+	if terminal(ps.State) {
+		line += "  " + ps.State
+	} else if p.ETASeconds > 0 {
+		line += fmt.Sprintf("  eta %s", (time.Duration(p.ETASeconds * float64(time.Second))).Round(time.Second))
+	}
+	return line
+}
+
+// maxReconnects bounds how many times in a row the tail retries a dropped
+// stream connection before giving up; any received event resets the budget.
+const maxReconnects = 10
+
+// tailEvents tails the SSE stream from offset, printing each event's
+// canonical JSONL line, reconnecting from the last offset on a dropped
+// connection, and stopping at the server's done terminator.
+func tailEvents(base, id string, offset uint64, out, errOut io.Writer) error {
+	retries := 0
+	for {
+		done, gotAny, err := streamOnce(base, id, &offset, out, errOut)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		if gotAny {
+			retries = 0
+		}
+		if retries++; retries > maxReconnects {
+			return fmt.Errorf("stream for job %s dropped %d times in a row without progress", id, maxReconnects)
+		}
+		fmt.Fprintf(errOut, "dfttail: stream dropped, resuming job %s at offset %d\n", id, offset)
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// streamOnce consumes one /stream connection until the done terminator or
+// the connection drops. It advances *offset past every event received, so
+// the caller's reconnect resumes with no gaps and no duplicates.
+func streamOnce(base, id string, offset *uint64, out, errOut io.Writer) (done, gotAny bool, err error) {
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/stream?offset=%d", base, id, *offset))
+	if err != nil {
+		return false, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, false, fmt.Errorf("stream: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	sr := telemetry.NewSSEReader(resp.Body)
+	for {
+		msg, err := sr.Next()
+		if err == io.EOF {
+			return false, gotAny, nil // dropped before the terminator
+		}
+		if err != nil {
+			return false, gotAny, err
+		}
+		if msg.Event == telemetry.SSEDoneEvent {
+			fmt.Fprintf(errOut, "dfttail: stream done: %s\n", msg.Data)
+			return true, true, nil
+		}
+		if len(msg.Data) == 0 {
+			continue
+		}
+		if msg.HasID {
+			*offset = msg.ID + 1
+		}
+		gotAny = true
+		if _, err := fmt.Fprintf(out, "%s\n", msg.Data); err != nil {
+			return false, gotAny, err
+		}
+	}
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

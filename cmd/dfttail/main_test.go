@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dftmsn/internal/scenario"
+	"dftmsn/internal/service"
+	"dftmsn/internal/telemetry"
+)
+
+// startService spins an in-process dftserve and returns its base URL.
+func startService(t *testing.T, opts service.Options) *httptest.Server {
+	t.Helper()
+	s, err := service.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Shutdown(0)
+	})
+	return ts
+}
+
+const cfgJSON = `{"scheme":"OPT","sensors":6,"sinks":1,"duration_s":120,"arrival_mean_s":30,"seed":9}`
+
+func submitJob(t *testing.T, ts *httptest.Server, body string) service.JobStatus {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// referenceJSONL runs the scenario directly and renders its canonical
+// trace-v2 JSONL — what `dfttail -events` must print.
+func referenceJSONL(t *testing.T) string {
+	t.Helper()
+	cfg, err := scenario.LoadConfig(strings.NewReader(cfgJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &telemetry.Buffer{}
+	cfg.Recorder = buf
+	sm, err := scenario.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	for _, ev := range buf.Events {
+		out = telemetry.AppendJSON(out, ev)
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+// TestTailEvents tails a streamed job end to end: stdout is exactly the
+// canonical JSONL trace of the run, stderr reports the done terminator.
+func TestTailEvents(t *testing.T) {
+	ts := startService(t, service.Options{Workers: 1})
+	st := submitJob(t, ts, `{"kind":"run","stream":true,"config":`+cfgJSON+`}`)
+
+	var out, errOut strings.Builder
+	if err := run([]string{"-addr", ts.URL, "-job", st.ID, "-events"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if want := referenceJSONL(t); out.String() != want {
+		t.Fatalf("tailed stream differs from the direct run's trace:\ntail %d bytes, want %d",
+			out.Len(), len(want))
+	}
+	if !strings.Contains(errOut.String(), `"state":"done"`) {
+		t.Fatalf("stderr missing done terminator: %q", errOut.String())
+	}
+}
+
+// TestTailEventsFromOffset resumes mid-stream: the output is exactly the
+// suffix from the requested offset.
+func TestTailEventsFromOffset(t *testing.T) {
+	ts := startService(t, service.Options{Workers: 1})
+	st := submitJob(t, ts, `{"kind":"run","stream":true,"config":`+cfgJSON+`}`)
+
+	want := referenceJSONL(t)
+	lines := strings.SplitAfter(want, "\n")
+	lines = lines[:len(lines)-1] // drop the trailing empty split
+	k := len(lines) / 2
+
+	var out, errOut strings.Builder
+	if err := run([]string{"-addr", ts.URL, "-job", st.ID, "-events", "-offset", fmt.Sprint(k)}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if suffix := strings.Join(lines[k:], ""); out.String() != suffix {
+		t.Fatalf("offset %d tail: %d bytes, want %d", k, out.Len(), len(suffix))
+	}
+}
+
+// TestTailProgressBar drives the default progress-bar mode to completion.
+func TestTailProgressBar(t *testing.T) {
+	ts := startService(t, service.Options{Workers: 1, ProgressEvery: time.Millisecond})
+	st := submitJob(t, ts, `{"kind":"run","config":`+cfgJSON+`}`)
+
+	var out, errOut strings.Builder
+	if err := run([]string{"-addr", ts.URL, "-job", st.ID, "-poll", "5ms"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "t=120/120 s") || !strings.Contains(got, "100.0%") {
+		t.Fatalf("final bar missing completed horizon: %q", got)
+	}
+	if !strings.Contains(got, "done") {
+		t.Fatalf("bar never reported the terminal state: %q", got)
+	}
+}
+
+// TestTailErrors pins the error surface: missing -job, unknown job, and a
+// job without a stream.
+func TestTailErrors(t *testing.T) {
+	ts := startService(t, service.Options{Workers: 1})
+	var out, errOut strings.Builder
+	if err := run([]string{"-addr", ts.URL}, &out, &errOut); err == nil {
+		t.Fatal("missing -job accepted")
+	}
+	if err := run([]string{"-addr", ts.URL, "-job", "nope", "-events"}, &out, &errOut); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+	st := submitJob(t, ts, `{"kind":"run","config":`+cfgJSON+`}`)
+	if err := run([]string{"-addr", ts.URL, "-job", st.ID, "-events"}, &out, &errOut); err == nil ||
+		!strings.Contains(err.Error(), "stream") {
+		t.Fatalf("unstreamed job tail error = %v, want stream hint", err)
+	}
+}

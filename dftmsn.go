@@ -82,6 +82,12 @@ type Result = scenario.Result
 // for one-shot execution.
 type Sim = scenario.Sim
 
+// Progress is a live snapshot of a running simulation: virtual clock,
+// fraction of the horizon, event counts, wall-clock rate, and ETA. Arm it
+// with Config.OnProgress (throttled by Config.ProgressEvery); the probe
+// rides the kernel's cancellation stride and never perturbs the run.
+type Progress = scenario.Progress
+
 // Params exposes the node-level protocol parameters for ablations.
 type Params = core.Params
 

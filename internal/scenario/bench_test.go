@@ -37,6 +37,28 @@ func BenchmarkRunNoTelemetry(b *testing.B) {
 	}
 }
 
+// BenchmarkRunProgress is BenchmarkRunNoTelemetry with the kernel progress
+// probe armed (OnProgress set, default 1 s wall-clock throttle, so the
+// callback itself essentially never fires inside a benchmark iteration):
+// it prices exactly the per-stride probe overhead. Gated by `make
+// bench-progress` / CI to stay within 1% of BenchmarkRunNoTelemetry.
+func BenchmarkRunProgress(b *testing.B) {
+	b.ReportAllocs()
+	var sink Progress
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.OnProgress = func(p Progress) { sink = p }
+		s, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = sink
+}
+
 // largeConfig scales the paper's setup to n sensors while holding its node
 // density fixed (one node per 225 m² — 100 nodes on 150×150 m²) and its
 // 30 m zone edge, so contact rates stay representative as n grows. The

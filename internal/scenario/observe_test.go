@@ -1,0 +1,263 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dftmsn/internal/core"
+	"dftmsn/internal/sim"
+	"dftmsn/internal/telemetry"
+)
+
+// encodeJSONL renders an event stream to canonical JSONL trace bytes, the
+// "telemetry bytes" the observability differential pins.
+func encodeJSONL(t *testing.T, evs []telemetry.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := telemetry.NewJSONL(&buf, 0)
+	for _, ev := range evs {
+		w.Record(ev)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestObservedRunMatchesUnobserved is the observability tentpole's
+// differential gate: a run with the progress probe armed (throttle forced
+// to fire at every probe), a StreamTee in the recorder chain, and a
+// push-side stream consumer attached must produce a bit-identical Result
+// and byte-identical telemetry vs. a plain unobserved run, across the full
+// 10-config elision matrix. Observability may cost wall clock; it may not
+// perturb virtual time.
+func TestObservedRunMatchesUnobserved(t *testing.T) {
+	for name, cfg := range elisionConfigs() {
+		name, cfg := name, cfg
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+
+			runPlain := func() (Result, []telemetry.Event) {
+				c := cfg
+				buf := &telemetry.Buffer{}
+				c.Recorder = buf
+				s, err := New(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, buf.Events
+			}
+
+			runObserved := func() (Result, []telemetry.Event, *telemetry.StreamTee, int) {
+				c := cfg
+				buf := &telemetry.Buffer{}
+				tee := telemetry.NewStreamTee(0)
+				c.Recorder = telemetry.Multi{buf, tee}
+				progressCalls := 0
+				c.OnProgress = func(Progress) { progressCalls++ }
+				c.ProgressEvery = time.Nanosecond // fire at every kernel probe
+				consumer := tee.Attach(&telemetry.Buffer{}, 256)
+				s, err := New(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				tee.Close()
+				_ = consumer
+				return res, buf.Events, tee, progressCalls
+			}
+
+			plainRes, plainEvents := runPlain()
+			obsRes, obsEvents, tee, progressCalls := runObserved()
+
+			if !reflect.DeepEqual(plainRes, obsRes) {
+				t.Fatalf("Results diverge between observed and unobserved runs:\nplain:    %+v\nobserved: %+v", plainRes, obsRes)
+			}
+			if progressCalls == 0 {
+				t.Fatal("progress probe never fired")
+			}
+			if a, b := encodeJSONL(t, plainEvents), encodeJSONL(t, obsEvents); !bytes.Equal(a, b) {
+				t.Fatal("telemetry bytes diverge between observed and unobserved runs")
+			}
+			// The tee's replayable log is the same stream again.
+			logEvents, _, done := tee.ReadAt(0, 0)
+			if !done {
+				t.Fatal("closed tee did not report done")
+			}
+			if !reflect.DeepEqual(logEvents, plainEvents) {
+				t.Fatalf("stream tee log (%d events) differs from the recorded stream (%d events)",
+					len(logEvents), len(plainEvents))
+			}
+		})
+	}
+}
+
+// TestStreamAttachDetachMidRunNoPerturb is the race-detector satellite:
+// consumers attaching, detaching, and paging through the log concurrently
+// with the running simulation must never perturb the Result or the event
+// stream. Run under -race in CI.
+func TestStreamAttachDetachMidRunNoPerturb(t *testing.T) {
+	cfg := DefaultConfig(core.SchemeOPT)
+	cfg.NumSensors = 25
+	cfg.NumSinks = 2
+	cfg.DurationSeconds = 800
+	cfg.ArrivalMeanSeconds = 60
+	cfg.Seed = 21
+
+	ref := cfg
+	refBuf := &telemetry.Buffer{}
+	ref.Recorder = refBuf
+	s, err := New(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs := cfg
+	tee := telemetry.NewStreamTee(0)
+	obsBuf := &telemetry.Buffer{}
+	obs.Recorder = telemetry.Multi{obsBuf, tee}
+	obs.OnProgress = func(Progress) {}
+	obs.ProgressEvery = time.Nanosecond
+	s2, err := New(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c := tee.Attach(&telemetry.Buffer{}, 8) // tiny queue: forces drops
+				time.Sleep(time.Millisecond)
+				c.Detach()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var off uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, next, _ := tee.ReadAt(off, 128)
+			off = next
+			tee.WaitAt(off, stop, 2*time.Millisecond)
+		}
+	}()
+
+	got, err := s2.Run()
+	close(stop)
+	wg.Wait()
+	tee.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("concurrent stream consumers perturbed the Result")
+	}
+	if !reflect.DeepEqual(refBuf.Events, obsBuf.Events) {
+		t.Fatal("concurrent stream consumers perturbed the event stream")
+	}
+}
+
+// TestProgressReporting checks the Progress feed itself: snapshots are
+// monotone in virtual time and events, rates and fractions are sane, and
+// the final Done snapshot of a completed run reads Fraction 1 at the
+// horizon.
+func TestProgressReporting(t *testing.T) {
+	cfg := DefaultConfig(core.SchemeOPT)
+	cfg.NumSensors = 20
+	cfg.DurationSeconds = 600
+	cfg.Seed = 5
+	var got []Progress
+	cfg.OnProgress = func(p Progress) { got = append(got, p) }
+	cfg.ProgressEvery = time.Nanosecond
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 2 {
+		t.Fatalf("only %d progress snapshots", len(got))
+	}
+	for i, p := range got {
+		if p.HorizonSeconds != 600 {
+			t.Fatalf("snapshot %d horizon %v", i, p.HorizonSeconds)
+		}
+		if p.Fraction < 0 || p.Fraction > 1 || math.IsNaN(p.Fraction) {
+			t.Fatalf("snapshot %d fraction %v", i, p.Fraction)
+		}
+		if i > 0 {
+			prev := got[i-1]
+			if p.VirtualSeconds < prev.VirtualSeconds || p.Events < prev.Events {
+				t.Fatalf("snapshot %d regressed: %+v after %+v", i, p, prev)
+			}
+		}
+	}
+	last := got[len(got)-1]
+	if !last.Done || last.Fraction != 1 || last.VirtualSeconds != 600 {
+		t.Fatalf("final snapshot %+v, want Done at the horizon", last)
+	}
+	for _, p := range got[:len(got)-1] {
+		if p.Done {
+			t.Fatal("non-final snapshot marked Done")
+		}
+	}
+}
+
+// TestProgressOnCancelledRun checks that a cancelled run still delivers a
+// terminal snapshot, with the partial fraction it reached.
+func TestProgressOnCancelledRun(t *testing.T) {
+	cfg := DefaultConfig(core.SchemeOPT)
+	cfg.NumSensors = 20
+	cfg.DurationSeconds = 60_000
+	cfg.Seed = 5
+	var last Progress
+	cfg.OnProgress = func(p Progress) { last = p }
+	cfg.ProgressEvery = time.Nanosecond
+	calls := 0
+	cfg.Cancel = func() bool { calls++; return calls > 50 }
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); !errors.Is(err, sim.ErrCancelled) {
+		t.Fatalf("Run = %v, want ErrCancelled", err)
+	}
+	if !last.Done {
+		t.Fatal("cancelled run delivered no terminal snapshot")
+	}
+	if last.Fraction <= 0 || last.Fraction >= 1 {
+		t.Fatalf("cancelled run fraction %v, want partial (0, 1)", last.Fraction)
+	}
+}

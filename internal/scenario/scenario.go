@@ -159,6 +159,42 @@ type Config struct {
 	// config encoding, so arming a deadline never changes a cache key or a
 	// snapshot. Typical probes are wall-clock deadlines (WallClockDeadline).
 	Cancel func() bool
+	// OnProgress optionally receives live Progress snapshots while the run
+	// executes, sampled on the kernel's CancelStride probe and throttled to
+	// ProgressEvery of wall clock, plus one final snapshot (Done=true) when
+	// Run finishes or is cancelled. The callback runs on the simulation
+	// goroutine between events and must only observe — it sees a value, not
+	// shared state, so storing it elsewhere is safe. Runtime-only, like
+	// Cancel and Recorder: excluded from the config encoding, so arming
+	// progress reporting never changes a cache key or a snapshot, and the
+	// run's Results and telemetry bytes are bit-identical to an unobserved
+	// run's.
+	OnProgress func(Progress)
+	// ProgressEvery is the minimum wall-clock interval between OnProgress
+	// calls (0 = 1s). Runtime-only.
+	ProgressEvery time.Duration
+}
+
+// Progress is a live snapshot of a running simulation, delivered through
+// Config.OnProgress.
+type Progress struct {
+	// VirtualSeconds is the kernel clock; HorizonSeconds the configured
+	// duration; Fraction their ratio clamped to [0, 1].
+	VirtualSeconds float64 `json:"virtual_s"`
+	HorizonSeconds float64 `json:"horizon_s"`
+	Fraction       float64 `json:"fraction"`
+	// Events counts fired kernel events; EventsElided the events replayed
+	// in closed form by the elision layers.
+	Events       uint64 `json:"events"`
+	EventsElided uint64 `json:"events_elided"`
+	// WallSeconds is wall-clock time since the first probe; EventsPerSec
+	// the wall-clock firing rate; ETASeconds the projected wall clock
+	// remaining (0 when unknown or finished).
+	WallSeconds  float64 `json:"wall_s"`
+	EventsPerSec float64 `json:"events_per_s"`
+	ETASeconds   float64 `json:"eta_s"`
+	// Done marks the final snapshot of a finished (or cancelled) run.
+	Done bool `json:"done"`
 }
 
 // WallClockDeadline returns a cancellation probe that fires once the given
@@ -365,6 +401,10 @@ type Sim struct {
 	// and therefore checkpointing — requires all nodes started.
 	startsPending int
 	checkpoints   []*snapshot.Snapshot
+
+	// Wall-clock throttle state for the progress probe (see armProgress).
+	progressStart time.Time
+	progressNext  time.Time
 }
 
 // faultPlan folds the legacy FailFraction/FailAtSeconds pair into the
@@ -391,6 +431,9 @@ func New(cfg Config) (*Sim, error) {
 	s := &Sim{cfg: cfg, plan: cfg.faultPlan(), sched: sim.NewScheduler(), collector: metrics.NewCollector()}
 	if cfg.Cancel != nil {
 		s.sched.SetCancel(cfg.Cancel)
+	}
+	if cfg.OnProgress != nil {
+		s.armProgress()
 	}
 	root := simrand.New(cfg.Seed)
 
@@ -857,6 +900,60 @@ func (s *Sim) Scheduler() *sim.Scheduler { return s.sched }
 // Collector exposes the metrics collector.
 func (s *Sim) Collector() *metrics.Collector { return s.collector }
 
+// armProgress installs the kernel progress probe. The probe itself is
+// allocation-free and cheap (a time.Now comparison every CancelStride
+// events); the user callback only runs once per ProgressEvery of wall
+// clock. The first probe call anchors the wall clock instead of reporting,
+// so rates and ETA measure the run, not construction.
+func (s *Sim) armProgress() {
+	interval := s.cfg.ProgressEvery
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s.sched.SetProbe(func() {
+		now := time.Now()
+		if s.progressStart.IsZero() {
+			s.progressStart = now
+			s.progressNext = now.Add(interval)
+			return
+		}
+		if now.Before(s.progressNext) {
+			return
+		}
+		s.progressNext = now.Add(interval)
+		s.cfg.OnProgress(s.progressSnapshot(now, false))
+	})
+}
+
+// progressSnapshot assembles a Progress value from the kernel counters.
+func (s *Sim) progressSnapshot(now time.Time, done bool) Progress {
+	kp := s.sched.Progress()
+	p := Progress{
+		VirtualSeconds: float64(kp.Now),
+		HorizonSeconds: s.cfg.DurationSeconds,
+		Events:         kp.Fired,
+		EventsElided:   kp.Elided,
+		Done:           done,
+	}
+	if p.HorizonSeconds > 0 {
+		p.Fraction = p.VirtualSeconds / p.HorizonSeconds
+		if p.Fraction > 1 {
+			p.Fraction = 1
+		}
+	}
+	if !s.progressStart.IsZero() {
+		wall := now.Sub(s.progressStart).Seconds()
+		p.WallSeconds = wall
+		if wall > 0 {
+			p.EventsPerSec = float64(kp.Fired) / wall
+			if !done && p.Fraction > 0 && p.Fraction < 1 {
+				p.ETASeconds = wall * (1 - p.Fraction) / p.Fraction
+			}
+		}
+	}
+	return p
+}
+
 // ensureArmed arms the fault injector if it has not been armed yet (by a
 // prior CheckpointAt, or a restore that overlaid its state).
 func (s *Sim) ensureArmed() error {
@@ -940,6 +1037,12 @@ func (s *Sim) Run() (Result, error) {
 	}
 	if s.sampler != nil {
 		s.series = s.sampler.Finish(s.sched.Now())
+	}
+	if s.cfg.OnProgress != nil {
+		// Final snapshot so bars and /progress endpoints reach a terminal
+		// reading (Fraction 1 on a completed run; the cancelled clock on a
+		// cancelled one).
+		s.cfg.OnProgress(s.progressSnapshot(time.Now(), true))
 	}
 	res := s.Snapshot()
 	res.Checkpoints = s.checkpoints

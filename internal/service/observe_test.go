@@ -1,0 +1,333 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dftmsn/internal/scenario"
+	"dftmsn/internal/telemetry"
+)
+
+// streamRunBody is tinyRunBody with the live stream armed.
+func streamRunBody(seed uint64) string {
+	return fmt.Sprintf(`{"kind":"run","stream":true,"config":{"scheme":"OPT","sensors":6,"sinks":1,"duration_s":120,"arrival_mean_s":30,"seed":%d}}`, seed)
+}
+
+// referenceEvents runs the same scenario directly and returns its recorded
+// event stream — what /stream must deliver byte-for-byte.
+func referenceEvents(t *testing.T, seed uint64) []telemetry.Event {
+	t.Helper()
+	cfgJSON := fmt.Sprintf(`{"scheme":"OPT","sensors":6,"sinks":1,"duration_s":120,"arrival_mean_s":30,"seed":%d}`, seed)
+	cfg, err := scenario.LoadConfig(strings.NewReader(cfgJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &telemetry.Buffer{}
+	cfg.Recorder = buf
+	sm, err := scenario.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Events
+}
+
+// jsonlBytes renders events to canonical JSONL trace bytes. Stream
+// comparisons happen at this level: the SSE data lines are the canonical
+// encoding (Time at fixed six decimals), so decoded events match the
+// reference modulo that deliberate rounding — the bytes are the contract.
+func jsonlBytes(evs []telemetry.Event) []byte {
+	var out []byte
+	for _, ev := range evs {
+		out = telemetry.AppendJSON(out, ev)
+		out = append(out, '\n')
+	}
+	return out
+}
+
+// fetchStream decodes one /stream response to completion.
+func fetchStream(t *testing.T, url string, header http.Header) ([]telemetry.Event, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream GET = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream Content-Type %q", ct)
+	}
+	evs, done, err := telemetry.DecodeSSE(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evs, done
+}
+
+// TestStreamEndpointReplayAndResume is the acceptance check for the live
+// stream: a streamed run's SSE feed carries exactly the events a direct
+// run records, replays in full from offset 0, and resumes from any offset
+// (?offset= or Last-Event-ID) with no gaps and no duplicates — DecodeSSE
+// verifies id contiguity as it reads.
+func TestStreamEndpointReplayAndResume(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, StreamHeartbeat: 20 * time.Millisecond})
+	code, st := submit(t, ts, streamRunBody(77))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	want := referenceEvents(t, 77)
+
+	// Tail the live run from offset 0 straight through the done terminator.
+	full, done := fetchStream(t, ts.URL+"/v1/jobs/"+st.ID+"/stream", nil)
+	if done == nil {
+		t.Fatal("stream ended without a done terminator")
+	}
+	if !strings.Contains(string(done), `"state":"done"`) {
+		t.Fatalf("done terminator %s, want state done", done)
+	}
+	if !bytes.Equal(jsonlBytes(full), jsonlBytes(want)) {
+		t.Fatalf("streamed %d events differ from the direct run's %d", len(full), len(want))
+	}
+
+	// Reconnect mid-stream: an offset replays exactly the suffix.
+	k := len(full) / 2
+	suffix, done2 := fetchStream(t, fmt.Sprintf("%s/v1/jobs/%s/stream?offset=%d", ts.URL, st.ID, k), nil)
+	if done2 == nil {
+		t.Fatal("resumed stream ended without a done terminator")
+	}
+	if !bytes.Equal(jsonlBytes(suffix), jsonlBytes(want[k:])) {
+		t.Fatalf("offset %d resume: %d events, want %d", k, len(suffix), len(want)-k)
+	}
+
+	// The standard Last-Event-ID header resumes at the next event.
+	h := http.Header{}
+	h.Set("Last-Event-ID", fmt.Sprintf("%d", k-1))
+	viaHeader, _ := fetchStream(t, ts.URL+"/v1/jobs/"+st.ID+"/stream", h)
+	if !bytes.Equal(jsonlBytes(viaHeader), jsonlBytes(want[k:])) {
+		t.Fatalf("Last-Event-ID resume: %d events, want %d", len(viaHeader), len(want)-k)
+	}
+
+	// A full replay after completion is still the whole identical stream.
+	replay, _ := fetchStream(t, ts.URL+"/v1/jobs/"+st.ID+"/stream?offset=0", nil)
+	if !bytes.Equal(jsonlBytes(replay), jsonlBytes(want)) {
+		t.Fatal("post-completion replay from offset 0 differs")
+	}
+}
+
+// TestStreamValidation walks the stream surface's error paths.
+func TestStreamValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	// stream on a non-run kind is rejected at submission.
+	if code, _ := submit(t, ts, `{"kind":"sweep","stream":true,"sweep":{"experiment":"fig2"}}`); code != http.StatusBadRequest {
+		t.Fatalf("streamed sweep submit = %d, want 400", code)
+	}
+
+	// An unstreamed job has no stream to tail.
+	code, st := submit(t, ts, tinyRunBody(31))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	awaitTerminal(t, ts, st.ID)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unstreamed job stream GET = %d, want 404", resp.StatusCode)
+	}
+
+	// Unknown job and bad offsets.
+	for path, wantCode := range map[string]int{
+		"/v1/jobs/nope/stream": http.StatusNotFound,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("%s = %d, want %d", path, resp.StatusCode, wantCode)
+		}
+	}
+	code2, st2 := submit(t, ts, streamRunBody(32))
+	if code2 != http.StatusAccepted {
+		t.Fatalf("submit = %d", code2)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st2.ID + "/stream?offset=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad offset GET = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStreamedRepeatBypassesCacheButStillCaches pins the cache interplay: a
+// streamed repeat of a cached job actually simulates (a live stream needs a
+// live run), while its result still lands in — and unstreamed repeats still
+// come from — the content-addressed cache.
+func TestStreamedRepeatBypassesCacheButStillCaches(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	code, st := submit(t, ts, tinyRunBody(55))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	first := awaitTerminal(t, ts, st.ID)
+
+	code, st2 := submit(t, ts, streamRunBody(55))
+	if code != http.StatusAccepted {
+		t.Fatalf("streamed repeat = %d, want 202 (must not be served from cache)", code)
+	}
+	second := awaitTerminal(t, ts, st2.ID)
+	if second.CacheHit {
+		t.Fatal("streamed repeat reported a cache hit")
+	}
+	if string(second.Result) != string(first.Result) {
+		t.Fatal("streamed repeat computed a different result")
+	}
+
+	code, st3 := submit(t, ts, tinyRunBody(55))
+	if code != http.StatusOK || !st3.CacheHit {
+		t.Fatalf("unstreamed repeat: code %d cacheHit %v, want 200/true", code, st3.CacheHit)
+	}
+}
+
+// TestProgressEndpoint pins GET /v1/jobs/{id}/progress: a finished run
+// reports its terminal kernel snapshot (done, the full horizon), a
+// cache-served job reports done with no snapshot.
+func TestProgressEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, ProgressEvery: time.Millisecond})
+	code, st := submit(t, ts, tinyRunBody(61))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	awaitTerminal(t, ts, st.ID)
+
+	var ps ProgressStatus
+	getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"/progress", &ps)
+	if ps.State != stateDone || ps.Progress == nil {
+		t.Fatalf("progress after completion: %+v", ps)
+	}
+	if !ps.Progress.Done || ps.Progress.Fraction != 1 || ps.Progress.VirtualSeconds != 120 {
+		t.Fatalf("terminal snapshot %+v, want Done at the 120 s horizon", ps.Progress)
+	}
+	if ps.Progress.Events == 0 {
+		t.Fatal("terminal snapshot counts zero events")
+	}
+
+	// The cached repeat never simulated: done, no snapshot.
+	code, rep := submit(t, ts, tinyRunBody(61))
+	if code != http.StatusOK {
+		t.Fatalf("repeat = %d", code)
+	}
+	var cached ProgressStatus
+	getJSON(t, ts.URL+"/v1/jobs/"+rep.ID+"/progress", &cached)
+	if cached.State != stateDone || !cached.CacheHit || cached.Progress != nil {
+		t.Fatalf("cached job progress: %+v", cached)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/nope/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job progress = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMetricsPrometheusGolden pins the /metrics exposition format. The
+// server is driven through a deterministic admission-only sequence (no
+// worker ever starts, so no wall-clock histogram observation can vary) and
+// the scrape must match the golden byte-for-byte: TYPE headers, _total
+// suffixes, per-tenant labels, cumulative le buckets. Regenerate with
+//
+//	go test ./internal/service -run MetricsPrometheusGolden -update
+func TestMetricsPrometheusGolden(t *testing.T) {
+	savedVersion := buildVersion
+	buildVersion = "golden-test-build"
+	defer func() { buildVersion = savedVersion }()
+
+	s, err := New(Options{QueueDepth: 4, TenantRatePerSec: 0.0001, TenantBurst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Start(): admission only, nothing runs, nothing measures wall clock.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, _ := submit(t, ts, `{"kind":"run","tenant":"team-a","config":{"scheme":"OPT","sensors":6,"sinks":1,"duration_s":120,"seed":1}}`); code != http.StatusAccepted {
+		t.Fatal("seed submission rejected")
+	}
+	// Same tenant again: the 1-token bucket rejects it (tenant-labelled).
+	submit(t, ts, `{"kind":"run","tenant":"team-a","config":{"scheme":"OPT","sensors":6,"sinks":1,"duration_s":120,"seed":2}}`)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("scrape Content-Type %q", ct)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("/metrics exposition drifted from %s; if intentional, rerun with\n"+
+			"  go test ./internal/service -run MetricsPrometheusGolden -update\ngot:\n%s", path, got)
+	}
+}
+
+// getJSON fetches url and decodes the JSON body into v.
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,12 @@ type Request struct {
 	// cooperatively at an event boundary; a cancelled run still reports
 	// the partial Result of the prefix it completed.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Stream opts a "run" job into live observation: its trace-v2 event
+	// stream becomes tailable at GET /v1/jobs/{id}/stream while it runs.
+	// Like the deadline and tenant it is operational, not content — it
+	// never feeds the cache key — but a streamed submission bypasses the
+	// cache fast path, since a live stream requires actually simulating.
+	Stream bool `json:"stream,omitempty"`
 	// Config is the scenario configuration for "run" and "chaos" jobs.
 	Config json.RawMessage `json:"config,omitempty"`
 	// Sweep parameterizes a "sweep" job.
@@ -91,6 +97,9 @@ func DecodeRequest(r io.Reader) (Request, scenario.Config, error) {
 	}
 	if req.DeadlineMS < 0 {
 		return Request{}, scenario.Config{}, fmt.Errorf("service: negative deadline_ms %d", req.DeadlineMS)
+	}
+	if req.Stream && req.Kind != "run" {
+		return Request{}, scenario.Config{}, fmt.Errorf("service: only run jobs can stream (kind %q)", req.Kind)
 	}
 	switch req.Kind {
 	case "run", "chaos":

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand/v2"
 	"net/http"
 	"os"
@@ -54,6 +56,18 @@ type Options struct {
 	// campaign resumes from its completed runs instead of restarting
 	// ("" = campaigns run without state files).
 	StateDir string
+	// Logger receives structured operational logs, every line carrying
+	// the job id as a correlation attribute (nil discards them).
+	Logger *slog.Logger
+	// ProgressEvery throttles how often a running job refreshes its
+	// progress snapshot (0 = the scenario default, 1s of wall clock).
+	ProgressEvery time.Duration
+	// StreamHeartbeat is the idle interval between SSE comment
+	// heartbeats on /stream (default 15s).
+	StreamHeartbeat time.Duration
+	// StreamMaxEvents caps a streamed job's retained in-memory event log
+	// (0 = unbounded); events beyond the cap are counted, not stored.
+	StreamMaxEvents uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +86,12 @@ func (o Options) withDefaults() Options {
 	if o.TenantBurst <= 0 {
 		o.TenantBurst = 8
 	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if o.StreamHeartbeat <= 0 {
+		o.StreamHeartbeat = 15 * time.Second
+	}
 	return o
 }
 
@@ -85,6 +105,13 @@ type job struct {
 	key    string
 
 	deadline time.Duration // wall-clock budget; armed when execution starts
+	enqueued time.Time     // when it entered the queue (feeds queue_wait_seconds)
+
+	// tee is the live event stream for jobs submitted with "stream":
+	// true; readers page it by offset, so reconnects replay any suffix.
+	// Nil for unstreamed jobs. Set before the job is visible, never
+	// reassigned.
+	tee *telemetry.StreamTee
 
 	mu          sync.Mutex
 	state       string
@@ -92,8 +119,23 @@ type job struct {
 	errMsg      string
 	cacheHit    bool
 	payload     json.RawMessage
+	progress    scenario.Progress // latest kernel snapshot ("run" jobs)
+	hasProgress bool
 	interrupted atomic.Bool // shutdown kill fired while it ran
 	started     atomic.Int64
+}
+
+func (j *job) stateNow() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (j *job) storeProgress(p scenario.Progress) {
+	j.mu.Lock()
+	j.progress = p
+	j.hasProgress = true
+	j.mu.Unlock()
 }
 
 // JobStatus is the wire form of a job's state.
@@ -139,8 +181,8 @@ type Server struct {
 	running  atomic.Int64
 	draining atomic.Bool
 
-	metricsMu sync.Mutex // telemetry.Registry is not thread-safe
-	metrics   *telemetry.Registry
+	sm  *serviceMetrics
+	log *slog.Logger
 
 	killCh   chan struct{} // closed when the drain grace expires
 	stopCh   chan struct{} // closed to stop the workers
@@ -169,16 +211,10 @@ func New(opts Options) (*Server, error) {
 		limiter: newTenantLimiter(opts.TenantRatePerSec, opts.TenantBurst),
 		journal: jnl,
 		jobs:    make(map[string]*job),
-		metrics: telemetry.NewRegistry(),
+		sm:      newServiceMetrics(),
+		log:     opts.Logger,
 		killCh:  make(chan struct{}),
 		stopCh:  make(chan struct{}),
-	}
-	for _, name := range []string{
-		"jobs_submitted", "jobs_done", "jobs_cancelled", "jobs_interrupted",
-		"jobs_quarantined", "jobs_resumed", "retries",
-		"rejected_queue_full", "rejected_quota", "cache_served",
-	} {
-		s.metrics.Counter(name)
 	}
 
 	var resumable []*job
@@ -211,6 +247,9 @@ func New(opts Options) (*Server, error) {
 			j.cfg = cfg
 			j.state = stateQueued
 			j.deadline = deadlineOf(req, opts.DefaultDeadline, opts.MaxDeadline)
+			if req.Stream && req.Kind == "run" {
+				j.tee = telemetry.NewStreamTee(opts.StreamMaxEvents)
+			}
 			resumable = append(resumable, j)
 		}
 		s.jobs[j.id] = j
@@ -222,9 +261,11 @@ func New(opts Options) (*Server, error) {
 	// race) plus every resumed job, so re-enqueueing can never block.
 	s.queue = make(chan *job, 2*opts.QueueDepth+len(resumable))
 	for _, j := range resumable {
+		j.enqueued = time.Now()
 		s.depth.Add(1)
 		s.queue <- j
-		s.countMetric("jobs_resumed")
+		s.sm.count("jobs_resumed")
+		s.log.Info("job resumed from journal", "job", j.id, "kind", j.kind, "tenant", j.tenant)
 	}
 	s.buildMux()
 	return s, nil
@@ -305,7 +346,18 @@ func (s *Server) probe(j *job) func() bool {
 func (s *Server) execute(j *job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
+	if !j.enqueued.IsZero() {
+		s.sm.observeQueueWait(time.Since(j.enqueued))
+	}
 	j.started.Store(time.Now().UnixNano())
+	defer func() {
+		s.sm.observeRun(time.Since(time.Unix(0, j.started.Load())))
+		if j.tee != nil {
+			// Closed after the terminal transition, so /stream's done
+			// terminator always reads the settled state.
+			j.tee.Close()
+		}
+	}()
 	for attempt := 1; ; attempt++ {
 		s.transition(j, stateRunning, func(e *journalEntry) { e.Attempt = attempt })
 		j.mu.Lock()
@@ -317,32 +369,33 @@ func (s *Server) execute(j *job) {
 		case err == nil:
 			s.cache.Put(j.key, j.snapshotPayload())
 			s.transition(j, stateDone, func(e *journalEntry) { e.Payload = j.snapshotPayload() })
-			s.countMetric("jobs_done")
+			s.sm.count("jobs_done")
 			return
 		case errors.Is(err, sim.ErrCancelled):
 			if j.interrupted.Load() {
 				// Shutdown, not deadline: the journal keeps the job
 				// resumable and the next process picks it up.
 				s.transition(j, stateInterrupted, func(e *journalEntry) { e.Error = err.Error() })
-				s.countMetric("jobs_interrupted")
+				s.sm.count("jobs_interrupted")
 				return
 			}
 			s.transition(j, stateCancelled, func(e *journalEntry) {
 				e.Error = err.Error()
 				e.Payload = j.snapshotPayload() // the partial prefix result
 			})
-			s.countMetric("jobs_cancelled")
+			s.sm.count("jobs_cancelled")
 			return
 		case attempt > s.opts.MaxRetries:
 			s.transition(j, stateQuarantined, func(e *journalEntry) { e.Error = err.Error() })
-			s.countMetric("jobs_quarantined")
+			s.sm.count("jobs_quarantined")
 			return
 		}
 		s.setError(j, err)
-		s.countMetric("retries")
+		s.sm.count("retries")
+		s.log.Warn("job attempt failed, retrying", "job", j.id, "attempt", attempt, "error", err.Error())
 		if !s.backoff(attempt) {
 			s.transition(j, stateInterrupted, func(e *journalEntry) { e.Error = "interrupted during retry backoff" })
-			s.countMetric("jobs_interrupted")
+			s.sm.count("jobs_interrupted")
 			return
 		}
 	}
@@ -369,6 +422,19 @@ func (s *Server) runJob(j *job) error {
 	case "run":
 		cfg := j.cfg
 		cfg.Cancel = probe
+		cfg.OnProgress = j.storeProgress
+		cfg.ProgressEvery = s.opts.ProgressEvery
+		if j.tee != nil {
+			// A retried attempt re-records the same deterministic event
+			// sequence; Reset lets readers holding an offset resume
+			// seamlessly once the replay passes them again.
+			j.tee.Reset()
+			if cfg.Recorder != nil {
+				cfg.Recorder = telemetry.Multi{cfg.Recorder, j.tee}
+			} else {
+				cfg.Recorder = j.tee
+			}
+		}
 		sm, err := scenario.New(cfg)
 		if err != nil {
 			return err
@@ -479,12 +545,7 @@ func (s *Server) transition(j *job, state string, decorate func(*journalEntry)) 
 		j.errMsg = e.Error
 	}
 	j.mu.Unlock()
-}
-
-func (s *Server) countMetric(name string) {
-	s.metricsMu.Lock()
-	s.metrics.Counter(name).Inc()
-	s.metricsMu.Unlock()
+	s.log.Info("job state", "job", j.id, "state", state, "attempt", e.Attempt, "error", e.Error)
 }
 
 // newJob mints a job with a unique, journal-stable ID.
@@ -512,6 +573,8 @@ func (s *Server) buildMux() {
 	m.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	m.HandleFunc("GET /v1/jobs", s.handleList)
 	m.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	m.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	m.HandleFunc("GET /v1/jobs/{id}/progress", s.handleProgress)
 	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -538,14 +601,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if ok, retry := s.limiter.admit(req.Tenant); !ok {
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retry.Seconds())))
 		http.Error(w, "tenant quota exceeded", http.StatusTooManyRequests)
-		s.countMetric("rejected_quota")
+		s.sm.countTenant("rejected_quota", req.Tenant)
 		return
 	}
-	s.countMetric("jobs_submitted")
+	s.sm.countTenant("jobs_submitted", req.Tenant)
 
 	// A repeat of a finished job is served from the content-addressed
-	// cache: the job is born done, with zero simulation events.
-	if payload, ok := s.cache.Get(key); ok {
+	// cache: the job is born done, with zero simulation events. A streamed
+	// submission skips the fast path — a live stream only exists if the
+	// simulation actually runs (its result still lands in the cache).
+	if payload, ok := s.cache.Get(key); ok && !req.Stream {
 		j := s.newJob(req, cfg, key)
 		j.state = stateDone
 		j.cacheHit = true
@@ -555,7 +620,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			Job: j.id, State: stateDone, Kind: j.kind, Tenant: j.tenant,
 			Key: key, Cached: true, // no payload: the original entry owns it
 		})
-		s.countMetric("cache_served")
+		s.sm.countTenant("cache_served", req.Tenant)
+		s.log.Info("job served from cache", "job", j.id, "kind", j.kind, "tenant", j.tenant, "key", key)
 		s.respond(w, http.StatusOK, j.status())
 		return
 	}
@@ -564,11 +630,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.depth.Add(-1)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "queue full", http.StatusTooManyRequests)
-		s.countMetric("rejected_queue_full")
+		s.sm.count("rejected_queue_full")
 		return
 	}
 	j := s.newJob(req, cfg, key)
+	if req.Stream {
+		j.tee = telemetry.NewStreamTee(s.opts.StreamMaxEvents)
+	}
+	j.enqueued = time.Now()
 	s.registerJob(j)
+	s.log.Info("job accepted", "job", j.id, "kind", j.kind, "tenant", j.tenant, "key", key, "stream", req.Stream)
 	// Write-ahead: the submission reaches stable storage before the job
 	// can start, so a crash never leaves a running job the journal has
 	// never heard of.
@@ -611,36 +682,28 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-// Metrics is the wire form of the service health counters.
-type Metrics struct {
-	Build         string             `json:"build"`
-	QueueDepth    int64              `json:"queue_depth"`
-	QueueCapacity int                `json:"queue_capacity"`
-	Running       int64              `json:"running"`
-	CacheEntries  int                `json:"cache_entries"`
-	CacheHits     uint64             `json:"cache_hits"`
-	CacheMisses   uint64             `json:"cache_misses"`
-	Counters      map[string]float64 `json:"counters"`
-}
-
+// handleMetrics serves the Prometheus text exposition: the sharded health
+// counters (with per-tenant series on the admission families), queue and
+// cache gauges, and the queue-wait / run-duration histograms.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	entries, hits, misses := s.cache.Stats()
-	m := Metrics{
-		Build:         buildVersion,
-		QueueDepth:    s.depth.Load(),
-		QueueCapacity: s.opts.QueueDepth,
-		Running:       s.running.Load(),
-		CacheEntries:  entries,
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		Counters:      make(map[string]float64),
+	var dropped uint64
+	s.mu.Lock()
+	for _, id := range s.order {
+		if t := s.jobs[id].tee; t != nil {
+			dropped += t.Dropped() + t.Truncated()
+		}
 	}
-	s.metricsMu.Lock()
-	for _, c := range s.metrics.Counters() {
-		m.Counters[c.Name()] = c.Value()
-	}
-	s.metricsMu.Unlock()
-	s.respond(w, http.StatusOK, m)
+	s.mu.Unlock()
+	s.sm.render(w, gaugeSnapshot{
+		queueDepth:    s.depth.Load(),
+		queueCapacity: s.opts.QueueDepth,
+		running:       s.running.Load(),
+		cacheEntries:  entries,
+		cacheHits:     hits,
+		cacheMisses:   misses,
+		streamDropped: dropped,
+	}, buildVersion)
 }
 
 func (s *Server) respond(w http.ResponseWriter, code int, v any) {

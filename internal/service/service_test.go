@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -93,6 +95,32 @@ func awaitTerminal(t *testing.T, ts *httptest.Server, id string) JobStatus {
 	}
 	t.Fatalf("job %s never reached a terminal state", id)
 	return JobStatus{}
+}
+
+// promValue scrapes /metrics and extracts one unlabelled sample from the
+// Prometheus text exposition.
+func promValue(t *testing.T, ts *httptest.Server, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("metric %s: bad value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not in scrape:\n%s", name, body)
+	return 0
 }
 
 // TestRunJobEndToEnd submits a run, waits for its result, resubmits the
@@ -273,17 +301,8 @@ func TestPanicQuarantine(t *testing.T) {
 	if got := awaitTerminal(t, ts, st.ID); got.State != stateDone {
 		t.Fatalf("post-quarantine job state %q, want done", got.State)
 	}
-	var m Metrics
-	mresp, err := http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer mresp.Body.Close()
-	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
-		t.Fatal(err)
-	}
-	if m.Counters["jobs_quarantined"] != 1 || m.Counters["retries"] != 2 {
-		t.Fatalf("metrics: %+v", m.Counters)
+	if q, r := promValue(t, ts, "dftserve_jobs_quarantined_total"), promValue(t, ts, "dftserve_retries_total"); q != 1 || r != 2 {
+		t.Fatalf("metrics: quarantined %v retries %v, want 1 and 2", q, r)
 	}
 	_ = s
 }
@@ -349,17 +368,8 @@ func TestJournalReplayResumesAndWarmsCache(t *testing.T) {
 	if final.State != stateDone {
 		t.Fatalf("resumed job state %q, want done (err %q)", final.State, final.Error)
 	}
-	var m Metrics
-	resp, err := http.Get(ts2.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if m.Counters["jobs_resumed"] != 1 {
-		t.Fatalf("jobs_resumed = %v, want 1", m.Counters["jobs_resumed"])
+	if v := promValue(t, ts2, "dftserve_jobs_resumed_total"); v != 1 {
+		t.Fatalf("jobs_resumed = %v, want 1", v)
 	}
 	s2.Shutdown(5 * time.Second)
 

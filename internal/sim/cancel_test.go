@@ -118,3 +118,79 @@ func TestCancelledHonoursStride(t *testing.T) {
 		t.Fatal("nil probe must never cancel")
 	}
 }
+
+// TestProgressProbeSharesStride pins the progress-probe contract: the probe
+// fires on the same CancelStride cadence as the cancellation probe, with or
+// without one armed, and a probe-only scheduler still never cancels.
+func TestProgressProbeSharesStride(t *testing.T) {
+	s := NewScheduler()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 5*CancelStride {
+			s.Post(1, "tick", tick)
+		}
+	}
+	s.Post(1, "tick", tick)
+
+	probes := 0
+	var snap Progress
+	s.SetProbe(func() { probes++; snap = s.Progress() })
+	if err := s.Run(Infinity); err != nil {
+		t.Fatal(err)
+	}
+	// Entry probe + one per CancelStride fired events.
+	if want := 5; probes != want {
+		t.Fatalf("probe fired %d times over %d events, want %d", probes, n, want)
+	}
+	if snap.Fired == 0 || snap.Fired != uint64(4*CancelStride) {
+		t.Fatalf("last snapshot fired = %d, want %d", snap.Fired, 4*CancelStride)
+	}
+	if snap.Now != Time(4*CancelStride) {
+		t.Fatalf("last snapshot clock = %v, want %v", snap.Now, Time(4*CancelStride))
+	}
+
+	// The probe composes with a cancellation probe on one stride counter.
+	s2 := NewScheduler()
+	var tick2 func()
+	s2.Post(1, "tick", func() {})
+	tick2 = func() { s2.Post(1, "tick", tick2) }
+	s2.Post(1, "tick", tick2)
+	probes2, cancels := 0, 0
+	s2.SetProbe(func() { probes2++ })
+	s2.SetCancel(func() bool { cancels++; return cancels > 2 })
+	if err := s2.Run(Infinity); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Run = %v, want ErrCancelled", err)
+	}
+	if probes2 != cancels {
+		t.Fatalf("progress probe fired %d times, cancel probe %d; want lockstep", probes2, cancels)
+	}
+
+	// Clearing the probe restores the no-probe fast path.
+	s.SetProbe(nil)
+	if s.Cancelled() {
+		t.Fatal("cleared probe must never cancel")
+	}
+}
+
+// TestProgressSnapshotCountersMatchGetters checks Progress against the
+// individual counter getters after a run with elision accounting.
+func TestProgressSnapshotCountersMatchGetters(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 10; i++ {
+		s.Post(Time(i+1), "", func() {})
+	}
+	s.CountElided(7)
+	if err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	p := s.Progress()
+	if p.Fired != s.Fired() || p.Scheduled != s.Scheduled() || p.Elided != s.Elided() {
+		t.Fatalf("Progress %+v disagrees with getters fired=%d scheduled=%d elided=%d",
+			p, s.Fired(), s.Scheduled(), s.Elided())
+	}
+	if p.Now != s.Now() || p.Pending != s.Pending() {
+		t.Fatalf("Progress %+v disagrees with Now=%v Pending=%d", p, s.Now(), s.Pending())
+	}
+}

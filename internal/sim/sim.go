@@ -121,6 +121,7 @@ type Scheduler struct {
 	isoSeq    uint64   // next isolated sequence number; 0 means "not yet used"
 
 	cancel          func() bool // cooperative cancellation probe (see SetCancel)
+	probe           func()      // progress probe sharing the cancel stride (see SetProbe)
 	cancelCountdown int         // events until the next probe call
 }
 
@@ -475,12 +476,23 @@ func (s *Scheduler) SetCancel(fn func() bool) {
 	s.cancelCountdown = 0
 }
 
+// SetProbe registers a progress probe sharing the cancellation stride: fn
+// runs between events, every CancelStride events, whether or not a
+// cancellation probe is armed. The probe must only observe (Progress,
+// wall clocks) — it runs on the kernel goroutine between events, so any
+// mutation of simulation state would break determinism. A nil fn clears it.
+func (s *Scheduler) SetProbe(fn func()) {
+	s.probe = fn
+	s.cancelCountdown = 0
+}
+
 // Cancelled consults the cancellation probe directly, honouring the stride.
 // Loops that drive the kernel through Step instead of Run (checkpointing,
 // manual stepping tools) call it once per step to stay responsive to the
-// same deadline that governs Run.
+// same deadline that governs Run. The progress probe, when armed, fires on
+// the same stride so observability costs nothing extra on the hot path.
 func (s *Scheduler) Cancelled() bool {
-	if s.cancel == nil {
+	if s.cancel == nil && s.probe == nil {
 		return false
 	}
 	if s.cancelCountdown > 0 {
@@ -488,7 +500,31 @@ func (s *Scheduler) Cancelled() bool {
 		return false
 	}
 	s.cancelCountdown = CancelStride - 1
-	return s.cancel()
+	if s.probe != nil {
+		s.probe()
+	}
+	return s.cancel != nil && s.cancel()
+}
+
+// Progress is an allocation-free snapshot of the kernel's run counters,
+// safe to take from a progress probe between events.
+type Progress struct {
+	Now       Time   // virtual clock
+	Fired     uint64 // events executed
+	Scheduled uint64 // events ever pushed (incl. reschedules)
+	Elided    uint64 // events replayed in closed form by elision layers
+	Pending   int    // events currently queued
+}
+
+// Progress returns the current kernel counters as one snapshot.
+func (s *Scheduler) Progress() Progress {
+	return Progress{
+		Now:       s.now,
+		Fired:     s.fired,
+		Scheduled: s.scheduled,
+		Elided:    s.elided,
+		Pending:   len(s.queue),
+	}
 }
 
 // SetEventHook registers fn to run after every fired event, with the

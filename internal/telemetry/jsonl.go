@@ -53,7 +53,18 @@ func (t *JSONLWriter) Record(ev Event) {
 		t.write([]byte(fmt.Sprintf("{\"schema\":%d,\"format\":%q}\n", SchemaVersion, jsonlFormatName)))
 	}
 	t.n++
-	b := t.buf[:0]
+	b := AppendJSON(t.buf[:0], ev)
+	b = append(b, '\n')
+	t.buf = b
+	t.write(b)
+}
+
+// AppendJSON appends the canonical single-line JSON encoding of ev to dst
+// and returns the extended slice (no trailing newline). This is the exact
+// line format JSONLWriter emits after its header; the SSE stream framing
+// reuses it so live and at-rest encodings stay byte-identical.
+func AppendJSON(dst []byte, ev Event) []byte {
+	b := dst
 	b = append(b, `{"t":`...)
 	b = strconv.AppendFloat(b, ev.Time, 'f', 6, 64)
 	b = append(b, `,"node":`...)
@@ -88,9 +99,7 @@ func (t *JSONLWriter) Record(ev Event) {
 	if ev.Kept {
 		b = append(b, `,"kept":true`...)
 	}
-	b = append(b, '}', '\n')
-	t.buf = b
-	t.write(b)
+	return append(b, '}')
 }
 
 // write appends to the buffered writer, capturing the first error.
@@ -163,29 +172,40 @@ func readJSONL(r *bufio.Reader) ([]Event, error) {
 		if len(line) == 0 {
 			continue
 		}
-		var je jsonEvent
-		if err := json.Unmarshal(line, &je); err != nil {
+		ev, err := ParseJSONEvent(line)
+		if err != nil {
 			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
 		}
-		typ, ok := ParseEventType(je.Ev)
-		if !ok {
-			return nil, fmt.Errorf("telemetry: line %d: unknown event %q", lineNo, je.Ev)
-		}
-		out = append(out, Event{
-			Time:  je.T,
-			Node:  nodeID(je.Node),
-			Type:  typ,
-			Msg:   messageID(je.Msg),
-			Peer:  nodeID(je.Peer),
-			FTD:   je.FTD,
-			Value: je.Val,
-			Count: je.N,
-			Aux:   je.Aux,
-			Kept:  je.Kept,
-		})
+		out = append(out, ev)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("telemetry: %w", err)
 	}
 	return out, nil
+}
+
+// ParseJSONEvent decodes one JSONL event line (the format AppendJSON
+// emits). It is the inverse used by both trace-file readers and the SSE
+// stream decoder.
+func ParseJSONEvent(line []byte) (Event, error) {
+	var je jsonEvent
+	if err := json.Unmarshal(line, &je); err != nil {
+		return Event{}, err
+	}
+	typ, ok := ParseEventType(je.Ev)
+	if !ok {
+		return Event{}, fmt.Errorf("unknown event %q", je.Ev)
+	}
+	return Event{
+		Time:  je.T,
+		Node:  nodeID(je.Node),
+		Type:  typ,
+		Msg:   messageID(je.Msg),
+		Peer:  nodeID(je.Peer),
+		FTD:   je.FTD,
+		Value: je.Val,
+		Count: je.N,
+		Aux:   je.Aux,
+		Kept:  je.Kept,
+	}, nil
 }

@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func streamEvents(n int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = Event{Time: float64(i) / 4, Node: 1, Type: EvGen, Msg: messageID(uint64(i + 1))}
+	}
+	return out
+}
+
+// TestStreamTeeReadAtResume pins the no-gaps/no-duplicates contract: paging
+// through the log with ReadAt from any offset — including re-reading from 0
+// after a simulated disconnect — reconstructs the exact event sequence.
+func TestStreamTeeReadAtResume(t *testing.T) {
+	tee := NewStreamTee(0)
+	evs := streamEvents(100)
+	for _, ev := range evs {
+		tee.Record(ev)
+	}
+	tee.Close()
+
+	// Page through with a small limit.
+	var got []Event
+	off := uint64(0)
+	for {
+		page, next, done := tee.ReadAt(off, 7)
+		if next < off || next-off != uint64(len(page)) {
+			t.Fatalf("ReadAt(%d): next %d for %d events", off, next, len(page))
+		}
+		got = append(got, page...)
+		off = next
+		if done {
+			break
+		}
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatalf("paged read differs from recorded events")
+	}
+
+	// Replay from 0 (reconnect) is identical; resume mid-stream has no
+	// duplicates.
+	replay, _, done := tee.ReadAt(0, 0)
+	if !done || !reflect.DeepEqual(replay, evs) {
+		t.Fatalf("replay from 0 differs (done=%v)", done)
+	}
+	tail, next, done := tee.ReadAt(42, 0)
+	if !done || next != 100 || !reflect.DeepEqual(tail, evs[42:]) {
+		t.Fatalf("resume from 42 differs (next=%d done=%v)", next, done)
+	}
+
+	// Reading past the end of a closed stream reports done immediately.
+	if evs, _, done := tee.ReadAt(1000, 0); len(evs) != 0 || !done {
+		t.Fatalf("read past end: %d events, done=%v", len(evs), done)
+	}
+}
+
+// TestStreamTeeWaitAt checks the blocking read path used by the SSE
+// handler: WaitAt wakes on new data, on Close, and times out while idle.
+func TestStreamTeeWaitAt(t *testing.T) {
+	tee := NewStreamTee(0)
+	if tee.WaitAt(0, nil, 10*time.Millisecond) {
+		t.Fatal("WaitAt on an idle stream must time out")
+	}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		tee.Record(Event{Type: EvGen, Msg: 1})
+	}()
+	if !tee.WaitAt(0, nil, time.Second) {
+		t.Fatal("WaitAt must wake on a new event")
+	}
+	// Data already present: no blocking.
+	if !tee.WaitAt(0, nil, 0) {
+		t.Fatal("WaitAt with data available must return immediately")
+	}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		tee.Close()
+	}()
+	if !tee.WaitAt(1, nil, time.Second) {
+		t.Fatal("WaitAt must wake on Close")
+	}
+	stop := make(chan struct{})
+	close(stop)
+	tee2 := NewStreamTee(0)
+	if tee2.WaitAt(0, stop, time.Second) {
+		t.Fatal("WaitAt must honour stop")
+	}
+}
+
+// TestStreamTeeCap checks the retained-log guard: appends beyond the cap
+// are counted, not stored, and the tee stays consistent.
+func TestStreamTeeCap(t *testing.T) {
+	tee := NewStreamTee(10)
+	for _, ev := range streamEvents(25) {
+		tee.Record(ev)
+	}
+	if tee.Len() != 10 || tee.Truncated() != 15 {
+		t.Fatalf("len=%d truncated=%d, want 10/15", tee.Len(), tee.Truncated())
+	}
+}
+
+// blockingRecorder blocks every Record until released — a worst-case slow
+// consumer.
+type blockingRecorder struct {
+	release chan struct{}
+	got     []Event
+}
+
+func (b *blockingRecorder) Record(ev Event) {
+	<-b.release
+	b.got = append(b.got, ev)
+}
+
+// TestStreamConsumerDropPolicy pins the slow-consumer policy: a consumer
+// whose bounded queue is full loses events (counted on the consumer and
+// the tee), and Record never blocks the simulation goroutine.
+func TestStreamConsumerDropPolicy(t *testing.T) {
+	tee := NewStreamTee(0)
+	br := &blockingRecorder{release: make(chan struct{})}
+	c := tee.Attach(br, 4)
+
+	recorded := make(chan struct{})
+	go func() {
+		for _, ev := range streamEvents(100) {
+			tee.Record(ev)
+		}
+		close(recorded)
+	}()
+	select {
+	case <-recorded:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Record blocked behind a slow consumer")
+	}
+	close(br.release)
+	c.Detach()
+	if c.Dropped() == 0 || tee.Dropped() != c.Dropped() {
+		t.Fatalf("dropped: consumer %d, tee %d; want equal and nonzero", c.Dropped(), tee.Dropped())
+	}
+	if got, dropped := uint64(len(br.got)), c.Dropped(); got+dropped < 100 {
+		t.Fatalf("delivered %d + dropped %d < 100 recorded", got, dropped)
+	}
+	// The log itself never drops.
+	if tee.Len() != 100 {
+		t.Fatalf("log retained %d events, want 100", tee.Len())
+	}
+}
+
+// failingWriter is a FileWriter whose Flush starts failing on demand — a
+// stand-in for a stream consumer whose socket died.
+type failingWriter struct {
+	mu   sync.Mutex
+	n    uint64
+	fail bool
+}
+
+func (f *failingWriter) Record(Event) {
+	f.mu.Lock()
+	f.n++
+	f.mu.Unlock()
+}
+func (f *failingWriter) Events() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+func (f *failingWriter) Flush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail {
+		return errors.New("broken pipe")
+	}
+	return nil
+}
+
+// TestStreamConsumerFlushErrorDetaches pins the broken-consumer policy: a
+// FileWriter consumer whose Flush fails is detached from the tee — the run
+// keeps recording unperturbed — and subsequent events count as dropped.
+func TestStreamConsumerFlushErrorDetaches(t *testing.T) {
+	tee := NewStreamTee(0)
+	fw := &failingWriter{fail: true}
+	c := tee.Attach(fw, 16)
+
+	// Enough events to cross the flush stride and trip the error.
+	for _, ev := range streamEvents(2 * consumerFlushStride) {
+		tee.Record(ev)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.Broken() {
+		if time.Now().After(deadline) {
+			t.Fatal("consumer never detached on Flush error")
+		}
+		tee.Record(Event{Type: EvGen, Msg: 999})
+		time.Sleep(time.Millisecond)
+	}
+	before := tee.Len()
+	tee.Record(Event{Type: EvGen, Msg: 1000})
+	if tee.Len() != before+1 {
+		t.Fatal("tee stopped recording after consumer broke")
+	}
+	if c.Dropped() == 0 {
+		t.Fatal("broken consumer's lost events not counted")
+	}
+	tee.Close()
+}
+
+// TestStreamTeeReset checks the retry path: Reset truncates and reopens the
+// log so a deterministic re-run rebuilds the identical stream.
+func TestStreamTeeReset(t *testing.T) {
+	tee := NewStreamTee(0)
+	evs := streamEvents(10)
+	for _, ev := range evs[:7] {
+		tee.Record(ev)
+	}
+	tee.Reset()
+	if tee.Len() != 0 || tee.Closed() {
+		t.Fatalf("after Reset: len=%d closed=%v", tee.Len(), tee.Closed())
+	}
+	for _, ev := range evs {
+		tee.Record(ev)
+	}
+	tee.Close()
+	got, _, done := tee.ReadAt(0, 0)
+	if !done || !reflect.DeepEqual(got, evs) {
+		t.Fatal("post-Reset stream differs from the re-recorded sequence")
+	}
+}
+
+// TestStreamTeeAttachAfterClose checks that attaching to a finished stream
+// yields an immediately-stopped consumer instead of a leak.
+func TestStreamTeeAttachAfterClose(t *testing.T) {
+	tee := NewStreamTee(0)
+	tee.Close()
+	c := tee.Attach(&Buffer{}, 4)
+	c.Detach() // must not hang
+}
