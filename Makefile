@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-json bench-diff bench-progress bench-scale figures figures-paper chaos fuzz fuzz-smoke snapshot-diff observe-diff service-soak vet fmt clean
+.PHONY: all build test test-short race cover bench bench-json bench-diff bench-progress bench-scale bench-shard shard-diff figures figures-paper chaos fuzz fuzz-smoke snapshot-diff observe-diff service-soak vet fmt clean
 
 all: build test
 
@@ -31,13 +31,16 @@ BENCH_PKGS = ./internal/telemetry/ ./internal/scenario/ ./internal/radio/
 
 # Capture a machine-readable benchmark baseline (telemetry on/off pair and
 # the radio-medium microbenchmarks included) for before/after comparisons.
-# The scale tier's 2000-node lazy-decay point rides along so the baseline
-# records its events/run — cheap under elision, and it arms the bench-diff
-# event gate.
+# The scale tier's 2000-node lazy-decay point and the shard tier's 10k pair
+# (sequential control arm vs 8 shards) ride along so the baseline records
+# their events/run — cheap under elision, and it arms the bench-diff
+# event gate for both tiers.
 bench-json:
 	( $(GO) test -bench=. -benchmem $(BENCH_PKGS) && \
 	  DFTMSN_SCALE_BENCH=1 $(GO) test -bench='BenchmarkRunLarge2000Idle$$' \
-			-benchmem -benchtime=3x ./internal/scenario/ ) \
+			-benchmem -benchtime=3x ./internal/scenario/ && \
+	  DFTMSN_SHARD_BENCH=1 $(GO) test -bench='BenchmarkRunSharded10k' \
+			-benchmem -benchtime=1x ./internal/scenario/ ) \
 		| $(GO) run ./cmd/benchjson > BENCH_baseline.json
 
 # Diff a fresh benchmark run against the committed baseline; exits nonzero
@@ -46,7 +49,9 @@ bench-json:
 bench-diff:
 	( $(GO) test -bench=. -benchmem $(BENCH_PKGS) && \
 	  DFTMSN_SCALE_BENCH=1 $(GO) test -bench='BenchmarkRunLarge2000Idle$$' \
-			-benchmem -benchtime=3x ./internal/scenario/ ) \
+			-benchmem -benchtime=3x ./internal/scenario/ && \
+	  DFTMSN_SHARD_BENCH=1 $(GO) test -bench='BenchmarkRunSharded10k' \
+			-benchmem -benchtime=1x ./internal/scenario/ ) \
 		| $(GO) run ./cmd/benchjson -diff BENCH_baseline.json
 
 # The observability overhead gate: the kernel progress probe (OnProgress
@@ -78,6 +83,35 @@ bench-scale:
 			-speedup-min 1.5 -speedup-events-min 5 \
 		< bench-scale.out
 	@rm -f bench-scale.out
+
+# The gated shard tier: full sequential-vs-8-shard runs at 2000, 10k, and
+# 100k nodes in the mobility-dominated contact-precision regime. The >=3x
+# ns/op gate on the 10k point only means anything with enough cores, so it
+# is skipped (loudly) on smaller machines; the events/run metric printed by
+# every row still pins sharded event counts to the sequential arm's.
+bench-shard:
+	DFTMSN_SHARD_BENCH=1 $(GO) test -bench=BenchmarkRunSharded -benchtime=1x \
+			./internal/scenario/ | tee bench-shard.out
+	@if [ "$$(nproc)" -ge 8 ]; then \
+		$(GO) run ./cmd/benchjson \
+				-speedup-slow BenchmarkRunSharded10kSeq \
+				-speedup-fast BenchmarkRunSharded10k -speedup-min 3 \
+			< bench-shard.out; \
+	else \
+		echo "bench-shard: only $$(nproc) CPUs; skipping the 3x speedup assertion (needs >= 8)"; \
+	fi
+	@rm -f bench-shard.out
+
+# The sharded-kernel differential gate under the race detector: with
+# Config.Shards as the only difference, Results (event counters included),
+# telemetry bytes, and snapshot encodings must be bit-identical to the
+# sequential kernel across the 10-config matrix and shard counts {2,4,8};
+# the unit tier pins the mobility/radio batch phases and the pool/kernel
+# ownership rules directly.
+shard-diff:
+	$(GO) test -race \
+			-run 'TestShardedMatchesSequential|TestShardedSnapshotsCanonical|TestEncodeConfigIgnoresShards|TestStepShardedMatchesStep|TestRefreshPositionsShardedMatchesSequential|TestSchedulerShardStress|TestWheelShardStress|TestShardPool|TestBandCoversRange|TestResolveShards' \
+			./internal/scenario/ ./internal/sim/ ./internal/mobility/ ./internal/radio/
 
 # Regenerate every table/figure at reduced scale (~30 min on one core).
 figures:

@@ -84,11 +84,35 @@ func (b Benchmark) MarshalJSON() ([]byte, error) {
 	return json.Marshal(c)
 }
 
-// Document is the full JSON output.
+// Document is the full JSON output. CPU is the `cpu:` transcript header;
+// GOMAXPROCS is derived from the `-N` name suffixes go test stamps on every
+// row (the highest seen — the machine's effective GOMAXPROCS unless every
+// row ran under an explicit smaller -cpu list). Recording both keeps a
+// baseline self-describing: a diff can tell "this row is slower because the
+// baseline machine had more cores" from a real regression, and sharded
+// rows keep matching across machines because only a row whose suffix
+// deviates from the document's GOMAXPROCS (an explicit -cpu sweep entry)
+// carries the suffix in its identity.
 type Document struct {
 	Goos       string      `json:"goos,omitempty"`
 	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	GOMAXPROCS int         `json:"gomaxprocs,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// key is a benchmark's identity for coalescing and diffing. The `-N` procs
+// suffix joins the key only when it deviates from the document's
+// GOMAXPROCS: rows from an explicit -cpu sweep (`-cpu 1,2,4`) must stay
+// distinct, while ordinary rows — whose suffix is just the machine's core
+// count — must keep matching a baseline recorded on a machine with a
+// different core count.
+func key(doc *Document, b Benchmark) string {
+	k := b.Package + "\x00" + b.Name
+	if b.Procs != 0 && b.Procs != doc.GOMAXPROCS {
+		k += fmt.Sprintf("\x00-%d", b.Procs)
+	}
+	return k
 }
 
 // benchLine matches e.g.
@@ -183,6 +207,9 @@ func parse(r io.Reader) (*Document, error) {
 		case strings.HasPrefix(line, "goarch: "):
 			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
 			continue
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			continue
 		}
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
@@ -218,6 +245,11 @@ func parse(r io.Reader) (*Document, error) {
 		}
 		doc.Benchmarks = append(doc.Benchmarks, b)
 	}
+	for _, b := range doc.Benchmarks {
+		if b.Procs > doc.GOMAXPROCS {
+			doc.GOMAXPROCS = b.Procs
+		}
+	}
 	return doc, sc.Err()
 }
 
@@ -227,19 +259,21 @@ func parse(r io.Reader) (*Document, error) {
 // time, so the fastest run is the least-contaminated measurement; this is
 // what makes tight overhead ceilings (-speedup-max 1.01) assertable with
 // -count > 1. The deterministic columns (allocs/op, events/run) are
-// identical across runs, so keeping the fastest row loses nothing.
+// identical across runs, so keeping the fastest row loses nothing. Rows
+// from an explicit -cpu sweep are distinct identities (see key) and are
+// never folded into each other.
 func coalesce(doc *Document) {
 	best := make(map[string]int, len(doc.Benchmarks))
 	out := doc.Benchmarks[:0]
 	for _, b := range doc.Benchmarks {
-		key := b.Package + "\x00" + b.Name
-		if i, ok := best[key]; ok {
+		k := key(doc, b)
+		if i, ok := best[k]; ok {
 			if b.NsPerOp < out[i].NsPerOp {
 				out[i] = b
 			}
 			continue
 		}
-		best[key] = len(out)
+		best[k] = len(out)
 		out = append(out, b)
 	}
 	doc.Benchmarks = out
@@ -255,6 +289,15 @@ func loadBaseline(path string) (*Document, error) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return nil, fmt.Errorf("baseline %s: %w", path, err)
 	}
+	// Baselines written before the gomaxprocs field existed: re-derive it
+	// from the row suffixes so the procs-aware diff key still matches.
+	if doc.GOMAXPROCS == 0 {
+		for _, b := range doc.Benchmarks {
+			if b.Procs > doc.GOMAXPROCS {
+				doc.GOMAXPROCS = b.Procs
+			}
+		}
+	}
 	return &doc, nil
 }
 
@@ -264,14 +307,17 @@ func loadBaseline(path string) (*Document, error) {
 // regression — the events/run gate is what catches an elision opportunity
 // silently lost (events regrowing without ns/op moving much on a fast
 // machine). Benchmarks present on only one side are skipped: baselines
-// are allowed to trail newly added benchmarks until regenerated.
+// are allowed to trail newly added benchmarks until regenerated. Rows are
+// matched by the procs-aware key, so a baseline recorded on an 8-core
+// machine still matches a fresh 16-core run row-for-row, while explicit
+// -cpu sweep rows only ever match their same-suffix counterpart.
 func diff(base, fresh *Document, nsTol, allocTol, eventsTol float64) (rows []string, regressed bool) {
 	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
-		baseBy[b.Package+"."+b.Name] = b
+		baseBy[key(base, b)] = b
 	}
 	for _, f := range fresh.Benchmarks {
-		b, ok := baseBy[f.Package+"."+f.Name]
+		b, ok := baseBy[key(fresh, f)]
 		if !ok {
 			continue
 		}

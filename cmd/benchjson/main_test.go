@@ -145,6 +145,66 @@ func TestDiffFlagsRegressions(t *testing.T) {
 	}
 }
 
+// TestParseCPUHeaders pins the machine-context fields: the cpu: header is
+// recorded verbatim and GOMAXPROCS is derived from the row name suffixes.
+func TestParseCPUHeaders(t *testing.T) {
+	doc, err := parse(strings.NewReader(fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.CPU != "Some CPU @ 2.50GHz" {
+		t.Errorf("CPU = %q", doc.CPU)
+	}
+	if doc.GOMAXPROCS != 8 {
+		t.Errorf("GOMAXPROCS = %d, want 8", doc.GOMAXPROCS)
+	}
+}
+
+// TestDiffMatchesAcrossProcs pins the procs-aware identity: native rows
+// (suffix == the document's GOMAXPROCS) match a baseline from a machine
+// with a different core count, while explicit -cpu sweep rows only match
+// their same-suffix counterpart — so sharded benchmarks diff row-for-row
+// across machines without conflating a sweep's arms.
+func TestDiffMatchesAcrossProcs(t *testing.T) {
+	base := &Document{GOMAXPROCS: 8, Benchmarks: []Benchmark{
+		{Package: "p", Name: "BenchmarkRunSharded10k", Procs: 8, NsPerOp: 1000},
+		{Package: "p", Name: "BenchmarkSweep", Procs: 1, NsPerOp: 4000},
+		{Package: "p", Name: "BenchmarkSweep", Procs: 4, NsPerOp: 1000},
+	}}
+	fresh := &Document{GOMAXPROCS: 16, Benchmarks: []Benchmark{
+		{Package: "p", Name: "BenchmarkRunSharded10k", Procs: 16, NsPerOp: 1100},
+		{Package: "p", Name: "BenchmarkSweep", Procs: 1, NsPerOp: 9000}, // regression in the -cpu 1 arm
+		{Package: "p", Name: "BenchmarkSweep", Procs: 4, NsPerOp: 1000},
+	}}
+	rows, regressed := diff(base, fresh, 0.25, 0.25, 0.10)
+	if len(rows) != 3 {
+		t.Fatalf("diff compared %d rows, want 3: %v", len(rows), rows)
+	}
+	if !regressed {
+		t.Fatalf("diff missed the -cpu 1 arm regression: %v", rows)
+	}
+	if strings.Contains(rows[0], "REGRESSION") {
+		t.Errorf("native row should match across core counts: %s", rows[0])
+	}
+}
+
+// TestCoalesceKeepsCPUSweepArms pins that best-of-N folding never merges
+// the distinct arms of an explicit -cpu sweep.
+func TestCoalesceKeepsCPUSweepArms(t *testing.T) {
+	doc := &Document{GOMAXPROCS: 8, Benchmarks: []Benchmark{
+		{Package: "p", Name: "BenchmarkSweep", Procs: 1, NsPerOp: 4000},
+		{Package: "p", Name: "BenchmarkSweep", Procs: 8, NsPerOp: 1000},
+		{Package: "p", Name: "BenchmarkSweep", Procs: 8, NsPerOp: 900},
+	}}
+	coalesce(doc)
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("coalesce folded a -cpu sweep: %+v", doc.Benchmarks)
+	}
+	if doc.Benchmarks[1].NsPerOp != 900 {
+		t.Errorf("coalesce kept the slower native run: %+v", doc.Benchmarks)
+	}
+}
+
 // TestDiffFlagsEventRegressions checks the events/run gate: an event-count
 // growth beyond tolerance fails even when ns/op improved (a lost elision
 // opportunity can hide behind a faster machine), and the gate stays quiet

@@ -238,6 +238,13 @@ func NewNode(
 		tauForVer: ^uint64(0),
 	}
 	n.stats.DiedAt = -1
+	// Plan slices are reused across spans ([:0] reset); sizing them to the
+	// cycle cap up front keeps first-plan growth out of the run phase and
+	// avoids append-doubling past the largest span a plan can hold.
+	n.plan.starts = make([]float64, 0, planMaxCycles+1)
+	n.plan.listens = make([]float64, 0, planMaxCycles+1)
+	n.plan.ends = make([]float64, 0, planMaxCycles+1)
+	n.plan.sigmas = make([]int, 0, planMaxCycles+1)
 	n.startCycleFn = n.startCycle
 	n.wakeFn = func() {
 		if n.stopped {
@@ -549,9 +556,20 @@ func (n *Node) planEnd() {
 // are in flight, since a busy carrier at the listen expiry ends the cycle
 // Deferred rather than idle.
 func (n *Node) PollCarrier() {
-	if n.plan.active && n.radio.CarrierBusy() {
+	if n.CarrierPending() {
 		n.materialize(n.sched.Now())
 	}
+}
+
+// CarrierPending reports whether PollCarrier would materialize this node's
+// idle-span plan right now: a plan is active and the radio senses a busy
+// carrier. It is strictly read-only — the plan flag is this node's own
+// state and carrier sense is a pure query over the medium's in-flight
+// frames and last-refreshed positions — so the sharded kernel may evaluate
+// it for disjoint node bands concurrently, then drain the positive verdicts
+// through PollCarrier sequentially in canonical node order.
+func (n *Node) CarrierPending() bool {
+	return n.plan.active && n.radio.CarrierBusy()
 }
 
 // FinalizeElision settles the node's elision accounting at the simulation

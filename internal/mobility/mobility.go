@@ -78,6 +78,7 @@ type ZoneWalk struct {
 	grid  *geo.Grid
 	rng   *simrand.Source
 	nodes []walker
+	pend  []pending // StepSharded scratch; one slot per walker
 }
 
 var _ Model = (*ZoneWalk)(nil)
@@ -137,27 +138,55 @@ func (w *ZoneWalk) resample(n *walker) {
 	n.speed = w.rng.Uniform(w.cfg.MinSpeed, w.cfg.MaxSpeed)
 }
 
+// maxEvents caps boundary sub-steps per advance call: a safety valve
+// against degenerate geometry. The cap counts both reflections and
+// crossings, so advanceFree and the resume loop share one budget.
+const maxEvents = 64
+
 // advance moves n for dt seconds, resolving zone-boundary events as they
 // occur. Movement is resolved in sub-steps: each sub-step either completes
-// the remaining time or ends at the first boundary hit.
+// the remaining time or ends at the first boundary hit. Free flight and
+// field-edge reflections are delegated to advanceFree; boundaries with a
+// neighbouring zone (the only sub-steps that consume RNG draws) are
+// resolved here and flight resumes.
 func (w *ZoneWalk) advance(n *walker, dt float64) {
-	const maxEvents = 64 // safety valve against degenerate geometry
-	remaining := dt
-	for ev := 0; ev < maxEvents && remaining > 1e-12; ev++ {
+	remaining, ev, hit, paused := w.advanceFree(n, dt, 0)
+	for paused {
+		w.crossOrBounce(n, hit)
+		remaining, ev, hit, paused = w.advanceFree(n, remaining, ev+1)
+	}
+}
+
+// advanceFree moves n until its time budget is exhausted, the sub-step cap
+// is reached, or the walk needs an RNG decision. Field-edge hits always
+// reflect and draw nothing, so they are resolved inline; a boundary with a
+// neighbouring zone pauses the walker instead (paused=true with the pending
+// edge), because resolving it consumes draws from the shared mobility
+// stream. Splitting flight this way is what makes StepSharded bit-identical
+// to Step: the draw-free part runs on any goroutine, while every draw
+// happens on the kernel goroutine in walker-index order — the exact order
+// the sequential loop consumes the stream in. advanceFree touches only n
+// itself and pure grid geometry.
+func (w *ZoneWalk) advanceFree(n *walker, remaining float64, ev int) (left float64, evOut int, hit edge, paused bool) {
+	for ; ev < maxEvents && remaining > 1e-12; ev++ {
 		rect, err := w.grid.ZoneRect(n.zone)
 		if err != nil {
-			return // unreachable: zone is always valid
+			return 0, ev, 0, false // unreachable: zone is always valid
 		}
 		hit, tHit := timeToBoundary(n, rect)
 		if tHit >= remaining {
 			n.pos = n.pos.Add(n.dirX*n.speed*remaining, n.dirY*n.speed*remaining)
-			return
+			return 0, ev, 0, false
 		}
 		// Move to the boundary, then decide bounce vs cross.
 		n.pos = n.pos.Add(n.dirX*n.speed*tHit, n.dirY*n.speed*tHit)
 		remaining -= tHit
-		w.resolveBoundary(n, rect, hit)
+		if _, ok := neighborAcross(w.grid, n.zone, hit); ok {
+			return remaining, ev, hit, true
+		}
+		w.reflect(n, rect, hit)
 	}
+	return 0, ev, 0, false
 }
 
 // edge identifies which zone edge was hit.
@@ -201,10 +230,15 @@ func timeToBoundary(n *walker, rect geo.Rect) (edge, float64) {
 	return hit, best
 }
 
-// resolveBoundary applies the paper's boundary rule at the hit edge:
-// cross into the neighbouring zone with ExitProb (probability 1 if the
-// neighbour is home), otherwise reflect. Field edges always reflect.
-func (w *ZoneWalk) resolveBoundary(n *walker, rect geo.Rect, hit edge) {
+// crossOrBounce applies the paper's boundary rule at an edge that has a
+// neighbouring zone: cross with ExitProb (probability 1 if the neighbour is
+// home), otherwise reflect. This is the only place mobility consumes RNG
+// draws after construction, which is why callers resolve it sequentially.
+func (w *ZoneWalk) crossOrBounce(n *walker, hit edge) {
+	rect, err := w.grid.ZoneRect(n.zone)
+	if err != nil {
+		return // unreachable: zone is always valid
+	}
 	neighbor, ok := neighborAcross(w.grid, n.zone, hit)
 	cross := false
 	if ok {
@@ -237,7 +271,13 @@ func (w *ZoneWalk) resolveBoundary(n *walker, rect geo.Rect, hit edge) {
 		w.pointAwayFromEdge(n, hit)
 		return
 	}
-	// Reflect the normal component and nudge inside.
+	w.reflect(n, rect, hit)
+}
+
+// reflect bounces n off the hit edge of rect: the normal direction
+// component flips and the position is nudged inside. Reflection draws
+// nothing, so advanceFree may apply it from any goroutine.
+func (w *ZoneWalk) reflect(n *walker, rect geo.Rect, hit edge) {
 	const inset = 1e-6
 	switch hit {
 	case edgeWest:

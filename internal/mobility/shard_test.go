@@ -1,0 +1,52 @@
+package mobility
+
+import (
+	"reflect"
+	"testing"
+
+	"dftmsn/internal/geo"
+	"dftmsn/internal/sim"
+	"dftmsn/internal/simrand"
+)
+
+// TestStepShardedMatchesStep pins the tentpole property of the sharded
+// walk: after any number of ticks, every walker field and the mobility RNG
+// stream position are bit-identical between Step and StepSharded, for
+// several shard counts, including shards that get empty bands.
+func TestStepShardedMatchesStep(t *testing.T) {
+	for _, shards := range []int{2, 3, 8, 200} {
+		field := geo.Rect{MinX: 0, MinY: 0, MaxX: 120, MaxY: 90}
+		grid, err := geo.NewGrid(field, 4, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultZoneWalkConfig()
+		const n = 97 // not divisible by shard counts, exercises ragged bands
+		seq, err := NewZoneWalk(grid, n, cfg, simrand.New(42).Split("mobility"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shr, err := NewZoneWalk(grid, n, cfg, simrand.New(42).Split("mobility"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := sim.NewShardPool(shards)
+		// Uneven tick sizes provoke different boundary-event counts per tick.
+		ticks := []float64{1, 0.25, 7.5, 2, 30, 0.01, 5}
+		for round := 0; round < 40; round++ {
+			dt := ticks[round%len(ticks)]
+			seq.Step(dt)
+			shr.StepSharded(dt, pool)
+		}
+		pool.Close()
+		for i := 0; i < n; i++ {
+			a, b := seq.nodes[i], shr.nodes[i]
+			if a != b {
+				t.Fatalf("shards=%d walker %d diverged:\nseq  %+v\nshard %+v", shards, i, a, b)
+			}
+		}
+		if a, b := seq.rng.State(), shr.rng.State(); !reflect.DeepEqual(a, b) {
+			t.Fatalf("shards=%d RNG stream diverged: %+v vs %+v", shards, a, b)
+		}
+	}
+}

@@ -171,23 +171,24 @@ func (b BurstConfig) Validate() error {
 
 // Medium is the shared broadcast channel. All radios attach to one medium.
 type Medium struct {
-	cfg      Config
-	sched    *sim.Scheduler
-	radios   []*Radio
-	active   []*transmission // frames in flight; swap-removed at frame end
-	index    *cellIndex      // nil when cfg.LinearScan
-	scratch  []*Radio        // reusable neighborhood-query buffer
-	txPool   []*transmission // recycled transmission objects
-	finishFn func(any)       // bound once; frame-end events carry the tx as arg
-	stats    Stats
-	lossProb float64
-	lossRng  *simrand.Source
-	burst    *BurstConfig
-	burstRng *simrand.Source
-	burstBad bool
-	burstEv  *sim.Event // retained flip handle; reused across flips
-	flipFn   func()     // bound once; scheduleBurstFlip reuses it
-	frameLog func(now float64, src packet.NodeID, f packet.Frame)
+	cfg        Config
+	sched      *sim.Scheduler
+	radios     []*Radio
+	active     []*transmission // frames in flight; swap-removed at frame end
+	index      *cellIndex      // nil when cfg.LinearScan
+	scratch    []*Radio        // reusable neighborhood-query buffer
+	keyScratch []int64         // RefreshPositionsSharded per-radio cell keys
+	txPool     []*transmission // recycled transmission objects
+	finishFn   func(any)       // bound once; frame-end events carry the tx as arg
+	stats      Stats
+	lossProb   float64
+	lossRng    *simrand.Source
+	burst      *BurstConfig
+	burstRng   *simrand.Source
+	burstBad   bool
+	burstEv    *sim.Event // retained flip handle; reused across flips
+	flipFn     func()     // bound once; scheduleBurstFlip reuses it
+	frameLog   func(now float64, src packet.NodeID, f packet.Frame)
 }
 
 // transmission is one frame in flight. Objects are pooled by the medium:

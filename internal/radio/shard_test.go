@@ -1,0 +1,87 @@
+package radio
+
+import (
+	"strings"
+	"testing"
+
+	"dftmsn/internal/energy"
+	"dftmsn/internal/geo"
+	"dftmsn/internal/packet"
+	"dftmsn/internal/sim"
+	"dftmsn/internal/simrand"
+)
+
+// TestRefreshPositionsShardedMatchesSequential moves two identical mediums
+// through the same random walk, refreshing one with RefreshPositions and
+// the other with RefreshPositionsSharded, and pins that every radio's cell
+// and every neighbourhood query's candidate order stay identical. Candidate
+// order matters because the transmit path draws loss RNG in attach order
+// re-sorted from cell order, so a reordered cell slice would change draws.
+func TestRefreshPositionsShardedMatchesSequential(t *testing.T) {
+	const (
+		n     = 150
+		field = 80.0
+	)
+	build := func() (*Medium, []geo.Point) {
+		sched := sim.NewScheduler()
+		m, err := NewMedium(sched, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var log strings.Builder
+		pos := make([]geo.Point, n)
+		place := simrand.New(99).Split("place")
+		for i := range pos {
+			pos[i] = geo.Point{X: place.Uniform(0, field), Y: place.Uniform(0, field)}
+			i := i
+			h := &loggingHandler{id: packet.NodeID(i), sched: sched, log: &log}
+			if _, err := m.Attach(packet.NodeID(i), func() geo.Point { return pos[i] }, h, energy.BerkeleyMote(), Idle); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m, pos
+	}
+	seqM, seqPos := build()
+	shrM, shrPos := build()
+	for _, shards := range []int{2, 3, 8} {
+		pool := sim.NewShardPool(shards)
+		walk := simrand.New(7).Split("walk")
+		for round := 0; round < 25; round++ {
+			for i := range seqPos {
+				dx, dy := walk.Uniform(-15, 15), walk.Uniform(-15, 15)
+				seqPos[i].X += dx
+				seqPos[i].Y += dy
+				shrPos[i].X += dx
+				shrPos[i].Y += dy
+			}
+			seqM.RefreshPositions()
+			shrM.RefreshPositionsSharded(pool)
+			for i := range seqM.radios {
+				if seqM.radios[i].cellKey != shrM.radios[i].cellKey {
+					t.Fatalf("shards=%d round %d: radio %d cellKey %d vs %d",
+						shards, round, i, seqM.radios[i].cellKey, shrM.radios[i].cellKey)
+				}
+			}
+			// Compare raw candidate order (pre re-sort) at a grid of probes.
+			var seqBuf, shrBuf []*Radio
+			for x := -20.0; x < field+20; x += 10 {
+				for y := -20.0; y < field+20; y += 10 {
+					p := geo.Point{X: x, Y: y}
+					seqBuf = seqM.index.neighbors(p, seqBuf[:0])
+					shrBuf = shrM.index.neighbors(p, shrBuf[:0])
+					if len(seqBuf) != len(shrBuf) {
+						t.Fatalf("shards=%d round %d probe %v: %d vs %d candidates",
+							shards, round, p, len(seqBuf), len(shrBuf))
+					}
+					for k := range seqBuf {
+						if seqBuf[k].id != shrBuf[k].id {
+							t.Fatalf("shards=%d round %d probe %v: candidate %d is %d vs %d",
+								shards, round, p, k, seqBuf[k].id, shrBuf[k].id)
+						}
+					}
+				}
+			}
+		}
+		pool.Close()
+	}
+}

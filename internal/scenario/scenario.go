@@ -173,6 +173,20 @@ type Config struct {
 	// ProgressEvery is the minimum wall-clock interval between OnProgress
 	// calls (0 = 1s). Runtime-only.
 	ProgressEvery time.Duration
+	// Shards spreads the kernel's O(N) batch phases — mobility free flight,
+	// spatial-index refresh, carrier-poll verdicts — across this many
+	// worker shards (sim.ShardPool). Authoritative event dispatch stays
+	// single-threaded in global (time, seq) order and every RNG draw,
+	// scheduler operation, and telemetry record happens on the kernel
+	// goroutine in the sequential order, so any shard count produces
+	// bit-identical Results, telemetry bytes, and snapshots; the shard-diff
+	// suite pins this against the default. 1 (and 0 resolving to a single
+	// CPU) runs the existing sequential kernel untouched — the differential
+	// control arm, same discipline as LinearMedium and EagerDecay; 0 means
+	// one shard per CPU (GOMAXPROCS). Runtime-only, like Cancel and
+	// Recorder: excluded from the config encoding, so changing the shard
+	// count never changes a cache key or a snapshot fingerprint.
+	Shards int
 }
 
 // Progress is a live snapshot of a running simulation, delivered through
@@ -225,6 +239,9 @@ func DefaultConfig(scheme core.Scheme) Config {
 		DurationSeconds:     25_000,
 		MobilityTickSeconds: 1,
 		Seed:                1,
+		// Sequential control arm by default; sharding is opt-in (and a
+		// zero-built Config's Shards=0 opts in at one shard per CPU).
+		Shards: 1,
 	}
 }
 
@@ -289,6 +306,9 @@ func (c Config) Validate() error {
 	}
 	if c.CheckpointEvery < 0 {
 		return fmt.Errorf("scenario: checkpoint interval %v must be >= 0", c.CheckpointEvery)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("scenario: shard count %d must be >= 0 (0 = one per CPU)", c.Shards)
 	}
 	return nil
 }
@@ -405,6 +425,11 @@ type Sim struct {
 	// Wall-clock throttle state for the progress probe (see armProgress).
 	progressStart time.Time
 	progressNext  time.Time
+
+	// Sharded batch-phase state (nil/empty when Config.Shards resolves to
+	// 1): the worker pool and the carrier-poll verdict scratch.
+	pool     *sim.ShardPool
+	pollBusy []bool
 }
 
 // faultPlan folds the legacy FailFraction/FailAtSeconds pair into the
@@ -434,6 +459,9 @@ func New(cfg Config) (*Sim, error) {
 	}
 	if cfg.OnProgress != nil {
 		s.armProgress()
+	}
+	if n := sim.ResolveShards(cfg.Shards); n > 1 {
+		s.pool = sim.NewShardPool(n)
 	}
 	root := simrand.New(cfg.Seed)
 
@@ -642,10 +670,10 @@ func New(cfg Config) (*Sim, error) {
 	wheel := sim.NewWheel(s.sched, cfg.DurationSeconds)
 	s.wheel = wheel
 	tickStep := func(sim.Time) {
-		s.walk.Step(cfg.MobilityTickSeconds)
+		s.stepWalk(cfg.MobilityTickSeconds)
 		// Positions only change inside Step, so refreshing the medium's
 		// spatial index here keeps it exact between ticks.
-		s.medium.RefreshPositions()
+		s.refreshPositions()
 	}
 	if cfg.EagerDecay {
 		wheel.Add(cfg.MobilityTickSeconds, tickStep)
@@ -663,9 +691,9 @@ func New(cfg Config) (*Sim, error) {
 				return 0
 			}
 			for i := 0; i < n; i++ {
-				s.walk.Step(cfg.MobilityTickSeconds)
+				s.stepWalk(cfg.MobilityTickSeconds)
 			}
-			s.medium.RefreshPositions()
+			s.refreshPositions()
 			return n
 		})
 	}
@@ -806,8 +834,14 @@ func (f *fadRecorder) TxOutcome(msgID packet.MessageID, hadCopy bool, before flo
 
 // pollCarriers gives every coalesced idle span a chance to observe a busy
 // carrier after a mobility step (see core.Node.PollCarrier). Nodes without
-// an active span ignore it.
+// an active span ignore it. The canonical order — sinks in id order, then
+// sensors — is the order materializations consume the kernel, so the
+// sharded variant must reproduce it exactly.
 func (s *Sim) pollCarriers() {
+	if s.pool != nil {
+		s.pollCarriersSharded()
+		return
+	}
 	for _, n := range s.sinks {
 		n.PollCarrier()
 	}
@@ -975,6 +1009,15 @@ func (s *Sim) ensureArmed() error {
 func (s *Sim) Run() (Result, error) {
 	if s.ran {
 		return Result{}, fmt.Errorf("scenario: simulation already ran")
+	}
+	if s.pool != nil {
+		// Release the shard workers when the one-shot run finishes; clearing
+		// the field makes any later batch phase fall back to the sequential
+		// path instead of touching a closed pool.
+		defer func() {
+			s.pool.Close()
+			s.pool = nil
+		}()
 	}
 	cancelled := false
 	if s.cfg.CheckpointEvery > 0 {
