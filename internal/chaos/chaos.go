@@ -45,6 +45,14 @@ type Campaign struct {
 	Seed uint64
 	// Workers bounds the worker pool (0 means GOMAXPROCS).
 	Workers int
+	// Budget optionally splits cores between concurrent runs and per-run
+	// shards: when set it overrides Workers with Budget.Workers(), and
+	// every simulation the campaign executes — randomized runs, shrink
+	// candidates, replays — Acquires its shard grant first and runs with
+	// Config.Shards set to it. Runtime-only: verdicts, failures, and state
+	// files are bit-identical with or without a budget, since every shard
+	// count is.
+	Budget *sweep.CoreBudget
 
 	// MinDeliveryRatio is a resilience lower bound: a run delivering a
 	// smaller ratio fails the campaign (0 disables the bound).
@@ -233,8 +241,12 @@ func (c Campaign) Run() (Summary, error) {
 	}
 	defer state.Close()
 
+	workers := c.Workers
+	if c.Budget != nil {
+		workers = c.Budget.Workers()
+	}
 	var cancelled atomic.Bool
-	errs := sweep.ParallelErrors(c.Runs, c.Workers, func(i int) error {
+	errs := sweep.ParallelErrors(c.Runs, workers, func(i int) error {
 		if outcomes[i].ran {
 			return nil // resumed from the state file
 		}
@@ -360,6 +372,11 @@ func (c Campaign) runOnce(seed uint64, plan faults.Plan, cancel func() bool) (re
 		cfg.Faults = &p
 	} else {
 		cfg.Faults = nil
+	}
+	if c.Budget != nil {
+		shards := c.Budget.Acquire(0)
+		defer c.Budget.Release(shards)
+		cfg.Shards = shards
 	}
 	s, err := scenario.New(cfg)
 	if err != nil {

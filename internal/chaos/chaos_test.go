@@ -11,6 +11,7 @@ import (
 	"dftmsn/internal/faults"
 	"dftmsn/internal/scenario"
 	"dftmsn/internal/simrand"
+	"dftmsn/internal/sweep"
 )
 
 // smallBase is a scenario small enough for a many-run campaign in a test.
@@ -80,6 +81,33 @@ func TestCampaignIsReproducible(t *testing.T) {
 	}
 	if a.Checks != b.Checks || a.MeanDeliveryRatio != b.MeanDeliveryRatio || a.CopiesLost != b.CopiesLost {
 		t.Fatalf("same-seed campaigns differ:\n%s---\n%s", a.Format(), b.Format())
+	}
+}
+
+// TestCampaignBudgetMatchesSequential pins the CoreBudget threading: a
+// campaign whose every run acquires a 4-shard grant from a shared 16-core
+// budget must reach verdicts bit-identical to the unbudgeted sequential
+// campaign, and the budget must come back fully released with its peak
+// inside the cap.
+func TestCampaignBudgetMatchesSequential(t *testing.T) {
+	c := Campaign{Base: smallBase(), Runs: 8, Seed: 5, Workers: 1}
+	seq, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Budget = sweep.NewCoreBudget(16, 4)
+	bud, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, bud) {
+		t.Fatalf("budgeted campaign diverged:\n%s---\n%s", seq.Format(), bud.Format())
+	}
+	if got := c.Budget.Peak(); got > 16 || got < 4 {
+		t.Fatalf("budget peak %d, want within [4, 16]", got)
+	}
+	if got := c.Budget.InUse(); got != 0 {
+		t.Fatalf("budget leaked: %d cores still held", got)
 	}
 }
 

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"dftmsn/internal/energy"
+	"dftmsn/internal/geo"
+	"dftmsn/internal/mac"
+	"dftmsn/internal/packet"
+	"dftmsn/internal/radio"
+	"dftmsn/internal/routing"
+	"dftmsn/internal/sim"
+	"dftmsn/internal/simrand"
+	"dftmsn/internal/telemetry"
+)
+
+// NodeSpec describes one node for the batch constructor NewNodes. The Rng
+// stream must already be split from the scenario's root chain in canonical
+// order — Split consumes a parent draw, so the split pre-pass stays
+// sequential regardless of sharding.
+type NodeSpec struct {
+	ID     packet.NodeID
+	Params Params
+	// NewStrategy builds the node's routing strategy. In the sharded arm it
+	// runs on a worker goroutine, so it must be draw-free and allocate only
+	// the node's own state — which every baseline and FAD constructor is.
+	NewStrategy func() (routing.Strategy, error)
+	Position    func() geo.Point
+	Rng         *simrand.Source
+	Rec         telemetry.Recorder
+}
+
+// NewNodes builds one node per spec. With a nil pool it is exactly a
+// sequential NewNode loop. With a pool, the draw-free construction work —
+// strategy allocation, MAC engine, sleep controller, radio precompute
+// (energy meter, state closures) — fans out across shard bands, and the
+// medium registration then drains sequentially in spec order, so radio
+// slots, spatial-index insertion order, and every per-node RNG split are
+// bit-identical to the sequential arm. On error the lowest-index failure is
+// returned, keeping failures deterministic across shard counts.
+func NewNodes(
+	sched *sim.Scheduler,
+	medium *radio.Medium,
+	macCfg mac.Config,
+	profile energy.Profile,
+	specs []NodeSpec,
+	pool *sim.ShardPool,
+) ([]*Node, error) {
+	nodes := make([]*Node, len(specs))
+	if pool == nil {
+		for i, sp := range specs {
+			strat, err := sp.NewStrategy()
+			if err != nil {
+				return nil, err
+			}
+			n, err := NewNode(sp.ID, sched, medium, macCfg, sp.Params, strat, sp.Position, profile, sp.Rng, sp.Rec)
+			if err != nil {
+				return nil, err
+			}
+			nodes[i] = n
+		}
+		return nodes, nil
+	}
+	errs := make([]error, len(specs))
+	pool.RunPhase("construct", func(shard int) {
+		lo, hi := sim.Band(len(specs), pool.Shards(), shard)
+		for i := lo; i < hi; i++ {
+			sp := specs[i]
+			strat, err := sp.NewStrategy()
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			nodes[i], errs[i] = newNodeDetached(sp.ID, sched, medium, macCfg, sp.Params, strat, sp.Position, profile, sp.Rng, sp.Rec)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range nodes {
+		medium.Register(n.radio)
+	}
+	return nodes, nil
+}

@@ -462,6 +462,10 @@ func New(cfg Config) (*Sim, error) {
 	}
 	if n := sim.ResolveShards(cfg.Shards); n > 1 {
 		s.pool = sim.NewShardPool(n)
+		// Batch plan construction: when consecutive "idle-span" plan-end
+		// events head the queue, their nodes' σ epoch tables precompute in
+		// parallel before the sequential RNG-draw drain (see shard.go).
+		s.sched.SetBatchPrep("idle-span", s.prepIdleSpans, s.flushIdleSpanPrep)
 	}
 	root := simrand.New(cfg.Seed)
 
@@ -546,7 +550,7 @@ func New(cfg Config) (*Sim, error) {
 		// Walk indices NumSensors..NumSensors+NumSinks-1 carry the sinks.
 		walkers += cfg.NumSinks
 	}
-	s.walk, err = mobility.NewZoneWalk(s.grid, walkers, mobCfg, root.Split("mobility"))
+	s.walk, err = mobility.NewZoneWalkSharded(s.grid, walkers, mobCfg, root.Split("mobility"), s.pool)
 	if err != nil {
 		return nil, err
 	}
@@ -604,25 +608,38 @@ func New(cfg Config) (*Sim, error) {
 		}
 	}
 
-	// Sensors (IDs NumSinks..NumSinks+NumSensors-1).
+	// Sensors (IDs NumSinks..NumSinks+NumSensors-1). The rng streams split
+	// sequentially in id order here — Split consumes a parent draw, so the
+	// split order is part of the seed's stream contract — then NewNodes
+	// fans the draw-free construction across the pool (sharded arm) or runs
+	// the classic sequential loop (control arm), bit-identically.
+	specs := make([]core.NodeSpec, cfg.NumSensors)
 	for i := 0; i < cfg.NumSensors; i++ {
 		id := packet.NodeID(cfg.NumSinks + i)
-		strat, err := core.NewStrategyWithOverrides(cfg.Scheme, id, cfg.QueueCapacity, isSink,
-			core.StrategyOverrides{
-				DeliveryThreshold:   cfg.DeliveryThreshold,
-				DropThreshold:       cfg.DropThreshold,
-				SkipSenderFTDUpdate: cfg.InjectSkipSenderFTD,
-			})
-		if err != nil {
-			return nil, err
-		}
 		walkIdx := i
-		node, err := core.NewNode(id, s.sched, s.medium, macCfg, params,
-			strat, func() geo.Point { return s.walk.Position(walkIdx) }, profile,
-			root.Split(fmt.Sprintf("sensor/%d", i)), s.rec)
-		if err != nil {
-			return nil, err
+		specs[i] = core.NodeSpec{
+			ID:     id,
+			Params: params,
+			NewStrategy: func() (routing.Strategy, error) {
+				return core.NewStrategyWithOverrides(cfg.Scheme, id, cfg.QueueCapacity, isSink,
+					core.StrategyOverrides{
+						DeliveryThreshold:   cfg.DeliveryThreshold,
+						DropThreshold:       cfg.DropThreshold,
+						SkipSenderFTDUpdate: cfg.InjectSkipSenderFTD,
+					})
+			},
+			Position: func() geo.Point { return s.walk.Position(walkIdx) },
+			Rng:      root.Split(fmt.Sprintf("sensor/%d", i)),
+			Rec:      s.rec,
 		}
+	}
+	sensors, err := core.NewNodes(s.sched, s.medium, macCfg, profile, specs, s.pool)
+	if err != nil {
+		return nil, err
+	}
+	for _, node := range sensors {
+		id := node.ID()
+		strat := node.Strategy()
 		node.Engine().SetRecorder(s.rec)
 		s.sensors = append(s.sensors, node)
 		if fad, ok := strat.(*routing.FAD); ok {

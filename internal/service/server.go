@@ -31,8 +31,15 @@ type Options struct {
 	// QueueDepth bounds the admission queue (default 64). A full queue
 	// rejects submissions with 429 and a Retry-After hint.
 	QueueDepth int
-	// Workers sizes the execution pool (default GOMAXPROCS).
+	// Workers is the server's core budget (default GOMAXPROCS). The
+	// execution pool is sized at Workers / RunShards so that concurrent
+	// jobs times shards-per-job never oversubscribes the budget.
 	Workers int
+	// RunShards is the default intra-run shard count handed to each
+	// simulation (default 1: every core goes to job concurrency, the
+	// pre-budget behaviour). A request may override it per job with the
+	// runtime-only "shards" field, bounded by the budget.
+	RunShards int
 	// MaxRetries bounds re-execution of a failing job before it is
 	// quarantined (default 2; retries only failures and panics, never
 	// deadline cancellations).
@@ -76,6 +83,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.RunShards <= 0 {
+		o.RunShards = 1
 	}
 	if o.MaxRetries < 0 {
 		o.MaxRetries = 0
@@ -169,6 +179,7 @@ type Server struct {
 	cache   *Cache
 	limiter *tenantLimiter
 	journal *journal
+	budget  *sweep.CoreBudget
 
 	queue chan *job
 	depth atomic.Int64 // queued, not yet picked up
@@ -210,6 +221,7 @@ func New(opts Options) (*Server, error) {
 		cache:   NewCache(),
 		limiter: newTenantLimiter(opts.TenantRatePerSec, opts.TenantBurst),
 		journal: jnl,
+		budget:  sweep.NewCoreBudget(opts.Workers, opts.RunShards),
 		jobs:    make(map[string]*job),
 		sm:      newServiceMetrics(),
 		log:     opts.Logger,
@@ -271,9 +283,11 @@ func New(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Start launches the worker pool.
+// Start launches the worker pool. The pool holds budget.Workers() workers —
+// the core budget divided by the per-run shard default — so concurrent jobs
+// at their default grant exactly fill the budget without blocking on it.
 func (s *Server) Start() {
-	for i := 0; i < s.opts.Workers; i++ {
+	for i := 0; i < s.budget.Workers(); i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
@@ -424,6 +438,14 @@ func (s *Server) runJob(j *job) error {
 		cfg.Cancel = probe
 		cfg.OnProgress = j.storeProgress
 		cfg.ProgressEvery = s.opts.ProgressEvery
+		// Take this run's shard grant from the shared core budget: the
+		// request's override when set, the server default otherwise. The
+		// grant is runtime-only — results are bit-identical at any count —
+		// so blocking here for a large override never changes an answer,
+		// only when it arrives.
+		shards := s.budget.Acquire(j.req.Shards)
+		defer s.budget.Release(shards)
+		cfg.Shards = shards
 		if j.tee != nil {
 			// A retried attempt re-records the same deterministic event
 			// sequence; Reset lets readers holding an offset resume
@@ -455,6 +477,7 @@ func (s *Server) runJob(j *job) error {
 			return err
 		}
 		exp.Cancel = probe
+		exp.Budget = s.budget
 		table, err := exp.Run(0)
 		if err != nil {
 			return err
@@ -476,6 +499,7 @@ func (s *Server) runJob(j *job) error {
 			ShrinkCandidateBudget: time.Duration(cr.ShrinkCandidateBudgetMS) * time.Millisecond,
 			ShrinkTotalBudget:     time.Duration(cr.ShrinkTotalBudgetMS) * time.Millisecond,
 			Cancel:                probe,
+			Budget:                s.budget,
 		}
 		stateFile := ""
 		if s.opts.StateDir != "" {
@@ -591,6 +615,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	req, cfg, err := DecodeRequest(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Shards > s.budget.Total() {
+		http.Error(w, fmt.Sprintf("service: shards %d exceeds core budget %d", req.Shards, s.budget.Total()), http.StatusBadRequest)
 		return
 	}
 	key, err := requestKey(req, cfg)

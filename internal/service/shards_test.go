@@ -1,0 +1,101 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// tinyShardedRunBody is tinyRunBody with a runtime-only shard override.
+func tinyShardedRunBody(seed uint64, shards int) string {
+	return fmt.Sprintf(`{"kind":"run","shards":%d,"config":{"scheme":"OPT","sensors":6,"sinks":1,"duration_s":120,"arrival_mean_s":30,"seed":%d}}`, shards, seed)
+}
+
+// TestRequestKeyIgnoresShards pins the cache-key contract for the shards
+// field: like stream and deadline it is operational, so the same config with
+// and without a shard override must address the same cached result.
+func TestRequestKeyIgnoresShards(t *testing.T) {
+	req1, cfg1, err := DecodeRequest(strings.NewReader(tinyRunBody(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2, cfg2, err := DecodeRequest(strings.NewReader(tinyShardedRunBody(7, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req2.Shards != 3 {
+		t.Fatalf("decoded shards = %d, want 3", req2.Shards)
+	}
+	k1, err := requestKey(req1, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := requestKey(req2, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("shard override changed the cache key: %s vs %s", k1, k2)
+	}
+}
+
+// TestShardsValidation pins the request-surface rules: negative overrides,
+// overrides on non-run kinds, and overrides beyond the server's core budget
+// are all rejected at submission.
+func TestShardsValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, RunShards: 1})
+	for name, body := range map[string]string{
+		"negative":    `{"kind":"run","shards":-1,"config":{"scheme":"OPT","sensors":6,"sinks":1,"duration_s":120,"arrival_mean_s":30}}`,
+		"sweep-kind":  `{"kind":"sweep","shards":2,"sweep":{"experiment":"fig2"}}`,
+		"chaos-kind":  `{"kind":"chaos","shards":2,"config":{"scheme":"OPT","sensors":6,"sinks":1,"duration_s":120,"arrival_mean_s":30}}`,
+		"over-budget": tinyShardedRunBody(1, 64),
+	} {
+		if code, _ := submit(t, ts, body); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
+	}
+}
+
+// TestShardOverrideBitIdenticalAndCached runs the same scenario on a plain
+// sequential server and on a budgeted server with a 4-shard override, and
+// requires byte-identical results under the same cache key — then pins that
+// a shard-less resubmission on the sharded server is served straight from
+// the cache, zero events simulated.
+func TestShardOverrideBitIdenticalAndCached(t *testing.T) {
+	_, tsA := newTestServer(t, Options{Workers: 2})
+	code, st := submit(t, tsA, tinyRunBody(7))
+	if code != http.StatusAccepted {
+		t.Fatalf("sequential submit: status %d", code)
+	}
+	seq := awaitTerminal(t, tsA, st.ID)
+	if seq.State != stateDone {
+		t.Fatalf("sequential job ended %s: %s", seq.State, seq.Error)
+	}
+
+	_, tsB := newTestServer(t, Options{Workers: 8, RunShards: 2})
+	code, st = submit(t, tsB, tinyShardedRunBody(7, 4))
+	if code != http.StatusAccepted {
+		t.Fatalf("sharded submit: status %d", code)
+	}
+	shd := awaitTerminal(t, tsB, st.ID)
+	if shd.State != stateDone {
+		t.Fatalf("sharded job ended %s: %s", shd.State, shd.Error)
+	}
+
+	if seq.Key != shd.Key {
+		t.Fatalf("cache keys diverged across shard counts: %s vs %s", seq.Key, shd.Key)
+	}
+	if !bytes.Equal(seq.Result, shd.Result) {
+		t.Fatalf("results diverged across shard counts:\nseq: %s\nshd: %s", seq.Result, shd.Result)
+	}
+
+	code, repeat := submit(t, tsB, tinyRunBody(7))
+	if code != http.StatusOK || !repeat.CacheHit {
+		t.Fatalf("shard-less resubmit not served from cache: status %d, hit %v", code, repeat.CacheHit)
+	}
+	if !bytes.Equal(repeat.Result, shd.Result) {
+		t.Fatal("cached payload differs from the sharded run's result")
+	}
+}

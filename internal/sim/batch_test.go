@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// traceOf runs one scheduler over the workload that build schedules and
+// returns the full firing trace (time, seq, label per fired event), the
+// fired count, and Run's error. With batch=false the batch machinery stays
+// disarmed — the sequential control arm every batched trace must match.
+func traceOf(t *testing.T, batch bool, build func(s *Scheduler, trace *[]string)) ([]string, uint64, error) {
+	t.Helper()
+	s := NewScheduler()
+	var trace []string
+	s.SetEventHook(func(now Time, seq uint64, label string) {
+		trace = append(trace, fmt.Sprintf("%.3f/%d/%s", now, seq, label))
+	})
+	if batch {
+		s.SetBatchPrep("plan", func([]*Event) {}, nil)
+	}
+	build(s, &trace)
+	err := s.Run(Infinity)
+	return trace, s.Fired(), err
+}
+
+// TestSchedulerBatchMatchesSequential pins the core batch-step contract: a
+// run of consecutive same-labeled head events fired through stepBatch
+// produces the identical trace — times, sequence numbers, labels, fired
+// count — as the plain sequential loop, including when a batch callback
+// schedules an event that must interleave into the middle of the batch.
+func TestSchedulerBatchMatchesSequential(t *testing.T) {
+	build := func(s *Scheduler, trace *[]string) {
+		for i := 0; i < 10; i++ {
+			i := i
+			s.AfterLabeled(1+0.1*float64(i), "plan", func() {
+				if i == 3 {
+					// Must fire between plan 3 (t=1.3) and plan 4 (t=1.4):
+					// the batched arm has already popped plans 4..9, so this
+					// exercises the push-back path.
+					s.AfterLabeled(0.05, "spawn", func() {})
+				}
+			})
+		}
+		s.AfterLabeled(2.05, "other", func() {})
+	}
+	seq, seqFired, err := traceOf(t, false, build)
+	if err != nil {
+		t.Fatalf("sequential arm: %v", err)
+	}
+	bat, batFired, err := traceOf(t, true, build)
+	if err != nil {
+		t.Fatalf("batched arm: %v", err)
+	}
+	if !reflect.DeepEqual(seq, bat) {
+		t.Fatalf("traces diverged:\nsequential: %v\nbatched:    %v", seq, bat)
+	}
+	if seqFired != batFired {
+		t.Fatalf("fired diverged: sequential %d, batched %d", seqFired, batFired)
+	}
+}
+
+// TestSchedulerBatchPrepAndFlush pins the prep/flush cadence: prep sees the
+// whole popped run once (never for a single-event run), and flush receives
+// exactly the popped-but-unfired remainder when an interleaving event forces
+// a push-back — in order, with owner tags intact.
+func TestSchedulerBatchPrepAndFlush(t *testing.T) {
+	s := NewScheduler()
+	var preps [][]any
+	var flushes [][]any
+	owners := func(evs []*Event) []any {
+		var out []any
+		for _, e := range evs {
+			out = append(out, e.Owner())
+		}
+		return out
+	}
+	s.SetBatchPrep("plan",
+		func(batch []*Event) { preps = append(preps, owners(batch)) },
+		func(dropped []*Event) { flushes = append(flushes, owners(dropped)) })
+	for i := 0; i < 6; i++ {
+		i := i
+		ev := s.AfterLabeled(1+0.1*float64(i), "plan", func() {
+			if i == 1 {
+				s.AfterLabeled(0.05, "spawn", func() {})
+			}
+		})
+		ev.SetOwner(i)
+	}
+	// A lone batch-labeled event behind a foreign event: the foreign head
+	// breaks the run, so the lone event pops as a run of one and prep must
+	// not fire for it.
+	s.AfterLabeled(4, "other", func() {})
+	s.AfterLabeled(5, "plan", func() {}).SetOwner("lone")
+	if err := s.Run(Infinity); err != nil {
+		t.Fatal(err)
+	}
+	wantPreps := [][]any{{0, 1, 2, 3, 4, 5}, {2, 3, 4, 5}}
+	if !reflect.DeepEqual(preps, wantPreps) {
+		t.Fatalf("prep batches = %v, want %v", preps, wantPreps)
+	}
+	wantFlushes := [][]any{{2, 3, 4, 5}}
+	if !reflect.DeepEqual(flushes, wantFlushes) {
+		t.Fatalf("flushed remainders = %v, want %v", flushes, wantFlushes)
+	}
+}
+
+// TestSchedulerBatchStopMidBatch pins Stop honored between batch events: the
+// remainder is pushed back (still pending, flush told), Run returns
+// ErrStopped, and a resumed Run completes the same trace the sequential arm
+// produces for the same workload.
+func TestSchedulerBatchStopMidBatch(t *testing.T) {
+	build := func(s *Scheduler, trace *[]string) {
+		for i := 0; i < 8; i++ {
+			i := i
+			s.AfterLabeled(1+0.1*float64(i), "plan", func() {
+				if i == 2 {
+					s.Stop()
+				}
+			})
+		}
+	}
+	seq, _, err := traceOf(t, false, build)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("sequential arm: err = %v, want ErrStopped", err)
+	}
+
+	s := NewScheduler()
+	var trace []string
+	s.SetEventHook(func(now Time, seq uint64, label string) {
+		trace = append(trace, fmt.Sprintf("%.3f/%d/%s", now, seq, label))
+	})
+	flushed := 0
+	s.SetBatchPrep("plan", func([]*Event) {}, func(dropped []*Event) { flushed += len(dropped) })
+	build(s, &trace)
+	if err := s.Run(Infinity); !errors.Is(err, ErrStopped) {
+		t.Fatalf("batched arm: err = %v, want ErrStopped", err)
+	}
+	if !reflect.DeepEqual(trace, seq) {
+		t.Fatalf("stopped prefix diverged:\nsequential: %v\nbatched:    %v", seq, trace)
+	}
+	if flushed != 5 {
+		t.Fatalf("flush saw %d pushed-back events, want 5", flushed)
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("%d events pending after stop, want 5", s.Pending())
+	}
+	// Resume: the pushed-back remainder fires in order.
+	if err := s.Run(Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 8 {
+		t.Fatalf("resumed run fired %d events total, want 8", len(trace))
+	}
+}
+
+// TestSchedulerBatchCancelCadence pins the stride discipline: the
+// cancellation probe is consulted exactly as often in a batched run as in a
+// sequential one — stepBatch's per-event Cancelled call replaces (never
+// doubles) the Run loop's — so a deadline fires after the identical event
+// prefix in both arms.
+func TestSchedulerBatchCancelCadence(t *testing.T) {
+	const n = 5 * CancelStride
+	run := func(batch bool) (probes int, fired uint64, err error) {
+		s := NewScheduler()
+		if batch {
+			s.SetBatchPrep("plan", func([]*Event) {}, nil)
+		}
+		s.SetCancel(func() bool {
+			probes++
+			return probes >= 4
+		})
+		for i := 0; i < n; i++ {
+			s.AfterLabeled(1+0.001*float64(i), "plan", func() {})
+		}
+		err = s.Run(Infinity)
+		return probes, s.Fired(), err
+	}
+	sp, sf, serr := run(false)
+	bp, bf, berr := run(true)
+	if !errors.Is(serr, ErrCancelled) || !errors.Is(berr, ErrCancelled) {
+		t.Fatalf("errs = %v / %v, want ErrCancelled in both arms", serr, berr)
+	}
+	if sp != bp || sf != bf {
+		t.Fatalf("cancel cadence diverged: sequential %d probes / %d fired, batched %d probes / %d fired",
+			sp, sf, bp, bf)
+	}
+}
+
+// TestSchedulerBatchDisarm pins that SetBatchPrep(label, nil, nil) fully
+// disarms batching: prep and flush never fire again.
+func TestSchedulerBatchDisarm(t *testing.T) {
+	s := NewScheduler()
+	called := false
+	s.SetBatchPrep("plan", func([]*Event) { called = true }, func([]*Event) { called = true })
+	s.SetBatchPrep("plan", nil, nil)
+	for i := 0; i < 4; i++ {
+		s.AfterLabeled(1+0.1*float64(i), "plan", func() {})
+	}
+	if err := s.Run(Infinity); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("disarmed batch prep/flush still fired")
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -111,6 +112,115 @@ func TestShardPoolPanicOnCallerShard(t *testing.T) {
 	}()
 	if got != "boom shard 0" {
 		t.Fatalf("Run panicked with %v, want boom shard 0", got)
+	}
+}
+
+// TestShardPoolBandFewerItemsThanShards pins Band's behaviour when the pool
+// is wider than the work: the first n shards get one item each and the rest
+// get empty (lo == hi) bands, so per-band loops simply don't run — no shard
+// ever sees an out-of-range index.
+func TestShardPoolBandFewerItemsThanShards(t *testing.T) {
+	const n, shards = 3, 8
+	pool := NewShardPool(shards)
+	defer pool.Close()
+	hits := make([]int, n)
+	empty := 0
+	var mu sync.Mutex
+	pool.Run(func(shard int) {
+		lo, hi := Band(n, shards, shard)
+		mu.Lock()
+		defer mu.Unlock()
+		if lo == hi {
+			empty++
+			return
+		}
+		for i := lo; i < hi; i++ {
+			hits[i]++
+		}
+	})
+	if empty != shards-n {
+		t.Fatalf("%d empty bands, want %d", empty, shards-n)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("item %d covered %d times, want exactly once", i, h)
+		}
+	}
+}
+
+// TestShardPoolMultiPanicNonContiguous pins the re-raise rule when several
+// non-adjacent shards panic in one Run: the lowest shard's panic value wins,
+// deterministically, regardless of which worker finishes first.
+func TestShardPoolMultiPanicNonContiguous(t *testing.T) {
+	pool := NewShardPool(6)
+	defer pool.Close()
+	for round := 0; round < 20; round++ {
+		got := func() (v any) {
+			defer func() { v = recover() }()
+			pool.Run(func(shard int) {
+				if shard == 1 || shard == 3 || shard == 5 {
+					panic(fmt.Sprintf("boom shard %d", shard))
+				}
+			})
+			return nil
+		}()
+		if got != "boom shard 1" {
+			t.Fatalf("round %d: Run panicked with %v, want boom shard 1", round, got)
+		}
+	}
+}
+
+// TestShardPoolRunAfterClosePanics pins that a Run on a closed pool fails
+// loudly and deterministically instead of deadlocking on dead workers.
+func TestShardPoolRunAfterClosePanics(t *testing.T) {
+	pool := NewShardPool(4)
+	pool.Close()
+	got := func() (v any) {
+		defer func() { v = recover() }()
+		pool.Run(func(int) {})
+		return nil
+	}()
+	want := "sim: ShardPool.Run after Close"
+	if got != want {
+		t.Fatalf("Run after Close panicked with %v, want %q", got, want)
+	}
+	// RunPhase shares the guard.
+	got = func() (v any) {
+		defer func() { v = recover() }()
+		pool.RunPhase("p", func(int) {})
+		return nil
+	}()
+	if got != want {
+		t.Fatalf("RunPhase after Close panicked with %v, want %q", got, want)
+	}
+}
+
+// TestShardPoolRunPhase pins that the pprof-labeled variant still runs every
+// shard exactly once per call, on panic paths included.
+func TestShardPoolRunPhase(t *testing.T) {
+	const shards = 4
+	pool := NewShardPool(shards)
+	defer pool.Close()
+	hits := make([]int, shards)
+	for round := 0; round < 50; round++ {
+		pool.RunPhase("test-phase", func(shard int) { hits[shard]++ })
+	}
+	for shard, n := range hits {
+		if n != 50 {
+			t.Fatalf("shard %d ran %d times, want 50", shard, n)
+		}
+	}
+	got := func() (v any) {
+		defer func() { v = recover() }()
+		pool.RunPhase("test-phase", func(shard int) {
+			if shard == 2 {
+				panic("labeled boom")
+			}
+		})
+		return nil
+	}()
+	if got != "labeled boom" {
+		t.Fatalf("RunPhase panicked with %v, want labeled boom", got)
 	}
 }
 

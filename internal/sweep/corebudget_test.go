@@ -1,0 +1,126 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestCoreBudgetAccounting(t *testing.T) {
+	b := NewCoreBudget(16, 4)
+	if b.Total() != 16 || b.RunShards() != 4 || b.Workers() != 4 {
+		t.Fatalf("16/4 budget: total %d shards %d workers %d, want 16/4/4", b.Total(), b.RunShards(), b.Workers())
+	}
+	// Defaults and clamps.
+	if d := NewCoreBudget(0, 0); d.Total() < 1 || d.RunShards() != 1 {
+		t.Fatalf("zero-value budget: total %d shards %d", d.Total(), d.RunShards())
+	}
+	if c := NewCoreBudget(4, 99); c.RunShards() != 4 {
+		t.Fatalf("oversized runShards not clamped: %d", c.RunShards())
+	}
+	if c := NewCoreBudget(3, 2); c.Workers() != 1 {
+		t.Fatalf("3/2 budget workers %d, want 1", c.Workers())
+	}
+
+	// The default grant is RunShards; explicit asks clamp to the total.
+	if got := b.Acquire(0); got != 4 {
+		t.Fatalf("Acquire(0) = %d, want default grant 4", got)
+	}
+	b.Release(4)
+	if got := b.Acquire(99); got != 16 {
+		t.Fatalf("Acquire(99) = %d, want total clamp 16", got)
+	}
+	if b.InUse() != 16 {
+		t.Fatalf("InUse = %d, want 16", b.InUse())
+	}
+
+	// Full budget: a further Acquire must block until a Release frees room.
+	got := make(chan int, 1)
+	go func() { got <- b.Acquire(1) }()
+	select {
+	case g := <-got:
+		t.Fatalf("Acquire(1) returned %d from a full budget", g)
+	case <-time.After(50 * time.Millisecond):
+	}
+	b.Release(4)
+	select {
+	case g := <-got:
+		if g != 1 {
+			t.Fatalf("unblocked Acquire(1) = %d", g)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire(1) still blocked after Release")
+	}
+	b.Release(12) // the rest of the Acquire(99) grant
+	b.Release(1)  // the unblocked goroutine's grant
+	if b.InUse() != 0 {
+		t.Fatalf("InUse = %d after releasing everything, want 0", b.InUse())
+	}
+	if b.Peak() != 16 {
+		t.Fatalf("Peak = %d, want 16", b.Peak())
+	}
+
+	// Over-release is a loud bug, not silent capacity inflation.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("over-release did not panic")
+			}
+		}()
+		b.Release(1)
+	}()
+}
+
+// TestCoreBudgetExperimentDifferential is the CoreBudget acceptance pin: a
+// sweep run under a 16-core budget at 4 runs × 4 shards must produce
+// bit-identical per-point results to the plain sequential sweep, and the
+// pool accounting must show the budget was never oversubscribed and fully
+// returned.
+func TestCoreBudgetExperimentDifferential(t *testing.T) {
+	seq, err := tinyExperiment().Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := tinyExperiment()
+	e.Budget = NewCoreBudget(16, 4)
+	bud, err := e.Run(0) // 0 workers: sized from the budget (16/4 = 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := seq.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := bud.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustCanon(t, sj), mustCanon(t, bj)) {
+		t.Fatalf("budgeted sweep diverged from sequential:\nseq: %s\nbud: %s", sj, bj)
+	}
+	if got := e.Budget.Peak(); got > 16 {
+		t.Fatalf("budget oversubscribed: peak %d > 16", got)
+	}
+	if got := e.Budget.Peak(); got < 4 {
+		t.Fatalf("budget never acquired a full grant: peak %d", got)
+	}
+	if got := e.Budget.InUse(); got != 0 {
+		t.Fatalf("budget leaked: %d cores still held", got)
+	}
+}
+
+// mustCanon re-marshals JSON so formatting differences can't mask or fake a
+// divergence.
+func mustCanon(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -58,6 +58,13 @@ type Experiment struct {
 	// wrapping sim.ErrCancelled. Runtime-only; it never perturbs the
 	// events completed runs fired.
 	Cancel func() bool
+	// Budget optionally splits cores between concurrent runs and per-run
+	// shards: Run(0) sizes its worker pool at Budget.Workers(), and each
+	// run Acquires its shard grant before building the kernel and sets
+	// Config.Shards to it. Runtime-only, like Cancel: a budgeted sweep's
+	// per-point Results are bit-identical to a sequential one's — every
+	// shard count is — so the budget only decides where the cores go.
+	Budget *CoreBudget
 }
 
 // Validate reports experiment definition errors.
@@ -380,6 +387,9 @@ func (e Experiment) Run(workers int) (*Table, error) {
 			}
 		}
 	}
+	if e.Budget != nil && workers <= 0 {
+		workers = e.Budget.Workers()
+	}
 	results := make([]scenario.Result, len(flat))
 	err := Parallel(len(flat), workers, func(i int) (err error) {
 		j := flat[i]
@@ -410,6 +420,11 @@ func (e Experiment) Run(workers int) (*Table, error) {
 			cfg.Telemetry = true
 		}
 		cfg.Cancel = e.Cancel
+		if e.Budget != nil {
+			shards := e.Budget.Acquire(0)
+			defer e.Budget.Release(shards)
+			cfg.Shards = shards
+		}
 		s, err := scenario.New(cfg)
 		if err != nil {
 			return fail(err)
